@@ -1,0 +1,192 @@
+//! DeepOD (Yuan et al., SIGMOD 2020): "incorporates the correlation between
+//! ODT-Inputs and travel trajectories from history through an auxiliary
+//! loss during training" — an OD-representation network whose embedding is
+//! pulled toward a trajectory encoder's embedding of the affiliated trip.
+//!
+//! The paper's central criticism (Introduction): outlier trajectories like
+//! `T_4` still participate in training, dragging the OD representation —
+//! and therefore the prediction — toward the outlier's travel time.
+
+use crate::common::{target_stats, OdtOracle, OracleContext};
+use crate::mlp::{train_adam, Mlp};
+use crate::pathbased::{resample_by_arclength, PATH_STEPS};
+use crate::stnn::NeuralConfig;
+use odt_nn::{Embedding, Gru, HasParams};
+use odt_tensor::{Graph, Tensor, Var};
+use odt_traj::{OdtInput, Trajectory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CELL_DIM: usize = 12;
+
+/// The DeepOD oracle.
+pub struct DeepOd {
+    ctx: OracleContext,
+    cell_emb: Embedding,
+    od_net: Mlp,   // [7 + 2*CELL_DIM] -> hidden -> rep
+    traj_enc: Gru, // 3 features per resampled point -> rep
+    head: Mlp,     // rep -> 1
+    tt_mean: f64,
+    tt_std: f64,
+    /// Weight of the auxiliary representation-matching loss.
+    lambda: f32,
+}
+
+impl DeepOd {
+    fn od_rep(&self, g: &Graph, odts: &[OdtInput]) -> Var {
+        let n = odts.len();
+        let mut feats = Tensor::zeros(vec![n, 7]);
+        let mut ocells = Vec::with_capacity(n);
+        let mut dcells = Vec::with_capacity(n);
+        for (i, odt) in odts.iter().enumerate() {
+            for (j, &v) in self.ctx.features(odt).iter().enumerate() {
+                feats.set(&[i, j], v);
+            }
+            ocells.push(self.ctx.origin_cell(odt));
+            dcells.push(self.ctx.dest_cell(odt));
+        }
+        let x = g.input(feats);
+        let eo = self.cell_emb.forward(g, &ocells);
+        let ed = self.cell_emb.forward(g, &dcells);
+        self.od_net.forward(g, g.concat(&[x, eo, ed], 1))
+    }
+
+    fn traj_features(&self, t: &Trajectory) -> Tensor {
+        let pts: Vec<odt_roadnet::Point> = t
+            .points
+            .iter()
+            .map(|p| self.ctx.proj.to_point(p.loc))
+            .collect();
+        let resampled = resample_by_arclength(&pts, PATH_STEPS);
+        let min = self.ctx.proj.to_point(self.ctx.grid.min);
+        let max = self.ctx.proj.to_point(self.ctx.grid.max);
+        let mut out = Tensor::zeros(vec![PATH_STEPS, 3]);
+        for (i, (p, frac)) in resampled.iter().enumerate() {
+            out.set(&[i, 0], (2.0 * (p.x - min.x) / (max.x - min.x) - 1.0) as f32);
+            out.set(&[i, 1], (2.0 * (p.y - min.y) / (max.y - min.y) - 1.0) as f32);
+            out.set(&[i, 2], (*frac * 2.0 - 1.0) as f32);
+        }
+        out
+    }
+
+    /// Fit with the main (travel time) + auxiliary (representation
+    /// matching) loss combination.
+    pub fn fit(ctx: OracleContext, trips: &[Trajectory], cfg: &NeuralConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let rep = cfg.hidden / 2;
+        let cell_emb = Embedding::new(&mut rng, ctx.grid.num_cells(), CELL_DIM, "deepod.cell");
+        let od_net = Mlp::new(&mut rng, &[7 + 2 * CELL_DIM, cfg.hidden, rep], "deepod.od");
+        let traj_enc = Gru::new(&mut rng, 3, rep, "deepod.traj");
+        let head = Mlp::new(&mut rng, &[rep, cfg.hidden, 1], "deepod.head");
+        let (tt_mean, tt_std) = target_stats(trips);
+        let model = DeepOd {
+            ctx,
+            cell_emb,
+            od_net,
+            traj_enc,
+            head,
+            tt_mean,
+            tt_std,
+            lambda: 0.5,
+        };
+
+        let odts: Vec<OdtInput> = trips.iter().map(OdtInput::from_trajectory).collect();
+        let traj_feats: Vec<Tensor> = trips.iter().map(|t| model.traj_features(t)).collect();
+        let targets: Vec<f32> = trips
+            .iter()
+            .map(|t| ((t.travel_time() - tt_mean) / tt_std) as f32)
+            .collect();
+
+        let mut params = model.cell_emb.params();
+        params.extend(model.od_net.params());
+        params.extend(model.traj_enc.params());
+        params.extend(model.head.params());
+        let n = trips.len();
+        let batch = cfg.batch.min(16);
+        train_adam(params, cfg.lr, cfg.iters, |g, it| {
+            let idx: Vec<usize> = (0..batch).map(|k| (it * batch + k * 3) % n).collect();
+            let batch_odts: Vec<OdtInput> = idx.iter().map(|&i| odts[i]).collect();
+            let z_od = model.od_rep(g, &batch_odts); // [b, rep]
+            // Trajectory encodings, one GRU pass per sample, stacked.
+            let encs: Vec<Var> = idx
+                .iter()
+                .map(|&i| {
+                    let x = g.reshape(g.input(traj_feats[i].clone()), vec![1, PATH_STEPS, 3]);
+                    model.traj_enc.forward_last(g, x)
+                })
+                .collect();
+            let z_traj = g.concat(&encs, 0); // [b, rep]
+            // Main loss on travel time from the OD representation.
+            let pred = model.head.forward(g, z_od);
+            let y = g.input(Tensor::from_vec(
+                idx.iter().map(|&i| targets[i]).collect(),
+                vec![batch, 1],
+            ));
+            let main = g.mse(pred, y);
+            // Auxiliary loss: match the two representations (trajectory side
+            // detached, as the trajectory is the teacher).
+            let aux = g.mse(z_od, g.detach(z_traj));
+            g.add(main, g.scale(aux, model.lambda))
+        });
+        model
+    }
+}
+
+impl OdtOracle for DeepOd {
+    fn name(&self) -> &'static str {
+        "DeepOD"
+    }
+
+    fn predict_seconds(&self, odt: &OdtInput) -> f64 {
+        let g = Graph::new();
+        let z = self.od_rep(&g, std::slice::from_ref(odt));
+        let out = g.value(self.head.forward(&g, z));
+        (out.data()[0] as f64 * self.tt_std + self.tt_mean).max(0.0)
+    }
+
+    fn model_size_bytes(&self) -> usize {
+        (self.cell_emb.num_params()
+            + self.od_net.num_params()
+            + self.traj_enc.num_params()
+            + self.head.num_params())
+            * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stnn::tests::{ctx, distance_world};
+    use odt_roadnet::Point;
+
+    #[test]
+    fn learns_distance_relation() {
+        let c = ctx();
+        let trips = distance_world(&c, 200);
+        let cfg = NeuralConfig { iters: 200, ..Default::default() };
+        let m = DeepOd::fit(c, &trips, &cfg);
+        let mk = |d: f64| OdtInput {
+            origin: c.proj.to_lnglat(Point::new(0.0, 0.0)),
+            dest: c.proj.to_lnglat(Point::new(d, 0.0)),
+            t_dep: 9.0 * 3_600.0,
+        };
+        let short = m.predict_seconds(&mk(1_200.0));
+        let long = m.predict_seconds(&mk(3_400.0));
+        assert!(long > short, "long {long:.0} vs short {short:.0}");
+    }
+
+    #[test]
+    fn predictions_finite_and_nonnegative() {
+        let c = ctx();
+        let trips = distance_world(&c, 60);
+        let cfg = NeuralConfig { iters: 20, ..Default::default() };
+        let m = DeepOd::fit(c, &trips, &cfg);
+        let odt = OdtInput {
+            origin: c.proj.to_lnglat(Point::new(-10_000.0, 0.0)), // out of grid
+            dest: c.proj.to_lnglat(Point::new(10_000.0, 0.0)),
+            t_dep: 0.0,
+        };
+        let p = m.predict_seconds(&odt);
+        assert!(p.is_finite() && p >= 0.0);
+    }
+}

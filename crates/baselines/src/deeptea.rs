@@ -1,0 +1,184 @@
+//! DeepTEA-style time-dependent trajectory outlier detection (Han et al.,
+//! VLDB 2022), used by the paper's Table 6 to pre-filter baselines'
+//! training sets.
+//!
+//! DeepTEA scores how anomalous a trajectory is *given the traffic
+//! conditions at its time of travel*. Our stand-in keeps that mechanism
+//! with a transparent probabilistic model instead of a neural one (see
+//! DESIGN.md): a per-time-slot cell-visit distribution (route anomaly) and
+//! a distance-conditioned travel-time model (duration anomaly).
+
+use crate::common::OracleContext;
+use odt_traj::Trajectory;
+
+const SLOTS: usize = 6;
+
+/// The fitted outlier detector.
+pub struct DeepTea {
+    ctx: OracleContext,
+    /// `log P(cell | slot)`, Laplace-smoothed; `[slot][cell]`.
+    log_p: Vec<Vec<f64>>,
+    /// Median speed (m/s) of training trips, for the duration model.
+    median_speed: f64,
+    /// Median circuity (along-track / crow-fly distance) of training trips.
+    median_circuity: f64,
+}
+
+impl DeepTea {
+    fn slot_of(t: &Trajectory) -> usize {
+        ((t.departure_second_of_day() / 86_400.0 * SLOTS as f64) as usize).min(SLOTS - 1)
+    }
+
+    /// Fit the visit distribution and duration model on a training set.
+    pub fn fit(ctx: OracleContext, trips: &[Trajectory]) -> Self {
+        let cells = ctx.grid.num_cells();
+        let mut counts = vec![vec![1.0f64; cells]; SLOTS]; // Laplace prior
+        for t in trips {
+            let slot = Self::slot_of(t);
+            for p in &t.points {
+                let (r, c) = ctx.grid.cell_of(p.loc);
+                counts[slot][ctx.grid.flat_index(r, c)] += 1.0;
+            }
+        }
+        let log_p = counts
+            .into_iter()
+            .map(|row| {
+                let total: f64 = row.iter().sum();
+                row.into_iter().map(|c| (c / total).ln()).collect()
+            })
+            .collect();
+        let mut speeds: Vec<f64> = trips
+            .iter()
+            .filter(|t| t.travel_time() > 0.0)
+            .map(|t| t.travel_distance(&ctx.proj) / t.travel_time())
+            .collect();
+        speeds.sort_by(f64::total_cmp);
+        let median_speed = if speeds.is_empty() {
+            5.0
+        } else {
+            speeds[speeds.len() / 2]
+        };
+        let mut circuities: Vec<f64> = trips.iter().map(|t| circuity(&ctx, t)).collect();
+        circuities.sort_by(f64::total_cmp);
+        let median_circuity = if circuities.is_empty() {
+            1.3
+        } else {
+            circuities[circuities.len() / 2].max(1.0)
+        };
+        DeepTea { ctx, log_p, median_speed, median_circuity }
+    }
+
+    /// Outlier score: higher = more anomalous. Combines route rarity (mean
+    /// negative log-likelihood of visited cells in the trip's time slot),
+    /// route circuity (detours like Figure 1's `T_4` travel far beyond the
+    /// crow-fly distance) and duration anomaly (deviation from the speed
+    /// model, damped so short trips' natural variance doesn't dominate).
+    pub fn score(&self, t: &Trajectory) -> f64 {
+        let slot = Self::slot_of(t);
+        let nll: f64 = t
+            .points
+            .iter()
+            .map(|p| {
+                let (r, c) = self.ctx.grid.cell_of(p.loc);
+                -self.log_p[slot][self.ctx.grid.flat_index(r, c)]
+            })
+            .sum::<f64>()
+            / t.points.len() as f64;
+        let circuity_anomaly = (circuity(&self.ctx, t) / self.median_circuity - 1.0).max(0.0);
+        let expected_tt = t.travel_distance(&self.ctx.proj) / self.median_speed;
+        let duration_anomaly = (t.travel_time() - expected_tt).abs() / (expected_tt + 120.0);
+        0.3 * nll + circuity_anomaly + 0.5 * duration_anomaly
+    }
+
+    /// Remove the `drop_fraction` most anomalous trajectories.
+    pub fn filter(&self, trips: &[Trajectory], drop_fraction: f64) -> Vec<Trajectory> {
+        assert!((0.0..1.0).contains(&drop_fraction), "fraction in [0, 1)");
+        let mut scored: Vec<(f64, usize)> = trips
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (self.score(t), i))
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let keep = trips.len() - (trips.len() as f64 * drop_fraction) as usize;
+        let mut kept_idx: Vec<usize> = scored[..keep].iter().map(|&(_, i)| i).collect();
+        kept_idx.sort_unstable(); // preserve temporal order
+        kept_idx.into_iter().map(|i| trips[i].clone()).collect()
+    }
+}
+
+/// Along-track distance over crow-fly distance (≥ 1 for sane trips).
+fn circuity(ctx: &OracleContext, t: &Trajectory) -> f64 {
+    let crow = ctx
+        .proj
+        .to_point(t.points[0].loc)
+        .distance(&ctx.proj.to_point(t.points[t.points.len() - 1].loc))
+        .max(50.0);
+    (t.travel_distance(&ctx.proj) / crow).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stnn::tests::ctx;
+    use odt_roadnet::Point;
+    use odt_traj::GpsPoint;
+
+    /// Straight trip along y=0 (the "popular corridor").
+    fn normal_trip(c: &OracleContext, i: usize) -> Trajectory {
+        let t0 = 9.0 * 3_600.0 + i as f64 * 60.0;
+        let pts = (0..6)
+            .map(|k| GpsPoint {
+                loc: c.proj.to_lnglat(Point::new(k as f64 * 500.0, 0.0)),
+                t: t0 + k as f64 * 60.0,
+            })
+            .collect();
+        Trajectory::new(pts)
+    }
+
+    /// Detour trip through rarely visited cells taking twice as long.
+    fn outlier_trip(c: &OracleContext) -> Trajectory {
+        let t0 = 9.0 * 3_600.0;
+        let pts = (0..6)
+            .map(|k| GpsPoint {
+                loc: c.proj.to_lnglat(Point::new(k as f64 * 500.0, 9_000.0)),
+                t: t0 + k as f64 * 120.0,
+            })
+            .collect();
+        Trajectory::new(pts)
+    }
+
+    #[test]
+    fn outlier_scores_higher() {
+        let c = ctx();
+        let mut trips: Vec<Trajectory> = (0..50).map(|i| normal_trip(&c, i)).collect();
+        trips.push(outlier_trip(&c));
+        let tea = DeepTea::fit(c, &trips);
+        let normal_score = tea.score(&trips[0]);
+        let outlier_score = tea.score(trips.last().unwrap());
+        assert!(
+            outlier_score > normal_score * 1.5,
+            "outlier {outlier_score:.3} vs normal {normal_score:.3}"
+        );
+    }
+
+    #[test]
+    fn filter_removes_the_outlier_first() {
+        let c = ctx();
+        let mut trips: Vec<Trajectory> = (0..50).map(|i| normal_trip(&c, i)).collect();
+        let bad = outlier_trip(&c);
+        trips.insert(25, bad.clone());
+        let tea = DeepTea::fit(c, &trips);
+        let kept = tea.filter(&trips, 0.05);
+        assert_eq!(kept.len(), 49);
+        assert!(!kept.contains(&bad), "the detour trip must be dropped");
+    }
+
+    #[test]
+    fn zero_drop_keeps_everything_in_order() {
+        let c = ctx();
+        let trips: Vec<Trajectory> = (0..10).map(|i| normal_trip(&c, i)).collect();
+        let tea = DeepTea::fit(c, &trips);
+        let kept = tea.filter(&trips, 0.0);
+        assert_eq!(kept, trips);
+    }
+}

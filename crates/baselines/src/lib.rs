@@ -1,0 +1,58 @@
+//! # odt-baselines
+//!
+//! The comparison methods of the paper's evaluation (§6.2), implemented
+//! from scratch:
+//!
+//! **Routing methods** (§6.2.1) — given a weighted road network, identify a
+//! path and sum its historical average segment times:
+//! * [`DijkstraRouter`] — shortest path on historical-average weights.
+//! * [`DeepStRouter`] — most-probable path from learned historical travel
+//!   behavior (destination-conditioned Markov transitions; DeepST
+//!   substitute, see DESIGN.md).
+//!
+//! **Path-based methods** (§6.2.2) — estimate travel time from a given path
+//! (fed by a router at inference, as in the paper):
+//! * [`Wddra`] — GRU sequence model with a multi-task auxiliary loss.
+//! * [`Stdgcn`] — a wider GRU with neighbor-averaged (graph-convolutional)
+//!   cell features, standing in for the NAS-discovered architecture.
+//!
+//! **ODT-Oracle methods** (§6.2.3):
+//! * [`Temp`] — temporally weighted neighbor averaging.
+//! * [`LinearRegression`] — closed-form least squares.
+//! * [`Gbm`] — from-scratch gradient-boosted regression trees.
+//! * [`Rne`] — cell-embedding distance model.
+//! * [`StNn`] — origin/destination MLP, joint distance+time.
+//! * [`Murat`] — multi-task model with cell and time-slot embeddings.
+//! * [`DeepOd`] — OD representation matched to a trajectory encoder through
+//!   an auxiliary loss.
+//!
+//! Plus [`DeepTea`], the trajectory outlier detector used by Table 6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+mod deepod;
+mod deeptea;
+mod gbm;
+mod lr;
+mod mlp;
+mod murat;
+mod pathbased;
+mod rne;
+mod routers;
+mod stnn;
+mod temp;
+
+pub use common::{OdtOracle, OracleContext};
+pub use deepod::DeepOd;
+pub use deeptea::DeepTea;
+pub use gbm::Gbm;
+pub use lr::LinearRegression;
+pub use mlp::Mlp;
+pub use murat::Murat;
+pub use pathbased::{PathBased, PathBasedKind, Stdgcn, Wddra};
+pub use rne::Rne;
+pub use routers::{DeepStRouter, DijkstraRouter, Router};
+pub use stnn::{NeuralConfig, StNn};
+pub use temp::Temp;

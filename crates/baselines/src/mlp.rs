@@ -1,0 +1,112 @@
+//! A small multi-layer perceptron and a shared training-loop helper used by
+//! the neural baselines.
+
+use odt_nn::{Adam, HasParams, Linear};
+use odt_tensor::{Graph, Param, Var};
+use rand::Rng;
+
+/// A ReLU MLP with the given layer widths.
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// `dims = [in, h1, …, out]`.
+    pub fn new(rng: &mut impl Rng, dims: &[usize], name: &str) -> Self {
+        assert!(dims.len() >= 2, "MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(rng, w[0], w[1], &format!("{name}.fc{i}")))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Forward with ReLU between layers (linear final layer).
+    pub fn forward(&self, g: &Graph, x: Var) -> Var {
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(g, h);
+            if i + 1 < self.layers.len() {
+                h = g.relu(h);
+            }
+        }
+        h
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().unwrap().out_dim()
+    }
+}
+
+impl HasParams for Mlp {
+    fn params(&self) -> Vec<Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+}
+
+/// Generic Adam training loop: call `make_loss(graph, iteration)` for
+/// `iters` iterations; it should assemble one mini-batch loss. Returns the
+/// final loss value.
+pub fn train_adam(
+    params: Vec<Param>,
+    lr: f32,
+    iters: usize,
+    mut make_loss: impl FnMut(&Graph, usize) -> Var,
+) -> f32 {
+    let mut opt = Adam::new(params, lr).with_clip(5.0);
+    let mut last = f32::NAN;
+    for it in 0..iters {
+        opt.zero_grad();
+        let g = Graph::new();
+        let loss = make_loss(&g, it);
+        last = g.value(loss).data()[0];
+        g.backward(loss);
+        opt.step();
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odt_tensor::{init, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&mut rng, &[4, 8, 2], "m");
+        assert_eq!(mlp.in_dim(), 4);
+        assert_eq!(mlp.out_dim(), 2);
+        assert_eq!(mlp.num_params(), 4 * 8 + 8 + 8 * 2 + 2);
+        let g = Graph::new();
+        let x = g.input(Tensor::zeros(vec![3, 4]));
+        assert_eq!(g.shape(mlp.forward(&g, x)), vec![3, 2]);
+    }
+
+    #[test]
+    fn train_adam_fits_xor_like_function() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&mut rng, &[2, 16, 1], "m");
+        let xs = init::uniform(&mut rng, vec![128, 2], -1.0, 1.0);
+        let mut ys = Tensor::zeros(vec![128, 1]);
+        for i in 0..128 {
+            let v = xs.at(&[i, 0]) * xs.at(&[i, 1]); // non-linear target
+            ys.set(&[i, 0], v);
+        }
+        let last = train_adam(mlp.params(), 0.01, 400, |g, _| {
+            let x = g.input(xs.clone());
+            let y = g.input(ys.clone());
+            g.mse(mlp.forward(g, x), y)
+        });
+        assert!(last < 0.01, "final loss {last}");
+    }
+}

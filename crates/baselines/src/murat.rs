@@ -1,0 +1,155 @@
+//! MURAT (Li et al., KDD 2018): "extends the input features with embeddings
+//! from road segments, spatial cells, and temporal slots" and "jointly
+//! predicts the travel distance and travel time given origin, destination
+//! and departure time."
+
+use crate::common::{target_stats, OdtOracle, OracleContext};
+use crate::mlp::{train_adam, Mlp};
+use crate::stnn::NeuralConfig;
+use odt_nn::{Embedding, HasParams};
+use odt_tensor::{Graph, Tensor};
+use odt_traj::{OdtInput, Trajectory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CELL_DIM: usize = 12;
+const SLOT_DIM: usize = 8;
+const SLOTS: usize = 24;
+
+/// The MURAT oracle: coordinate features + spatial-cell embeddings +
+/// temporal-slot embeddings feeding a multi-task MLP.
+pub struct Murat {
+    ctx: OracleContext,
+    cell_emb: Embedding,
+    slot_emb: Embedding,
+    net: Mlp, // [7 + 2*CELL_DIM + SLOT_DIM] -> hidden -> 2 (time, dist)
+    tt_mean: f64,
+    tt_std: f64,
+}
+
+impl Murat {
+    fn slot(odt: &OdtInput) -> usize {
+        ((odt.second_of_day() / 3_600.0) as usize).min(SLOTS - 1)
+    }
+
+    fn assemble(&self, g: &Graph, odts: &[OdtInput]) -> odt_tensor::Var {
+        let n = odts.len();
+        let mut feats = Tensor::zeros(vec![n, 7]);
+        let mut ocells = Vec::with_capacity(n);
+        let mut dcells = Vec::with_capacity(n);
+        let mut slots = Vec::with_capacity(n);
+        for (i, odt) in odts.iter().enumerate() {
+            for (j, &v) in self.ctx.features(odt).iter().enumerate() {
+                feats.set(&[i, j], v);
+            }
+            ocells.push(self.ctx.origin_cell(odt));
+            dcells.push(self.ctx.dest_cell(odt));
+            slots.push(Self::slot(odt));
+        }
+        let x = g.input(feats);
+        let eo = self.cell_emb.forward(g, &ocells);
+        let ed = self.cell_emb.forward(g, &dcells);
+        let es = self.slot_emb.forward(g, &slots);
+        g.concat(&[x, eo, ed, es], 1)
+    }
+
+    /// Fit on the training split.
+    pub fn fit(ctx: OracleContext, trips: &[Trajectory], cfg: &NeuralConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let cells = ctx.grid.num_cells();
+        let cell_emb = Embedding::new(&mut rng, cells, CELL_DIM, "murat.cell");
+        let slot_emb = Embedding::new(&mut rng, SLOTS, SLOT_DIM, "murat.slot");
+        let in_dim = 7 + 2 * CELL_DIM + SLOT_DIM;
+        let net = Mlp::new(&mut rng, &[in_dim, cfg.hidden, cfg.hidden, 2], "murat.net");
+        let (tt_mean, tt_std) = target_stats(trips);
+        let model = Murat { ctx, cell_emb, slot_emb, net, tt_mean, tt_std };
+
+        let n = trips.len();
+        let odts: Vec<OdtInput> = trips.iter().map(OdtInput::from_trajectory).collect();
+        let mut targets = Tensor::zeros(vec![n, 2]);
+        for (i, t) in trips.iter().enumerate() {
+            targets.set(&[i, 0], ((t.travel_time() - tt_mean) / tt_std) as f32);
+            targets.set(&[i, 1], (t.travel_distance(&ctx.proj) / 5_000.0) as f32);
+        }
+
+        let mut params = model.net.params();
+        params.extend(model.cell_emb.params());
+        params.extend(model.slot_emb.params());
+        train_adam(params, cfg.lr, cfg.iters, |g, it| {
+            let start = (it * cfg.batch) % n;
+            let idx: Vec<usize> = (0..cfg.batch.min(n)).map(|k| (start + k * 13) % n).collect();
+            let batch_odts: Vec<OdtInput> = idx.iter().map(|&i| odts[i]).collect();
+            let x = model.assemble(g, &batch_odts);
+            let y = g.input(targets.index_select0(&idx));
+            g.mse(model.net.forward(g, x), y)
+        });
+        model
+    }
+}
+
+impl OdtOracle for Murat {
+    fn name(&self) -> &'static str {
+        "MURAT"
+    }
+
+    fn predict_seconds(&self, odt: &OdtInput) -> f64 {
+        let g = Graph::new();
+        let x = self.assemble(&g, std::slice::from_ref(odt));
+        let out = g.value(self.net.forward(&g, x));
+        (out.data()[0] as f64 * self.tt_std + self.tt_mean).max(0.0)
+    }
+
+    fn model_size_bytes(&self) -> usize {
+        (self.net.num_params() + self.cell_emb.num_params() + self.slot_emb.num_params()) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stnn::tests::{ctx, distance_world};
+    use odt_roadnet::Point;
+
+    #[test]
+    fn learns_and_uses_departure_time() {
+        let c = ctx();
+        // World where rush hour doubles travel time.
+        let trips: Vec<Trajectory> = distance_world(&c, 300)
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if i % 2 == 0 {
+                    // Shift to rush hour and double duration.
+                    let mut pts = t.points.clone();
+                    let t0 = 8.0 * 3_600.0;
+                    let dt = (pts[1].t - pts[0].t) * 2.0;
+                    pts[0].t = t0;
+                    pts[1].t = t0 + dt;
+                    Trajectory::new(pts)
+                } else {
+                    t
+                }
+            })
+            .collect();
+        let cfg = NeuralConfig { iters: 600, ..Default::default() };
+        let m = Murat::fit(c, &trips, &cfg);
+        let mk = |t_dep: f64| OdtInput {
+            origin: c.proj.to_lnglat(Point::new(0.0, 0.0)),
+            dest: c.proj.to_lnglat(Point::new(2_000.0, 0.0)),
+            t_dep,
+        };
+        let rush = m.predict_seconds(&mk(8.2 * 3_600.0));
+        let free = m.predict_seconds(&mk(13.0 * 3_600.0));
+        assert!(rush > free * 1.2, "rush {rush:.0} vs free {free:.0}");
+    }
+
+    #[test]
+    fn model_size_includes_embeddings() {
+        let c = ctx();
+        let trips = distance_world(&c, 60);
+        let cfg = NeuralConfig { iters: 10, ..Default::default() };
+        let m = Murat::fit(c, &trips, &cfg);
+        // Cell table alone: 100 cells * 12 dims * 4 bytes.
+        assert!(m.model_size_bytes() > 100 * 12 * 4);
+    }
+}

@@ -1,0 +1,354 @@
+//! Path-based travel-time estimators (paper §6.2.2): WDDRA and STDGCN.
+//!
+//! These models predict travel time **given a travel path**. In the
+//! ODT-Oracle setting the true path is unknown, so — exactly as in the
+//! paper — the evaluation feeds them paths produced by a routing method
+//! (DeepST). Both use recurrent sequence encoders, which is why their
+//! estimation speed trails the attention-based DOT (Table 5 discussion).
+//!
+//! Paths are resampled to a fixed number of arc-length-uniform steps so
+//! sequences batch cleanly; DESIGN.md documents this simplification.
+
+use crate::common::{target_stats, OracleContext};
+use crate::mlp::{train_adam, Mlp};
+use crate::stnn::NeuralConfig;
+use odt_nn::{Gru, HasParams, Linear};
+use odt_roadnet::Point;
+use odt_tensor::{Graph, Tensor, Var};
+use odt_traj::{OdtInput, Trajectory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of resampled steps per path.
+pub const PATH_STEPS: usize = 12;
+
+/// Which of the two path-based architectures to build.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PathBasedKind {
+    /// Wide-Deep-Double-Recurrent with Auxiliary loss.
+    Wddra,
+    /// The (NAS-discovered) dual-graph model; our stand-in widens the GRU
+    /// and smooths step features over neighbors (a light graph convolution).
+    Stdgcn,
+}
+
+/// Resample a polyline to `k` arc-length-uniform points; returns each point
+/// with its arc-length fraction in `[0, 1]`.
+pub fn resample_by_arclength(points: &[Point], k: usize) -> Vec<(Point, f64)> {
+    assert!(k >= 2, "need at least two resampled points");
+    if points.is_empty() {
+        return Vec::new();
+    }
+    if points.len() == 1 {
+        return (0..k)
+            .map(|i| (points[0], i as f64 / (k - 1) as f64))
+            .collect();
+    }
+    let mut cum = vec![0.0];
+    for w in points.windows(2) {
+        cum.push(cum.last().unwrap() + w[0].distance(&w[1]));
+    }
+    let total = *cum.last().unwrap();
+    (0..k)
+        .map(|i| {
+            let frac = i as f64 / (k - 1) as f64;
+            let target = frac * total;
+            // Locate the segment containing the target arc length.
+            let mut seg = 0;
+            while seg + 1 < cum.len() - 1 && cum[seg + 1] < target {
+                seg += 1;
+            }
+            let seg_len = (cum[seg + 1] - cum[seg]).max(1e-9);
+            let t = ((target - cum[seg]) / seg_len).clamp(0.0, 1.0);
+            let a = points[seg];
+            let b = points[seg + 1];
+            (
+                Point::new(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t),
+                frac,
+            )
+        })
+        .collect()
+}
+
+/// A trained path-based estimator.
+pub struct PathBased {
+    kind: PathBasedKind,
+    ctx: OracleContext,
+    gru: Gru,
+    wide: Mlp,
+    head: Mlp,
+    aux: Option<Linear>,
+    tt_mean: f64,
+    tt_std: f64,
+}
+
+impl PathBased {
+    /// Step features for one resampled path: `[PATH_STEPS, 3]` of
+    /// normalized x, normalized y, arc-length fraction.
+    fn step_features(&self, resampled: &[(Point, f64)]) -> Tensor {
+        let mut t = Tensor::zeros(vec![PATH_STEPS, 3]);
+        let min = self.ctx.proj.to_point(self.ctx.grid.min);
+        let max = self.ctx.proj.to_point(self.ctx.grid.max);
+        for (i, (p, frac)) in resampled.iter().enumerate() {
+            let nx = 2.0 * (p.x - min.x) / (max.x - min.x) - 1.0;
+            let ny = 2.0 * (p.y - min.y) / (max.y - min.y) - 1.0;
+            t.set(&[i, 0], nx as f32);
+            t.set(&[i, 1], ny as f32);
+            t.set(&[i, 2], (*frac * 2.0 - 1.0) as f32);
+        }
+        if self.kind == PathBasedKind::Stdgcn {
+            // Neighbor smoothing of the spatial channels: a light 1-D graph
+            // convolution along the path.
+            let orig = t.clone();
+            for i in 0..PATH_STEPS {
+                for ch in 0..2 {
+                    let prev = orig.at(&[i.saturating_sub(1), ch]);
+                    let next = orig.at(&[(i + 1).min(PATH_STEPS - 1), ch]);
+                    let me = orig.at(&[i, ch]);
+                    t.set(&[i, ch], 0.5 * me + 0.25 * prev + 0.25 * next);
+                }
+            }
+        }
+        t
+    }
+
+    fn wide_features(&self, odt: &OdtInput, path_len_m: f64) -> Tensor {
+        let sod = odt.second_of_day() / 86_400.0 * std::f64::consts::TAU;
+        Tensor::from_vec(
+            vec![
+                (path_len_m / 5_000.0) as f32,
+                sod.sin() as f32,
+                sod.cos() as f32,
+            ],
+            vec![1, 3],
+        )
+    }
+
+    /// Forward one path; returns `(prediction [1,1], per-step aux [1, steps])`.
+    fn forward(
+        &self,
+        g: &Graph,
+        steps: &Tensor,
+        wide: &Tensor,
+    ) -> (Var, Option<Var>) {
+        let x = g.reshape(g.input(steps.clone()), vec![1, PATH_STEPS, 3]);
+        let states = self.gru.forward_all(g, x); // [1, steps, h]
+        let last = g.reshape(
+            g.slice(states, 1, PATH_STEPS - 1, PATH_STEPS),
+            vec![1, self.gru_hidden()],
+        );
+        let w = self.wide.forward(g, g.input(wide.clone())); // [1, hw]
+        let joint = g.concat(&[last, w], 1);
+        let pred = self.head.forward(g, joint);
+        let aux = self.aux.as_ref().map(|a| {
+            let flat = g.reshape(states, vec![PATH_STEPS, self.gru_hidden()]);
+            g.reshape(a.forward(g, flat), vec![1, PATH_STEPS])
+        });
+        (pred, aux)
+    }
+
+    fn gru_hidden(&self) -> usize {
+        self.head.in_dim() - self.wide.out_dim()
+    }
+
+    /// Fit on training trajectories: each trajectory supplies its own GPS
+    /// path, its per-step cumulative time fractions (the auxiliary target),
+    /// and its travel time.
+    pub fn fit(
+        kind: PathBasedKind,
+        ctx: OracleContext,
+        trips: &[Trajectory],
+        cfg: &NeuralConfig,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let hidden = match kind {
+            PathBasedKind::Wddra => cfg.hidden / 2,
+            PathBasedKind::Stdgcn => cfg.hidden * 3 / 4,
+        };
+        let wide_out = 8;
+        let gru = Gru::new(&mut rng, 3, hidden, "path.gru");
+        let wide = Mlp::new(&mut rng, &[3, wide_out], "path.wide");
+        let head = Mlp::new(&mut rng, &[hidden + wide_out, cfg.hidden, 1], "path.head");
+        let aux = (kind == PathBasedKind::Wddra)
+            .then(|| Linear::new(&mut rng, hidden, 1, "path.aux"));
+        let (tt_mean, tt_std) = target_stats(trips);
+        let model = PathBased { kind, ctx, gru, wide, head, aux, tt_mean, tt_std };
+
+        // Precompute per-trip tensors.
+        let mut data = Vec::with_capacity(trips.len());
+        for t in trips {
+            let pts: Vec<Point> = t.points.iter().map(|p| ctx.proj.to_point(p.loc)).collect();
+            let resampled = resample_by_arclength(&pts, PATH_STEPS);
+            let steps = model.step_features(&resampled);
+            let total_len: f64 = pts.windows(2).map(|w| w[0].distance(&w[1])).sum();
+            let odt = OdtInput::from_trajectory(t);
+            let wide_f = model.wide_features(&odt, total_len);
+            // Aux target: cumulative time fraction at each resampled step.
+            let span = t.travel_time().max(1e-9);
+            let aux_target: Vec<f32> = resampled
+                .iter()
+                .map(|(_, frac)| {
+                    // Time at the matching arc fraction, linearly interpolated
+                    // over the fix timestamps.
+                    let idx = (frac * (t.points.len() - 1) as f64).round() as usize;
+                    ((t.points[idx.min(t.points.len() - 1)].t - t.departure()) / span) as f32
+                })
+                .collect();
+            let target = ((t.travel_time() - tt_mean) / tt_std) as f32;
+            data.push((steps, wide_f, aux_target, target));
+        }
+
+        let mut params = model.gru.params();
+        params.extend(model.wide.params());
+        params.extend(model.head.params());
+        if let Some(a) = &model.aux {
+            params.extend(a.params());
+        }
+        let n = data.len();
+        let batch = cfg.batch.min(16); // sequence models: small batches
+        train_adam(params, cfg.lr, cfg.iters, |g, it| {
+            let mut losses = Vec::with_capacity(batch);
+            for k in 0..batch {
+                let (steps, wide_f, aux_target, target) = &data[(it * batch + k * 5) % n];
+                let (pred, aux) = model.forward(g, steps, wide_f);
+                let y = g.input(Tensor::from_vec(vec![*target], vec![1, 1]));
+                let mut loss = g.mse(pred, y);
+                if let Some(aux_pred) = aux {
+                    let ay = g.input(Tensor::from_vec(aux_target.clone(), vec![1, PATH_STEPS]));
+                    loss = g.add(loss, g.scale(g.mse(aux_pred, ay), 0.3));
+                }
+                losses.push(loss);
+            }
+            let mut total = losses[0];
+            for l in &losses[1..] {
+                total = g.add(total, *l);
+            }
+            g.scale(total, 1.0 / batch as f32)
+        });
+        model
+    }
+
+    /// Predict travel time (seconds) for a query given a routed path.
+    pub fn predict_with_path(&self, odt: &OdtInput, path_points: &[Point]) -> f64 {
+        let resampled = resample_by_arclength(path_points, PATH_STEPS);
+        if resampled.is_empty() {
+            return self.tt_mean;
+        }
+        let steps = self.step_features(&resampled);
+        let total_len: f64 = path_points
+            .windows(2)
+            .map(|w| w[0].distance(&w[1]))
+            .sum();
+        let wide_f = self.wide_features(odt, total_len);
+        let g = Graph::new();
+        let (pred, _) = self.forward(&g, &steps, &wide_f);
+        (g.value(pred).data()[0] as f64 * self.tt_std + self.tt_mean).max(0.0)
+    }
+
+    /// Method name for reports.
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            PathBasedKind::Wddra => "WDDRA",
+            PathBasedKind::Stdgcn => "STDGCN",
+        }
+    }
+
+    /// Model size in bytes (Table 5).
+    pub fn model_size_bytes(&self) -> usize {
+        let mut n = self.gru.num_params() + self.wide.num_params() + self.head.num_params();
+        if let Some(a) = &self.aux {
+            n += a.num_params();
+        }
+        n * 4
+    }
+}
+
+/// WDDRA convenience alias.
+pub struct Wddra;
+impl Wddra {
+    /// Fit a WDDRA model.
+    pub fn fit(ctx: OracleContext, trips: &[Trajectory], cfg: &NeuralConfig) -> PathBased {
+        PathBased::fit(PathBasedKind::Wddra, ctx, trips, cfg)
+    }
+}
+
+/// STDGCN convenience alias.
+pub struct Stdgcn;
+impl Stdgcn {
+    /// Fit an STDGCN model.
+    pub fn fit(ctx: OracleContext, trips: &[Trajectory], cfg: &NeuralConfig) -> PathBased {
+        PathBased::fit(PathBasedKind::Stdgcn, ctx, trips, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stnn::tests::{ctx, distance_world};
+
+    #[test]
+    fn resample_endpoints_and_spacing() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(100.0, 100.0),
+        ];
+        let r = resample_by_arclength(&pts, 5);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r[0].0.x, 0.0);
+        assert!((r[4].0.y - 100.0).abs() < 1e-9);
+        // Arc fractions are uniform.
+        for (i, (_, f)) in r.iter().enumerate() {
+            assert!((f - i as f64 / 4.0).abs() < 1e-9);
+        }
+        // Midpoint (arc length 100 of 200) sits at the corner.
+        assert!((r[2].0.x - 100.0).abs() < 1e-6);
+        assert!(r[2].0.y.abs() < 1e-6);
+    }
+
+    #[test]
+    fn wddra_learns_path_length() {
+        let c = ctx();
+        let trips = distance_world(&c, 200);
+        let cfg = NeuralConfig { iters: 250, ..Default::default() };
+        let m = Wddra::fit(c, &trips, &cfg);
+        assert_eq!(m.name(), "WDDRA");
+        let short: Vec<Point> = vec![Point::new(0.0, 0.0), Point::new(1_200.0, 0.0)];
+        let long: Vec<Point> = vec![Point::new(0.0, 0.0), Point::new(3_400.0, 0.0)];
+        let odt = OdtInput {
+            origin: c.proj.to_lnglat(Point::new(0.0, 0.0)),
+            dest: c.proj.to_lnglat(Point::new(1_200.0, 0.0)),
+            t_dep: 9.0 * 3_600.0,
+        };
+        let ps = m.predict_with_path(&odt, &short);
+        let pl = m.predict_with_path(&odt, &long);
+        assert!(pl > ps, "longer path must predict longer: {pl:.0} vs {ps:.0}");
+    }
+
+    #[test]
+    fn stdgcn_has_no_aux_and_more_capacity() {
+        let c = ctx();
+        let trips = distance_world(&c, 60);
+        let cfg = NeuralConfig { iters: 10, ..Default::default() };
+        let w = Wddra::fit(c, &trips, &cfg);
+        let s = Stdgcn::fit(c, &trips, &cfg);
+        assert!(s.model_size_bytes() > w.model_size_bytes());
+    }
+
+    #[test]
+    fn degenerate_paths_do_not_crash() {
+        let c = ctx();
+        let trips = distance_world(&c, 60);
+        let cfg = NeuralConfig { iters: 5, ..Default::default() };
+        let m = Wddra::fit(c, &trips, &cfg);
+        let odt = OdtInput {
+            origin: c.proj.to_lnglat(Point::new(0.0, 0.0)),
+            dest: c.proj.to_lnglat(Point::new(0.0, 0.0)),
+            t_dep: 0.0,
+        };
+        let single = m.predict_with_path(&odt, &[Point::new(0.0, 0.0)]);
+        assert!(single.is_finite());
+        let empty = m.predict_with_path(&odt, &[]);
+        assert!(empty.is_finite());
+    }
+}

@@ -1,0 +1,133 @@
+//! RNE (Huang et al., ICDE 2021): "calculates the shortest path distances
+//! between vertices in the embedding space" via hierarchical vertex
+//! embeddings. Our variant embeds grid cells and learns a scaled L1
+//! embedding distance plus a time-of-day-slot bias — the same mechanism
+//! (location embeddings whose metric approximates travel cost) at the grid
+//! granularity the rest of the pipeline uses.
+
+use crate::common::{target_stats, OdtOracle, OracleContext};
+use crate::mlp::train_adam;
+use crate::stnn::NeuralConfig;
+use odt_nn::{Embedding, HasParams};
+use odt_tensor::{Graph, Param, Tensor};
+use odt_traj::{OdtInput, Trajectory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EMB_DIM: usize = 16;
+const SLOTS: usize = 12;
+
+/// The RNE-style embedding-distance oracle.
+pub struct Rne {
+    ctx: OracleContext,
+    emb: Embedding,
+    scale: Param,
+    slot_bias: Param,
+    tt_mean: f64,
+    tt_std: f64,
+}
+
+impl Rne {
+    fn slot(odt: &OdtInput) -> usize {
+        ((odt.second_of_day() / 86_400.0 * SLOTS as f64) as usize).min(SLOTS - 1)
+    }
+
+    /// Fit embeddings so that `scale · ‖e_o − e_d‖₁ + bias[slot]` matches
+    /// normalized travel times.
+    pub fn fit(ctx: OracleContext, trips: &[Trajectory], cfg: &NeuralConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let emb = Embedding::new(&mut rng, ctx.grid.num_cells(), EMB_DIM, "rne.emb");
+        let scale = Param::new(Tensor::scalar(1.0), "rne.scale");
+        let slot_bias = Param::new(Tensor::zeros(vec![SLOTS]), "rne.slot_bias");
+        let (tt_mean, tt_std) = target_stats(trips);
+        let model = Rne { ctx, emb, scale, slot_bias, tt_mean, tt_std };
+
+        let n = trips.len();
+        let odts: Vec<OdtInput> = trips.iter().map(OdtInput::from_trajectory).collect();
+        let targets: Vec<f32> = trips
+            .iter()
+            .map(|t| ((t.travel_time() - tt_mean) / tt_std) as f32)
+            .collect();
+
+        let mut params = model.emb.params();
+        params.push(model.scale.clone());
+        params.push(model.slot_bias.clone());
+        train_adam(params, cfg.lr * 3.0, cfg.iters, |g, it| {
+            let start = (it * cfg.batch) % n;
+            let idx: Vec<usize> = (0..cfg.batch.min(n)).map(|k| (start + k * 7) % n).collect();
+            let pred = model.forward_batch(g, &idx.iter().map(|&i| odts[i]).collect::<Vec<_>>());
+            let y = g.input(Tensor::from_vec(
+                idx.iter().map(|&i| targets[i]).collect(),
+                vec![idx.len(), 1],
+            ));
+            g.mse(pred, y)
+        });
+        model
+    }
+
+    fn forward_batch(&self, g: &Graph, odts: &[OdtInput]) -> odt_tensor::Var {
+        let n = odts.len();
+        let ocells: Vec<usize> = odts.iter().map(|o| self.ctx.origin_cell(o)).collect();
+        let dcells: Vec<usize> = odts.iter().map(|o| self.ctx.dest_cell(o)).collect();
+        let slots: Vec<usize> = odts.iter().map(Self::slot).collect();
+        let eo = self.emb.forward(g, &ocells);
+        let ed = self.emb.forward(g, &dcells);
+        // Smooth L1: sqrt((eo-ed)^2 + eps) keeps gradients defined at 0.
+        let diff = g.sub(eo, ed);
+        let l1 = g.sum_axis(g.sqrt(g.add_scalar(g.square(diff), 1e-6)), 1, true); // [n,1]
+        let s = g.param(&self.scale);
+        let scaled = g.mul(l1, s);
+        let bias_rows = g.index_select0(g.param(&self.slot_bias), &slots);
+        g.add(scaled, g.reshape(bias_rows, vec![n, 1]))
+    }
+}
+
+impl OdtOracle for Rne {
+    fn name(&self) -> &'static str {
+        "RNE"
+    }
+
+    fn predict_seconds(&self, odt: &OdtInput) -> f64 {
+        let g = Graph::new();
+        let out = g.value(self.forward_batch(&g, std::slice::from_ref(odt)));
+        (out.data()[0] as f64 * self.tt_std + self.tt_mean).max(0.0)
+    }
+
+    fn model_size_bytes(&self) -> usize {
+        (self.emb.num_params() + 1 + SLOTS) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stnn::tests::{ctx, distance_world};
+    use odt_roadnet::Point;
+
+    #[test]
+    fn embedding_distance_tracks_travel_time() {
+        let c = ctx();
+        let trips = distance_world(&c, 400);
+        let cfg = NeuralConfig { iters: 800, ..Default::default() };
+        let m = Rne::fit(c, &trips, &cfg);
+        // Longer trips must get longer predictions.
+        let mk = |d: f64| OdtInput {
+            origin: c.proj.to_lnglat(Point::new(0.0, 0.0)),
+            dest: c.proj.to_lnglat(Point::new(d, 0.0)),
+            t_dep: 9.0 * 3_600.0,
+        };
+        let short = m.predict_seconds(&mk(1_200.0));
+        let long = m.predict_seconds(&mk(3_400.0));
+        assert!(long > short, "long {long:.0} should exceed short {short:.0}");
+    }
+
+    #[test]
+    fn compact_model() {
+        let c = ctx();
+        let trips = distance_world(&c, 50);
+        let cfg = NeuralConfig { iters: 5, ..Default::default() };
+        let m = Rne::fit(c, &trips, &cfg);
+        // 100 cells * 16 dims * 4 bytes + biases: well under 10 KB.
+        assert!(m.model_size_bytes() < 10_000);
+    }
+}

@@ -1,0 +1,280 @@
+//! Routing baselines (paper §6.2.1): Dijkstra and the DeepST stand-in.
+//!
+//! Both are given "a weighted road network, where the weights represent the
+//! average travel time of road segments that is calculated from historical
+//! trajectories", identify a path for the query OD pair, and report the sum
+//! of the historical average travel times along it.
+
+use crate::common::{OdtOracle, OracleContext};
+use odt_roadnet::{dijkstra, matching, EdgeWeights, MarkovRouter, NodeId, RoadNetwork, TimeDependentWeights};
+use odt_traj::{OdtInput, Trajectory};
+use std::sync::Arc;
+
+/// A method that produces an explicit route for an ODT-Input.
+pub trait Router: OdtOracle {
+    /// The routed node path from (map-matched) origin to destination.
+    fn route_nodes(&self, odt: &OdtInput) -> Vec<NodeId>;
+
+    /// The network the routes live on.
+    fn network(&self) -> &RoadNetwork;
+
+    /// Planar positions along the route, densified so rasterizing onto a
+    /// PiT grid marks every traversed cell.
+    fn route_points(&self, odt: &OdtInput) -> Vec<odt_roadnet::Point> {
+        let nodes = self.route_nodes(odt);
+        densify(self.network(), &nodes, 150.0)
+    }
+}
+
+/// Interpolate along a node path every `step_m` meters.
+pub fn densify(net: &RoadNetwork, nodes: &[NodeId], step_m: f64) -> Vec<odt_roadnet::Point> {
+    let mut out = Vec::new();
+    if nodes.is_empty() {
+        return out;
+    }
+    out.push(net.position(nodes[0]));
+    for w in nodes.windows(2) {
+        let a = net.position(w[0]);
+        let b = net.position(w[1]);
+        let d = a.distance(&b);
+        let steps = (d / step_m).ceil() as usize;
+        for s in 1..=steps.max(1) {
+            let f = s as f64 / steps.max(1) as f64;
+            out.push(odt_roadnet::Point::new(a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f));
+        }
+    }
+    out
+}
+
+/// Map-match training trajectories into node paths with their departure
+/// slots; shared by both routers and the path-based baselines.
+pub fn matched_paths(
+    net: &RoadNetwork,
+    ctx: &OracleContext,
+    trips: &[Trajectory],
+    slots: usize,
+) -> Vec<(Vec<NodeId>, usize, f64)> {
+    trips
+        .iter()
+        .map(|t| {
+            let pts: Vec<odt_roadnet::Point> =
+                t.points.iter().map(|p| ctx.proj.to_point(p.loc)).collect();
+            let path = matching::match_trajectory(net, &pts);
+            let slot = ((t.departure_second_of_day() / 86_400.0 * slots as f64) as usize)
+                .min(slots - 1);
+            (path, slot, t.travel_time())
+        })
+        .collect()
+}
+
+/// Historical-average edge weights from map-matched trajectories.
+pub fn learn_weights(net: &RoadNetwork, ctx: &OracleContext, trips: &[Trajectory]) -> EdgeWeights {
+    let mut obs = Vec::new();
+    for t in trips {
+        let pts: Vec<odt_roadnet::Point> =
+            t.points.iter().map(|p| ctx.proj.to_point(p.loc)).collect();
+        let ts: Vec<f64> = t.points.iter().map(|p| p.t).collect();
+        obs.extend(matching::edge_observations(net, &pts, &ts));
+    }
+    EdgeWeights::from_observations(net, obs)
+}
+
+/// Time-dependent edge weights (used to fill temporal PiT channels for the
+/// routing ablations of Table 7).
+pub fn learn_time_weights(
+    net: &RoadNetwork,
+    ctx: &OracleContext,
+    trips: &[Trajectory],
+    slots: usize,
+) -> TimeDependentWeights {
+    let mut obs = Vec::new();
+    for t in trips {
+        let pts: Vec<odt_roadnet::Point> =
+            t.points.iter().map(|p| ctx.proj.to_point(p.loc)).collect();
+        let ts: Vec<f64> = t.points.iter().map(|p| p.t).collect();
+        let slot = ((t.departure_second_of_day() / 86_400.0 * slots as f64) as usize)
+            .min(slots - 1);
+        for (e, secs) in matching::edge_observations(net, &pts, &ts) {
+            obs.push((e, slot, secs));
+        }
+    }
+    TimeDependentWeights::from_observations(net, slots, obs)
+}
+
+/// The Dijkstra routing baseline.
+pub struct DijkstraRouter {
+    ctx: OracleContext,
+    net: Arc<RoadNetwork>,
+    weights: EdgeWeights,
+}
+
+impl DijkstraRouter {
+    /// Learn edge weights from the training split.
+    pub fn fit(ctx: OracleContext, net: Arc<RoadNetwork>, trips: &[Trajectory]) -> Self {
+        let weights = learn_weights(&net, &ctx, trips);
+        DijkstraRouter { ctx, net, weights }
+    }
+}
+
+impl OdtOracle for DijkstraRouter {
+    fn name(&self) -> &'static str {
+        "Dijkstra"
+    }
+
+    fn predict_seconds(&self, odt: &OdtInput) -> f64 {
+        let o = self.net.nearest_node(self.ctx.proj.to_point(odt.origin));
+        let d = self.net.nearest_node(self.ctx.proj.to_point(odt.dest));
+        dijkstra(&self.net, o, d, &self.weights.as_fn()).map_or(0.0, |r| r.cost)
+    }
+
+    fn model_size_bytes(&self) -> usize {
+        // The weighted road network itself.
+        self.net.num_edges() * 8 + self.net.num_nodes() * 16
+    }
+}
+
+impl Router for DijkstraRouter {
+    fn route_nodes(&self, odt: &OdtInput) -> Vec<NodeId> {
+        let o = self.net.nearest_node(self.ctx.proj.to_point(odt.origin));
+        let d = self.net.nearest_node(self.ctx.proj.to_point(odt.dest));
+        dijkstra(&self.net, o, d, &self.weights.as_fn()).map_or_else(|| vec![o], |r| r.nodes)
+    }
+
+    fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+}
+
+const DEEPST_SLOTS: usize = 8;
+
+/// The DeepST stand-in: destination-conditioned Markov transition routing
+/// learned from historical matched paths (see DESIGN.md §1 for the
+/// substitution rationale), with time-dependent weights for the estimate.
+pub struct DeepStRouter {
+    ctx: OracleContext,
+    net: Arc<RoadNetwork>,
+    markov: MarkovRouter,
+    weights: TimeDependentWeights,
+}
+
+impl DeepStRouter {
+    /// Learn transitions and weights from the training split.
+    pub fn fit(ctx: OracleContext, net: Arc<RoadNetwork>, trips: &[Trajectory]) -> Self {
+        let mut markov = MarkovRouter::new(DEEPST_SLOTS);
+        for (path, slot, _) in matched_paths(&net, &ctx, trips, DEEPST_SLOTS) {
+            markov.observe_path(&net, &path, slot);
+        }
+        let weights = learn_time_weights(&net, &ctx, trips, DEEPST_SLOTS);
+        DeepStRouter { ctx, net, markov, weights }
+    }
+
+    fn slot(&self, odt: &OdtInput) -> usize {
+        ((odt.second_of_day() / 86_400.0 * DEEPST_SLOTS as f64) as usize).min(DEEPST_SLOTS - 1)
+    }
+}
+
+impl OdtOracle for DeepStRouter {
+    fn name(&self) -> &'static str {
+        "DeepST"
+    }
+
+    fn predict_seconds(&self, odt: &OdtInput) -> f64 {
+        let path = self.route_nodes(odt);
+        let slot = self.slot(odt);
+        path.windows(2)
+            .filter_map(|w| self.net.edge_between(w[0], w[1]))
+            .map(|e| self.weights.get(e, slot))
+            .sum()
+    }
+
+    fn model_size_bytes(&self) -> usize {
+        self.markov.num_states() * 12 + self.net.num_edges() * DEEPST_SLOTS * 8
+    }
+}
+
+impl Router for DeepStRouter {
+    fn route_nodes(&self, odt: &OdtInput) -> Vec<NodeId> {
+        let o = self.net.nearest_node(self.ctx.proj.to_point(odt.origin));
+        let d = self.net.nearest_node(self.ctx.proj.to_point(odt.dest));
+        self.markov.route(&self.net, o, d, self.slot(odt))
+    }
+
+    fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odt_roadnet::{LngLat, Point, Projection};
+    use odt_traj::{GpsPoint, GridSpec};
+
+    fn setup() -> (OracleContext, Arc<RoadNetwork>, Vec<Trajectory>) {
+        let net = Arc::new(RoadNetwork::grid_city(6, 6, 500.0, 3));
+        let proj = Projection::new(LngLat { lng: 104.0, lat: 30.0 });
+        let ctx = OracleContext {
+            grid: GridSpec::new(
+                proj.to_lnglat(Point::new(-100.0, -100.0)),
+                proj.to_lnglat(Point::new(2_600.0, 2_600.0)),
+                10,
+            ),
+            proj,
+        };
+        // Synthetic trips along row 0 at ~10 m/s.
+        let trips: Vec<Trajectory> = (0..20)
+            .map(|i| {
+                let t0 = 8.0 * 3_600.0 + i as f64 * 120.0;
+                let pts: Vec<GpsPoint> = (0..=5)
+                    .map(|k| GpsPoint {
+                        loc: proj.to_lnglat(Point::new(k as f64 * 500.0, 0.0)),
+                        t: t0 + k as f64 * 50.0,
+                    })
+                    .collect();
+                Trajectory::new(pts)
+            })
+            .collect();
+        (ctx, net, trips)
+    }
+
+    #[test]
+    fn dijkstra_router_predicts_observed_speed() {
+        let (ctx, net, trips) = setup();
+        let r = DijkstraRouter::fit(ctx, net, &trips);
+        let q = OdtInput {
+            origin: ctx.proj.to_lnglat(Point::new(0.0, 0.0)),
+            dest: ctx.proj.to_lnglat(Point::new(2_500.0, 0.0)),
+            t_dep: 8.0 * 3_600.0,
+        };
+        let pred = r.predict_seconds(&q);
+        // Observed: 50 s per 500 m edge, 5 edges -> 250 s.
+        assert!((pred - 250.0).abs() < 10.0, "pred {pred}");
+        assert_eq!(r.route_nodes(&q), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn deepst_router_follows_history() {
+        let (ctx, net, trips) = setup();
+        let r = DeepStRouter::fit(ctx, net, &trips);
+        let q = OdtInput {
+            origin: ctx.proj.to_lnglat(Point::new(0.0, 0.0)),
+            dest: ctx.proj.to_lnglat(Point::new(2_500.0, 0.0)),
+            t_dep: 8.05 * 3_600.0,
+        };
+        let path = r.route_nodes(&q);
+        assert_eq!(*path.first().unwrap(), 0);
+        assert_eq!(*path.last().unwrap(), 5);
+        let pred = r.predict_seconds(&q);
+        assert!(pred > 100.0 && pred < 600.0, "pred {pred}");
+    }
+
+    #[test]
+    fn densify_covers_path() {
+        let net = RoadNetwork::grid_city(3, 3, 500.0, 2);
+        let pts = densify(&net, &[0, 1, 2], 100.0);
+        // 2 edges of 500 m at 100 m steps -> 11 points.
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0].x, 0.0);
+        assert_eq!(pts.last().unwrap().x, 1_000.0);
+    }
+}

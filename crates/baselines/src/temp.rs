@@ -1,0 +1,188 @@
+//! TEMP (Wang et al., TIST 2019): "averages the travel times of historical
+//! trajectories that have a similar origin, destination and departure time."
+//! No learnable parameters; the whole training set is the model, which is
+//! exactly why its Table 5 row shows a large model size and slow queries.
+
+use crate::common::{OdtOracle, OracleContext};
+use odt_roadnet::Point;
+use odt_traj::{OdtInput, Trajectory};
+
+struct Record {
+    origin: Point,
+    dest: Point,
+    second_of_day: f64,
+    seconds: f64,
+}
+
+/// The TEMP neighbor-averaging oracle.
+pub struct Temp {
+    ctx: OracleContext,
+    records: Vec<Record>,
+    /// Spatial neighborhood radius, meters.
+    radius_m: f64,
+    /// Temporal neighborhood half-window, seconds.
+    window_s: f64,
+    global_mean: f64,
+}
+
+impl Temp {
+    /// Memorize the training set.
+    pub fn fit(ctx: OracleContext, trips: &[Trajectory]) -> Self {
+        let records: Vec<Record> = trips
+            .iter()
+            .map(|t| {
+                let odt = OdtInput::from_trajectory(t);
+                Record {
+                    origin: ctx.proj.to_point(odt.origin),
+                    dest: ctx.proj.to_point(odt.dest),
+                    second_of_day: odt.second_of_day(),
+                    seconds: t.travel_time(),
+                }
+            })
+            .collect();
+        let global_mean = if records.is_empty() {
+            600.0
+        } else {
+            records.iter().map(|r| r.seconds).sum::<f64>() / records.len() as f64
+        };
+        Temp {
+            ctx,
+            records,
+            radius_m: 800.0,
+            window_s: 3_600.0,
+            global_mean,
+        }
+    }
+
+    fn neighbors_mean(&self, odt: &OdtInput, radius: f64, window: f64) -> Option<f64> {
+        let o = self.ctx.proj.to_point(odt.origin);
+        let d = self.ctx.proj.to_point(odt.dest);
+        let sod = odt.second_of_day();
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for r in &self.records {
+            if r.origin.distance(&o) > radius || r.dest.distance(&d) > radius {
+                continue;
+            }
+            let dt = (r.second_of_day - sod).abs();
+            let circ = dt.min(86_400.0 - dt);
+            if circ > window {
+                continue;
+            }
+            sum += r.seconds;
+            count += 1;
+        }
+        (count > 0).then(|| sum / count as f64)
+    }
+}
+
+impl OdtOracle for Temp {
+    fn name(&self) -> &'static str {
+        "TEMP"
+    }
+
+    fn predict_seconds(&self, odt: &OdtInput) -> f64 {
+        // Progressively widen the neighborhood until neighbors exist, as the
+        // original method does for sparse regions.
+        for mult in [1.0, 2.0, 4.0, 8.0] {
+            if let Some(m) = self.neighbors_mean(odt, self.radius_m * mult, self.window_s * mult)
+            {
+                return m;
+            }
+        }
+        self.global_mean
+    }
+
+    fn model_size_bytes(&self) -> usize {
+        // Each record stores 6 f64 values.
+        self.records.len() * 6 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odt_roadnet::{LngLat, Projection};
+    use odt_traj::{GpsPoint, GridSpec};
+
+    fn ctx() -> OracleContext {
+        OracleContext {
+            grid: GridSpec::new(
+                LngLat { lng: 0.0, lat: 0.0 },
+                LngLat { lng: 0.2, lat: 0.2 },
+                10,
+            ),
+            proj: Projection::new(LngLat { lng: 0.1, lat: 0.1 }),
+        }
+    }
+
+    fn trip(ctx: &OracleContext, ox: f64, oy: f64, dx: f64, dy: f64, t0: f64, tt: f64) -> Trajectory {
+        Trajectory::new(vec![
+            GpsPoint { loc: ctx.proj.to_lnglat(Point::new(ox, oy)), t: t0 },
+            GpsPoint { loc: ctx.proj.to_lnglat(Point::new(dx, dy)), t: t0 + tt },
+        ])
+    }
+
+    #[test]
+    fn averages_similar_trips_and_is_fooled_by_outliers() {
+        // The paper's Figure 1 scenario: three 15-min trips and one 35-min
+        // outlier between the same OD at the same hour -> TEMP answers
+        // (15*3 + 35)/4 = 20 min.
+        let c = ctx();
+        let trips: Vec<Trajectory> = vec![
+            trip(&c, 0.0, 0.0, 3_000.0, 0.0, 8.0 * 3_600.0, 900.0),
+            trip(&c, 50.0, 0.0, 3_050.0, 0.0, 8.03 * 3_600.0, 900.0),
+            trip(&c, -50.0, 0.0, 2_950.0, 0.0, 8.08 * 3_600.0, 900.0),
+            trip(&c, 0.0, 50.0, 3_000.0, 50.0, 8.06 * 3_600.0, 2_100.0), // outlier
+        ];
+        let temp = Temp::fit(c, &trips);
+        let q = OdtInput {
+            origin: c.proj.to_lnglat(Point::new(0.0, 0.0)),
+            dest: c.proj.to_lnglat(Point::new(3_000.0, 0.0)),
+            t_dep: 8.16 * 3_600.0,
+        };
+        let pred = temp.predict_seconds(&q);
+        assert!((pred - 1_200.0).abs() < 1.0, "pred {pred} should be 20 min");
+    }
+
+    #[test]
+    fn falls_back_to_global_mean_far_away() {
+        let c = ctx();
+        let trips = vec![trip(&c, 0.0, 0.0, 2_000.0, 0.0, 3_600.0, 600.0)];
+        let temp = Temp::fit(c, &trips);
+        let q = OdtInput {
+            origin: c.proj.to_lnglat(Point::new(50_000.0, 50_000.0)),
+            dest: c.proj.to_lnglat(Point::new(80_000.0, 50_000.0)),
+            t_dep: 0.0,
+        };
+        assert_eq!(temp.predict_seconds(&q), 600.0);
+    }
+
+    #[test]
+    fn model_size_scales_with_data() {
+        let c = ctx();
+        let one = Temp::fit(c, &[trip(&c, 0.0, 0.0, 2_000.0, 0.0, 0.0, 600.0)]);
+        let two = Temp::fit(
+            c,
+            &[
+                trip(&c, 0.0, 0.0, 2_000.0, 0.0, 0.0, 600.0),
+                trip(&c, 0.0, 0.0, 2_000.0, 0.0, 0.0, 700.0),
+            ],
+        );
+        assert_eq!(two.model_size_bytes(), 2 * one.model_size_bytes());
+    }
+
+    #[test]
+    fn time_window_is_circular() {
+        // 23:30 and 00:30 are one hour apart across midnight.
+        let c = ctx();
+        let trips = vec![trip(&c, 0.0, 0.0, 2_000.0, 0.0, 23.5 * 3_600.0, 600.0)];
+        let temp = Temp::fit(c, &trips);
+        let q = OdtInput {
+            origin: c.proj.to_lnglat(Point::new(0.0, 0.0)),
+            dest: c.proj.to_lnglat(Point::new(2_000.0, 0.0)),
+            t_dep: 0.5 * 3_600.0 + 86_400.0, // next day 00:30
+        };
+        assert_eq!(temp.predict_seconds(&q), 600.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 8(c,d) as Criterion benchmarks: forward latency of the Masked
+//! Vision Transformer vs the vanilla ViT across grid lengths.
+//!
+//! Paper shape to verify: at `L_G = 10` the two are comparable; as `L_G`
+//! grows the PiT becomes sparser, ViT's cost grows with `L_G²` while
+//! MViT's tracks the (almost constant) number of visited cells.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odt_bench::bench_dataset;
+use odt_estimator::{MVit, MVitConfig, PitEstimator, VanillaVit};
+use odt_tensor::Graph;
+use odt_traj::{Pit, Split};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mvit_vs_vit(c: &mut Criterion) {
+    let cfg = MVitConfig { d_e: 32, l_e: 2, heads: 2, ffn_hidden: 64 };
+    let mut group = c.benchmark_group("figure8/estimator_forward");
+    group.sample_size(10);
+    for lg in [10usize, 20, 30] {
+        let data = bench_dataset(lg);
+        let pit = Pit::from_trajectory(&data.split(Split::Test)[0], &data.grid);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mvit = MVit::with_defaults(&mut rng, &cfg, lg);
+        let vit = VanillaVit::new(&mut rng, &cfg, lg);
+        group.bench_with_input(BenchmarkId::new("MViT", lg), &pit, |b, p| {
+            b.iter(|| {
+                let g = Graph::new();
+                g.value(mvit.predict(&g, p))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ViT", lg), &pit, |b, p| {
+            b.iter(|| {
+                let g = Graph::new();
+                g.value(vit.predict(&g, p))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mvit_vs_vit);
+criterion_main!(benches);

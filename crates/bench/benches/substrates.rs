@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the substrates every experiment rests on: the
+//! tensor kernels that dominate training cost, shortest-path routing, PiT
+//! rasterization, the UNet denoiser forward pass, and trip simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odt_bench::bench_dataset;
+use odt_diffusion::{ConditionedDenoiser, DenoiserConfig, NoisePredictor};
+use odt_roadnet::{dijkstra, RoadNetwork};
+use odt_tensor::{init, ops, Graph, Tensor};
+use odt_traj::sim::{CitySim, CitySimConfig};
+use odt_traj::{Pit, Split};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_tensor_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = init::normal(&mut rng, vec![128, 128], 1.0);
+    let b = init::normal(&mut rng, vec![128, 128], 1.0);
+    c.bench_function("substrates/matmul_128", |bch| bch.iter(|| ops::matmul(&a, &b)));
+
+    let x = init::normal(&mut rng, vec![8, 8, 16, 16], 1.0);
+    let w = init::normal(&mut rng, vec![8, 8, 3, 3], 0.1);
+    c.bench_function("substrates/conv2d_8x8x16x16_k3", |bch| {
+        bch.iter(|| ops::conv2d(&x, &w, None, 1, 1))
+    });
+
+    let t = init::normal(&mut rng, vec![4, 3, 20, 20], 1.0);
+    c.bench_function("substrates/autograd_square_sum", |bch| {
+        bch.iter(|| {
+            let g = Graph::new();
+            let v = g.input(t.clone());
+            let loss = g.mean_all(g.square(v));
+            g.backward(loss);
+            g.grad(v)
+        })
+    });
+}
+
+fn bench_roadnet(c: &mut Criterion) {
+    let net = RoadNetwork::grid_city(20, 20, 800.0, 4);
+    let weight = |e: usize| net.edge(e).base_travel_time();
+    c.bench_function("substrates/dijkstra_20x20_corner_to_corner", |b| {
+        b.iter(|| dijkstra(&net, 0, net.num_nodes() - 1, &weight))
+    });
+}
+
+fn bench_pit_and_sim(c: &mut Criterion) {
+    let data = bench_dataset(20);
+    let trip = &data.split(Split::Train)[0];
+    c.bench_function("substrates/pit_rasterize_lg20", |b| {
+        b.iter(|| Pit::from_trajectory(trip, &data.grid))
+    });
+
+    let mut cfg = CitySimConfig::chengdu_like();
+    cfg.nx = 12;
+    cfg.ny = 12;
+    let sim = CitySim::new(cfg);
+    c.bench_function("substrates/simulate_one_trip", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| sim.generate_trip(&mut rng))
+    });
+}
+
+fn bench_denoiser(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let cfg = DenoiserConfig {
+        channels: 3,
+        lg: 16,
+        base_channels: 8,
+        depth: 2,
+        cond_dim: 32,
+        attn_max_tokens: 128,
+    };
+    let den = ConditionedDenoiser::new(&mut rng, cfg);
+    let x = init::normal(&mut rng, vec![8, 3, 16, 16], 1.0);
+    let cond = Tensor::zeros(vec![8, 5]);
+    let steps = vec![10usize; 8];
+    let mut group = c.benchmark_group("substrates_slow");
+    group.sample_size(10);
+    group.bench_function("denoiser_forward_b8_lg16", |b| {
+        b.iter(|| {
+            let g = Graph::new();
+            let xv = g.input(x.clone());
+            g.value(den.predict(&g, xv, &steps, &cond))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tensor_kernels, bench_roadnet, bench_pit_and_sim, bench_denoiser);
+criterion_main!(benches);

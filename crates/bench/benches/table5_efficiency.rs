@@ -1,0 +1,70 @@
+//! Table 5's "estimation speed" column as Criterion benchmarks: per-query
+//! prediction latency of each ODT-Oracle method, plus DOT's split into PiT
+//! inference (diffusion) and PiT estimation (MViT).
+//!
+//! Paper shape to verify: LR/GBM/ST-NN are fastest; TEMP is slowest among
+//! the oracles (scans its memorized trips); DOT's *estimation* step is
+//! competitive while its diffusion inference dominates its latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odt_baselines::{Gbm, LinearRegression, NeuralConfig, OdtOracle, StNn, Temp};
+use odt_bench::{bench_dataset, ctx_of};
+use odt_core::{Dot, DotConfig};
+use odt_traj::{OdtInput, Split};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_oracles(c: &mut Criterion) {
+    let data = bench_dataset(12);
+    let ctx = ctx_of(&data);
+    let train = data.split(Split::Train);
+    let neural = NeuralConfig { iters: 60, ..Default::default() };
+
+    let temp = Temp::fit(ctx, train);
+    let lr = LinearRegression::fit(ctx, train);
+    let gbm = Gbm::fit(ctx, train);
+    let stnn = StNn::fit(ctx, train, &neural);
+
+    let query = OdtInput::from_trajectory(&data.split(Split::Test)[0]);
+
+    let mut group = c.benchmark_group("table5/estimation_per_query");
+    group.bench_function("TEMP", |b| b.iter(|| temp.predict_seconds(&query)));
+    group.bench_function("LR", |b| b.iter(|| lr.predict_seconds(&query)));
+    group.bench_function("GBM", |b| b.iter(|| gbm.predict_seconds(&query)));
+    group.bench_function("ST-NN", |b| b.iter(|| stnn.predict_seconds(&query)));
+    group.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let data = bench_dataset(12);
+    let mut cfg = DotConfig::fast();
+    cfg.lg = 12;
+    cfg.n_steps = 10;
+    cfg.base_channels = 4;
+    cfg.cond_dim = 16;
+    cfg.d_e = 16;
+    cfg.stage1_iters = 10;
+    cfg.stage2_iters = 20;
+    cfg.early_stop_samples = 2;
+    cfg.early_stop_every = 10;
+    let model = Dot::train(cfg, &data, |_| {});
+    let query = OdtInput::from_trajectory(&data.split(Split::Test)[0]);
+    let pit = {
+        let mut rng = StdRng::seed_from_u64(1);
+        model.infer_pit(&query, &mut rng)
+    };
+
+    let mut group = c.benchmark_group("table5/dot");
+    group.sample_size(10);
+    group.bench_function("pit_inference_(diffusion)", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| model.infer_pit(&query, &mut rng))
+    });
+    group.bench_function("pit_estimation_(mvit)", |b| {
+        b.iter(|| model.estimate_from_pit(&pit))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles, bench_dot);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Stage-1 diagnostics: trains a DOT model at the fast profile and reports
+//! (a) noise-prediction error split into route pixels vs background pixels
+//! across noise levels, and (b) the mask statistics of sampled PiTs — the
+//! analysis used to locate the CPU-scale bottleneck described in
+//! EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p odt-core --example stage1_diagnostics
+//! ```
+
+use odt_core::{Dot, DotConfig};
+use odt_diffusion::{Ddpm, NoiseSchedule};
+use odt_tensor::{Graph, Tensor};
+use odt_traj::{Dataset, OdtInput, Pit, Split};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let lg = 16;
+    let data = Dataset::chengdu_like(1000, lg, 7);
+    let mut cfg = DotConfig::fast();
+    cfg.lg = lg; cfg.n_steps = 30; cfg.stage1_iters = 1600; cfg.stage2_iters = 600; cfg.lr = 2e-3;
+    let model = Dot::train(cfg, &data, |m| if m.contains("iter") && m.contains("00:") { eprintln!("{m}") });
+
+    // Path-vs-background eps error at several noise levels.
+    let ddpm = Ddpm::new(NoiseSchedule::linear_scaled(30));
+    let mut rng = StdRng::seed_from_u64(77);
+    let trips = data.split(Split::Test);
+    for n in [3usize, 10, 20, 29] {
+        let (mut pe, mut be, mut pc, mut bc) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for t in trips.iter().take(10) {
+            let pit = Pit::from_trajectory(t, &data.grid);
+            let x0 = pit.tensor().reshape(vec![1, 3, lg, lg]);
+            let eps = Ddpm::sample_noise(x0.shape().to_vec(), &mut rng);
+            let xn = ddpm.q_sample(&x0, &[n], &eps);
+            let odt = OdtInput::from_trajectory(t);
+            let feats = odt.features(data.grid.min, data.grid.max);
+            let cond = Tensor::from_vec(feats.to_vec(), vec![1, 5]);
+            let g = Graph::new();
+            let pred = g.value(model_pred(&model, &g, xn, n, &cond));
+            for ch in 0..3 { for r in 0..lg { for c in 0..lg {
+                let i = ((ch * lg) + r) * lg + c;
+                let e = (pred.data()[i] - eps.data()[i]).powi(2) as f64;
+                if pit.is_visited(r, c) { pe += e; pc += 1.0; } else { be += e; bc += 1.0; }
+            }}}
+        }
+        println!("n={n}: path-pixel mse {:.3}, background mse {:.3}", pe/pc, be/bc);
+    }
+
+    // Sampled channel stats for one odt, 3 samples.
+    let odt = OdtInput::from_trajectory(&trips[0]);
+    let gt = Pit::from_trajectory(&trips[0], &data.grid);
+    println!("gt visited {} cells", gt.num_visited());
+    for s in 0..3 {
+        let mut r2 = StdRng::seed_from_u64(100 + s);
+        let pit = model.infer_pit(&odt, &mut r2);
+        let raw = pit.tensor();
+        let mask: Vec<f32> = (0..lg*lg).map(|i| raw.data()[i]).collect();
+        let on = mask.iter().filter(|&&v| v >= 0.0).count();
+        let mean: f32 = mask.iter().sum::<f32>() / mask.len() as f32;
+        println!("sample {s}: mask mean {mean:.2}, cells on {on}/{}", lg*lg);
+    }
+}
+
+fn model_pred(model: &Dot, g: &Graph, xn: Tensor, n: usize, cond: &Tensor) -> odt_tensor::Var {
+    model.noise_pred(g, xn, n, cond)
+}

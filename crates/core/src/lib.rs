@@ -1,0 +1,35 @@
+//! # odt-core
+//!
+//! The paper's primary contribution: **DOT**, the two-stage
+//! Diffusion-based Origin-destination Travel time estimation framework
+//! behind the ODT-Oracle of Eq. 1:
+//!
+//! ```text
+//! odt ──f_θ──▶ (Δt, X)      — a travel time AND an explainable PiT
+//! ```
+//!
+//! * [`DotConfig`] — the Table 2 hyper-parameters (`L_G`, `N`, `L_D`,
+//!   `d_E`, `L_E`) plus training settings, with the paper's optima and a
+//!   CPU-scale `fast` profile.
+//! * [`Dot::train`] — the two-stage pipeline of §3.3/§5: stage 1 trains the
+//!   conditioned PiT denoiser (Algorithm 2); its parameters are then frozen
+//!   and stage 2 trains the travel-time estimator on PiTs, early-stopped on
+//!   the MAE over PiTs *inferred* for the validation split, exactly as §6.3
+//!   prescribes.
+//! * [`Dot::estimate`] — Algorithm 1 (conditioned reverse diffusion) to
+//!   infer the PiT, then the estimator for the travel time.
+//! * [`AblationOptions`] — the Table 7 variants: *No-t* / *No-od* /
+//!   *No-odt* conditioning masks, *No-CE* / *No-ST* embedding switches and
+//!   the *Est-CNN* / *Est-ViT* estimator swaps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod oracle;
+mod persist;
+mod train;
+
+pub use config::{AblationOptions, DotConfig, EstimatorKind};
+pub use oracle::{pit_to_path_points, Dot, Estimate};
+pub use train::TrainingReport;

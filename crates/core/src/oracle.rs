@@ -1,0 +1,261 @@
+//! The trained DOT oracle: PiT inference (Algorithm 1) + travel-time
+//! estimation, implementing Eq. 1's `odt → (Δt, X)`.
+
+use crate::config::DotConfig;
+use crate::train::TrainingReport;
+use odt_diffusion::{ConditionedDenoiser, Ddpm};
+use odt_estimator::PitEstimator;
+use odt_roadnet::{Point, Projection};
+use odt_tensor::{Graph, Tensor};
+use odt_traj::{GridSpec, OdtInput, Pit};
+use rand::Rng;
+
+/// The output of the oracle: a travel time and the inferred PiT that
+/// explains it (§6.6's explainability analysis).
+pub struct Estimate {
+    /// Predicted travel time, seconds.
+    pub seconds: f64,
+    /// The inferred Pixelated Trajectory.
+    pub pit: Pit,
+}
+
+/// A trained DOT model.
+pub struct Dot {
+    pub(crate) cfg: DotConfig,
+    pub(crate) grid: GridSpec,
+    pub(crate) denoiser: ConditionedDenoiser,
+    pub(crate) ddpm: Ddpm,
+    pub(crate) estimator: Box<dyn PitEstimator>,
+    pub(crate) tt_mean: f64,
+    pub(crate) tt_std: f64,
+    pub(crate) report: TrainingReport,
+}
+
+impl Dot {
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &DotConfig {
+        &self.cfg
+    }
+
+    /// The PiT grid.
+    pub fn grid(&self) -> &GridSpec {
+        &self.grid
+    }
+
+    /// Training diagnostics (stage timings, parameter counts).
+    pub fn report(&self) -> &TrainingReport {
+        &self.report
+    }
+
+    /// Masked conditioning features for an ODT-Input.
+    pub(crate) fn cond_features(&self, odt: &OdtInput) -> [f32; 5] {
+        self.cfg
+            .mask_features(odt.features(self.grid.min, self.grid.max))
+    }
+
+    /// Raw noise prediction `ε_θ(x_n, n, cond)` — exposed for diagnostics
+    /// and the per-step error analyses in the evaluation harness.
+    pub fn noise_pred(
+        &self,
+        g: &Graph,
+        x_noisy: Tensor,
+        n: usize,
+        cond: &Tensor,
+    ) -> odt_tensor::Var {
+        use odt_diffusion::NoisePredictor;
+        let b = x_noisy.shape()[0];
+        let xv = g.input(x_noisy);
+        self.denoiser.predict(g, xv, &vec![n; b], cond)
+    }
+
+    /// Expected number of visited cells for a query: along-track length
+    /// (crow-fly × a circuity factor) over the cell size, plus endpoints.
+    /// Used as the plausibility prior for candidate selection.
+    fn expected_cells(&self, odt: &OdtInput) -> f64 {
+        const M_PER_DEG: f64 = 111_320.0;
+        let mean_lat = (self.grid.min.lat + self.grid.max.lat) / 2.0;
+        let dx = (odt.dest.lng - odt.origin.lng) * M_PER_DEG * mean_lat.to_radians().cos();
+        let dy = (odt.dest.lat - odt.origin.lat) * M_PER_DEG;
+        let crow = (dx * dx + dy * dy).sqrt();
+        let cell_m = (self.grid.max.lat - self.grid.min.lat) * M_PER_DEG / self.grid.lg as f64;
+        1.3 * crow / cell_m.max(1.0) + 2.0
+    }
+
+    /// Infer PiTs for a batch of queries via conditioned reverse diffusion
+    /// (Algorithm 1). Batching shares every denoiser forward pass.
+    ///
+    /// When `infer_candidates > 1`, several reverse chains are sampled per
+    /// query and the PiT whose visited-cell count best matches the
+    /// occupancy prior is kept — the paper's "infer the most plausible PiT"
+    /// made explicit, guarding against the occasional saturated chain at
+    /// reduced step counts (DESIGN.md §5).
+    pub fn infer_pits(&self, odts: &[OdtInput], rng: &mut impl Rng) -> Vec<Pit> {
+        if odts.is_empty() {
+            return Vec::new();
+        }
+        let b = odts.len();
+        let mut cond = Tensor::zeros(vec![b, 5]);
+        for (i, odt) in odts.iter().enumerate() {
+            for (j, &v) in self.cond_features(odt).iter().enumerate() {
+                cond.set(&[i, j], v);
+            }
+        }
+        let lg = self.cfg.lg;
+        let k = self.cfg.infer_candidates.max(1);
+        // best (score, pit) per query across candidate rounds.
+        let mut best: Vec<Option<(f64, Pit)>> = (0..b).map(|_| None).collect();
+        for _round in 0..k {
+            // PiT channels live in [-1, 1]: clamp the implied clean image
+            // each reverse step (stabilizes reduced-step CPU schedules).
+            let out =
+                self.ddpm
+                    .sample_clamped(&self.denoiser, &cond, 3, lg, Some((-1.0, 1.0)), rng);
+            for i in 0..b {
+                let t = out.slice(0, i, i + 1).reshape(vec![3, lg, lg]);
+                let pit = Pit::from_tensor(t).sanitized();
+                let expected = self.expected_cells(&odts[i]);
+                let count = pit.num_visited() as f64;
+                // Plausibility: relative deviation from the occupancy
+                // prior; empty PiTs are heavily penalized.
+                let mut score = (count - expected).abs() / expected.max(1.0);
+                if count < 2.0 {
+                    score += 10.0;
+                }
+                if best[i].as_ref().map_or(true, |(s, _)| score < *s) {
+                    best[i] = Some((score, pit));
+                }
+            }
+        }
+        best.into_iter()
+            .map(|b| b.expect("at least one candidate per query").1)
+            .collect()
+    }
+
+    /// Accelerated PiT inference via deterministic DDIM sampling over
+    /// `sample_steps ≤ N` strided schedule steps — an extension beyond the
+    /// paper that trades a little PiT fidelity for a large latency cut
+    /// (benchmarked in `odt-bench`).
+    pub fn infer_pits_fast(
+        &self,
+        odts: &[OdtInput],
+        sample_steps: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<Pit> {
+        if odts.is_empty() {
+            return Vec::new();
+        }
+        let b = odts.len();
+        let mut cond = Tensor::zeros(vec![b, 5]);
+        for (i, odt) in odts.iter().enumerate() {
+            for (j, &v) in self.cond_features(odt).iter().enumerate() {
+                cond.set(&[i, j], v);
+            }
+        }
+        let lg = self.cfg.lg;
+        let out = self.ddpm.sample_ddim(
+            &self.denoiser,
+            &cond,
+            3,
+            lg,
+            sample_steps,
+            Some((-1.0, 1.0)),
+            rng,
+        );
+        (0..b)
+            .map(|i| {
+                let t = out.slice(0, i, i + 1).reshape(vec![3, lg, lg]);
+                Pit::from_tensor(t).sanitized()
+            })
+            .collect()
+    }
+
+    /// Infer the PiT for one query.
+    pub fn infer_pit(&self, odt: &OdtInput, rng: &mut impl Rng) -> Pit {
+        self.infer_pits(std::slice::from_ref(odt), rng)
+            .pop()
+            .expect("one query in, one PiT out")
+    }
+
+    /// Estimate the travel time of an already-available PiT (used by the
+    /// Table 7 `Routing+Est.` ablations and by stage-2 training).
+    pub fn estimate_from_pit(&self, pit: &Pit) -> f64 {
+        let g = Graph::new();
+        let pred = self.estimator.predict(&g, pit);
+        let v = g.value(pred).data()[0] as f64;
+        (v * self.tt_std + self.tt_mean).max(0.0)
+    }
+
+    /// The full ODT-Oracle (Eq. 1): infer the PiT, then estimate the
+    /// travel time from it.
+    pub fn estimate(&self, odt: &OdtInput, rng: &mut impl Rng) -> Estimate {
+        let pit = self.infer_pit(odt, rng);
+        let seconds = self.estimate_from_pit(&pit);
+        Estimate { seconds, pit }
+    }
+
+    /// Total number of trainable scalars per stage, `(stage1, stage2)`.
+    pub fn param_counts(&self) -> (usize, usize) {
+        (
+            self.report.stage1_params,
+            self.report.stage2_params,
+        )
+    }
+
+    /// Model size in bytes (both stages; Table 5).
+    pub fn model_size_bytes(&self) -> usize {
+        (self.report.stage1_params + self.report.stage2_params) * 4
+    }
+}
+
+/// Convert an (inferred) PiT into an ordered polyline of cell centers by
+/// sorting visited cells on the time-offset channel — how the Table 7
+/// `Infer.+WDDRA` / `Infer.+STDGCN` variants feed path-based estimators,
+/// and how Figure 10/11 renders inferred routes.
+pub fn pit_to_path_points(pit: &Pit, grid: &GridSpec, proj: &Projection) -> Vec<Point> {
+    let mut visited: Vec<(f32, usize, usize)> = Vec::new();
+    for row in 0..pit.lg() {
+        for col in 0..pit.lg() {
+            if pit.is_visited(row, col) {
+                visited.push((pit.at(odt_traj_offset_channel(), row, col), row, col));
+            }
+        }
+    }
+    visited.sort_by(|a, b| a.0.total_cmp(&b.0));
+    visited
+        .into_iter()
+        .map(|(_, row, col)| proj.to_point(grid.cell_center(row, col)))
+        .collect()
+}
+
+/// The PiT time-offset channel index (re-exported to keep the dependency
+/// one-way).
+fn odt_traj_offset_channel() -> usize {
+    2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odt_roadnet::LngLat;
+
+    #[test]
+    fn pit_path_orders_by_offset() {
+        let grid = GridSpec::new(
+            LngLat { lng: 0.0, lat: 0.0 },
+            LngLat { lng: 1.0, lat: 1.0 },
+            4,
+        );
+        let proj = Projection::new(LngLat { lng: 0.5, lat: 0.5 });
+        let mut t = Tensor::full(vec![3, 4, 4], -1.0);
+        // Visit (3,3) first (offset -1), then (0,0) (offset +1).
+        for (row, col, offset) in [(3usize, 3usize, -1.0f32), (0, 0, 1.0)] {
+            t.set(&[0, row, col], 1.0);
+            t.set(&[2, row, col], offset);
+        }
+        let pit = Pit::from_tensor(t);
+        let pts = pit_to_path_points(&pit, &grid, &proj);
+        assert_eq!(pts.len(), 2);
+        // First point must be the (3,3) cell — the north-east one.
+        assert!(pts[0].y > pts[1].y);
+    }
+}

@@ -1,0 +1,131 @@
+//! Checkpointing a trained DOT model to disk.
+//!
+//! The two stages are trained separately and frozen (paper §5.2), so a
+//! checkpoint is just the configuration, the grid, the target statistics
+//! and the two parameter sets. The experiment harness uses this to train a
+//! model once and reuse it across tables.
+
+use crate::config::DotConfig;
+use crate::oracle::Dot;
+use crate::train::{build_estimator, TrainingReport};
+use odt_diffusion::{ConditionedDenoiser, Ddpm, DenoiserConfig, NoiseSchedule};
+use odt_nn::{load_state_dict, state_dict, HasParams};
+use odt_nn::serialize::StateDict;
+use odt_traj::GridSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+#[derive(Serialize, Deserialize)]
+struct Checkpoint {
+    cfg: DotConfig,
+    grid: GridSpec,
+    tt_mean: f64,
+    tt_std: f64,
+    stage1: StateDict,
+    stage2: StateDict,
+    stage1_seconds: f64,
+    stage2_seconds: f64,
+}
+
+impl Dot {
+    /// Serialize the trained model to a JSON file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let ckpt = Checkpoint {
+            cfg: self.cfg.clone(),
+            grid: self.grid,
+            tt_mean: self.tt_mean,
+            tt_std: self.tt_std,
+            stage1: state_dict(&self.denoiser.params()),
+            stage2: state_dict(&self.estimator.estimator_params()),
+            stage1_seconds: self.report.stage1_seconds,
+            stage2_seconds: self.report.stage2_seconds,
+        };
+        let json = serde_json::to_string(&ckpt).expect("checkpoint serialization");
+        std::fs::write(path, json)
+    }
+
+    /// Restore a model saved with [`Dot::save`].
+    pub fn load(path: &Path) -> std::io::Result<Dot> {
+        let json = std::fs::read_to_string(path)?;
+        let ckpt: Checkpoint = serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        // Rebuild the architecture deterministically, then overwrite the
+        // parameters from the checkpoint.
+        let mut rng = StdRng::seed_from_u64(ckpt.cfg.seed);
+        let denoiser_cfg = DenoiserConfig {
+            channels: 3,
+            lg: ckpt.cfg.lg,
+            base_channels: ckpt.cfg.base_channels,
+            depth: ckpt.cfg.l_d,
+            cond_dim: ckpt.cfg.cond_dim,
+            attn_max_tokens: ckpt.cfg.attn_max_tokens,
+        };
+        let denoiser = ConditionedDenoiser::new(&mut rng, denoiser_cfg);
+        load_state_dict(&denoiser.params(), &ckpt.stage1);
+        let estimator = build_estimator(&ckpt.cfg, &mut rng);
+        load_state_dict(&estimator.estimator_params(), &ckpt.stage2);
+        let report = TrainingReport {
+            stage1_seconds: ckpt.stage1_seconds,
+            stage2_seconds: ckpt.stage2_seconds,
+            stage1_params: denoiser.num_params(),
+            stage2_params: estimator.estimator_params().iter().map(|p| p.numel()).sum(),
+            stage1_final_loss: f32::NAN,
+            best_val_mae: f64::NAN,
+        };
+        Ok(Dot {
+            ddpm: Ddpm::new(NoiseSchedule::linear_scaled(ckpt.cfg.n_steps)),
+            grid: ckpt.grid,
+            denoiser,
+            estimator,
+            tt_mean: ckpt.tt_mean,
+            tt_std: ckpt.tt_std,
+            report,
+            cfg: ckpt.cfg,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odt_traj::{Dataset, OdtInput, Split};
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions() {
+        let mut sim_cfg = odt_traj::sim::CitySimConfig::chengdu_like();
+        sim_cfg.nx = 8;
+        sim_cfg.ny = 8;
+        let data = Dataset::simulated(sim_cfg, 150, 8, 11);
+        let mut cfg = DotConfig::fast();
+        cfg.lg = 8;
+        cfg.n_steps = 6;
+        cfg.base_channels = 4;
+        cfg.cond_dim = 16;
+        cfg.d_e = 16;
+        cfg.stage1_iters = 6;
+        cfg.stage2_iters = 12;
+        cfg.early_stop_samples = 2;
+        cfg.early_stop_every = 10;
+        let model = Dot::train(cfg, &data, |_| {});
+        let dir = std::env::temp_dir().join("odt_ckpt_test.json");
+        model.save(&dir).unwrap();
+        let restored = Dot::load(&dir).unwrap();
+        // Identical predictions on a fixed PiT.
+        let t = &data.split(Split::Test)[0];
+        let pit = odt_traj::Pit::from_trajectory(t, &data.grid);
+        assert_eq!(
+            model.estimate_from_pit(&pit),
+            restored.estimate_from_pit(&pit)
+        );
+        // Identical PiT inference under the same seed.
+        let odt = OdtInput::from_trajectory(t);
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        let a = model.infer_pit(&odt, &mut r1);
+        let b = restored.infer_pit(&odt, &mut r2);
+        assert_eq!(a.tensor().data(), b.tensor().data());
+        std::fs::remove_file(&dir).ok();
+    }
+}

@@ -1,0 +1,104 @@
+//! The CNN estimator ablation (*Est-CNN*).
+//!
+//! "Since the inferred PiT is in the pixelated format, it is intuitive to
+//! come up with an estimator based on convolutional networks. Yet, CNNs
+//! focus on modeling local properties" (paper §5). This model exists to
+//! reproduce that comparison row in Table 7.
+
+use crate::PitEstimator;
+use odt_nn::{Conv2d, HasParams, Linear};
+use odt_tensor::{Graph, Param, Var};
+use odt_traj::Pit;
+use rand::Rng;
+
+/// A small convolutional regressor: conv-GELU ×3 with stride-2
+/// downsampling, global average pool, linear head.
+pub struct CnnEstimator {
+    convs: Vec<Conv2d>,
+    head: Linear,
+    channels: Vec<usize>,
+    lg: usize,
+}
+
+impl CnnEstimator {
+    /// Build for grid size `lg` with a base width comparable to the MViT.
+    pub fn new(rng: &mut impl Rng, lg: usize, base: usize) -> Self {
+        let channels = vec![3, base, base * 2, base * 4];
+        let convs = (0..3)
+            .map(|i| {
+                Conv2d::new(rng, channels[i], channels[i + 1], 3, 2, 1, &format!("cnn.conv{i}"))
+            })
+            .collect();
+        let head = Linear::new(rng, base * 4, 1, "cnn.head");
+        CnnEstimator { convs, head, channels, lg }
+    }
+}
+
+impl PitEstimator for CnnEstimator {
+    fn predict(&self, g: &Graph, pit: &Pit) -> Var {
+        assert_eq!(pit.lg(), self.lg, "PiT grid size mismatch");
+        let lg = self.lg;
+        let mut x = g.reshape(g.input(pit.tensor().clone()), vec![1, 3, lg, lg]);
+        for conv in &self.convs {
+            x = g.gelu(conv.forward(g, x));
+        }
+        // Global average pool over the remaining spatial dims.
+        let shape = g.shape(x);
+        let c = shape[1];
+        let hw = shape[2] * shape[3];
+        let flat = g.reshape(x, vec![c, hw]);
+        let pooled = g.mean_axis(flat, 1, false); // [c]
+        let out = self.head.forward(g, g.reshape(pooled, vec![1, c]));
+        g.reshape(out, vec![1])
+    }
+
+    fn estimator_params(&self) -> Vec<Param> {
+        let mut p: Vec<Param> = self.convs.iter().flat_map(|c| c.params()).collect();
+        p.extend(self.head.params());
+        p
+    }
+}
+
+impl std::fmt::Debug for CnnEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CnnEstimator(lg={}, channels={:?})", self.lg, self.channels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mvit::tests::pit_with_visits;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn predicts_scalar_for_various_grids() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for lg in [8, 10, 16, 20] {
+            let cnn = CnnEstimator::new(&mut rng, lg, 4);
+            let pit = pit_with_visits(lg, &[(0, 0), (1, 1)], &[0.0, 60.0]);
+            let g = Graph::new();
+            let y = cnn.predict(&g, &pit);
+            assert_eq!(g.shape(y), vec![1], "lg = {lg}");
+            assert!(g.value(y).is_finite());
+        }
+    }
+
+    #[test]
+    fn gradients_flow() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cnn = CnnEstimator::new(&mut rng, 8, 4);
+        let pit = pit_with_visits(8, &[(2, 2), (3, 3)], &[0.0, 60.0]);
+        let g = Graph::new();
+        let y = cnn.predict(&g, &pit);
+        g.backward(g.sum_all(g.square(y)));
+        for p in cnn.estimator_params() {
+            assert!(
+                p.grad().data().iter().any(|&v| v != 0.0),
+                "no grad for {}",
+                p.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! PiT flattening and feature extraction (paper §5.1, Eqs. 17–18).
+
+use odt_nn::{positional_encoding, Embedding, HasParams, Linear};
+use odt_tensor::{Graph, Param, Tensor, Var};
+use odt_traj::Pit;
+use rand::Rng;
+
+/// Configuration of the embedding stage.
+#[derive(Clone, Debug)]
+pub struct EmbedderConfig {
+    /// Grid side length `L_G`.
+    pub lg: usize,
+    /// Embedding dimension `d_E` (Table 2).
+    pub d_e: usize,
+    /// Include the cell embedding module `E` (disable for *No-CE*).
+    pub use_cell_embedding: bool,
+    /// Include the latent casting module `FC_ST` (disable for *No-ST*).
+    pub use_latent_cast: bool,
+}
+
+impl EmbedderConfig {
+    /// The full embedder at a given size.
+    pub fn new(lg: usize, d_e: usize) -> Self {
+        EmbedderConfig {
+            lg,
+            d_e,
+            use_cell_embedding: true,
+            use_latent_cast: true,
+        }
+    }
+}
+
+/// Computes `X_latent[x, y] = E[i] + PE(i) + FC_ST(X[x, y, :])` (Eq. 18)
+/// for every cell of a PiT, in the row-major flatten order of Eq. 17.
+pub struct PitEmbedder {
+    cfg: EmbedderConfig,
+    cell_emb: Option<Embedding>,
+    latent_cast: Option<Linear>,
+    pe: Tensor, // [lg*lg, d_e], constant
+}
+
+impl PitEmbedder {
+    /// Build with random initialization.
+    pub fn new(rng: &mut impl Rng, cfg: EmbedderConfig) -> Self {
+        let cells = cfg.lg * cfg.lg;
+        PitEmbedder {
+            cell_emb: cfg
+                .use_cell_embedding
+                .then(|| Embedding::new(rng, cells, cfg.d_e, "embed.cell")),
+            latent_cast: cfg
+                .use_latent_cast
+                .then(|| Linear::new(rng, 3, cfg.d_e, "embed.fc_st")),
+            pe: positional_encoding(cells, cfg.d_e),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EmbedderConfig {
+        &self.cfg
+    }
+
+    /// Embed the cells at `indices` (row-major flat ids) of `pit`,
+    /// returning `[indices.len(), d_e]`. Passing all `L_G²` indices yields
+    /// the full latent sequence; passing `pit.visited_indices()` yields the
+    /// masked sequence the MViT attends over.
+    pub fn embed(&self, g: &Graph, pit: &Pit, indices: &[usize]) -> Var {
+        let lg = self.cfg.lg;
+        assert_eq!(pit.lg(), lg, "PiT grid size mismatch");
+        let n = indices.len();
+        assert!(n > 0, "cannot embed an empty cell selection");
+
+        // Gather the 3 channel values per selected cell -> [n, 3].
+        let mut feats = Tensor::zeros(vec![n, 3]);
+        for (row_i, &idx) in indices.iter().enumerate() {
+            let (row, col) = (idx / lg, idx % lg);
+            for ch in 0..3 {
+                feats.set(&[row_i, ch], pit.at(ch, row, col));
+            }
+        }
+
+        let mut acc: Option<Var> = None;
+        let add = |g: &Graph, v: Var, acc: &mut Option<Var>| {
+            *acc = Some(match acc.take() {
+                Some(a) => g.add(a, v),
+                None => v,
+            });
+        };
+        if let Some(emb) = &self.cell_emb {
+            let e = emb.forward(g, indices);
+            add(g, e, &mut acc);
+        }
+        let pe_rows = g.input(self.pe.index_select0(indices));
+        add(g, pe_rows, &mut acc);
+        if let Some(cast) = &self.latent_cast {
+            let f = cast.forward(g, g.input(feats));
+            add(g, f, &mut acc);
+        }
+        acc.expect("positional encoding is always present")
+    }
+}
+
+impl HasParams for PitEmbedder {
+    fn params(&self) -> Vec<Param> {
+        let mut p = Vec::new();
+        if let Some(e) = &self.cell_emb {
+            p.extend(e.params());
+        }
+        if let Some(l) = &self.latent_cast {
+            p.extend(l.params());
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odt_roadnet::LngLat;
+    use odt_traj::{GpsPoint, GridSpec, Trajectory};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_pit(lg: usize) -> Pit {
+        let grid = GridSpec::new(
+            LngLat { lng: 0.0, lat: 0.0 },
+            LngLat { lng: 1.0, lat: 1.0 },
+            lg,
+        );
+        let t = Trajectory::new(vec![
+            GpsPoint { loc: LngLat { lng: 0.1, lat: 0.1 }, t: 0.0 },
+            GpsPoint { loc: LngLat { lng: 0.5, lat: 0.5 }, t: 300.0 },
+            GpsPoint { loc: LngLat { lng: 0.9, lat: 0.9 }, t: 600.0 },
+        ]);
+        Pit::from_trajectory(&t, &grid)
+    }
+
+    #[test]
+    fn embeds_selected_cells() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = PitEmbedder::new(&mut rng, EmbedderConfig::new(4, 8));
+        let pit = sample_pit(4);
+        let g = Graph::new();
+        let idx = pit.visited_indices();
+        let out = e.embed(&g, &pit, &idx);
+        assert_eq!(g.shape(out), vec![idx.len(), 8]);
+    }
+
+    #[test]
+    fn no_ce_and_no_st_still_work() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cfg = EmbedderConfig::new(4, 8);
+        cfg.use_cell_embedding = false;
+        let no_ce = PitEmbedder::new(&mut rng, cfg.clone());
+        cfg.use_cell_embedding = true;
+        cfg.use_latent_cast = false;
+        let no_st = PitEmbedder::new(&mut rng, cfg);
+        let pit = sample_pit(4);
+        let g = Graph::new();
+        for e in [&no_ce, &no_st] {
+            let out = e.embed(&g, &pit, &[0, 5]);
+            assert_eq!(g.shape(out), vec![2, 8]);
+        }
+        // No-CE has fewer parameters than the full embedder.
+        assert!(no_ce.num_params() < no_st.num_params() + 16 * 8);
+    }
+
+    #[test]
+    fn different_cells_embed_differently() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = PitEmbedder::new(&mut rng, EmbedderConfig::new(4, 8));
+        let pit = sample_pit(4);
+        let g = Graph::new();
+        let out = g.value(e.embed(&g, &pit, &[0, 1]));
+        let row0 = &out.data()[..8];
+        let row1 = &out.data()[8..];
+        assert_ne!(row0, row1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cell selection")]
+    fn empty_selection_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = PitEmbedder::new(&mut rng, EmbedderConfig::new(4, 8));
+        let pit = sample_pit(4);
+        let g = Graph::new();
+        let _ = e.embed(&g, &pit, &[]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # odt-estimator
+//!
+//! Stage 2 of the DOT framework (paper §5): estimating a travel time from
+//! an (inferred) Pixelated Trajectory.
+//!
+//! * [`PitEmbedder`] — flattening and feature extraction (Eqs. 17–18): cell
+//!   embedding `E`, positional encoding `PE` and latent casting `FC_ST`,
+//!   summed per item. The ablation flags `use_cell_embedding` /
+//!   `use_latent_cast` implement the paper's *No-CE* / *No-ST* variants.
+//! * [`MVit`] — the Masked Vision Transformer (§5.2): self-attention applied
+//!   only to the gathered valid items, so cost scales with visited-cell
+//!   count rather than `L_G²` (Figure 7(b)).
+//! * [`VanillaVit`] — the *Est-ViT* ablation: attention over all `L_G²`
+//!   items with an additive key mask (Figure 7(a)).
+//! * [`CnnEstimator`] — the *Est-CNN* ablation: a convolutional regressor.
+//!
+//! All estimators implement [`PitEstimator`] and regress a scalar travel
+//! time (trained against MSE, Eq. 23).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnn;
+mod embed;
+mod mvit;
+mod vit;
+
+pub use cnn::CnnEstimator;
+pub use embed::{EmbedderConfig, PitEmbedder};
+pub use mvit::{MVit, MVitConfig};
+pub use vit::VanillaVit;
+
+use odt_tensor::{Graph, Param, Var};
+use odt_traj::Pit;
+
+/// A model that regresses a scalar from a PiT.
+pub trait PitEstimator {
+    /// Predict the (normalized) travel time of one PiT as a `[1]` node.
+    fn predict(&self, g: &Graph, pit: &Pit) -> Var;
+
+    /// All trainable parameters.
+    fn estimator_params(&self) -> Vec<Param>;
+}

@@ -1,0 +1,192 @@
+//! The Masked Vision Transformer (paper §5.2).
+//!
+//! The MViT gathers only the items with valid information (the visited
+//! cells, Eq. 19) into a short sequence, runs `L_E` Transformer encoder
+//! layers over it (Eq. 20–21), mean-pools and regresses the travel time
+//! (Eq. 22). Because attention runs on the gathered sequence, the cost
+//! depends on the number of visited cells rather than on `L_G²` — the
+//! efficiency claim of Figure 8(c,d).
+
+use crate::embed::{EmbedderConfig, PitEmbedder};
+use crate::PitEstimator;
+use odt_nn::{EncoderLayer, HasParams, Linear};
+use odt_tensor::{Graph, Param, Var};
+use odt_traj::Pit;
+use rand::Rng;
+
+/// MViT hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct MVitConfig {
+    /// Embedding dimension `d_E`.
+    pub d_e: usize,
+    /// Number of encoder layers `L_E`.
+    pub l_e: usize,
+    /// Attention heads per layer.
+    pub heads: usize,
+    /// FFN hidden width.
+    pub ffn_hidden: usize,
+}
+
+impl MVitConfig {
+    /// Paper optimum: `d_E = 128`, `L_E = 2`.
+    pub fn paper() -> Self {
+        MVitConfig { d_e: 128, l_e: 2, heads: 4, ffn_hidden: 256 }
+    }
+
+    /// Reduced CPU-scale config.
+    pub fn fast() -> Self {
+        MVitConfig { d_e: 32, l_e: 2, heads: 2, ffn_hidden: 64 }
+    }
+}
+
+/// The Masked Vision Transformer estimator.
+pub struct MVit {
+    embedder: PitEmbedder,
+    layers: Vec<EncoderLayer>,
+    fc_pre: Linear,
+}
+
+impl MVit {
+    /// Build for grid size `lg`. `embed_cfg` allows the No-CE / No-ST
+    /// ablations; pass `EmbedderConfig::new(lg, cfg.d_e)` for the full model.
+    pub fn new(rng: &mut impl Rng, cfg: &MVitConfig, embed_cfg: EmbedderConfig) -> Self {
+        assert_eq!(embed_cfg.d_e, cfg.d_e, "embedder width must match model width");
+        let embedder = PitEmbedder::new(rng, embed_cfg);
+        let layers = (0..cfg.l_e)
+            .map(|i| EncoderLayer::new(rng, cfg.d_e, cfg.heads, cfg.ffn_hidden, &format!("mvit.layer{i}")))
+            .collect();
+        let fc_pre = Linear::new(rng, cfg.d_e, 1, "mvit.fc_pre");
+        MVit { embedder, layers, fc_pre }
+    }
+
+    /// Convenience constructor with the full embedder.
+    pub fn with_defaults(rng: &mut impl Rng, cfg: &MVitConfig, lg: usize) -> Self {
+        Self::new(rng, cfg, EmbedderConfig::new(lg, cfg.d_e))
+    }
+}
+
+impl PitEstimator for MVit {
+    fn predict(&self, g: &Graph, pit: &Pit) -> Var {
+        // Masked sequence: only valid items (Eq. 20). A PiT from the
+        // diffusion stage can in principle be all-unvisited; fall back to
+        // the full sequence so prediction is still defined.
+        let mut indices = pit.visited_indices();
+        if indices.is_empty() {
+            indices = (0..pit.lg() * pit.lg()).collect();
+        }
+        let t = indices.len();
+        let d = self.fc_pre.in_dim();
+        let seq = self.embedder.embed(g, pit, &indices); // [t, d]
+        let mut x = g.reshape(seq, vec![1, t, d]);
+        for layer in &self.layers {
+            x = layer.forward(g, x, None);
+        }
+        // Mean pool over the sequence, then FC (Eq. 22).
+        let pooled = g.mean_axis(x, 1, false); // [1, d]
+        let out = self.fc_pre.forward(g, pooled); // [1, 1]
+        g.reshape(out, vec![1])
+    }
+
+    fn estimator_params(&self) -> Vec<Param> {
+        let mut p = self.embedder.params();
+        for l in &self.layers {
+            p.extend(l.params());
+        }
+        p.extend(self.fc_pre.params());
+        p
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use odt_roadnet::LngLat;
+    use odt_tensor::Tensor;
+    use odt_traj::{GpsPoint, GridSpec, Trajectory};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    pub(crate) fn pit_with_visits(lg: usize, cells: &[(usize, usize)], times: &[f64]) -> Pit {
+        let grid = GridSpec::new(
+            LngLat { lng: 0.0, lat: 0.0 },
+            LngLat { lng: 1.0, lat: 1.0 },
+            lg,
+        );
+        let step = 1.0 / lg as f64;
+        let points: Vec<GpsPoint> = cells
+            .iter()
+            .zip(times)
+            .map(|(&(row, col), &t)| GpsPoint {
+                loc: LngLat {
+                    lng: (col as f64 + 0.5) * step,
+                    lat: (row as f64 + 0.5) * step,
+                },
+                t,
+            })
+            .collect();
+        Pit::from_trajectory(&Trajectory::new(points), &grid)
+    }
+
+    #[test]
+    fn predicts_scalar() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = MVit::with_defaults(&mut rng, &MVitConfig::fast(), 6);
+        let pit = pit_with_visits(6, &[(0, 0), (1, 1), (2, 2)], &[0.0, 100.0, 200.0]);
+        let g = Graph::new();
+        let y = m.predict(&g, &pit);
+        assert_eq!(g.shape(y), vec![1]);
+        assert!(g.value(y).is_finite());
+    }
+
+    #[test]
+    fn empty_pit_does_not_crash() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = MVit::with_defaults(&mut rng, &MVitConfig::fast(), 4);
+        let pit = Pit::from_tensor(Tensor::full(vec![3, 4, 4], -1.0));
+        let g = Graph::new();
+        let y = m.predict(&g, &pit);
+        assert!(g.value(y).is_finite());
+    }
+
+    #[test]
+    fn longer_pits_see_more_items_but_shape_is_stable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = MVit::with_defaults(&mut rng, &MVitConfig::fast(), 8);
+        let short = pit_with_visits(8, &[(0, 0), (0, 1)], &[0.0, 60.0]);
+        let long = pit_with_visits(
+            8,
+            &[(0, 0), (1, 1), (2, 2), (3, 3), (4, 4), (5, 5)],
+            &[0.0, 60.0, 120.0, 180.0, 240.0, 300.0],
+        );
+        let g = Graph::new();
+        assert_eq!(g.shape(m.predict(&g, &short)), vec![1]);
+        assert_eq!(g.shape(m.predict(&g, &long)), vec![1]);
+    }
+
+    #[test]
+    fn trains_to_separate_two_pits() {
+        use odt_nn::Adam;
+        // Two PiTs with different visited sets must learn different outputs.
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = MVit::with_defaults(&mut rng, &MVitConfig::fast(), 6);
+        let a = pit_with_visits(6, &[(0, 0), (0, 1)], &[0.0, 120.0]);
+        let b = pit_with_visits(6, &[(5, 5), (4, 5), (3, 5), (2, 5)], &[0.0, 120.0, 240.0, 360.0]);
+        let mut opt = Adam::new(m.estimator_params(), 5e-3);
+        for _ in 0..60 {
+            opt.zero_grad();
+            let g = Graph::new();
+            let pa = m.predict(&g, &a);
+            let pb = m.predict(&g, &b);
+            let ta = g.input(Tensor::scalar(1.0));
+            let tb = g.input(Tensor::scalar(3.0));
+            let loss = g.add(g.mse(pa, ta), g.mse(pb, tb));
+            g.backward(loss);
+            opt.step();
+        }
+        let g = Graph::new();
+        let pa = g.value(m.predict(&g, &a)).data()[0];
+        let pb = g.value(m.predict(&g, &b)).data()[0];
+        assert!((pa - 1.0).abs() < 0.3, "pa = {pa}");
+        assert!((pb - 3.0).abs() < 0.3, "pb = {pb}");
+    }
+}

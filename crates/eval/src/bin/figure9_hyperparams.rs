@@ -1,0 +1,149 @@
+//! Figure 9 (and Table 2): effect of the five key hyper-parameters on test
+//! accuracy. `L_G`, `N` and `L_D` retrain the full pipeline; `d_E` and
+//! `L_E` retrain only stage 2 on a shared stage 1.
+
+use odt_core::Dot;
+use odt_eval::harness::{cache_dir, prepare_city, score_predictions, City};
+use odt_eval::profile::EvalProfile;
+use odt_eval::report::{print_ordering_check, print_table};
+use odt_traj::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut profile = EvalProfile::from_args();
+    // The sweep trains many models; shrink each run.
+    profile.raw_trips = profile.raw_trips.min(700);
+    profile.dot.stage1_iters = profile.dot.stage1_iters.min(600);
+    profile.dot.stage2_iters = profile.dot.stage2_iters.min(700);
+    profile.max_test_queries = profile.max_test_queries.min(40);
+    println!(
+        "Figure 9 — hyper-parameter effects (profile: {}, seed {})",
+        profile.name, profile.seed
+    );
+    println!(
+        "Table 2 ranges: L_G {{10,15,20,25,30}} opt 20 | N {{500,1000,1500,2000}} opt 1000 | \
+         L_D {{1..4}} opt 3 | d_E {{32..256}} opt 128 | L_E {{1..4}} opt 2"
+    );
+
+    let run = prepare_city(City::Chengdu, &profile);
+    let mut rows = Vec::new();
+    let mut record = |param: &str, value: String, mae: f64, mape: f64| {
+        rows.push(vec![param.to_string(), value, format!("{mae:.3}"), format!("{mape:.2}")]);
+    };
+
+    // Helper: train (or load) a full DOT at a mutated config, on a dataset
+    // rebuilt when L_G differs, and return (MAE min, MAPE %).
+    let full_run = |tag: &str, lg: usize, mutate: &dyn Fn(&mut odt_core::DotConfig)| {
+        let data: Dataset;
+        let (grid, test_odts, test_tts, dref): (_, _, _, &Dataset) = if lg == profile.lg {
+            (run.data.grid, run.test_odts.clone(), run.test_tts.clone(), &run.data)
+        } else {
+            data = Dataset::chengdu_like(profile.raw_trips, lg, profile.seed);
+            let test = data.split(odt_traj::Split::Test);
+            let n = profile.max_test_queries.min(test.len());
+            let odts = test[..n].iter().map(odt_traj::OdtInput::from_trajectory).collect();
+            let tts = test[..n].iter().map(odt_traj::Trajectory::travel_time).collect();
+            (data.grid, odts, tts, &data)
+        };
+        let _ = grid;
+        let key = format!("fig9_{tag}_s{}_n{}", profile.seed, profile.raw_trips);
+        let ckpt = cache_dir().join(format!("dot_{key}.json"));
+        let model = if ckpt.exists() {
+            Dot::load(&ckpt).expect("load sweep checkpoint")
+        } else {
+            let mut cfg = profile.dot.clone();
+            cfg.lg = lg;
+            mutate(&mut cfg);
+            let m = Dot::train(cfg, dref, |s| {
+                if s.contains("stage") && !s.contains("iter") {
+                    eprintln!("  [{tag}] {s}");
+                }
+            });
+            m.save(&ckpt).expect("save sweep checkpoint");
+            m
+        };
+        let mut rng = StdRng::seed_from_u64(profile.seed ^ 0x9e37);
+        let pits = model.infer_pits(&test_odts, &mut rng);
+        let preds: Vec<f64> = pits.iter().map(|p| model.estimate_from_pit(p)).collect();
+        let fake_run = odt_eval::harness::CityRun {
+            data: Dataset::chengdu_like(60, lg, profile.seed), // placeholder, unused
+            ctx: run.ctx,
+            net: run.net.clone(),
+            test_odts,
+            test_tts,
+        };
+        let r = score_predictions(tag, &fake_run, preds);
+        (r.accuracy.mae_min, r.accuracy.mape_pct)
+    };
+
+    // (a) grid length L_G — full retrain per value.
+    for lg in [10, 16] {
+        eprintln!("--- L_G = {lg} ---");
+        let (mae, mape) = full_run(&format!("lg{lg}"), lg, &|_| {});
+        record("L_G", lg.to_string(), mae, mape);
+    }
+
+    // (b) diffusion steps N — full retrain per value.
+    for n in [10, 30] {
+        eprintln!("--- N = {n} ---");
+        let (mae, mape) = full_run(&format!("n{n}"), profile.lg, &|c| c.n_steps = n);
+        record("N", n.to_string(), mae, mape);
+    }
+
+    // (c) UNet depth L_D — full retrain per value.
+    for ld in [1, 2] {
+        eprintln!("--- L_D = {ld} ---");
+        let (mae, mape) = full_run(&format!("ld{ld}"), profile.lg, &|c| c.l_d = ld);
+        record("L_D", ld.to_string(), mae, mape);
+    }
+
+    // (d, e) estimator width/depth — share one stage 1.
+    eprintln!("--- d_E / L_E sweeps (shared stage 1) ---");
+    let key = format!("fig9_base_s{}_n{}", profile.seed, profile.raw_trips);
+    let ckpt = cache_dir().join(format!("dot_{key}.json"));
+    let mut base = if ckpt.exists() {
+        Dot::load(&ckpt).expect("load base")
+    } else {
+        let mut cfg = profile.dot.clone();
+        cfg.lg = profile.lg;
+        let m = Dot::train(cfg, &run.data, |_| {});
+        m.save(&ckpt).expect("save base");
+        m
+    };
+    let mut rng = StdRng::seed_from_u64(profile.seed ^ 0x9e37);
+    let pits = base.infer_pits(&run.test_odts, &mut rng);
+    for de in [16, 32, 64] {
+        base.retrain_stage2(|c| c.d_e = de, &run.data, |_| {});
+        let preds: Vec<f64> = pits.iter().map(|p| base.estimate_from_pit(p)).collect();
+        let r = score_predictions("d_E", &run, preds);
+        record("d_E", de.to_string(), r.accuracy.mae_min, r.accuracy.mape_pct);
+    }
+    for le in [1, 2, 3] {
+        base.retrain_stage2(|c| { c.d_e = profile.dot.d_e; c.l_e = le }, &run.data, |_| {});
+        let preds: Vec<f64> = pits.iter().map(|p| base.estimate_from_pit(p)).collect();
+        let r = score_predictions("L_E", &run, preds);
+        record("L_E", le.to_string(), r.accuracy.mae_min, r.accuracy.mape_pct);
+    }
+
+    print_table(
+        "Figure 9: hyper-parameter effects on Chengdu test accuracy",
+        "Paper shape: each parameter has an interior optimum; too-small models \
+         underfit, too-large ones overfit or over-fragment the PiT.",
+        &["param", "value", "MAE(min)", "MAPE(%)"],
+        &rows,
+    );
+
+    // Shape check: more diffusion steps should not hurt much (Figure 9(b):
+    // gains flatten beyond the optimum).
+    let mae_of = |param: &str, value: &str| {
+        rows.iter()
+            .find(|r| r[0] == param && r[1] == value)
+            .map(|r| r[2].parse::<f64>().unwrap())
+            .unwrap_or(f64::NAN)
+    };
+    print_ordering_check(
+        "more diffusion steps help (N=30 vs N=10)",
+        mae_of("N", "30") <= mae_of("N", "10"),
+    );
+}

@@ -1,0 +1,53 @@
+//! Table 1: dataset statistics of the two (synthetic) cities after the
+//! paper's preprocessing.
+
+use odt_eval::profile::EvalProfile;
+use odt_eval::report::print_table;
+use odt_traj::Dataset;
+
+fn main() {
+    let profile = EvalProfile::from_args();
+    println!("Table 1 — dataset statistics (profile: {})", profile.name);
+
+    // Paper values: (n, mean tt min, mean dist m, mean interval s, area).
+    let paper = [
+        ("Chengdu", 1_389_138usize, 13.73, 3_283.0, 29.06, "15.32*15.19"),
+        ("Harbin", 614_830, 15.69, 3_376.0, 44.42, "18.66*18.24"),
+    ];
+
+    let mut rows = Vec::new();
+    for (i, data) in [
+        Dataset::chengdu_like(profile.raw_trips, profile.lg, profile.seed),
+        Dataset::harbin_like(profile.raw_trips, profile.lg, profile.seed),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let s = data.stats();
+        let (pname, pn, ptt, pd, pi, parea) = paper[i];
+        rows.push(vec![
+            data.name.clone(),
+            format!("{}", s.num_trajectories),
+            format!("{}", pn),
+            format!("{:.2}", s.mean_travel_time_min),
+            format!("{:.2}", ptt),
+            format!("{:.0}", s.mean_travel_distance_m),
+            format!("{:.0}", pd),
+            format!("{:.2}", s.mean_sample_interval_s),
+            format!("{:.2}", pi),
+            format!("{:.2}*{:.2}", s.area_width_km, s.area_height_km),
+            parea.to_string(),
+        ]);
+        assert_eq!(data.name, pname);
+    }
+    print_table(
+        "Table 1: dataset statistics (measured vs paper)",
+        "The simulator is calibrated to the paper's per-trip statistics; the \
+         trajectory count is scaled down by the profile (see DESIGN.md).",
+        &[
+            "dataset", "n", "p.n", "tt(min)", "p.tt", "dist(m)", "p.dist", "intv(s)", "p.intv",
+            "area(km)", "p.area",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,83 @@
+//! Table 3: overall travel-time estimation accuracy of all twelve baselines
+//! and DOT on both cities.
+
+use odt_eval::harness::{prepare_city, run_baselines, run_dot, City};
+use odt_eval::profile::EvalProfile;
+use odt_eval::report::{print_accuracy_table, print_ordering_check, AccuracyRow};
+
+/// Paper Table 3: method → (Chengdu rmse/mae/mape, Harbin rmse/mae/mape).
+const PAPER: &[(&str, [f64; 3], [f64; 3])] = &[
+    ("Dijkstra", [9.677, 7.618, 48.618], [11.865, 8.447, 55.261]),
+    ("DeepST", [4.717, 3.452, 27.503], [8.926, 5.849, 37.772]),
+    ("WDDRA", [4.581, 3.210, 24.553], [8.836, 5.705, 35.617]),
+    ("STDGCN", [4.469, 3.104, 23.187], [8.679, 5.564, 33.771]),
+    ("TEMP", [5.578, 4.267, 36.611], [10.150, 7.891, 66.781]),
+    ("LR", [6.475, 5.036, 44.514], [10.290, 8.006, 67.669]),
+    ("GBM", [4.999, 3.655, 29.636], [9.069, 6.748, 54.413]),
+    ("RNE", [4.624, 3.416, 27.660], [8.571, 6.245, 47.956]),
+    ("ST-NN", [3.961, 2.803, 21.532], [8.492, 6.114, 45.891]),
+    ("MURAT", [3.646, 2.384, 18.345], [7.937, 5.360, 41.128]),
+    ("DeepOD", [3.764, 1.789, 14.997], [7.859, 4.533, 36.974]),
+    ("DOT", [3.177, 1.272, 11.343], [7.462, 3.213, 26.698]),
+];
+
+fn paper_for(method: &str, city: City) -> Option<(f64, f64, f64)> {
+    PAPER.iter().find(|(m, _, _)| *m == method).map(|(_, c, h)| {
+        let v = if city == City::Chengdu { c } else { h };
+        (v[0], v[1], v[2])
+    })
+}
+
+fn main() {
+    let profile = EvalProfile::from_args();
+    println!(
+        "Table 3 — overall accuracy (profile: {}, raw trips {}, seed {})",
+        profile.name, profile.raw_trips, profile.seed
+    );
+
+    for city in [City::Chengdu, City::Harbin] {
+        eprintln!("[{}] preparing dataset…", city.name());
+        let run = prepare_city(city, &profile);
+        eprintln!(
+            "[{}] {} trips, {} test queries",
+            city.name(),
+            run.data.trips.len(),
+            run.test_odts.len()
+        );
+        let (mut results, _router) =
+            run_baselines(&run, &profile, None, &mut |m| eprintln!("[{}] {m}", city.name()));
+        let (dot_result, _model, _pits) =
+            run_dot(&run, &profile, city, &mut |m| eprintln!("[{}] {m}", city.name()));
+        results.push(dot_result);
+
+        let rows: Vec<AccuracyRow> = results
+            .iter()
+            .map(|r| AccuracyRow {
+                method: r.name.clone(),
+                measured: Some(r.accuracy),
+                paper: paper_for(&r.name, city),
+            })
+            .collect();
+        print_accuracy_table(
+            &format!("Table 3 ({})", city.name()),
+            "Measured on the synthetic dataset; paper columns are the published values.",
+            &rows,
+        );
+
+        // The paper's headline shape claims.
+        let get = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| r.accuracy.mae_min)
+                .unwrap_or(f64::INFINITY)
+        };
+        print_ordering_check("DOT beats DeepOD (MAE)", get("DOT") < get("DeepOD"));
+        print_ordering_check("DOT beats all baselines (MAE)", {
+            let dot = get("DOT");
+            results.iter().all(|r| r.name == "DOT" || get(&r.name) >= dot)
+        });
+        print_ordering_check("neural ODT methods beat LR (MAE)", get("MURAT") < get("LR"));
+        print_ordering_check("DeepST beats Dijkstra (MAE)", get("DeepST") < get("Dijkstra"));
+    }
+}

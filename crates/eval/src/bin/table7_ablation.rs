@@ -1,0 +1,200 @@
+//! Table 7: ablation study — routing+estimator combinations, conditioning
+//! masks, embedding switches and estimator swaps.
+
+use odt_baselines::{DeepStRouter, DijkstraRouter, OdtOracle, Router, Stdgcn, Wddra};
+use odt_core::{pit_to_path_points, AblationOptions, Dot, EstimatorKind};
+use odt_eval::harness::{
+    cache_dir, prepare_city, route_to_pit, run_dot, score_predictions, City,
+};
+use odt_eval::profile::EvalProfile;
+use odt_eval::report::{print_accuracy_table, print_ordering_check, AccuracyRow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Paper Table 7 (Chengdu, Harbin).
+const PAPER: &[(&str, [f64; 3], [f64; 3])] = &[
+    ("Dijkstra+Est.", [9.182, 6.871, 41.462], [11.869, 8.246, 50.488]),
+    ("DeepST+Est.", [4.587, 3.170, 23.437], [8.879, 5.689, 33.769]),
+    ("Infer.+WDDRA", [3.773, 1.801, 18.937], [7.958, 4.171, 31.514]),
+    ("Infer.+STDGCN", [3.476, 1.664, 17.653], [7.611, 3.818, 29.756]),
+    ("No-t", [4.325, 1.926, 16.820], [8.798, 4.345, 35.973]),
+    ("No-od", [7.355, 4.564, 38.879], [10.947, 6.333, 51.699]),
+    ("No-odt", [8.466, 5.880, 49.830], [11.172, 6.562, 53.331]),
+    ("No-CE", [3.778, 1.591, 14.034], [8.584, 4.144, 34.441]),
+    ("No-ST", [7.784, 5.036, 42.850], [11.023, 6.427, 52.442]),
+    ("Est-CNN", [6.297, 3.500, 30.004], [10.389, 5.765, 47.166]),
+    ("Est-ViT", [3.229, 1.293, 11.547], [7.390, 3.187, 26.484]),
+    ("DOT", [3.177, 1.272, 11.343], [7.462, 3.213, 26.698]),
+];
+
+fn paper_for(method: &str, city: City) -> Option<(f64, f64, f64)> {
+    PAPER.iter().find(|(m, ..)| *m == method).map(|(_, c, h)| {
+        let v = if city == City::Chengdu { c } else { h };
+        (v[0], v[1], v[2])
+    })
+}
+
+fn main() {
+    let profile = EvalProfile::from_args();
+    let cities = if std::env::args().any(|a| a == "--both-cities") {
+        vec![City::Chengdu, City::Harbin]
+    } else {
+        vec![City::Chengdu]
+    };
+    println!(
+        "Table 7 — ablations (profile: {}, seed {}; pass --both-cities for Harbin too)",
+        profile.name, profile.seed
+    );
+
+    for city in cities {
+        let run = prepare_city(city, &profile);
+        let mut rows: Vec<AccuracyRow> = Vec::new();
+
+        // The full DOT model, its inferred test PiTs, and the routers.
+        let (dot_result, mut model, inferred_pits) =
+            run_dot(&run, &profile, city, &mut |m| eprintln!("  {m}"));
+        let train = run.data.split(odt_traj::Split::Train);
+        let deepst = DeepStRouter::fit(run.ctx, run.net.clone(), train);
+        let dijkstra = DijkstraRouter::fit(run.ctx, run.net.clone(), train);
+
+        // --- Routing + Est.: router paths rasterized to PiTs, estimated by
+        //     DOT's stage-2 estimator.
+        type RouteFn<'a> = Box<dyn Fn(&odt_traj::OdtInput) -> (Vec<odt_roadnet::Point>, f64) + 'a>;
+        let routers: [(&str, RouteFn); 2] = [
+            (
+                "Dijkstra+Est.",
+                Box::new(|o: &odt_traj::OdtInput| {
+                    (dijkstra.route_points(o), dijkstra.predict_seconds(o))
+                }),
+            ),
+            (
+                "DeepST+Est.",
+                Box::new(|o: &odt_traj::OdtInput| {
+                    (deepst.route_points(o), deepst.predict_seconds(o))
+                }),
+            ),
+        ];
+        for (label, route) in routers {
+            let preds: Vec<f64> = run
+                .test_odts
+                .iter()
+                .map(|o| {
+                    let (pts, secs) = route(o);
+                    let pit = route_to_pit(&pts, secs, o.t_dep, &run.data.grid, &run.data.proj);
+                    model.estimate_from_pit(&pit)
+                })
+                .collect();
+            let r = score_predictions(label, &run, preds);
+            rows.push(AccuracyRow {
+                method: label.into(),
+                measured: Some(r.accuracy),
+                paper: paper_for(label, city),
+            });
+        }
+
+        // --- Infer. + path-based: inferred PiTs converted to paths, fed to
+        //     WDDRA / STDGCN.
+        let wddra = Wddra::fit(run.ctx, run.data.split(odt_traj::Split::Train), &profile.neural);
+        let stdgcn = Stdgcn::fit(run.ctx, run.data.split(odt_traj::Split::Train), &profile.neural);
+        for (label, pb) in [("Infer.+WDDRA", &wddra), ("Infer.+STDGCN", &stdgcn)] {
+            let preds: Vec<f64> = run
+                .test_odts
+                .iter()
+                .zip(&inferred_pits)
+                .map(|(o, pit)| {
+                    let pts = pit_to_path_points(pit, &run.data.grid, &run.data.proj);
+                    pb.predict_with_path(o, &pts)
+                })
+                .collect();
+            let r = score_predictions(label, &run, preds);
+            rows.push(AccuracyRow {
+                method: label.into(),
+                measured: Some(r.accuracy),
+                paper: paper_for(label, city),
+            });
+        }
+
+        // --- Conditioning ablations: retrain the full pipeline with masked
+        //     ODT features (stage 1 changes, so no sharing).
+        for (label, od, t) in [("No-t", true, false), ("No-od", false, true), ("No-odt", false, false)] {
+            eprintln!("  training conditioning ablation {label}");
+            let key = format!(
+                "{}_{}_{}_s{}_n{}", city.name(), profile.name, label, profile.seed, profile.raw_trips
+            );
+            let ckpt = cache_dir().join(format!("dot_{key}.json"));
+            let abl = if ckpt.exists() {
+                Dot::load(&ckpt).expect("load ablation checkpoint")
+            } else {
+                let mut cfg = profile.dot.clone();
+                cfg.lg = profile.lg;
+                // Conditioning ablations retrain stage 1; trim iterations.
+                cfg.stage1_iters = cfg.stage1_iters * 2 / 3;
+                cfg.ablation.condition_on_od = od;
+                cfg.ablation.condition_on_t = t;
+                let m = Dot::train(cfg, &run.data, |s| eprintln!("    {s}"));
+                m.save(&ckpt).expect("save ablation checkpoint");
+                m
+            };
+            let mut rng = StdRng::seed_from_u64(profile.seed ^ 0x9e37);
+            let pits = abl.infer_pits(&run.test_odts, &mut rng);
+            let preds: Vec<f64> = pits.iter().map(|p| abl.estimate_from_pit(p)).collect();
+            let r = score_predictions(label, &run, preds);
+            rows.push(AccuracyRow {
+                method: label.into(),
+                measured: Some(r.accuracy),
+                paper: paper_for(label, city),
+            });
+        }
+
+        // --- Estimator-side ablations: share the trained stage 1, retrain
+        //     only stage 2, and score on the same inferred PiTs.
+        for (label, ablation) in [
+            ("No-CE", AblationOptions { cell_embedding: false, ..Default::default() }),
+            ("No-ST", AblationOptions { latent_cast: false, ..Default::default() }),
+            ("Est-CNN", AblationOptions { estimator: EstimatorKind::Cnn, ..Default::default() }),
+            ("Est-ViT", AblationOptions { estimator: EstimatorKind::VanillaVit, ..Default::default() }),
+        ] {
+            eprintln!("  retraining stage 2 for {label}");
+            model.retrain_stage2(|c| c.ablation = ablation, &run.data, |s| eprintln!("    {s}"));
+            let preds: Vec<f64> = inferred_pits
+                .iter()
+                .map(|p| model.estimate_from_pit(p))
+                .collect();
+            let r = score_predictions(label, &run, preds);
+            rows.push(AccuracyRow {
+                method: label.into(),
+                measured: Some(r.accuracy),
+                paper: paper_for(label, city),
+            });
+        }
+
+        rows.push(AccuracyRow {
+            method: "DOT".into(),
+            measured: Some(dot_result.accuracy),
+            paper: paper_for("DOT", city),
+        });
+
+        print_accuracy_table(
+            &format!("Table 7 ({})", city.name()),
+            "Ablations of DOT's features and modules.",
+            &rows,
+        );
+
+        let mae = |label: &str| {
+            rows.iter()
+                .find(|r| r.method == label)
+                .and_then(|r| r.measured)
+                .map(|m| m.mae_min)
+                .unwrap_or(f64::NAN)
+        };
+        print_ordering_check("removing OD hurts more than removing t", mae("No-od") > mae("No-t"));
+        print_ordering_check("No-odt is the worst conditioning ablation", {
+            mae("No-odt") >= mae("No-od") && mae("No-odt") >= mae("No-t")
+        });
+        print_ordering_check("MViT beats CNN estimator", mae("DOT") < mae("Est-CNN"));
+        print_ordering_check(
+            "MViT is close to vanilla ViT (within 25%)",
+            (mae("DOT") - mae("Est-ViT")).abs() <= 0.25 * mae("Est-ViT"),
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Table 8: PiT inference accuracy — per-channel RMSE/MAE between inferred
+//! and ground-truth PiTs on the test split.
+
+use odt_eval::harness::{prepare_city, run_dot, City};
+use odt_eval::metrics::pit_accuracy;
+use odt_eval::profile::EvalProfile;
+use odt_eval::report::print_table;
+
+/// Paper Table 8: (row, Chengdu rmse/mae, Harbin rmse/mae).
+const PAPER: &[(&str, [f64; 2], [f64; 2])] = &[
+    ("Overall", [0.196, 0.027], [0.181, 0.023]),
+    ("Channel 1 (Mask)", [0.271, 0.039], [0.224, 0.028]),
+    ("Channel 2 (ToD)", [0.128, 0.016], [0.183, 0.024]),
+    ("Channel 3 (Offset)", [0.159, 0.025], [0.123, 0.016]),
+];
+
+fn main() {
+    let profile = EvalProfile::from_args();
+    println!(
+        "Table 8 — PiT inference accuracy (profile: {}, seed {})",
+        profile.name, profile.seed
+    );
+
+    for city in [City::Chengdu, City::Harbin] {
+        let run = prepare_city(city, &profile);
+        let (_result, _model, inferred) =
+            run_dot(&run, &profile, city, &mut |m| eprintln!("  {m}"));
+        let truth = run.test_pits();
+        let pairs: Vec<(&odt_traj::Pit, &odt_traj::Pit)> =
+            inferred.iter().zip(truth.iter()).collect();
+        let acc = pit_accuracy(&pairs);
+
+        let mut rows = Vec::new();
+        for (i, (label, pc, ph)) in PAPER.iter().enumerate() {
+            let p = if city == City::Chengdu { pc } else { ph };
+            rows.push(vec![
+                label.to_string(),
+                format!("{:.3}", acc.rmse[i]),
+                format!("{:.3}", p[0]),
+                format!("{:.3}", acc.mae[i]),
+                format!("{:.3}", p[1]),
+            ]);
+        }
+        print_table(
+            &format!("Table 8 ({}): inferred vs ground-truth PiTs", city.name()),
+            "Values are over all pixels (PiT channels live in [-1, 1]).",
+            &["channel", "RMSE", "p.RMSE", "MAE", "p.MAE"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Table 9: route inference accuracy — precision/recall/F1 of the mask
+//! channel for Dijkstra, DeepST and DOT against ground-truth PiT masks.
+
+use odt_baselines::{DeepStRouter, DijkstraRouter, Router};
+use odt_eval::harness::{prepare_city, route_to_pit, run_dot, City};
+use odt_eval::metrics::mask_accuracy;
+use odt_eval::profile::EvalProfile;
+use odt_eval::report::{print_ordering_check, print_table};
+use odt_traj::Split;
+
+/// Paper Table 9: (method, Chengdu P/R/F1, Harbin P/R/F1).
+const PAPER: &[(&str, [f64; 3], [f64; 3])] = &[
+    ("Dijkstra", [68.918, 31.310, 42.065], [45.459, 42.525, 39.993]),
+    ("DeepST", [59.755, 55.776, 56.911], [74.519, 62.907, 66.029]),
+    ("DOT", [87.890, 88.684, 88.280], [88.190, 88.982, 88.584]),
+];
+
+fn main() {
+    let profile = EvalProfile::from_args();
+    println!(
+        "Table 9 — route inference accuracy (profile: {}, seed {})",
+        profile.name, profile.seed
+    );
+
+    for city in [City::Chengdu, City::Harbin] {
+        let run = prepare_city(city, &profile);
+        let truth_masks: Vec<Vec<bool>> =
+            run.test_pits().iter().map(|p| p.mask_bool()).collect();
+
+        let train = run.data.split(Split::Train);
+        let deepst = DeepStRouter::fit(run.ctx, run.net.clone(), train);
+        let dijkstra = DijkstraRouter::fit(run.ctx, run.net.clone(), train);
+        let (_result, _model, inferred) =
+            run_dot(&run, &profile, city, &mut |m| eprintln!("  {m}"));
+
+        let mut rows = Vec::new();
+        let mut f1s = std::collections::HashMap::new();
+        for (label, masks) in [
+            (
+                "Dijkstra",
+                run.test_odts
+                    .iter()
+                    .map(|o| {
+                        route_to_pit(&dijkstra.route_points(o), 1.0, o.t_dep, &run.data.grid, &run.data.proj)
+                            .mask_bool()
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+            (
+                "DeepST",
+                run.test_odts
+                    .iter()
+                    .map(|o| {
+                        route_to_pit(&deepst.route_points(o), 1.0, o.t_dep, &run.data.grid, &run.data.proj)
+                            .mask_bool()
+                    })
+                    .collect(),
+            ),
+            (
+                "DOT",
+                inferred.iter().map(|p| p.mask_bool()).collect(),
+            ),
+        ] {
+            let pairs: Vec<(Vec<bool>, Vec<bool>)> = masks
+                .into_iter()
+                .zip(truth_masks.iter().cloned())
+                .collect();
+            let acc = mask_accuracy(&pairs);
+            f1s.insert(label, acc.f1_pct);
+            let paper = PAPER.iter().find(|(m, ..)| *m == label).map(|(_, c, h)| {
+                if city == City::Chengdu { c } else { h }
+            });
+            rows.push(vec![
+                label.to_string(),
+                format!("{:.2}", acc.precision_pct),
+                paper.map(|p| format!("{:.2}", p[0])).unwrap_or_default(),
+                format!("{:.2}", acc.recall_pct),
+                paper.map(|p| format!("{:.2}", p[1])).unwrap_or_default(),
+                format!("{:.2}", acc.f1_pct),
+                paper.map(|p| format!("{:.2}", p[2])).unwrap_or_default(),
+            ]);
+        }
+        print_table(
+            &format!("Table 9 ({}): mask-channel accuracy", city.name()),
+            "Routes rasterized to the PiT grid and compared with ground-truth masks.",
+            &["method", "Pre(%)", "p.Pre", "Rec(%)", "p.Rec", "F1(%)", "p.F1"],
+            &rows,
+        );
+        print_ordering_check(
+            "DOT has the best route F1",
+            f1s["DOT"] >= f1s["Dijkstra"] && f1s["DOT"] >= f1s["DeepST"],
+        );
+        print_ordering_check(
+            "DeepST routes beat Dijkstra routes (F1)",
+            f1s["DeepST"] >= f1s["Dijkstra"],
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Case-study analyses for Figures 10–12: PiT visualizations and the
+//! time-of-day travel-time profiles between frequently traveled cell pairs.
+
+use odt_traj::{GridSpec, Pit, Trajectory};
+use std::collections::HashMap;
+
+/// ASCII rendering of a PiT's time-offset channel: '·' for unvisited,
+/// '0'-'9' for the visit order (early → late). This is the textual analogue
+/// of the paper's Figure 10/11 heat maps.
+pub fn render_offset_channel(pit: &Pit) -> String {
+    let mut out = String::new();
+    for row in (0..pit.lg()).rev() {
+        for col in 0..pit.lg() {
+            if pit.is_visited(row, col) {
+                let offset = pit.at(2, row, col); // [-1, 1]
+                let digit = (((offset + 1.0) / 2.0 * 9.0).round() as u8).min(9);
+                out.push(char::from(b'0' + digit));
+            } else {
+                out.push('·');
+            }
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Jaccard overlap between two PiT masks — used by the case study to
+/// quantify "the inferred PiT matches the ground truth well".
+pub fn mask_jaccard(a: &Pit, b: &Pit) -> f64 {
+    let (ma, mb) = (a.mask_bool(), b.mask_bool());
+    let mut inter = 0.0;
+    let mut union = 0.0;
+    for (&x, &y) in ma.iter().zip(&mb) {
+        if x && y {
+            inter += 1.0;
+        }
+        if x || y {
+            union += 1.0;
+        }
+    }
+    if union == 0.0 {
+        1.0
+    } else {
+        inter / union
+    }
+}
+
+/// A frequently traveled ordered pair of cells.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CellPair {
+    /// Flat row-major index of the earlier cell.
+    pub from: usize,
+    /// Flat row-major index of the later cell.
+    pub to: usize,
+}
+
+/// The `top_k` most frequent (origin-cell, destination-cell) pairs among
+/// trajectories (by their first/last fixes).
+pub fn top_cell_pairs(trips: &[Trajectory], grid: &GridSpec, top_k: usize) -> Vec<CellPair> {
+    let mut counts: HashMap<CellPair, usize> = HashMap::new();
+    for t in trips {
+        let (r0, c0) = grid.cell_of(t.points[0].loc);
+        let (r1, c1) = grid.cell_of(t.points[t.points.len() - 1].loc);
+        let pair = CellPair {
+            from: grid.flat_index(r0, c0),
+            to: grid.flat_index(r1, c1),
+        };
+        if pair.from != pair.to {
+            *counts.entry(pair).or_insert(0) += 1;
+        }
+    }
+    let mut ranked: Vec<(CellPair, usize)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| (a.0.from, a.0.to).cmp(&(b.0.from, b.0.to))));
+    ranked.into_iter().take(top_k).map(|(p, _)| p).collect()
+}
+
+/// Average travel time (seconds) between two cells per 2-hour bin of the
+/// day, measured from **ground-truth trajectories**: for every trajectory
+/// visiting both cells, the timestamp difference between the visits.
+pub fn tod_profile_from_trips(
+    trips: &[Trajectory],
+    grid: &GridSpec,
+    pair: &CellPair,
+) -> [Option<f64>; 12] {
+    let mut sums = [0.0f64; 12];
+    let mut counts = [0usize; 12];
+    for t in trips {
+        let mut t_from = None;
+        let mut t_to = None;
+        for p in &t.points {
+            let (r, c) = grid.cell_of(p.loc);
+            let idx = grid.flat_index(r, c);
+            if idx == pair.from && t_from.is_none() {
+                t_from = Some(p.t);
+            }
+            if idx == pair.to && t_to.is_none() {
+                t_to = Some(p.t);
+            }
+        }
+        if let (Some(a), Some(b)) = (t_from, t_to) {
+            if b > a {
+                let bin = ((a.rem_euclid(86_400.0)) / 7_200.0) as usize % 12;
+                sums[bin] += b - a;
+                counts[bin] += 1;
+            }
+        }
+    }
+    std::array::from_fn(|i| (counts[i] > 0).then(|| sums[i] / counts[i] as f64))
+}
+
+/// The same profile measured from **inferred PiTs**, decoding each visit's
+/// second-of-day from the ToD channel (the paper's Figure 12 comparison).
+pub fn tod_profile_from_pits(pits: &[Pit], grid: &GridSpec, pair: &CellPair) -> [Option<f64>; 12] {
+    let mut sums = [0.0f64; 12];
+    let mut counts = [0usize; 12];
+    let (fr, fc) = grid.cell_of_index(pair.from);
+    let (tr, tc) = grid.cell_of_index(pair.to);
+    for pit in pits {
+        let (Some(a), Some(b)) = (
+            pit.visit_second_of_day(fr, fc),
+            pit.visit_second_of_day(tr, tc),
+        ) else {
+            continue;
+        };
+        if b > a {
+            let bin = (a / 7_200.0) as usize % 12;
+            sums[bin] += b - a;
+            counts[bin] += 1;
+        }
+    }
+    std::array::from_fn(|i| (counts[i] > 0).then(|| sums[i] / counts[i] as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odt_roadnet::LngLat;
+    use odt_traj::GpsPoint;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(
+            LngLat { lng: 0.0, lat: 0.0 },
+            LngLat { lng: 1.0, lat: 1.0 },
+            4,
+        )
+    }
+
+    fn diag_trip(t0: f64, dt: f64) -> Trajectory {
+        Trajectory::new(vec![
+            GpsPoint { loc: LngLat { lng: 0.1, lat: 0.1 }, t: t0 },
+            GpsPoint { loc: LngLat { lng: 0.9, lat: 0.9 }, t: t0 + dt },
+        ])
+    }
+
+    #[test]
+    fn render_marks_visits() {
+        let pit = Pit::from_trajectory(&diag_trip(0.0, 600.0), &grid());
+        let art = render_offset_channel(&pit);
+        assert!(art.contains('0'));
+        assert!(art.contains('9'));
+        assert!(art.contains('·'));
+    }
+
+    #[test]
+    fn jaccard_bounds() {
+        let g = grid();
+        let a = Pit::from_trajectory(&diag_trip(0.0, 600.0), &g);
+        assert_eq!(mask_jaccard(&a, &a), 1.0);
+        let b = Pit::from_trajectory(
+            &Trajectory::new(vec![
+                GpsPoint { loc: LngLat { lng: 0.9, lat: 0.1 }, t: 0.0 },
+                GpsPoint { loc: LngLat { lng: 0.95, lat: 0.15 }, t: 60.0 },
+            ]),
+            &g,
+        );
+        assert_eq!(mask_jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn top_pairs_ranked_by_frequency() {
+        let g = grid();
+        let mut trips = vec![diag_trip(0.0, 600.0); 5];
+        trips.push(Trajectory::new(vec![
+            GpsPoint { loc: LngLat { lng: 0.9, lat: 0.1 }, t: 0.0 },
+            GpsPoint { loc: LngLat { lng: 0.1, lat: 0.9 }, t: 600.0 },
+        ]));
+        let pairs = top_cell_pairs(&trips, &g, 2);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].from, g.flat_index(0, 0));
+        assert_eq!(pairs[0].to, g.flat_index(3, 3));
+    }
+
+    #[test]
+    fn trip_profile_measures_visit_gap() {
+        let g = grid();
+        // Departure 08:00, 600 s to cross.
+        let trips = vec![diag_trip(8.0 * 3_600.0, 600.0)];
+        let pair = CellPair { from: g.flat_index(0, 0), to: g.flat_index(3, 3) };
+        let profile = tod_profile_from_trips(&trips, &g, &pair);
+        let bin = (8.0f64 * 3_600.0 / 7_200.0) as usize;
+        assert_eq!(profile[bin], Some(600.0));
+        assert!(profile[0].is_none());
+    }
+
+    #[test]
+    fn pit_profile_matches_trip_profile() {
+        let g = grid();
+        // 09:00 = 32 400 s; its ToD encoding (-0.25) is exactly
+        // representable in f32, keeping the visit away from a bin edge.
+        let trip = diag_trip(9.0 * 3_600.0, 600.0);
+        let pit = Pit::from_trajectory(&trip, &g);
+        let pair = CellPair { from: g.flat_index(0, 0), to: g.flat_index(3, 3) };
+        let from_pits = tod_profile_from_pits(&[pit], &g, &pair);
+        let bin = (9.0f64 * 3_600.0 / 7_200.0) as usize;
+        let v = from_pits[bin].expect("bin populated");
+        assert!((v - 600.0).abs() < 30.0, "got {v}"); // f32 ToD quantization
+    }
+}

@@ -1,0 +1,466 @@
+//! The experiment harness: dataset preparation, method training and
+//! evaluation shared by every table/figure binary.
+
+use crate::metrics::{regression, Regression};
+use crate::profile::EvalProfile;
+use odt_baselines::{
+    DeepOd, DeepStRouter, DijkstraRouter, Gbm, LinearRegression, Murat, OdtOracle,
+    OracleContext, Rne, Router, StNn, Stdgcn, Temp, Wddra,
+};
+use odt_core::Dot;
+use odt_roadnet::RoadNetwork;
+use odt_traj::{Dataset, OdtInput, Pit, Split, Trajectory};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which synthetic city to run on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum City {
+    /// The Chengdu-like preset.
+    Chengdu,
+    /// The Harbin-like preset.
+    Harbin,
+}
+
+impl City {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            City::Chengdu => "Chengdu",
+            City::Harbin => "Harbin",
+        }
+    }
+}
+
+/// A prepared dataset with its evaluation queries.
+pub struct CityRun {
+    /// The dataset (preprocessed, split, gridded).
+    pub data: Dataset,
+    /// Feature-extraction context shared by all oracles.
+    pub ctx: OracleContext,
+    /// The road network the routing baselines are given.
+    pub net: Arc<RoadNetwork>,
+    /// Test queries (possibly truncated by the profile).
+    pub test_odts: Vec<OdtInput>,
+    /// Ground-truth travel times of the test queries, seconds.
+    pub test_tts: Vec<f64>,
+}
+
+impl CityRun {
+    /// The test trajectories corresponding to the evaluation queries.
+    pub fn test_trips(&self) -> &[Trajectory] {
+        &self.data.split(Split::Test)[..self.test_odts.len()]
+    }
+
+    /// Ground-truth PiTs of the evaluation queries.
+    pub fn test_pits(&self) -> Vec<Pit> {
+        self.test_trips()
+            .iter()
+            .map(|t| Pit::from_trajectory(t, &self.data.grid))
+            .collect()
+    }
+}
+
+/// Generate, preprocess and split a city's dataset, and fix the test
+/// queries.
+pub fn prepare_city(city: City, profile: &EvalProfile) -> CityRun {
+    let data = match city {
+        City::Chengdu => Dataset::chengdu_like(profile.raw_trips, profile.lg, profile.seed),
+        City::Harbin => Dataset::harbin_like(profile.raw_trips, profile.lg, profile.seed),
+    };
+    let ctx = OracleContext { grid: data.grid, proj: data.proj };
+    let net = data.network.clone().expect("simulated dataset carries its network");
+    let test = data.split(Split::Test);
+    let n = profile.max_test_queries.min(test.len());
+    let test_odts: Vec<OdtInput> = test[..n].iter().map(OdtInput::from_trajectory).collect();
+    let test_tts: Vec<f64> = test[..n].iter().map(Trajectory::travel_time).collect();
+    CityRun { data, ctx, net, test_odts, test_tts }
+}
+
+/// One trained-and-evaluated method.
+#[derive(Clone, Debug)]
+pub struct MethodResult {
+    /// Method name as in the paper's tables.
+    pub name: String,
+    /// Accuracy on the test queries.
+    pub accuracy: Regression,
+    /// Per-query predictions, seconds (kept for downstream analyses).
+    pub predictions: Vec<f64>,
+    /// Model size in bytes (Table 5).
+    pub model_size_bytes: usize,
+    /// Training wall-clock, seconds (0 for training-free methods).
+    pub train_seconds: f64,
+    /// Estimation throughput: seconds per 1 000 queries (Table 5).
+    pub sec_per_k_queries: f64,
+}
+
+fn evaluate(
+    name: &str,
+    run: &CityRun,
+    model_size: usize,
+    train_seconds: f64,
+    mut predict: impl FnMut(&OdtInput) -> f64,
+) -> MethodResult {
+    let t0 = Instant::now();
+    let predictions: Vec<f64> = run.test_odts.iter().map(&mut predict).collect();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let pairs: Vec<(f64, f64)> = predictions
+        .iter()
+        .zip(&run.test_tts)
+        .map(|(&p, &a)| (p, a))
+        .collect();
+    MethodResult {
+        name: name.to_string(),
+        accuracy: regression(&pairs),
+        predictions,
+        model_size_bytes: model_size,
+        train_seconds,
+        sec_per_k_queries: elapsed / run.test_odts.len() as f64 * 1_000.0,
+    }
+}
+
+/// Train and evaluate every baseline of §6.2 on (optionally overridden)
+/// training data. Order matches Table 3. The returned `DeepStRouter` is the
+/// path provider reused by downstream experiments.
+pub fn run_baselines(
+    run: &CityRun,
+    profile: &EvalProfile,
+    train_override: Option<&[Trajectory]>,
+    progress: &mut dyn FnMut(&str),
+) -> (Vec<MethodResult>, Arc<DeepStRouter>) {
+    let train: &[Trajectory] = train_override.unwrap_or_else(|| run.data.split(Split::Train));
+    let ctx = run.ctx;
+    let mut results = Vec::new();
+
+    // Routing methods.
+    progress("fitting Dijkstra router");
+    let t = Instant::now();
+    let dij = DijkstraRouter::fit(ctx, run.net.clone(), train);
+    let dij_train = t.elapsed().as_secs_f64();
+    results.push(evaluate("Dijkstra", run, dij.model_size_bytes(), dij_train, |o| {
+        dij.predict_seconds(o)
+    }));
+
+    progress("fitting DeepST router");
+    let t = Instant::now();
+    let deepst = Arc::new(DeepStRouter::fit(ctx, run.net.clone(), train));
+    let deepst_train = t.elapsed().as_secs_f64();
+    {
+        let d = deepst.clone();
+        results.push(evaluate("DeepST", run, d.model_size_bytes(), deepst_train, |o| {
+            d.predict_seconds(o)
+        }));
+    }
+
+    // Path-based methods, fed by DeepST paths as in the paper.
+    progress("fitting WDDRA");
+    let t = Instant::now();
+    let wddra = Wddra::fit(ctx, train, &profile.neural);
+    let wddra_train = t.elapsed().as_secs_f64();
+    results.push(evaluate("WDDRA", run, wddra.model_size_bytes(), wddra_train, |o| {
+        wddra.predict_with_path(o, &deepst.route_points(o))
+    }));
+
+    progress("fitting STDGCN");
+    let t = Instant::now();
+    let stdgcn = Stdgcn::fit(ctx, train, &profile.neural);
+    let stdgcn_train = t.elapsed().as_secs_f64();
+    results.push(evaluate("STDGCN", run, stdgcn.model_size_bytes(), stdgcn_train, |o| {
+        stdgcn.predict_with_path(o, &deepst.route_points(o))
+    }));
+
+    // Traditional ODT-Oracle methods.
+    progress("fitting TEMP");
+    let temp = Temp::fit(ctx, train);
+    results.push(evaluate("TEMP", run, temp.model_size_bytes(), 0.0, |o| {
+        temp.predict_seconds(o)
+    }));
+
+    progress("fitting LR");
+    let t = Instant::now();
+    let lr = LinearRegression::fit(ctx, train);
+    let lr_train = t.elapsed().as_secs_f64();
+    results.push(evaluate("LR", run, lr.model_size_bytes(), lr_train, |o| {
+        lr.predict_seconds(o)
+    }));
+
+    progress("fitting GBM");
+    let t = Instant::now();
+    let gbm = Gbm::fit(ctx, train);
+    let gbm_train = t.elapsed().as_secs_f64();
+    results.push(evaluate("GBM", run, gbm.model_size_bytes(), gbm_train, |o| {
+        gbm.predict_seconds(o)
+    }));
+
+    progress("fitting RNE");
+    let t = Instant::now();
+    let rne = Rne::fit(ctx, train, &profile.neural);
+    let rne_train = t.elapsed().as_secs_f64();
+    results.push(evaluate("RNE", run, rne.model_size_bytes(), rne_train, |o| {
+        rne.predict_seconds(o)
+    }));
+
+    progress("fitting ST-NN");
+    let t = Instant::now();
+    let stnn = StNn::fit(ctx, train, &profile.neural);
+    let stnn_train = t.elapsed().as_secs_f64();
+    results.push(evaluate("ST-NN", run, stnn.model_size_bytes(), stnn_train, |o| {
+        stnn.predict_seconds(o)
+    }));
+
+    progress("fitting MURAT");
+    let t = Instant::now();
+    let murat = Murat::fit(ctx, train, &profile.neural);
+    let murat_train = t.elapsed().as_secs_f64();
+    results.push(evaluate("MURAT", run, murat.model_size_bytes(), murat_train, |o| {
+        murat.predict_seconds(o)
+    }));
+
+    progress("fitting DeepOD");
+    let t = Instant::now();
+    let deepod = DeepOd::fit(ctx, train, &profile.neural);
+    let deepod_train = t.elapsed().as_secs_f64();
+    results.push(evaluate("DeepOD", run, deepod.model_size_bytes(), deepod_train, |o| {
+        deepod.predict_seconds(o)
+    }));
+
+    (results, deepst)
+}
+
+/// Cache directory for trained DOT checkpoints and inferred PiTs, shared
+/// across experiment binaries.
+pub fn cache_dir() -> PathBuf {
+    let dir = PathBuf::from("target/odt_cache");
+    std::fs::create_dir_all(&dir).expect("create cache dir");
+    dir
+}
+
+/// Train DOT on a prepared city (or load the cached checkpoint trained
+/// under identical settings), evaluate it, and return the model plus the
+/// inferred test PiTs (cached too, keyed by the same settings).
+pub fn run_dot(
+    run: &CityRun,
+    profile: &EvalProfile,
+    city: City,
+    progress: &mut dyn FnMut(&str),
+) -> (MethodResult, Dot, Vec<Pit>) {
+    let key = format!(
+        "{}_{}_s{}_n{}_q{}",
+        city.name(),
+        profile.name,
+        profile.seed,
+        profile.raw_trips,
+        profile.max_test_queries
+    );
+    let ckpt = cache_dir().join(format!("dot_{key}.json"));
+    let mut dot_cfg = profile.dot.clone();
+    dot_cfg.lg = profile.lg;
+
+    let (model, train_seconds) = if ckpt.exists() {
+        progress(&format!("loading cached DOT checkpoint {}", ckpt.display()));
+        let m = Dot::load(&ckpt).expect("cached checkpoint must load");
+        let t = m.report().stage1_seconds + m.report().stage2_seconds;
+        (m, t)
+    } else {
+        let t = Instant::now();
+        let m = Dot::train(dot_cfg, &run.data, |s| progress(s));
+        let train_seconds = t.elapsed().as_secs_f64();
+        m.save(&ckpt).expect("save checkpoint");
+        (m, train_seconds)
+    };
+
+    // Inferred test PiTs, cached alongside the checkpoint.
+    let pit_path = cache_dir().join(format!("pits_{key}.json"));
+    let pits: Vec<Pit> = if pit_path.exists() {
+        progress("loading cached inferred test PiTs");
+        serde_json::from_str(&std::fs::read_to_string(&pit_path).expect("read pit cache"))
+            .expect("pit cache must parse")
+    } else {
+        progress(&format!("inferring {} test PiTs", run.test_odts.len()));
+        let mut rng = StdRng::seed_from_u64(profile.seed ^ 0x9e37);
+        let t0 = Instant::now();
+        let pits = model.infer_pits(&run.test_odts, &mut rng);
+        progress(&format!("inference took {:.1}s", t0.elapsed().as_secs_f64()));
+        std::fs::write(&pit_path, serde_json::to_string(&pits).expect("serialize pits"))
+            .expect("write pit cache");
+        pits
+    };
+
+    // Evaluate: time the full per-query path (inference + estimation) on a
+    // small sample to report throughput, but score accuracy from the cached
+    // batch for determinism.
+    let t0 = Instant::now();
+    let timing_n = run.test_odts.len().min(8);
+    {
+        let mut rng = StdRng::seed_from_u64(profile.seed);
+        for odt in run.test_odts.iter().take(timing_n) {
+            let _ = model.estimate(odt, &mut rng);
+        }
+    }
+    let sec_per_k = t0.elapsed().as_secs_f64() / timing_n as f64 * 1_000.0;
+
+    let predictions: Vec<f64> = pits.iter().map(|p| model.estimate_from_pit(p)).collect();
+    let pairs: Vec<(f64, f64)> = predictions
+        .iter()
+        .zip(&run.test_tts)
+        .map(|(&p, &a)| (p, a))
+        .collect();
+    let result = MethodResult {
+        name: "DOT".into(),
+        accuracy: regression(&pairs),
+        predictions,
+        model_size_bytes: model.model_size_bytes(),
+        train_seconds,
+        sec_per_k_queries: sec_per_k,
+    };
+    (result, model, pits)
+}
+
+/// Rasterize a routed path into a PiT for the Table 7 `Routing+Est.`
+/// ablations: the mask marks route cells; the temporal channels are
+/// populated from the router's total time estimate distributed along the
+/// route ("these features are instead populated based on historical average
+/// travel times between cells", §6.5.4).
+pub fn route_to_pit(
+    points: &[odt_roadnet::Point],
+    total_seconds: f64,
+    t_dep: f64,
+    grid: &odt_traj::GridSpec,
+    proj: &odt_roadnet::Projection,
+) -> Pit {
+    use odt_tensor::Tensor;
+    let lg = grid.lg;
+    let mut tensor = Tensor::full(vec![3, lg, lg], -1.0);
+    if points.len() >= 2 {
+        let mut cum = vec![0.0f64];
+        for w in points.windows(2) {
+            cum.push(cum.last().unwrap() + w[0].distance(&w[1]));
+        }
+        let total_len = (*cum.last().unwrap()).max(1e-9);
+        for (p, d) in points.iter().zip(&cum) {
+            let frac = d / total_len;
+            let ll = proj.to_lnglat(*p);
+            let (row, col) = grid.cell_of(ll);
+            if tensor.at(&[0, row, col]) >= 0.0 {
+                continue; // earliest visit wins, as in Definition 2
+            }
+            let visit_t = t_dep + frac * total_seconds;
+            let tod = 2.0 * visit_t.rem_euclid(86_400.0) / 86_400.0 - 1.0;
+            tensor.set(&[0, row, col], 1.0);
+            tensor.set(&[1, row, col], tod as f32);
+            tensor.set(&[2, row, col], (2.0 * frac - 1.0) as f32);
+        }
+    }
+    Pit::from_tensor(tensor)
+}
+
+/// Evaluate an already-available set of per-query predictions.
+pub fn score_predictions(name: &str, run: &CityRun, predictions: Vec<f64>) -> MethodResult {
+    let pairs: Vec<(f64, f64)> = predictions
+        .iter()
+        .zip(&run.test_tts)
+        .map(|(&p, &a)| (p, a))
+        .collect();
+    MethodResult {
+        name: name.to_string(),
+        accuracy: regression(&pairs),
+        predictions,
+        model_size_bytes: 0,
+        train_seconds: 0.0,
+        sec_per_k_queries: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_profile() -> EvalProfile {
+        let mut p = EvalProfile::fast();
+        p.raw_trips = 250;
+        p.lg = 8;
+        p.dot.lg = 8;
+        p.dot.n_steps = 6;
+        p.dot.base_channels = 4;
+        p.dot.cond_dim = 16;
+        p.dot.d_e = 16;
+        p.dot.stage1_iters = 6;
+        p.dot.stage2_iters = 15;
+        p.dot.early_stop_samples = 3;
+        p.dot.early_stop_every = 10;
+        p.neural.iters = 15;
+        p.max_test_queries = 6;
+        p
+    }
+
+    #[test]
+    fn route_to_pit_marks_route_cells_in_order() {
+        use odt_roadnet::{LngLat, Point, Projection};
+        let proj = Projection::new(LngLat { lng: 104.0, lat: 30.0 });
+        let grid = odt_traj::GridSpec::new(
+            proj.to_lnglat(Point::new(-100.0, -100.0)),
+            proj.to_lnglat(Point::new(2_100.0, 2_100.0)),
+            8,
+        );
+        // A straight 2 km eastward route over 600 s departing 09:00.
+        let points: Vec<Point> = (0..=20).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect();
+        let pit = route_to_pit(&points, 600.0, 9.0 * 3_600.0, &grid, &proj);
+        assert!(pit.num_visited() >= 6, "straight route must cross many cells");
+        // Offsets increase west → east along the route.
+        let (row0, col0) = grid.cell_of(proj.to_lnglat(points[0]));
+        let (row1, col1) = grid.cell_of(proj.to_lnglat(*points.last().unwrap()));
+        assert!(pit.at(2, row0, col0) < pit.at(2, row1, col1));
+        // ToD decodes within the trip's time window.
+        let s = pit.visit_second_of_day(row1, col1).unwrap();
+        assert!(s >= 9.0 * 3_600.0 - 10.0 && s <= 9.0 * 3_600.0 + 610.0, "{s}");
+    }
+
+    #[test]
+    fn route_to_pit_empty_route_is_empty_pit() {
+        use odt_roadnet::{LngLat, Projection};
+        let proj = Projection::new(LngLat { lng: 0.0, lat: 0.0 });
+        let grid = odt_traj::GridSpec::new(
+            LngLat { lng: -0.1, lat: -0.1 },
+            LngLat { lng: 0.1, lat: 0.1 },
+            4,
+        );
+        let pit = route_to_pit(&[], 100.0, 0.0, &grid, &proj);
+        assert_eq!(pit.num_visited(), 0);
+    }
+
+    #[test]
+    fn prepare_city_builds_consistent_run() {
+        let run = prepare_city(City::Chengdu, &tiny_profile());
+        assert_eq!(run.test_odts.len(), run.test_tts.len());
+        assert!(run.test_odts.len() <= 6);
+        assert_eq!(run.test_pits().len(), run.test_odts.len());
+    }
+
+    #[test]
+    fn baselines_produce_finite_metrics() {
+        let profile = tiny_profile();
+        let run = prepare_city(City::Chengdu, &profile);
+        let (results, _) = run_baselines(&run, &profile, None, &mut |_| {});
+        assert_eq!(results.len(), 11);
+        for r in &results {
+            assert!(r.accuracy.mae_min.is_finite(), "{} MAE not finite", r.name);
+            assert!(r.accuracy.mape_pct >= 0.0);
+            assert_eq!(r.predictions.len(), run.test_odts.len());
+        }
+    }
+
+    #[test]
+    fn dot_runs_and_caches() {
+        let mut profile = tiny_profile();
+        profile.name = format!("test{}", std::process::id());
+        let run = prepare_city(City::Chengdu, &profile);
+        let (r1, _m, pits) = run_dot(&run, &profile, City::Chengdu, &mut |_| {});
+        assert_eq!(pits.len(), run.test_odts.len());
+        // Second call loads from cache and reproduces the same accuracy.
+        let (r2, _m2, _p2) = run_dot(&run, &profile, City::Chengdu, &mut |_| {});
+        assert_eq!(r1.accuracy, r2.accuracy);
+    }
+}

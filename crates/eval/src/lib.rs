@@ -1,0 +1,27 @@
+//! # odt-eval
+//!
+//! Metrics and the experiment harness that regenerates every table and
+//! figure of the paper's evaluation (§6). Each table/figure has a binary in
+//! `src/bin/`; DESIGN.md §3 maps experiment ids to binaries.
+//!
+//! All binaries accept:
+//!
+//! * `--profile fast|paper` — experiment scale (default `fast`, the
+//!   CPU-sized profile recorded in EXPERIMENTS.md; `paper` restores the
+//!   paper's hyper-parameters and full iteration counts).
+//! * `--seed <u64>` — RNG seed (default 7).
+//! * `--trips <n>` — raw simulated trips per city before preprocessing.
+//! * `--queries <n>` — maximum test queries evaluated.
+//!
+//! Binaries print the paper's reported numbers next to the measured ones so
+//! the *shape* of each result (orderings, rough factors, crossovers) can be
+//! compared directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod casestudy;
+pub mod harness;
+pub mod metrics;
+pub mod profile;
+pub mod report;

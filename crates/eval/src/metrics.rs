@@ -1,0 +1,184 @@
+//! Evaluation metrics: the paper's RMSE / MAE / MAPE (Tables 3–7), the
+//! per-channel PiT errors (Table 8) and the mask precision/recall/F1
+//! (Table 9).
+
+use odt_traj::Pit;
+
+/// Regression metrics over (prediction, truth) pairs in seconds.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Root mean squared error, minutes (the paper's unit).
+    pub rmse_min: f64,
+    /// Mean absolute error, minutes.
+    pub mae_min: f64,
+    /// Mean absolute percentage error, percent.
+    pub mape_pct: f64,
+}
+
+/// Compute RMSE/MAE/MAPE from per-query (predicted, actual) seconds.
+pub fn regression(pairs: &[(f64, f64)]) -> Regression {
+    assert!(!pairs.is_empty(), "no evaluation pairs");
+    let n = pairs.len() as f64;
+    let mut se = 0.0;
+    let mut ae = 0.0;
+    let mut ape = 0.0;
+    for &(pred, actual) in pairs {
+        let err = pred - actual;
+        se += err * err;
+        ae += err.abs();
+        if actual.abs() > 1e-9 {
+            ape += (err / actual).abs();
+        }
+    }
+    Regression {
+        rmse_min: (se / n).sqrt() / 60.0,
+        mae_min: ae / n / 60.0,
+        mape_pct: ape / n * 100.0,
+    }
+}
+
+/// Per-channel PiT reconstruction errors (Table 8): RMSE and MAE over all
+/// pixels of all (inferred, ground-truth) pairs, overall and per channel.
+#[derive(Clone, Debug)]
+pub struct PitAccuracy {
+    /// `[overall, mask, tod, offset]` RMSE.
+    pub rmse: [f64; 4],
+    /// `[overall, mask, tod, offset]` MAE.
+    pub mae: [f64; 4],
+}
+
+/// Compute Table 8 metrics. PiT values live in `[-1, 1]`, matching the
+/// paper's error scale.
+pub fn pit_accuracy(pairs: &[(&Pit, &Pit)]) -> PitAccuracy {
+    assert!(!pairs.is_empty(), "no PiT pairs");
+    let mut se = [0.0f64; 4];
+    let mut ae = [0.0f64; 4];
+    let mut count = [0.0f64; 4];
+    for (pred, truth) in pairs {
+        assert_eq!(pred.lg(), truth.lg(), "grid mismatch");
+        for ch in 0..3 {
+            for row in 0..pred.lg() {
+                for col in 0..pred.lg() {
+                    let e = (pred.at(ch, row, col) - truth.at(ch, row, col)) as f64;
+                    se[0] += e * e;
+                    ae[0] += e.abs();
+                    count[0] += 1.0;
+                    se[ch + 1] += e * e;
+                    ae[ch + 1] += e.abs();
+                    count[ch + 1] += 1.0;
+                }
+            }
+        }
+    }
+    let mut rmse = [0.0; 4];
+    let mut mae = [0.0; 4];
+    for i in 0..4 {
+        rmse[i] = (se[i] / count[i]).sqrt();
+        mae[i] = ae[i] / count[i];
+    }
+    PitAccuracy { rmse, mae }
+}
+
+/// Binary-mask accuracy (Table 9).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct MaskAccuracy {
+    /// Precision, percent.
+    pub precision_pct: f64,
+    /// Recall, percent.
+    pub recall_pct: f64,
+    /// F1 score, percent.
+    pub f1_pct: f64,
+}
+
+/// Precision/recall/F1 of predicted visit masks against ground truth.
+pub fn mask_accuracy(pairs: &[(Vec<bool>, Vec<bool>)]) -> MaskAccuracy {
+    let (mut tp, mut fp, mut fn_) = (0.0f64, 0.0f64, 0.0f64);
+    for (pred, truth) in pairs {
+        assert_eq!(pred.len(), truth.len(), "mask length mismatch");
+        for (&p, &t) in pred.iter().zip(truth) {
+            match (p, t) {
+                (true, true) => tp += 1.0,
+                (true, false) => fp += 1.0,
+                (false, true) => fn_ += 1.0,
+                (false, false) => {}
+            }
+        }
+    }
+    let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+    let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    MaskAccuracy {
+        precision_pct: precision * 100.0,
+        recall_pct: recall * 100.0,
+        f1_pct: f1 * 100.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odt_tensor::Tensor;
+
+    #[test]
+    fn regression_known_values() {
+        // Errors of +60 s and -120 s on truths of 600 s and 600 s.
+        let r = regression(&[(660.0, 600.0), (480.0, 600.0)]);
+        assert!((r.mae_min - 1.5).abs() < 1e-9); // (1 + 2) / 2 minutes
+        assert!((r.rmse_min - ((3600.0f64 + 14400.0) / 2.0).sqrt() / 60.0).abs() < 1e-9);
+        assert!((r.mape_pct - 15.0).abs() < 1e-9); // (10% + 20%) / 2
+    }
+
+    #[test]
+    fn perfect_predictions_zero_error() {
+        let r = regression(&[(600.0, 600.0), (1_200.0, 1_200.0)]);
+        assert_eq!(r.rmse_min, 0.0);
+        assert_eq!(r.mae_min, 0.0);
+        assert_eq!(r.mape_pct, 0.0);
+    }
+
+    #[test]
+    fn pit_accuracy_identical_is_zero() {
+        let t = Tensor::full(vec![3, 2, 2], 0.5);
+        let a = Pit::from_tensor(t.clone());
+        let b = Pit::from_tensor(t);
+        let acc = pit_accuracy(&[(&a, &b)]);
+        assert_eq!(acc.rmse, [0.0; 4]);
+    }
+
+    #[test]
+    fn pit_accuracy_channels_separate() {
+        let mut ta = Tensor::full(vec![3, 1, 1], 0.0);
+        let tb = Tensor::full(vec![3, 1, 1], 0.0);
+        ta.set(&[1, 0, 0], 1.0); // ToD channel off by 1
+        let a = Pit::from_tensor(ta);
+        let b = Pit::from_tensor(tb);
+        let acc = pit_accuracy(&[(&a, &b)]);
+        assert_eq!(acc.mae[1], 0.0); // mask ok
+        assert_eq!(acc.mae[2], 1.0); // tod off
+        assert_eq!(acc.mae[3], 0.0); // offset ok
+        assert!((acc.mae[0] - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mask_accuracy_known() {
+        // pred: TTFF, truth: TFTF -> tp 1, fp 1, fn 1.
+        let pairs = vec![(vec![true, true, false, false], vec![true, false, true, false])];
+        let m = mask_accuracy(&pairs);
+        assert!((m.precision_pct - 50.0).abs() < 1e-9);
+        assert!((m.recall_pct - 50.0).abs() < 1e-9);
+        assert!((m.f1_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mask_accuracy_empty_predictions() {
+        let pairs = vec![(vec![false; 4], vec![true, false, false, false])];
+        let m = mask_accuracy(&pairs);
+        assert_eq!(m.precision_pct, 0.0);
+        assert_eq!(m.recall_pct, 0.0);
+        assert_eq!(m.f1_pct, 0.0);
+    }
+}

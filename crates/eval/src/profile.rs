@@ -1,0 +1,127 @@
+//! Experiment profiles: how large each experiment runs.
+
+use odt_baselines::NeuralConfig as BaselineNeuralConfig;
+use odt_core::DotConfig;
+
+pub use odt_baselines::NeuralConfig;
+
+/// Scale settings for an experiment run.
+#[derive(Clone, Debug)]
+pub struct EvalProfile {
+    /// Profile name, recorded in every report header.
+    pub name: String,
+    /// Raw simulated trips per city (before the §6.1 filters).
+    pub raw_trips: usize,
+    /// Grid side length `L_G`.
+    pub lg: usize,
+    /// DOT configuration.
+    pub dot: DotConfig,
+    /// Shared hyper-parameters of the neural baselines.
+    pub neural: BaselineNeuralConfig,
+    /// Maximum number of test queries evaluated per method.
+    pub max_test_queries: usize,
+    /// Seed for dataset generation and all training.
+    pub seed: u64,
+}
+
+impl EvalProfile {
+    /// The CPU-scale default: every algorithm identical to the paper, with
+    /// reduced dataset size, diffusion steps and training iterations so the
+    /// full table suite completes on one core. EXPERIMENTS.md records that
+    /// the published numbers were produced with this profile.
+    pub fn fast() -> Self {
+        let mut dot = DotConfig::fast();
+        dot.lg = 16;
+        dot.n_steps = 30;
+        dot.stage1_iters = 1_600;
+        dot.stage1_batch = 8;
+        dot.stage2_iters = 1_200;
+        dot.stage2_batch = 8;
+        dot.lr = 2e-3;
+        dot.early_stop_samples = 24;
+        dot.early_stop_every = 400;
+        EvalProfile {
+            name: "fast".into(),
+            raw_trips: 1_000,
+            lg: 16,
+            dot,
+            neural: BaselineNeuralConfig {
+                hidden: 64,
+                iters: 400,
+                batch: 96,
+                lr: 2e-3,
+                seed: 7,
+            },
+            max_test_queries: 60,
+            seed: 7,
+        }
+    }
+
+    /// The paper's own scale (Table 2 optima, full iteration counts).
+    /// Provided for completeness; expect GPU-scale runtimes on a CPU.
+    pub fn paper() -> Self {
+        EvalProfile {
+            name: "paper".into(),
+            raw_trips: 1_400_000,
+            lg: 20,
+            dot: DotConfig::paper(),
+            neural: BaselineNeuralConfig {
+                hidden: 128,
+                iters: 20_000,
+                batch: 256,
+                lr: 1e-3,
+                seed: 7,
+            },
+            max_test_queries: usize::MAX,
+            seed: 7,
+        }
+    }
+
+    /// Parse a profile from CLI arguments (`--profile`, `--seed`,
+    /// `--trips`, `--queries`), starting from `fast`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let get = |flag: &str| -> Option<String> {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1).cloned())
+        };
+        let mut profile = match get("--profile").as_deref() {
+            Some("paper") => Self::paper(),
+            Some("fast") | None => Self::fast(),
+            Some(other) => panic!("unknown profile '{other}' (use fast|paper)"),
+        };
+        if let Some(seed) = get("--seed") {
+            let seed: u64 = seed.parse().expect("--seed must be an integer");
+            profile.seed = seed;
+            profile.dot.seed = seed;
+            profile.neural.seed = seed;
+        }
+        if let Some(trips) = get("--trips") {
+            profile.raw_trips = trips.parse().expect("--trips must be an integer");
+        }
+        if let Some(q) = get("--queries") {
+            profile.max_test_queries = q.parse().expect("--queries must be an integer");
+        }
+        profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_profile_is_consistent() {
+        let p = EvalProfile::fast();
+        assert_eq!(p.lg, p.dot.lg, "grid sizes must agree");
+        assert!(p.dot.stage1_iters >= 100);
+    }
+
+    #[test]
+    fn paper_profile_matches_table2() {
+        let p = EvalProfile::paper();
+        assert_eq!(p.dot.lg, 20);
+        assert_eq!(p.dot.n_steps, 1000);
+    }
+}

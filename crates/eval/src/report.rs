@@ -1,0 +1,108 @@
+//! Report rendering: aligned tables with the paper's reported values next
+//! to the measured ones.
+
+use crate::metrics::Regression;
+
+/// One method's accuracy row plus the paper's reported values.
+#[derive(Clone, Debug)]
+pub struct AccuracyRow {
+    /// Method name.
+    pub method: String,
+    /// Measured metrics; `None` when the method was skipped in this run.
+    pub measured: Option<Regression>,
+    /// The paper's `(rmse_min, mae_min, mape_pct)` for this row, if any.
+    pub paper: Option<(f64, f64, f64)>,
+}
+
+/// Print a Table 3/4/6/7-style accuracy table.
+pub fn print_accuracy_table(title: &str, context: &str, rows: &[AccuracyRow]) {
+    println!("\n=== {title} ===");
+    println!("{context}");
+    println!(
+        "{:<16} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+        "method", "RMSE(min)", "MAE(min)", "MAPE(%)", "p.RMSE", "p.MAE", "p.MAPE"
+    );
+    println!("{}", "-".repeat(16 + 3 + 32 + 3 + 32 + 4));
+    for row in rows {
+        let (rm, ma, mp) = row
+            .measured
+            .map(|m| {
+                (
+                    format!("{:.3}", m.rmse_min),
+                    format!("{:.3}", m.mae_min),
+                    format!("{:.3}", m.mape_pct),
+                )
+            })
+            .unwrap_or_else(|| ("-".into(), "-".into(), "-".into()));
+        let (pr, pa, pp) = row
+            .paper
+            .map(|(a, b, c)| (format!("{a:.3}"), format!("{b:.3}"), format!("{c:.3}")))
+            .unwrap_or_else(|| ("-".into(), "-".into(), "-".into()));
+        println!(
+            "{:<16} | {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10}",
+            row.method, rm, ma, mp, pr, pa, pp
+        );
+    }
+}
+
+/// Print a generic aligned table: header + rows of equal arity.
+pub fn print_table(title: &str, context: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    if !context.is_empty() {
+        println!("{context}");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// The ordering check the paper's claims rest on: report whether
+/// `a_metric < b_metric` (lower-is-better) matched the paper.
+pub fn print_ordering_check(label: &str, ours_holds: bool) {
+    println!(
+        "  [shape] {label}: {}",
+        if ours_holds { "HOLDS (matches paper)" } else { "DOES NOT HOLD" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_table_renders_without_panic() {
+        let rows = vec![
+            AccuracyRow {
+                method: "DOT".into(),
+                measured: Some(Regression { rmse_min: 3.1, mae_min: 1.2, mape_pct: 11.3 }),
+                paper: Some((3.177, 1.272, 11.343)),
+            },
+            AccuracyRow { method: "skipped".into(), measured: None, paper: None },
+        ];
+        print_accuracy_table("Table X", "ctx", &rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn generic_table_checks_arity() {
+        print_table("t", "", &["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,176 @@
+//! The Adam optimizer (the paper trains everything with Adam, lr 1e-3, §6.3).
+
+use odt_tensor::{Param, Tensor};
+
+/// Adam with optional gradient clipping.
+pub struct Adam {
+    params: Vec<Param>,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    clip: Option<f32>,
+}
+
+impl Adam {
+    /// Standard Adam (β₁=0.9, β₂=0.999, ε=1e-8) over the given parameters.
+    pub fn new(params: Vec<Param>, lr: f32) -> Self {
+        let m = params
+            .iter()
+            .map(|p| Tensor::zeros(p.value().shape().to_vec()))
+            .collect();
+        let v = params
+            .iter()
+            .map(|p| Tensor::zeros(p.value().shape().to_vec()))
+            .collect();
+        Adam {
+            params,
+            m,
+            v,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            clip: None,
+        }
+    }
+
+    /// Enable elementwise gradient clipping to `[-c, c]`.
+    pub fn with_clip(mut self, c: f32) -> Self {
+        self.clip = Some(c);
+        self
+    }
+
+    /// Override the learning rate (e.g. for a decay schedule).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Zero every parameter's accumulated gradient.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Apply one Adam update from the accumulated gradients.
+    pub fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in self.params.iter().enumerate() {
+            let mut grad = p.grad();
+            if let Some(c) = self.clip {
+                grad = grad.map(|g| g.clamp(-c, c));
+            }
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            let mut value = p.value();
+            for j in 0..grad.numel() {
+                let gj = grad.data()[j];
+                let mj = self.beta1 * m.data()[j] + (1.0 - self.beta1) * gj;
+                let vj = self.beta2 * v.data()[j] + (1.0 - self.beta2) * gj * gj;
+                m.data_mut()[j] = mj;
+                v.data_mut()[j] = vj;
+                let mhat = mj / bc1;
+                let vhat = vj / bc2;
+                value.data_mut()[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.set_value(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odt_tensor::Graph;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(w) = (w - 3)^2, optimum at w = 3.
+        let w = Param::new(Tensor::scalar(0.0), "w");
+        let mut opt = Adam::new(vec![w.clone()], 0.1);
+        for _ in 0..300 {
+            opt.zero_grad();
+            let g = Graph::new();
+            let wv = g.param(&w);
+            let loss = g.square(g.add_scalar(wv, -3.0));
+            g.backward(loss);
+            opt.step();
+        }
+        assert!(
+            (w.value().data()[0] - 3.0).abs() < 1e-2,
+            "w = {}",
+            w.value().data()[0]
+        );
+    }
+
+    #[test]
+    fn fits_linear_regression() {
+        use odt_tensor::init;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0);
+        // Ground truth: y = 2 x0 - x1 + 0.5
+        let xs = init::uniform(&mut rng, vec![64, 2], -1.0, 1.0);
+        let mut ys = Tensor::zeros(vec![64, 1]);
+        for i in 0..64 {
+            let x0 = xs.at(&[i, 0]);
+            let x1 = xs.at(&[i, 1]);
+            ys.set(&[i, 0], 2.0 * x0 - x1 + 0.5);
+        }
+        let w = Param::new(Tensor::zeros(vec![2, 1]), "w");
+        let b = Param::new(Tensor::zeros(vec![1]), "b");
+        let mut opt = Adam::new(vec![w.clone(), b.clone()], 0.05);
+        let mut last = f32::INFINITY;
+        for _ in 0..400 {
+            opt.zero_grad();
+            let g = Graph::new();
+            let x = g.input(xs.clone());
+            let y = g.input(ys.clone());
+            let pred = g.add(g.matmul(x, g.param(&w)), g.param(&b));
+            let loss = g.mse(pred, y);
+            last = g.value(loss).data()[0];
+            g.backward(loss);
+            opt.step();
+        }
+        assert!(last < 1e-3, "final loss {last}");
+        assert!((w.value().at(&[0, 0]) - 2.0).abs() < 0.05);
+        assert!((w.value().at(&[1, 0]) + 1.0).abs() < 0.05);
+        assert!((b.value().data()[0] - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let w = Param::new(Tensor::scalar(0.0), "w");
+        let mut opt = Adam::new(vec![w.clone()], 1.0).with_clip(1e-6);
+        w.accumulate_grad(&Tensor::scalar(1e9));
+        opt.step();
+        // Even with a huge gradient, a tiny clip keeps the step ≈ lr.
+        assert!(w.value().data()[0].abs() <= 1.1);
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let w = Param::new(Tensor::scalar(0.0), "w");
+        let opt = Adam::new(vec![w.clone()], 0.1);
+        w.accumulate_grad(&Tensor::scalar(5.0));
+        opt.zero_grad();
+        assert_eq!(w.grad().data()[0], 0.0);
+    }
+}

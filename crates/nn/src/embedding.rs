@@ -1,0 +1,86 @@
+//! Learned embedding table.
+
+use crate::HasParams;
+use odt_tensor::{init, Graph, Param, Var};
+use rand::Rng;
+
+/// An embedding table `[vocab, dim]`; lookup by row index.
+///
+/// Used for the MViT's cell embeddings (`E` in Eq. 18) and the baselines'
+/// spatial-cell / temporal-slot embeddings (MURAT).
+pub struct Embedding {
+    table: Param,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Create with small normal initialization.
+    pub fn new(rng: &mut impl Rng, vocab: usize, dim: usize, name: &str) -> Self {
+        Embedding {
+            table: Param::new(
+                init::normal(rng, vec![vocab, dim], 0.02),
+                format!("{name}.table"),
+            ),
+            vocab,
+            dim,
+        }
+    }
+
+    /// Look up rows: returns `[indices.len(), dim]`.
+    pub fn forward(&self, g: &Graph, indices: &[usize]) -> Var {
+        for &i in indices {
+            assert!(i < self.vocab, "embedding index {i} out of vocab {}", self.vocab);
+        }
+        let t = g.param(&self.table);
+        g.index_select0(t, indices)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl HasParams for Embedding {
+    fn params(&self) -> Vec<Param> {
+        vec![self.table.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odt_tensor::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_shape_and_grad() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = Embedding::new(&mut rng, 10, 4, "e");
+        let g = Graph::new();
+        let out = e.forward(&g, &[3, 3, 7]);
+        assert_eq!(g.shape(out), vec![3, 4]);
+        g.backward(g.sum_all(out));
+        let grad = e.params()[0].grad();
+        // Row 3 used twice -> grad 2, row 7 once -> grad 1, others 0.
+        assert_eq!(grad.at(&[3, 0]), 2.0);
+        assert_eq!(grad.at(&[7, 0]), 1.0);
+        assert_eq!(grad.at(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn out_of_vocab_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = Embedding::new(&mut rng, 4, 2, "e");
+        let g = Graph::new();
+        let _ = e.forward(&g, &[4]);
+    }
+}

@@ -1,0 +1,57 @@
+//! # odt-nn
+//!
+//! Neural-network building blocks on top of the [`odt_tensor`] autograd tape:
+//! the layer zoo the DOT ODT-Oracle models are assembled from.
+//!
+//! * [`Linear`], [`Conv2d`], [`Embedding`] — parametric layers
+//! * [`LayerNorm`], [`GroupNorm`] — normalization
+//! * [`MultiHeadAttention`], [`FeedForward`], [`EncoderLayer`] — Transformer
+//!   components (used by both the UNet denoiser's attention blocks and the
+//!   Masked Vision Transformer)
+//! * [`GruCell`] / [`Gru`] — recurrent encoder used by the path-based
+//!   baselines (WDDRA, STDGCN, DeepOD's trajectory branch)
+//! * [`Adam`] — the optimizer the paper uses throughout (§6.3)
+//! * [`positional_encoding`] — the sinusoidal encoding of Eq. 12
+//! * [`state_dict`] / [`load_state_dict`] — JSON checkpointing
+//!
+//! Layers expose `forward(&Graph, Var) -> Var` and `params() -> Vec<Param>`;
+//! a fresh graph is built per training step.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adam;
+mod attention;
+mod conv;
+mod embedding;
+mod linear;
+mod norm;
+mod pe;
+mod rnn;
+pub mod serialize;
+mod transformer;
+
+pub use adam::Adam;
+pub use attention::MultiHeadAttention;
+pub use conv::Conv2d;
+pub use embedding::Embedding;
+pub use linear::Linear;
+pub use norm::{GroupNorm, LayerNorm};
+pub use pe::{encode_position, positional_encoding};
+pub use rnn::{Gru, GruCell};
+pub use serialize::{load_state_dict, state_dict};
+pub use transformer::{EncoderLayer, FeedForward};
+
+use odt_tensor::Param;
+
+/// Anything that owns trainable parameters.
+pub trait HasParams {
+    /// All trainable parameters, in a stable order.
+    fn params(&self) -> Vec<Param>;
+
+    /// Total scalar parameter count (the paper's "model size" unit,
+    /// multiplied by 4 bytes for Table 5).
+    fn num_params(&self) -> usize {
+        self.params().iter().map(Param::numel).sum()
+    }
+}

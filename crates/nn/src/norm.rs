@@ -1,0 +1,162 @@
+//! Layer and group normalization.
+
+use crate::HasParams;
+use odt_tensor::{Graph, Param, Tensor, Var};
+
+/// Layer normalization over the last dimension, with learnable affine.
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    dim: usize,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Normalize over a trailing feature dimension of size `dim`.
+    pub fn new(dim: usize, name: &str) -> Self {
+        LayerNorm {
+            gamma: Param::new(Tensor::ones(vec![dim]), format!("{name}.gamma")),
+            beta: Param::new(Tensor::zeros(vec![dim]), format!("{name}.beta")),
+            dim,
+            eps: 1e-5,
+        }
+    }
+
+    /// Apply to `[..., dim]`.
+    pub fn forward(&self, g: &Graph, x: Var) -> Var {
+        let shape = g.shape(x);
+        assert_eq!(
+            *shape.last().expect("layernorm needs rank >= 1"),
+            self.dim,
+            "layernorm dim mismatch"
+        );
+        let last = shape.len() - 1;
+        let mean = g.mean_axis(x, last, true);
+        let centered = g.sub(x, mean);
+        let var = g.mean_axis(g.square(centered), last, true);
+        let std = g.sqrt(g.add_scalar(var, self.eps));
+        let normed = g.div(centered, std);
+        let gamma = g.param(&self.gamma);
+        let beta = g.param(&self.beta);
+        g.add(g.mul(normed, gamma), beta)
+    }
+}
+
+impl HasParams for LayerNorm {
+    fn params(&self) -> Vec<Param> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+/// Group normalization over channel groups of an NCHW tensor, with
+/// learnable per-channel affine — the normalization used inside the
+/// conditioned PiT denoiser's convolution blocks.
+pub struct GroupNorm {
+    gamma: Param, // [c]
+    beta: Param,  // [c]
+    groups: usize,
+    channels: usize,
+    eps: f32,
+}
+
+impl GroupNorm {
+    /// `groups` must divide `channels`.
+    pub fn new(groups: usize, channels: usize, name: &str) -> Self {
+        assert!(
+            channels % groups == 0,
+            "groups {groups} must divide channels {channels}"
+        );
+        GroupNorm {
+            gamma: Param::new(Tensor::ones(vec![channels]), format!("{name}.gamma")),
+            beta: Param::new(Tensor::zeros(vec![channels]), format!("{name}.beta")),
+            groups,
+            channels,
+            eps: 1e-5,
+        }
+    }
+
+    /// Apply to `[b, c, h, w]`.
+    pub fn forward(&self, g: &Graph, x: Var) -> Var {
+        let shape = g.shape(x);
+        assert_eq!(shape.len(), 4, "groupnorm input must be NCHW");
+        let (b, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        assert_eq!(c, self.channels, "groupnorm channel mismatch");
+        let gs = c / self.groups;
+        // [b, groups, gs*h*w]: normalize within each group.
+        let grouped = g.reshape(x, vec![b, self.groups, gs * h * w]);
+        let mean = g.mean_axis(grouped, 2, true);
+        let centered = g.sub(grouped, mean);
+        let var = g.mean_axis(g.square(centered), 2, true);
+        let std = g.sqrt(g.add_scalar(var, self.eps));
+        let normed = g.div(centered, std);
+        let back = g.reshape(normed, vec![b, c, h, w]);
+        // Per-channel affine: reshape gamma/beta to [c, 1, 1] for broadcast.
+        let gamma = g.reshape(g.param(&self.gamma), vec![c, 1, 1]);
+        let beta = g.reshape(g.param(&self.beta), vec![c, 1, 1]);
+        g.add(g.mul(back, gamma), beta)
+    }
+}
+
+impl HasParams for GroupNorm {
+    fn params(&self) -> Vec<Param> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let ln = LayerNorm::new(4, "ln");
+        let g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], vec![2, 4]));
+        let y = g.value(ln.forward(&g, x));
+        for row in 0..2 {
+            let d = &y.data()[row * 4..(row + 1) * 4];
+            let mean: f32 = d.iter().sum::<f32>() / 4.0;
+            let var: f32 = d.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-4, "row {row} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {row} var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_gradcheck_via_training_signal() {
+        // Gradients must flow into gamma and beta.
+        let ln = LayerNorm::new(3, "ln");
+        let g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1.0, -1.0, 0.5], vec![1, 3]));
+        let y = ln.forward(&g, x);
+        g.backward(g.sum_all(g.square(y)));
+        assert!(ln.params().iter().all(|p| p.grad().data().iter().any(|&v| v != 0.0) || p.name().contains("beta")));
+    }
+
+    #[test]
+    fn groupnorm_normalizes_within_groups() {
+        let gn = GroupNorm::new(2, 4, "gn");
+        let g = Graph::new();
+        // Two groups of two channels; fill with distinct scales.
+        let mut x = Tensor::zeros(vec![1, 4, 2, 2]);
+        for c in 0..4 {
+            for i in 0..4 {
+                x.data_mut()[c * 4 + i] = (c as f32 + 1.0) * (i as f32 + 1.0);
+            }
+        }
+        let xv = g.input(x);
+        let y = g.value(gn.forward(&g, xv));
+        // Each group of 8 values should be ~zero-mean.
+        for grp in 0..2 {
+            let d = &y.data()[grp * 8..(grp + 1) * 8];
+            let mean: f32 = d.iter().sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "group {grp} mean {mean}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn groupnorm_rejects_bad_groups() {
+        let _ = GroupNorm::new(3, 4, "gn");
+    }
+}

@@ -1,0 +1,72 @@
+//! Sinusoidal positional encoding (paper Eq. 12).
+
+use odt_tensor::Tensor;
+
+/// The positional encoding of Eq. 12 for positions `0..len`:
+///
+/// `PE(n)[2i] = sin(n / 10000^(2i/d))`, `PE(n)[2i+1] = cos(n / 10000^(2i/d))`.
+///
+/// Returns `[len, d]`. Used both to embed the diffusion step indicator `n`
+/// into the denoiser and to encode flattened-PiT positions in the MViT.
+pub fn positional_encoding(len: usize, d: usize) -> Tensor {
+    assert!(d % 2 == 0, "positional encoding dimension must be even");
+    let mut out = Tensor::zeros(vec![len, d]);
+    for n in 0..len {
+        for i in 0..d / 2 {
+            let angle = n as f32 / 10000f32.powf(2.0 * i as f32 / d as f32);
+            out.set(&[n, 2 * i], angle.sin());
+            out.set(&[n, 2 * i + 1], angle.cos());
+        }
+    }
+    out
+}
+
+/// The encoding of a single position as `[1, d]`.
+pub fn encode_position(pos: usize, d: usize) -> Tensor {
+    let full = positional_encoding(pos + 1, d);
+    full.slice(0, pos, pos + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_range() {
+        let pe = positional_encoding(16, 8);
+        assert_eq!(pe.shape(), &[16, 8]);
+        assert!(pe.data().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn position_zero_is_sin0_cos0() {
+        let pe = positional_encoding(2, 4);
+        assert_eq!(pe.at(&[0, 0]), 0.0); // sin 0
+        assert_eq!(pe.at(&[0, 1]), 1.0); // cos 0
+    }
+
+    #[test]
+    fn distinct_positions_distinct_codes() {
+        let pe = positional_encoding(64, 16);
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                let ra = &pe.data()[a * 16..(a + 1) * 16];
+                let rb = &pe.data()[b * 16..(b + 1) * 16];
+                assert!(ra != rb, "positions {a} and {b} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_position_matches_table() {
+        let pe = positional_encoding(10, 6);
+        let p7 = encode_position(7, 6);
+        assert_eq!(p7.data(), &pe.data()[7 * 6..8 * 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_dim_rejected() {
+        let _ = positional_encoding(4, 3);
+    }
+}

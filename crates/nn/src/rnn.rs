@@ -1,0 +1,169 @@
+//! Gated recurrent units — the sequence encoders the path-based baselines
+//! (WDDRA, STDGCN) and DeepOD's trajectory branch use (paper §6.2, §6.4.3:
+//! "they also employ RNNs for processing the input path sequences").
+
+use crate::{HasParams, Linear};
+use odt_tensor::{Graph, Param, Tensor, Var};
+use rand::Rng;
+
+/// A single GRU cell.
+pub struct GruCell {
+    // Update gate, reset gate and candidate each combine input and hidden.
+    wz: Linear,
+    uz: Linear,
+    wr: Linear,
+    ur: Linear,
+    wh: Linear,
+    uh: Linear,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// `in_dim` input width, `hidden` state width.
+    pub fn new(rng: &mut impl Rng, in_dim: usize, hidden: usize, name: &str) -> Self {
+        GruCell {
+            wz: Linear::new(rng, in_dim, hidden, &format!("{name}.wz")),
+            uz: Linear::new_no_bias(rng, hidden, hidden, &format!("{name}.uz")),
+            wr: Linear::new(rng, in_dim, hidden, &format!("{name}.wr")),
+            ur: Linear::new_no_bias(rng, hidden, hidden, &format!("{name}.ur")),
+            wh: Linear::new(rng, in_dim, hidden, &format!("{name}.wh")),
+            uh: Linear::new_no_bias(rng, hidden, hidden, &format!("{name}.uh")),
+            hidden,
+        }
+    }
+
+    /// One step: `x [b, in]`, `h [b, hidden]` → new hidden `[b, hidden]`.
+    pub fn step(&self, g: &Graph, x: Var, h: Var) -> Var {
+        let z = g.sigmoid(g.add(self.wz.forward(g, x), self.uz.forward(g, h)));
+        let r = g.sigmoid(g.add(self.wr.forward(g, x), self.ur.forward(g, h)));
+        let rh = g.mul(r, h);
+        let cand = g.tanh(g.add(self.wh.forward(g, x), self.uh.forward(g, rh)));
+        // h' = (1 - z) ⊙ h + z ⊙ cand
+        let one_minus_z = g.add_scalar(g.neg(z), 1.0);
+        g.add(g.mul(one_minus_z, h), g.mul(z, cand))
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+}
+
+impl HasParams for GruCell {
+    fn params(&self) -> Vec<Param> {
+        [&self.wz, &self.uz, &self.wr, &self.ur, &self.wh, &self.uh]
+            .iter()
+            .flat_map(|l| l.params())
+            .collect()
+    }
+}
+
+/// A single-layer GRU over `[b, t, in]` sequences.
+pub struct Gru {
+    cell: GruCell,
+}
+
+impl Gru {
+    /// Construct with the given input and hidden widths.
+    pub fn new(rng: &mut impl Rng, in_dim: usize, hidden: usize, name: &str) -> Self {
+        Gru {
+            cell: GruCell::new(rng, in_dim, hidden, name),
+        }
+    }
+
+    /// Run over the full sequence; returns the final hidden state `[b, hidden]`.
+    pub fn forward_last(&self, g: &Graph, x: Var) -> Var {
+        let shape = g.shape(x);
+        assert_eq!(shape.len(), 3, "GRU input must be [b, t, in]");
+        let (b, t, in_dim) = (shape[0], shape[1], shape[2]);
+        let mut h = g.input(Tensor::zeros(vec![b, self.cell.hidden()]));
+        for step in 0..t {
+            let xt = g.reshape(g.slice(x, 1, step, step + 1), vec![b, in_dim]);
+            h = self.cell.step(g, xt, h);
+        }
+        h
+    }
+
+    /// Run over the sequence; returns all hidden states `[b, t, hidden]`.
+    pub fn forward_all(&self, g: &Graph, x: Var) -> Var {
+        let shape = g.shape(x);
+        assert_eq!(shape.len(), 3, "GRU input must be [b, t, in]");
+        let (b, t, in_dim) = (shape[0], shape[1], shape[2]);
+        let mut h = g.input(Tensor::zeros(vec![b, self.cell.hidden()]));
+        let mut outs = Vec::with_capacity(t);
+        for step in 0..t {
+            let xt = g.reshape(g.slice(x, 1, step, step + 1), vec![b, in_dim]);
+            h = self.cell.step(g, xt, h);
+            outs.push(g.reshape(h, vec![b, 1, self.cell.hidden()]));
+        }
+        g.concat(&outs, 1)
+    }
+}
+
+impl HasParams for Gru {
+    fn params(&self) -> Vec<Param> {
+        self.cell.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odt_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gru = Gru::new(&mut rng, 3, 5, "gru");
+        let g = Graph::new();
+        let x = g.input(init::normal(&mut rng, vec![2, 4, 3], 1.0));
+        assert_eq!(g.shape(gru.forward_last(&g, x)), vec![2, 5]);
+        assert_eq!(g.shape(gru.forward_all(&g, x)), vec![2, 4, 5]);
+    }
+
+    #[test]
+    fn last_equals_final_of_all() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gru = Gru::new(&mut rng, 2, 3, "gru");
+        let g = Graph::new();
+        let input = init::normal(&mut rng, vec![1, 5, 2], 1.0);
+        let x = g.input(input.clone());
+        let last = g.value(gru.forward_last(&g, x));
+        let x2 = g.input(input);
+        let all = g.value(gru.forward_all(&g, x2));
+        let final_step = all.slice(1, 4, 5).reshape(vec![1, 3]);
+        for (a, b) in last.data().iter().zip(final_step.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn state_stays_bounded() {
+        // GRU hidden state is a convex-ish combination through sigmoid/tanh;
+        // it must stay in (-1, 1) regardless of input magnitude.
+        let mut rng = StdRng::seed_from_u64(2);
+        let gru = Gru::new(&mut rng, 2, 4, "gru");
+        let g = Graph::new();
+        let x = g.input(init::normal(&mut rng, vec![1, 20, 2], 1.0).scale(100.0));
+        let h = g.value(gru.forward_last(&g, x));
+        assert!(h.data().iter().all(|&v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn gradients_flow_through_time() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gru = Gru::new(&mut rng, 2, 3, "gru");
+        let g = Graph::new();
+        let x = g.input(init::normal(&mut rng, vec![1, 4, 2], 1.0));
+        g.backward(g.sum_all(g.square(gru.forward_last(&g, x))));
+        for p in gru.params() {
+            assert!(
+                p.grad().data().iter().any(|&v| v != 0.0),
+                "no grad for {}",
+                p.name()
+            );
+        }
+    }
+}

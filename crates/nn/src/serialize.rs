@@ -1,0 +1,97 @@
+//! JSON checkpointing of parameter sets.
+//!
+//! The two DOT stages are trained separately (paper §5: stage 1's parameters
+//! are frozen before stage 2 trains), so being able to snapshot and restore a
+//! parameter set is part of the pipeline, not just a convenience.
+
+use odt_tensor::{Param, Tensor};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A serializable snapshot of named parameter values.
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
+pub struct StateDict {
+    entries: BTreeMap<String, Tensor>,
+}
+
+impl StateDict {
+    /// Number of parameters captured.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("state dict serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Capture the current values of `params` keyed by parameter name.
+///
+/// Panics if two parameters share a name — state dicts require unique names.
+pub fn state_dict(params: &[Param]) -> StateDict {
+    let mut entries = BTreeMap::new();
+    for p in params {
+        let prev = entries.insert(p.name(), p.value());
+        assert!(prev.is_none(), "duplicate parameter name '{}'", p.name());
+    }
+    StateDict { entries }
+}
+
+/// Restore values into `params` from a snapshot. Every parameter must be
+/// present in the dict with a matching shape.
+pub fn load_state_dict(params: &[Param], dict: &StateDict) {
+    for p in params {
+        let value = dict
+            .entries
+            .get(&p.name())
+            .unwrap_or_else(|| panic!("state dict missing parameter '{}'", p.name()));
+        p.set_value(value.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let a = Param::new(Tensor::from_vec(vec![1.0, 2.0], vec![2]), "a");
+        let b = Param::new(Tensor::scalar(5.0), "b");
+        let dict = state_dict(&[a.clone(), b.clone()]);
+        let json = dict.to_json();
+        let restored = StateDict::from_json(&json).unwrap();
+        a.set_value(Tensor::zeros(vec![2]));
+        b.set_value(Tensor::scalar(0.0));
+        load_state_dict(&[a.clone(), b.clone()], &restored);
+        assert_eq!(a.value().data(), &[1.0, 2.0]);
+        assert_eq!(b.value().data()[0], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_rejected() {
+        let a = Param::new(Tensor::scalar(1.0), "x");
+        let b = Param::new(Tensor::scalar(2.0), "x");
+        let _ = state_dict(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing parameter")]
+    fn missing_entry_rejected() {
+        let a = Param::new(Tensor::scalar(1.0), "a");
+        let dict = state_dict(&[a]);
+        let c = Param::new(Tensor::scalar(1.0), "c");
+        load_state_dict(&[c], &dict);
+    }
+}

@@ -1,0 +1,226 @@
+//! Shortest-path routing: Dijkstra's algorithm (the paper's routing baseline
+//! of §6.2.1) and a penalty-based k-alternative router used by the
+//! trajectory simulator's route-choice model.
+
+use crate::graph::{EdgeId, NodeId, RoadNetwork};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A routed path and its cost under the weight function used to compute it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathResult {
+    /// Node sequence from origin to destination inclusive.
+    pub nodes: Vec<NodeId>,
+    /// Total cost (seconds when weights are travel times).
+    pub cost: f64,
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; costs are finite by construction.
+        other.cost.total_cmp(&self.cost)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra's algorithm from `origin` to `dest` under an arbitrary
+/// non-negative edge weight function. Returns `None` if unreachable.
+pub fn dijkstra(
+    net: &RoadNetwork,
+    origin: NodeId,
+    dest: NodeId,
+    weight: &dyn Fn(EdgeId) -> f64,
+) -> Option<PathResult> {
+    let n = net.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[origin] = 0.0;
+    heap.push(HeapEntry { cost: 0.0, node: origin });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if node == dest {
+            break;
+        }
+        if cost > dist[node] {
+            continue;
+        }
+        for &e in net.out_edges(node) {
+            let w = weight(e);
+            debug_assert!(w >= 0.0, "negative edge weight {w} on edge {e}");
+            let next = net.edge(e).to;
+            let nd = cost + w;
+            if nd < dist[next] {
+                dist[next] = nd;
+                prev[next] = Some(node);
+                heap.push(HeapEntry { cost: nd, node: next });
+            }
+        }
+    }
+    if dist[dest].is_infinite() {
+        return None;
+    }
+    let mut nodes = vec![dest];
+    let mut cur = dest;
+    while let Some(p) = prev[cur] {
+        nodes.push(p);
+        cur = p;
+        if cur == origin {
+            break;
+        }
+    }
+    if *nodes.last().unwrap() != origin {
+        // origin == dest case.
+        if origin != dest {
+            return None;
+        }
+    }
+    nodes.reverse();
+    Some(PathResult { nodes, cost: dist[dest] })
+}
+
+/// Cost of an explicit node path under a weight function. Panics if
+/// consecutive nodes are not adjacent.
+pub fn path_cost(net: &RoadNetwork, path: &[NodeId], weight: &dyn Fn(EdgeId) -> f64) -> f64 {
+    path.windows(2)
+        .map(|w| {
+            let e = net
+                .edge_between(w[0], w[1])
+                .unwrap_or_else(|| panic!("no edge {} -> {}", w[0], w[1]));
+            weight(e)
+        })
+        .sum()
+}
+
+/// Up to `k` distinct alternative paths by iterative edge penalization:
+/// after each shortest path is found, the weights of its edges are
+/// multiplied by `penalty` and Dijkstra re-runs. Costs reported are under
+/// the *original* weights. This is the classic penalty method for
+/// alternative routing — simpler than Yen's algorithm and sufficient for
+/// simulating route choice.
+pub fn k_shortest_paths(
+    net: &RoadNetwork,
+    origin: NodeId,
+    dest: NodeId,
+    weight: &dyn Fn(EdgeId) -> f64,
+    k: usize,
+    penalty: f64,
+) -> Vec<PathResult> {
+    assert!(penalty > 1.0, "penalty must exceed 1");
+    let mut factor: Vec<f64> = vec![1.0; net.num_edges()];
+    let mut results: Vec<PathResult> = Vec::new();
+    for _ in 0..k * 3 {
+        if results.len() >= k {
+            break;
+        }
+        let penalized = |e: EdgeId| weight(e) * factor[e];
+        let Some(found) = dijkstra(net, origin, dest, &penalized) else {
+            break;
+        };
+        // Penalize this path's edges for the next round.
+        for w in found.nodes.windows(2) {
+            if let Some(e) = net.edge_between(w[0], w[1]) {
+                factor[e] *= penalty;
+            }
+        }
+        let true_cost = path_cost(net, &found.nodes, weight);
+        let candidate = PathResult { nodes: found.nodes, cost: true_cost };
+        if !results.iter().any(|r| r.nodes == candidate.nodes) {
+            results.push(candidate);
+        }
+    }
+    results.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weight_time(net: &RoadNetwork) -> impl Fn(EdgeId) -> f64 + '_ {
+        move |e| net.edge(e).base_travel_time()
+    }
+
+    #[test]
+    fn straight_line_is_shortest() {
+        let net = RoadNetwork::grid_city(5, 5, 100.0, 10);
+        let w = weight_time(&net);
+        let r = dijkstra(&net, 0, 4, &w).unwrap();
+        assert_eq!(r.nodes, vec![0, 1, 2, 3, 4]);
+        // Row 0 is an arterial in grid_city, so free-flow is arterial speed.
+        assert!((r.cost - 4.0 * 100.0 / crate::graph::ARTERIAL_SPEED).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diagonal_uses_manhattan_distance() {
+        let net = RoadNetwork::grid_city(4, 4, 100.0, 10);
+        let w = weight_time(&net);
+        let r = dijkstra(&net, 0, 15, &w).unwrap();
+        // 3 east + 3 north = 6 edges regardless of interleaving.
+        assert_eq!(r.nodes.len(), 7);
+    }
+
+    #[test]
+    fn prefers_fast_arterial_detour() {
+        // Arterial row 0 is ~1.7x faster; going along it should beat the
+        // direct slow path when the detour is short.
+        let net = RoadNetwork::grid_city(6, 3, 100.0, 3);
+        let w = weight_time(&net);
+        // From (0,1) to (5,1): direct along row 1 is slow unless row 1 is
+        // arterial; with arterial_every=3 row 0 is arterial.
+        let origin = 6; // (0,1)
+        let dest = 11; // (5,1)
+        let r = dijkstra(&net, origin, dest, &w).unwrap();
+        let direct_cost = 5.0 * 100.0 / 8.33;
+        assert!(r.cost <= direct_cost + 1e-9);
+    }
+
+    #[test]
+    fn origin_equals_dest() {
+        let net = RoadNetwork::grid_city(3, 3, 100.0, 2);
+        let w = weight_time(&net);
+        let r = dijkstra(&net, 4, 4, &w).unwrap();
+        assert_eq!(r.nodes, vec![4]);
+        assert_eq!(r.cost, 0.0);
+    }
+
+    #[test]
+    fn k_shortest_distinct_and_sorted() {
+        let net = RoadNetwork::grid_city(4, 4, 100.0, 10);
+        let w = weight_time(&net);
+        let paths = k_shortest_paths(&net, 0, 15, &w, 3, 1.5);
+        assert!(paths.len() >= 2, "expected multiple alternatives");
+        for pair in paths.windows(2) {
+            assert!(pair[0].cost <= pair[1].cost);
+            assert_ne!(pair[0].nodes, pair[1].nodes);
+        }
+        // All start/end correctly.
+        for p in &paths {
+            assert_eq!(*p.nodes.first().unwrap(), 0);
+            assert_eq!(*p.nodes.last().unwrap(), 15);
+        }
+    }
+
+    #[test]
+    fn k_shortest_costs_use_original_weights() {
+        let net = RoadNetwork::grid_city(4, 4, 100.0, 10);
+        let w = weight_time(&net);
+        let paths = k_shortest_paths(&net, 0, 3, &w, 2, 2.0);
+        for p in &paths {
+            let recomputed = path_cost(&net, &p.nodes, &w);
+            assert!((p.cost - recomputed).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # odt-roadnet
+//!
+//! Road-network substrate for the DOT ODT-Oracle reproduction.
+//!
+//! The paper's routing baselines (§6.2.1) and its synthetic-data substitute
+//! both need a road network:
+//!
+//! * [`RoadNetwork`] — a directed graph of intersections and road segments
+//!   with planar geometry and a grid-city generator (arterials + side
+//!   streets) used by the trajectory simulator.
+//! * [`dijkstra`] / [`k_shortest_paths`] — shortest-path routing over
+//!   arbitrary edge weights (the paper's Dijkstra baseline) and a
+//!   penalty-based k-alternative router used for route-choice simulation.
+//! * [`EdgeWeights`] — historical-average and time-dependent edge travel
+//!   times ("we provide them with a weighted road network, where the weights
+//!   represent the average travel time of road segments calculated from
+//!   historical trajectories").
+//! * [`matching`] — nearest-node map matching of GPS traces onto the graph.
+//! * [`MarkovRouter`] — a destination-conditioned transition-probability
+//!   router learned from historical paths. This is the stand-in for DeepST
+//!   (ICDE'20), which "generates the most probable traveling path between
+//!   origin and destination based on the learned historical travel
+//!   behaviors"; see DESIGN.md for the substitution rationale.
+//! * [`Projection`] — equirectangular meters↔degrees conversion so
+//!   trajectories carry GPS-style lng/lat like the paper's data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dijkstra;
+mod geo;
+mod graph;
+mod markov;
+pub mod matching;
+mod weights;
+
+pub use dijkstra::{dijkstra, k_shortest_paths, path_cost, PathResult};
+pub use geo::{LngLat, Point, Projection};
+pub use graph::{EdgeId, NodeId, RoadNetwork};
+pub use markov::MarkovRouter;
+pub use weights::{EdgeWeights, TimeDependentWeights};

@@ -1,0 +1,150 @@
+//! Map matching: snapping GPS traces onto the road network.
+//!
+//! The paper's path-based pipeline map-matches origins/destinations
+//! (`O → O'`, `D → D'` in Figure 1) and the historical trajectories used to
+//! compute edge weights. We use nearest-node matching with shortest-path
+//! gap filling — adequate because the simulator's GPS noise is small
+//! relative to intersection spacing, and faithful to the paper's
+//! observation that matching error is one source of path-method inaccuracy.
+
+use crate::dijkstra::dijkstra;
+use crate::geo::Point;
+use crate::graph::{EdgeId, NodeId, RoadNetwork};
+
+/// Snap one point to its nearest intersection.
+pub fn match_point(net: &RoadNetwork, p: Point) -> NodeId {
+    net.nearest_node(p)
+}
+
+/// Snap a GPS trace to a connected node path.
+///
+/// Each point maps to its nearest node; consecutive duplicates collapse;
+/// non-adjacent consecutive nodes are joined by the distance-shortest path.
+pub fn match_trajectory(net: &RoadNetwork, points: &[Point]) -> Vec<NodeId> {
+    let snapped: Vec<NodeId> = points.iter().map(|&p| net.nearest_node(p)).collect();
+    let mut dedup: Vec<NodeId> = Vec::with_capacity(snapped.len());
+    for n in snapped {
+        if dedup.last() != Some(&n) {
+            dedup.push(n);
+        }
+    }
+    if dedup.len() <= 1 {
+        return dedup;
+    }
+    let dist = |e: EdgeId| net.edge(e).length_m;
+    let mut path = vec![dedup[0]];
+    for w in dedup.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if net.edge_between(a, b).is_some() {
+            path.push(b);
+        } else if let Some(r) = dijkstra(net, a, b, &dist) {
+            path.extend_from_slice(&r.nodes[1..]);
+        } else {
+            // Disconnected; keep the jump — callers treat the result as a
+            // best-effort match.
+            path.push(b);
+        }
+    }
+    path
+}
+
+/// Per-edge travel-time observations from a timestamped, matched trace.
+///
+/// `timestamps[i]` is the Unix time (seconds) of `points[i]`. The elapsed
+/// time between consecutive GPS fixes is distributed over the edges
+/// connecting their matched nodes proportionally to edge length.
+pub fn edge_observations(
+    net: &RoadNetwork,
+    points: &[Point],
+    timestamps: &[f64],
+) -> Vec<(EdgeId, f64)> {
+    assert_eq!(points.len(), timestamps.len(), "points/timestamps length mismatch");
+    let mut obs = Vec::new();
+    let dist = |e: EdgeId| net.edge(e).length_m;
+    for i in 1..points.len() {
+        let a = net.nearest_node(points[i - 1]);
+        let b = net.nearest_node(points[i]);
+        if a == b {
+            continue;
+        }
+        let dt = timestamps[i] - timestamps[i - 1];
+        if !(dt.is_finite() && dt > 0.0) {
+            continue;
+        }
+        let segment: Vec<NodeId> = if net.edge_between(a, b).is_some() {
+            vec![a, b]
+        } else if let Some(r) = dijkstra(net, a, b, &dist) {
+            r.nodes
+        } else {
+            continue;
+        };
+        let total_len: f64 = segment
+            .windows(2)
+            .filter_map(|w| net.edge_between(w[0], w[1]).map(|e| net.edge(e).length_m))
+            .sum();
+        if total_len <= 0.0 {
+            continue;
+        }
+        for w in segment.windows(2) {
+            if let Some(e) = net.edge_between(w[0], w[1]) {
+                let share = net.edge(e).length_m / total_len;
+                obs.push((e, dt * share));
+            }
+        }
+    }
+    obs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_point_snap() {
+        let net = RoadNetwork::grid_city(3, 3, 100.0, 2);
+        assert_eq!(match_point(&net, Point::new(10.0, -3.0)), 0);
+        assert_eq!(match_point(&net, Point::new(95.0, 104.0)), 4);
+    }
+
+    #[test]
+    fn trajectory_matching_fills_gaps() {
+        let net = RoadNetwork::grid_city(4, 4, 100.0, 2);
+        // Sparse trace jumping two intersections: 0 -> 2 on row 0.
+        let pts = vec![Point::new(2.0, 1.0), Point::new(201.0, 2.0)];
+        let path = match_trajectory(&net, &pts);
+        assert_eq!(path, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn trajectory_matching_dedups() {
+        let net = RoadNetwork::grid_city(3, 3, 100.0, 2);
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 5.0),
+            Point::new(98.0, 0.0),
+        ];
+        let path = match_trajectory(&net, &pts);
+        assert_eq!(path, vec![0, 1]);
+    }
+
+    #[test]
+    fn observations_split_time_by_length() {
+        let net = RoadNetwork::grid_city(4, 2, 100.0, 2);
+        // Trace 0 -> 2 (two 100 m edges) taking 40 s total.
+        let pts = vec![Point::new(0.0, 0.0), Point::new(200.0, 0.0)];
+        let ts = vec![0.0, 40.0];
+        let obs = edge_observations(&net, &pts, &ts);
+        assert_eq!(obs.len(), 2);
+        for (_, t) in &obs {
+            assert!((t - 20.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stationary_points_produce_no_observations() {
+        let net = RoadNetwork::grid_city(3, 3, 100.0, 2);
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let ts = vec![0.0, 30.0];
+        assert!(edge_observations(&net, &pts, &ts).is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+use std::fmt;
+
+/// Errors raised by tensor construction and shape-sensitive operations.
+///
+/// Most tensor ops in this crate panic on shape mismatch (a programming
+/// error in model code), but constructors and data-loading paths return
+/// `Result<_, TensorError>` so callers can surface malformed inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements does not match the product of the shape dims.
+    LengthMismatch {
+        /// Number of data elements provided.
+        len: usize,
+        /// Number of elements the shape implies.
+        expected: usize,
+    },
+    /// Two shapes cannot be broadcast together.
+    BroadcastMismatch {
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+    },
+    /// A reshape changed the element count.
+    ReshapeMismatch {
+        /// Original shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { len, expected } => {
+                write!(f, "data length {len} does not match shape (expected {expected})")
+            }
+            TensorError::BroadcastMismatch { lhs, rhs } => {
+                write!(f, "shapes {lhs:?} and {rhs:?} cannot be broadcast together")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

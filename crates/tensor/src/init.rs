@@ -1,0 +1,107 @@
+//! Seedable random tensor initializers.
+//!
+//! All model initialization in the DOT pipeline flows through these so that
+//! experiments are reproducible run-to-run from a single seed.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Uniform values in `[lo, hi)`.
+pub fn uniform(rng: &mut impl Rng, shape: Vec<usize>, lo: f32, hi: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Standard-normal values scaled by `std` (Box–Muller; avoids a
+/// distribution-crate dependency).
+pub fn normal(rng: &mut impl Rng, shape: Vec<usize>, std: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(data, shape)
+}
+
+/// Xavier/Glorot uniform initialization for a weight of shape
+/// `[fan_out, fan_in]` (or any shape whose first two dims play those roles).
+pub fn xavier_uniform(rng: &mut impl Rng, shape: Vec<usize>) -> Tensor {
+    let (fan_in, fan_out) = fans(&shape);
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, shape, -bound, bound)
+}
+
+/// Kaiming/He normal initialization (for ReLU-family activations).
+pub fn kaiming_normal(rng: &mut impl Rng, shape: Vec<usize>) -> Tensor {
+    let (fan_in, _) = fans(&shape);
+    let std = (2.0 / fan_in as f32).sqrt();
+    normal(rng, shape, std)
+}
+
+/// Fan-in / fan-out of a weight shape. For linear `[out, in]`; for conv
+/// `[c_out, c_in, kh, kw]` the kernel area multiplies both fans.
+fn fans(shape: &[usize]) -> (usize, usize) {
+    match shape.len() {
+        0 => (1, 1),
+        1 => (shape[0], shape[0]),
+        2 => (shape[1], shape[0]),
+        _ => {
+            let receptive: usize = shape[2..].iter().product();
+            (shape[1] * receptive, shape[0] * receptive)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(&mut rng, vec![1000], -0.5, 0.5);
+        assert!(t.data().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = normal(&mut rng, vec![20000], 2.0);
+        let mean = t.mean();
+        let var: f32 =
+            t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.numel() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = normal(&mut StdRng::seed_from_u64(7), vec![16], 1.0);
+        let b = normal(&mut StdRng::seed_from_u64(7), vec![16], 1.0);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn xavier_bound_scales_with_fans() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = xavier_uniform(&mut rng, vec![4, 100]);
+        let bound = (6.0f32 / 104.0).sqrt();
+        assert!(t.data().iter().all(|&v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn conv_fans() {
+        assert_eq!(super::fans(&[8, 4, 3, 3]), (36, 72));
+        assert_eq!(super::fans(&[10, 20]), (20, 10));
+    }
+}

@@ -1,0 +1,522 @@
+//! Heavy compute kernels: matrix multiplication, batched matmul, 2-D
+//! convolution (forward and the two backward kernels) and nearest-neighbor
+//! upsampling. The autograd [`crate::Graph`] dispatches into these.
+//!
+//! Kernels are plain nested loops in `ikj` order (matmul) / direct form
+//! (conv). At DOT's model sizes (images ≤ 30×30, channels ≤ 128, batch ≤ 64)
+//! these are fast enough on one CPU core and trivially auditable.
+
+use crate::tensor::Tensor;
+
+/// `C = A @ B` for 2-D matrices: `[m, k] @ [k, n] -> [m, n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 2, "matmul lhs must be 2-D, got {:?}", a.shape());
+    assert_eq!(b.rank(), 2, "matmul rhs must be 2-D, got {:?}", b.shape());
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul inner dims differ: {:?} @ {:?}", a.shape(), b.shape());
+    let mut out = Tensor::zeros(vec![m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for i in 0..m {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let orow = &mut od[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Batched matmul: `[b, m, k] @ [b, k, n] -> [b, m, n]`.
+pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.rank(), 3, "bmm lhs must be 3-D");
+    assert_eq!(b.rank(), 3, "bmm rhs must be 3-D");
+    let (ba, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+    let (bb, k2, n) = (b.shape()[0], b.shape()[1], b.shape()[2]);
+    assert_eq!(ba, bb, "bmm batch dims differ");
+    assert_eq!(k, k2, "bmm inner dims differ");
+    let mut out = Tensor::zeros(vec![ba, m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let od = out.data_mut();
+    for t in 0..ba {
+        let abase = t * m * k;
+        let bbase = t * k * n;
+        let obase = t * m * n;
+        for i in 0..m {
+            for p in 0..k {
+                let av = ad[abase + i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[bbase + p * n..bbase + (p + 1) * n];
+                let orow = &mut od[obase + i * n..obase + (i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Output spatial size of a convolution: `(in + 2*pad - kernel) / stride + 1`.
+pub fn conv_out_size(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(input + 2 * pad >= kernel, "kernel larger than padded input");
+    (input + 2 * pad - kernel) / stride + 1
+}
+
+/// Unfold one NCHW sample into an im2col matrix `[c_in*kh*kw, ho*wo]`
+/// (row-major into `cols`, which must be zeroed and correctly sized).
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    sample: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    ho: usize,
+    wo: usize,
+    cols: &mut [f32],
+) {
+    debug_assert_eq!(cols.len(), c_in * kh * kw * ho * wo);
+    for ci in 0..c_in {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = ((ci * kh + ky) * kw + kx) * (ho * wo);
+                for oy in 0..ho {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        for ox in 0..wo {
+                            cols[row + oy * wo + ox] = 0.0;
+                        }
+                        continue;
+                    }
+                    let in_row = (ci * h + iy as usize) * w;
+                    for ox in 0..wo {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        cols[row + oy * wo + ox] = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            sample[in_row + ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fold an im2col matrix back into an NCHW sample, accumulating overlaps —
+/// the adjoint of [`im2col`].
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    cols: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    ho: usize,
+    wo: usize,
+    sample: &mut [f32],
+) {
+    for ci in 0..c_in {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = ((ci * kh + ky) * kw + kx) * (ho * wo);
+                for oy in 0..ho {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let in_row = (ci * h + iy as usize) * w;
+                    for ox in 0..wo {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        sample[in_row + ix as usize] += cols[row + oy * wo + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C[m,n] += A[m,k] @ B[k,n]` on raw slices (ikj loop order).
+fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (o, &bv) in crow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `C[m,n] += A^T[k,m] @ B[k,n]` where `A` is stored `[k, m]`.
+fn gemm_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (o, &bv) in crow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `C[m,n] += A[m,k] @ B^T[n,k]` where `B` is stored `[n, k]`.
+fn gemm_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+/// 2-D convolution, NCHW layout, via im2col + GEMM.
+///
+/// * `x`: `[batch, c_in, h, w]`
+/// * `weight`: `[c_out, c_in, kh, kw]`
+/// * `bias`: `[c_out]` (optional)
+///
+/// Returns `[batch, c_out, h_out, w_out]`.
+pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, stride: usize, pad: usize) -> Tensor {
+    assert_eq!(x.rank(), 4, "conv2d input must be NCHW");
+    assert_eq!(weight.rank(), 4, "conv2d weight must be [c_out, c_in, kh, kw]");
+    let (b, c_in, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (c_out, c_in2, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    assert_eq!(c_in, c_in2, "conv2d channel mismatch");
+    if let Some(bt) = bias {
+        assert_eq!(bt.shape(), &[c_out], "conv2d bias must be [c_out]");
+    }
+    let ho = conv_out_size(h, kh, stride, pad);
+    let wo = conv_out_size(w, kw, stride, pad);
+    let k = c_in * kh * kw;
+    let n = ho * wo;
+    let mut out = Tensor::zeros(vec![b, c_out, ho, wo]);
+    let xd = x.data();
+    let wd = weight.data();
+    let od = out.data_mut();
+    let mut cols = vec![0.0f32; k * n];
+    for bi in 0..b {
+        im2col(&xd[bi * c_in * h * w..(bi + 1) * c_in * h * w], c_in, h, w, kh, kw, stride, pad, ho, wo, &mut cols);
+        let out_b = &mut od[bi * c_out * n..(bi + 1) * c_out * n];
+        gemm_acc(wd, &cols, out_b, c_out, k, n);
+        if let Some(bt) = bias {
+            for co in 0..c_out {
+                let bv = bt.data()[co];
+                for o in &mut out_b[co * n..(co + 1) * n] {
+                    *o += bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of conv2d w.r.t. the input (`dL/dx`), given upstream `dL/dy`:
+/// `dcols = Wᵀ @ dy`, folded back with col2im.
+pub fn conv2d_grad_input(
+    grad_out: &Tensor,
+    weight: &Tensor,
+    input_shape: &[usize],
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let (b, c_in, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+    let (c_out, _, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    let (ho, wo) = (grad_out.shape()[2], grad_out.shape()[3]);
+    let k = c_in * kh * kw;
+    let n = ho * wo;
+    let mut gx = Tensor::zeros(input_shape.to_vec());
+    let gd = grad_out.data();
+    let wd = weight.data();
+    let gxd = gx.data_mut();
+    let mut dcols = vec![0.0f32; k * n];
+    for bi in 0..b {
+        dcols.iter_mut().for_each(|v| *v = 0.0);
+        let gout_b = &gd[bi * c_out * n..(bi + 1) * c_out * n];
+        // dcols [k, n] = W^T [k, c_out] @ gout [c_out, n]; W stored [c_out, k].
+        gemm_at_b_acc(wd, gout_b, &mut dcols, k, c_out, n);
+        col2im(
+            &dcols,
+            c_in,
+            h,
+            w,
+            kh,
+            kw,
+            stride,
+            pad,
+            ho,
+            wo,
+            &mut gxd[bi * c_in * h * w..(bi + 1) * c_in * h * w],
+        );
+    }
+    gx
+}
+
+/// Gradient of conv2d w.r.t. the weight (`dL/dW`), given upstream `dL/dy`:
+/// `dW = Σ_b dy_b @ cols_bᵀ`.
+pub fn conv2d_grad_weight(
+    grad_out: &Tensor,
+    x: &Tensor,
+    weight_shape: &[usize],
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let (b, c_in, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (c_out, _, kh, kw) = (
+        weight_shape[0],
+        weight_shape[1],
+        weight_shape[2],
+        weight_shape[3],
+    );
+    let (ho, wo) = (grad_out.shape()[2], grad_out.shape()[3]);
+    let k = c_in * kh * kw;
+    let n = ho * wo;
+    let mut gw = Tensor::zeros(weight_shape.to_vec());
+    let gd = grad_out.data();
+    let xd = x.data();
+    let gwd = gw.data_mut();
+    let mut cols = vec![0.0f32; k * n];
+    for bi in 0..b {
+        im2col(&xd[bi * c_in * h * w..(bi + 1) * c_in * h * w], c_in, h, w, kh, kw, stride, pad, ho, wo, &mut cols);
+        let gout_b = &gd[bi * c_out * n..(bi + 1) * c_out * n];
+        // dW [c_out, k] += gout [c_out, n] @ cols^T [n, k]; cols stored [k, n].
+        gemm_a_bt_acc(gout_b, &cols, gwd, c_out, n, k);
+    }
+    gw
+}
+
+/// Gradient of conv2d w.r.t. the bias: sum of `dL/dy` over batch and space.
+pub fn conv2d_grad_bias(grad_out: &Tensor) -> Tensor {
+    let (b, c_out, ho, wo) = (
+        grad_out.shape()[0],
+        grad_out.shape()[1],
+        grad_out.shape()[2],
+        grad_out.shape()[3],
+    );
+    let mut gb = Tensor::zeros(vec![c_out]);
+    let gd = grad_out.data();
+    let gbd = gb.data_mut();
+    for bi in 0..b {
+        for co in 0..c_out {
+            let base = ((bi * c_out + co) * ho) * wo;
+            gbd[co] += gd[base..base + ho * wo].iter().sum::<f32>();
+        }
+    }
+    gb
+}
+
+/// Nearest-neighbor 2× spatial upsampling, NCHW: `[b, c, h, w] -> [b, c, 2h, 2w]`.
+pub fn upsample_nearest2(x: &Tensor) -> Tensor {
+    assert_eq!(x.rank(), 4, "upsample input must be NCHW");
+    let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let mut out = Tensor::zeros(vec![b, c, 2 * h, 2 * w]);
+    let xd = x.data();
+    let od = out.data_mut();
+    for bc in 0..b * c {
+        for y in 0..h {
+            for xx in 0..w {
+                let v = xd[(bc * h + y) * w + xx];
+                let base = bc * 4 * h * w;
+                od[base + (2 * y) * 2 * w + 2 * xx] = v;
+                od[base + (2 * y) * 2 * w + 2 * xx + 1] = v;
+                od[base + (2 * y + 1) * 2 * w + 2 * xx] = v;
+                od[base + (2 * y + 1) * 2 * w + 2 * xx + 1] = v;
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of [`upsample_nearest2`]: each input pixel receives the sum of
+/// its four output copies.
+pub fn upsample_nearest2_grad(grad_out: &Tensor) -> Tensor {
+    let (b, c, h2, w2) = (
+        grad_out.shape()[0],
+        grad_out.shape()[1],
+        grad_out.shape()[2],
+        grad_out.shape()[3],
+    );
+    assert!(h2 % 2 == 0 && w2 % 2 == 0, "upsample grad expects even dims");
+    let (h, w) = (h2 / 2, w2 / 2);
+    let mut gx = Tensor::zeros(vec![b, c, h, w]);
+    let gd = grad_out.data();
+    let gxd = gx.data_mut();
+    for bc in 0..b * c {
+        for y in 0..h {
+            for xx in 0..w {
+                let base = bc * h2 * w2;
+                let s = gd[base + (2 * y) * w2 + 2 * xx]
+                    + gd[base + (2 * y) * w2 + 2 * xx + 1]
+                    + gd[base + (2 * y + 1) * w2 + 2 * xx]
+                    + gd[base + (2 * y + 1) * w2 + 2 * xx + 1];
+                gxd[(bc * h + y) * w + xx] = s;
+            }
+        }
+    }
+    gx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], vec![2, 2]);
+        assert_eq!(matmul(&a, &i).data(), a.data());
+        assert_eq!(matmul(&i, &a).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], vec![3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![2, 3]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), vec![2, 2, 3]);
+        let b = Tensor::from_vec((0..12).map(|v| (v as f32) * 0.5).collect(), vec![2, 3, 2]);
+        let c = bmm(&a, &b);
+        for t in 0..2 {
+            let at = a.slice(0, t, t + 1).reshape(vec![2, 3]);
+            let bt = b.slice(0, t, t + 1).reshape(vec![3, 2]);
+            let ct = matmul(&at, &bt);
+            assert_eq!(c.slice(0, t, t + 1).reshape(vec![2, 2]).data(), ct.data());
+        }
+    }
+
+    #[test]
+    fn conv_out_sizes() {
+        assert_eq!(conv_out_size(5, 3, 1, 1), 5); // same padding
+        assert_eq!(conv_out_size(5, 3, 1, 0), 3); // valid
+        assert_eq!(conv_out_size(6, 4, 2, 1), 3); // strided downsample
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // A 1x1 kernel of weight 1 is the identity map.
+        let x = Tensor::from_vec((0..9).map(|v| v as f32).collect(), vec![1, 1, 3, 3]);
+        let w = Tensor::from_vec(vec![1.0], vec![1, 1, 1, 1]);
+        let y = conv2d(&x, &w, None, 1, 0);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv2d_box_filter_with_padding() {
+        // 3x3 all-ones kernel with pad 1: center pixel sums whole 3x3 input.
+        let x = Tensor::ones(vec![1, 1, 3, 3]);
+        let w = Tensor::ones(vec![1, 1, 3, 3]);
+        let y = conv2d(&x, &w, None, 1, 1);
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        assert_eq!(y.at(&[0, 0, 1, 1]), 9.0); // center sees all 9
+        assert_eq!(y.at(&[0, 0, 0, 0]), 4.0); // corner sees 4
+        assert_eq!(y.at(&[0, 0, 0, 1]), 6.0); // edge sees 6
+    }
+
+    #[test]
+    fn conv2d_bias_added_per_channel() {
+        let x = Tensor::zeros(vec![1, 1, 2, 2]);
+        let w = Tensor::zeros(vec![2, 1, 1, 1]);
+        let b = Tensor::from_vec(vec![1.5, -2.0], vec![2]);
+        let y = conv2d(&x, &w, Some(&b), 1, 0);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 1.5);
+        assert_eq!(y.at(&[0, 1, 1, 1]), -2.0);
+    }
+
+    #[test]
+    fn conv2d_multi_channel_sums_inputs() {
+        let x = Tensor::ones(vec![1, 3, 2, 2]);
+        let w = Tensor::ones(vec![1, 3, 1, 1]);
+        let y = conv2d(&x, &w, None, 1, 0);
+        assert!(y.data().iter().all(|&v| (v - 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn conv2d_stride_two_downsamples() {
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), vec![1, 1, 4, 4]);
+        let w = Tensor::from_vec(vec![1.0], vec![1, 1, 1, 1]);
+        let y = conv2d(&x, &w, None, 2, 0);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn conv_grad_bias_sums_everything_per_channel() {
+        let g = Tensor::ones(vec![2, 3, 2, 2]);
+        let gb = conv2d_grad_bias(&g);
+        assert_eq!(gb.shape(), &[3]);
+        assert!(gb.data().iter().all(|&v| (v - 8.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn upsample_and_grad_round_trip() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![1, 1, 2, 2]);
+        let up = upsample_nearest2(&x);
+        assert_eq!(up.shape(), &[1, 1, 4, 4]);
+        assert_eq!(up.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(up.at(&[0, 0, 0, 1]), 1.0);
+        assert_eq!(up.at(&[0, 0, 3, 3]), 4.0);
+        // Sum over a one-tensor upstream grad = 4 copies of each pixel.
+        let g = upsample_nearest2_grad(&Tensor::ones(vec![1, 1, 4, 4]));
+        assert!(g.data().iter().all(|&v| v == 4.0));
+    }
+}

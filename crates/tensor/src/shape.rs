@@ -1,0 +1,148 @@
+//! Shape arithmetic: element counts, row-major strides and NumPy-style
+//! broadcasting rules.
+
+use crate::TensorError;
+
+/// A tensor shape: dimension sizes, outermost first.
+pub type Shape = Vec<usize>;
+
+/// Number of elements a shape describes (product of dims; 1 for scalars).
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides for a contiguous tensor of the given shape.
+///
+/// `strides_for(&[2, 3, 4]) == [12, 4, 1]`.
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0; shape.len()];
+    let mut acc = 1;
+    for (stride, &dim) in strides.iter_mut().zip(shape.iter()).rev() {
+        *stride = acc;
+        acc *= dim;
+    }
+    strides
+}
+
+/// Compute the broadcast result shape of two shapes per NumPy rules:
+/// align trailing dims; each pair must be equal or one of them 1.
+pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Shape, TensorError> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0; rank];
+    for i in 0..rank {
+        let l = dim_from_end(lhs, i);
+        let r = dim_from_end(rhs, i);
+        out[rank - 1 - i] = if l == r || r == 1 {
+            l
+        } else if l == 1 {
+            r
+        } else {
+            return Err(TensorError::BroadcastMismatch {
+                lhs: lhs.to_vec(),
+                rhs: rhs.to_vec(),
+            });
+        };
+    }
+    Ok(out)
+}
+
+/// The `i`-th dimension counted from the end, treating missing leading dims
+/// as size 1 (the broadcasting convention).
+fn dim_from_end(shape: &[usize], i: usize) -> usize {
+    if i < shape.len() {
+        shape[shape.len() - 1 - i]
+    } else {
+        1
+    }
+}
+
+/// Strides to iterate a tensor of shape `shape` as if it had the (broadcast)
+/// shape `target`: broadcast dimensions get stride 0.
+///
+/// Panics if `shape` does not broadcast to `target`; call
+/// [`broadcast_shapes`] first to validate.
+pub fn broadcast_strides(shape: &[usize], target: &[usize]) -> Vec<usize> {
+    let base = strides_for(shape);
+    let rank = target.len();
+    let mut out = vec![0; rank];
+    for i in 0..rank {
+        let dim = dim_from_end(shape, i);
+        let tdim = target[rank - 1 - i];
+        assert!(
+            dim == tdim || dim == 1,
+            "shape {shape:?} does not broadcast to {target:?}"
+        );
+        out[rank - 1 - i] = if dim == tdim && dim != 1 {
+            base[shape.len() - 1 - i]
+        } else if dim == 1 {
+            0
+        } else {
+            base[shape.len() - 1 - i]
+        };
+    }
+    out
+}
+
+/// Advance a multi-dimensional index `idx` (odometer order) within `shape`.
+/// Returns `false` once the index wraps past the final element.
+pub fn next_index(idx: &mut [usize], shape: &[usize]) -> bool {
+    for i in (0..shape.len()).rev() {
+        idx[i] += 1;
+        if idx[i] < shape[i] {
+            return true;
+        }
+        idx[i] = 0;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn numel_products() {
+        assert_eq!(numel(&[2, 3, 4]), 24);
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[0, 4]), 0);
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[1], &[4, 5]).unwrap(), vec![4, 5]);
+    }
+
+    #[test]
+    fn broadcast_mismatch() {
+        assert!(broadcast_shapes(&[2, 3], &[2, 4]).is_err());
+        assert!(broadcast_shapes(&[3, 2], &[2, 3]).is_err());
+    }
+
+    #[test]
+    fn broadcast_strides_zeroes_broadcast_dims() {
+        assert_eq!(broadcast_strides(&[2, 1], &[2, 3]), vec![1, 0]);
+        assert_eq!(broadcast_strides(&[3], &[2, 3]), vec![0, 1]);
+        assert_eq!(broadcast_strides(&[2, 3], &[2, 3]), vec![3, 1]);
+    }
+
+    #[test]
+    fn odometer_iterates_all() {
+        let shape = [2, 3];
+        let mut idx = vec![0, 0];
+        let mut count = 1;
+        while next_index(&mut idx, &shape) {
+            count += 1;
+        }
+        assert_eq!(count, 6);
+    }
+}

@@ -1,0 +1,609 @@
+//! The dense `f32` [`Tensor`] type and its forward math.
+//!
+//! Tensors are row-major and always contiguous; views are materialized.
+//! This keeps the autograd tape simple (every node owns its value) at the
+//! cost of some copies, which is acceptable at the model sizes the DOT
+//! pipeline uses (images of `L_G × L_G ≤ 30 × 30`, embeddings ≤ 256).
+
+use crate::shape::{broadcast_shapes, broadcast_strides, next_index, numel, strides_for};
+use crate::TensorError;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major, contiguous `f32` tensor.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let preview: Vec<f32> = self.data.iter().take(8).copied().collect();
+        let ellipsis = if self.data.len() > 8 { ", …" } else { "" };
+        write!(f, "Tensor{:?} {preview:?}{ellipsis}", self.shape)
+    }
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let n = numel(&shape);
+        Tensor { shape, data: vec![0.0; n] }
+    }
+
+    /// A tensor of ones with the given shape.
+    pub fn ones(shape: Vec<usize>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: Vec<usize>, value: f32) -> Self {
+        let n = numel(&shape);
+        Tensor { shape, data: vec![value; n] }
+    }
+
+    /// A rank-0-like scalar stored as shape `[1]`.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: vec![1], data: vec![value] }
+    }
+
+    /// Build a tensor from raw data; errors if `data.len()` disagrees with
+    /// the shape.
+    pub fn try_from_vec(data: Vec<f32>, shape: Vec<usize>) -> Result<Self, TensorError> {
+        let expected = numel(&shape);
+        if data.len() != expected {
+            return Err(TensorError::LengthMismatch { len: data.len(), expected });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Build a tensor from raw data; panics on length mismatch.
+    pub fn from_vec(data: Vec<f32>, shape: Vec<usize>) -> Self {
+        Self::try_from_vec(data, shape).expect("tensor data length must match shape")
+    }
+
+    /// `n` evenly spaced values from `start` to `end` inclusive, shape `[n]`.
+    pub fn linspace(start: f32, end: f32, n: usize) -> Self {
+        assert!(n >= 2, "linspace needs at least two points");
+        let step = (end - start) / (n as f32 - 1.0);
+        let data = (0..n).map(|i| start + step * i as f32).collect();
+        Tensor { shape: vec![n], data }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The shape (dimension sizes, outermost first).
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Raw data slice (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the raw data vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        debug_assert_eq!(idx.len(), self.shape.len());
+        let strides = strides_for(&self.shape);
+        let flat: usize = idx.iter().zip(&strides).map(|(i, s)| i * s).sum();
+        self.data[flat]
+    }
+
+    /// Set element at a multi-dimensional index.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        debug_assert_eq!(idx.len(), self.shape.len());
+        let strides = strides_for(&self.shape);
+        let flat: usize = idx.iter().zip(&strides).map(|(i, s)| i * s).sum();
+        self.data[flat] = value;
+    }
+
+    /// `true` if every element is finite (no NaN/inf).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Reshape without copying semantics change; element count must match.
+    pub fn reshape(&self, shape: Vec<usize>) -> Self {
+        assert_eq!(
+            numel(&shape),
+            self.data.len(),
+            "reshape {:?} -> {:?} changes element count",
+            self.shape,
+            shape
+        );
+        Tensor { shape, data: self.data.clone() }
+    }
+
+    /// Permute dimensions; `perm` must be a permutation of `0..rank`.
+    pub fn permute(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.rank(), "permutation rank mismatch");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(p < perm.len() && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        let out_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
+        let in_strides = strides_for(&self.shape);
+        let mut out = Tensor::zeros(out_shape.clone());
+        if out.data.is_empty() {
+            return out;
+        }
+        let mut idx = vec![0usize; out_shape.len()];
+        let mut flat = 0usize;
+        loop {
+            let src: usize = idx
+                .iter()
+                .enumerate()
+                .map(|(d, &i)| i * in_strides[perm[d]])
+                .sum();
+            out.data[flat] = self.data[src];
+            flat += 1;
+            if !next_index(&mut idx, &out_shape) {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Transpose a 2-D tensor.
+    pub fn transpose2(&self) -> Self {
+        assert_eq!(self.rank(), 2, "transpose2 requires a matrix");
+        self.permute(&[1, 0])
+    }
+
+    /// Concatenate tensors along `axis`; all other dims must match.
+    pub fn concat(tensors: &[&Tensor], axis: usize) -> Self {
+        assert!(!tensors.is_empty(), "concat of zero tensors");
+        let rank = tensors[0].rank();
+        assert!(axis < rank, "concat axis out of range");
+        for t in tensors {
+            assert_eq!(t.rank(), rank, "concat rank mismatch");
+            for d in 0..rank {
+                if d != axis {
+                    assert_eq!(t.shape[d], tensors[0].shape[d], "concat dim {d} mismatch");
+                }
+            }
+        }
+        let mut out_shape = tensors[0].shape.clone();
+        out_shape[axis] = tensors.iter().map(|t| t.shape[axis]).sum();
+
+        // Treat each tensor as (outer, axis_len, inner) blocks.
+        let outer: usize = out_shape[..axis].iter().product();
+        let inner: usize = out_shape[axis + 1..].iter().product();
+        let mut data = Vec::with_capacity(numel(&out_shape));
+        for o in 0..outer {
+            for t in tensors {
+                let a = t.shape[axis];
+                let start = o * a * inner;
+                data.extend_from_slice(&t.data[start..start + a * inner]);
+            }
+        }
+        Tensor { shape: out_shape, data }
+    }
+
+    /// Slice `[start, end)` along `axis`.
+    pub fn slice(&self, axis: usize, start: usize, end: usize) -> Self {
+        assert!(axis < self.rank(), "slice axis out of range");
+        assert!(start <= end && end <= self.shape[axis], "slice range out of bounds");
+        let mut out_shape = self.shape.clone();
+        out_shape[axis] = end - start;
+        let outer: usize = self.shape[..axis].iter().product();
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let a = self.shape[axis];
+        let mut data = Vec::with_capacity(numel(&out_shape));
+        for o in 0..outer {
+            let base = o * a * inner;
+            data.extend_from_slice(&self.data[base + start * inner..base + end * inner]);
+        }
+        Tensor { shape: out_shape, data }
+    }
+
+    /// Select rows (axis 0) by index, producing shape `[indices.len(), rest…]`.
+    /// This is the embedding-lookup / masked-gather primitive.
+    pub fn index_select0(&self, indices: &[usize]) -> Self {
+        assert!(self.rank() >= 1, "index_select0 needs rank >= 1");
+        let row = self.data.len() / self.shape[0].max(1);
+        let mut out_shape = self.shape.clone();
+        out_shape[0] = indices.len();
+        let mut data = Vec::with_capacity(indices.len() * row);
+        for &i in indices {
+            assert!(i < self.shape[0], "index {i} out of bounds for dim {}", self.shape[0]);
+            data.extend_from_slice(&self.data[i * row..(i + 1) * row]);
+        }
+        Tensor { shape: out_shape, data }
+    }
+
+    /// Scatter-add rows into a zero tensor of `dim0` rows: the reverse of
+    /// [`Tensor::index_select0`]. Duplicate indices accumulate.
+    pub fn index_add0(&self, indices: &[usize], dim0: usize) -> Self {
+        assert_eq!(self.shape[0], indices.len(), "index_add0 row count mismatch");
+        let row = if indices.is_empty() { 0 } else { self.data.len() / indices.len() };
+        let mut out_shape = self.shape.clone();
+        out_shape[0] = dim0;
+        let mut out = Tensor::zeros(out_shape);
+        for (r, &i) in indices.iter().enumerate() {
+            assert!(i < dim0, "index {i} out of bounds for dim {dim0}");
+            for c in 0..row {
+                out.data[i * row + c] += self.data[r * row + c];
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise / broadcasting
+    // ------------------------------------------------------------------
+
+    /// Apply `f` elementwise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Broadcasting binary op: `f(self, rhs)` elementwise over the broadcast
+    /// shape. Panics on incompatible shapes.
+    pub fn zip_broadcast(&self, rhs: &Tensor, f: impl Fn(f32, f32) -> f32) -> Self {
+        if self.shape == rhs.shape {
+            // Fast path: same shape, no stride juggling.
+            let data = self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Tensor { shape: self.shape.clone(), data };
+        }
+        let out_shape = broadcast_shapes(&self.shape, &rhs.shape)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let ls = broadcast_strides(&self.shape, &out_shape);
+        let rs = broadcast_strides(&rhs.shape, &out_shape);
+        let mut out = Tensor::zeros(out_shape.clone());
+        if out.data.is_empty() {
+            return out;
+        }
+        let mut idx = vec![0usize; out_shape.len()];
+        let mut flat = 0usize;
+        loop {
+            let li: usize = idx.iter().zip(&ls).map(|(i, s)| i * s).sum();
+            let ri: usize = idx.iter().zip(&rs).map(|(i, s)| i * s).sum();
+            out.data[flat] = f(self.data[li], rhs.data[ri]);
+            flat += 1;
+            if !next_index(&mut idx, &out_shape) {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Elementwise (broadcasting) addition.
+    pub fn add(&self, rhs: &Tensor) -> Self {
+        self.zip_broadcast(rhs, |a, b| a + b)
+    }
+
+    /// Elementwise (broadcasting) subtraction.
+    pub fn sub(&self, rhs: &Tensor) -> Self {
+        self.zip_broadcast(rhs, |a, b| a - b)
+    }
+
+    /// Elementwise (broadcasting) multiplication.
+    pub fn mul(&self, rhs: &Tensor) -> Self {
+        self.zip_broadcast(rhs, |a, b| a * b)
+    }
+
+    /// Elementwise (broadcasting) division.
+    pub fn div(&self, rhs: &Tensor) -> Self {
+        self.zip_broadcast(rhs, |a, b| a / b)
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|v| v * s)
+    }
+
+    /// Add a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Self {
+        self.map(|v| v + s)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Self {
+        self.map(|v| -v)
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element; `None` when empty.
+    pub fn max(&self) -> Option<f32> {
+        self.data.iter().copied().reduce(f32::max)
+    }
+
+    /// Minimum element; `None` when empty.
+    pub fn min(&self) -> Option<f32> {
+        self.data.iter().copied().reduce(f32::min)
+    }
+
+    /// Sum along `axis`, keeping the axis as size 1 when `keepdim`.
+    pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Self {
+        assert!(axis < self.rank(), "sum_axis out of range");
+        let outer: usize = self.shape[..axis].iter().product();
+        let a = self.shape[axis];
+        let inner: usize = self.shape[axis + 1..].iter().product();
+        let mut out_shape = self.shape.clone();
+        if keepdim {
+            out_shape[axis] = 1;
+        } else {
+            out_shape.remove(axis);
+        }
+        let mut data = vec![0.0; outer * inner];
+        for o in 0..outer {
+            for k in 0..a {
+                let base = (o * a + k) * inner;
+                for i in 0..inner {
+                    data[o * inner + i] += self.data[base + i];
+                }
+            }
+        }
+        Tensor { shape: out_shape, data }
+    }
+
+    /// Mean along `axis`, keeping the axis as size 1 when `keepdim`.
+    pub fn mean_axis(&self, axis: usize, keepdim: bool) -> Self {
+        let n = self.shape[axis].max(1) as f32;
+        self.sum_axis(axis, keepdim).scale(1.0 / n)
+    }
+
+    /// Sum-reduce this tensor down to `target` shape (inverse of a broadcast):
+    /// used to push gradients back through broadcasting binary ops.
+    pub fn reduce_to_shape(&self, target: &[usize]) -> Self {
+        if self.shape == target {
+            return self.clone();
+        }
+        let mut t = self.clone();
+        // Remove extra leading dims by summing them away.
+        while t.rank() > target.len() {
+            t = t.sum_axis(0, false);
+        }
+        // Sum over dims where target is 1 but t is larger.
+        for d in 0..target.len() {
+            if target[d] == 1 && t.shape[d] != 1 {
+                t = t.sum_axis(d, true);
+            }
+        }
+        assert_eq!(t.shape, target, "reduce_to_shape produced wrong shape");
+        t
+    }
+
+    /// Softmax along the last dimension (numerically stabilized).
+    pub fn softmax_lastdim(&self) -> Self {
+        let inner = *self.shape.last().expect("softmax needs rank >= 1");
+        let outer = self.data.len() / inner.max(1);
+        let mut out = self.clone();
+        for o in 0..outer {
+            let row = &mut out.data[o * inner..(o + 1) * inner];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - m).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        out
+    }
+
+    /// Index of the maximum along the last dimension; shape loses that dim.
+    pub fn argmax_lastdim(&self) -> Vec<usize> {
+        let inner = *self.shape.last().expect("argmax needs rank >= 1");
+        let outer = self.data.len() / inner.max(1);
+        (0..outer)
+            .map(|o| {
+                let row = &self.data[o * inner..(o + 1) * inner];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let z = Tensor::zeros(vec![2, 3]);
+        assert_eq!(z.shape(), &[2, 3]);
+        assert_eq!(z.numel(), 6);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+
+        let f = Tensor::full(vec![2], 4.5);
+        assert_eq!(f.data(), &[4.5, 4.5]);
+
+        assert!(Tensor::try_from_vec(vec![1.0, 2.0], vec![3]).is_err());
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let t = Tensor::linspace(0.0, 1.0, 5);
+        assert_eq!(t.data(), &[0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut t = Tensor::zeros(vec![2, 3]);
+        t.set(&[1, 2], 7.0);
+        assert_eq!(t.at(&[1, 2]), 7.0);
+        assert_eq!(t.data()[5], 7.0);
+    }
+
+    #[test]
+    fn broadcast_add_row() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], vec![3]);
+        let c = a.add(&b);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn broadcast_col_times_row() {
+        let col = Tensor::from_vec(vec![1.0, 2.0], vec![2, 1]);
+        let row = Tensor::from_vec(vec![3.0, 4.0, 5.0], vec![1, 3]);
+        let m = col.mul(&row);
+        assert_eq!(m.shape(), &[2, 3]);
+        assert_eq!(m.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast")]
+    fn broadcast_mismatch_panics() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![2, 4]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    fn permute_and_transpose() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        let tt = t.transpose2();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+
+        let t3 = Tensor::from_vec((0..24).map(|v| v as f32).collect(), vec![2, 3, 4]);
+        let p = t3.permute(&[2, 0, 1]);
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        assert_eq!(p.at(&[1, 0, 2]), t3.at(&[0, 2, 1]));
+    }
+
+    #[test]
+    fn concat_axis0_and_1() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], vec![1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], vec![1, 2]);
+        let c0 = Tensor::concat(&[&a, &b], 0);
+        assert_eq!(c0.shape(), &[2, 2]);
+        assert_eq!(c0.data(), &[1.0, 2.0, 3.0, 4.0]);
+        let c1 = Tensor::concat(&[&a, &b], 1);
+        assert_eq!(c1.shape(), &[1, 4]);
+        assert_eq!(c1.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn slice_middle_axis() {
+        let t = Tensor::from_vec((0..24).map(|v| v as f32).collect(), vec![2, 3, 4]);
+        let s = t.slice(1, 1, 3);
+        assert_eq!(s.shape(), &[2, 2, 4]);
+        assert_eq!(s.at(&[0, 0, 0]), t.at(&[0, 1, 0]));
+        assert_eq!(s.at(&[1, 1, 3]), t.at(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn index_select_and_add_are_adjoint_shapes() {
+        let t = Tensor::from_vec((0..12).map(|v| v as f32).collect(), vec![4, 3]);
+        let sel = t.index_select0(&[3, 1, 1]);
+        assert_eq!(sel.shape(), &[3, 3]);
+        assert_eq!(sel.data()[0..3], [9.0, 10.0, 11.0]);
+        let back = sel.index_add0(&[3, 1, 1], 4);
+        assert_eq!(back.shape(), &[4, 3]);
+        // Row 1 accumulated twice.
+        assert_eq!(back.at(&[1, 0]), 6.0);
+        assert_eq!(back.at(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        assert_eq!(t.sum(), 21.0);
+        assert!((t.mean() - 3.5).abs() < 1e-6);
+        let s0 = t.sum_axis(0, false);
+        assert_eq!(s0.shape(), &[3]);
+        assert_eq!(s0.data(), &[5.0, 7.0, 9.0]);
+        let s1 = t.sum_axis(1, true);
+        assert_eq!(s1.shape(), &[2, 1]);
+        assert_eq!(s1.data(), &[6.0, 15.0]);
+        let m1 = t.mean_axis(1, false);
+        assert_eq!(m1.data(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn reduce_to_shape_inverts_broadcast() {
+        let g = Tensor::ones(vec![2, 3]);
+        let r = g.reduce_to_shape(&[3]);
+        assert_eq!(r.shape(), &[3]);
+        assert_eq!(r.data(), &[2.0, 2.0, 2.0]);
+        let r2 = g.reduce_to_shape(&[2, 1]);
+        assert_eq!(r2.data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], vec![2, 3]);
+        let s = t.softmax_lastdim();
+        for o in 0..2 {
+            let sum: f32 = s.data()[o * 3..(o + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Numerical stability: huge logits must not produce NaN.
+        assert!(s.is_finite());
+        assert!((s.data()[3] - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn argmax() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.2, 0.1, 0.3], vec![2, 3]);
+        assert_eq!(t.argmax_lastdim(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for tensor algebra and autograd invariants.
+
+use odt_tensor::{Graph, Tensor};
+use proptest::prelude::*;
+
+// Strategy: a small tensor with random shape (rank 1-3, dims 1-5) and values.
+fn small_tensor() -> impl Strategy<Value = Tensor> {
+    (1usize..=3)
+        .prop_flat_map(|rank| proptest::collection::vec(1usize..=5, rank))
+        .prop_flat_map(|shape| {
+            let n: usize = shape.iter().product();
+            proptest::collection::vec(-10.0f32..10.0, n)
+                .prop_map(move |data| Tensor::from_vec(data, shape.clone()))
+        })
+}
+
+fn matrix(m: usize, k: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-3.0f32..3.0, m * k)
+        .prop_map(move |data| Tensor::from_vec(data, vec![m, k]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(t in small_tensor()) {
+        let u = t.map(|v| v * 0.5 + 1.0);
+        let ab = t.add(&u);
+        let ba = u.add(&t);
+        prop_assert_eq!(ab.data(), ba.data());
+    }
+
+    #[test]
+    fn sub_is_add_neg(t in small_tensor()) {
+        let u = t.map(|v| v - 2.0);
+        let sub = t.sub(&u);
+        let addneg = t.add(&u.neg());
+        prop_assert_eq!(sub.data(), addneg.data());
+    }
+
+    #[test]
+    fn scale_distributes_over_add(t in small_tensor(), s in -5.0f32..5.0) {
+        let u = t.map(|v| v + 1.0);
+        let lhs = t.add(&u).scale(s);
+        let rhs = t.scale(s).add(&u.scale(s));
+        for (a, b) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_data(t in small_tensor()) {
+        let n = t.numel();
+        let r = t.reshape(vec![n]);
+        prop_assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn double_permute_identity(t in small_tensor()) {
+        let rank = t.rank();
+        let perm: Vec<usize> = (0..rank).rev().collect();
+        let mut inv = vec![0; rank];
+        for (i, &p) in perm.iter().enumerate() { inv[p] = i; }
+        let back = t.permute(&perm).permute(&inv);
+        prop_assert_eq!(back.data(), t.data());
+        prop_assert_eq!(back.shape(), t.shape());
+    }
+
+    #[test]
+    fn sum_axis_total_matches_sum(t in small_tensor()) {
+        for axis in 0..t.rank() {
+            let s = t.sum_axis(axis, false);
+            prop_assert!((s.sum() - t.sum()).abs() < 1e-2 * (1.0 + t.sum().abs()));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in small_tensor()) {
+        let s = t.softmax_lastdim();
+        prop_assert!(s.is_finite());
+        let inner = *s.shape().last().unwrap();
+        let outer = s.numel() / inner;
+        for o in 0..outer {
+            let sum: f32 = s.data()[o * inner..(o + 1) * inner].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.data()[o * inner..(o + 1) * inner].iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn matmul_identity_left(a in matrix(3, 4)) {
+        let mut eye = Tensor::zeros(vec![3, 3]);
+        for i in 0..3 { eye.set(&[i, i], 1.0); }
+        let out = odt_tensor::matmul(&eye, &a);
+        prop_assert_eq!(out.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_linearity(a in matrix(2, 3), b in matrix(3, 2), c in matrix(3, 2)) {
+        // A(B + C) == AB + AC
+        let lhs = odt_tensor::matmul(&a, &b.add(&c));
+        let rhs = odt_tensor::matmul(&a, &b).add(&odt_tensor::matmul(&a, &c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn concat_slice_round_trip(t in small_tensor()) {
+        let u = t.map(|v| v + 1.0);
+        let c = Tensor::concat(&[&t, &u], 0);
+        let first = c.slice(0, 0, t.shape()[0]);
+        prop_assert_eq!(first.data(), t.data());
+    }
+
+    #[test]
+    fn grad_of_sum_is_ones(t in small_tensor()) {
+        let g = Graph::new();
+        let x = g.input(t.clone());
+        let loss = g.sum_all(x);
+        g.backward(loss);
+        let grad = g.grad(x).unwrap();
+        prop_assert!(grad.data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn grad_linearity_in_upstream(t in small_tensor()) {
+        // d(2 * f)/dx == 2 * df/dx for f = sum(x^2)
+        let g1 = Graph::new();
+        let x1 = g1.input(t.clone());
+        let l1 = g1.sum_all(g1.square(x1));
+        g1.backward(l1);
+        let grad1 = g1.grad(x1).unwrap();
+
+        let g2 = Graph::new();
+        let x2 = g2.input(t.clone());
+        let l2 = g2.scale(g2.sum_all(g2.square(x2)), 2.0);
+        g2.backward(l2);
+        let grad2 = g2.grad(x2).unwrap();
+
+        for (a, b) in grad1.data().iter().zip(grad2.data()) {
+            prop_assert!((2.0 * a - b).abs() < 1e-3 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    fn reduce_to_shape_preserves_total(t in small_tensor()) {
+        // Broadcast t up by a fresh leading axis of 2, then reduce back:
+        // totals must agree (each element was duplicated twice).
+        let mut wide_shape = vec![2usize];
+        wide_shape.extend_from_slice(t.shape());
+        let wide = t.add(&Tensor::zeros(wide_shape));
+        let reduced = wide.reduce_to_shape(t.shape());
+        prop_assert!((reduced.sum() - wide.sum()).abs() < 1e-2 * (1.0 + wide.sum().abs()));
+    }
+}

@@ -1,0 +1,260 @@
+//! Datasets: generation presets, ordered splits and Table 1 statistics.
+
+use crate::grid::GridSpec;
+use crate::preprocess::{self, Filter};
+use crate::sim::{CitySim, CitySimConfig};
+use crate::types::Trajectory;
+use odt_roadnet::{LngLat, Projection, RoadNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Which split a trajectory belongs to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Split {
+    /// First 80% by departure time.
+    Train,
+    /// Next 10%.
+    Val,
+    /// Last 10%.
+    Test,
+}
+
+/// A preprocessed, departure-ordered trajectory dataset with its grid.
+pub struct Dataset {
+    /// City name.
+    pub name: String,
+    /// All trajectories, sorted by departure time.
+    pub trips: Vec<Trajectory>,
+    /// The PiT grid covering the data.
+    pub grid: GridSpec,
+    /// Projection for distance computations.
+    pub proj: Projection,
+    /// The underlying road network when the dataset was simulated (routing
+    /// baselines are given the road network, as in the paper §6.2.1).
+    pub network: Option<Arc<RoadNetwork>>,
+    train_end: usize,
+    val_end: usize,
+}
+
+impl Dataset {
+    /// Assemble from raw trips: preprocess with the paper's filter, sort by
+    /// departure, split 8:1:1, and fit an `lg × lg` grid.
+    pub fn from_trips(
+        name: impl Into<String>,
+        mut trips: Vec<Trajectory>,
+        proj: Projection,
+        lg: usize,
+    ) -> Self {
+        let (mut kept, _report) = preprocess::apply(std::mem::take(&mut trips), &proj, &Filter::default());
+        assert!(kept.len() >= 10, "dataset too small after preprocessing");
+        kept.sort_by(|a, b| a.departure().total_cmp(&b.departure()));
+        let grid = GridSpec::covering(&kept, lg);
+        let n = kept.len();
+        let train_end = n * 8 / 10;
+        let val_end = n * 9 / 10;
+        Dataset {
+            name: name.into(),
+            trips: kept,
+            grid,
+            proj,
+            network: None,
+            train_end,
+            val_end,
+        }
+    }
+
+    /// Generate a synthetic Chengdu-like dataset (see DESIGN.md §1).
+    pub fn chengdu_like(n: usize, lg: usize, seed: u64) -> Self {
+        Self::simulated(CitySimConfig::chengdu_like(), n, lg, seed)
+    }
+
+    /// Generate a synthetic Harbin-like dataset.
+    pub fn harbin_like(n: usize, lg: usize, seed: u64) -> Self {
+        Self::simulated(CitySimConfig::harbin_like(), n, lg, seed)
+    }
+
+    /// Generate from an explicit simulator configuration. `n` is the raw
+    /// trip count before preprocessing.
+    pub fn simulated(config: CitySimConfig, n: usize, lg: usize, seed: u64) -> Self {
+        let name = config.name.clone();
+        let sim = CitySim::new(config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trips = sim.generate(n, &mut rng);
+        let proj = *sim.projection();
+        let mut data = Self::from_trips(name, trips, proj, lg);
+        data.network = Some(Arc::new(sim.network().clone()));
+        data
+    }
+
+    /// A derived dataset whose training split is the first `percent`% of
+    /// the original one (validation and test unchanged) — the Table 4
+    /// scalability setting.
+    pub fn with_train_percent(&self, percent: usize) -> Dataset {
+        let sub = self.train_subsample(percent);
+        let mut trips = sub.to_vec();
+        let new_train_end = trips.len();
+        trips.extend_from_slice(&self.trips[self.train_end..]);
+        let val_len = self.val_end - self.train_end;
+        Dataset {
+            name: format!("{}-{}%", self.name, percent),
+            trips,
+            grid: self.grid,
+            proj: self.proj,
+            network: self.network.clone(),
+            train_end: new_train_end,
+            val_end: new_train_end + val_len,
+        }
+    }
+
+    /// Trajectories of a split.
+    pub fn split(&self, s: Split) -> &[Trajectory] {
+        match s {
+            Split::Train => &self.trips[..self.train_end],
+            Split::Val => &self.trips[self.train_end..self.val_end],
+            Split::Test => &self.trips[self.val_end..],
+        }
+    }
+
+    /// A sub-sampled view of the training set (first `percent`% of trips),
+    /// as used by the Table 4 scalability study.
+    pub fn train_subsample(&self, percent: usize) -> &[Trajectory] {
+        assert!((1..=100).contains(&percent), "percent must be 1..=100");
+        let n = self.train_end * percent / 100;
+        &self.trips[..n.max(1)]
+    }
+
+    /// Dataset statistics — the columns of Table 1.
+    pub fn stats(&self) -> DatasetStats {
+        let n = self.trips.len();
+        let mean_tt: f64 = self.trips.iter().map(Trajectory::travel_time).sum::<f64>() / n as f64;
+        let mean_dist: f64 = self
+            .trips
+            .iter()
+            .map(|t| t.travel_distance(&self.proj))
+            .sum::<f64>()
+            / n as f64;
+        let mean_interval: f64 = self
+            .trips
+            .iter()
+            .map(Trajectory::mean_sample_interval)
+            .sum::<f64>()
+            / n as f64;
+        let min = self.grid.min;
+        let max = self.grid.max;
+        let p = Projection::new(LngLat {
+            lng: (min.lng + max.lng) / 2.0,
+            lat: (min.lat + max.lat) / 2.0,
+        });
+        let sw = p.to_point(min);
+        let ne = p.to_point(max);
+        DatasetStats {
+            num_trajectories: n,
+            mean_travel_time_min: mean_tt / 60.0,
+            mean_travel_distance_m: mean_dist,
+            mean_sample_interval_s: mean_interval,
+            area_width_km: (ne.x - sw.x) / 1_000.0,
+            area_height_km: (ne.y - sw.y) / 1_000.0,
+        }
+    }
+}
+
+/// The Table 1 statistics of a dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetStats {
+    /// Number of trajectories after preprocessing.
+    pub num_trajectories: usize,
+    /// Mean travel time, minutes.
+    pub mean_travel_time_min: f64,
+    /// Mean travel distance, meters.
+    pub mean_travel_distance_m: f64,
+    /// Mean interval between GPS fixes, seconds.
+    pub mean_sample_interval_s: f64,
+    /// Width of the area of interest, km.
+    pub area_width_km: f64,
+    /// Height of the area of interest, km.
+    pub area_height_km: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let mut cfg = CitySimConfig::chengdu_like();
+        cfg.nx = 10;
+        cfg.ny = 10;
+        Dataset::simulated(cfg, 300, 16, 7)
+    }
+
+    #[test]
+    fn splits_are_ordered_and_partition() {
+        let d = tiny();
+        let n = d.trips.len();
+        let (tr, va, te) = (
+            d.split(Split::Train).len(),
+            d.split(Split::Val).len(),
+            d.split(Split::Test).len(),
+        );
+        assert_eq!(tr + va + te, n);
+        assert!((tr as f64 / n as f64 - 0.8).abs() < 0.02);
+        // Ordered by departure: train's last <= val's first.
+        let last_train = d.split(Split::Train).last().unwrap().departure();
+        let first_val = d.split(Split::Val).first().unwrap().departure();
+        assert!(last_train <= first_val);
+    }
+
+    #[test]
+    fn preprocessing_enforced() {
+        let d = tiny();
+        for t in &d.trips {
+            assert!(t.travel_time() >= 300.0 && t.travel_time() <= 3_600.0);
+            assert!(t.travel_distance(&d.proj) >= 500.0);
+            assert!(t.mean_sample_interval() <= 80.0);
+        }
+    }
+
+    #[test]
+    fn stats_plausible_for_chengdu_like() {
+        let d = tiny();
+        let s = d.stats();
+        assert!(s.num_trajectories > 100);
+        assert!(s.mean_travel_time_min > 5.0 && s.mean_travel_time_min < 40.0);
+        assert!(s.mean_travel_distance_m > 500.0);
+        assert!(s.mean_sample_interval_s > 20.0 && s.mean_sample_interval_s < 45.0);
+        assert!(s.area_width_km > 3.0 && s.area_width_km < 12.0); // 10-node test grid
+    }
+
+    #[test]
+    fn subsample_is_prefix() {
+        let d = tiny();
+        let sub = d.train_subsample(50);
+        assert_eq!(sub.len(), d.split(Split::Train).len() / 2);
+        assert_eq!(sub[0], d.trips[0]);
+    }
+
+    #[test]
+    fn train_percent_preserves_val_and_test() {
+        let d = tiny();
+        let half = d.with_train_percent(50);
+        assert_eq!(half.split(Split::Train).len(), d.split(Split::Train).len() / 2);
+        assert_eq!(half.split(Split::Val), d.split(Split::Val));
+        assert_eq!(half.split(Split::Test), d.split(Split::Test));
+        assert!(half.network.is_some());
+    }
+
+    #[test]
+    fn simulated_carries_network() {
+        let d = tiny();
+        assert!(d.network.is_some());
+        assert!(d.network.as_ref().unwrap().num_nodes() > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.trips.len(), b.trips.len());
+        assert_eq!(a.trips[0], b.trips[0]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Dataset cleaning rules from the paper's §6.1:
+//!
+//! > "We remove trajectories that traveled less than 500 meters or
+//! > 5 minutes, or more than 1 hour during preprocessing. Then, we filter
+//! > out sparse trajectories by setting the minimum sampling rate to
+//! > 80 seconds."
+
+use crate::types::Trajectory;
+use odt_roadnet::Projection;
+
+/// Filtering thresholds; defaults match the paper.
+#[derive(Copy, Clone, Debug)]
+pub struct Filter {
+    /// Minimum travel distance, meters.
+    pub min_distance_m: f64,
+    /// Minimum travel time, seconds.
+    pub min_time_s: f64,
+    /// Maximum travel time, seconds.
+    pub max_time_s: f64,
+    /// Maximum mean interval between fixes, seconds ("minimum sampling
+    /// rate" of 80 s).
+    pub max_mean_interval_s: f64,
+}
+
+impl Default for Filter {
+    fn default() -> Self {
+        Filter {
+            min_distance_m: 500.0,
+            min_time_s: 5.0 * 60.0,
+            max_time_s: 3_600.0,
+            max_mean_interval_s: 80.0,
+        }
+    }
+}
+
+/// Outcome counts of a preprocessing pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FilterReport {
+    /// Trajectories kept.
+    pub kept: usize,
+    /// Dropped: shorter than the distance threshold.
+    pub too_short_distance: usize,
+    /// Dropped: shorter than the time threshold.
+    pub too_short_time: usize,
+    /// Dropped: longer than the time threshold.
+    pub too_long: usize,
+    /// Dropped: sampled too sparsely.
+    pub too_sparse: usize,
+}
+
+/// Whether a single trajectory passes the filter.
+pub fn passes(t: &Trajectory, proj: &Projection, f: &Filter) -> bool {
+    classify(t, proj, f).is_none()
+}
+
+/// The reason a trajectory would be dropped, or `None` if it passes.
+fn classify(t: &Trajectory, proj: &Projection, f: &Filter) -> Option<Reason> {
+    let tt = t.travel_time();
+    if tt < f.min_time_s {
+        return Some(Reason::ShortTime);
+    }
+    if tt > f.max_time_s {
+        return Some(Reason::Long);
+    }
+    if t.travel_distance(proj) < f.min_distance_m {
+        return Some(Reason::ShortDistance);
+    }
+    if t.mean_sample_interval() > f.max_mean_interval_s {
+        return Some(Reason::Sparse);
+    }
+    None
+}
+
+enum Reason {
+    ShortDistance,
+    ShortTime,
+    Long,
+    Sparse,
+}
+
+/// Apply the filter, returning survivors and a report.
+pub fn apply(
+    trajectories: Vec<Trajectory>,
+    proj: &Projection,
+    f: &Filter,
+) -> (Vec<Trajectory>, FilterReport) {
+    let mut report = FilterReport::default();
+    let mut kept = Vec::with_capacity(trajectories.len());
+    for t in trajectories {
+        match classify(&t, proj, f) {
+            None => {
+                report.kept += 1;
+                kept.push(t);
+            }
+            Some(Reason::ShortDistance) => report.too_short_distance += 1,
+            Some(Reason::ShortTime) => report.too_short_time += 1,
+            Some(Reason::Long) => report.too_long += 1,
+            Some(Reason::Sparse) => report.too_sparse += 1,
+        }
+    }
+    (kept, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::GpsPoint;
+    use odt_roadnet::{LngLat, Point};
+
+    fn proj() -> Projection {
+        Projection::new(LngLat { lng: 104.0, lat: 30.0 })
+    }
+
+    /// A straight trip of `dist` meters over `secs` seconds with `n` fixes.
+    fn trip(dist: f64, secs: f64, n: usize) -> Trajectory {
+        let p = proj();
+        let points = (0..n)
+            .map(|i| {
+                let frac = i as f64 / (n - 1) as f64;
+                GpsPoint {
+                    loc: p.to_lnglat(Point::new(dist * frac, 0.0)),
+                    t: secs * frac,
+                }
+            })
+            .collect();
+        Trajectory::new(points)
+    }
+
+    #[test]
+    fn good_trip_passes() {
+        let t = trip(3_000.0, 900.0, 40);
+        assert!(passes(&t, &proj(), &Filter::default()));
+    }
+
+    #[test]
+    fn short_distance_dropped() {
+        let t = trip(400.0, 900.0, 40);
+        assert!(!passes(&t, &proj(), &Filter::default()));
+    }
+
+    #[test]
+    fn short_time_dropped() {
+        let t = trip(3_000.0, 200.0, 20);
+        assert!(!passes(&t, &proj(), &Filter::default()));
+    }
+
+    #[test]
+    fn long_trip_dropped() {
+        let t = trip(3_000.0, 4_000.0, 100);
+        assert!(!passes(&t, &proj(), &Filter::default()));
+    }
+
+    #[test]
+    fn sparse_trip_dropped() {
+        // 900 s with only 5 fixes -> mean interval 225 s > 80 s.
+        let t = trip(3_000.0, 900.0, 5);
+        assert!(!passes(&t, &proj(), &Filter::default()));
+    }
+
+    #[test]
+    fn report_counts_reasons() {
+        let trips = vec![
+            trip(3_000.0, 900.0, 40),  // keep
+            trip(400.0, 900.0, 40),    // short distance
+            trip(3_000.0, 100.0, 10),  // short time
+            trip(3_000.0, 4_000.0, 99),// long
+            trip(3_000.0, 900.0, 4),   // sparse
+        ];
+        let (kept, report) = apply(trips, &proj(), &Filter::default());
+        assert_eq!(kept.len(), 1);
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.too_short_distance, 1);
+        assert_eq!(report.too_short_time, 1);
+        assert_eq!(report.too_long, 1);
+        assert_eq!(report.too_sparse, 1);
+    }
+}

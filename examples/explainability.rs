@@ -1,0 +1,71 @@
+//! Explainability: the oracle returns not just a travel time but the PiT it
+//! inferred — "an intuitive overview of the future trip" (§6.6).
+//!
+//! Renders inferred PiTs as ASCII maps for the same OD pair at different
+//! departure times (the paper's Figure 11 scenario).
+//!
+//! ```sh
+//! cargo run --release --example explainability
+//! ```
+
+use odt::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// '·' unvisited; digits 0-9 encode visit order along the trip.
+fn render(pit: &Pit) -> String {
+    let mut out = String::new();
+    for row in (0..pit.lg()).rev() {
+        for col in 0..pit.lg() {
+            if pit.is_visited(row, col) {
+                let offset = pit.at(2, row, col);
+                let digit = (((offset + 1.0) / 2.0 * 9.0).round() as u8).min(9);
+                out.push(char::from(b'0' + digit));
+            } else {
+                out.push('·');
+            }
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let data = Dataset::chengdu_like(600, 12, 7);
+    let mut cfg = DotConfig::fast();
+    cfg.lg = 12;
+    cfg.n_steps = 20;
+    cfg.stage1_iters = 400;
+    cfg.stage2_iters = 300;
+    cfg.early_stop_samples = 8;
+    cfg.early_stop_every = 150;
+    println!("training DOT…");
+    let model = Dot::train(cfg, &data, |_| {});
+
+    // Pick a real test trip, show truth vs inference.
+    let trip = &data.split(Split::Test)[0];
+    let truth = Pit::from_trajectory(trip, &data.grid);
+    let query = OdtInput::from_trajectory(trip);
+    let mut rng = StdRng::seed_from_u64(3);
+    let est = model.estimate(&query, &mut rng);
+
+    println!("\nground-truth PiT (actual {:.1} min):", trip.travel_time() / 60.0);
+    println!("{}", render(&truth));
+    println!("inferred PiT (estimated {:.1} min):", est.seconds / 60.0);
+    println!("{}", render(&est.pit));
+
+    // Figure 11: same OD pair, different departure times.
+    let day0 = query.t_dep - query.second_of_day();
+    println!("same OD pair at different departure times:");
+    for hour in [8.5f64, 14.0, 18.0] {
+        let q = OdtInput { t_dep: day0 + hour * 3_600.0, ..query };
+        let e = model.estimate(&q, &mut rng);
+        println!(
+            "\ndeparting {:04.1}h → estimated {:.1} min, route:",
+            hour,
+            e.seconds / 60.0
+        );
+        println!("{}", render(&e.pit));
+    }
+}

@@ -1,0 +1,69 @@
+//! Flex-transport pricing — the paper's motivating application.
+//!
+//! "In flex-transport, taxi companies are paid by a public entity for
+//! making trips. The payments are based on pricing models that involve
+//! estimating the travel times of trips, but the driver is free to choose
+//! any travel path." (§1)
+//!
+//! A pricing model that averages historical travel times (TEMP) is polluted
+//! by outlier detours; the DOT oracle removes them. This example prices a
+//! batch of trips with both and compares billing error.
+//!
+//! ```sh
+//! cargo run --release --example flex_transport_pricing
+//! ```
+
+use odt::baselines::{OdtOracle, OracleContext, Temp};
+use odt::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fare model: base fee + per-minute rate on the *estimated* travel time.
+fn fare(minutes: f64) -> f64 {
+    2.50 + 0.85 * minutes
+}
+
+fn main() {
+    // A city with a heavy outlier rate: 15% of drivers detour.
+    let mut sim = odt::traj::sim::CitySimConfig::chengdu_like();
+    sim.nx = 12;
+    sim.ny = 12;
+    sim.outlier_rate = 0.15;
+    let data = Dataset::simulated(sim, 700, 12, 21);
+    println!("{} trips, {:.0}% are outlier detours by construction", data.trips.len(), 15.0);
+
+    // Train both pricing back-ends on the same history.
+    let ctx = OracleContext { grid: data.grid, proj: data.proj };
+    let temp = Temp::fit(ctx, data.split(Split::Train));
+
+    let mut cfg = DotConfig::fast();
+    cfg.lg = 12;
+    cfg.n_steps = 20;
+    cfg.stage1_iters = 400;
+    cfg.stage2_iters = 400;
+    cfg.early_stop_samples = 8;
+    cfg.early_stop_every = 150;
+    println!("training the DOT oracle…");
+    let dot = Dot::train(cfg, &data, |_| {});
+
+    // Price the test-month trips. Ground truth fare uses actual times.
+    let mut rng = StdRng::seed_from_u64(5);
+    let (mut temp_err, mut dot_err, mut n) = (0.0, 0.0, 0);
+    for trip in data.split(Split::Test).iter().take(40) {
+        let q = OdtInput::from_trajectory(trip);
+        let true_fare = fare(trip.travel_time() / 60.0);
+        let temp_fare = fare(temp.predict_seconds(&q) / 60.0);
+        let dot_fare = fare(dot.estimate(&q, &mut rng).seconds / 60.0);
+        temp_err += (temp_fare - true_fare).abs();
+        dot_err += (dot_fare - true_fare).abs();
+        n += 1;
+    }
+    println!("\nmean absolute billing error over {n} trips:");
+    println!("  TEMP (history averaging): €{:.2} per trip", temp_err / n as f64);
+    println!("  DOT (diffusion oracle):   €{:.2} per trip", dot_err / n as f64);
+    if dot_err < temp_err {
+        println!("\nDOT prices closer to the true cost: outlier detours no longer inflate fares.");
+    } else {
+        println!("\n(at this tiny demo scale DOT did not win — rerun with more trips/iterations)");
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: train a small DOT oracle on a synthetic city and query it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use odt::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Data. The simulator stands in for the paper's Didi taxi datasets:
+    //    a grid city with rush-hour congestion, hotspot demand, and a small
+    //    fraction of outlier detour trips (see DESIGN.md).
+    println!("generating synthetic Chengdu-like trajectories…");
+    let data = Dataset::chengdu_like(600, 12, 7);
+    let stats = data.stats();
+    println!(
+        "  {} trips | mean travel time {:.1} min | mean distance {:.0} m",
+        stats.num_trajectories, stats.mean_travel_time_min, stats.mean_travel_distance_m
+    );
+
+    // 2. Train the two-stage DOT pipeline (reduced scale for the demo).
+    let mut cfg = DotConfig::fast();
+    cfg.lg = 12;
+    cfg.n_steps = 20;
+    cfg.stage1_iters = 300;
+    cfg.stage2_iters = 300;
+    cfg.early_stop_samples = 8;
+    cfg.early_stop_every = 100;
+    println!("training DOT (stage 1: diffusion denoiser; stage 2: MViT)…");
+    let model = Dot::train(cfg, &data, |msg| {
+        if msg.contains("stage") && !msg.contains("iter") {
+            println!("  {msg}");
+        }
+    });
+
+    // 3. Query the oracle on unseen test trips: Eq. 1, odt -> (Δt, PiT).
+    let mut rng = StdRng::seed_from_u64(42);
+    println!("\nquerying the oracle on 5 unseen test trips:");
+    for trip in data.split(Split::Test).iter().take(5) {
+        let query = OdtInput::from_trajectory(trip);
+        let estimate = model.estimate(&query, &mut rng);
+        println!(
+            "  predicted {:>5.1} min | actual {:>5.1} min | inferred PiT visits {} cells",
+            estimate.seconds / 60.0,
+            trip.travel_time() / 60.0,
+            estimate.pit.num_visited(),
+        );
+    }
+    println!("\n(see examples/explainability.rs for PiT visualizations)");
+}

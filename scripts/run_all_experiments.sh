@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Run the full experiment harness and append every table/figure output to
+# EXPERIMENTS.md. Trained models are cached under target/odt_cache, so
+# re-runs and later binaries reuse earlier training.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+PROFILE="${1:-fast}"
+OUT="EXPERIMENTS.md"
+
+# Keep the header, drop previous results.
+sed -i '/<!-- RESULTS -->/q' "$OUT"
+{
+    echo
+    echo "_Run started $(date -u '+%Y-%m-%d %H:%M UTC'), profile \`$PROFILE\`._"
+} >> "$OUT"
+
+run() {
+    local bin="$1"
+    shift
+    echo "=== $bin ==="
+    {
+        echo
+        echo '```'
+        cargo run --release -q -p odt-eval --bin "$bin" -- --profile "$PROFILE" "$@" 2>/dev/null
+        echo '```'
+    } >> "$OUT"
+}
+
+cargo build --release -q -p odt-eval
+
+# Ordered so that cheap/cached experiments land early: table3 trains the
+# DOT models that tables 5/8/9 and figures 10-12 then reuse.
+run table1_datasets
+run table3_overall
+run table8_pit_accuracy
+run table9_route_accuracy
+run table5_efficiency
+run figure10_11_case_study
+run figure12_tod_profile
+run table6_outlier_removal
+run table7_ablation
+run figure8_grid_efficiency
+run table4_scalability
+run figure9_hyperparams
+run ddim_ablation
+
+echo "done: results appended to $OUT"

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Run the experiments that reuse the DOT checkpoints cached by a prior
+# table3 run (fast on a warm cache), appending to EXPERIMENTS.md.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+PROFILE="${1:-fast}"
+OUT="EXPERIMENTS.md"
+
+run() {
+    local bin="$1"
+    echo "=== $bin ==="
+    {
+        echo
+        echo '```'
+        cargo run --release -q -p odt-eval --bin "$bin" -- --profile "$PROFILE" 2>/dev/null
+        echo '```'
+    } >> "$OUT"
+}
+
+run table8_pit_accuracy
+run figure10_11_case_study
+run figure12_tod_profile
+run table9_route_accuracy
+run ddim_ablation
+echo "quick cached set done"

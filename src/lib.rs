@@ -1,0 +1,58 @@
+//! # odt — Origin-Destination Travel Time Oracle
+//!
+//! A from-scratch Rust reproduction of **"Origin-Destination Travel Time
+//! Oracle for Map-based Services"** (SIGMOD 2023): the **DOT** framework —
+//! a conditioned denoising-diffusion model that infers a Pixelated
+//! Trajectory (PiT) for a query `(origin, destination, departure time)`,
+//! and a Masked Vision Transformer that estimates the travel time from it.
+//!
+//! ```no_run
+//! use odt::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // Generate a synthetic city dataset (stand-in for the Didi data).
+//! let data = Dataset::chengdu_like(1_000, 16, 7);
+//!
+//! // Train the two-stage DOT pipeline.
+//! let mut cfg = DotConfig::fast();
+//! cfg.lg = 16;
+//! let model = Dot::train(cfg, &data, |msg| eprintln!("{msg}"));
+//!
+//! // Query the oracle: travel time + explainable PiT.
+//! let odt_input = OdtInput::from_trajectory(&data.split(Split::Test)[0]);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let estimate = model.estimate(&odt_input, &mut rng);
+//! println!("{:.1} minutes", estimate.seconds / 60.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`odt_tensor`] | tensors + reverse-mode autograd |
+//! | [`odt_nn`] | layers, Adam, checkpointing |
+//! | [`odt_roadnet`] | road networks, Dijkstra, map matching, Markov routing |
+//! | [`odt_traj`] | trajectories, PiTs, preprocessing, the city simulator |
+//! | [`odt_diffusion`] | DDPM + the conditioned OCConv UNet denoiser |
+//! | [`odt_estimator`] | MViT / ViT / CNN travel-time estimators |
+//! | [`odt_baselines`] | the paper's twelve comparison methods + DeepTEA |
+//! | [`odt_core`] | the DOT framework and oracle API |
+//! | [`odt_eval`] | metrics and the table/figure harness |
+
+#![forbid(unsafe_code)]
+
+pub use odt_baselines as baselines;
+pub use odt_core as dot;
+pub use odt_diffusion as diffusion;
+pub use odt_estimator as estimator;
+pub use odt_eval as eval;
+pub use odt_nn as nn;
+pub use odt_roadnet as roadnet;
+pub use odt_tensor as tensor;
+pub use odt_traj as traj;
+
+/// The most commonly used types, for glob import.
+pub mod prelude {
+    pub use odt_core::{AblationOptions, Dot, DotConfig, Estimate, EstimatorKind};
+    pub use odt_traj::{Dataset, GpsPoint, GridSpec, OdtInput, Pit, Split, Trajectory};
+}

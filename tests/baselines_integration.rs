@@ -1,0 +1,156 @@
+//! Cross-crate integration tests of the baseline suite: all methods train
+//! on one shared synthetic dataset and answer the same queries, and the
+//! paper's Figure 1 outlier scenario behaves as described.
+
+use odt::baselines::{
+    DeepOd, DeepStRouter, DeepTea, DijkstraRouter, Gbm, LinearRegression, Murat,
+    NeuralConfig, OdtOracle, OracleContext, Rne, Router, StNn, Stdgcn, Temp, Wddra,
+};
+use odt::prelude::*;
+use odt::traj::sim::CitySimConfig;
+
+fn dataset() -> Dataset {
+    let mut cfg = CitySimConfig::chengdu_like();
+    cfg.nx = 10;
+    cfg.ny = 10;
+    Dataset::simulated(cfg, 300, 10, 17)
+}
+
+fn quick_neural() -> NeuralConfig {
+    NeuralConfig { iters: 40, ..Default::default() }
+}
+
+#[test]
+fn every_baseline_answers_every_query() {
+    let data = dataset();
+    let ctx = OracleContext { grid: data.grid, proj: data.proj };
+    let net = data.network.clone().unwrap();
+    let train = data.split(Split::Train);
+    let neural = quick_neural();
+
+    let temp = Temp::fit(ctx, train);
+    let lr = LinearRegression::fit(ctx, train);
+    let gbm = Gbm::fit(ctx, train);
+    let rne = Rne::fit(ctx, train, &neural);
+    let stnn = StNn::fit(ctx, train, &neural);
+    let murat = Murat::fit(ctx, train, &neural);
+    let deepod = DeepOd::fit(ctx, train, &neural);
+    let oracles: Vec<&dyn OdtOracle> = vec![&temp, &lr, &gbm, &rne, &stnn, &murat, &deepod];
+
+    let dij = DijkstraRouter::fit(ctx, net.clone(), train);
+    let deepst = DeepStRouter::fit(ctx, net, train);
+    let wddra = Wddra::fit(ctx, train, &neural);
+    let stdgcn = Stdgcn::fit(ctx, train, &neural);
+
+    for trip in data.split(Split::Test).iter().take(5) {
+        let q = OdtInput::from_trajectory(trip);
+        for o in &oracles {
+            let p = o.predict_seconds(&q);
+            assert!(p.is_finite() && p >= 0.0, "{} produced {p}", o.name());
+        }
+        for r in [&dij as &dyn Router, &deepst] {
+            let p = r.predict_seconds(&q);
+            assert!(p.is_finite() && p >= 0.0, "{} produced {p}", r.name());
+            let nodes = r.route_nodes(&q);
+            assert!(!nodes.is_empty(), "{} produced empty route", r.name());
+        }
+        let path = deepst.route_points(&q);
+        for pb in [&wddra, &stdgcn] {
+            let p = pb.predict_with_path(&q, &path);
+            assert!(p.is_finite() && p >= 0.0, "{} produced {p}", pb.name());
+        }
+    }
+}
+
+#[test]
+fn model_sizes_are_ordered_sensibly() {
+    // Paper Table 5 shape: LR and GBM are tiny; neural models are larger;
+    // TEMP scales with the training set.
+    let data = dataset();
+    let ctx = OracleContext { grid: data.grid, proj: data.proj };
+    let train = data.split(Split::Train);
+    let neural = quick_neural();
+    let lr = LinearRegression::fit(ctx, train);
+    let gbm = Gbm::fit(ctx, train);
+    let temp = Temp::fit(ctx, train);
+    let murat = Murat::fit(ctx, train, &neural);
+    assert!(lr.model_size_bytes() < 200);
+    assert!(gbm.model_size_bytes() < murat.model_size_bytes());
+    assert!(temp.model_size_bytes() > 1_000);
+}
+
+#[test]
+fn deeptea_filters_simulated_outliers() {
+    // Crank the simulator's outlier rate and verify DeepTEA removes
+    // disproportionately many slow trips.
+    let mut cfg = CitySimConfig::chengdu_like();
+    cfg.nx = 10;
+    cfg.ny = 10;
+    cfg.outlier_rate = 0.25;
+    let data = Dataset::simulated(cfg, 350, 10, 23);
+    let ctx = OracleContext { grid: data.grid, proj: data.proj };
+    let train = data.split(Split::Train);
+    let tea = DeepTea::fit(ctx, train);
+    let kept = tea.filter(train, 0.2);
+    // Detour outliers are circuitous: along-track distance far above the
+    // crow-fly distance. Dropped trips should be more circuitous on average
+    // than kept ones.
+    let circuity = |t: &Trajectory| {
+        let crow = ctx
+            .proj
+            .to_point(t.points[0].loc)
+            .distance(&ctx.proj.to_point(t.points[t.points.len() - 1].loc))
+            .max(1.0);
+        t.travel_distance(&ctx.proj) / crow
+    };
+    let mean_circ = |ts: &[Trajectory]| {
+        ts.iter().map(circuity).sum::<f64>() / ts.len() as f64
+    };
+    let dropped: Vec<Trajectory> = train
+        .iter()
+        .filter(|t| !kept.contains(t))
+        .cloned()
+        .collect();
+    assert!(!dropped.is_empty());
+    assert!(
+        mean_circ(&dropped) > mean_circ(&kept),
+        "dropped trips should be more circuitous: dropped {:.2} vs kept {:.2}",
+        mean_circ(&dropped),
+        mean_circ(&kept)
+    );
+}
+
+#[test]
+fn figure1_scenario_temp_vs_dot_estimator_story() {
+    // Figure 1 in miniature: three consistent 15-minute trips plus one
+    // 35-minute detour between the same OD at the same hour. TEMP answers
+    // the polluted average (20 min) by construction.
+    use odt::roadnet::{LngLat, Point, Projection};
+    let proj = Projection::new(LngLat { lng: 104.0, lat: 30.6 });
+    let grid = GridSpec::new(
+        proj.to_lnglat(Point::new(-500.0, -500.0)),
+        proj.to_lnglat(Point::new(5_000.0, 5_000.0)),
+        10,
+    );
+    let ctx = OracleContext { grid, proj };
+    let mk = |offset_m: f64, t0: f64, tt: f64| {
+        Trajectory::new(vec![
+            GpsPoint { loc: proj.to_lnglat(Point::new(offset_m, 0.0)), t: t0 },
+            GpsPoint { loc: proj.to_lnglat(Point::new(3_000.0 + offset_m, 0.0)), t: t0 + tt },
+        ])
+    };
+    let trips = vec![
+        mk(0.0, 8.00 * 3600.0, 900.0),
+        mk(30.0, 8.03 * 3600.0, 900.0),
+        mk(-30.0, 8.08 * 3600.0, 900.0),
+        mk(10.0, 8.06 * 3600.0, 2_100.0), // T_4, via point B
+    ];
+    let temp = Temp::fit(ctx, &trips);
+    let q = OdtInput {
+        origin: proj.to_lnglat(Point::new(0.0, 0.0)),
+        dest: proj.to_lnglat(Point::new(3_000.0, 0.0)),
+        t_dep: 8.16 * 3600.0,
+    };
+    let pred = temp.predict_seconds(&q);
+    assert!((pred - 1_200.0).abs() < 1.0, "TEMP should answer 20 min, got {pred}");
+}

@@ -1,0 +1,97 @@
+//! Robustness of the oracle and baselines to degenerate or out-of-range
+//! queries: endpoints outside the area of interest, zero-distance OD pairs,
+//! departures that cross midnight.
+
+use odt::baselines::{LinearRegression, OdtOracle, OracleContext, Temp};
+use odt::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset() -> Dataset {
+    let mut cfg = odt::traj::sim::CitySimConfig::chengdu_like();
+    cfg.nx = 8;
+    cfg.ny = 8;
+    Dataset::simulated(cfg, 180, 8, 41)
+}
+
+fn tiny_model(data: &Dataset) -> Dot {
+    let mut cfg = DotConfig::fast();
+    cfg.lg = 8;
+    cfg.n_steps = 8;
+    cfg.base_channels = 4;
+    cfg.cond_dim = 16;
+    cfg.d_e = 16;
+    cfg.stage1_iters = 15;
+    cfg.stage2_iters = 30;
+    cfg.early_stop_samples = 3;
+    cfg.early_stop_every = 15;
+    Dot::train(cfg, data, |_| {})
+}
+
+fn weird_queries(data: &Dataset) -> Vec<OdtInput> {
+    let base = OdtInput::from_trajectory(&data.trips[0]);
+    let span_lng = data.grid.max.lng - data.grid.min.lng;
+    vec![
+        // Far outside the grid on both ends.
+        OdtInput {
+            origin: odt::roadnet::LngLat {
+                lng: data.grid.min.lng - 3.0 * span_lng,
+                lat: base.origin.lat,
+            },
+            dest: odt::roadnet::LngLat {
+                lng: data.grid.max.lng + 3.0 * span_lng,
+                lat: base.dest.lat,
+            },
+            ..base
+        },
+        // Zero-distance query.
+        OdtInput { dest: base.origin, ..base },
+        // Departure just before midnight.
+        OdtInput { t_dep: base.t_dep - base.second_of_day() + 86_395.0, ..base },
+        // Departure decades in the future (different day arithmetic).
+        OdtInput { t_dep: base.t_dep + 50.0 * 365.25 * 86_400.0, ..base },
+    ]
+}
+
+#[test]
+fn oracle_survives_degenerate_queries() {
+    let data = dataset();
+    let model = tiny_model(&data);
+    let mut rng = StdRng::seed_from_u64(2);
+    for (i, q) in weird_queries(&data).iter().enumerate() {
+        let est = model.estimate(q, &mut rng);
+        assert!(
+            est.seconds.is_finite() && est.seconds >= 0.0,
+            "query {i} produced {}",
+            est.seconds
+        );
+        assert!(est.pit.tensor().is_finite(), "query {i} produced NaN PiT");
+    }
+}
+
+#[test]
+fn baselines_survive_degenerate_queries() {
+    let data = dataset();
+    let ctx = OracleContext { grid: data.grid, proj: data.proj };
+    let train = data.split(Split::Train);
+    let temp = Temp::fit(ctx, train);
+    let lr = LinearRegression::fit(ctx, train);
+    for q in weird_queries(&data) {
+        for o in [&temp as &dyn OdtOracle, &lr] {
+            let p = o.predict_seconds(&q);
+            assert!(p.is_finite() && p >= 0.0, "{} produced {p}", o.name());
+        }
+    }
+}
+
+#[test]
+fn pit_rasterization_handles_out_of_grid_points() {
+    let data = dataset();
+    // A trajectory with one fix far outside the grid must clamp, not panic.
+    let mut points = data.trips[0].points.clone();
+    points[0].loc.lng -= 10.0;
+    let t = Trajectory::new(points);
+    let pit = Pit::from_trajectory(&t, &data.grid);
+    assert!(pit.tensor().is_finite());
+    assert!(pit.num_visited() >= 1);
+}
