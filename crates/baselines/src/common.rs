@@ -92,11 +92,20 @@ mod tests {
     fn ctx() -> OracleContext {
         OracleContext {
             grid: GridSpec::new(
-                LngLat { lng: 104.0, lat: 30.0 },
-                LngLat { lng: 104.2, lat: 30.2 },
+                LngLat {
+                    lng: 104.0,
+                    lat: 30.0,
+                },
+                LngLat {
+                    lng: 104.2,
+                    lat: 30.2,
+                },
                 10,
             ),
-            proj: Projection::new(LngLat { lng: 104.1, lat: 30.1 }),
+            proj: Projection::new(LngLat {
+                lng: 104.1,
+                lat: 30.1,
+            }),
         }
     }
 
@@ -104,8 +113,14 @@ mod tests {
     fn features_have_expected_layout() {
         let c = ctx();
         let odt = OdtInput {
-            origin: LngLat { lng: 104.0, lat: 30.0 },
-            dest: LngLat { lng: 104.2, lat: 30.2 },
+            origin: LngLat {
+                lng: 104.0,
+                lat: 30.0,
+            },
+            dest: LngLat {
+                lng: 104.2,
+                lat: 30.2,
+            },
             t_dep: 21_600.0, // 6:00
         };
         let f = c.features(&odt);
@@ -119,8 +134,14 @@ mod tests {
     fn cells_differ_for_distinct_endpoints() {
         let c = ctx();
         let odt = OdtInput {
-            origin: LngLat { lng: 104.01, lat: 30.01 },
-            dest: LngLat { lng: 104.19, lat: 30.19 },
+            origin: LngLat {
+                lng: 104.01,
+                lat: 30.01,
+            },
+            dest: LngLat {
+                lng: 104.19,
+                lat: 30.19,
+            },
             t_dep: 0.0,
         };
         assert_ne!(c.origin_cell(&odt), c.dest_cell(&odt));
@@ -132,8 +153,14 @@ mod tests {
         let p = Projection::new(LngLat { lng: 0.0, lat: 0.0 });
         let mk = |tt: f64| {
             Trajectory::new(vec![
-                GpsPoint { loc: p.to_lnglat(odt_roadnet::Point::new(0.0, 0.0)), t: 0.0 },
-                GpsPoint { loc: p.to_lnglat(odt_roadnet::Point::new(1000.0, 0.0)), t: tt },
+                GpsPoint {
+                    loc: p.to_lnglat(odt_roadnet::Point::new(0.0, 0.0)),
+                    t: 0.0,
+                },
+                GpsPoint {
+                    loc: p.to_lnglat(odt_roadnet::Point::new(1000.0, 0.0)),
+                    t: tt,
+                },
             ])
         };
         let trips = vec![mk(600.0), mk(1200.0)];

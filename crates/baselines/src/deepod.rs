@@ -62,8 +62,14 @@ impl DeepOd {
         let max = self.ctx.proj.to_point(self.ctx.grid.max);
         let mut out = Tensor::zeros(vec![PATH_STEPS, 3]);
         for (i, (p, frac)) in resampled.iter().enumerate() {
-            out.set(&[i, 0], (2.0 * (p.x - min.x) / (max.x - min.x) - 1.0) as f32);
-            out.set(&[i, 1], (2.0 * (p.y - min.y) / (max.y - min.y) - 1.0) as f32);
+            out.set(
+                &[i, 0],
+                (2.0 * (p.x - min.x) / (max.x - min.x) - 1.0) as f32,
+            );
+            out.set(
+                &[i, 1],
+                (2.0 * (p.y - min.y) / (max.y - min.y) - 1.0) as f32,
+            );
             out.set(&[i, 2], (*frac * 2.0 - 1.0) as f32);
         }
         out
@@ -107,7 +113,7 @@ impl DeepOd {
             let idx: Vec<usize> = (0..batch).map(|k| (it * batch + k * 3) % n).collect();
             let batch_odts: Vec<OdtInput> = idx.iter().map(|&i| odts[i]).collect();
             let z_od = model.od_rep(g, &batch_odts); // [b, rep]
-            // Trajectory encodings, one GRU pass per sample, stacked.
+                                                     // Trajectory encodings, one GRU pass per sample, stacked.
             let encs: Vec<Var> = idx
                 .iter()
                 .map(|&i| {
@@ -116,7 +122,7 @@ impl DeepOd {
                 })
                 .collect();
             let z_traj = g.concat(&encs, 0); // [b, rep]
-            // Main loss on travel time from the OD representation.
+                                             // Main loss on travel time from the OD representation.
             let pred = model.head.forward(g, z_od);
             let y = g.input(Tensor::from_vec(
                 idx.iter().map(|&i| targets[i]).collect(),
@@ -163,7 +169,10 @@ mod tests {
     fn learns_distance_relation() {
         let c = ctx();
         let trips = distance_world(&c, 200);
-        let cfg = NeuralConfig { iters: 200, ..Default::default() };
+        let cfg = NeuralConfig {
+            iters: 200,
+            ..Default::default()
+        };
         let m = DeepOd::fit(c, &trips, &cfg);
         let mk = |d: f64| OdtInput {
             origin: c.proj.to_lnglat(Point::new(0.0, 0.0)),
@@ -179,7 +188,10 @@ mod tests {
     fn predictions_finite_and_nonnegative() {
         let c = ctx();
         let trips = distance_world(&c, 60);
-        let cfg = NeuralConfig { iters: 20, ..Default::default() };
+        let cfg = NeuralConfig {
+            iters: 20,
+            ..Default::default()
+        };
         let m = DeepOd::fit(c, &trips, &cfg);
         let odt = OdtInput {
             origin: c.proj.to_lnglat(Point::new(-10_000.0, 0.0)), // out of grid

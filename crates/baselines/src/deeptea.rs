@@ -65,7 +65,12 @@ impl DeepTea {
         } else {
             circuities[circuities.len() / 2].max(1.0)
         };
-        DeepTea { ctx, log_p, median_speed, median_circuity }
+        DeepTea {
+            ctx,
+            log_p,
+            median_speed,
+            median_circuity,
+        }
     }
 
     /// Outlier score: higher = more anomalous. Combines route rarity (mean

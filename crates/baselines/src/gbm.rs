@@ -45,7 +45,12 @@ impl Node {
     fn predict(&self, x: &[f64]) -> f64 {
         match self {
             Node::Leaf(v) => *v,
-            Node::Split { feature, threshold, left, right } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if x[*feature] <= *threshold {
                     left.predict(x)
                 } else {
@@ -106,8 +111,8 @@ fn grow(
             let nr = (sorted.len() - split) as f64;
             let sl = prefix[split];
             let sr = total - sl;
-            let sse = (prefix_sq[split] - sl * sl / nl)
-                + ((total_sq - prefix_sq[split]) - sr * sr / nr);
+            let sse =
+                (prefix_sq[split] - sl * sl / nl) + ((total_sq - prefix_sq[split]) - sr * sr / nr);
             if best.as_ref().map_or(sse < base_sse - 1e-12, |b| sse < b.2) {
                 let threshold = (xs[sorted[split - 1]][f] + xs[sorted[split]][f]) / 2.0;
                 best = Some((f, threshold, sse));
@@ -118,9 +123,8 @@ fn grow(
     let Some((feature, threshold, _)) = best else {
         return Node::Leaf(mean);
     };
-    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-        .iter()
-        .partition(|&&i| xs[i][feature] <= threshold);
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        indices.iter().partition(|&&i| xs[i][feature] <= threshold);
     if left_idx.len() < cfg.min_leaf || right_idx.len() < cfg.min_leaf {
         return Node::Leaf(mean);
     }
@@ -167,7 +171,12 @@ impl Gbm {
             }
             trees.push(tree);
         }
-        Gbm { ctx, base, trees, lr: cfg.learning_rate }
+        Gbm {
+            ctx,
+            base,
+            trees,
+            lr: cfg.learning_rate,
+        }
     }
 }
 
@@ -204,7 +213,10 @@ mod tests {
                 LngLat { lng: 0.3, lat: 0.3 },
                 10,
             ),
-            proj: Projection::new(LngLat { lng: 0.15, lat: 0.15 }),
+            proj: Projection::new(LngLat {
+                lng: 0.15,
+                lat: 0.15,
+            }),
         }
     }
 
@@ -218,8 +230,14 @@ mod tests {
                 let tt = d / 1_000.0 * if rush { 400.0 } else { 200.0 };
                 let t0 = hour * 3_600.0;
                 Trajectory::new(vec![
-                    GpsPoint { loc: ctx.proj.to_lnglat(Point::new(0.0, 0.0)), t: t0 },
-                    GpsPoint { loc: ctx.proj.to_lnglat(Point::new(d, 0.0)), t: t0 + tt },
+                    GpsPoint {
+                        loc: ctx.proj.to_lnglat(Point::new(0.0, 0.0)),
+                        t: t0,
+                    },
+                    GpsPoint {
+                        loc: ctx.proj.to_lnglat(Point::new(d, 0.0)),
+                        t: t0 + tt,
+                    },
                 ])
             })
             .collect()
@@ -255,14 +273,22 @@ mod tests {
             sse_gbm += (gbm.predict_seconds(&odt) - t.travel_time()).powi(2);
             sse_mean += (mean - t.travel_time()).powi(2);
         }
-        assert!(sse_gbm < sse_mean * 0.25, "gbm {sse_gbm:.0} vs mean {sse_mean:.0}");
+        assert!(
+            sse_gbm < sse_mean * 0.25,
+            "gbm {sse_gbm:.0} vs mean {sse_mean:.0}"
+        );
     }
 
     #[test]
     fn depth_zero_equivalent_yields_mean() {
         let c = ctx();
         let trips = nonlinear_world(&c, 100);
-        let cfg = GbmConfig { n_trees: 1, max_depth: 0, learning_rate: 1.0, min_leaf: 1 };
+        let cfg = GbmConfig {
+            n_trees: 1,
+            max_depth: 0,
+            learning_rate: 1.0,
+            min_leaf: 1,
+        };
         let gbm = Gbm::fit_with(c, &trips, &cfg);
         let mean = trips.iter().map(|t| t.travel_time()).sum::<f64>() / trips.len() as f64;
         let odt = OdtInput::from_trajectory(&trips[0]);

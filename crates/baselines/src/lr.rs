@@ -118,7 +118,10 @@ mod tests {
                 LngLat { lng: 0.3, lat: 0.3 },
                 10,
             ),
-            proj: Projection::new(LngLat { lng: 0.15, lat: 0.15 }),
+            proj: Projection::new(LngLat {
+                lng: 0.15,
+                lat: 0.15,
+            }),
         }
     }
 
@@ -129,8 +132,14 @@ mod tests {
                 let d = 1_000.0 + 150.0 * i as f64;
                 let tt = d / 1_000.0 * 200.0;
                 Trajectory::new(vec![
-                    GpsPoint { loc: ctx.proj.to_lnglat(Point::new(0.0, 0.0)), t: 1_000.0 },
-                    GpsPoint { loc: ctx.proj.to_lnglat(Point::new(d, 0.0)), t: 1_000.0 + tt },
+                    GpsPoint {
+                        loc: ctx.proj.to_lnglat(Point::new(0.0, 0.0)),
+                        t: 1_000.0,
+                    },
+                    GpsPoint {
+                        loc: ctx.proj.to_lnglat(Point::new(d, 0.0)),
+                        t: 1_000.0 + tt,
+                    },
                 ])
             })
             .collect()

@@ -62,7 +62,14 @@ impl Murat {
         let in_dim = 7 + 2 * CELL_DIM + SLOT_DIM;
         let net = Mlp::new(&mut rng, &[in_dim, cfg.hidden, cfg.hidden, 2], "murat.net");
         let (tt_mean, tt_std) = target_stats(trips);
-        let model = Murat { ctx, cell_emb, slot_emb, net, tt_mean, tt_std };
+        let model = Murat {
+            ctx,
+            cell_emb,
+            slot_emb,
+            net,
+            tt_mean,
+            tt_std,
+        };
 
         let n = trips.len();
         let odts: Vec<OdtInput> = trips.iter().map(OdtInput::from_trajectory).collect();
@@ -77,7 +84,9 @@ impl Murat {
         params.extend(model.slot_emb.params());
         train_adam(params, cfg.lr, cfg.iters, |g, it| {
             let start = (it * cfg.batch) % n;
-            let idx: Vec<usize> = (0..cfg.batch.min(n)).map(|k| (start + k * 13) % n).collect();
+            let idx: Vec<usize> = (0..cfg.batch.min(n))
+                .map(|k| (start + k * 13) % n)
+                .collect();
             let batch_odts: Vec<OdtInput> = idx.iter().map(|&i| odts[i]).collect();
             let x = model.assemble(g, &batch_odts);
             let y = g.input(targets.index_select0(&idx));
@@ -131,7 +140,10 @@ mod tests {
                 }
             })
             .collect();
-        let cfg = NeuralConfig { iters: 600, ..Default::default() };
+        let cfg = NeuralConfig {
+            iters: 600,
+            ..Default::default()
+        };
         let m = Murat::fit(c, &trips, &cfg);
         let mk = |t_dep: f64| OdtInput {
             origin: c.proj.to_lnglat(Point::new(0.0, 0.0)),
@@ -147,7 +159,10 @@ mod tests {
     fn model_size_includes_embeddings() {
         let c = ctx();
         let trips = distance_world(&c, 60);
-        let cfg = NeuralConfig { iters: 10, ..Default::default() };
+        let cfg = NeuralConfig {
+            iters: 10,
+            ..Default::default()
+        };
         let m = Murat::fit(c, &trips, &cfg);
         // Cell table alone: 100 cells * 12 dims * 4 bytes.
         assert!(m.model_size_bytes() > 100 * 12 * 4);

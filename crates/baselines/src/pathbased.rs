@@ -125,12 +125,7 @@ impl PathBased {
     }
 
     /// Forward one path; returns `(prediction [1,1], per-step aux [1, steps])`.
-    fn forward(
-        &self,
-        g: &Graph,
-        steps: &Tensor,
-        wide: &Tensor,
-    ) -> (Var, Option<Var>) {
+    fn forward(&self, g: &Graph, steps: &Tensor, wide: &Tensor) -> (Var, Option<Var>) {
         let x = g.reshape(g.input(steps.clone()), vec![1, PATH_STEPS, 3]);
         let states = self.gru.forward_all(g, x); // [1, steps, h]
         let last = g.reshape(
@@ -169,10 +164,19 @@ impl PathBased {
         let gru = Gru::new(&mut rng, 3, hidden, "path.gru");
         let wide = Mlp::new(&mut rng, &[3, wide_out], "path.wide");
         let head = Mlp::new(&mut rng, &[hidden + wide_out, cfg.hidden, 1], "path.head");
-        let aux = (kind == PathBasedKind::Wddra)
-            .then(|| Linear::new(&mut rng, hidden, 1, "path.aux"));
+        let aux =
+            (kind == PathBasedKind::Wddra).then(|| Linear::new(&mut rng, hidden, 1, "path.aux"));
         let (tt_mean, tt_std) = target_stats(trips);
-        let model = PathBased { kind, ctx, gru, wide, head, aux, tt_mean, tt_std };
+        let model = PathBased {
+            kind,
+            ctx,
+            gru,
+            wide,
+            head,
+            aux,
+            tt_mean,
+            tt_std,
+        };
 
         // Precompute per-trip tensors.
         let mut data = Vec::with_capacity(trips.len());
@@ -235,10 +239,7 @@ impl PathBased {
             return self.tt_mean;
         }
         let steps = self.step_features(&resampled);
-        let total_len: f64 = path_points
-            .windows(2)
-            .map(|w| w[0].distance(&w[1]))
-            .sum();
+        let total_len: f64 = path_points.windows(2).map(|w| w[0].distance(&w[1])).sum();
         let wide_f = self.wide_features(odt, total_len);
         let g = Graph::new();
         let (pred, _) = self.forward(&g, &steps, &wide_f);
@@ -310,7 +311,10 @@ mod tests {
     fn wddra_learns_path_length() {
         let c = ctx();
         let trips = distance_world(&c, 200);
-        let cfg = NeuralConfig { iters: 250, ..Default::default() };
+        let cfg = NeuralConfig {
+            iters: 250,
+            ..Default::default()
+        };
         let m = Wddra::fit(c, &trips, &cfg);
         assert_eq!(m.name(), "WDDRA");
         let short: Vec<Point> = vec![Point::new(0.0, 0.0), Point::new(1_200.0, 0.0)];
@@ -322,14 +326,20 @@ mod tests {
         };
         let ps = m.predict_with_path(&odt, &short);
         let pl = m.predict_with_path(&odt, &long);
-        assert!(pl > ps, "longer path must predict longer: {pl:.0} vs {ps:.0}");
+        assert!(
+            pl > ps,
+            "longer path must predict longer: {pl:.0} vs {ps:.0}"
+        );
     }
 
     #[test]
     fn stdgcn_has_no_aux_and_more_capacity() {
         let c = ctx();
         let trips = distance_world(&c, 60);
-        let cfg = NeuralConfig { iters: 10, ..Default::default() };
+        let cfg = NeuralConfig {
+            iters: 10,
+            ..Default::default()
+        };
         let w = Wddra::fit(c, &trips, &cfg);
         let s = Stdgcn::fit(c, &trips, &cfg);
         assert!(s.model_size_bytes() > w.model_size_bytes());
@@ -339,7 +349,10 @@ mod tests {
     fn degenerate_paths_do_not_crash() {
         let c = ctx();
         let trips = distance_world(&c, 60);
-        let cfg = NeuralConfig { iters: 5, ..Default::default() };
+        let cfg = NeuralConfig {
+            iters: 5,
+            ..Default::default()
+        };
         let m = Wddra::fit(c, &trips, &cfg);
         let odt = OdtInput {
             origin: c.proj.to_lnglat(Point::new(0.0, 0.0)),

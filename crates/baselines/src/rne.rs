@@ -40,7 +40,14 @@ impl Rne {
         let scale = Param::new(Tensor::scalar(1.0), "rne.scale");
         let slot_bias = Param::new(Tensor::zeros(vec![SLOTS]), "rne.slot_bias");
         let (tt_mean, tt_std) = target_stats(trips);
-        let model = Rne { ctx, emb, scale, slot_bias, tt_mean, tt_std };
+        let model = Rne {
+            ctx,
+            emb,
+            scale,
+            slot_bias,
+            tt_mean,
+            tt_std,
+        };
 
         let n = trips.len();
         let odts: Vec<OdtInput> = trips.iter().map(OdtInput::from_trajectory).collect();
@@ -108,7 +115,10 @@ mod tests {
     fn embedding_distance_tracks_travel_time() {
         let c = ctx();
         let trips = distance_world(&c, 400);
-        let cfg = NeuralConfig { iters: 800, ..Default::default() };
+        let cfg = NeuralConfig {
+            iters: 800,
+            ..Default::default()
+        };
         let m = Rne::fit(c, &trips, &cfg);
         // Longer trips must get longer predictions.
         let mk = |d: f64| OdtInput {
@@ -118,14 +128,20 @@ mod tests {
         };
         let short = m.predict_seconds(&mk(1_200.0));
         let long = m.predict_seconds(&mk(3_400.0));
-        assert!(long > short, "long {long:.0} should exceed short {short:.0}");
+        assert!(
+            long > short,
+            "long {long:.0} should exceed short {short:.0}"
+        );
     }
 
     #[test]
     fn compact_model() {
         let c = ctx();
         let trips = distance_world(&c, 50);
-        let cfg = NeuralConfig { iters: 5, ..Default::default() };
+        let cfg = NeuralConfig {
+            iters: 5,
+            ..Default::default()
+        };
         let m = Rne::fit(c, &trips, &cfg);
         // 100 cells * 16 dims * 4 bytes + biases: well under 10 KB.
         assert!(m.model_size_bytes() < 10_000);

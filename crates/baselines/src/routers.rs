@@ -6,7 +6,9 @@
 //! of the historical average travel times along it.
 
 use crate::common::{OdtOracle, OracleContext};
-use odt_roadnet::{dijkstra, matching, EdgeWeights, MarkovRouter, NodeId, RoadNetwork, TimeDependentWeights};
+use odt_roadnet::{
+    dijkstra, matching, EdgeWeights, MarkovRouter, NodeId, RoadNetwork, TimeDependentWeights,
+};
 use odt_traj::{OdtInput, Trajectory};
 use std::sync::Arc;
 
@@ -40,7 +42,10 @@ pub fn densify(net: &RoadNetwork, nodes: &[NodeId], step_m: f64) -> Vec<odt_road
         let steps = (d / step_m).ceil() as usize;
         for s in 1..=steps.max(1) {
             let f = s as f64 / steps.max(1) as f64;
-            out.push(odt_roadnet::Point::new(a.x + (b.x - a.x) * f, a.y + (b.y - a.y) * f));
+            out.push(odt_roadnet::Point::new(
+                a.x + (b.x - a.x) * f,
+                a.y + (b.y - a.y) * f,
+            ));
         }
     }
     out
@@ -60,8 +65,8 @@ pub fn matched_paths(
             let pts: Vec<odt_roadnet::Point> =
                 t.points.iter().map(|p| ctx.proj.to_point(p.loc)).collect();
             let path = matching::match_trajectory(net, &pts);
-            let slot = ((t.departure_second_of_day() / 86_400.0 * slots as f64) as usize)
-                .min(slots - 1);
+            let slot =
+                ((t.departure_second_of_day() / 86_400.0 * slots as f64) as usize).min(slots - 1);
             (path, slot, t.travel_time())
         })
         .collect()
@@ -92,8 +97,8 @@ pub fn learn_time_weights(
         let pts: Vec<odt_roadnet::Point> =
             t.points.iter().map(|p| ctx.proj.to_point(p.loc)).collect();
         let ts: Vec<f64> = t.points.iter().map(|p| p.t).collect();
-        let slot = ((t.departure_second_of_day() / 86_400.0 * slots as f64) as usize)
-            .min(slots - 1);
+        let slot =
+            ((t.departure_second_of_day() / 86_400.0 * slots as f64) as usize).min(slots - 1);
         for (e, secs) in matching::edge_observations(net, &pts, &ts) {
             obs.push((e, slot, secs));
         }
@@ -165,7 +170,12 @@ impl DeepStRouter {
             markov.observe_path(&net, &path, slot);
         }
         let weights = learn_time_weights(&net, &ctx, trips, DEEPST_SLOTS);
-        DeepStRouter { ctx, net, markov, weights }
+        DeepStRouter {
+            ctx,
+            net,
+            markov,
+            weights,
+        }
     }
 
     fn slot(&self, odt: &OdtInput) -> usize {
@@ -212,7 +222,10 @@ mod tests {
 
     fn setup() -> (OracleContext, Arc<RoadNetwork>, Vec<Trajectory>) {
         let net = Arc::new(RoadNetwork::grid_city(6, 6, 500.0, 3));
-        let proj = Projection::new(LngLat { lng: 104.0, lat: 30.0 });
+        let proj = Projection::new(LngLat {
+            lng: 104.0,
+            lat: 30.0,
+        });
         let ctx = OracleContext {
             grid: GridSpec::new(
                 proj.to_lnglat(Point::new(-100.0, -100.0)),

@@ -27,7 +27,13 @@ pub struct NeuralConfig {
 
 impl Default for NeuralConfig {
     fn default() -> Self {
-        NeuralConfig { hidden: 64, iters: 500, batch: 128, lr: 1e-3, seed: 7 }
+        NeuralConfig {
+            hidden: 64,
+            iters: 500,
+            batch: 128,
+            lr: 1e-3,
+            seed: 7,
+        }
     }
 }
 
@@ -67,7 +73,13 @@ impl StNn {
 
         let mut params = trunk.params();
         params.extend(head.params());
-        let model = StNn { ctx, trunk, head, tt_mean, tt_std };
+        let model = StNn {
+            ctx,
+            trunk,
+            head,
+            tt_mean,
+            tt_std,
+        };
         let mut order: Vec<usize> = (0..n).collect();
         train_adam(params, cfg.lr, cfg.iters, |g, it| {
             if it % (n / cfg.batch.max(1)).max(1) == 0 {
@@ -75,7 +87,9 @@ impl StNn {
                 order.rotate_left(17 % n.max(1));
             }
             let start = (it * cfg.batch) % n;
-            let idx: Vec<usize> = (0..cfg.batch.min(n)).map(|k| order[(start + k) % n]).collect();
+            let idx: Vec<usize> = (0..cfg.batch.min(n))
+                .map(|k| order[(start + k) % n])
+                .collect();
             let x = g.input(feats.index_select0(&idx));
             let y = g.input(targets.index_select0(&idx));
             let pred = model.head.forward(g, g.relu(model.trunk.forward(g, x)));
@@ -116,7 +130,10 @@ pub(crate) mod tests {
                 LngLat { lng: 0.3, lat: 0.3 },
                 10,
             ),
-            proj: Projection::new(LngLat { lng: 0.15, lat: 0.15 }),
+            proj: Projection::new(LngLat {
+                lng: 0.15,
+                lat: 0.15,
+            }),
         }
     }
 
@@ -129,8 +146,14 @@ pub(crate) mod tests {
                 let tt = d / 1_000.0 * 220.0;
                 let t0 = 7.0 * 3_600.0 + (i % 400) as f64 * 60.0;
                 Trajectory::new(vec![
-                    GpsPoint { loc: ctx.proj.to_lnglat(Point::new(0.0, 0.0)), t: t0 },
-                    GpsPoint { loc: ctx.proj.to_lnglat(Point::new(dx, dy)), t: t0 + tt },
+                    GpsPoint {
+                        loc: ctx.proj.to_lnglat(Point::new(0.0, 0.0)),
+                        t: t0,
+                    },
+                    GpsPoint {
+                        loc: ctx.proj.to_lnglat(Point::new(dx, dy)),
+                        t: t0 + tt,
+                    },
                 ])
             })
             .collect()
@@ -140,7 +163,10 @@ pub(crate) mod tests {
     fn learns_distance_time_relation() {
         let c = ctx();
         let trips = distance_world(&c, 300);
-        let cfg = NeuralConfig { iters: 400, ..Default::default() };
+        let cfg = NeuralConfig {
+            iters: 400,
+            ..Default::default()
+        };
         let m = StNn::fit(c, &trips, &cfg);
         let q = OdtInput {
             origin: c.proj.to_lnglat(Point::new(0.0, 0.0)),
@@ -155,7 +181,10 @@ pub(crate) mod tests {
     fn prediction_ignores_departure_time() {
         let c = ctx();
         let trips = distance_world(&c, 100);
-        let cfg = NeuralConfig { iters: 50, ..Default::default() };
+        let cfg = NeuralConfig {
+            iters: 50,
+            ..Default::default()
+        };
         let m = StNn::fit(c, &trips, &cfg);
         let mk = |t_dep: f64| OdtInput {
             origin: c.proj.to_lnglat(Point::new(0.0, 0.0)),

@@ -85,8 +85,7 @@ impl OdtOracle for Temp {
         // Progressively widen the neighborhood until neighbors exist, as the
         // original method does for sparse regions.
         for mult in [1.0, 2.0, 4.0, 8.0] {
-            if let Some(m) = self.neighbors_mean(odt, self.radius_m * mult, self.window_s * mult)
-            {
+            if let Some(m) = self.neighbors_mean(odt, self.radius_m * mult, self.window_s * mult) {
                 return m;
             }
         }
@@ -116,10 +115,24 @@ mod tests {
         }
     }
 
-    fn trip(ctx: &OracleContext, ox: f64, oy: f64, dx: f64, dy: f64, t0: f64, tt: f64) -> Trajectory {
+    fn trip(
+        ctx: &OracleContext,
+        ox: f64,
+        oy: f64,
+        dx: f64,
+        dy: f64,
+        t0: f64,
+        tt: f64,
+    ) -> Trajectory {
         Trajectory::new(vec![
-            GpsPoint { loc: ctx.proj.to_lnglat(Point::new(ox, oy)), t: t0 },
-            GpsPoint { loc: ctx.proj.to_lnglat(Point::new(dx, dy)), t: t0 + tt },
+            GpsPoint {
+                loc: ctx.proj.to_lnglat(Point::new(ox, oy)),
+                t: t0,
+            },
+            GpsPoint {
+                loc: ctx.proj.to_lnglat(Point::new(dx, dy)),
+                t: t0 + tt,
+            },
         ])
     }
 

@@ -14,7 +14,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_mvit_vs_vit(c: &mut Criterion) {
-    let cfg = MVitConfig { d_e: 32, l_e: 2, heads: 2, ffn_hidden: 64 };
+    let cfg = MVitConfig {
+        d_e: 32,
+        l_e: 2,
+        heads: 2,
+        ffn_hidden: 64,
+    };
     let mut group = c.benchmark_group("figure8/estimator_forward");
     group.sample_size(10);
     for lg in [10usize, 20, 30] {

@@ -16,7 +16,9 @@ fn bench_tensor_kernels(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let a = init::normal(&mut rng, vec![128, 128], 1.0);
     let b = init::normal(&mut rng, vec![128, 128], 1.0);
-    c.bench_function("substrates/matmul_128", |bch| bch.iter(|| ops::matmul(&a, &b)));
+    c.bench_function("substrates/matmul_128", |bch| {
+        bch.iter(|| ops::matmul(&a, &b))
+    });
 
     let x = init::normal(&mut rng, vec![8, 8, 16, 16], 1.0);
     let w = init::normal(&mut rng, vec![8, 8, 3, 3], 0.1);
@@ -87,5 +89,11 @@ fn bench_denoiser(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tensor_kernels, bench_roadnet, bench_pit_and_sim, bench_denoiser);
+criterion_group!(
+    benches,
+    bench_tensor_kernels,
+    bench_roadnet,
+    bench_pit_and_sim,
+    bench_denoiser
+);
 criterion_main!(benches);

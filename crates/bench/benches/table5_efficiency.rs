@@ -18,7 +18,10 @@ fn bench_oracles(c: &mut Criterion) {
     let data = bench_dataset(12);
     let ctx = ctx_of(&data);
     let train = data.split(Split::Train);
-    let neural = NeuralConfig { iters: 60, ..Default::default() };
+    let neural = NeuralConfig {
+        iters: 60,
+        ..Default::default()
+    };
 
     let temp = Temp::fit(ctx, train);
     let lr = LinearRegression::fit(ctx, train);

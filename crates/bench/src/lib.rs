@@ -26,5 +26,8 @@ pub fn bench_dataset(lg: usize) -> Dataset {
 
 /// The oracle context of a dataset.
 pub fn ctx_of(data: &Dataset) -> OracleContext {
-    OracleContext { grid: data.grid, proj: data.proj }
+    OracleContext {
+        grid: data.grid,
+        proj: data.proj,
+    }
 }

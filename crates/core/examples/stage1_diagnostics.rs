@@ -18,8 +18,16 @@ fn main() {
     let lg = 16;
     let data = Dataset::chengdu_like(1000, lg, 7);
     let mut cfg = DotConfig::fast();
-    cfg.lg = lg; cfg.n_steps = 30; cfg.stage1_iters = 1600; cfg.stage2_iters = 600; cfg.lr = 2e-3;
-    let model = Dot::train(cfg, &data, |m| if m.contains("iter") && m.contains("00:") { eprintln!("{m}") });
+    cfg.lg = lg;
+    cfg.n_steps = 30;
+    cfg.stage1_iters = 1600;
+    cfg.stage2_iters = 600;
+    cfg.lr = 2e-3;
+    let model = Dot::train(cfg, &data, |m| {
+        if m.contains("iter") && m.contains("00:") {
+            eprintln!("{m}")
+        }
+    });
 
     // Path-vs-background eps error at several noise levels.
     let ddpm = Ddpm::new(NoiseSchedule::linear_scaled(30));
@@ -37,13 +45,27 @@ fn main() {
             let cond = Tensor::from_vec(feats.to_vec(), vec![1, 5]);
             let g = Graph::new();
             let pred = g.value(model_pred(&model, &g, xn, n, &cond));
-            for ch in 0..3 { for r in 0..lg { for c in 0..lg {
-                let i = ((ch * lg) + r) * lg + c;
-                let e = (pred.data()[i] - eps.data()[i]).powi(2) as f64;
-                if pit.is_visited(r, c) { pe += e; pc += 1.0; } else { be += e; bc += 1.0; }
-            }}}
+            for ch in 0..3 {
+                for r in 0..lg {
+                    for c in 0..lg {
+                        let i = ((ch * lg) + r) * lg + c;
+                        let e = (pred.data()[i] - eps.data()[i]).powi(2) as f64;
+                        if pit.is_visited(r, c) {
+                            pe += e;
+                            pc += 1.0;
+                        } else {
+                            be += e;
+                            bc += 1.0;
+                        }
+                    }
+                }
+            }
         }
-        println!("n={n}: path-pixel mse {:.3}, background mse {:.3}", pe/pc, be/bc);
+        println!(
+            "n={n}: path-pixel mse {:.3}, background mse {:.3}",
+            pe / pc,
+            be / bc
+        );
     }
 
     // Sampled channel stats for one odt, 3 samples.
@@ -54,10 +76,10 @@ fn main() {
         let mut r2 = StdRng::seed_from_u64(100 + s);
         let pit = model.infer_pit(&odt, &mut r2);
         let raw = pit.tensor();
-        let mask: Vec<f32> = (0..lg*lg).map(|i| raw.data()[i]).collect();
+        let mask: Vec<f32> = (0..lg * lg).map(|i| raw.data()[i]).collect();
         let on = mask.iter().filter(|&&v| v >= 0.0).count();
         let mean: f32 = mask.iter().sum::<f32>() / mask.len() as f32;
-        println!("sample {s}: mask mean {mean:.2}, cells on {on}/{}", lg*lg);
+        println!("sample {s}: mask mean {mean:.2}, cells on {on}/{}", lg * lg);
     }
 }
 

@@ -43,6 +43,35 @@ impl Default for AblationOptions {
     }
 }
 
+/// Fault-tolerance knobs for training and serving (the robustness layer;
+/// DESIGN.md "Failure modes and recovery").
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+pub struct RobustnessOptions {
+    /// A stage loss counts as a spike when it exceeds this multiple of the
+    /// running loss EMA (after warmup). Non-finite losses always trip.
+    pub watchdog_spike_factor: f32,
+    /// Consecutive watchdog trips before parameters roll back to the last
+    /// good snapshot.
+    pub watchdog_patience: usize,
+    /// Take an in-training "last good" parameter snapshot every this many
+    /// healthy iterations (also the `train_resumable` checkpoint cadence).
+    pub snapshot_every: usize,
+    /// Serve the haversine-speed prior when the inferred PiT is degenerate
+    /// (empty/saturated) instead of feeding it to the estimator.
+    pub degraded_mode_fallback: bool,
+}
+
+impl Default for RobustnessOptions {
+    fn default() -> Self {
+        RobustnessOptions {
+            watchdog_spike_factor: 25.0,
+            watchdog_patience: 3,
+            snapshot_every: 50,
+            degraded_mode_fallback: true,
+        }
+    }
+}
+
 /// Full DOT configuration.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct DotConfig {
@@ -88,6 +117,10 @@ pub struct DotConfig {
     pub infer_candidates: usize,
     /// Ablation switches.
     pub ablation: AblationOptions,
+    /// Fault-tolerance knobs (`#[serde(default)]` keeps older configs
+    /// loadable).
+    #[serde(default)]
+    pub robustness: RobustnessOptions,
     /// RNG seed for initialization, batching and sampling.
     pub seed: u64,
 }
@@ -115,6 +148,7 @@ impl DotConfig {
             step_gamma: 1.0,
             infer_candidates: 1,
             ablation: AblationOptions::default(),
+            robustness: RobustnessOptions::default(),
             seed: 7,
         }
     }
@@ -142,6 +176,7 @@ impl DotConfig {
             step_gamma: 2.0,
             infer_candidates: 3,
             ablation: AblationOptions::default(),
+            robustness: RobustnessOptions::default(),
             seed: 7,
         }
     }

@@ -21,15 +21,36 @@
 //! * [`AblationOptions`] — the Table 7 variants: *No-t* / *No-od* /
 //!   *No-odt* conditioning masks, *No-CE* / *No-ST* embedding switches and
 //!   the *Est-CNN* / *Est-ViT* estimator swaps.
+//!
+//! ## Robustness layer
+//!
+//! * Training runs behind a divergence watchdog (skip poisoned batches,
+//!   roll back on repeated trips) and can crash-resume via
+//!   [`Dot::train_resumable`] / [`TrainCheckpoint`].
+//! * Checkpoints use a versioned CRC-framed format written atomically;
+//!   [`Dot::load`] returns a typed [`PersistError`] on corruption, version
+//!   or shape mismatch, and never constructs a model from non-finite
+//!   parameters.
+//! * Serving sanitizes malformed queries ([`sanitize_odt`]) and falls back
+//!   to a haversine-speed prior when PiT inference degenerates; every
+//!   defensive action is counted in [`RobustnessStats`], surfaced via
+//!   [`Dot::robustness`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
+mod guard;
 mod oracle;
 mod persist;
 mod train;
 
-pub use config::{AblationOptions, DotConfig, EstimatorKind};
+pub use config::{AblationOptions, DotConfig, EstimatorKind, RobustnessOptions};
+pub use guard::{
+    fallback_estimate_seconds, haversine_m, pit_is_degenerate, sanitize_odt, RobustnessSnapshot,
+    RobustnessStats, FALLBACK_CIRCUITY, FALLBACK_OVERHEAD_S, FALLBACK_SPEED_MPS,
+    SATURATION_FRACTION,
+};
 pub use oracle::{pit_to_path_points, Dot, Estimate};
-pub use train::TrainingReport;
+pub use persist::{PersistError, CHECKPOINT_VERSION};
+pub use train::{TrainCheckpoint, TrainHooks, TrainingReport};

@@ -2,6 +2,7 @@
 //! estimation, implementing Eq. 1's `odt → (Δt, X)`.
 
 use crate::config::DotConfig;
+use crate::guard::{self, RobustnessSnapshot, RobustnessStats};
 use crate::train::TrainingReport;
 use odt_diffusion::{ConditionedDenoiser, Ddpm};
 use odt_estimator::PitEstimator;
@@ -29,6 +30,7 @@ pub struct Dot {
     pub(crate) tt_mean: f64,
     pub(crate) tt_std: f64,
     pub(crate) report: TrainingReport,
+    pub(crate) stats: RobustnessStats,
 }
 
 impl Dot {
@@ -45,6 +47,13 @@ impl Dot {
     /// Training diagnostics (stage timings, parameter counts).
     pub fn report(&self) -> &TrainingReport {
         &self.report
+    }
+
+    /// Current robustness counters: every defensive action the model has
+    /// taken across training (watchdog trips, rollbacks) and serving
+    /// (clamped queries, degenerate PiTs, fallback estimates).
+    pub fn robustness(&self) -> RobustnessSnapshot {
+        self.stats.snapshot()
     }
 
     /// Masked conditioning features for an ODT-Input.
@@ -93,6 +102,7 @@ impl Dot {
         if odts.is_empty() {
             return Vec::new();
         }
+        let odts = self.sanitize_all(odts);
         let b = odts.len();
         let mut cond = Tensor::zeros(vec![b, 5]);
         for (i, odt) in odts.iter().enumerate() {
@@ -144,6 +154,7 @@ impl Dot {
         if odts.is_empty() {
             return Vec::new();
         }
+        let odts = self.sanitize_all(odts);
         let b = odts.len();
         let mut cond = Tensor::zeros(vec![b, 5]);
         for (i, odt) in odts.iter().enumerate() {
@@ -185,20 +196,82 @@ impl Dot {
         (v * self.tt_std + self.tt_mean).max(0.0)
     }
 
-    /// The full ODT-Oracle (Eq. 1): infer the PiT, then estimate the
-    /// travel time from it.
-    pub fn estimate(&self, odt: &OdtInput, rng: &mut impl Rng) -> Estimate {
-        let pit = self.infer_pit(odt, rng);
+    /// Sanitize a batch of queries (clamping policy of
+    /// [`crate::sanitize_odt`]), counting every query that needed repair.
+    fn sanitize_all(&self, odts: &[OdtInput]) -> Vec<OdtInput> {
+        odts.iter()
+            .map(|odt| {
+                let (clean, changed) = guard::sanitize_odt(odt, &self.grid);
+                if changed {
+                    self.stats.record_query_clamped();
+                }
+                clean
+            })
+            .collect()
+    }
+
+    /// Estimate with the serving guardrails: if the PiT is degenerate
+    /// (empty/saturated reverse chain) or the estimator's output is
+    /// non-finite, serve the haversine-speed prior instead (when
+    /// `robustness.degraded_mode_fallback` is on) and count the fallback.
+    pub fn estimate_from_pit_guarded(&self, odt: &OdtInput, pit: Pit) -> Estimate {
+        let degenerate = guard::pit_is_degenerate(&pit);
+        if degenerate {
+            self.stats.record_degenerate_pit();
+        }
+        if self.cfg.robustness.degraded_mode_fallback {
+            if degenerate {
+                self.stats.record_fallback();
+                let seconds = guard::fallback_estimate_seconds(odt);
+                return Estimate { seconds, pit };
+            }
+            let seconds = self.estimate_from_pit(&pit);
+            if !seconds.is_finite() {
+                self.stats.record_fallback();
+                let seconds = guard::fallback_estimate_seconds(odt);
+                return Estimate { seconds, pit };
+            }
+            return Estimate { seconds, pit };
+        }
         let seconds = self.estimate_from_pit(&pit);
         Estimate { seconds, pit }
     }
 
+    /// The full ODT-Oracle (Eq. 1): sanitize the query, infer the PiT,
+    /// then estimate the travel time from it — behind the degraded-mode
+    /// guardrails of [`Dot::estimate_from_pit_guarded`].
+    pub fn estimate(&self, odt: &OdtInput, rng: &mut impl Rng) -> Estimate {
+        let (clean, changed) = guard::sanitize_odt(odt, &self.grid);
+        if changed {
+            self.stats.record_query_clamped();
+        }
+        let pit = self.infer_pit(&clean, rng);
+        self.estimate_from_pit_guarded(&clean, pit)
+    }
+
+    /// [`Dot::estimate`] over the accelerated DDIM sampler
+    /// ([`Dot::infer_pits_fast`]) — same sanitization and degraded-mode
+    /// guardrails, reduced latency.
+    pub fn estimate_fast(
+        &self,
+        odt: &OdtInput,
+        sample_steps: usize,
+        rng: &mut impl Rng,
+    ) -> Estimate {
+        let (clean, changed) = guard::sanitize_odt(odt, &self.grid);
+        if changed {
+            self.stats.record_query_clamped();
+        }
+        let pit = self
+            .infer_pits_fast(std::slice::from_ref(&clean), sample_steps, rng)
+            .pop()
+            .expect("one query in, one PiT out");
+        self.estimate_from_pit_guarded(&clean, pit)
+    }
+
     /// Total number of trainable scalars per stage, `(stage1, stage2)`.
     pub fn param_counts(&self) -> (usize, usize) {
-        (
-            self.report.stage1_params,
-            self.report.stage2_params,
-        )
+        (self.report.stage1_params, self.report.stage2_params)
     }
 
     /// Model size in bytes (both stages; Table 5).

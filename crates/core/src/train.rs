@@ -1,15 +1,36 @@
-//! The two-stage DOT training pipeline (paper §3.3, §4.1.3, §5.2, §6.3).
+//! The two-stage DOT training pipeline (paper §3.3, §4.1.3, §5.2, §6.3),
+//! hardened with a divergence watchdog and crash-resumable checkpoints.
+//!
+//! ## Fault tolerance
+//!
+//! Both stages run behind a [`Watchdog`]: a batch whose loss is non-finite
+//! or spikes far above the running average is *discarded* (no optimizer
+//! step), and after `watchdog_patience` consecutive trips the parameters
+//! roll back to the last good snapshot and the optimizer state resets —
+//! so one poisoned batch (or an unlucky step into a NaN region) cannot
+//! silently destroy a multi-hour run. Every defensive action is counted in
+//! [`crate::RobustnessStats`].
+//!
+//! Batch sampling draws from a per-iteration RNG derived from
+//! `(seed, stage, iteration)`, which makes the training stream a pure
+//! function of the config — the property [`Dot::train_resumable`] relies on
+//! to continue an interrupted run from its last [`TrainCheckpoint`].
 
 use crate::config::{DotConfig, EstimatorKind};
+use crate::guard::RobustnessSnapshot;
 use crate::oracle::Dot;
+use crate::persist::{read_versioned, write_versioned, PersistError};
 use odt_diffusion::{ConditionedDenoiser, Ddpm, DenoiserConfig, NoiseSchedule};
-use odt_estimator::{CnnEstimator, EmbedderConfig, MVit, PitEstimator, VanillaVit};
 use odt_estimator::MVitConfig as EstimatorMVitConfig;
+use odt_estimator::{CnnEstimator, EmbedderConfig, MVit, PitEstimator, VanillaVit};
+use odt_nn::serialize::StateDict;
 use odt_nn::{load_state_dict, state_dict, Adam, HasParams};
 use odt_tensor::{Graph, Tensor};
-use odt_traj::{Dataset, OdtInput, Pit, Split, Trajectory};
+use odt_traj::{Dataset, GridSpec, OdtInput, Pit, Split, Trajectory};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::time::Instant;
 
 /// Diagnostics collected while training.
@@ -27,6 +48,147 @@ pub struct TrainingReport {
     pub stage1_final_loss: f32,
     /// Best validation MAE (seconds) observed during stage-2 early stopping.
     pub best_val_mae: f64,
+    /// Robustness counters as of the end of training (watchdog trips,
+    /// skipped batches, rollbacks).
+    pub robustness: RobustnessSnapshot,
+}
+
+/// Fault-injection instrumentation for the training loop. Production code
+/// uses [`TrainHooks::default`] (no-ops); tests tamper with the loss the
+/// watchdog observes to exercise the divergence-recovery path without
+/// having to construct a genuinely diverging model.
+#[derive(Default)]
+pub struct TrainHooks {
+    /// Maps `(iteration, loss)` to the loss value the stage-1 watchdog
+    /// sees. Returning NaN/inf simulates a diverged batch.
+    pub stage1_loss_tamper: Option<Box<dyn FnMut(usize, f32) -> f32>>,
+    /// Same, for stage 2.
+    pub stage2_loss_tamper: Option<Box<dyn FnMut(usize, f32) -> f32>>,
+}
+
+/// What the watchdog decided about one observed loss.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Verdict {
+    /// Healthy loss: apply the update.
+    Healthy,
+    /// Suspicious loss: discard the batch.
+    Skip,
+    /// Repeated trips: discard and roll parameters back.
+    Rollback,
+}
+
+/// Divergence watchdog: trips on non-finite losses always, and on losses
+/// exceeding `spike_factor ×` a warmup-gated EMA of recent healthy losses.
+struct Watchdog {
+    spike_factor: f32,
+    patience: usize,
+    ema: f32,
+    observed: usize,
+    consecutive_trips: usize,
+}
+
+/// Healthy observations before spike detection arms (early losses swing
+/// wildly while the model finds scale).
+const WATCHDOG_WARMUP: usize = 8;
+
+impl Watchdog {
+    fn new(spike_factor: f32, patience: usize) -> Self {
+        Watchdog {
+            spike_factor: spike_factor.max(1.0),
+            patience: patience.max(1),
+            ema: 0.0,
+            observed: 0,
+            consecutive_trips: 0,
+        }
+    }
+
+    fn observe(&mut self, loss: f32) -> Verdict {
+        let armed = self.observed >= WATCHDOG_WARMUP;
+        let spiking = armed && loss > self.spike_factor * self.ema.max(1e-6);
+        if loss.is_finite() && !spiking {
+            self.consecutive_trips = 0;
+            self.ema = if self.observed == 0 {
+                loss
+            } else {
+                0.9 * self.ema + 0.1 * loss
+            };
+            self.observed += 1;
+            return Verdict::Healthy;
+        }
+        self.consecutive_trips += 1;
+        if self.consecutive_trips >= self.patience {
+            self.consecutive_trips = 0;
+            Verdict::Rollback
+        } else {
+            Verdict::Skip
+        }
+    }
+}
+
+/// Derive the RNG for one training iteration from `(seed, stage salt,
+/// iteration)` — the key to deterministic resume: iteration `k` draws the
+/// same batch and noise whether or not the process restarted at `k-1`.
+fn iter_rng(seed: u64, salt: u64, it: usize) -> StdRng {
+    StdRng::seed_from_u64(
+        seed ^ salt
+            ^ (it as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(17),
+    )
+}
+
+const STAGE1_SALT: u64 = 0x51A6_E001;
+const STAGE2_SALT: u64 = 0x51A6_E002;
+/// Salt of the stage-2 validation-PiT inference RNG.
+const VAL_SALT: u64 = 0x51A6_E003;
+
+/// Magic tag of in-training checkpoints.
+const TRAIN_MAGIC: &str = "DOTTRN";
+
+/// A crash-recovery snapshot of an in-flight training run, written
+/// periodically by [`Dot::train_resumable`] (atomic write, CRC-framed like
+/// model checkpoints).
+#[derive(Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// Which stage was training: 1 or 2.
+    pub stage: u8,
+    /// Next iteration to execute within that stage.
+    pub next_iter: usize,
+    /// The config of the interrupted run (must match on resume).
+    pub cfg: DotConfig,
+    /// Grid of the interrupted run.
+    pub grid: GridSpec,
+    /// Target normalization mean.
+    pub tt_mean: f64,
+    /// Target normalization std.
+    pub tt_std: f64,
+    /// Stage-1 parameters at the snapshot.
+    pub stage1: StateDict,
+    /// Stage-2 parameters at the snapshot (present once stage 2 started).
+    pub stage2: Option<StateDict>,
+    /// Best early-stopping state so far (stage 2 only).
+    pub best_state: Option<StateDict>,
+    /// Best validation MAE so far (stage 2 only).
+    pub best_val_mae: f64,
+    /// Stage-1 wall-clock seconds accumulated before the snapshot.
+    pub stage1_seconds: f64,
+    /// Stage-2 wall-clock seconds accumulated before the snapshot.
+    pub stage2_seconds: f64,
+    /// Final (or latest) stage-1 loss.
+    pub stage1_final_loss: f32,
+    /// Robustness counters at the snapshot.
+    pub robustness: RobustnessSnapshot,
+}
+
+impl TrainCheckpoint {
+    /// Load an in-training checkpoint, verifying integrity.
+    pub fn load(path: &Path) -> Result<Self, PersistError> {
+        read_versioned(path, TRAIN_MAGIC)
+    }
+
+    fn save(&self, path: &Path) -> Result<(), PersistError> {
+        write_versioned(path, TRAIN_MAGIC, self)
+    }
 }
 
 /// Stack per-sample `[3, L, L]` PiT tensors into a `[B, 3, L, L]` batch.
@@ -46,7 +208,86 @@ fn stack_pits(pits: &[&Tensor]) -> Tensor {
 impl Dot {
     /// Train the full two-stage pipeline on a dataset. `progress` receives
     /// occasional human-readable status lines.
-    pub fn train(cfg: DotConfig, data: &Dataset, mut progress: impl FnMut(&str)) -> Dot {
+    pub fn train(cfg: DotConfig, data: &Dataset, progress: impl FnMut(&str)) -> Dot {
+        Self::train_impl(cfg, data, progress, TrainHooks::default(), None, None)
+    }
+
+    /// [`Dot::train`] with fault-injection hooks — instrumentation for
+    /// robustness tests (inject a NaN loss, assert the watchdog recovers).
+    pub fn train_with_hooks(
+        cfg: DotConfig,
+        data: &Dataset,
+        progress: impl FnMut(&str),
+        hooks: TrainHooks,
+    ) -> Dot {
+        Self::train_impl(cfg, data, progress, hooks, None, None)
+    }
+
+    /// Crash-resumable training: periodically writes a [`TrainCheckpoint`]
+    /// to `ckpt_path` (every `robustness.snapshot_every` healthy
+    /// iterations, atomically), and when `ckpt_path` already holds a valid
+    /// checkpoint for the same config, continues from it instead of
+    /// starting over. The file is removed on successful completion.
+    ///
+    /// An unreadable or mismatched checkpoint is reported through
+    /// `progress` and training restarts from scratch — crash recovery must
+    /// not itself be a crash source. Optimizer moments are not part of the
+    /// snapshot, so a resumed run matches an uninterrupted one in data
+    /// stream but re-warms Adam from the snapshot parameters.
+    pub fn train_resumable(
+        cfg: DotConfig,
+        data: &Dataset,
+        ckpt_path: &Path,
+        mut progress: impl FnMut(&str),
+    ) -> Dot {
+        let resume = if ckpt_path.exists() {
+            match TrainCheckpoint::load(ckpt_path) {
+                Ok(tc) => {
+                    let same =
+                        serde_json::to_string(&tc.cfg).ok() == serde_json::to_string(&cfg).ok();
+                    if same {
+                        progress(&format!(
+                            "resuming training from {} (stage {}, iter {})",
+                            ckpt_path.display(),
+                            tc.stage,
+                            tc.next_iter
+                        ));
+                        Some(tc)
+                    } else {
+                        progress("training checkpoint config mismatch; starting fresh");
+                        None
+                    }
+                }
+                Err(e) => {
+                    progress(&format!(
+                        "training checkpoint unusable ({e}); starting fresh"
+                    ));
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        let model = Self::train_impl(
+            cfg,
+            data,
+            &mut progress,
+            TrainHooks::default(),
+            Some(ckpt_path),
+            resume,
+        );
+        std::fs::remove_file(ckpt_path).ok();
+        model
+    }
+
+    fn train_impl(
+        cfg: DotConfig,
+        data: &Dataset,
+        mut progress: impl FnMut(&str),
+        mut hooks: TrainHooks,
+        ckpt_path: Option<&Path>,
+        resume: Option<TrainCheckpoint>,
+    ) -> Dot {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let grid = data.grid;
         assert_eq!(grid.lg, cfg.lg, "dataset grid must match config L_G");
@@ -85,9 +326,34 @@ impl Dot {
             tt_mean,
             tt_std,
             report: TrainingReport::default(),
+            stats: Default::default(),
             cfg,
         };
         let cfg = model.cfg.clone();
+
+        // Restore an interrupted run's parameters and counters.
+        let (stage1_start, stage2_resume) = match resume {
+            Some(tc) => {
+                let s1 = model.denoiser.params();
+                load_state_dict(&s1, &tc.stage1);
+                if let Some(s2) = &tc.stage2 {
+                    load_state_dict(&model.estimator.estimator_params(), s2);
+                }
+                model.stats = crate::guard::RobustnessStats::from_snapshot(tc.robustness);
+                model.report.stage1_seconds = tc.stage1_seconds;
+                model.report.stage2_seconds = tc.stage2_seconds;
+                model.report.stage1_final_loss = tc.stage1_final_loss;
+                if tc.stage == 1 {
+                    (tc.next_iter, None)
+                } else {
+                    (
+                        cfg.stage1_iters,
+                        Some((tc.next_iter, tc.best_state, tc.best_val_mae)),
+                    )
+                }
+            }
+            None => (0, None),
+        };
 
         // Precompute training PiTs and conditioning features.
         let pits: Vec<Tensor> = train
@@ -100,19 +366,31 @@ impl Dot {
             .collect();
         let n = train.len();
 
-        progress(&format!(
-            "stage 1: training denoiser ({} params) on {} PiTs, {} iters",
-            model.denoiser.num_params(),
-            n,
-            cfg.stage1_iters
-        ));
+        if stage1_start < cfg.stage1_iters {
+            progress(&format!(
+                "stage 1: training denoiser ({} params) on {} PiTs, iters {}..{}",
+                model.denoiser.num_params(),
+                n,
+                stage1_start,
+                cfg.stage1_iters
+            ));
+        }
         let t0 = Instant::now();
-        let mut opt = Adam::new(model.denoiser.params(), cfg.lr).with_clip(2.0);
-        let mut final_loss = f32::NAN;
-        for it in 0..cfg.stage1_iters {
+        let stage1_seconds_before = model.report.stage1_seconds;
+        let params = model.denoiser.params();
+        let mut opt = Adam::new(params.clone(), cfg.lr).with_clip(2.0);
+        let mut watchdog = Watchdog::new(
+            cfg.robustness.watchdog_spike_factor,
+            cfg.robustness.watchdog_patience,
+        );
+        let mut last_good = state_dict(&params);
+        let mut healthy_streak = 0usize;
+        let mut final_loss = model.report.stage1_final_loss;
+        for it in stage1_start..cfg.stage1_iters {
+            let mut brng = iter_rng(cfg.seed, STAGE1_SALT, it);
             opt.zero_grad();
             let idx: Vec<usize> = (0..cfg.stage1_batch)
-                .map(|_| rng.gen_range(0..n))
+                .map(|_| brng.gen_range(0..n))
                 .collect();
             let refs: Vec<&Tensor> = idx.iter().map(|&i| &pits[i]).collect();
             let x0 = stack_pits(&refs);
@@ -129,23 +407,82 @@ impl Dot {
                 &x0,
                 &cond,
                 cfg.step_gamma,
-                &mut rng,
+                &mut brng,
             );
-            final_loss = g.value(loss).data()[0];
-            g.backward(loss);
-            opt.step();
+            let mut loss_val = g.value(loss).data()[0];
+            if let Some(tamper) = hooks.stage1_loss_tamper.as_mut() {
+                loss_val = tamper(it, loss_val);
+            }
+            match watchdog.observe(loss_val) {
+                Verdict::Healthy => {
+                    g.backward(loss);
+                    opt.step();
+                    final_loss = loss_val;
+                    healthy_streak += 1;
+                    if healthy_streak >= cfg.robustness.snapshot_every.max(1) {
+                        healthy_streak = 0;
+                        last_good = state_dict(&params);
+                        if let Some(path) = ckpt_path {
+                            let tc = TrainCheckpoint {
+                                stage: 1,
+                                next_iter: it + 1,
+                                cfg: cfg.clone(),
+                                grid,
+                                tt_mean,
+                                tt_std,
+                                stage1: last_good.clone(),
+                                stage2: None,
+                                best_state: None,
+                                best_val_mae: f64::INFINITY,
+                                stage1_seconds: stage1_seconds_before + t0.elapsed().as_secs_f64(),
+                                stage2_seconds: 0.0,
+                                stage1_final_loss: final_loss,
+                                robustness: model.stats.snapshot(),
+                            };
+                            if let Err(e) = tc.save(path) {
+                                progress(&format!("train checkpoint write failed: {e}"));
+                            }
+                        }
+                    }
+                }
+                Verdict::Skip => {
+                    model.stats.record_watchdog_trip();
+                    model.stats.record_batch_skipped();
+                    progress(&format!(
+                        "stage 1 iter {it}: watchdog tripped (loss {loss_val}), batch skipped"
+                    ));
+                }
+                Verdict::Rollback => {
+                    model.stats.record_watchdog_trip();
+                    model.stats.record_batch_skipped();
+                    model.stats.record_rollback();
+                    load_state_dict(&params, &last_good);
+                    opt = Adam::new(params.clone(), cfg.lr).with_clip(2.0);
+                    progress(&format!(
+                        "stage 1 iter {it}: watchdog rollback to last good snapshot"
+                    ));
+                }
+            }
             if it % 100 == 0 {
                 progress(&format!("stage 1 iter {it}: loss {final_loss:.4}"));
             }
         }
-        model.report.stage1_seconds = t0.elapsed().as_secs_f64();
+        model.report.stage1_seconds = stage1_seconds_before + t0.elapsed().as_secs_f64();
         model.report.stage1_params = model.denoiser.num_params();
         model.report.stage1_final_loss = final_loss;
 
         // ------------------------------------------------------------------
         // Stage 2: travel-time estimator, θ frozen (paper §5.2).
         // ------------------------------------------------------------------
-        train_stage2(&mut model, data, &mut rng, &mut progress);
+        train_stage2(
+            &mut model,
+            data,
+            &mut progress,
+            hooks.stage2_loss_tamper.as_mut(),
+            ckpt_path,
+            stage2_resume,
+        );
+        model.report.robustness = model.stats.snapshot();
         model
     }
 
@@ -168,17 +505,21 @@ impl Dot {
         );
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xab1a);
         self.estimator = build_estimator(&self.cfg, &mut rng);
-        train_stage2(self, data, &mut rng, &mut progress);
+        train_stage2(self, data, &mut progress, None, None, None);
+        self.report.robustness = self.stats.snapshot();
     }
 }
 
 /// Train the estimator on ground-truth training PiTs, early-stopping on the
-/// MAE over PiTs inferred for the validation split (§6.3).
+/// MAE over PiTs inferred for the validation split (§6.3). Runs behind the
+/// same divergence watchdog as stage 1.
 fn train_stage2(
     model: &mut Dot,
     data: &Dataset,
-    rng: &mut StdRng,
     progress: &mut dyn FnMut(&str),
+    mut loss_tamper: Option<&mut Box<dyn FnMut(usize, f32) -> f32>>,
+    ckpt_path: Option<&Path>,
+    resume: Option<(usize, Option<StateDict>, f64)>,
 ) {
     let cfg = model.cfg.clone();
     let grid = model.grid;
@@ -188,12 +529,14 @@ fn train_stage2(
     let (tt_mean, tt_std) = (model.tt_mean, model.tt_std);
 
     let t1 = Instant::now();
+    let stage2_seconds_before = model.report.stage2_seconds;
     let val_n = cfg.early_stop_samples.min(val.len());
     progress(&format!(
         "stage 2: inferring {val_n} validation PiTs for early stopping"
     ));
+    let mut val_rng = iter_rng(cfg.seed, VAL_SALT, 0);
     let val_odts: Vec<OdtInput> = val[..val_n].iter().map(OdtInput::from_trajectory).collect();
-    let val_pits = model.infer_pits(&val_odts, rng);
+    let val_pits = model.infer_pits(&val_odts, &mut val_rng);
     let val_targets: Vec<f64> = val[..val_n].iter().map(Trajectory::travel_time).collect();
 
     let train_pits: Vec<Pit> = train
@@ -218,14 +561,25 @@ fn train_stage2(
     ));
     let params = model.estimator.estimator_params();
     let mut opt = Adam::new(params.clone(), cfg.lr).with_clip(2.0);
-    let mut best_mae = f64::INFINITY;
-    let mut best_state = state_dict(&params);
-    for it in 0..cfg.stage2_iters {
+    let mut watchdog = Watchdog::new(
+        cfg.robustness.watchdog_spike_factor,
+        cfg.robustness.watchdog_patience,
+    );
+    let (start_iter, resumed_best, resumed_mae) = match resume {
+        Some((it, best, mae)) => (it, best, mae),
+        None => (0, None, f64::INFINITY),
+    };
+    let mut best_mae = resumed_mae;
+    let mut best_state = resumed_best.unwrap_or_else(|| state_dict(&params));
+    let mut last_good = state_dict(&params);
+    let mut healthy_streak = 0usize;
+    for it in start_iter..cfg.stage2_iters {
+        let mut brng = iter_rng(cfg.seed, STAGE2_SALT, it);
         opt.zero_grad();
         let g = Graph::new();
         let mut loss_acc = None;
         for _ in 0..cfg.stage2_batch {
-            let i = rng.gen_range(0..n);
+            let i = brng.gen_range(0..n);
             let pred = model.estimator.predict(&g, &train_pits[i]);
             let y = g.input(Tensor::from_vec(vec![targets_norm[i]], vec![1]));
             let l = g.mse(pred, y);
@@ -234,9 +588,63 @@ fn train_stage2(
                 Some(acc) => g.add(acc, l),
             });
         }
-        let loss = g.scale(loss_acc.expect("non-empty batch"), 1.0 / cfg.stage2_batch as f32);
-        g.backward(loss);
-        opt.step();
+        let loss = g.scale(
+            loss_acc.expect("non-empty batch"),
+            1.0 / cfg.stage2_batch as f32,
+        );
+        let mut loss_val = g.value(loss).data()[0];
+        if let Some(tamper) = loss_tamper.as_mut() {
+            loss_val = tamper(it, loss_val);
+        }
+        match watchdog.observe(loss_val) {
+            Verdict::Healthy => {
+                g.backward(loss);
+                opt.step();
+                healthy_streak += 1;
+                if healthy_streak >= cfg.robustness.snapshot_every.max(1) {
+                    healthy_streak = 0;
+                    last_good = state_dict(&params);
+                    if let Some(path) = ckpt_path {
+                        let tc = TrainCheckpoint {
+                            stage: 2,
+                            next_iter: it + 1,
+                            cfg: cfg.clone(),
+                            grid,
+                            tt_mean,
+                            tt_std,
+                            stage1: state_dict(&model.denoiser.params()),
+                            stage2: Some(last_good.clone()),
+                            best_state: Some(best_state.clone()),
+                            best_val_mae: best_mae,
+                            stage1_seconds: model.report.stage1_seconds,
+                            stage2_seconds: stage2_seconds_before + t1.elapsed().as_secs_f64(),
+                            stage1_final_loss: model.report.stage1_final_loss,
+                            robustness: model.stats.snapshot(),
+                        };
+                        if let Err(e) = tc.save(path) {
+                            progress(&format!("train checkpoint write failed: {e}"));
+                        }
+                    }
+                }
+            }
+            Verdict::Skip => {
+                model.stats.record_watchdog_trip();
+                model.stats.record_batch_skipped();
+                progress(&format!(
+                    "stage 2 iter {it}: watchdog tripped (loss {loss_val}), batch skipped"
+                ));
+            }
+            Verdict::Rollback => {
+                model.stats.record_watchdog_trip();
+                model.stats.record_batch_skipped();
+                model.stats.record_rollback();
+                load_state_dict(&params, &last_good);
+                opt = Adam::new(params.clone(), cfg.lr).with_clip(2.0);
+                progress(&format!(
+                    "stage 2 iter {it}: watchdog rollback to last good snapshot"
+                ));
+            }
+        }
 
         if (it + 1) % cfg.early_stop_every == 0 || it + 1 == cfg.stage2_iters {
             let mae = val_mae(model, &val_pits, &val_targets);
@@ -248,7 +656,7 @@ fn train_stage2(
         }
     }
     load_state_dict(&params, &best_state);
-    model.report.stage2_seconds = t1.elapsed().as_secs_f64();
+    model.report.stage2_seconds = stage2_seconds_before + t1.elapsed().as_secs_f64();
     model.report.stage2_params = params.iter().map(|p| p.numel()).sum();
     model.report.best_val_mae = best_mae;
     progress(&format!(
@@ -364,5 +772,159 @@ mod tests {
                 est.seconds
             );
         }
+    }
+
+    #[test]
+    fn watchdog_skips_then_rolls_back() {
+        let mut w = Watchdog::new(10.0, 2);
+        for _ in 0..WATCHDOG_WARMUP + 2 {
+            assert_eq!(w.observe(1.0), Verdict::Healthy);
+        }
+        // First trip skips, second (consecutive) rolls back.
+        assert_eq!(w.observe(f32::NAN), Verdict::Skip);
+        assert_eq!(w.observe(f32::INFINITY), Verdict::Rollback);
+        // A healthy loss resets the streak.
+        assert_eq!(w.observe(1.1), Verdict::Healthy);
+        assert_eq!(w.observe(1000.0), Verdict::Skip); // spike vs EMA ≈ 1
+        assert_eq!(w.observe(1.0), Verdict::Healthy);
+    }
+
+    #[test]
+    fn watchdog_does_not_arm_during_warmup() {
+        let mut w = Watchdog::new(2.0, 1);
+        // Wildly swinging but finite losses during warmup are all healthy.
+        for (i, loss) in [100.0f32, 1.0, 50.0, 0.5].iter().enumerate() {
+            assert_eq!(w.observe(*loss), Verdict::Healthy, "obs {i}");
+        }
+        // Non-finite trips even during warmup.
+        assert_eq!(w.observe(f32::NAN), Verdict::Rollback); // patience 1
+    }
+
+    #[test]
+    fn nan_loss_injection_trips_watchdog_and_training_recovers() {
+        let data = tiny_dataset(8);
+        let mut cfg = tiny_config(8);
+        cfg.robustness.watchdog_patience = 2;
+        cfg.robustness.snapshot_every = 4;
+        // Poison three consecutive stage-1 losses mid-training: the first
+        // two trips skip, the third (post-rollback reset) skips again.
+        let hooks =
+            TrainHooks {
+                stage1_loss_tamper: Some(Box::new(|it, loss| {
+                    if (6..9).contains(&it) {
+                        f32::NAN
+                    } else {
+                        loss
+                    }
+                })),
+                stage2_loss_tamper: None,
+            };
+        let model = Dot::train_with_hooks(cfg, &data, |_| {}, hooks);
+        let snap = model.report().robustness;
+        assert_eq!(snap.watchdog_trips, 3, "{snap}");
+        assert_eq!(snap.batches_skipped, 3, "{snap}");
+        assert_eq!(snap.rollbacks, 1, "{snap}");
+        // Training completed with finite parameters and finite predictions.
+        for p in model.denoiser.params() {
+            assert!(p.value().is_finite(), "non-finite param {}", p.name());
+        }
+        let odt = OdtInput::from_trajectory(&data.split(Split::Test)[0]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let est = model.estimate(&odt, &mut rng);
+        assert!(est.seconds.is_finite() && est.seconds >= 0.0);
+    }
+
+    #[test]
+    fn stage2_nan_injection_recovers_too() {
+        let data = tiny_dataset(8);
+        let mut cfg = tiny_config(8);
+        cfg.robustness.watchdog_patience = 1;
+        let hooks = TrainHooks {
+            stage1_loss_tamper: None,
+            stage2_loss_tamper: Some(Box::new(
+                |it, loss| {
+                    if it == 5 {
+                        f32::INFINITY
+                    } else {
+                        loss
+                    }
+                },
+            )),
+        };
+        let model = Dot::train_with_hooks(cfg, &data, |_| {}, hooks);
+        let snap = model.report().robustness;
+        assert_eq!(snap.watchdog_trips, 1, "{snap}");
+        assert_eq!(snap.rollbacks, 1, "{snap}");
+        for p in model.estimator.estimator_params() {
+            assert!(p.value().is_finite(), "non-finite param {}", p.name());
+        }
+    }
+
+    #[test]
+    fn resumable_training_continues_from_checkpoint() {
+        let data = tiny_dataset(8);
+        let mut cfg = tiny_config(8);
+        cfg.robustness.snapshot_every = 3;
+        let path =
+            std::env::temp_dir().join(format!("odt_train_resume_{}.ckpt", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        // Simulate a crash: run training, but capture the mid-flight
+        // checkpoint file the moment stage 2 starts writing them.
+        let full = Dot::train_resumable(cfg.clone(), &data, &path, |_| {});
+        assert!(!path.exists(), "checkpoint removed on success");
+
+        // Now write a stage-1 snapshot by training a clone and killing it
+        // early: emulate by saving a TrainCheckpoint manually at iter 6.
+        let probe = Dot::train(cfg.clone(), &data, |_| {});
+        let tc = TrainCheckpoint {
+            stage: 1,
+            next_iter: 6,
+            cfg: cfg.clone(),
+            grid: data.grid,
+            tt_mean: probe.tt_mean,
+            tt_std: probe.tt_std,
+            stage1: state_dict(&probe.denoiser.params()),
+            stage2: None,
+            best_state: None,
+            best_val_mae: f64::INFINITY,
+            stage1_seconds: 1.0,
+            stage2_seconds: 0.0,
+            stage1_final_loss: probe.report().stage1_final_loss,
+            robustness: Default::default(),
+        };
+        tc.save(&path).unwrap();
+        let mut saw_resume = false;
+        let resumed = Dot::train_resumable(cfg.clone(), &data, &path, |m| {
+            saw_resume |= m.contains("resuming training");
+        });
+        assert!(saw_resume, "resume path must be taken");
+        assert!(!path.exists());
+        // Both models answer queries sanely.
+        let odt = OdtInput::from_trajectory(&data.split(Split::Test)[0]);
+        for m in [&full, &resumed] {
+            let mut rng = StdRng::seed_from_u64(5);
+            let est = m.estimate(&odt, &mut rng);
+            assert!(est.seconds.is_finite() && est.seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn resumable_training_survives_corrupt_checkpoint() {
+        let data = tiny_dataset(8);
+        let cfg = tiny_config(8);
+        let path =
+            std::env::temp_dir().join(format!("odt_train_corrupt_{}.ckpt", std::process::id()));
+        std::fs::write(&path, b"DOTTRN v1 crc32=00000000 len=3\nxyz").unwrap();
+        let mut saw_fresh = false;
+        let model = Dot::train_resumable(cfg, &data, &path, |m| {
+            saw_fresh |= m.contains("starting fresh");
+        });
+        assert!(
+            saw_fresh,
+            "corrupt checkpoint must fall back to fresh start"
+        );
+        assert!(model.report().stage1_params > 0);
+        std::fs::remove_file(&path).ok();
     }
 }

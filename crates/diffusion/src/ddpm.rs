@@ -153,7 +153,11 @@ impl Ddpm {
             let beta = self.schedule.beta(n);
             let alpha = self.schedule.alpha(n);
             let ab = self.schedule.alpha_bar(n);
-            let ab_prev = if n > 1 { self.schedule.alpha_bar(n - 1) } else { 1.0 };
+            let ab_prev = if n > 1 {
+                self.schedule.alpha_bar(n - 1)
+            } else {
+                1.0
+            };
             // Posterior variance β̃_n = (1-ᾱ_{n-1})/(1-ᾱ_n) β_n. The paper's
             // Σ = √β_n I choice is indistinguishable at N = 1000 where β is
             // tiny, but at reduced step counts β gets large and σ = √β
@@ -366,13 +370,21 @@ mod tests {
         for n_steps in [30usize, 200] {
             let schedule = NoiseSchedule::linear_scaled(n_steps);
             let ddpm = Ddpm::new(schedule.clone());
-            let oracle = GaussOracle { schedule, mu: 3.0, s2: 0.25 };
+            let oracle = GaussOracle {
+                schedule,
+                mu: 3.0,
+                s2: 0.25,
+            };
             let mut rng = StdRng::seed_from_u64(1);
             let cond = Tensor::zeros(vec![512, 5]);
             let out = ddpm.sample(&oracle, &cond, 1, 1, &mut rng);
             let mean = out.data().iter().sum::<f32>() / 512.0;
-            let var =
-                out.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 512.0;
+            let var = out
+                .data()
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 512.0;
             assert!((mean - 3.0).abs() < 0.15, "N={n_steps}: mean {mean}");
             assert!((var - 0.25).abs() < 0.12, "N={n_steps}: var {var}");
         }
@@ -398,7 +410,11 @@ mod tests {
         // mean even with very few evaluation steps.
         let schedule = NoiseSchedule::linear_scaled(100);
         let ddpm = Ddpm::new(schedule.clone());
-        let oracle = GaussOracle { schedule, mu: 3.0, s2: 0.25 };
+        let oracle = GaussOracle {
+            schedule,
+            mu: 3.0,
+            s2: 0.25,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let cond = Tensor::zeros(vec![256, 5]);
         let out = ddpm.sample_ddim(&oracle, &cond, 1, 1, 8, None, &mut rng);
@@ -406,7 +422,12 @@ mod tests {
         assert!((mean - 3.0).abs() < 0.2, "mean {mean}");
         // Deterministic: DDIM variance comes only from the seed noise, so
         // the sample spread must be nonzero but bounded by the data spread.
-        let var = out.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 256.0;
+        let var = out
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 256.0;
         assert!(var < 1.0, "var {var}");
     }
 

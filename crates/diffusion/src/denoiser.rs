@@ -4,7 +4,9 @@
 //! `FC_OD` projection of the ODT-Input (Eq. 13).
 
 use crate::ddpm::NoisePredictor;
-use odt_nn::{positional_encoding, Conv2d, GroupNorm, HasParams, LayerNorm, Linear, MultiHeadAttention};
+use odt_nn::{
+    positional_encoding, Conv2d, GroupNorm, HasParams, LayerNorm, Linear, MultiHeadAttention,
+};
 use odt_tensor::{Graph, Param, Tensor, Var};
 use rand::Rng;
 
@@ -107,7 +109,7 @@ impl OcConv {
         let b = shape[0];
         let normed = self.norm.forward(g, x);
         let hid = self.conv1.forward(g, normed); // Eq. 14
-        // Eq. 15: add FC_Cond(cond) to every pixel, per channel.
+                                                 // Eq. 15: add FC_Cond(cond) to every pixel, per channel.
         let cvec = self.fc_cond.forward(g, cond); // [b, c_in]
         let cmap = g.reshape(cvec, vec![b, self.c_in, 1, 1]);
         let fused = g.add(hid, cmap);
@@ -244,7 +246,15 @@ impl ConditionedDenoiser {
                 oc1: OcConv::new(rng, c(i), c(i + 1), d, &format!("denoiser.down{i}.oc1")),
                 oc2: OcConv::new(rng, c(i + 1), c(i + 1), d, &format!("denoiser.down{i}.oc2")),
                 attn,
-                down: Conv2d::new(rng, c(i + 1), c(i + 1), 4, 2, 1, &format!("denoiser.down{i}.down")),
+                down: Conv2d::new(
+                    rng,
+                    c(i + 1),
+                    c(i + 1),
+                    4,
+                    2,
+                    1,
+                    &format!("denoiser.down{i}.down"),
+                ),
             });
         }
 
@@ -277,7 +287,11 @@ impl ConditionedDenoiser {
             downs,
             mid,
             ups,
-            out_norm: GroupNorm::new(groups_for(cfg.base_channels), cfg.base_channels, "denoiser.out_norm"),
+            out_norm: GroupNorm::new(
+                groups_for(cfg.base_channels),
+                cfg.base_channels,
+                "denoiser.out_norm",
+            ),
             out_conv: Conv2d::same3(rng, cfg.base_channels, cfg.channels, "denoiser.out"),
             cfg,
         }
@@ -368,7 +382,9 @@ impl NoisePredictor for ConditionedDenoiser {
                 x = attn.forward(g, x);
             }
         }
-        let out = self.out_conv.forward(g, g.silu(self.out_norm.forward(g, x)));
+        let out = self
+            .out_conv
+            .forward(g, g.silu(self.out_norm.forward(g, x)));
         self.crop(g, out)
     }
 }
@@ -461,7 +477,11 @@ mod tests {
         let other_cond = run(Tensor::full(vec![1, 5], 0.9), 3);
         let other_step = run(Tensor::zeros(vec![1, 5]), 9);
         let diff = |a: &Tensor, b: &Tensor| -> f32 {
-            a.data().iter().zip(b.data()).map(|(x, y)| (x - y).abs()).sum()
+            a.data()
+                .iter()
+                .zip(b.data())
+                .map(|(x, y)| (x - y).abs())
+                .sum()
         };
         assert!(diff(&base, &other_cond) > 1e-3, "ODT condition ignored");
         assert!(diff(&base, &other_step) > 1e-3, "step indicator ignored");

@@ -42,9 +42,7 @@ impl NoiseSchedule {
             vec![beta_start]
         } else {
             (0..n_steps)
-                .map(|i| {
-                    beta_start + (beta_end - beta_start) * i as f32 / (n_steps - 1) as f32
-                })
+                .map(|i| beta_start + (beta_end - beta_start) * i as f32 / (n_steps - 1) as f32)
                 .collect()
         };
         let alphas: Vec<f32> = betas.iter().map(|b| 1.0 - b).collect();
@@ -54,7 +52,11 @@ impl NoiseSchedule {
             acc *= a;
             alpha_bars.push(acc);
         }
-        NoiseSchedule { betas, alphas, alpha_bars }
+        NoiseSchedule {
+            betas,
+            alphas,
+            alpha_bars,
+        }
     }
 
     /// Total number of diffusion steps `N`.

@@ -26,11 +26,24 @@ impl CnnEstimator {
         let channels = vec![3, base, base * 2, base * 4];
         let convs = (0..3)
             .map(|i| {
-                Conv2d::new(rng, channels[i], channels[i + 1], 3, 2, 1, &format!("cnn.conv{i}"))
+                Conv2d::new(
+                    rng,
+                    channels[i],
+                    channels[i + 1],
+                    3,
+                    2,
+                    1,
+                    &format!("cnn.conv{i}"),
+                )
             })
             .collect();
         let head = Linear::new(rng, base * 4, 1, "cnn.head");
-        CnnEstimator { convs, head, channels, lg }
+        CnnEstimator {
+            convs,
+            head,
+            channels,
+            lg,
+        }
     }
 }
 
@@ -61,7 +74,11 @@ impl PitEstimator for CnnEstimator {
 
 impl std::fmt::Debug for CnnEstimator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CnnEstimator(lg={}, channels={:?})", self.lg, self.channels)
+        write!(
+            f,
+            "CnnEstimator(lg={}, channels={:?})",
+            self.lg, self.channels
+        )
     }
 }
 

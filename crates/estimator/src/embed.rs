@@ -128,9 +128,18 @@ mod tests {
             lg,
         );
         let t = Trajectory::new(vec![
-            GpsPoint { loc: LngLat { lng: 0.1, lat: 0.1 }, t: 0.0 },
-            GpsPoint { loc: LngLat { lng: 0.5, lat: 0.5 }, t: 300.0 },
-            GpsPoint { loc: LngLat { lng: 0.9, lat: 0.9 }, t: 600.0 },
+            GpsPoint {
+                loc: LngLat { lng: 0.1, lat: 0.1 },
+                t: 0.0,
+            },
+            GpsPoint {
+                loc: LngLat { lng: 0.5, lat: 0.5 },
+                t: 300.0,
+            },
+            GpsPoint {
+                loc: LngLat { lng: 0.9, lat: 0.9 },
+                t: 600.0,
+            },
         ]);
         Pit::from_trajectory(&t, &grid)
     }

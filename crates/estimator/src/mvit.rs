@@ -30,12 +30,22 @@ pub struct MVitConfig {
 impl MVitConfig {
     /// Paper optimum: `d_E = 128`, `L_E = 2`.
     pub fn paper() -> Self {
-        MVitConfig { d_e: 128, l_e: 2, heads: 4, ffn_hidden: 256 }
+        MVitConfig {
+            d_e: 128,
+            l_e: 2,
+            heads: 4,
+            ffn_hidden: 256,
+        }
     }
 
     /// Reduced CPU-scale config.
     pub fn fast() -> Self {
-        MVitConfig { d_e: 32, l_e: 2, heads: 2, ffn_hidden: 64 }
+        MVitConfig {
+            d_e: 32,
+            l_e: 2,
+            heads: 2,
+            ffn_hidden: 64,
+        }
     }
 }
 
@@ -50,13 +60,28 @@ impl MVit {
     /// Build for grid size `lg`. `embed_cfg` allows the No-CE / No-ST
     /// ablations; pass `EmbedderConfig::new(lg, cfg.d_e)` for the full model.
     pub fn new(rng: &mut impl Rng, cfg: &MVitConfig, embed_cfg: EmbedderConfig) -> Self {
-        assert_eq!(embed_cfg.d_e, cfg.d_e, "embedder width must match model width");
+        assert_eq!(
+            embed_cfg.d_e, cfg.d_e,
+            "embedder width must match model width"
+        );
         let embedder = PitEmbedder::new(rng, embed_cfg);
         let layers = (0..cfg.l_e)
-            .map(|i| EncoderLayer::new(rng, cfg.d_e, cfg.heads, cfg.ffn_hidden, &format!("mvit.layer{i}")))
+            .map(|i| {
+                EncoderLayer::new(
+                    rng,
+                    cfg.d_e,
+                    cfg.heads,
+                    cfg.ffn_hidden,
+                    &format!("mvit.layer{i}"),
+                )
+            })
             .collect();
         let fc_pre = Linear::new(rng, cfg.d_e, 1, "mvit.fc_pre");
-        MVit { embedder, layers, fc_pre }
+        MVit {
+            embedder,
+            layers,
+            fc_pre,
+        }
     }
 
     /// Convenience constructor with the full embedder.
@@ -170,7 +195,11 @@ pub(crate) mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let m = MVit::with_defaults(&mut rng, &MVitConfig::fast(), 6);
         let a = pit_with_visits(6, &[(0, 0), (0, 1)], &[0.0, 120.0]);
-        let b = pit_with_visits(6, &[(5, 5), (4, 5), (3, 5), (2, 5)], &[0.0, 120.0, 240.0, 360.0]);
+        let b = pit_with_visits(
+            6,
+            &[(5, 5), (4, 5), (3, 5), (2, 5)],
+            &[0.0, 120.0, 240.0, 360.0],
+        );
         let mut opt = Adam::new(m.estimator_params(), 5e-3);
         for _ in 0..60 {
             opt.zero_grad();

@@ -26,10 +26,23 @@ impl VanillaVit {
     pub fn new(rng: &mut impl Rng, cfg: &MVitConfig, lg: usize) -> Self {
         let embedder = PitEmbedder::new(rng, EmbedderConfig::new(lg, cfg.d_e));
         let layers = (0..cfg.l_e)
-            .map(|i| EncoderLayer::new(rng, cfg.d_e, cfg.heads, cfg.ffn_hidden, &format!("vit.layer{i}")))
+            .map(|i| {
+                EncoderLayer::new(
+                    rng,
+                    cfg.d_e,
+                    cfg.heads,
+                    cfg.ffn_hidden,
+                    &format!("vit.layer{i}"),
+                )
+            })
             .collect();
         let fc_pre = Linear::new(rng, cfg.d_e, 1, "vit.fc_pre");
-        VanillaVit { embedder, layers, fc_pre, lg }
+        VanillaVit {
+            embedder,
+            layers,
+            fc_pre,
+            lg,
+        }
     }
 }
 
@@ -49,7 +62,11 @@ impl PitEstimator for VanillaVit {
             .collect();
         let any_valid = mask_vals.iter().any(|&v| v == 0.0);
         let key_mask = Tensor::from_vec(
-            if any_valid { mask_vals } else { vec![0.0; cells] },
+            if any_valid {
+                mask_vals
+            } else {
+                vec![0.0; cells]
+            },
             vec![1, cells],
         );
         for layer in &self.layers {
@@ -59,7 +76,11 @@ impl PitEstimator for VanillaVit {
         // would dilute the pool).
         let indices = {
             let v = pit.visited_indices();
-            if v.is_empty() { all } else { v }
+            if v.is_empty() {
+                all
+            } else {
+                v
+            }
         };
         let flat = g.reshape(x, vec![cells, d]);
         let valid = g.index_select0(flat, &indices);
@@ -123,8 +144,14 @@ mod tests {
         let v = VanillaVit::new(&mut rng, &cfg, 8);
         let m = MVit::with_defaults(&mut rng, &cfg, 8);
         let (vp, mp) = (
-            v.estimator_params().iter().map(|p| p.numel()).sum::<usize>(),
-            m.estimator_params().iter().map(|p| p.numel()).sum::<usize>(),
+            v.estimator_params()
+                .iter()
+                .map(|p| p.numel())
+                .sum::<usize>(),
+            m.estimator_params()
+                .iter()
+                .map(|p| p.numel())
+                .sum::<usize>(),
         );
         assert_eq!(vp, mp, "same architecture, different masking only");
     }

@@ -42,7 +42,10 @@ fn main() {
         .max_by_key(|(_, v)| v.len());
     match same_od {
         Some((pair, idxs)) => {
-            println!("\n--- Figure 10: same OD pair (cells {pair:?}), {} trips ---", idxs.len());
+            println!(
+                "\n--- Figure 10: same OD pair (cells {pair:?}), {} trips ---",
+                idxs.len()
+            );
             for &i in idxs.iter().take(2) {
                 let hour = run.test_odts[i].second_of_day() / 3_600.0;
                 println!(
@@ -62,7 +65,9 @@ fn main() {
                 run.test_tts[i0] / 60.0
             );
         }
-        None => println!("\n(Figure 10: no repeated OD pair in this test sample — rerun with more --queries)"),
+        None => println!(
+            "\n(Figure 10: no repeated OD pair in this test sample — rerun with more --queries)"
+        ),
     }
 
     // Figure 11: synthesize the same OD pair at two departure times and
@@ -73,13 +78,19 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(profile.seed ^ 0x51);
     let mut pits: Vec<Pit> = Vec::new();
     for hour in [8.5, 14.0] {
-        let q = OdtInput { t_dep: day0 + hour * 3_600.0, ..odt };
+        let q = OdtInput {
+            t_dep: day0 + hour * 3_600.0,
+            ..odt
+        };
         let est = {
             let pit = model.infer_pit(&q, &mut rng);
             let secs = model.estimate_from_pit(&pit);
             (pit, secs)
         };
-        println!("\ninferred PiT departing {hour:.1}h (estimate {:.1} min):", est.1 / 60.0);
+        println!(
+            "\ninferred PiT departing {hour:.1}h (estimate {:.1} min):",
+            est.1 / 60.0
+        );
         println!("{}", render_offset_channel(&est.0));
         pits.push(est.0);
     }

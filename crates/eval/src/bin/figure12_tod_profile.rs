@@ -14,7 +14,8 @@ fn main() {
         profile.name, profile.seed
     );
     let run = prepare_city(City::Chengdu, &profile);
-    let (_res, _model, inferred) = run_dot(&run, &profile, City::Chengdu, &mut |m| eprintln!("{m}"));
+    let (_res, _model, inferred) =
+        run_dot(&run, &profile, City::Chengdu, &mut |m| eprintln!("{m}"));
     let grid = run.data.grid;
 
     // Top-3 pairs by frequency over the whole dataset (the paper uses the
@@ -28,7 +29,10 @@ fn main() {
         let mut rows = Vec::new();
         for bin in 0..12 {
             let label = format!("{:02}-{:02}h", bin * 2, bin * 2 + 2);
-            let fmt = |v: Option<f64>| v.map(|s| format!("{:.1}", s / 60.0)).unwrap_or_else(|| "-".into());
+            let fmt = |v: Option<f64>| {
+                v.map(|s| format!("{:.1}", s / 60.0))
+                    .unwrap_or_else(|| "-".into())
+            };
             rows.push(vec![label, fmt(truth[bin]), fmt(from_pits[bin])]);
         }
         print_table(

@@ -82,7 +82,11 @@ fn main() {
             heads: 2,
             ffn_hidden: profile.dot.d_e * 2,
         };
-        let mvit = MVit::new(&mut rng, &mvit_cfg, EmbedderConfig::new(lg, profile.dot.d_e));
+        let mvit = MVit::new(
+            &mut rng,
+            &mvit_cfg,
+            EmbedderConfig::new(lg, profile.dot.d_e),
+        );
         let vit = VanillaVit::new(&mut rng, &mvit_cfg, lg);
         let sample_pits: Vec<Pit> = train
             .iter()
@@ -92,7 +96,11 @@ fn main() {
         let time_estimator = |est: &dyn PitEstimator, train_mode: bool| -> f64 {
             let mut opt = Adam::new(est.estimator_params(), 1e-3);
             let t = Instant::now();
-            let iters = if train_mode { STAGE2_TIMING_ITERS } else { EST_TIMING_QUERIES };
+            let iters = if train_mode {
+                STAGE2_TIMING_ITERS
+            } else {
+                EST_TIMING_QUERIES
+            };
             for i in 0..iters {
                 let pit = &sample_pits[i % sample_pits.len()];
                 let g = Graph::new();
@@ -139,7 +147,13 @@ fn main() {
         "Paper shapes: (a) size grows with L_G; (b) stage-1 time grows with L_G; \
          (c,d) MViT beats ViT increasingly as occupancy falls.",
         &[
-            "L_G", "size", "s1 s/iter", "MViT ms/it", "ViT ms/it", "MViT ms/q", "ViT ms/q",
+            "L_G",
+            "size",
+            "s1 s/iter",
+            "MViT ms/it",
+            "ViT ms/it",
+            "MViT ms/q",
+            "ViT ms/q",
             "occupancy",
         ],
         &rows,
@@ -151,8 +165,7 @@ fn main() {
     );
     print_ordering_check(
         "MViT/ViT speedup grows with L_G (sparser grids)",
-        mvit_vs_vit_widens.first().unwrap_or(&1.0)
-            < mvit_vs_vit_widens.last().unwrap_or(&1.0),
+        mvit_vs_vit_widens.first().unwrap_or(&1.0) < mvit_vs_vit_widens.last().unwrap_or(&1.0),
     );
     print_ordering_check(
         "MViT faster than ViT at the largest grid",

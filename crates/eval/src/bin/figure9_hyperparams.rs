@@ -29,7 +29,12 @@ fn main() {
     let run = prepare_city(City::Chengdu, &profile);
     let mut rows = Vec::new();
     let mut record = |param: &str, value: String, mae: f64, mape: f64| {
-        rows.push(vec![param.to_string(), value, format!("{mae:.3}"), format!("{mape:.2}")]);
+        rows.push(vec![
+            param.to_string(),
+            value,
+            format!("{mae:.3}"),
+            format!("{mape:.2}"),
+        ]);
     };
 
     // Helper: train (or load) a full DOT at a mutated config, on a dataset
@@ -37,13 +42,24 @@ fn main() {
     let full_run = |tag: &str, lg: usize, mutate: &dyn Fn(&mut odt_core::DotConfig)| {
         let data: Dataset;
         let (grid, test_odts, test_tts, dref): (_, _, _, &Dataset) = if lg == profile.lg {
-            (run.data.grid, run.test_odts.clone(), run.test_tts.clone(), &run.data)
+            (
+                run.data.grid,
+                run.test_odts.clone(),
+                run.test_tts.clone(),
+                &run.data,
+            )
         } else {
             data = Dataset::chengdu_like(profile.raw_trips, lg, profile.seed);
             let test = data.split(odt_traj::Split::Test);
             let n = profile.max_test_queries.min(test.len());
-            let odts = test[..n].iter().map(odt_traj::OdtInput::from_trajectory).collect();
-            let tts = test[..n].iter().map(odt_traj::Trajectory::travel_time).collect();
+            let odts = test[..n]
+                .iter()
+                .map(odt_traj::OdtInput::from_trajectory)
+                .collect();
+            let tts = test[..n]
+                .iter()
+                .map(odt_traj::Trajectory::travel_time)
+                .collect();
             (data.grid, odts, tts, &data)
         };
         let _ = grid;
@@ -117,13 +133,30 @@ fn main() {
         base.retrain_stage2(|c| c.d_e = de, &run.data, |_| {});
         let preds: Vec<f64> = pits.iter().map(|p| base.estimate_from_pit(p)).collect();
         let r = score_predictions("d_E", &run, preds);
-        record("d_E", de.to_string(), r.accuracy.mae_min, r.accuracy.mape_pct);
+        record(
+            "d_E",
+            de.to_string(),
+            r.accuracy.mae_min,
+            r.accuracy.mape_pct,
+        );
     }
     for le in [1, 2, 3] {
-        base.retrain_stage2(|c| { c.d_e = profile.dot.d_e; c.l_e = le }, &run.data, |_| {});
+        base.retrain_stage2(
+            |c| {
+                c.d_e = profile.dot.d_e;
+                c.l_e = le
+            },
+            &run.data,
+            |_| {},
+        );
         let preds: Vec<f64> = pits.iter().map(|p| base.estimate_from_pit(p)).collect();
         let r = score_predictions("L_E", &run, preds);
-        record("L_E", le.to_string(), r.accuracy.mae_min, r.accuracy.mape_pct);
+        record(
+            "L_E",
+            le.to_string(),
+            r.accuracy.mae_min,
+            r.accuracy.mape_pct,
+        );
     }
 
     print_table(

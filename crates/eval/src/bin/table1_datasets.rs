@@ -11,7 +11,14 @@ fn main() {
 
     // Paper values: (n, mean tt min, mean dist m, mean interval s, area).
     let paper = [
-        ("Chengdu", 1_389_138usize, 13.73, 3_283.0, 29.06, "15.32*15.19"),
+        (
+            "Chengdu",
+            1_389_138usize,
+            13.73,
+            3_283.0,
+            29.06,
+            "15.32*15.19",
+        ),
         ("Harbin", 614_830, 15.69, 3_376.0, 44.42, "18.66*18.24"),
     ];
 

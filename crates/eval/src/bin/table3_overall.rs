@@ -22,10 +22,13 @@ const PAPER: &[(&str, [f64; 3], [f64; 3])] = &[
 ];
 
 fn paper_for(method: &str, city: City) -> Option<(f64, f64, f64)> {
-    PAPER.iter().find(|(m, _, _)| *m == method).map(|(_, c, h)| {
-        let v = if city == City::Chengdu { c } else { h };
-        (v[0], v[1], v[2])
-    })
+    PAPER
+        .iter()
+        .find(|(m, _, _)| *m == method)
+        .map(|(_, c, h)| {
+            let v = if city == City::Chengdu { c } else { h };
+            (v[0], v[1], v[2])
+        })
 }
 
 fn main() {
@@ -44,10 +47,12 @@ fn main() {
             run.data.trips.len(),
             run.test_odts.len()
         );
-        let (mut results, _router) =
-            run_baselines(&run, &profile, None, &mut |m| eprintln!("[{}] {m}", city.name()));
-        let (dot_result, _model, _pits) =
-            run_dot(&run, &profile, city, &mut |m| eprintln!("[{}] {m}", city.name()));
+        let (mut results, _router) = run_baselines(&run, &profile, None, &mut |m| {
+            eprintln!("[{}] {m}", city.name())
+        });
+        let (dot_result, _model, _pits) = run_dot(&run, &profile, city, &mut |m| {
+            eprintln!("[{}] {m}", city.name())
+        });
         results.push(dot_result);
 
         let rows: Vec<AccuracyRow> = results
@@ -75,9 +80,14 @@ fn main() {
         print_ordering_check("DOT beats DeepOD (MAE)", get("DOT") < get("DeepOD"));
         print_ordering_check("DOT beats all baselines (MAE)", {
             let dot = get("DOT");
-            results.iter().all(|r| r.name == "DOT" || get(&r.name) >= dot)
+            results
+                .iter()
+                .all(|r| r.name == "DOT" || get(&r.name) >= dot)
         });
         print_ordering_check("neural ODT methods beat LR (MAE)", get("MURAT") < get("LR"));
-        print_ordering_check("DeepST beats Dijkstra (MAE)", get("DeepST") < get("Dijkstra"));
+        print_ordering_check(
+            "DeepST beats Dijkstra (MAE)",
+            get("DeepST") < get("Dijkstra"),
+        );
     }
 }

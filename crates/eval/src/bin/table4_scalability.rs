@@ -52,7 +52,8 @@ fn main() {
             profile.name = format!("{saved_name}-scale{scale}");
             profile.dot.stage1_iters = (saved_iters / 2).max(400);
         }
-        let (dot_result, _m, _p) = run_dot(&run, &profile, City::Chengdu, &mut |m| eprintln!("  {m}"));
+        let (dot_result, _m, _p) =
+            run_dot(&run, &profile, City::Chengdu, &mut |m| eprintln!("  {m}"));
         profile.name = saved_name;
         profile.dot.stage1_iters = saved_iters;
 

@@ -39,7 +39,8 @@ fn main() {
     );
     let run = prepare_city(City::Chengdu, &profile);
     let (results, _) = run_baselines(&run, &profile, None, &mut |m| eprintln!("{m}"));
-    let (dot_result, model, _pits) = run_dot(&run, &profile, City::Chengdu, &mut |m| eprintln!("{m}"));
+    let (dot_result, model, _pits) =
+        run_dot(&run, &profile, City::Chengdu, &mut |m| eprintln!("{m}"));
 
     let mut rows = Vec::new();
     for r in results.iter().chain(std::iter::once(&dot_result)) {
@@ -69,7 +70,15 @@ fn main() {
         "Table 5: efficiency (measured vs paper)",
         "Sizes/timings are at reduced profile scale; compare relative orderings, \
          not absolutes. DOT's training time lists stage1/stage2 as in the paper.",
-        &["method", "size", "p.size", "train", "p.train(min/ep)", "s/Kq", "p.s/Kq"],
+        &[
+            "method",
+            "size",
+            "p.size",
+            "train",
+            "p.train(min/ep)",
+            "s/Kq",
+            "p.s/Kq",
+        ],
         &rows,
     );
 

@@ -8,14 +8,46 @@ use odt_traj::Split;
 
 /// Paper Table 6 (Chengdu, Harbin).
 const PAPER: &[(&str, [f64; 3], [f64; 3])] = &[
-    ("Dijkstra+DeepTEA", [9.641, 7.582, 48.337], [11.862, 8.396, 53.949]),
-    ("DeepST+DeepTEA", [4.692, 3.416, 26.959], [8.901, 5.821, 37.063]),
-    ("WDDRA+DeepTEA", [4.497, 3.140, 23.537], [8.584, 5.545, 34.723]),
-    ("STDGCN+DeepTEA", [4.393, 3.056, 22.812], [8.569, 5.501, 33.688]),
-    ("RNE+DeepTEA", [4.627, 3.447, 28.239], [8.403, 6.061, 45.345]),
-    ("ST-NN+DeepTEA", [3.912, 2.740, 20.818], [8.427, 5.994, 43.664]),
-    ("MURAT+DeepTEA", [3.644, 2.367, 17.986], [7.899, 5.181, 37.728]),
-    ("DeepOD+DeepTEA", [3.763, 1.783, 14.835], [7.817, 4.345, 33.127]),
+    (
+        "Dijkstra+DeepTEA",
+        [9.641, 7.582, 48.337],
+        [11.862, 8.396, 53.949],
+    ),
+    (
+        "DeepST+DeepTEA",
+        [4.692, 3.416, 26.959],
+        [8.901, 5.821, 37.063],
+    ),
+    (
+        "WDDRA+DeepTEA",
+        [4.497, 3.140, 23.537],
+        [8.584, 5.545, 34.723],
+    ),
+    (
+        "STDGCN+DeepTEA",
+        [4.393, 3.056, 22.812],
+        [8.569, 5.501, 33.688],
+    ),
+    (
+        "RNE+DeepTEA",
+        [4.627, 3.447, 28.239],
+        [8.403, 6.061, 45.345],
+    ),
+    (
+        "ST-NN+DeepTEA",
+        [3.912, 2.740, 20.818],
+        [8.427, 5.994, 43.664],
+    ),
+    (
+        "MURAT+DeepTEA",
+        [3.644, 2.367, 17.986],
+        [7.899, 5.181, 37.728],
+    ),
+    (
+        "DeepOD+DeepTEA",
+        [3.763, 1.783, 14.835],
+        [7.817, 4.345, 33.127],
+    ),
     ("DOT", [3.177, 1.272, 11.343], [7.462, 3.213, 26.698]),
 ];
 

@@ -3,9 +3,7 @@
 
 use odt_baselines::{DeepStRouter, DijkstraRouter, OdtOracle, Router, Stdgcn, Wddra};
 use odt_core::{pit_to_path_points, AblationOptions, Dot, EstimatorKind};
-use odt_eval::harness::{
-    cache_dir, prepare_city, route_to_pit, run_dot, score_predictions, City,
-};
+use odt_eval::harness::{cache_dir, prepare_city, route_to_pit, run_dot, score_predictions, City};
 use odt_eval::profile::EvalProfile;
 use odt_eval::report::{print_accuracy_table, print_ordering_check, AccuracyRow};
 use rand::rngs::StdRng;
@@ -13,10 +11,26 @@ use rand::SeedableRng;
 
 /// Paper Table 7 (Chengdu, Harbin).
 const PAPER: &[(&str, [f64; 3], [f64; 3])] = &[
-    ("Dijkstra+Est.", [9.182, 6.871, 41.462], [11.869, 8.246, 50.488]),
-    ("DeepST+Est.", [4.587, 3.170, 23.437], [8.879, 5.689, 33.769]),
-    ("Infer.+WDDRA", [3.773, 1.801, 18.937], [7.958, 4.171, 31.514]),
-    ("Infer.+STDGCN", [3.476, 1.664, 17.653], [7.611, 3.818, 29.756]),
+    (
+        "Dijkstra+Est.",
+        [9.182, 6.871, 41.462],
+        [11.869, 8.246, 50.488],
+    ),
+    (
+        "DeepST+Est.",
+        [4.587, 3.170, 23.437],
+        [8.879, 5.689, 33.769],
+    ),
+    (
+        "Infer.+WDDRA",
+        [3.773, 1.801, 18.937],
+        [7.958, 4.171, 31.514],
+    ),
+    (
+        "Infer.+STDGCN",
+        [3.476, 1.664, 17.653],
+        [7.611, 3.818, 29.756],
+    ),
     ("No-t", [4.325, 1.926, 16.820], [8.798, 4.345, 35.973]),
     ("No-od", [7.355, 4.564, 38.879], [10.947, 6.333, 51.699]),
     ("No-odt", [8.466, 5.880, 49.830], [11.172, 6.562, 53.331]),
@@ -94,8 +108,16 @@ fn main() {
 
         // --- Infer. + path-based: inferred PiTs converted to paths, fed to
         //     WDDRA / STDGCN.
-        let wddra = Wddra::fit(run.ctx, run.data.split(odt_traj::Split::Train), &profile.neural);
-        let stdgcn = Stdgcn::fit(run.ctx, run.data.split(odt_traj::Split::Train), &profile.neural);
+        let wddra = Wddra::fit(
+            run.ctx,
+            run.data.split(odt_traj::Split::Train),
+            &profile.neural,
+        );
+        let stdgcn = Stdgcn::fit(
+            run.ctx,
+            run.data.split(odt_traj::Split::Train),
+            &profile.neural,
+        );
         for (label, pb) in [("Infer.+WDDRA", &wddra), ("Infer.+STDGCN", &stdgcn)] {
             let preds: Vec<f64> = run
                 .test_odts
@@ -116,10 +138,19 @@ fn main() {
 
         // --- Conditioning ablations: retrain the full pipeline with masked
         //     ODT features (stage 1 changes, so no sharing).
-        for (label, od, t) in [("No-t", true, false), ("No-od", false, true), ("No-odt", false, false)] {
+        for (label, od, t) in [
+            ("No-t", true, false),
+            ("No-od", false, true),
+            ("No-odt", false, false),
+        ] {
             eprintln!("  training conditioning ablation {label}");
             let key = format!(
-                "{}_{}_{}_s{}_n{}", city.name(), profile.name, label, profile.seed, profile.raw_trips
+                "{}_{}_{}_s{}_n{}",
+                city.name(),
+                profile.name,
+                label,
+                profile.seed,
+                profile.raw_trips
             );
             let ckpt = cache_dir().join(format!("dot_{key}.json"));
             let abl = if ckpt.exists() {
@@ -149,13 +180,41 @@ fn main() {
         // --- Estimator-side ablations: share the trained stage 1, retrain
         //     only stage 2, and score on the same inferred PiTs.
         for (label, ablation) in [
-            ("No-CE", AblationOptions { cell_embedding: false, ..Default::default() }),
-            ("No-ST", AblationOptions { latent_cast: false, ..Default::default() }),
-            ("Est-CNN", AblationOptions { estimator: EstimatorKind::Cnn, ..Default::default() }),
-            ("Est-ViT", AblationOptions { estimator: EstimatorKind::VanillaVit, ..Default::default() }),
+            (
+                "No-CE",
+                AblationOptions {
+                    cell_embedding: false,
+                    ..Default::default()
+                },
+            ),
+            (
+                "No-ST",
+                AblationOptions {
+                    latent_cast: false,
+                    ..Default::default()
+                },
+            ),
+            (
+                "Est-CNN",
+                AblationOptions {
+                    estimator: EstimatorKind::Cnn,
+                    ..Default::default()
+                },
+            ),
+            (
+                "Est-ViT",
+                AblationOptions {
+                    estimator: EstimatorKind::VanillaVit,
+                    ..Default::default()
+                },
+            ),
         ] {
             eprintln!("  retraining stage 2 for {label}");
-            model.retrain_stage2(|c| c.ablation = ablation, &run.data, |s| eprintln!("    {s}"));
+            model.retrain_stage2(
+                |c| c.ablation = ablation,
+                &run.data,
+                |s| eprintln!("    {s}"),
+            );
             let preds: Vec<f64> = inferred_pits
                 .iter()
                 .map(|p| model.estimate_from_pit(p))
@@ -187,7 +246,10 @@ fn main() {
                 .map(|m| m.mae_min)
                 .unwrap_or(f64::NAN)
         };
-        print_ordering_check("removing OD hurts more than removing t", mae("No-od") > mae("No-t"));
+        print_ordering_check(
+            "removing OD hurts more than removing t",
+            mae("No-od") > mae("No-t"),
+        );
         print_ordering_check("No-odt is the worst conditioning ablation", {
             mae("No-odt") >= mae("No-od") && mae("No-odt") >= mae("No-t")
         });

@@ -10,7 +10,11 @@ use odt_traj::Split;
 
 /// Paper Table 9: (method, Chengdu P/R/F1, Harbin P/R/F1).
 const PAPER: &[(&str, [f64; 3], [f64; 3])] = &[
-    ("Dijkstra", [68.918, 31.310, 42.065], [45.459, 42.525, 39.993]),
+    (
+        "Dijkstra",
+        [68.918, 31.310, 42.065],
+        [45.459, 42.525, 39.993],
+    ),
     ("DeepST", [59.755, 55.776, 56.911], [74.519, 62.907, 66.029]),
     ("DOT", [87.890, 88.684, 88.280], [88.190, 88.982, 88.584]),
 ];
@@ -24,8 +28,7 @@ fn main() {
 
     for city in [City::Chengdu, City::Harbin] {
         let run = prepare_city(city, &profile);
-        let truth_masks: Vec<Vec<bool>> =
-            run.test_pits().iter().map(|p| p.mask_bool()).collect();
+        let truth_masks: Vec<Vec<bool>> = run.test_pits().iter().map(|p| p.mask_bool()).collect();
 
         let train = run.data.split(Split::Train);
         let deepst = DeepStRouter::fit(run.ctx, run.net.clone(), train);
@@ -41,8 +44,14 @@ fn main() {
                 run.test_odts
                     .iter()
                     .map(|o| {
-                        route_to_pit(&dijkstra.route_points(o), 1.0, o.t_dep, &run.data.grid, &run.data.proj)
-                            .mask_bool()
+                        route_to_pit(
+                            &dijkstra.route_points(o),
+                            1.0,
+                            o.t_dep,
+                            &run.data.grid,
+                            &run.data.proj,
+                        )
+                        .mask_bool()
                     })
                     .collect::<Vec<_>>(),
             ),
@@ -51,24 +60,29 @@ fn main() {
                 run.test_odts
                     .iter()
                     .map(|o| {
-                        route_to_pit(&deepst.route_points(o), 1.0, o.t_dep, &run.data.grid, &run.data.proj)
-                            .mask_bool()
+                        route_to_pit(
+                            &deepst.route_points(o),
+                            1.0,
+                            o.t_dep,
+                            &run.data.grid,
+                            &run.data.proj,
+                        )
+                        .mask_bool()
                     })
                     .collect(),
             ),
-            (
-                "DOT",
-                inferred.iter().map(|p| p.mask_bool()).collect(),
-            ),
+            ("DOT", inferred.iter().map(|p| p.mask_bool()).collect()),
         ] {
-            let pairs: Vec<(Vec<bool>, Vec<bool>)> = masks
-                .into_iter()
-                .zip(truth_masks.iter().cloned())
-                .collect();
+            let pairs: Vec<(Vec<bool>, Vec<bool>)> =
+                masks.into_iter().zip(truth_masks.iter().cloned()).collect();
             let acc = mask_accuracy(&pairs);
             f1s.insert(label, acc.f1_pct);
             let paper = PAPER.iter().find(|(m, ..)| *m == label).map(|(_, c, h)| {
-                if city == City::Chengdu { c } else { h }
+                if city == City::Chengdu {
+                    c
+                } else {
+                    h
+                }
             });
             rows.push(vec![
                 label.to_string(),
@@ -83,7 +97,9 @@ fn main() {
         print_table(
             &format!("Table 9 ({}): mask-channel accuracy", city.name()),
             "Routes rasterized to the PiT grid and compared with ground-truth masks.",
-            &["method", "Pre(%)", "p.Pre", "Rec(%)", "p.Rec", "F1(%)", "p.F1"],
+            &[
+                "method", "Pre(%)", "p.Pre", "Rec(%)", "p.Rec", "F1(%)", "p.F1",
+            ],
             &rows,
         );
         print_ordering_check(

@@ -71,7 +71,10 @@ pub fn top_cell_pairs(trips: &[Trajectory], grid: &GridSpec, top_k: usize) -> Ve
         }
     }
     let mut ranked: Vec<(CellPair, usize)> = counts.into_iter().collect();
-    ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| (a.0.from, a.0.to).cmp(&(b.0.from, b.0.to))));
+    ranked.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then_with(|| (a.0.from, a.0.to).cmp(&(b.0.from, b.0.to)))
+    });
     ranked.into_iter().take(top_k).map(|(p, _)| p).collect()
 }
 
@@ -148,8 +151,14 @@ mod tests {
 
     fn diag_trip(t0: f64, dt: f64) -> Trajectory {
         Trajectory::new(vec![
-            GpsPoint { loc: LngLat { lng: 0.1, lat: 0.1 }, t: t0 },
-            GpsPoint { loc: LngLat { lng: 0.9, lat: 0.9 }, t: t0 + dt },
+            GpsPoint {
+                loc: LngLat { lng: 0.1, lat: 0.1 },
+                t: t0,
+            },
+            GpsPoint {
+                loc: LngLat { lng: 0.9, lat: 0.9 },
+                t: t0 + dt,
+            },
         ])
     }
 
@@ -169,8 +178,17 @@ mod tests {
         assert_eq!(mask_jaccard(&a, &a), 1.0);
         let b = Pit::from_trajectory(
             &Trajectory::new(vec![
-                GpsPoint { loc: LngLat { lng: 0.9, lat: 0.1 }, t: 0.0 },
-                GpsPoint { loc: LngLat { lng: 0.95, lat: 0.15 }, t: 60.0 },
+                GpsPoint {
+                    loc: LngLat { lng: 0.9, lat: 0.1 },
+                    t: 0.0,
+                },
+                GpsPoint {
+                    loc: LngLat {
+                        lng: 0.95,
+                        lat: 0.15,
+                    },
+                    t: 60.0,
+                },
             ]),
             &g,
         );
@@ -182,8 +200,14 @@ mod tests {
         let g = grid();
         let mut trips = vec![diag_trip(0.0, 600.0); 5];
         trips.push(Trajectory::new(vec![
-            GpsPoint { loc: LngLat { lng: 0.9, lat: 0.1 }, t: 0.0 },
-            GpsPoint { loc: LngLat { lng: 0.1, lat: 0.9 }, t: 600.0 },
+            GpsPoint {
+                loc: LngLat { lng: 0.9, lat: 0.1 },
+                t: 0.0,
+            },
+            GpsPoint {
+                loc: LngLat { lng: 0.1, lat: 0.9 },
+                t: 600.0,
+            },
         ]));
         let pairs = top_cell_pairs(&trips, &g, 2);
         assert_eq!(pairs.len(), 2);
@@ -196,7 +220,10 @@ mod tests {
         let g = grid();
         // Departure 08:00, 600 s to cross.
         let trips = vec![diag_trip(8.0 * 3_600.0, 600.0)];
-        let pair = CellPair { from: g.flat_index(0, 0), to: g.flat_index(3, 3) };
+        let pair = CellPair {
+            from: g.flat_index(0, 0),
+            to: g.flat_index(3, 3),
+        };
         let profile = tod_profile_from_trips(&trips, &g, &pair);
         let bin = (8.0f64 * 3_600.0 / 7_200.0) as usize;
         assert_eq!(profile[bin], Some(600.0));
@@ -210,7 +237,10 @@ mod tests {
         // representable in f32, keeping the visit away from a bin edge.
         let trip = diag_trip(9.0 * 3_600.0, 600.0);
         let pit = Pit::from_trajectory(&trip, &g);
-        let pair = CellPair { from: g.flat_index(0, 0), to: g.flat_index(3, 3) };
+        let pair = CellPair {
+            from: g.flat_index(0, 0),
+            to: g.flat_index(3, 3),
+        };
         let from_pits = tod_profile_from_pits(&[pit], &g, &pair);
         let bin = (9.0f64 * 3_600.0 / 7_200.0) as usize;
         let v = from_pits[bin].expect("bin populated");

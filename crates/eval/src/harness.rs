@@ -4,8 +4,8 @@
 use crate::metrics::{regression, Regression};
 use crate::profile::EvalProfile;
 use odt_baselines::{
-    DeepOd, DeepStRouter, DijkstraRouter, Gbm, LinearRegression, Murat, OdtOracle,
-    OracleContext, Rne, Router, StNn, Stdgcn, Temp, Wddra,
+    DeepOd, DeepStRouter, DijkstraRouter, Gbm, LinearRegression, Murat, OdtOracle, OracleContext,
+    Rne, Router, StNn, Stdgcn, Temp, Wddra,
 };
 use odt_core::Dot;
 use odt_roadnet::RoadNetwork;
@@ -71,13 +71,25 @@ pub fn prepare_city(city: City, profile: &EvalProfile) -> CityRun {
         City::Chengdu => Dataset::chengdu_like(profile.raw_trips, profile.lg, profile.seed),
         City::Harbin => Dataset::harbin_like(profile.raw_trips, profile.lg, profile.seed),
     };
-    let ctx = OracleContext { grid: data.grid, proj: data.proj };
-    let net = data.network.clone().expect("simulated dataset carries its network");
+    let ctx = OracleContext {
+        grid: data.grid,
+        proj: data.proj,
+    };
+    let net = data
+        .network
+        .clone()
+        .expect("simulated dataset carries its network");
     let test = data.split(Split::Test);
     let n = profile.max_test_queries.min(test.len());
     let test_odts: Vec<OdtInput> = test[..n].iter().map(OdtInput::from_trajectory).collect();
     let test_tts: Vec<f64> = test[..n].iter().map(Trajectory::travel_time).collect();
-    CityRun { data, ctx, net, test_odts, test_tts }
+    CityRun {
+        data,
+        ctx,
+        net,
+        test_odts,
+        test_tts,
+    }
 }
 
 /// One trained-and-evaluated method.
@@ -140,9 +152,13 @@ pub fn run_baselines(
     let t = Instant::now();
     let dij = DijkstraRouter::fit(ctx, run.net.clone(), train);
     let dij_train = t.elapsed().as_secs_f64();
-    results.push(evaluate("Dijkstra", run, dij.model_size_bytes(), dij_train, |o| {
-        dij.predict_seconds(o)
-    }));
+    results.push(evaluate(
+        "Dijkstra",
+        run,
+        dij.model_size_bytes(),
+        dij_train,
+        |o| dij.predict_seconds(o),
+    ));
 
     progress("fitting DeepST router");
     let t = Instant::now();
@@ -150,9 +166,13 @@ pub fn run_baselines(
     let deepst_train = t.elapsed().as_secs_f64();
     {
         let d = deepst.clone();
-        results.push(evaluate("DeepST", run, d.model_size_bytes(), deepst_train, |o| {
-            d.predict_seconds(o)
-        }));
+        results.push(evaluate(
+            "DeepST",
+            run,
+            d.model_size_bytes(),
+            deepst_train,
+            |o| d.predict_seconds(o),
+        ));
     }
 
     // Path-based methods, fed by DeepST paths as in the paper.
@@ -160,17 +180,25 @@ pub fn run_baselines(
     let t = Instant::now();
     let wddra = Wddra::fit(ctx, train, &profile.neural);
     let wddra_train = t.elapsed().as_secs_f64();
-    results.push(evaluate("WDDRA", run, wddra.model_size_bytes(), wddra_train, |o| {
-        wddra.predict_with_path(o, &deepst.route_points(o))
-    }));
+    results.push(evaluate(
+        "WDDRA",
+        run,
+        wddra.model_size_bytes(),
+        wddra_train,
+        |o| wddra.predict_with_path(o, &deepst.route_points(o)),
+    ));
 
     progress("fitting STDGCN");
     let t = Instant::now();
     let stdgcn = Stdgcn::fit(ctx, train, &profile.neural);
     let stdgcn_train = t.elapsed().as_secs_f64();
-    results.push(evaluate("STDGCN", run, stdgcn.model_size_bytes(), stdgcn_train, |o| {
-        stdgcn.predict_with_path(o, &deepst.route_points(o))
-    }));
+    results.push(evaluate(
+        "STDGCN",
+        run,
+        stdgcn.model_size_bytes(),
+        stdgcn_train,
+        |o| stdgcn.predict_with_path(o, &deepst.route_points(o)),
+    ));
 
     // Traditional ODT-Oracle methods.
     progress("fitting TEMP");
@@ -191,41 +219,61 @@ pub fn run_baselines(
     let t = Instant::now();
     let gbm = Gbm::fit(ctx, train);
     let gbm_train = t.elapsed().as_secs_f64();
-    results.push(evaluate("GBM", run, gbm.model_size_bytes(), gbm_train, |o| {
-        gbm.predict_seconds(o)
-    }));
+    results.push(evaluate(
+        "GBM",
+        run,
+        gbm.model_size_bytes(),
+        gbm_train,
+        |o| gbm.predict_seconds(o),
+    ));
 
     progress("fitting RNE");
     let t = Instant::now();
     let rne = Rne::fit(ctx, train, &profile.neural);
     let rne_train = t.elapsed().as_secs_f64();
-    results.push(evaluate("RNE", run, rne.model_size_bytes(), rne_train, |o| {
-        rne.predict_seconds(o)
-    }));
+    results.push(evaluate(
+        "RNE",
+        run,
+        rne.model_size_bytes(),
+        rne_train,
+        |o| rne.predict_seconds(o),
+    ));
 
     progress("fitting ST-NN");
     let t = Instant::now();
     let stnn = StNn::fit(ctx, train, &profile.neural);
     let stnn_train = t.elapsed().as_secs_f64();
-    results.push(evaluate("ST-NN", run, stnn.model_size_bytes(), stnn_train, |o| {
-        stnn.predict_seconds(o)
-    }));
+    results.push(evaluate(
+        "ST-NN",
+        run,
+        stnn.model_size_bytes(),
+        stnn_train,
+        |o| stnn.predict_seconds(o),
+    ));
 
     progress("fitting MURAT");
     let t = Instant::now();
     let murat = Murat::fit(ctx, train, &profile.neural);
     let murat_train = t.elapsed().as_secs_f64();
-    results.push(evaluate("MURAT", run, murat.model_size_bytes(), murat_train, |o| {
-        murat.predict_seconds(o)
-    }));
+    results.push(evaluate(
+        "MURAT",
+        run,
+        murat.model_size_bytes(),
+        murat_train,
+        |o| murat.predict_seconds(o),
+    ));
 
     progress("fitting DeepOD");
     let t = Instant::now();
     let deepod = DeepOd::fit(ctx, train, &profile.neural);
     let deepod_train = t.elapsed().as_secs_f64();
-    results.push(evaluate("DeepOD", run, deepod.model_size_bytes(), deepod_train, |o| {
-        deepod.predict_seconds(o)
-    }));
+    results.push(evaluate(
+        "DeepOD",
+        run,
+        deepod.model_size_bytes(),
+        deepod_train,
+        |o| deepod.predict_seconds(o),
+    ));
 
     (results, deepst)
 }
@@ -259,17 +307,33 @@ pub fn run_dot(
     let mut dot_cfg = profile.dot.clone();
     dot_cfg.lg = profile.lg;
 
-    let (model, train_seconds) = if ckpt.exists() {
+    let cached = if ckpt.exists() {
         progress(&format!("loading cached DOT checkpoint {}", ckpt.display()));
-        let m = Dot::load(&ckpt).expect("cached checkpoint must load");
-        let t = m.report().stage1_seconds + m.report().stage2_seconds;
-        (m, t)
+        // A corrupt/stale cache entry must not kill the run: report the
+        // typed error, drop the entry and retrain.
+        match Dot::load(&ckpt) {
+            Ok(m) => {
+                let t = m.report().stage1_seconds + m.report().stage2_seconds;
+                Some((m, t))
+            }
+            Err(e) => {
+                progress(&format!("cached checkpoint unusable ({e}); retraining"));
+                std::fs::remove_file(&ckpt).ok();
+                None
+            }
+        }
     } else {
-        let t = Instant::now();
-        let m = Dot::train(dot_cfg, &run.data, |s| progress(s));
-        let train_seconds = t.elapsed().as_secs_f64();
-        m.save(&ckpt).expect("save checkpoint");
-        (m, train_seconds)
+        None
+    };
+    let (model, train_seconds) = match cached {
+        Some(mt) => mt,
+        None => {
+            let t = Instant::now();
+            let m = Dot::train(dot_cfg, &run.data, |s| progress(s));
+            let train_seconds = t.elapsed().as_secs_f64();
+            m.save(&ckpt).expect("save checkpoint");
+            (m, train_seconds)
+        }
     };
 
     // Inferred test PiTs, cached alongside the checkpoint.
@@ -283,9 +347,15 @@ pub fn run_dot(
         let mut rng = StdRng::seed_from_u64(profile.seed ^ 0x9e37);
         let t0 = Instant::now();
         let pits = model.infer_pits(&run.test_odts, &mut rng);
-        progress(&format!("inference took {:.1}s", t0.elapsed().as_secs_f64()));
-        std::fs::write(&pit_path, serde_json::to_string(&pits).expect("serialize pits"))
-            .expect("write pit cache");
+        progress(&format!(
+            "inference took {:.1}s",
+            t0.elapsed().as_secs_f64()
+        ));
+        std::fs::write(
+            &pit_path,
+            serde_json::to_string(&pits).expect("serialize pits"),
+        )
+        .expect("write pit cache");
         pits
     };
 
@@ -316,6 +386,10 @@ pub fn run_dot(
         train_seconds,
         sec_per_k_queries: sec_per_k,
     };
+    let robustness = model.robustness();
+    if robustness != Default::default() {
+        progress(&format!("DOT robustness counters: {robustness}"));
+    }
     (result, model, pits)
 }
 
@@ -399,23 +473,34 @@ mod tests {
     #[test]
     fn route_to_pit_marks_route_cells_in_order() {
         use odt_roadnet::{LngLat, Point, Projection};
-        let proj = Projection::new(LngLat { lng: 104.0, lat: 30.0 });
+        let proj = Projection::new(LngLat {
+            lng: 104.0,
+            lat: 30.0,
+        });
         let grid = odt_traj::GridSpec::new(
             proj.to_lnglat(Point::new(-100.0, -100.0)),
             proj.to_lnglat(Point::new(2_100.0, 2_100.0)),
             8,
         );
         // A straight 2 km eastward route over 600 s departing 09:00.
-        let points: Vec<Point> = (0..=20).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect();
+        let points: Vec<Point> = (0..=20)
+            .map(|i| Point::new(i as f64 * 100.0, 0.0))
+            .collect();
         let pit = route_to_pit(&points, 600.0, 9.0 * 3_600.0, &grid, &proj);
-        assert!(pit.num_visited() >= 6, "straight route must cross many cells");
+        assert!(
+            pit.num_visited() >= 6,
+            "straight route must cross many cells"
+        );
         // Offsets increase west → east along the route.
         let (row0, col0) = grid.cell_of(proj.to_lnglat(points[0]));
         let (row1, col1) = grid.cell_of(proj.to_lnglat(*points.last().unwrap()));
         assert!(pit.at(2, row0, col0) < pit.at(2, row1, col1));
         // ToD decodes within the trip's time window.
         let s = pit.visit_second_of_day(row1, col1).unwrap();
-        assert!(s >= 9.0 * 3_600.0 - 10.0 && s <= 9.0 * 3_600.0 + 610.0, "{s}");
+        assert!(
+            s >= 9.0 * 3_600.0 - 10.0 && s <= 9.0 * 3_600.0 + 610.0,
+            "{s}"
+        );
     }
 
     #[test]
@@ -423,7 +508,10 @@ mod tests {
         use odt_roadnet::{LngLat, Projection};
         let proj = Projection::new(LngLat { lng: 0.0, lat: 0.0 });
         let grid = odt_traj::GridSpec::new(
-            LngLat { lng: -0.1, lat: -0.1 },
+            LngLat {
+                lng: -0.1,
+                lat: -0.1,
+            },
             LngLat { lng: 0.1, lat: 0.1 },
             4,
         );

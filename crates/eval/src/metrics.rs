@@ -166,7 +166,10 @@ mod tests {
     #[test]
     fn mask_accuracy_known() {
         // pred: TTFF, truth: TFTF -> tp 1, fp 1, fn 1.
-        let pairs = vec![(vec![true, true, false, false], vec![true, false, true, false])];
+        let pairs = vec![(
+            vec![true, true, false, false],
+            vec![true, false, true, false],
+        )];
         let m = mask_accuracy(&pairs);
         assert!((m.precision_pct - 50.0).abs() < 1e-9);
         assert!((m.recall_pct - 50.0).abs() < 1e-9);

@@ -68,7 +68,10 @@ pub fn print_table(title: &str, context: &str, header: &[&str], rows: &[Vec<Stri
     };
     let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -79,7 +82,11 @@ pub fn print_table(title: &str, context: &str, header: &[&str], rows: &[Vec<Stri
 pub fn print_ordering_check(label: &str, ours_holds: bool) {
     println!(
         "  [shape] {label}: {}",
-        if ours_holds { "HOLDS (matches paper)" } else { "DOES NOT HOLD" }
+        if ours_holds {
+            "HOLDS (matches paper)"
+        } else {
+            "DOES NOT HOLD"
+        }
     );
 }
 
@@ -92,10 +99,18 @@ mod tests {
         let rows = vec![
             AccuracyRow {
                 method: "DOT".into(),
-                measured: Some(Regression { rmse_min: 3.1, mae_min: 1.2, mape_pct: 11.3 }),
+                measured: Some(Regression {
+                    rmse_min: 3.1,
+                    mae_min: 1.2,
+                    mape_pct: 11.3,
+                }),
                 paper: Some((3.177, 1.272, 11.343)),
             },
-            AccuracyRow { method: "skipped".into(), measured: None, paper: None },
+            AccuracyRow {
+                method: "skipped".into(),
+                measured: None,
+                paper: None,
+            },
         ];
         print_accuracy_table("Table X", "ctx", &rows);
     }

@@ -24,7 +24,10 @@ pub struct MultiHeadAttention {
 impl MultiHeadAttention {
     /// `dim` must be divisible by `heads`.
     pub fn new(rng: &mut impl Rng, dim: usize, heads: usize, name: &str) -> Self {
-        assert!(dim % heads == 0, "dim {dim} must be divisible by heads {heads}");
+        assert!(
+            dim % heads == 0,
+            "dim {dim} must be divisible by heads {heads}"
+        );
         MultiHeadAttention {
             wq: Linear::new(rng, dim, dim, &format!("{name}.wq")),
             wk: Linear::new(rng, dim, dim, &format!("{name}.wk")),
@@ -63,7 +66,9 @@ impl MultiHeadAttention {
         if let Some(mask) = key_mask {
             assert_eq!(mask.shape(), &[b, t], "key mask must be [b, t]");
             // Repeat each batch row for every head: [b, t] -> [b*h, 1, t].
-            let indices: Vec<usize> = (0..b).flat_map(|bi| std::iter::repeat(bi).take(h)).collect();
+            let indices: Vec<usize> = (0..b)
+                .flat_map(|bi| std::iter::repeat(bi).take(h))
+                .collect();
             let expanded = mask.index_select0(&indices).reshape(vec![b * h, 1, t]);
             let mv = g.input(expanded);
             logits = g.add(logits, mv);
@@ -71,7 +76,7 @@ impl MultiHeadAttention {
 
         let attn = g.softmax_lastdim(logits);
         let ctx = g.bmm(attn, v); // [b*h, t, dh]
-        // Back to [b, t, d].
+                                  // Back to [b, t, d].
         let r = g.reshape(ctx, vec![b, h, t, dh]);
         let p = g.permute(r, &[0, 2, 1, 3]);
         let merged = g.reshape(p, vec![b, t, d]);

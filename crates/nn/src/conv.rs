@@ -28,7 +28,10 @@ impl Conv2d {
                 init::kaiming_normal(rng, vec![c_out, c_in, k, k]),
                 format!("{name}.weight"),
             ),
-            bias: Some(Param::new(Tensor::zeros(vec![c_out]), format!("{name}.bias"))),
+            bias: Some(Param::new(
+                Tensor::zeros(vec![c_out]),
+                format!("{name}.bias"),
+            )),
             stride,
             pad,
         }

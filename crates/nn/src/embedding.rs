@@ -30,7 +30,11 @@ impl Embedding {
     /// Look up rows: returns `[indices.len(), dim]`.
     pub fn forward(&self, g: &Graph, indices: &[usize]) -> Var {
         for &i in indices {
-            assert!(i < self.vocab, "embedding index {i} out of vocab {}", self.vocab);
+            assert!(
+                i < self.vocab,
+                "embedding index {i} out of vocab {}",
+                self.vocab
+            );
         }
         let t = g.param(&self.table);
         g.index_select0(t, indices)

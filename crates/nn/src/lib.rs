@@ -39,7 +39,7 @@ pub use linear::Linear;
 pub use norm::{GroupNorm, LayerNorm};
 pub use pe::{encode_position, positional_encoding};
 pub use rnn::{Gru, GruCell};
-pub use serialize::{load_state_dict, state_dict};
+pub use serialize::{load_state_dict, state_dict, try_load_state_dict, StateDictError};
 pub use transformer::{EncoderLayer, FeedForward};
 
 use odt_tensor::Param;

@@ -23,7 +23,10 @@ impl Linear {
                 init::xavier_uniform(rng, vec![out_dim, in_dim]),
                 format!("{name}.weight"),
             ),
-            bias: Some(Param::new(Tensor::zeros(vec![out_dim]), format!("{name}.bias"))),
+            bias: Some(Param::new(
+                Tensor::zeros(vec![out_dim]),
+                format!("{name}.bias"),
+            )),
             in_dim,
             out_dim,
         }

@@ -111,7 +111,10 @@ mod tests {
     fn layernorm_zero_mean_unit_var() {
         let ln = LayerNorm::new(4, "ln");
         let g = Graph::new();
-        let x = g.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], vec![2, 4]));
+        let x = g.input(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            vec![2, 4],
+        ));
         let y = g.value(ln.forward(&g, x));
         for row in 0..2 {
             let d = &y.data()[row * 4..(row + 1) * 4];
@@ -130,7 +133,10 @@ mod tests {
         let x = g.input(Tensor::from_vec(vec![1.0, -1.0, 0.5], vec![1, 3]));
         let y = ln.forward(&g, x);
         g.backward(g.sum_all(g.square(y)));
-        assert!(ln.params().iter().all(|p| p.grad().data().iter().any(|&v| v != 0.0) || p.name().contains("beta")));
+        assert!(ln
+            .params()
+            .iter()
+            .all(|p| p.grad().data().iter().any(|&v| v != 0.0) || p.name().contains("beta")));
     }
 
     #[test]

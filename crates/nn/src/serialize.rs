@@ -8,6 +8,54 @@ use odt_tensor::{Param, Tensor};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// Why a [`StateDict`] could not be restored into a parameter set.
+///
+/// Checkpoint loading distinguishes these so callers can tell a corrupted
+/// file from an architecture mismatch from numerically-poisoned parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateDictError {
+    /// A parameter the model expects is absent from the dict.
+    MissingParam {
+        /// The expected parameter name.
+        name: String,
+    },
+    /// A stored tensor's shape disagrees with the model parameter's.
+    ShapeMismatch {
+        /// The parameter name.
+        name: String,
+        /// Shape the model expects.
+        expected: Vec<usize>,
+        /// Shape found in the dict.
+        found: Vec<usize>,
+    },
+    /// A stored tensor contains NaN or infinite values.
+    NonFinite {
+        /// The parameter name.
+        name: String,
+        /// How many elements are non-finite.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for StateDictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateDictError::MissingParam { name } => {
+                write!(f, "state dict missing parameter '{name}'")
+            }
+            StateDictError::ShapeMismatch { name, expected, found } => write!(
+                f,
+                "parameter '{name}' shape mismatch: model expects {expected:?}, dict holds {found:?}"
+            ),
+            StateDictError::NonFinite { name, count } => {
+                write!(f, "parameter '{name}' holds {count} non-finite value(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateDictError {}
+
 /// A serializable snapshot of named parameter values.
 #[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
 pub struct StateDict {
@@ -23,6 +71,31 @@ impl StateDict {
     /// `true` when no entries exist.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Iterate over `(name, tensor)` entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The stored tensor for a parameter name, if present.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.entries.get(name)
+    }
+
+    /// Verify every stored tensor is finite; the error names the first
+    /// offending parameter.
+    pub fn validate_finite(&self) -> Result<(), StateDictError> {
+        for (name, t) in &self.entries {
+            let count = t.count_non_finite();
+            if count > 0 {
+                return Err(StateDictError::NonFinite {
+                    name: name.clone(),
+                    count,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Serialize to a JSON string.
@@ -60,6 +133,37 @@ pub fn load_state_dict(params: &[Param], dict: &StateDict) {
     }
 }
 
+/// Fallible [`load_state_dict`]: validates presence, shape and finiteness of
+/// every entry *before* mutating any parameter, so a failed load leaves the
+/// model untouched. This is what checkpoint loading uses to turn file
+/// corruption into a typed error instead of a panic or a poisoned model.
+pub fn try_load_state_dict(params: &[Param], dict: &StateDict) -> Result<(), StateDictError> {
+    for p in params {
+        let name = p.name();
+        let value = dict
+            .entries
+            .get(&name)
+            .ok_or_else(|| StateDictError::MissingParam { name: name.clone() })?;
+        let expected = p.value().shape().to_vec();
+        if value.shape() != &expected[..] {
+            return Err(StateDictError::ShapeMismatch {
+                name,
+                expected,
+                found: value.shape().to_vec(),
+            });
+        }
+        let count = value.count_non_finite();
+        if count > 0 {
+            return Err(StateDictError::NonFinite { name, count });
+        }
+    }
+    for p in params {
+        let value = dict.entries.get(&p.name()).expect("validated above");
+        p.set_value(value.clone());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +197,42 @@ mod tests {
         let dict = state_dict(&[a]);
         let c = Param::new(Tensor::scalar(1.0), "c");
         load_state_dict(&[c], &dict);
+    }
+
+    #[test]
+    fn try_load_reports_missing_shape_and_nonfinite() {
+        let a = Param::new(Tensor::from_vec(vec![1.0, 2.0], vec![2]), "a");
+        let dict = state_dict(&[a.clone()]);
+
+        // Missing parameter.
+        let c = Param::new(Tensor::scalar(1.0), "c");
+        assert!(matches!(
+            try_load_state_dict(&[c], &dict),
+            Err(StateDictError::MissingParam { name }) if name == "c"
+        ));
+
+        // Shape mismatch; the target parameter must stay untouched.
+        let wide = Param::new(Tensor::zeros(vec![3]), "a");
+        assert!(matches!(
+            try_load_state_dict(&[wide.clone()], &dict),
+            Err(StateDictError::ShapeMismatch { ref name, .. }) if name == "a"
+        ));
+        assert_eq!(wide.value().data(), &[0.0, 0.0, 0.0]);
+
+        // Non-finite payload.
+        let nan = Param::new(Tensor::from_vec(vec![f32::NAN, 1.0], vec![2]), "a");
+        let bad = state_dict(&[nan]);
+        assert!(bad.validate_finite().is_err());
+        let tgt = Param::new(Tensor::zeros(vec![2]), "a");
+        assert!(matches!(
+            try_load_state_dict(&[tgt.clone()], &bad),
+            Err(StateDictError::NonFinite { count: 1, .. })
+        ));
+        assert_eq!(tgt.value().data(), &[0.0, 0.0]);
+
+        // Happy path still loads.
+        let tgt2 = Param::new(Tensor::zeros(vec![2]), "a");
+        try_load_state_dict(&[tgt2.clone()], &dict).unwrap();
+        assert_eq!(tgt2.value().data(), &[1.0, 2.0]);
     }
 }

@@ -49,7 +49,10 @@ pub fn dijkstra(
     let mut prev: Vec<Option<NodeId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[origin] = 0.0;
-    heap.push(HeapEntry { cost: 0.0, node: origin });
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: origin,
+    });
     while let Some(HeapEntry { cost, node }) = heap.pop() {
         if node == dest {
             break;
@@ -65,7 +68,10 @@ pub fn dijkstra(
             if nd < dist[next] {
                 dist[next] = nd;
                 prev[next] = Some(node);
-                heap.push(HeapEntry { cost: nd, node: next });
+                heap.push(HeapEntry {
+                    cost: nd,
+                    node: next,
+                });
             }
         }
     }
@@ -88,7 +94,10 @@ pub fn dijkstra(
         }
     }
     nodes.reverse();
-    Some(PathResult { nodes, cost: dist[dest] })
+    Some(PathResult {
+        nodes,
+        cost: dist[dest],
+    })
 }
 
 /// Cost of an explicit node path under a weight function. Panics if
@@ -136,7 +145,10 @@ pub fn k_shortest_paths(
             }
         }
         let true_cost = path_cost(net, &found.nodes, weight);
-        let candidate = PathResult { nodes: found.nodes, cost: true_cost };
+        let candidate = PathResult {
+            nodes: found.nodes,
+            cost: true_cost,
+        };
         if !results.iter().any(|r| r.nodes == candidate.nodes) {
             results.push(candidate);
         }

@@ -88,7 +88,10 @@ mod tests {
     use super::*;
 
     fn chengdu() -> Projection {
-        Projection::new(LngLat { lng: 104.0, lat: 30.65 })
+        Projection::new(LngLat {
+            lng: 104.0,
+            lat: 30.65,
+        })
     }
 
     #[test]
@@ -111,7 +114,10 @@ mod tests {
     #[test]
     fn lng_scale_shrinks_with_latitude() {
         let equator = Projection::new(LngLat { lng: 0.0, lat: 0.0 });
-        let arctic = Projection::new(LngLat { lng: 0.0, lat: 60.0 });
+        let arctic = Projection::new(LngLat {
+            lng: 0.0,
+            lat: 60.0,
+        });
         let p = Point::new(1000.0, 0.0);
         let de = equator.to_lnglat(p).lng;
         let da = arctic.to_lnglat(p).lng;

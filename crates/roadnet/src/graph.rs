@@ -49,11 +49,21 @@ impl RoadNetwork {
     pub fn from_parts(positions: Vec<Point>, edges: Vec<Edge>) -> Self {
         let mut out = vec![Vec::new(); positions.len()];
         for (i, e) in edges.iter().enumerate() {
-            assert!(e.from < positions.len() && e.to < positions.len(), "edge endpoint out of range");
-            assert!(e.length_m > 0.0 && e.base_speed_mps > 0.0, "degenerate edge");
+            assert!(
+                e.from < positions.len() && e.to < positions.len(),
+                "edge endpoint out of range"
+            );
+            assert!(
+                e.length_m > 0.0 && e.base_speed_mps > 0.0,
+                "degenerate edge"
+            );
             out[e.from].push(i);
         }
-        RoadNetwork { positions, edges, out }
+        RoadNetwork {
+            positions,
+            edges,
+            out,
+        }
     }
 
     /// Generate a grid city: `nx × ny` intersections spaced `spacing_m`
@@ -74,9 +84,25 @@ impl RoadNetwork {
         let mut edges = Vec::new();
         let mut push_both = |a: NodeId, b: NodeId, arterial: bool| {
             let length = spacing_m;
-            let speed = if arterial { ARTERIAL_SPEED } else { SIDE_STREET_SPEED };
-            edges.push(Edge { from: a, to: b, length_m: length, base_speed_mps: speed, arterial });
-            edges.push(Edge { from: b, to: a, length_m: length, base_speed_mps: speed, arterial });
+            let speed = if arterial {
+                ARTERIAL_SPEED
+            } else {
+                SIDE_STREET_SPEED
+            };
+            edges.push(Edge {
+                from: a,
+                to: b,
+                length_m: length,
+                base_speed_mps: speed,
+                arterial,
+            });
+            edges.push(Edge {
+                from: b,
+                to: a,
+                length_m: length,
+                base_speed_mps: speed,
+                arterial,
+            });
         };
         for yi in 0..ny {
             for xi in 0..nx {

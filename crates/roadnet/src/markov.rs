@@ -73,7 +73,13 @@ impl MarkovRouter {
     /// Route from `origin` to `dest` in `slot` by following the most
     /// probable learned transitions; falls back to the shortest-path next
     /// hop in unobserved states. Always returns a path ending at `dest`.
-    pub fn route(&self, net: &RoadNetwork, origin: NodeId, dest: NodeId, slot: usize) -> Vec<NodeId> {
+    pub fn route(
+        &self,
+        net: &RoadNetwork,
+        origin: NodeId,
+        dest: NodeId,
+        slot: usize,
+    ) -> Vec<NodeId> {
         assert!(slot < self.slots, "slot out of range");
         let mut path = vec![origin];
         let mut current = origin;

@@ -58,7 +58,11 @@ pub fn edge_observations(
     points: &[Point],
     timestamps: &[f64],
 ) -> Vec<(EdgeId, f64)> {
-    assert_eq!(points.len(), timestamps.len(), "points/timestamps length mismatch");
+    assert_eq!(
+        points.len(),
+        timestamps.len(),
+        "points/timestamps length mismatch"
+    );
     let mut obs = Vec::new();
     let dist = |e: EdgeId| net.edge(e).length_m;
     for i in 1..points.len() {

@@ -34,13 +34,19 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { len, expected } => {
-                write!(f, "data length {len} does not match shape (expected {expected})")
+                write!(
+                    f,
+                    "data length {len} does not match shape (expected {expected})"
+                )
             }
             TensorError::BroadcastMismatch { lhs, rhs } => {
                 write!(f, "shapes {lhs:?} and {rhs:?} cannot be broadcast together")
             }
             TensorError::ReshapeMismatch { from, to } => {
-                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+                write!(
+                    f,
+                    "cannot reshape {from:?} into {to:?}: element counts differ"
+                )
             }
         }
     }

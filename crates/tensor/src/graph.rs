@@ -159,11 +159,7 @@ impl Graph {
             vec![a.0, b.0],
             Some(Box::new(move |g| {
                 let ga = g.div(&vb).reduce_to_shape(&sa);
-                let gb = g
-                    .mul(&va)
-                    .div(&vb.mul(&vb))
-                    .neg()
-                    .reduce_to_shape(&sb);
+                let gb = g.mul(&va).div(&vb.mul(&vb)).neg().reduce_to_shape(&sb);
                 vec![ga, gb]
             })),
         )
@@ -273,22 +269,14 @@ impl Graph {
     pub fn exp(&self, a: Var) -> Var {
         let out = self.value(a).map(f32::exp);
         let saved = out.clone();
-        self.push(
-            out,
-            vec![a.0],
-            Some(Box::new(move |g| vec![g.mul(&saved)])),
-        )
+        self.push(out, vec![a.0], Some(Box::new(move |g| vec![g.mul(&saved)])))
     }
 
     /// Elementwise natural log.
     pub fn ln(&self, a: Var) -> Var {
         let va = self.value(a);
         let out = va.map(f32::ln);
-        self.push(
-            out,
-            vec![a.0],
-            Some(Box::new(move |g| vec![g.div(&va)])),
-        )
+        self.push(out, vec![a.0], Some(Box::new(move |g| vec![g.div(&va)])))
     }
 
     /// Elementwise square root.

@@ -78,8 +78,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let t = normal(&mut rng, vec![20000], 2.0);
         let mean = t.mean();
-        let var: f32 =
-            t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.numel() as f32;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.numel() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }

@@ -47,8 +47,8 @@ mod shape;
 mod tensor;
 
 pub use error::TensorError;
-pub use ops::{bmm, conv2d, conv_out_size, matmul, upsample_nearest2};
 pub use graph::{Graph, Var};
+pub use ops::{bmm, conv2d, conv_out_size, matmul, upsample_nearest2};
 pub use param::Param;
 pub use shape::{broadcast_shapes, strides_for, Shape};
 pub use tensor::Tensor;

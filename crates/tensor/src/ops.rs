@@ -14,7 +14,13 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(b.rank(), 2, "matmul rhs must be 2-D, got {:?}", b.shape());
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
-    assert_eq!(k, k2, "matmul inner dims differ: {:?} @ {:?}", a.shape(), b.shape());
+    assert_eq!(
+        k,
+        k2,
+        "matmul inner dims differ: {:?} @ {:?}",
+        a.shape(),
+        b.shape()
+    );
     let mut out = Tensor::zeros(vec![m, n]);
     let ad = a.data();
     let bd = b.data();
@@ -213,9 +219,19 @@ fn gemm_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
 /// * `bias`: `[c_out]` (optional)
 ///
 /// Returns `[batch, c_out, h_out, w_out]`.
-pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, stride: usize, pad: usize) -> Tensor {
+pub fn conv2d(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
     assert_eq!(x.rank(), 4, "conv2d input must be NCHW");
-    assert_eq!(weight.rank(), 4, "conv2d weight must be [c_out, c_in, kh, kw]");
+    assert_eq!(
+        weight.rank(),
+        4,
+        "conv2d weight must be [c_out, c_in, kh, kw]"
+    );
     let (b, c_in, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let (c_out, c_in2, kh, kw) = (
         weight.shape()[0],
@@ -237,7 +253,19 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, stride: usize,
     let od = out.data_mut();
     let mut cols = vec![0.0f32; k * n];
     for bi in 0..b {
-        im2col(&xd[bi * c_in * h * w..(bi + 1) * c_in * h * w], c_in, h, w, kh, kw, stride, pad, ho, wo, &mut cols);
+        im2col(
+            &xd[bi * c_in * h * w..(bi + 1) * c_in * h * w],
+            c_in,
+            h,
+            w,
+            kh,
+            kw,
+            stride,
+            pad,
+            ho,
+            wo,
+            &mut cols,
+        );
         let out_b = &mut od[bi * c_out * n..(bi + 1) * c_out * n];
         gemm_acc(wd, &cols, out_b, c_out, k, n);
         if let Some(bt) = bias {
@@ -261,7 +289,12 @@ pub fn conv2d_grad_input(
     stride: usize,
     pad: usize,
 ) -> Tensor {
-    let (b, c_in, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+    let (b, c_in, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
     let (c_out, _, kh, kw) = (
         weight.shape()[0],
         weight.shape()[1],
@@ -323,7 +356,19 @@ pub fn conv2d_grad_weight(
     let gwd = gw.data_mut();
     let mut cols = vec![0.0f32; k * n];
     for bi in 0..b {
-        im2col(&xd[bi * c_in * h * w..(bi + 1) * c_in * h * w], c_in, h, w, kh, kw, stride, pad, ho, wo, &mut cols);
+        im2col(
+            &xd[bi * c_in * h * w..(bi + 1) * c_in * h * w],
+            c_in,
+            h,
+            w,
+            kh,
+            kw,
+            stride,
+            pad,
+            ho,
+            wo,
+            &mut cols,
+        );
         let gout_b = &gd[bi * c_out * n..(bi + 1) * c_out * n];
         // dW [c_out, k] += gout [c_out, n] @ cols^T [n, k]; cols stored [k, n].
         gemm_a_bt_acc(gout_b, &cols, gwd, c_out, n, k);
@@ -382,7 +427,10 @@ pub fn upsample_nearest2_grad(grad_out: &Tensor) -> Tensor {
         grad_out.shape()[2],
         grad_out.shape()[3],
     );
-    assert!(h2 % 2 == 0 && w2 % 2 == 0, "upsample grad expects even dims");
+    assert!(
+        h2 % 2 == 0 && w2 % 2 == 0,
+        "upsample grad expects even dims"
+    );
     let (h, w) = (h2 / 2, w2 / 2);
     let mut gx = Tensor::zeros(vec![b, c, h, w]);
     let gd = grad_out.data();

@@ -90,7 +90,12 @@ impl Param {
 impl std::fmt::Debug for Param {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let inner = self.0.borrow();
-        write!(f, "Param('{}', shape {:?})", inner.name, inner.value.shape())
+        write!(
+            f,
+            "Param('{}', shape {:?})",
+            inner.name,
+            inner.value.shape()
+        )
     }
 }
 

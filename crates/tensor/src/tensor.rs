@@ -32,7 +32,10 @@ impl Tensor {
     /// A tensor of zeros with the given shape.
     pub fn zeros(shape: Vec<usize>) -> Self {
         let n = numel(&shape);
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// A tensor of ones with the given shape.
@@ -43,12 +46,18 @@ impl Tensor {
     /// A tensor filled with `value`.
     pub fn full(shape: Vec<usize>, value: f32) -> Self {
         let n = numel(&shape);
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// A rank-0-like scalar stored as shape `[1]`.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: vec![1], data: vec![value] }
+        Tensor {
+            shape: vec![1],
+            data: vec![value],
+        }
     }
 
     /// Build a tensor from raw data; errors if `data.len()` disagrees with
@@ -56,7 +65,10 @@ impl Tensor {
     pub fn try_from_vec(data: Vec<f32>, shape: Vec<usize>) -> Result<Self, TensorError> {
         let expected = numel(&shape);
         if data.len() != expected {
-            return Err(TensorError::LengthMismatch { len: data.len(), expected });
+            return Err(TensorError::LengthMismatch {
+                len: data.len(),
+                expected,
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -71,7 +83,10 @@ impl Tensor {
         assert!(n >= 2, "linspace needs at least two points");
         let step = (end - start) / (n as f32 - 1.0);
         let data = (0..n).map(|i| start + step * i as f32).collect();
-        Tensor { shape: vec![n], data }
+        Tensor {
+            shape: vec![n],
+            data,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -129,6 +144,26 @@ impl Tensor {
         self.data.iter().all(|v| v.is_finite())
     }
 
+    /// Number of non-finite (NaN/inf) elements.
+    pub fn count_non_finite(&self) -> usize {
+        self.data.iter().filter(|v| !v.is_finite()).count()
+    }
+
+    /// Flat index and value of the first non-finite element, if any —
+    /// diagnostic companion to [`Tensor::is_finite`] for error messages.
+    pub fn first_non_finite(&self) -> Option<(usize, f32)> {
+        self.data
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.is_finite())
+            .map(|(i, &v)| (i, v))
+    }
+
+    /// Clamp every element into `[lo, hi]` (NaN maps to `lo`).
+    pub fn clamp(&self, lo: f32, hi: f32) -> Self {
+        self.map(|v| if v.is_nan() { lo } else { v.clamp(lo, hi) })
+    }
+
     // ------------------------------------------------------------------
     // Shape manipulation
     // ------------------------------------------------------------------
@@ -142,7 +177,10 @@ impl Tensor {
             self.shape,
             shape
         );
-        Tensor { shape, data: self.data.clone() }
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
     }
 
     /// Permute dimensions; `perm` must be a permutation of `0..rank`.
@@ -209,13 +247,19 @@ impl Tensor {
                 data.extend_from_slice(&t.data[start..start + a * inner]);
             }
         }
-        Tensor { shape: out_shape, data }
+        Tensor {
+            shape: out_shape,
+            data,
+        }
     }
 
     /// Slice `[start, end)` along `axis`.
     pub fn slice(&self, axis: usize, start: usize, end: usize) -> Self {
         assert!(axis < self.rank(), "slice axis out of range");
-        assert!(start <= end && end <= self.shape[axis], "slice range out of bounds");
+        assert!(
+            start <= end && end <= self.shape[axis],
+            "slice range out of bounds"
+        );
         let mut out_shape = self.shape.clone();
         out_shape[axis] = end - start;
         let outer: usize = self.shape[..axis].iter().product();
@@ -226,7 +270,10 @@ impl Tensor {
             let base = o * a * inner;
             data.extend_from_slice(&self.data[base + start * inner..base + end * inner]);
         }
-        Tensor { shape: out_shape, data }
+        Tensor {
+            shape: out_shape,
+            data,
+        }
     }
 
     /// Select rows (axis 0) by index, producing shape `[indices.len(), rest…]`.
@@ -238,17 +285,32 @@ impl Tensor {
         out_shape[0] = indices.len();
         let mut data = Vec::with_capacity(indices.len() * row);
         for &i in indices {
-            assert!(i < self.shape[0], "index {i} out of bounds for dim {}", self.shape[0]);
+            assert!(
+                i < self.shape[0],
+                "index {i} out of bounds for dim {}",
+                self.shape[0]
+            );
             data.extend_from_slice(&self.data[i * row..(i + 1) * row]);
         }
-        Tensor { shape: out_shape, data }
+        Tensor {
+            shape: out_shape,
+            data,
+        }
     }
 
     /// Scatter-add rows into a zero tensor of `dim0` rows: the reverse of
     /// [`Tensor::index_select0`]. Duplicate indices accumulate.
     pub fn index_add0(&self, indices: &[usize], dim0: usize) -> Self {
-        assert_eq!(self.shape[0], indices.len(), "index_add0 row count mismatch");
-        let row = if indices.is_empty() { 0 } else { self.data.len() / indices.len() };
+        assert_eq!(
+            self.shape[0],
+            indices.len(),
+            "index_add0 row count mismatch"
+        );
+        let row = if indices.is_empty() {
+            0
+        } else {
+            self.data.len() / indices.len()
+        };
         let mut out_shape = self.shape.clone();
         out_shape[0] = dim0;
         let mut out = Tensor::zeros(out_shape);
@@ -284,10 +346,12 @@ impl Tensor {
                 .zip(&rhs.data)
                 .map(|(&a, &b)| f(a, b))
                 .collect();
-            return Tensor { shape: self.shape.clone(), data };
+            return Tensor {
+                shape: self.shape.clone(),
+                data,
+            };
         }
-        let out_shape = broadcast_shapes(&self.shape, &rhs.shape)
-            .unwrap_or_else(|e| panic!("{e}"));
+        let out_shape = broadcast_shapes(&self.shape, &rhs.shape).unwrap_or_else(|e| panic!("{e}"));
         let ls = broadcast_strides(&self.shape, &out_shape);
         let rs = broadcast_strides(&rhs.shape, &out_shape);
         let mut out = Tensor::zeros(out_shape.clone());
@@ -392,7 +456,10 @@ impl Tensor {
                 }
             }
         }
-        Tensor { shape: out_shape, data }
+        Tensor {
+            shape: out_shape,
+            data,
+        }
     }
 
     /// Mean along `axis`, keeping the axis as size 1 when `keepdim`.
@@ -599,6 +666,24 @@ mod tests {
         // Numerical stability: huge logits must not produce NaN.
         assert!(s.is_finite());
         assert!((s.data()[3] - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn finite_checks_and_clamp() {
+        let ok = Tensor::from_vec(vec![1.0, -2.0], vec![2]);
+        assert!(ok.is_finite());
+        assert_eq!(ok.count_non_finite(), 0);
+        assert_eq!(ok.first_non_finite(), None);
+
+        let bad = Tensor::from_vec(vec![1.0, f32::NAN, f32::INFINITY], vec![3]);
+        assert!(!bad.is_finite());
+        assert_eq!(bad.count_non_finite(), 2);
+        let (i, v) = bad.first_non_finite().unwrap();
+        assert_eq!(i, 1);
+        assert!(v.is_nan());
+
+        let c = bad.clamp(-1.0, 1.0);
+        assert_eq!(c.data(), &[1.0, -1.0, 1.0]);
     }
 
     #[test]

@@ -46,7 +46,8 @@ impl Dataset {
         proj: Projection,
         lg: usize,
     ) -> Self {
-        let (mut kept, _report) = preprocess::apply(std::mem::take(&mut trips), &proj, &Filter::default());
+        let (mut kept, _report) =
+            preprocess::apply(std::mem::take(&mut trips), &proj, &Filter::default());
         assert!(kept.len() >= 10, "dataset too small after preprocessing");
         kept.sort_by(|a, b| a.departure().total_cmp(&b.departure()));
         let grid = GridSpec::covering(&kept, lg);
@@ -237,7 +238,10 @@ mod tests {
     fn train_percent_preserves_val_and_test() {
         let d = tiny();
         let half = d.with_train_percent(50);
-        assert_eq!(half.split(Split::Train).len(), d.split(Split::Train).len() / 2);
+        assert_eq!(
+            half.split(Split::Train).len(),
+            d.split(Split::Train).len() / 2
+        );
         assert_eq!(half.split(Split::Val), d.split(Split::Val));
         assert_eq!(half.split(Split::Test), d.split(Split::Test));
         assert!(half.network.is_some());

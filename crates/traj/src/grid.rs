@@ -20,7 +20,10 @@ impl GridSpec {
     /// Build a grid over an explicit bounding box.
     pub fn new(min: LngLat, max: LngLat, lg: usize) -> Self {
         assert!(lg >= 2, "grid needs at least 2 segments per axis");
-        assert!(max.lng > min.lng && max.lat > min.lat, "degenerate bounding box");
+        assert!(
+            max.lng > min.lng && max.lat > min.lat,
+            "degenerate bounding box"
+        );
         GridSpec { min, max, lg }
     }
 
@@ -28,8 +31,14 @@ impl GridSpec {
     /// padded so boundary points fall strictly inside ("usually, the area
     /// covering all historical trajectories").
     pub fn covering(trajectories: &[Trajectory], lg: usize) -> Self {
-        let mut min = LngLat { lng: f64::INFINITY, lat: f64::INFINITY };
-        let mut max = LngLat { lng: f64::NEG_INFINITY, lat: f64::NEG_INFINITY };
+        let mut min = LngLat {
+            lng: f64::INFINITY,
+            lat: f64::INFINITY,
+        };
+        let mut max = LngLat {
+            lng: f64::NEG_INFINITY,
+            lat: f64::NEG_INFINITY,
+        };
         for t in trajectories {
             for p in &t.points {
                 min.lng = min.lng.min(p.loc.lng);
@@ -42,8 +51,14 @@ impl GridSpec {
         let pad_lng = (max.lng - min.lng).max(1e-9) * 1e-4;
         let pad_lat = (max.lat - min.lat).max(1e-9) * 1e-4;
         GridSpec::new(
-            LngLat { lng: min.lng - pad_lng, lat: min.lat - pad_lat },
-            LngLat { lng: max.lng + pad_lng, lat: max.lat + pad_lat },
+            LngLat {
+                lng: min.lng - pad_lng,
+                lat: min.lat - pad_lat,
+            },
+            LngLat {
+                lng: max.lng + pad_lng,
+                lat: max.lat + pad_lat,
+            },
             lg,
         )
     }
@@ -104,15 +119,39 @@ mod tests {
     #[test]
     fn corners_map_to_corner_cells() {
         let g = grid();
-        assert_eq!(g.cell_of(LngLat { lng: 0.01, lat: 0.01 }), (0, 0));
-        assert_eq!(g.cell_of(LngLat { lng: 0.99, lat: 0.99 }), (3, 3));
-        assert_eq!(g.cell_of(LngLat { lng: 0.99, lat: 0.01 }), (0, 3));
+        assert_eq!(
+            g.cell_of(LngLat {
+                lng: 0.01,
+                lat: 0.01
+            }),
+            (0, 0)
+        );
+        assert_eq!(
+            g.cell_of(LngLat {
+                lng: 0.99,
+                lat: 0.99
+            }),
+            (3, 3)
+        );
+        assert_eq!(
+            g.cell_of(LngLat {
+                lng: 0.99,
+                lat: 0.01
+            }),
+            (0, 3)
+        );
     }
 
     #[test]
     fn out_of_area_clamps() {
         let g = grid();
-        assert_eq!(g.cell_of(LngLat { lng: -5.0, lat: 2.0 }), (3, 0));
+        assert_eq!(
+            g.cell_of(LngLat {
+                lng: -5.0,
+                lat: 2.0
+            }),
+            (3, 0)
+        );
     }
 
     #[test]
@@ -141,8 +180,20 @@ mod tests {
     #[test]
     fn covering_encloses_all_points() {
         let t = Trajectory::new(vec![
-            GpsPoint { loc: LngLat { lng: 104.0, lat: 30.6 }, t: 0.0 },
-            GpsPoint { loc: LngLat { lng: 104.2, lat: 30.8 }, t: 60.0 },
+            GpsPoint {
+                loc: LngLat {
+                    lng: 104.0,
+                    lat: 30.6,
+                },
+                t: 0.0,
+            },
+            GpsPoint {
+                loc: LngLat {
+                    lng: 104.2,
+                    lat: 30.8,
+                },
+                t: 60.0,
+            },
         ]);
         let g = GridSpec::covering(&[t.clone()], 8);
         for p in &t.points {

@@ -150,7 +150,10 @@ impl Pit {
                 }
             }
         }
-        Pit { tensor: t, lg: self.lg }
+        Pit {
+            tensor: t,
+            lg: self.lg,
+        }
     }
 }
 
@@ -172,9 +175,18 @@ mod tests {
         // Mirrors Example 2's structure: three points in three cells, at
         // 9:00, 9:36 and 12:00.
         Trajectory::new(vec![
-            GpsPoint { loc: LngLat { lng: 0.5, lat: 0.5 }, t: 9.0 * 3600.0 },
-            GpsPoint { loc: LngLat { lng: 1.5, lat: 1.5 }, t: 9.6 * 3600.0 },
-            GpsPoint { loc: LngLat { lng: 2.5, lat: 2.5 }, t: 12.0 * 3600.0 },
+            GpsPoint {
+                loc: LngLat { lng: 0.5, lat: 0.5 },
+                t: 9.0 * 3600.0,
+            },
+            GpsPoint {
+                loc: LngLat { lng: 1.5, lat: 1.5 },
+                t: 9.6 * 3600.0,
+            },
+            GpsPoint {
+                loc: LngLat { lng: 2.5, lat: 2.5 },
+                t: 12.0 * 3600.0,
+            },
         ])
     }
 
@@ -203,9 +215,18 @@ mod tests {
     fn earliest_point_wins_cell() {
         let grid = simple_grid();
         let t = Trajectory::new(vec![
-            GpsPoint { loc: LngLat { lng: 0.5, lat: 0.5 }, t: 100.0 },
-            GpsPoint { loc: LngLat { lng: 0.6, lat: 0.6 }, t: 200.0 }, // same cell, later
-            GpsPoint { loc: LngLat { lng: 2.5, lat: 2.5 }, t: 300.0 },
+            GpsPoint {
+                loc: LngLat { lng: 0.5, lat: 0.5 },
+                t: 100.0,
+            },
+            GpsPoint {
+                loc: LngLat { lng: 0.6, lat: 0.6 },
+                t: 200.0,
+            }, // same cell, later
+            GpsPoint {
+                loc: LngLat { lng: 2.5, lat: 2.5 },
+                t: 300.0,
+            },
         ]);
         let pit = Pit::from_trajectory(&t, &grid);
         // Offset of cell (0,0) must reflect t=100 (the earliest), i.e. -1.
@@ -250,8 +271,14 @@ mod tests {
     fn instant_trajectory_does_not_divide_by_zero() {
         let grid = simple_grid();
         let t = Trajectory::new(vec![
-            GpsPoint { loc: LngLat { lng: 0.5, lat: 0.5 }, t: 50.0 },
-            GpsPoint { loc: LngLat { lng: 2.5, lat: 0.5 }, t: 50.0 },
+            GpsPoint {
+                loc: LngLat { lng: 0.5, lat: 0.5 },
+                t: 50.0,
+            },
+            GpsPoint {
+                loc: LngLat { lng: 2.5, lat: 0.5 },
+                t: 50.0,
+            },
         ]);
         let pit = Pit::from_trajectory(&t, &grid);
         assert!(pit.tensor().is_finite());

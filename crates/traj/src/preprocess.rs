@@ -108,7 +108,10 @@ mod tests {
     use odt_roadnet::{LngLat, Point};
 
     fn proj() -> Projection {
-        Projection::new(LngLat { lng: 104.0, lat: 30.0 })
+        Projection::new(LngLat {
+            lng: 104.0,
+            lat: 30.0,
+        })
     }
 
     /// A straight trip of `dist` meters over `secs` seconds with `n` fixes.
@@ -160,11 +163,11 @@ mod tests {
     #[test]
     fn report_counts_reasons() {
         let trips = vec![
-            trip(3_000.0, 900.0, 40),  // keep
-            trip(400.0, 900.0, 40),    // short distance
-            trip(3_000.0, 100.0, 10),  // short time
-            trip(3_000.0, 4_000.0, 99),// long
-            trip(3_000.0, 900.0, 4),   // sparse
+            trip(3_000.0, 900.0, 40),   // keep
+            trip(400.0, 900.0, 40),     // short distance
+            trip(3_000.0, 100.0, 10),   // short time
+            trip(3_000.0, 4_000.0, 99), // long
+            trip(3_000.0, 900.0, 4),    // sparse
         ];
         let (kept, report) = apply(trips, &proj(), &Filter::default());
         assert_eq!(kept.len(), 1);

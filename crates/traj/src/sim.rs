@@ -123,7 +123,10 @@ impl CitySimConfig {
             ny: 20,
             spacing_m: 800.0,
             arterial_every: 4,
-            origin: LngLat { lng: 103.95, lat: 30.60 },
+            origin: LngLat {
+                lng: 103.95,
+                lat: 30.60,
+            },
             epoch_start: 1_541_030_400.0, // 2018-11-01 00:00 UTC
             num_days: 10,
             mean_sample_interval_s: 29.0,
@@ -132,10 +135,30 @@ impl CitySimConfig {
             od_distance_decay_m: 1_150.0,
             min_od_distance_m: 700.0,
             hotspots: vec![
-                Hotspot { fx: 0.5, fy: 0.5, weight: 3.0, sigma_m: 2_500.0 },
-                Hotspot { fx: 0.25, fy: 0.7, weight: 1.5, sigma_m: 1_800.0 },
-                Hotspot { fx: 0.75, fy: 0.3, weight: 1.5, sigma_m: 1_800.0 },
-                Hotspot { fx: 0.15, fy: 0.15, weight: 1.0, sigma_m: 2_000.0 },
+                Hotspot {
+                    fx: 0.5,
+                    fy: 0.5,
+                    weight: 3.0,
+                    sigma_m: 2_500.0,
+                },
+                Hotspot {
+                    fx: 0.25,
+                    fy: 0.7,
+                    weight: 1.5,
+                    sigma_m: 1_800.0,
+                },
+                Hotspot {
+                    fx: 0.75,
+                    fy: 0.3,
+                    weight: 1.5,
+                    sigma_m: 1_800.0,
+                },
+                Hotspot {
+                    fx: 0.15,
+                    fy: 0.15,
+                    weight: 1.0,
+                    sigma_m: 2_000.0,
+                },
             ],
             route_choice_beta: 0.8,
             speed_scale: 0.60,
@@ -154,7 +177,10 @@ impl CitySimConfig {
             ny: 23,
             spacing_m: 800.0,
             arterial_every: 4,
-            origin: LngLat { lng: 126.53, lat: 45.75 },
+            origin: LngLat {
+                lng: 126.53,
+                lat: 45.75,
+            },
             epoch_start: 1_420_243_200.0, // 2015-01-03 00:00 UTC
             num_days: 5,
             mean_sample_interval_s: 44.0,
@@ -163,9 +189,24 @@ impl CitySimConfig {
             od_distance_decay_m: 1_200.0,
             min_od_distance_m: 700.0,
             hotspots: vec![
-                Hotspot { fx: 0.45, fy: 0.55, weight: 3.0, sigma_m: 2_800.0 },
-                Hotspot { fx: 0.7, fy: 0.25, weight: 1.5, sigma_m: 2_000.0 },
-                Hotspot { fx: 0.2, fy: 0.4, weight: 1.2, sigma_m: 2_000.0 },
+                Hotspot {
+                    fx: 0.45,
+                    fy: 0.55,
+                    weight: 3.0,
+                    sigma_m: 2_800.0,
+                },
+                Hotspot {
+                    fx: 0.7,
+                    fy: 0.25,
+                    weight: 1.5,
+                    sigma_m: 2_000.0,
+                },
+                Hotspot {
+                    fx: 0.2,
+                    fy: 0.4,
+                    weight: 1.2,
+                    sigma_m: 2_000.0,
+                },
             ],
             route_choice_beta: 0.7,
             speed_scale: 0.57,
@@ -431,12 +472,7 @@ impl CitySim {
     }
 
     /// Interpolated, noisy GPS fix at absolute time `at`.
-    fn fix_at(
-        &self,
-        breakpoints: &[(f64, f64, Point)],
-        at: f64,
-        rng: &mut impl Rng,
-    ) -> GpsPoint {
+    fn fix_at(&self, breakpoints: &[(f64, f64, Point)], at: f64, rng: &mut impl Rng) -> GpsPoint {
         let pos = interpolate(breakpoints, at);
         let noise = self.config.gps_noise_m;
         let noisy = Point::new(pos.x + randn(rng) * noise, pos.y + randn(rng) * noise);
@@ -504,7 +540,10 @@ mod tests {
             assert!(t.len() >= 2);
             assert!(t.travel_time() > 0.0);
             // All fixes inside (a padded) city extent.
-            let (ex, ey) = ((sim.config.nx - 1) as f64 * 800.0, (sim.config.ny - 1) as f64 * 800.0);
+            let (ex, ey) = (
+                (sim.config.nx - 1) as f64 * 800.0,
+                (sim.config.ny - 1) as f64 * 800.0,
+            );
             for p in &t.points {
                 let q = sim.projection().to_point(p.loc);
                 assert!(q.x > -500.0 && q.x < ex + 500.0, "x {}", q.x);
@@ -551,7 +590,10 @@ mod tests {
         let outlier_sim = CitySim::new(cfg_out);
         let mut rng1 = StdRng::seed_from_u64(4);
         let mut rng2 = StdRng::seed_from_u64(4);
-        let proj = Projection::new(LngLat { lng: 103.95, lat: 30.60 });
+        let proj = Projection::new(LngLat {
+            lng: 103.95,
+            lat: 30.60,
+        });
         let n: f64 = normal_sim
             .generate(40, &mut rng1)
             .iter()

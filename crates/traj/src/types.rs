@@ -62,10 +62,7 @@ impl Trajectory {
     pub fn travel_distance(&self, proj: &Projection) -> f64 {
         self.points
             .windows(2)
-            .map(|w| {
-                proj.to_point(w[0].loc)
-                    .distance(&proj.to_point(w[1].loc))
-            })
+            .map(|w| proj.to_point(w[0].loc).distance(&proj.to_point(w[1].loc)))
             .sum()
     }
 
@@ -128,19 +125,28 @@ mod tests {
     use super::*;
 
     fn pt(lng: f64, lat: f64, t: f64) -> GpsPoint {
-        GpsPoint { loc: LngLat { lng, lat }, t }
+        GpsPoint {
+            loc: LngLat { lng, lat },
+            t,
+        }
     }
 
     #[test]
     fn travel_time_is_arrival_minus_departure() {
         // Example 1: departs 8:00, arrives 8:15 -> 15 min.
-        let t = Trajectory::new(vec![pt(104.0, 30.6, 8.0 * 3600.0), pt(104.01, 30.61, 8.25 * 3600.0)]);
+        let t = Trajectory::new(vec![
+            pt(104.0, 30.6, 8.0 * 3600.0),
+            pt(104.01, 30.61, 8.25 * 3600.0),
+        ]);
         assert_eq!(t.travel_time(), 900.0);
     }
 
     #[test]
     fn distance_uses_projection() {
-        let proj = Projection::new(LngLat { lng: 104.0, lat: 30.0 });
+        let proj = Projection::new(LngLat {
+            lng: 104.0,
+            lat: 30.0,
+        });
         let a = proj.to_lnglat(odt_roadnet::Point::new(0.0, 0.0));
         let b = proj.to_lnglat(odt_roadnet::Point::new(300.0, 400.0));
         let t = Trajectory::new(vec![
@@ -152,7 +158,11 @@ mod tests {
 
     #[test]
     fn mean_interval() {
-        let t = Trajectory::new(vec![pt(0.0, 0.0, 0.0), pt(0.0, 0.0, 30.0), pt(0.0, 0.0, 90.0)]);
+        let t = Trajectory::new(vec![
+            pt(0.0, 0.0, 0.0),
+            pt(0.0, 0.0, 30.0),
+            pt(0.0, 0.0, 90.0),
+        ]);
         assert_eq!(t.mean_sample_interval(), 45.0);
     }
 

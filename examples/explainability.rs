@@ -50,7 +50,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(3);
     let est = model.estimate(&query, &mut rng);
 
-    println!("\nground-truth PiT (actual {:.1} min):", trip.travel_time() / 60.0);
+    println!(
+        "\nground-truth PiT (actual {:.1} min):",
+        trip.travel_time() / 60.0
+    );
     println!("{}", render(&truth));
     println!("inferred PiT (estimated {:.1} min):", est.seconds / 60.0);
     println!("{}", render(&est.pit));
@@ -59,7 +62,10 @@ fn main() {
     let day0 = query.t_dep - query.second_of_day();
     println!("same OD pair at different departure times:");
     for hour in [8.5f64, 14.0, 18.0] {
-        let q = OdtInput { t_dep: day0 + hour * 3_600.0, ..query };
+        let q = OdtInput {
+            t_dep: day0 + hour * 3_600.0,
+            ..query
+        };
         let e = model.estimate(&q, &mut rng);
         println!(
             "\ndeparting {:04.1}h → estimated {:.1} min, route:",

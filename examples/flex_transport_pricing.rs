@@ -30,10 +30,17 @@ fn main() {
     sim.ny = 12;
     sim.outlier_rate = 0.15;
     let data = Dataset::simulated(sim, 700, 12, 21);
-    println!("{} trips, {:.0}% are outlier detours by construction", data.trips.len(), 15.0);
+    println!(
+        "{} trips, {:.0}% are outlier detours by construction",
+        data.trips.len(),
+        15.0
+    );
 
     // Train both pricing back-ends on the same history.
-    let ctx = OracleContext { grid: data.grid, proj: data.proj };
+    let ctx = OracleContext {
+        grid: data.grid,
+        proj: data.proj,
+    };
     let temp = Temp::fit(ctx, data.split(Split::Train));
 
     let mut cfg = DotConfig::fast();
@@ -59,8 +66,14 @@ fn main() {
         n += 1;
     }
     println!("\nmean absolute billing error over {n} trips:");
-    println!("  TEMP (history averaging): €{:.2} per trip", temp_err / n as f64);
-    println!("  DOT (diffusion oracle):   €{:.2} per trip", dot_err / n as f64);
+    println!(
+        "  TEMP (history averaging): €{:.2} per trip",
+        temp_err / n as f64
+    );
+    println!(
+        "  DOT (diffusion oracle):   €{:.2} per trip",
+        dot_err / n as f64
+    );
     if dot_err < temp_err {
         println!("\nDOT prices closer to the true cost: outlier detours no longer inflate fares.");
     } else {

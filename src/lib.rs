@@ -53,6 +53,9 @@ pub use odt_traj as traj;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
-    pub use odt_core::{AblationOptions, Dot, DotConfig, Estimate, EstimatorKind};
+    pub use odt_core::{
+        AblationOptions, Dot, DotConfig, Estimate, EstimatorKind, PersistError, RobustnessOptions,
+        RobustnessSnapshot,
+    };
     pub use odt_traj::{Dataset, GpsPoint, GridSpec, OdtInput, Pit, Split, Trajectory};
 }

@@ -3,8 +3,8 @@
 //! paper's Figure 1 outlier scenario behaves as described.
 
 use odt::baselines::{
-    DeepOd, DeepStRouter, DeepTea, DijkstraRouter, Gbm, LinearRegression, Murat,
-    NeuralConfig, OdtOracle, OracleContext, Rne, Router, StNn, Stdgcn, Temp, Wddra,
+    DeepOd, DeepStRouter, DeepTea, DijkstraRouter, Gbm, LinearRegression, Murat, NeuralConfig,
+    OdtOracle, OracleContext, Rne, Router, StNn, Stdgcn, Temp, Wddra,
 };
 use odt::prelude::*;
 use odt::traj::sim::CitySimConfig;
@@ -17,13 +17,19 @@ fn dataset() -> Dataset {
 }
 
 fn quick_neural() -> NeuralConfig {
-    NeuralConfig { iters: 40, ..Default::default() }
+    NeuralConfig {
+        iters: 40,
+        ..Default::default()
+    }
 }
 
 #[test]
 fn every_baseline_answers_every_query() {
     let data = dataset();
-    let ctx = OracleContext { grid: data.grid, proj: data.proj };
+    let ctx = OracleContext {
+        grid: data.grid,
+        proj: data.proj,
+    };
     let net = data.network.clone().unwrap();
     let train = data.split(Split::Train);
     let neural = quick_neural();
@@ -67,7 +73,10 @@ fn model_sizes_are_ordered_sensibly() {
     // Paper Table 5 shape: LR and GBM are tiny; neural models are larger;
     // TEMP scales with the training set.
     let data = dataset();
-    let ctx = OracleContext { grid: data.grid, proj: data.proj };
+    let ctx = OracleContext {
+        grid: data.grid,
+        proj: data.proj,
+    };
     let train = data.split(Split::Train);
     let neural = quick_neural();
     let lr = LinearRegression::fit(ctx, train);
@@ -88,7 +97,10 @@ fn deeptea_filters_simulated_outliers() {
     cfg.ny = 10;
     cfg.outlier_rate = 0.25;
     let data = Dataset::simulated(cfg, 350, 10, 23);
-    let ctx = OracleContext { grid: data.grid, proj: data.proj };
+    let ctx = OracleContext {
+        grid: data.grid,
+        proj: data.proj,
+    };
     let train = data.split(Split::Train);
     let tea = DeepTea::fit(ctx, train);
     let kept = tea.filter(train, 0.2);
@@ -103,9 +115,7 @@ fn deeptea_filters_simulated_outliers() {
             .max(1.0);
         t.travel_distance(&ctx.proj) / crow
     };
-    let mean_circ = |ts: &[Trajectory]| {
-        ts.iter().map(circuity).sum::<f64>() / ts.len() as f64
-    };
+    let mean_circ = |ts: &[Trajectory]| ts.iter().map(circuity).sum::<f64>() / ts.len() as f64;
     let dropped: Vec<Trajectory> = train
         .iter()
         .filter(|t| !kept.contains(t))
@@ -126,7 +136,10 @@ fn figure1_scenario_temp_vs_dot_estimator_story() {
     // 35-minute detour between the same OD at the same hour. TEMP answers
     // the polluted average (20 min) by construction.
     use odt::roadnet::{LngLat, Point, Projection};
-    let proj = Projection::new(LngLat { lng: 104.0, lat: 30.6 });
+    let proj = Projection::new(LngLat {
+        lng: 104.0,
+        lat: 30.6,
+    });
     let grid = GridSpec::new(
         proj.to_lnglat(Point::new(-500.0, -500.0)),
         proj.to_lnglat(Point::new(5_000.0, 5_000.0)),
@@ -135,8 +148,14 @@ fn figure1_scenario_temp_vs_dot_estimator_story() {
     let ctx = OracleContext { grid, proj };
     let mk = |offset_m: f64, t0: f64, tt: f64| {
         Trajectory::new(vec![
-            GpsPoint { loc: proj.to_lnglat(Point::new(offset_m, 0.0)), t: t0 },
-            GpsPoint { loc: proj.to_lnglat(Point::new(3_000.0 + offset_m, 0.0)), t: t0 + tt },
+            GpsPoint {
+                loc: proj.to_lnglat(Point::new(offset_m, 0.0)),
+                t: t0,
+            },
+            GpsPoint {
+                loc: proj.to_lnglat(Point::new(3_000.0 + offset_m, 0.0)),
+                t: t0 + tt,
+            },
         ])
     };
     let trips = vec![
@@ -152,5 +171,8 @@ fn figure1_scenario_temp_vs_dot_estimator_story() {
         t_dep: 8.16 * 3600.0,
     };
     let pred = temp.predict_seconds(&q);
-    assert!((pred - 1_200.0).abs() < 1.0, "TEMP should answer 20 min, got {pred}");
+    assert!(
+        (pred - 1_200.0).abs() < 1.0,
+        "TEMP should answer 20 min, got {pred}"
+    );
 }

@@ -36,7 +36,11 @@ fn full_pipeline_produces_usable_oracle() {
     for trip in data.split(Split::Test).iter().take(3) {
         let est = model.estimate(&OdtInput::from_trajectory(trip), &mut rng);
         assert!(est.seconds.is_finite() && est.seconds >= 0.0);
-        assert!(est.seconds < 4.0 * 3_600.0, "implausible estimate {}", est.seconds);
+        assert!(
+            est.seconds < 4.0 * 3_600.0,
+            "implausible estimate {}",
+            est.seconds
+        );
         assert_eq!(est.pit.lg(), 8);
         assert!(est.pit.tensor().is_finite());
     }
@@ -69,7 +73,10 @@ fn checkpoint_round_trip_through_disk() {
     model.save(&path).unwrap();
     let restored = Dot::load(&path).unwrap();
     let pit = Pit::from_trajectory(&data.split(Split::Test)[0], &data.grid);
-    assert_eq!(model.estimate_from_pit(&pit), restored.estimate_from_pit(&pit));
+    assert_eq!(
+        model.estimate_from_pit(&pit),
+        restored.estimate_from_pit(&pit)
+    );
     std::fs::remove_file(&path).ok();
 }
 
@@ -78,11 +85,7 @@ fn stage2_retraining_swaps_estimator() {
     let data = tiny_dataset();
     let mut model = Dot::train(tiny_config(), &data, |_| {});
     let (s1_before, _) = model.param_counts();
-    model.retrain_stage2(
-        |c| c.ablation.estimator = EstimatorKind::Cnn,
-        &data,
-        |_| {},
-    );
+    model.retrain_stage2(|c| c.ablation.estimator = EstimatorKind::Cnn, &data, |_| {});
     let (s1_after, s2_after) = model.param_counts();
     assert_eq!(s1_before, s1_after, "stage 1 must be untouched");
     assert!(s2_after > 0);

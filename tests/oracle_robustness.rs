@@ -45,11 +45,20 @@ fn weird_queries(data: &Dataset) -> Vec<OdtInput> {
             ..base
         },
         // Zero-distance query.
-        OdtInput { dest: base.origin, ..base },
+        OdtInput {
+            dest: base.origin,
+            ..base
+        },
         // Departure just before midnight.
-        OdtInput { t_dep: base.t_dep - base.second_of_day() + 86_395.0, ..base },
+        OdtInput {
+            t_dep: base.t_dep - base.second_of_day() + 86_395.0,
+            ..base
+        },
         // Departure decades in the future (different day arithmetic).
-        OdtInput { t_dep: base.t_dep + 50.0 * 365.25 * 86_400.0, ..base },
+        OdtInput {
+            t_dep: base.t_dep + 50.0 * 365.25 * 86_400.0,
+            ..base
+        },
     ]
 }
 
@@ -70,9 +79,65 @@ fn oracle_survives_degenerate_queries() {
 }
 
 #[test]
+fn fast_ddim_path_survives_degenerate_queries() {
+    let data = dataset();
+    let model = tiny_model(&data);
+    let mut rng = StdRng::seed_from_u64(6);
+    for (i, q) in weird_queries(&data).iter().enumerate() {
+        // The accelerated serving path: DDIM PiT inference + guardrails.
+        let est = model.estimate_fast(q, 4, &mut rng);
+        assert!(
+            est.seconds.is_finite() && est.seconds >= 0.0,
+            "fast query {i} produced {}",
+            est.seconds
+        );
+        assert!(
+            est.pit.tensor().is_finite(),
+            "fast query {i} produced NaN PiT"
+        );
+        // And the raw batch API used by the eval harness.
+        let pits = model.infer_pits_fast(std::slice::from_ref(q), 4, &mut rng);
+        assert!(pits[0].tensor().is_finite());
+    }
+    // The far-outside-grid and zero-distance queries needed clamping.
+    assert!(model.robustness().queries_clamped > 0);
+}
+
+#[test]
+fn degenerate_pit_falls_back_to_distance_prior() {
+    let data = dataset();
+    let model = tiny_model(&data);
+    let q = OdtInput::from_trajectory(&data.trips[0]);
+
+    // Force degenerate PiTs through the guarded estimator: an empty one
+    // and a saturated one (as if the reverse chain collapsed).
+    let lg = model.grid().lg;
+    let empty = Pit::from_tensor(odt::tensor::Tensor::full(vec![3, lg, lg], -1.0));
+    let saturated = Pit::from_tensor(odt::tensor::Tensor::full(vec![3, lg, lg], 1.0));
+    let expected = odt::dot::fallback_estimate_seconds(&q);
+    for pit in [empty, saturated] {
+        let est = model.estimate_from_pit_guarded(&q, pit);
+        assert!(est.seconds.is_finite() && est.seconds >= 0.0);
+        assert_eq!(est.seconds, expected, "fallback prior must answer");
+    }
+    let snap = model.robustness();
+    assert_eq!(snap.degenerate_pits, 2, "{snap}");
+    assert_eq!(snap.fallbacks_taken, 2, "{snap}");
+
+    // A healthy PiT keeps using the learned estimator.
+    let healthy = Pit::from_trajectory(&data.trips[0], &data.grid);
+    let est = model.estimate_from_pit_guarded(&q, healthy.clone());
+    assert_eq!(est.seconds, model.estimate_from_pit(&healthy));
+    assert_eq!(model.robustness().fallbacks_taken, 2);
+}
+
+#[test]
 fn baselines_survive_degenerate_queries() {
     let data = dataset();
-    let ctx = OracleContext { grid: data.grid, proj: data.proj };
+    let ctx = OracleContext {
+        grid: data.grid,
+        proj: data.proj,
+    };
     let train = data.split(Split::Train);
     let temp = Temp::fit(ctx, train);
     let lr = LinearRegression::fit(ctx, train);
