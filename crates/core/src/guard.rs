@@ -88,6 +88,21 @@ impl RobustnessStats {
         }
     }
 
+    /// Publish the counters as `robustness.*` gauges in the global
+    /// [`odt_obs`] metrics registry, so robustness accounting shows up in
+    /// metrics summaries and `--telemetry` dumps alongside latency
+    /// histograms. Gauges (not counters) because the registry is global
+    /// while stats are per-model: the latest publish wins.
+    pub fn publish_gauges(&self) {
+        let s = self.snapshot();
+        odt_obs::gauge("robustness.watchdog_trips").set(s.watchdog_trips as f64);
+        odt_obs::gauge("robustness.batches_skipped").set(s.batches_skipped as f64);
+        odt_obs::gauge("robustness.rollbacks").set(s.rollbacks as f64);
+        odt_obs::gauge("robustness.queries_clamped").set(s.queries_clamped as f64);
+        odt_obs::gauge("robustness.degenerate_pits").set(s.degenerate_pits as f64);
+        odt_obs::gauge("robustness.fallbacks_taken").set(s.fallbacks_taken as f64);
+    }
+
     /// Rebuild counters from a snapshot (checkpoint restore).
     pub fn from_snapshot(s: RobustnessSnapshot) -> Self {
         RobustnessStats {

@@ -35,6 +35,17 @@
 //!   to a haversine-speed prior when PiT inference degenerates; every
 //!   defensive action is counted in [`RobustnessStats`], surfaced via
 //!   [`Dot::robustness`].
+//!
+//! ## Observability layer
+//!
+//! Training and serving are instrumented through [`odt_obs`]: typed events
+//! (`train.*`, `serve.*`) replace ad-hoc progress strings — the legacy
+//! `progress: impl FnMut(&str)` callbacks still work, fed the `message()`
+//! of each event — per-iteration and per-query latencies land in named
+//! histograms (`train.stage1.iter`, `serve.query.full`,
+//! `serve.query.fallback`), and robustness counters are published as
+//! `robustness.*` gauges. See DESIGN.md §7 for the event taxonomy and
+//! metric names.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -6,10 +6,26 @@ use crate::guard::{self, RobustnessSnapshot, RobustnessStats};
 use crate::train::TrainingReport;
 use odt_diffusion::{ConditionedDenoiser, Ddpm};
 use odt_estimator::PitEstimator;
+use odt_obs::{event, Level};
 use odt_roadnet::{Point, Projection};
 use odt_tensor::{Graph, Tensor};
 use odt_traj::{GridSpec, OdtInput, Pit};
 use rand::Rng;
+use std::time::Instant;
+
+/// Record one served query into the per-path latency histograms:
+/// `serve.query.fallback` when the answer came from the degraded-mode
+/// haversine prior, `serve.query.full` when the full DDPM → estimator
+/// pipeline produced it. `serve.queries` counts both.
+fn record_query_latency(start: Instant, fallback: bool) {
+    let hist = if fallback {
+        odt_obs::histogram("serve.query.fallback")
+    } else {
+        odt_obs::histogram("serve.query.full")
+    };
+    hist.record(start.elapsed());
+    odt_obs::counter("serve.queries").inc();
+}
 
 /// The output of the oracle: a travel time and the inferred PiT that
 /// explains it (§6.6's explainability analysis).
@@ -102,6 +118,7 @@ impl Dot {
         if odts.is_empty() {
             return Vec::new();
         }
+        let _span = odt_obs::span("oracle.infer_pits");
         let odts = self.sanitize_all(odts);
         let b = odts.len();
         let mut cond = Tensor::zeros(vec![b, 5]);
@@ -154,6 +171,7 @@ impl Dot {
         if odts.is_empty() {
             return Vec::new();
         }
+        let _span = odt_obs::span("oracle.infer_pits_ddim");
         let odts = self.sanitize_all(odts);
         let b = odts.len();
         let mut cond = Tensor::zeros(vec![b, 5]);
@@ -214,39 +232,66 @@ impl Dot {
     /// (empty/saturated reverse chain) or the estimator's output is
     /// non-finite, serve the haversine-speed prior instead (when
     /// `robustness.degraded_mode_fallback` is on) and count the fallback.
+    ///
+    /// Each call records into the per-path latency histograms
+    /// (`serve.query.full` / `serve.query.fallback`); fallback decisions
+    /// additionally emit `serve.fallback` events.
     pub fn estimate_from_pit_guarded(&self, odt: &OdtInput, pit: Pit) -> Estimate {
+        let t0 = Instant::now();
+        let (est, fallback) = self.guarded_inner(odt, pit);
+        record_query_latency(t0, fallback);
+        est
+    }
+
+    /// The guardrail decision logic; returns the estimate and whether the
+    /// degraded-mode fallback path produced it (the latency-histogram split
+    /// key of [`record_query_latency`]).
+    fn guarded_inner(&self, odt: &OdtInput, pit: Pit) -> (Estimate, bool) {
         let degenerate = guard::pit_is_degenerate(&pit);
         if degenerate {
             self.stats.record_degenerate_pit();
+            event(Level::Warn, "serve.degenerate_pit")
+                .field("visited", pit.num_visited())
+                .emit();
         }
         if self.cfg.robustness.degraded_mode_fallback {
             if degenerate {
                 self.stats.record_fallback();
+                event(Level::Warn, "serve.fallback")
+                    .field("reason", "degenerate_pit")
+                    .emit();
                 let seconds = guard::fallback_estimate_seconds(odt);
-                return Estimate { seconds, pit };
+                return (Estimate { seconds, pit }, true);
             }
             let seconds = self.estimate_from_pit(&pit);
             if !seconds.is_finite() {
                 self.stats.record_fallback();
+                event(Level::Warn, "serve.fallback")
+                    .field("reason", "non_finite_estimate")
+                    .emit();
                 let seconds = guard::fallback_estimate_seconds(odt);
-                return Estimate { seconds, pit };
+                return (Estimate { seconds, pit }, true);
             }
-            return Estimate { seconds, pit };
+            return (Estimate { seconds, pit }, false);
         }
         let seconds = self.estimate_from_pit(&pit);
-        Estimate { seconds, pit }
+        (Estimate { seconds, pit }, false)
     }
 
     /// The full ODT-Oracle (Eq. 1): sanitize the query, infer the PiT,
     /// then estimate the travel time from it — behind the degraded-mode
-    /// guardrails of [`Dot::estimate_from_pit_guarded`].
+    /// guardrails of [`Dot::estimate_from_pit_guarded`]. The recorded
+    /// query latency covers the whole pipeline, PiT inference included.
     pub fn estimate(&self, odt: &OdtInput, rng: &mut impl Rng) -> Estimate {
+        let t0 = Instant::now();
         let (clean, changed) = guard::sanitize_odt(odt, &self.grid);
         if changed {
             self.stats.record_query_clamped();
         }
         let pit = self.infer_pit(&clean, rng);
-        self.estimate_from_pit_guarded(&clean, pit)
+        let (est, fallback) = self.guarded_inner(&clean, pit);
+        record_query_latency(t0, fallback);
+        est
     }
 
     /// [`Dot::estimate`] over the accelerated DDIM sampler
@@ -258,6 +303,7 @@ impl Dot {
         sample_steps: usize,
         rng: &mut impl Rng,
     ) -> Estimate {
+        let t0 = Instant::now();
         let (clean, changed) = guard::sanitize_odt(odt, &self.grid);
         if changed {
             self.stats.record_query_clamped();
@@ -266,7 +312,9 @@ impl Dot {
             .infer_pits_fast(std::slice::from_ref(&clean), sample_steps, rng)
             .pop()
             .expect("one query in, one PiT out");
-        self.estimate_from_pit_guarded(&clean, pit)
+        let (est, fallback) = self.guarded_inner(&clean, pit);
+        record_query_latency(t0, fallback);
+        est
     }
 
     /// Total number of trainable scalars per stage, `(stage1, stage2)`.

@@ -25,6 +25,7 @@ use odt_estimator::MVitConfig as EstimatorMVitConfig;
 use odt_estimator::{CnnEstimator, EmbedderConfig, MVit, PitEstimator, VanillaVit};
 use odt_nn::serialize::StateDict;
 use odt_nn::{load_state_dict, state_dict, Adam, HasParams};
+use odt_obs::{event, Level};
 use odt_tensor::{Graph, Tensor};
 use odt_traj::{Dataset, GridSpec, OdtInput, Pit, Split, Trajectory};
 use rand::rngs::StdRng;
@@ -32,6 +33,56 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::time::Instant;
+
+/// Emit a typed event AND forward its human-readable message to the legacy
+/// `progress` callback — the backwards-compat shim of the observability
+/// layer: the callback behaves like one more [`odt_obs::Sink`] fed from the
+/// same event stream, so pre-telemetry callers keep seeing the strings they
+/// always did.
+fn notify(progress: &mut dyn FnMut(&str), builder: odt_obs::EventBuilder) {
+    let ev = builder.build();
+    progress(&ev.message());
+    odt_obs::emit(ev);
+}
+
+/// Every way checkpoint recovery can go sideways. All "checkpoint write
+/// failed / config mismatch / unusable" branches funnel through
+/// [`emit_ckpt_issue`] so the wording, event names and fields stay in one
+/// place instead of four hand-formatted strings.
+enum CkptIssue<'a> {
+    /// A periodic in-training checkpoint failed to persist.
+    WriteFailed {
+        /// Training stage (1 or 2) whose snapshot was being written.
+        stage: u8,
+        /// Iteration at which the write was attempted.
+        iter: usize,
+        /// The underlying persistence error.
+        err: &'a PersistError,
+    },
+    /// An existing checkpoint belongs to a different config.
+    ConfigMismatch,
+    /// An existing checkpoint failed integrity or parse checks.
+    Unusable(&'a PersistError),
+}
+
+/// The single funnel for checkpoint-recovery messaging (typed event +
+/// legacy progress string).
+fn emit_ckpt_issue(progress: &mut dyn FnMut(&str), issue: CkptIssue<'_>) {
+    let builder = match issue {
+        CkptIssue::WriteFailed { stage, iter, err } => {
+            event(Level::Error, "train.ckpt.write_failed")
+                .field("stage", stage)
+                .field("iter", iter)
+                .msg(format!("train checkpoint write failed: {err}"))
+        }
+        CkptIssue::ConfigMismatch => event(Level::Warn, "train.ckpt.config_mismatch")
+            .msg("training checkpoint config mismatch; starting fresh"),
+        CkptIssue::Unusable(e) => event(Level::Warn, "train.ckpt.unusable").msg(format!(
+            "training checkpoint unusable ({e}); starting fresh"
+        )),
+    };
+    notify(progress, builder);
+}
 
 /// Diagnostics collected while training.
 #[derive(Clone, Debug, Default)]
@@ -208,6 +259,19 @@ fn stack_pits(pits: &[&Tensor]) -> Tensor {
 impl Dot {
     /// Train the full two-stage pipeline on a dataset. `progress` receives
     /// occasional human-readable status lines.
+    ///
+    /// <div class="warning">
+    ///
+    /// **Soft-deprecated:** the `progress` callback predates the structured
+    /// observability layer and is kept only for backwards compatibility. It
+    /// now behaves as a sink over the typed event stream: every line it
+    /// receives is the `message()` of an [`odt_obs::Event`] that is also
+    /// emitted globally. New code should pass `|_| {}` and subscribe via
+    /// [`odt_obs::add_sink`] / read [`odt_obs::recent_events`] instead — the
+    /// events carry machine-readable fields (iteration, loss, stage) the
+    /// flat strings do not.
+    ///
+    /// </div>
     pub fn train(cfg: DotConfig, data: &Dataset, progress: impl FnMut(&str)) -> Dot {
         Self::train_impl(cfg, data, progress, TrainHooks::default(), None, None)
     }
@@ -246,22 +310,26 @@ impl Dot {
                     let same =
                         serde_json::to_string(&tc.cfg).ok() == serde_json::to_string(&cfg).ok();
                     if same {
-                        progress(&format!(
-                            "resuming training from {} (stage {}, iter {})",
-                            ckpt_path.display(),
-                            tc.stage,
-                            tc.next_iter
-                        ));
+                        notify(
+                            &mut progress,
+                            event(Level::Info, "train.resume")
+                                .field("stage", tc.stage)
+                                .field("iter", tc.next_iter)
+                                .msg(format!(
+                                    "resuming training from {} (stage {}, iter {})",
+                                    ckpt_path.display(),
+                                    tc.stage,
+                                    tc.next_iter
+                                )),
+                        );
                         Some(tc)
                     } else {
-                        progress("training checkpoint config mismatch; starting fresh");
+                        emit_ckpt_issue(&mut progress, CkptIssue::ConfigMismatch);
                         None
                     }
                 }
                 Err(e) => {
-                    progress(&format!(
-                        "training checkpoint unusable ({e}); starting fresh"
-                    ));
+                    emit_ckpt_issue(&mut progress, CkptIssue::Unusable(&e));
                     None
                 }
             }
@@ -367,14 +435,25 @@ impl Dot {
         let n = train.len();
 
         if stage1_start < cfg.stage1_iters {
-            progress(&format!(
-                "stage 1: training denoiser ({} params) on {} PiTs, iters {}..{}",
-                model.denoiser.num_params(),
-                n,
-                stage1_start,
-                cfg.stage1_iters
-            ));
+            notify(
+                &mut progress,
+                event(Level::Info, "train.stage1.start")
+                    .field("params", model.denoiser.num_params())
+                    .field("pits", n)
+                    .field("from", stage1_start)
+                    .field("to", cfg.stage1_iters)
+                    .msg(format!(
+                        "stage 1: training denoiser ({} params) on {} PiTs, iters {}..{}",
+                        model.denoiser.num_params(),
+                        n,
+                        stage1_start,
+                        cfg.stage1_iters
+                    )),
+            );
         }
+        // Resolved once before the loop: registry lookups take a mutex, the
+        // returned handles are lock-free atomics.
+        let iter_hist = odt_obs::histogram("train.stage1.iter");
         let t0 = Instant::now();
         let stage1_seconds_before = model.report.stage1_seconds;
         let params = model.denoiser.params();
@@ -387,6 +466,7 @@ impl Dot {
         let mut healthy_streak = 0usize;
         let mut final_loss = model.report.stage1_final_loss;
         for it in stage1_start..cfg.stage1_iters {
+            let iter_t0 = Instant::now();
             let mut brng = iter_rng(cfg.seed, STAGE1_SALT, it);
             opt.zero_grad();
             let idx: Vec<usize> = (0..cfg.stage1_batch)
@@ -439,8 +519,19 @@ impl Dot {
                                 stage1_final_loss: final_loss,
                                 robustness: model.stats.snapshot(),
                             };
-                            if let Err(e) = tc.save(path) {
-                                progress(&format!("train checkpoint write failed: {e}"));
+                            match tc.save(path) {
+                                Ok(()) => event(Level::Debug, "train.ckpt.saved")
+                                    .field("stage", 1u8)
+                                    .field("iter", it + 1)
+                                    .emit(),
+                                Err(e) => emit_ckpt_issue(
+                                    &mut progress,
+                                    CkptIssue::WriteFailed {
+                                        stage: 1,
+                                        iter: it,
+                                        err: &e,
+                                    },
+                                ),
                             }
                         }
                     }
@@ -448,9 +539,16 @@ impl Dot {
                 Verdict::Skip => {
                     model.stats.record_watchdog_trip();
                     model.stats.record_batch_skipped();
-                    progress(&format!(
-                        "stage 1 iter {it}: watchdog tripped (loss {loss_val}), batch skipped"
-                    ));
+                    notify(
+                        &mut progress,
+                        event(Level::Warn, "train.watchdog.trip")
+                            .field("stage", 1u8)
+                            .field("iter", it)
+                            .field("loss", loss_val)
+                            .msg(format!(
+                                "stage 1 iter {it}: watchdog tripped (loss {loss_val}), batch skipped"
+                            )),
+                    );
                 }
                 Verdict::Rollback => {
                     model.stats.record_watchdog_trip();
@@ -458,16 +556,34 @@ impl Dot {
                     model.stats.record_rollback();
                     load_state_dict(&params, &last_good);
                     opt = Adam::new(params.clone(), cfg.lr).with_clip(2.0);
-                    progress(&format!(
-                        "stage 1 iter {it}: watchdog rollback to last good snapshot"
-                    ));
+                    notify(
+                        &mut progress,
+                        event(Level::Warn, "train.watchdog.rollback")
+                            .field("stage", 1u8)
+                            .field("iter", it)
+                            .msg(format!(
+                                "stage 1 iter {it}: watchdog rollback to last good snapshot"
+                            )),
+                    );
                 }
             }
+            iter_hist.record(iter_t0.elapsed());
             if it % 100 == 0 {
-                progress(&format!("stage 1 iter {it}: loss {final_loss:.4}"));
+                notify(
+                    &mut progress,
+                    event(Level::Info, "train.stage1.iter")
+                        .field("iter", it)
+                        .field("loss", final_loss)
+                        .msg(format!("stage 1 iter {it}: loss {final_loss:.4}")),
+                );
             }
         }
-        model.report.stage1_seconds = stage1_seconds_before + t0.elapsed().as_secs_f64();
+        let stage1_elapsed = t0.elapsed().as_secs_f64();
+        if cfg.stage1_iters > stage1_start && stage1_elapsed > 0.0 {
+            odt_obs::gauge("train.stage1.iters_per_s")
+                .set((cfg.stage1_iters - stage1_start) as f64 / stage1_elapsed);
+        }
+        model.report.stage1_seconds = stage1_seconds_before + stage1_elapsed;
         model.report.stage1_params = model.denoiser.num_params();
         model.report.stage1_final_loss = final_loss;
 
@@ -483,6 +599,7 @@ impl Dot {
             stage2_resume,
         );
         model.report.robustness = model.stats.snapshot();
+        model.stats.publish_gauges();
         model
     }
 
@@ -531,9 +648,14 @@ fn train_stage2(
     let t1 = Instant::now();
     let stage2_seconds_before = model.report.stage2_seconds;
     let val_n = cfg.early_stop_samples.min(val.len());
-    progress(&format!(
-        "stage 2: inferring {val_n} validation PiTs for early stopping"
-    ));
+    notify(
+        progress,
+        event(Level::Info, "train.stage2.val_pits")
+            .field("count", val_n)
+            .msg(format!(
+                "stage 2: inferring {val_n} validation PiTs for early stopping"
+            )),
+    );
     let mut val_rng = iter_rng(cfg.seed, VAL_SALT, 0);
     let val_odts: Vec<OdtInput> = val[..val_n].iter().map(OdtInput::from_trajectory).collect();
     let val_pits = model.infer_pits(&val_odts, &mut val_rng);
@@ -548,17 +670,23 @@ fn train_stage2(
         .map(|t| ((t.travel_time() - tt_mean) / tt_std) as f32)
         .collect();
 
-    progress(&format!(
-        "stage 2: training {:?} estimator ({} params), {} iters",
-        cfg.ablation.estimator,
-        model
-            .estimator
-            .estimator_params()
-            .iter()
-            .map(|p| p.numel())
-            .sum::<usize>(),
-        cfg.stage2_iters
-    ));
+    let stage2_params: usize = model
+        .estimator
+        .estimator_params()
+        .iter()
+        .map(|p| p.numel())
+        .sum();
+    notify(
+        progress,
+        event(Level::Info, "train.stage2.start")
+            .field("params", stage2_params)
+            .field("iters", cfg.stage2_iters)
+            .msg(format!(
+                "stage 2: training {:?} estimator ({} params), {} iters",
+                cfg.ablation.estimator, stage2_params, cfg.stage2_iters
+            )),
+    );
+    let iter_hist = odt_obs::histogram("train.stage2.iter");
     let params = model.estimator.estimator_params();
     let mut opt = Adam::new(params.clone(), cfg.lr).with_clip(2.0);
     let mut watchdog = Watchdog::new(
@@ -574,6 +702,7 @@ fn train_stage2(
     let mut last_good = state_dict(&params);
     let mut healthy_streak = 0usize;
     for it in start_iter..cfg.stage2_iters {
+        let iter_t0 = Instant::now();
         let mut brng = iter_rng(cfg.seed, STAGE2_SALT, it);
         opt.zero_grad();
         let g = Graph::new();
@@ -621,8 +750,19 @@ fn train_stage2(
                             stage1_final_loss: model.report.stage1_final_loss,
                             robustness: model.stats.snapshot(),
                         };
-                        if let Err(e) = tc.save(path) {
-                            progress(&format!("train checkpoint write failed: {e}"));
+                        match tc.save(path) {
+                            Ok(()) => event(Level::Debug, "train.ckpt.saved")
+                                .field("stage", 2u8)
+                                .field("iter", it + 1)
+                                .emit(),
+                            Err(e) => emit_ckpt_issue(
+                                progress,
+                                CkptIssue::WriteFailed {
+                                    stage: 2,
+                                    iter: it,
+                                    err: &e,
+                                },
+                            ),
                         }
                     }
                 }
@@ -630,9 +770,16 @@ fn train_stage2(
             Verdict::Skip => {
                 model.stats.record_watchdog_trip();
                 model.stats.record_batch_skipped();
-                progress(&format!(
-                    "stage 2 iter {it}: watchdog tripped (loss {loss_val}), batch skipped"
-                ));
+                notify(
+                    progress,
+                    event(Level::Warn, "train.watchdog.trip")
+                        .field("stage", 2u8)
+                        .field("iter", it)
+                        .field("loss", loss_val)
+                        .msg(format!(
+                            "stage 2 iter {it}: watchdog tripped (loss {loss_val}), batch skipped"
+                        )),
+                );
             }
             Verdict::Rollback => {
                 model.stats.record_watchdog_trip();
@@ -640,15 +787,28 @@ fn train_stage2(
                 model.stats.record_rollback();
                 load_state_dict(&params, &last_good);
                 opt = Adam::new(params.clone(), cfg.lr).with_clip(2.0);
-                progress(&format!(
-                    "stage 2 iter {it}: watchdog rollback to last good snapshot"
-                ));
+                notify(
+                    progress,
+                    event(Level::Warn, "train.watchdog.rollback")
+                        .field("stage", 2u8)
+                        .field("iter", it)
+                        .msg(format!(
+                            "stage 2 iter {it}: watchdog rollback to last good snapshot"
+                        )),
+                );
             }
         }
+        iter_hist.record(iter_t0.elapsed());
 
         if (it + 1) % cfg.early_stop_every == 0 || it + 1 == cfg.stage2_iters {
             let mae = val_mae(model, &val_pits, &val_targets);
-            progress(&format!("stage 2 iter {}: val MAE {:.1}s", it + 1, mae));
+            notify(
+                progress,
+                event(Level::Info, "train.stage2.val")
+                    .field("iter", it + 1)
+                    .field("val_mae_s", mae)
+                    .msg(format!("stage 2 iter {}: val MAE {:.1}s", it + 1, mae)),
+            );
             if mae < best_mae {
                 best_mae = mae;
                 best_state = state_dict(&params);
@@ -656,13 +816,24 @@ fn train_stage2(
         }
     }
     load_state_dict(&params, &best_state);
-    model.report.stage2_seconds = stage2_seconds_before + t1.elapsed().as_secs_f64();
+    let stage2_elapsed = t1.elapsed().as_secs_f64();
+    if cfg.stage2_iters > start_iter && stage2_elapsed > 0.0 {
+        odt_obs::gauge("train.stage2.iters_per_s")
+            .set((cfg.stage2_iters - start_iter) as f64 / stage2_elapsed);
+    }
+    model.report.stage2_seconds = stage2_seconds_before + stage2_elapsed;
     model.report.stage2_params = params.iter().map(|p| p.numel()).sum();
     model.report.best_val_mae = best_mae;
-    progress(&format!(
-        "stage 2 done in {:.1}s, best val MAE {:.1}s",
-        model.report.stage2_seconds, best_mae
-    ));
+    notify(
+        progress,
+        event(Level::Info, "train.stage2.done")
+            .field("seconds", model.report.stage2_seconds)
+            .field("best_val_mae_s", best_mae)
+            .msg(format!(
+                "stage 2 done in {:.1}s, best val MAE {:.1}s",
+                model.report.stage2_seconds, best_mae
+            )),
+    );
 }
 
 fn val_mae(model: &Dot, pits: &[Pit], targets: &[f64]) -> f64 {

@@ -145,7 +145,9 @@ impl Ddpm {
     ) -> Tensor {
         let b = cond.shape()[0];
         let mut x = Self::sample_noise(vec![b, channels, lg, lg], rng);
+        let step_hist = odt_obs::histogram("stage1.denoise_step");
         for n in (1..=self.schedule.n_steps()).rev() {
+            let step_t0 = std::time::Instant::now();
             let g = Graph::new();
             let xv = g.input(x.clone());
             let steps = vec![n; b];
@@ -183,6 +185,7 @@ impl Ddpm {
                 next.data_mut()[i] = coef_x0 * x0_hat + coef_xn * xn + sigma * z.data()[i];
             }
             x = next;
+            step_hist.record(step_t0.elapsed());
         }
         x
     }
@@ -222,7 +225,9 @@ impl Ddpm {
 
         let b = cond.shape()[0];
         let mut x = Self::sample_noise(vec![b, channels, lg, lg], rng);
+        let step_hist = odt_obs::histogram("stage1.ddim_step");
         for (i, &n) in steps.iter().enumerate() {
+            let step_t0 = std::time::Instant::now();
             let g = Graph::new();
             let xv = g.input(x.clone());
             let step_vec = vec![n; b];
@@ -246,6 +251,7 @@ impl Ddpm {
                 next.data_mut()[j] = ab_next.sqrt() * x0_hat + next_noise * e;
             }
             x = next;
+            step_hist.record(step_t0.elapsed());
         }
         x
     }

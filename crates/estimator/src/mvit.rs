@@ -92,6 +92,7 @@ impl MVit {
 
 impl PitEstimator for MVit {
     fn predict(&self, g: &Graph, pit: &Pit) -> Var {
+        let _span = odt_obs::span("stage2.mvit.predict");
         // Masked sequence: only valid items (Eq. 20). A PiT from the
         // diffusion stage can in principle be all-unvisited; fall back to
         // the full sequence so prediction is still defined.

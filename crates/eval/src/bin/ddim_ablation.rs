@@ -16,6 +16,7 @@ use std::time::Instant;
 
 fn main() {
     let profile = EvalProfile::from_args();
+    let _telemetry = odt_eval::telemetry::init(&profile);
     println!(
         "DDIM ablation — inference steps vs quality (profile: {}, seed {})",
         profile.name, profile.seed

@@ -15,6 +15,7 @@ use rand::SeedableRng;
 
 fn main() {
     let profile = EvalProfile::from_args();
+    let _telemetry = odt_eval::telemetry::init(&profile);
     println!(
         "Figures 10–11 — case study (profile: {}, seed {})",
         profile.name, profile.seed

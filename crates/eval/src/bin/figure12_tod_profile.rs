@@ -9,6 +9,7 @@ use odt_traj::Split;
 
 fn main() {
     let profile = EvalProfile::from_args();
+    let _telemetry = odt_eval::telemetry::init(&profile);
     println!(
         "Figure 12 — time-of-day travel-time profiles (profile: {}, seed {})",
         profile.name, profile.seed

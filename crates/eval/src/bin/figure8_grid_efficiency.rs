@@ -25,6 +25,7 @@ const EST_TIMING_QUERIES: usize = 30;
 
 fn main() {
     let profile = EvalProfile::from_args();
+    let _telemetry = odt_eval::telemetry::init(&profile);
     println!(
         "Figure 8 — efficiency vs grid length L_G (profile: {}, seed {})",
         profile.name, profile.seed

@@ -12,6 +12,7 @@ use rand::SeedableRng;
 
 fn main() {
     let mut profile = EvalProfile::from_args();
+    let _telemetry = odt_eval::telemetry::init(&profile);
     // The sweep trains many models; shrink each run.
     profile.raw_trips = profile.raw_trips.min(700);
     profile.dot.stage1_iters = profile.dot.stage1_iters.min(600);

@@ -7,6 +7,7 @@ use odt_traj::Dataset;
 
 fn main() {
     let profile = EvalProfile::from_args();
+    let _telemetry = odt_eval::telemetry::init(&profile);
     println!("Table 1 — dataset statistics (profile: {})", profile.name);
 
     // Paper values: (n, mean tt min, mean dist m, mean interval s, area).

@@ -33,6 +33,7 @@ fn paper_for(method: &str, city: City) -> Option<(f64, f64, f64)> {
 
 fn main() {
     let profile = EvalProfile::from_args();
+    let _telemetry = odt_eval::telemetry::init(&profile);
     println!(
         "Table 3 — overall accuracy (profile: {}, raw trips {}, seed {})",
         profile.name, profile.raw_trips, profile.seed

@@ -25,6 +25,7 @@ const PAPER: &[(&str, [f64; 5])] = &[
 
 fn main() {
     let mut profile = EvalProfile::from_args();
+    let _telemetry = odt_eval::telemetry::init(&profile);
     println!(
         "Table 4 — scalability on Chengdu (profile: {}, seed {})",
         profile.name, profile.seed

@@ -33,6 +33,7 @@ fn human_bytes(b: usize) -> String {
 
 fn main() {
     let profile = EvalProfile::from_args();
+    let _telemetry = odt_eval::telemetry::init(&profile);
     println!(
         "Table 5 — efficiency on Chengdu (profile: {}, seed {})",
         profile.name, profile.seed

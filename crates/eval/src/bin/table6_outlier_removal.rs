@@ -57,6 +57,7 @@ const SELECTED: &[&str] = &[
 
 fn main() {
     let profile = EvalProfile::from_args();
+    let _telemetry = odt_eval::telemetry::init(&profile);
     println!(
         "Table 6 — baselines with DeepTEA outlier removal (profile: {}, seed {})",
         profile.name, profile.seed

@@ -50,6 +50,7 @@ fn paper_for(method: &str, city: City) -> Option<(f64, f64, f64)> {
 
 fn main() {
     let profile = EvalProfile::from_args();
+    let _telemetry = odt_eval::telemetry::init(&profile);
     let cities = if std::env::args().any(|a| a == "--both-cities") {
         vec![City::Chengdu, City::Harbin]
     } else {

@@ -16,6 +16,7 @@ const PAPER: &[(&str, [f64; 2], [f64; 2])] = &[
 
 fn main() {
     let profile = EvalProfile::from_args();
+    let _telemetry = odt_eval::telemetry::init(&profile);
     println!(
         "Table 8 — PiT inference accuracy (profile: {}, seed {})",
         profile.name, profile.seed

@@ -21,6 +21,7 @@ const PAPER: &[(&str, [f64; 3], [f64; 3])] = &[
 
 fn main() {
     let profile = EvalProfile::from_args();
+    let _telemetry = odt_eval::telemetry::init(&profile);
     println!(
         "Table 9 — route inference accuracy (profile: {}, seed {})",
         profile.name, profile.seed

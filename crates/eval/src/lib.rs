@@ -12,10 +12,15 @@
 //! * `--seed <u64>` — RNG seed (default 7).
 //! * `--trips <n>` — raw simulated trips per city before preprocessing.
 //! * `--queries <n>` — maximum test queries evaluated.
+//! * `--telemetry <path>` — dump the structured event log as JSONL to
+//!   `<path>` at the end of the run (see [`telemetry`] and DESIGN.md §7).
 //!
 //! Binaries print the paper's reported numbers next to the measured ones so
 //! the *shape* of each result (orderings, rough factors, crossovers) can be
-//! compared directly.
+//! compared directly. Every run ends with a metrics summary: counters,
+//! gauges and latency histograms (p50/p95/p99/max) collected through
+//! [`odt_obs`], including the `serve.query.full` / `serve.query.fallback`
+//! split between full-pipeline answers and degraded-mode fallbacks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,3 +30,4 @@ pub mod harness;
 pub mod metrics;
 pub mod profile;
 pub mod report;
+pub mod telemetry;

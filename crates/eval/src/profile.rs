@@ -22,6 +22,9 @@ pub struct EvalProfile {
     pub max_test_queries: usize,
     /// Seed for dataset generation and all training.
     pub seed: u64,
+    /// Where to dump the structured event log as JSONL at the end of the
+    /// run (`--telemetry <path>`); `None` disables the dump.
+    pub telemetry: Option<std::path::PathBuf>,
 }
 
 impl EvalProfile {
@@ -54,6 +57,7 @@ impl EvalProfile {
             },
             max_test_queries: 60,
             seed: 7,
+            telemetry: None,
         }
     }
 
@@ -74,11 +78,12 @@ impl EvalProfile {
             },
             max_test_queries: usize::MAX,
             seed: 7,
+            telemetry: None,
         }
     }
 
     /// Parse a profile from CLI arguments (`--profile`, `--seed`,
-    /// `--trips`, `--queries`), starting from `fast`.
+    /// `--trips`, `--queries`, `--telemetry`), starting from `fast`.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let get = |flag: &str| -> Option<String> {
@@ -102,6 +107,9 @@ impl EvalProfile {
         }
         if let Some(q) = get("--queries") {
             profile.max_test_queries = q.parse().expect("--queries must be an integer");
+        }
+        if let Some(path) = get("--telemetry") {
+            profile.telemetry = Some(std::path::PathBuf::from(path));
         }
         profile
     }

@@ -77,6 +77,41 @@ pub fn print_table(title: &str, context: &str, header: &[&str], rows: &[Vec<Stri
     }
 }
 
+/// Print the end-of-run observability summary: every registered counter,
+/// gauge and latency histogram (p50/p95/p99/max) from the global
+/// [`odt_obs`] metrics registry. Appended to every harness report so Table
+/// 5-style efficiency numbers always come with their latency distribution —
+/// notably `serve.query.full` vs `serve.query.fallback`, the split between
+/// full-DDPM answers and degraded-mode fallbacks.
+pub fn print_metrics_summary() {
+    let snap = odt_obs::snapshot();
+    println!("\n=== Metrics summary ===");
+    if !snap.counters.is_empty() {
+        println!("counters:");
+        for (name, v) in &snap.counters {
+            println!("  {name:<28} {v}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        println!("gauges:");
+        for (name, v) in &snap.gauges {
+            println!("  {name:<28} {v:.3}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        println!(
+            "{:<28} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            "histogram (µs)", "count", "mean", "p50", "p95", "p99", "max"
+        );
+        for (name, s) in &snap.histograms {
+            println!(
+                "{:<28} {:>9} {:>11.1} {:>11.1} {:>11.1} {:>11.1} {:>11.1}",
+                name, s.count, s.mean_us, s.p50_us, s.p95_us, s.p99_us, s.max_us
+            );
+        }
+    }
+}
+
 /// The ordering check the paper's claims rest on: report whether
 /// `a_metric < b_metric` (lower-is-better) matched the paper.
 pub fn print_ordering_check(label: &str, ours_holds: bool) {

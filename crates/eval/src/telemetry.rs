@@ -1,0 +1,97 @@
+//! Run-level telemetry for the eval binaries: `--telemetry <path>` wires a
+//! [`odt_obs::JsonlSink`] into the global event stream for the lifetime of
+//! the run, and every run ends with the metrics summary of
+//! [`crate::report::print_metrics_summary`].
+//!
+//! Usage in a binary:
+//!
+//! ```ignore
+//! let profile = EvalProfile::from_args();
+//! let _telemetry = odt_eval::telemetry::init(&profile);
+//! // ... run the experiment; on scope exit the guard flushes the JSONL
+//! // dump and prints the metrics summary.
+//! ```
+
+use crate::profile::EvalProfile;
+use crate::report;
+use odt_obs::{event, JsonlSink, Level, SinkId};
+use std::sync::Arc;
+
+/// RAII guard for one instrumented run. Dropping it emits `run.end`,
+/// prints the end-of-run metrics summary, and (when `--telemetry` was
+/// given) flushes and unregisters the JSONL sink — so the file on disk is
+/// complete exactly when the binary exits.
+pub struct Telemetry {
+    sink: Option<(SinkId, std::path::PathBuf)>,
+}
+
+/// Start telemetry for a run: pre-register the per-path serving histograms
+/// (so `serve.query.full` and `serve.query.fallback` both appear in every
+/// summary, even at count 0), attach the JSONL sink when the profile asks
+/// for one, and emit `run.start`.
+pub fn init(profile: &EvalProfile) -> Telemetry {
+    odt_obs::histogram("serve.query.full");
+    odt_obs::histogram("serve.query.fallback");
+    let sink = profile.telemetry.as_ref().map(|path| {
+        let id = odt_obs::add_sink(Arc::new(JsonlSink::new(path.clone())));
+        (id, path.clone())
+    });
+    event(Level::Info, "run.start")
+        .field("profile", profile.name.as_str())
+        .field("seed", profile.seed)
+        .field("raw_trips", profile.raw_trips)
+        .emit();
+    Telemetry { sink }
+}
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        event(Level::Info, "run.end").emit();
+        report::print_metrics_summary();
+        if let Some((id, path)) = self.sink.take() {
+            if let Some(sink) = odt_obs::remove_sink(id) {
+                sink.flush();
+            }
+            println!("telemetry written to {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_preregisters_both_serving_paths() {
+        let profile = EvalProfile::fast();
+        let _t = init(&profile);
+        let snap = odt_obs::snapshot();
+        for name in ["serve.query.full", "serve.query.fallback"] {
+            assert!(
+                snap.histograms.iter().any(|&(k, _)| k == name),
+                "{name} must be registered"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_guard_writes_jsonl_on_drop() {
+        let path =
+            std::env::temp_dir().join(format!("odt_eval_telemetry_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut profile = EvalProfile::fast();
+        profile.telemetry = Some(path.clone());
+        {
+            let _t = init(&profile);
+            event(Level::Info, "test.telemetry").field("k", 1u64).emit();
+        }
+        let content = std::fs::read_to_string(&path).expect("telemetry file written");
+        assert!(content.lines().count() >= 2, "run.start + test event");
+        for line in content.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(content.contains("\"name\":\"run.start\""));
+        assert!(content.contains("\"name\":\"run.end\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

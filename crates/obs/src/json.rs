@@ -1,0 +1,54 @@
+//! Minimal JSON rendering helpers (no serde in a zero-dependency crate).
+
+/// Append `s` to `out` as a JSON string literal, with escaping.
+pub(crate) fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a finite JSON number; non-finite floats become `null` (JSON has
+/// no NaN/Infinity).
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        let mut out = String::new();
+        push_str_escaped(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn nonfinite_numbers_become_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut out = String::new();
+            push_f64(&mut out, v);
+            assert_eq!(out, "null");
+        }
+        let mut out = String::new();
+        push_f64(&mut out, 1.5);
+        assert_eq!(out, "1.5");
+    }
+}

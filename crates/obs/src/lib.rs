@@ -1,0 +1,70 @@
+//! # odt-obs — observability for the DOT stack
+//!
+//! Hand-rolled (the build environment has no crate-registry access, so no
+//! `tracing`/`metrics`) and zero-dependency: everything here is `std` only.
+//! Three coupled facilities share one global backend:
+//!
+//! * **Structured events** — [`event`] builds a leveled, named event with
+//!   typed fields and an optional human-readable message. Emitted events
+//!   land in a bounded in-memory ring buffer ([`recent_events`]) and are
+//!   fanned out to pluggable [`Sink`]s: [`StderrSink`] pretty-prints,
+//!   [`JsonlSink`] accumulates JSONL and flushes atomically
+//!   (write-to-temp-then-rename, so the file on disk is always complete,
+//!   valid JSONL), [`FnSink`] adapts any closure (used by tests and by the
+//!   legacy `progress` callback shim in `odt-core`).
+//! * **Metrics** — a global registry of [`Counter`]s, [`Gauge`]s and
+//!   log-bucketed latency [`Histogram`]s keyed by `&'static str` names.
+//!   Histograms answer p50/p95/p99/max/mean queries ([`Histogram::summary`]);
+//!   [`snapshot`] returns everything for end-of-run reports.
+//! * **Span timers** — [`span!`] returns an RAII [`SpanTimer`] that records
+//!   its wall-clock duration into the histogram of the same name on drop.
+//!   Spans nest (the current depth is visible via [`span_depth`]), so
+//!   wall-clock can be attributed per stage (`stage1.denoise_step` inside
+//!   `oracle.infer_pits` inside a query).
+//!
+//! ## Event taxonomy and metric names
+//!
+//! DESIGN.md §7 documents the event names (`train.*`, `serve.*`, `run.*`),
+//! metric names and the JSONL schema used across the workspace.
+//!
+//! ```
+//! let h = odt_obs::histogram("demo.step");
+//! {
+//!     let _span = odt_obs::span!("demo.step");
+//!     // ... timed work ...
+//! }
+//! assert_eq!(h.count(), 1);
+//! odt_obs::event(odt_obs::Level::Info, "demo.done")
+//!     .field("steps", 1u64)
+//!     .emit();
+//! assert!(odt_obs::recent_events().iter().any(|e| e.name == "demo.done"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod json;
+mod metrics;
+mod ring;
+mod sink;
+mod span;
+
+pub use event::{emit, event, min_level, set_min_level, Event, EventBuilder, FieldValue, Level};
+pub use metrics::{
+    counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramSummary,
+    MetricsSnapshot,
+};
+pub use ring::{recent_events, ring_capacity, set_ring_capacity};
+pub use sink::{add_sink, flush_sinks, remove_sink, FnSink, JsonlSink, Sink, SinkId, StderrSink};
+pub use span::{span, span_depth, SpanTimer};
+
+/// Start an RAII span timer feeding the histogram of the same name:
+/// `let _guard = span!("stage1.denoise_step");`. The duration is recorded
+/// when the guard drops.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}

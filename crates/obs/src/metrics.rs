@@ -1,0 +1,389 @@
+//! The metrics registry: counters, gauges and log-bucketed latency
+//! histograms keyed by static names.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge (stored as `f64` bits).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets. Bucket 0 holds exact zeros; bucket `i ≥ 1`
+/// holds values (in µs) in `[2^(i-1), 2^i)` — geometric base-2 buckets up
+/// to ~2^46 µs (≈ 2 years), far beyond any latency this stack records.
+const NUM_BUCKETS: usize = 48;
+
+/// Inclusive-lower / exclusive-upper bounds of bucket `i`, in µs.
+fn bucket_bounds(i: usize) -> (f64, f64) {
+    if i == 0 {
+        (0.0, 1.0)
+    } else {
+        ((1u64 << (i - 1)) as f64, (1u64 << i) as f64)
+    }
+}
+
+fn bucket_index(micros: u64) -> usize {
+    if micros == 0 {
+        0
+    } else {
+        (64 - micros.leading_zeros() as usize).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// A log-bucketed latency histogram (microsecond resolution).
+///
+/// Recording is lock-free (relaxed atomics); quantiles are answered from
+/// the bucket counts by linear interpolation inside the containing bucket,
+/// so a reported pXX is accurate to within its base-2 bucket width.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Plain-value summary of a [`Histogram`], all durations in microseconds.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Mean observation.
+    pub mean_us: f64,
+    /// Median estimate.
+    pub p50_us: f64,
+    /// 95th-percentile estimate.
+    pub p95_us: f64,
+    /// 99th-percentile estimate.
+    pub p99_us: f64,
+    /// Exact maximum observation.
+    pub max_us: f64,
+}
+
+impl Histogram {
+    /// Record one duration.
+    pub fn record(&self, d: Duration) {
+        self.record_micros(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Record one duration given in (non-negative, finite) seconds.
+    pub fn record_secs(&self, secs: f64) {
+        if secs.is_finite() && secs >= 0.0 {
+            self.record_micros((secs * 1e6).min(u64::MAX as f64) as u64);
+        }
+    }
+
+    /// Record one duration in microseconds.
+    pub fn record_micros(&self, micros: u64) {
+        self.counts[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded observations, µs.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum observation, µs.
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros.load(Ordering::Relaxed)
+    }
+
+    /// Estimate the `q`-quantile (`q ∈ [0, 1]`) in µs: find the bucket
+    /// containing the target rank and interpolate linearly inside it. The
+    /// result is clamped to the exact recorded maximum.
+    pub fn quantile_micros(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            let c = c.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = (rank - cum) as f64 / c as f64;
+                let est = lo + frac * (hi - lo);
+                return est.min(self.max_micros() as f64);
+            }
+            cum += c;
+        }
+        self.max_micros() as f64
+    }
+
+    /// p50/p95/p99/max/mean summary.
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.count();
+        HistogramSummary {
+            count,
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                self.sum_micros() as f64 / count as f64
+            },
+            p50_us: self.quantile_micros(0.50),
+            p95_us: self.quantile_micros(0.95),
+            p99_us: self.quantile_micros(0.99),
+            max_us: self.max_micros() as f64,
+        }
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        gauges: Mutex::new(BTreeMap::new()),
+        histograms: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// The counter named `name`, created (and leaked: metrics live for the
+/// process) on first use. Cache the returned reference outside hot loops.
+pub fn counter(name: &'static str) -> &'static Counter {
+    registry()
+        .counters
+        .lock()
+        .expect("metrics registry poisoned")
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// The gauge named `name` (see [`counter`] for the lifetime contract).
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    registry()
+        .gauges
+        .lock()
+        .expect("metrics registry poisoned")
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// The histogram named `name` (see [`counter`] for the lifetime contract).
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    registry()
+        .histograms
+        .lock()
+        .expect("metrics registry poisoned")
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(&'static str, f64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<(&'static str, HistogramSummary)>,
+}
+
+/// Snapshot the whole registry (for end-of-run summaries and exporters).
+pub fn snapshot() -> MetricsSnapshot {
+    let r = registry();
+    MetricsSnapshot {
+        counters: r
+            .counters
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (*k, v.get()))
+            .collect(),
+        gauges: r
+            .gauges
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (*k, v.get()))
+            .collect(),
+        histograms: r
+            .histograms
+            .lock()
+            .expect("metrics registry poisoned")
+            .iter()
+            .map(|(k, v)| (*k, v.summary()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_base2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        for i in 1..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(hi, lo * 2.0, "bucket {i}");
+            assert_eq!(bucket_index(lo as u64), i, "lower bound lands in {i}");
+            assert_eq!(
+                bucket_index(hi as u64 - 1),
+                i,
+                "upper bound - 1 stays in {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_distribution_land_in_right_buckets() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record_micros(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max_micros(), 1000);
+        assert_eq!(h.sum_micros(), 500_500);
+        let s = h.summary();
+        // True p50 = 500 lives in [256, 512); p95 = 950 and p99 = 990 in
+        // [512, 1024) — the estimate must stay inside the containing bucket.
+        assert!((256.0..512.0).contains(&s.p50_us), "p50 {}", s.p50_us);
+        assert!((512.0..=1000.0).contains(&s.p95_us), "p95 {}", s.p95_us);
+        assert!((512.0..=1000.0).contains(&s.p99_us), "p99 {}", s.p99_us);
+        assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us);
+        assert!(s.p99_us <= s.max_us);
+        assert!((s.mean_us - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_distribution_quantiles_are_tight() {
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record_micros(300);
+        }
+        let s = h.summary();
+        // All mass in [256, 512); every quantile clamped to the max = 300.
+        for q in [s.p50_us, s.p95_us, s.p99_us] {
+            assert!((256.0..=300.0).contains(&q), "{q}");
+        }
+        assert_eq!(s.max_us, 300.0);
+        assert_eq!(s.mean_us, 300.0);
+    }
+
+    #[test]
+    fn zero_only_histogram_reports_zero() {
+        let h = Histogram::default();
+        h.record_micros(0);
+        h.record_micros(0);
+        let s = h.summary();
+        assert_eq!(s.max_us, 0.0);
+        assert_eq!(s.p50_us, 0.0);
+        assert_eq!(s.mean_us, 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_all_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn record_secs_ignores_garbage() {
+        let h = Histogram::default();
+        h.record_secs(f64::NAN);
+        h.record_secs(-1.0);
+        assert_eq!(h.count(), 0);
+        h.record_secs(0.001);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max_micros(), 1000);
+    }
+
+    #[test]
+    fn registry_returns_same_instance_and_snapshots() {
+        counter("test.reg.counter").add(3);
+        counter("test.reg.counter").inc();
+        gauge("test.reg.gauge").set(2.5);
+        histogram("test.reg.hist").record_micros(10);
+        assert_eq!(counter("test.reg.counter").get(), 4);
+        let snap = snapshot();
+        assert!(snap
+            .counters
+            .iter()
+            .any(|&(k, v)| k == "test.reg.counter" && v == 4));
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|&(k, v)| k == "test.reg.gauge" && v == 2.5));
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|&(k, s)| k == "test.reg.hist" && s.count >= 1));
+    }
+}

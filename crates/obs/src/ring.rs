@@ -1,0 +1,85 @@
+//! A bounded in-memory ring buffer of recent events — the always-on flight
+//! recorder behind [`crate::recent_events`]. Oldest events are evicted
+//! first when the buffer is full.
+
+use crate::Event;
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+
+const DEFAULT_CAPACITY: usize = 2048;
+
+struct Ring {
+    buf: VecDeque<Event>,
+    cap: usize,
+}
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| {
+        Mutex::new(Ring {
+            buf: VecDeque::with_capacity(DEFAULT_CAPACITY),
+            cap: DEFAULT_CAPACITY,
+        })
+    })
+}
+
+pub(crate) fn push(ev: Event) {
+    let mut r = ring().lock().expect("ring poisoned");
+    while r.buf.len() >= r.cap {
+        r.buf.pop_front();
+    }
+    r.buf.push_back(ev);
+}
+
+/// A copy of the buffered events, oldest first.
+pub fn recent_events() -> Vec<Event> {
+    ring()
+        .lock()
+        .expect("ring poisoned")
+        .buf
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// The current ring capacity.
+pub fn ring_capacity() -> usize {
+    ring().lock().expect("ring poisoned").cap
+}
+
+/// Resize the ring (minimum 1); excess oldest events are evicted
+/// immediately.
+pub fn set_ring_capacity(cap: usize) {
+    let mut r = ring().lock().expect("ring poisoned");
+    r.cap = cap.max(1);
+    while r.buf.len() > r.cap {
+        r.buf.pop_front();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{event, FieldValue, Level};
+
+    #[test]
+    fn overflow_evicts_oldest_and_preserves_order() {
+        set_ring_capacity(8);
+        for i in 0..40u64 {
+            event(Level::Info, "test.ring").field("i", i).emit();
+        }
+        let ours: Vec<u64> = recent_events()
+            .iter()
+            .filter(|e| e.name == "test.ring")
+            .filter_map(|e| e.field("i").and_then(FieldValue::as_u64))
+            .collect();
+        // Capacity 8: at most the 8 newest survive (other tests may emit
+        // concurrently, evicting a few more), all from the tail, in FIFO
+        // order.
+        assert!(!ours.is_empty() && ours.len() <= 8, "{ours:?}");
+        assert!(ours.iter().all(|&i| i >= 32), "{ours:?}");
+        assert!(ours.windows(2).all(|w| w[0] < w[1]), "{ours:?}");
+        assert_eq!(ring_capacity(), 8);
+        set_ring_capacity(2048);
+    }
+}

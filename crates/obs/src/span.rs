@@ -1,0 +1,95 @@
+//! RAII span timers feeding the latency histograms.
+
+use crate::metrics::{histogram, Histogram};
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// An RAII wall-clock timer: created by [`span`] (or the [`crate::span!`]
+/// macro), it records its elapsed time into the histogram named after the
+/// span when dropped. Spans nest freely; [`span_depth`] reports the current
+/// nesting depth on this thread.
+pub struct SpanTimer {
+    hist: &'static Histogram,
+    start: Instant,
+}
+
+/// Start a span timer feeding `histogram(name)`.
+pub fn span(name: &'static str) -> SpanTimer {
+    DEPTH.with(|d| d.set(d.get() + 1));
+    SpanTimer {
+        hist: histogram(name),
+        start: Instant::now(),
+    }
+}
+
+/// The number of open spans on the current thread.
+pub fn span_depth() -> usize {
+    DEPTH.with(Cell::get)
+}
+
+impl SpanTimer {
+    /// Microseconds elapsed so far (the value recorded at drop keeps
+    /// counting until then).
+    pub fn elapsed_micros(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.hist.record_micros(self.elapsed_micros());
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn spans_record_into_histograms_and_track_depth() {
+        assert_eq!(span_depth(), 0);
+        {
+            let outer = span("test.span.outer");
+            assert_eq!(span_depth(), 1);
+            {
+                let _inner = span("test.span.inner");
+                assert_eq!(span_depth(), 2);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            assert_eq!(span_depth(), 1);
+            assert!(outer.elapsed_micros() >= 2_000);
+        }
+        assert_eq!(span_depth(), 0);
+        assert_eq!(histogram("test.span.outer").count(), 1);
+        assert_eq!(histogram("test.span.inner").count(), 1);
+    }
+
+    #[test]
+    fn nested_span_timings_are_monotone() {
+        // A parent's wall-clock must dominate the sum of its (sequential)
+        // children — the property wall-clock attribution rests on.
+        {
+            let _parent = span("test.span.parent");
+            for _ in 0..3 {
+                let _child = span("test.span.child");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let parent = histogram("test.span.parent");
+        let child = histogram("test.span.child");
+        assert_eq!(parent.count(), 1);
+        assert_eq!(child.count(), 3);
+        assert!(
+            parent.max_micros() >= child.sum_micros(),
+            "parent {} µs < children sum {} µs",
+            parent.max_micros(),
+            child.sum_micros()
+        );
+    }
+}
