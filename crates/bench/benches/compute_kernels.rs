@@ -1,0 +1,69 @@
+//! Criterion benchmarks of the parallel compute kernels: each hot kernel is
+//! measured pool-wide and single-lane (`run_sequential`, the `ODT_THREADS=1`
+//! execution mode), so regressions in either the kernels or the pool's
+//! dispatch overhead show up in CI's quick mode
+//! (`--warm-up-time 0.1 --measurement-time 0.2`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odt_tensor::{init, ops};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pair(c: &mut Criterion, group: &str, shape: &str, mut f: impl FnMut()) {
+    let mut g = c.benchmark_group(group);
+    g.bench_with_input(BenchmarkId::new("parallel", shape), &(), |b, _| {
+        b.iter(&mut f)
+    });
+    g.bench_with_input(BenchmarkId::new("sequential", shape), &(), |b, _| {
+        b.iter(|| odt_compute::run_sequential(&mut f))
+    });
+    g.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = init::normal(&mut rng, vec![128, 128], 1.0);
+    let b = init::normal(&mut rng, vec![128, 128], 1.0);
+    bench_pair(c, "compute/matmul", "128x128", || {
+        let _ = ops::matmul(&a, &b);
+    });
+}
+
+fn bench_bmm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = init::normal(&mut rng, vec![4, 48, 48], 1.0);
+    let b = init::normal(&mut rng, vec![4, 48, 48], 1.0);
+    bench_pair(c, "compute/bmm", "4x48x48", || {
+        let _ = ops::bmm(&a, &b);
+    });
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = init::normal(&mut rng, vec![4, 8, 16, 16], 1.0);
+    let w = init::normal(&mut rng, vec![16, 8, 3, 3], 0.1);
+    bench_pair(c, "compute/conv2d", "4x8x16x16_k3", || {
+        let _ = ops::conv2d(&x, &w, None, 1, 1);
+    });
+    let y = ops::conv2d(&x, &w, None, 1, 1);
+    bench_pair(c, "compute/conv2d_grad_weight", "4x8x16x16_k3", || {
+        let _ = ops::conv2d_grad_weight(&y, &x, w.shape(), 1, 1);
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let t = init::normal(&mut rng, vec![256, 128], 1.0);
+    bench_pair(c, "compute/softmax_lastdim", "256x128", || {
+        let _ = t.softmax_lastdim();
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_bmm,
+    bench_conv2d,
+    bench_softmax
+);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Kernel benchmark: parallel vs sequential latency of every hot kernel in
+//! `odt-tensor`, written to `BENCH_kernels.json` (at the current working
+//! directory — run from the repo root, e.g. via `scripts/bench_kernels.sh`).
+//!
+//! Flags: `--quick` (fewer reps, smaller shapes — CI smoke mode).
+//!
+//! Schema (`odt-bench-kernels/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "odt-bench-kernels/v1",
+//!   "threads": usize,          // odt-compute pool width
+//!   "quick": bool,
+//!   "kernels": [
+//!     { "name": str, "shape": str, "reps": usize,
+//!       "sequential_ms": f64,  // per-rep, single-lane (ODT_THREADS=1 path)
+//!       "parallel_ms": f64,    // per-rep, pool-wide
+//!       "speedup": f64 }       // sequential_ms / parallel_ms
+//!   ]
+//! }
+//! ```
+
+use odt_tensor::{init, ops, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+struct Row {
+    name: &'static str,
+    shape: String,
+    reps: usize,
+    sequential_ms: f64,
+    parallel_ms: f64,
+}
+
+/// Per-rep wall-clock (ms) of `f`, with one warm-up rep.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1_000.0 / reps as f64
+}
+
+fn bench(name: &'static str, shape: String, reps: usize, mut f: impl FnMut()) -> Row {
+    let parallel_ms = time_ms(reps, &mut f);
+    let sequential_ms = odt_compute::run_sequential(|| time_ms(reps, &mut f));
+    println!(
+        "{name:<22} {shape:<28} seq {sequential_ms:8.3} ms  par {parallel_ms:8.3} ms  {:5.2}x",
+        sequential_ms / parallel_ms.max(1e-9)
+    );
+    Row {
+        name,
+        shape,
+        reps,
+        sequential_ms,
+        parallel_ms,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    odt_compute::ensure_initialized();
+    println!(
+        "kernel bench: {} thread(s), quick={quick}",
+        odt_compute::num_threads()
+    );
+    let mut rng = StdRng::seed_from_u64(42);
+    let reps = if quick { 3 } else { 20 };
+    let mm = if quick { 96 } else { 256 };
+    let mut rows = Vec::new();
+
+    let a = init::normal(&mut rng, vec![mm, mm], 1.0);
+    let b = init::normal(&mut rng, vec![mm, mm], 1.0);
+    rows.push(bench(
+        "matmul",
+        format!("[{mm},{mm}]x[{mm},{mm}]"),
+        reps,
+        || {
+            let _ = ops::matmul(&a, &b);
+        },
+    ));
+
+    let (ba, m, k, n) = if quick {
+        (4, 32, 32, 32)
+    } else {
+        (8, 64, 64, 64)
+    };
+    let ta = init::normal(&mut rng, vec![ba, m, k], 1.0);
+    let tb = init::normal(&mut rng, vec![ba, k, n], 1.0);
+    rows.push(bench(
+        "bmm",
+        format!("[{ba},{m},{k}]x[{ba},{k},{n}]"),
+        reps,
+        || {
+            let _ = ops::bmm(&ta, &tb);
+        },
+    ));
+
+    let (cb, ch) = if quick { (4, 12) } else { (8, 20) };
+    let x = init::normal(&mut rng, vec![cb, 8, ch, ch], 1.0);
+    let w = init::normal(&mut rng, vec![16, 8, 3, 3], 0.1);
+    let shape = format!("[{cb},8,{ch},{ch}] k3s1p1");
+    rows.push(bench("conv2d", shape.clone(), reps, || {
+        let _ = ops::conv2d(&x, &w, None, 1, 1);
+    }));
+
+    let y = ops::conv2d(&x, &w, None, 1, 1);
+    rows.push(bench("conv2d_grad_input", shape.clone(), reps, || {
+        let _ = ops::conv2d_grad_input(&y, &w, x.shape(), 1, 1);
+    }));
+    rows.push(bench("conv2d_grad_weight", shape, reps, || {
+        let _ = ops::conv2d_grad_weight(&y, &x, w.shape(), 1, 1);
+    }));
+
+    let (sr, sc) = if quick { (64, 64) } else { (512, 256) };
+    let s = init::normal(&mut rng, vec![sr, sc], 1.0);
+    rows.push(bench(
+        "softmax_lastdim",
+        format!("[{sr},{sc}]"),
+        reps,
+        || {
+            let _ = s.softmax_lastdim();
+        },
+    ));
+
+    let big: usize = if quick { 1 << 16 } else { 1 << 20 };
+    let mut buf = Tensor::zeros(vec![big]);
+    rows.push(bench("chunked_map", format!("[{big}]"), reps, || {
+        odt_compute::parallel_chunks_mut(buf.data_mut(), 8192, |i0, xs| {
+            for (off, v) in xs.iter_mut().enumerate() {
+                *v = ((i0 + off) as f32).sin();
+            }
+        });
+    }));
+
+    let kernels: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"name\": \"{}\", \"shape\": \"{}\", \"reps\": {}, \
+                 \"sequential_ms\": {:.6}, \"parallel_ms\": {:.6}, \"speedup\": {:.4} }}",
+                r.name,
+                r.shape,
+                r.reps,
+                r.sequential_ms,
+                r.parallel_ms,
+                r.sequential_ms / r.parallel_ms.max(1e-9)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"odt-bench-kernels/v1\",\n  \"threads\": {},\n  \
+         \"quick\": {},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        odt_compute::num_threads(),
+        quick,
+        kernels.join(",\n")
+    );
+    let path = "BENCH_kernels.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}

@@ -1,0 +1,134 @@
+//! Serving benchmark: trains a small DOT oracle, then times N sequential
+//! `estimate` calls against one `estimate_batch(N)` call. Written to
+//! `BENCH_serving.json` in the current working directory (run from the repo
+//! root, e.g. via `scripts/bench_kernels.sh`).
+//!
+//! Flags: `--quick` (smaller model/dataset — CI smoke mode),
+//! `--batch <N>` (queries per run, default 64).
+//!
+//! Schema (`odt-bench-serving/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "odt-bench-serving/v1",
+//!   "threads": usize,        // odt-compute pool width
+//!   "quick": bool,
+//!   "batch_size": usize,
+//!   "lg": usize,             // grid side length of the benchmark model
+//!   "train_seconds": f64,
+//!   "sequential": { "queries": usize, "seconds": f64, "per_query_ms": f64 },
+//!   "batched":    { "queries": usize, "seconds": f64, "per_query_ms": f64 },
+//!   "speedup": f64           // sequential.seconds / batched.seconds
+//! }
+//! ```
+
+use odt_core::{Dot, DotConfig};
+use odt_traj::{OdtInput, Split};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let quick = arg_flag("--quick");
+    let batch_size: usize = arg_value("--batch")
+        .map(|v| v.parse().expect("--batch must be an integer"))
+        .unwrap_or(64)
+        .max(1);
+    odt_compute::ensure_initialized();
+    let lg = if quick { 8 } else { 16 };
+    println!(
+        "serving bench: {} thread(s), quick={quick}, batch {batch_size}, lg {lg}",
+        odt_compute::num_threads()
+    );
+
+    let data = odt_bench::bench_dataset(lg);
+    let mut cfg = DotConfig::fast();
+    cfg.lg = lg;
+    if quick {
+        cfg.n_steps = 8;
+        cfg.base_channels = 4;
+        cfg.cond_dim = 16;
+        cfg.d_e = 16;
+        cfg.stage1_iters = 12;
+        cfg.stage1_batch = 4;
+        cfg.stage2_iters = 40;
+        cfg.stage2_batch = 4;
+    } else {
+        cfg.n_steps = 20;
+        cfg.stage1_iters = 200;
+        cfg.stage2_iters = 200;
+    }
+    cfg.early_stop_samples = 4;
+    cfg.early_stop_every = 1_000;
+    let t0 = Instant::now();
+    let model = Dot::train(cfg, &data, |_| {});
+    let train_seconds = t0.elapsed().as_secs_f64();
+    println!("trained in {train_seconds:.1}s");
+
+    let queries: Vec<OdtInput> = data
+        .split(Split::Test)
+        .iter()
+        .cycle()
+        .take(batch_size)
+        .map(OdtInput::from_trajectory)
+        .collect();
+
+    // Same seed for both paths so the denoising workload is comparable.
+    let mut rng = StdRng::seed_from_u64(7);
+    let t0 = Instant::now();
+    for q in &queries {
+        let _ = model.estimate(q, &mut rng);
+    }
+    let seq_s = t0.elapsed().as_secs_f64();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let t0 = Instant::now();
+    let ests = model.estimate_batch(&queries, &mut rng);
+    let bat_s = t0.elapsed().as_secs_f64();
+    assert_eq!(ests.len(), queries.len());
+    assert!(ests.iter().all(|e| e.seconds.is_finite()));
+
+    let n = queries.len();
+    let per_ms = |s: f64| s / n as f64 * 1_000.0;
+    let speedup = seq_s / bat_s.max(1e-9);
+    println!(
+        "sequential: {seq_s:.3}s ({:.2} ms/q)   batched: {bat_s:.3}s ({:.2} ms/q)   {speedup:.2}x",
+        per_ms(seq_s),
+        per_ms(bat_s)
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"odt-bench-serving/v1\",\n  \"threads\": {},\n  \
+         \"quick\": {},\n  \"batch_size\": {},\n  \"lg\": {},\n  \
+         \"train_seconds\": {:.3},\n  \
+         \"sequential\": {{ \"queries\": {}, \"seconds\": {:.6}, \"per_query_ms\": {:.4} }},\n  \
+         \"batched\": {{ \"queries\": {}, \"seconds\": {:.6}, \"per_query_ms\": {:.4} }},\n  \
+         \"speedup\": {:.4}\n}}\n",
+        odt_compute::num_threads(),
+        quick,
+        batch_size,
+        lg,
+        train_seconds,
+        n,
+        seq_s,
+        per_ms(seq_s),
+        n,
+        bat_s,
+        per_ms(bat_s),
+        speedup
+    );
+    let path = "BENCH_serving.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}

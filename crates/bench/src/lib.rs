@@ -8,6 +8,16 @@
 //!   across grid lengths (Figure 8(c,d)).
 //! * `benches/substrates.rs` — micro-benchmarks of the substrates (conv2d,
 //!   matmul, Dijkstra, PiT rasterization, trip simulation).
+//! * `benches/compute_kernels.rs` — parallel vs sequential latency of each
+//!   `odt-compute`-backed kernel.
+//!
+//! Two plain binaries emit machine-readable reports (see
+//! `scripts/bench_kernels.sh`):
+//!
+//! * `bench_kernels` — per-kernel parallel-vs-sequential timings →
+//!   `BENCH_kernels.json`.
+//! * `bench_serving` — N sequential `estimate` calls vs one
+//!   `estimate_batch(N)` → `BENCH_serving.json`.
 //!
 //! Shared fixtures live in this library crate.
 

@@ -1,0 +1,45 @@
+//! # odt-compute
+//!
+//! The workspace's parallel compute backend: a zero-dependency (std-only)
+//! scoped thread pool with chunked work distribution, plus cache-blocked
+//! GEMM kernels built on it. `odt-tensor`'s hot kernels (matmul, batched
+//! matmul, conv2d and the row-wise normalizations) dispatch through this
+//! crate; everything above them — the DDPM sampler, the MViT estimator,
+//! the oracle's batched serving path — inherits the parallelism.
+//!
+//! ## Model
+//!
+//! * One global pool, sized by `ODT_THREADS` (default: available cores).
+//!   Workers are spawned once, on first use, and live for the process.
+//! * One job at a time. A job is a chunk count plus a `Fn(usize)` body;
+//!   all lanes (workers + the submitting thread) grab chunk indices from
+//!   one atomic counter until none remain. The submitting call returns
+//!   only when every chunk has finished.
+//! * Nested `parallel_*` calls run inline on the calling thread, so
+//!   kernels compose without deadlocking the single-job pool.
+//!
+//! ## Determinism
+//!
+//! Kernels parallelized over *disjoint outputs* ([`parallel_rows`],
+//! [`parallel_chunks_mut`]) preserve each output element's accumulation
+//! order and are bit-identical across pool sizes. Reductions use
+//! [`parallel_reduce_deterministic`], whose chunk split is fixed by the
+//! item count — not the thread count — so they too are bit-identical for
+//! any `ODT_THREADS`, including the [`run_sequential`] baseline.
+//!
+//! ## Safety
+//!
+//! This crate is the workspace's one home for `unsafe`: the borrow-erased
+//! job pointer and the disjoint-range slice splitting are encapsulated
+//! here behind safe APIs, letting every tensor/NN crate keep
+//! `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+
+pub mod gemm;
+mod pool;
+
+pub use pool::{
+    ensure_initialized, is_inline, num_threads, parallel_chunks_mut, parallel_for_chunks,
+    parallel_reduce_deterministic, parallel_rows, parallel_rows2, run_sequential, ThreadPool,
+};

@@ -1,0 +1,559 @@
+//! The scoped worker pool and its chunked work-distribution helpers.
+//!
+//! One global pool (sized by `ODT_THREADS`, default = available cores) runs
+//! one job at a time. A job is a `Fn(usize)` chunk body plus a chunk count;
+//! workers and the submitting thread race to grab chunk indices from a
+//! shared atomic counter, so load balances automatically across uneven
+//! chunks. The submitting call blocks until every chunk has completed,
+//! which is what makes the borrow-erasing pointer hand-off below sound —
+//! the closure (and everything it borrows) strictly outlives all uses.
+//!
+//! Nested parallelism is flattened: pool workers and any thread inside
+//! [`run_sequential`] execute `parallel_*` calls inline on the calling
+//! thread, so kernels can be freely composed without deadlocking the
+//! single-job pool.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+thread_local! {
+    /// Depth of "run inline" scopes on this thread: >0 on pool workers, on
+    /// threads inside [`run_sequential`], and on a submitter while it
+    /// participates in its own job.
+    static INLINE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// A borrow-erased pointer to the chunk body of the active job.
+///
+/// Safety contract: the submitting thread keeps the pointee alive (it is a
+/// stack-borrowed closure) until the job's `remaining` counter reaches
+/// zero, and no worker dereferences the pointer after decrementing
+/// `remaining` for its final chunk.
+struct RawTask(*const (dyn Fn(usize) + Sync + 'static));
+
+// SAFETY: the pointee is `Sync` (it is shared by reference across the
+// workers of one job) and only dereferenced while the submitter provably
+// keeps it alive — see `ThreadPool::run`.
+unsafe impl Send for RawTask {}
+unsafe impl Sync for RawTask {}
+
+/// One in-flight job: chunk body, grab counter and completion counter.
+struct Job {
+    task: RawTask,
+    n_chunks: usize,
+    next: AtomicUsize,
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    published: Instant,
+}
+
+struct PoolState {
+    /// Bumped once per published job so sleeping workers can tell a new job
+    /// from a spurious wakeup.
+    epoch: u64,
+    job: Option<Arc<Job>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for the next job.
+    work_cv: Condvar,
+    /// The submitter waits here for its job's last chunk.
+    done_cv: Condvar,
+}
+
+/// The worker pool. Use the free functions ([`parallel_for_chunks`] and
+/// friends) rather than holding one directly; they share one global pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    /// Serializes job submission; a contended submitter runs inline.
+    submit: Mutex<()>,
+    threads: usize,
+    tasks: &'static odt_obs::Counter,
+}
+
+impl ThreadPool {
+    fn from_env() -> Self {
+        let threads = threads_from_env();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        // The submitter participates in every job, so spawn one fewer
+        // worker than the requested parallelism.
+        for w in 0..threads.saturating_sub(1) {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("odt-compute-{w}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn odt-compute worker");
+        }
+        odt_obs::gauge("compute.threads").set(threads as f64);
+        ThreadPool {
+            shared,
+            submit: Mutex::new(()),
+            threads,
+            tasks: odt_obs::counter("compute.tasks"),
+        }
+    }
+
+    /// Run `f(0..n_chunks)` across the pool, returning when all chunks are
+    /// done. Caller must have checked `n_chunks > 1` and inline mode off.
+    fn run<'a>(&self, n_chunks: usize, f: &'a (dyn Fn(usize) + Sync + 'a)) {
+        // One job at a time: if another thread's job is active, run inline
+        // rather than queueing (keeps latency flat under contention).
+        let Ok(_submit) = self.submit.try_lock() else {
+            for i in 0..n_chunks {
+                f(i);
+            }
+            return;
+        };
+        // SAFETY: lifetime erasure only. This function does not return
+        // until `remaining == 0` (the wait below), so `f` outlives every
+        // dereference of the stored pointer.
+        let erased: &'static (dyn Fn(usize) + Sync + 'static) = unsafe {
+            std::mem::transmute::<
+                &'a (dyn Fn(usize) + Sync + 'a),
+                &'static (dyn Fn(usize) + Sync + 'static),
+            >(f)
+        };
+        let task = RawTask(erased as *const _);
+        let job = Arc::new(Job {
+            task,
+            n_chunks,
+            next: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(n_chunks),
+            panicked: AtomicBool::new(false),
+            published: Instant::now(),
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.epoch = st.epoch.wrapping_add(1);
+            st.job = Some(job.clone());
+            self.shared.work_cv.notify_all();
+        }
+        self.tasks.inc();
+        // Participate: the submitter is one of the pool's `threads` lanes.
+        // Inline mode is raised so nested parallel calls inside `f` run on
+        // this thread instead of re-entering the single-job pool.
+        INLINE.with(|c| c.set(c.get() + 1));
+        run_chunks(&self.shared, &job);
+        INLINE.with(|c| c.set(c.get() - 1));
+        let mut st = self.shared.state.lock().unwrap();
+        while job.remaining.load(Ordering::Acquire) != 0 {
+            st = self.shared.done_cv.wait(st).unwrap();
+        }
+        st.job = None;
+        drop(st);
+        if job.panicked.load(Ordering::Relaxed) {
+            panic!("odt-compute: a parallel chunk panicked");
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // Workers always execute nested parallel calls inline.
+    INLINE.with(|c| c.set(1));
+    let queue_wait = odt_obs::histogram("compute.queue_wait_us");
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    if let Some(job) = st.job.clone() {
+                        break job;
+                    }
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        queue_wait.record(job.published.elapsed());
+        run_chunks(shared, &job);
+    }
+}
+
+/// Grab and execute chunks of `job` until none remain.
+fn run_chunks(shared: &Shared, job: &Job) {
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.n_chunks {
+            return;
+        }
+        // SAFETY: `remaining` for this chunk is only decremented after the
+        // call below returns, and the submitter blocks until `remaining`
+        // reaches zero — so the pointee is alive here.
+        let f = unsafe { &*job.task.0 };
+        if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+            job.panicked.store(true, Ordering::Relaxed);
+        }
+        if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last chunk overall: wake the submitter. Taking the lock
+            // before notifying closes the check-then-wait race.
+            let _st = shared.state.lock().unwrap();
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+fn threads_from_env() -> usize {
+    let default = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("ODT_THREADS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(default),
+        Err(_) => default(),
+    }
+}
+
+fn pool() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(ThreadPool::from_env)
+}
+
+/// Number of parallel lanes (workers + the submitting thread). Reads
+/// `ODT_THREADS` on first use; defaults to the available cores.
+pub fn num_threads() -> usize {
+    pool().threads
+}
+
+/// Force pool creation and metric registration (`compute.threads`,
+/// `compute.tasks`, `compute.queue_wait_us`). Useful at program start so
+/// the gauges exist in every metrics snapshot even before the first
+/// parallel kernel runs.
+pub fn ensure_initialized() {
+    let _ = num_threads();
+    let _ = odt_obs::counter("compute.tasks").get();
+    let _ = odt_obs::histogram("compute.queue_wait_us").count();
+}
+
+/// Run `f` with all `parallel_*` calls on this thread executing inline
+/// (single-threaded), regardless of pool size. The sequential baseline for
+/// benchmarks and the equivalence tests; chunk *splits* are unchanged, so
+/// deterministic fixed-split reductions produce bit-identical results to
+/// the parallel path.
+pub fn run_sequential<R>(f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            INLINE.with(|c| c.set(c.get() - 1));
+        }
+    }
+    INLINE.with(|c| c.set(c.get() + 1));
+    let _g = Guard;
+    f()
+}
+
+/// `true` when `parallel_*` calls on this thread currently run inline
+/// (worker thread, nested call, or [`run_sequential`] scope).
+pub fn is_inline() -> bool {
+    INLINE.with(|c| c.get()) > 0
+}
+
+/// Execute `f(chunk_index)` for every chunk in `0..n_chunks`, distributing
+/// chunks over the pool. Blocks until all chunks are done. Runs inline when
+/// nested, when the pool has one lane, or for a single chunk.
+pub fn parallel_for_chunks<F>(n_chunks: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if n_chunks == 0 {
+        return;
+    }
+    if n_chunks == 1 || is_inline() {
+        for i in 0..n_chunks {
+            f(i);
+        }
+        return;
+    }
+    let p = pool();
+    if p.threads <= 1 {
+        for i in 0..n_chunks {
+            f(i);
+        }
+        return;
+    }
+    p.run(n_chunks, &f);
+}
+
+/// Chunk row count targeting ~4 chunks per lane (for load balance on
+/// uneven work), but at least `grain` rows per chunk so tiny rows are not
+/// dispatched individually.
+fn rows_per_chunk(rows: usize, grain: usize) -> usize {
+    let lanes = if is_inline() { 1 } else { num_threads() };
+    rows.div_ceil(lanes * 4).max(grain.max(1))
+}
+
+/// Split `data` (a row-major `[rows, row_len]` buffer) into disjoint row
+/// ranges and run `f(first_row, rows_slice)` on each in parallel. Each
+/// slice holds whole rows; `first_row` is the index of its first row.
+pub fn parallel_rows<F>(data: &mut [f32], row_len: usize, grain_rows: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(row_len > 0, "parallel_rows needs row_len > 0");
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "buffer length {} not a multiple of row length {row_len}",
+        data.len()
+    );
+    let rows = data.len() / row_len;
+    if rows == 0 {
+        return;
+    }
+    let per = rows_per_chunk(rows, grain_rows);
+    let n_chunks = rows.div_ceil(per);
+    let base = data.as_mut_ptr() as usize;
+    parallel_for_chunks(n_chunks, |c| {
+        let r0 = c * per;
+        let r1 = (r0 + per).min(rows);
+        // SAFETY: chunks cover disjoint row ranges of `data`, and the
+        // enclosing call does not return (nor otherwise touch `data`)
+        // until every chunk has completed.
+        let slice = unsafe {
+            std::slice::from_raw_parts_mut(
+                (base as *mut f32).add(r0 * row_len),
+                (r1 - r0) * row_len,
+            )
+        };
+        f(r0, slice);
+    });
+}
+
+/// Like [`parallel_rows`], but splits two buffers that share a row count
+/// (`a` is `[rows, la]`, `b` is `[rows, lb]`) by the same row ranges, so a
+/// kernel can fill a per-row output and a per-row statistic in one pass.
+pub fn parallel_rows2<F>(
+    a: &mut [f32],
+    b: &mut [f32],
+    la: usize,
+    lb: usize,
+    grain_rows: usize,
+    f: F,
+) where
+    F: Fn(usize, &mut [f32], &mut [f32]) + Sync,
+{
+    assert!(
+        la > 0 && lb > 0,
+        "parallel_rows2 needs positive row lengths"
+    );
+    assert_eq!(a.len() % la, 0, "buffer a not a multiple of its row length");
+    assert_eq!(b.len() % lb, 0, "buffer b not a multiple of its row length");
+    let rows = a.len() / la;
+    assert_eq!(rows, b.len() / lb, "buffers disagree on row count");
+    if rows == 0 {
+        return;
+    }
+    let per = rows_per_chunk(rows, grain_rows);
+    let n_chunks = rows.div_ceil(per);
+    let base_a = a.as_mut_ptr() as usize;
+    let base_b = b.as_mut_ptr() as usize;
+    parallel_for_chunks(n_chunks, |c| {
+        let r0 = c * per;
+        let r1 = (r0 + per).min(rows);
+        // SAFETY: as in `parallel_rows` — disjoint row ranges per chunk of
+        // two buffers that are both exclusively borrowed by this call.
+        let (sa, sb) = unsafe {
+            (
+                std::slice::from_raw_parts_mut((base_a as *mut f32).add(r0 * la), (r1 - r0) * la),
+                std::slice::from_raw_parts_mut((base_b as *mut f32).add(r0 * lb), (r1 - r0) * lb),
+            )
+        };
+        f(r0, sa, sb);
+    });
+}
+
+/// Split a flat buffer into disjoint element ranges of at least
+/// `grain` elements and run `f(first_index, chunk)` on each in parallel.
+pub fn parallel_chunks_mut<F>(data: &mut [f32], grain: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    parallel_rows(data, 1, grain, f);
+}
+
+/// Deterministic fixed-split parallel reduction.
+///
+/// Items `0..n_items` are split into chunks of exactly `items_per_chunk`
+/// (the last may be short) **independently of the thread count**. Each
+/// chunk folds its items, in ascending order, into a fresh accumulator
+/// from `make()`; the per-chunk partials are returned in chunk order for
+/// the caller to merge. Because neither the split nor either fold order
+/// depends on scheduling, the result is bit-identical across any pool
+/// size, including [`run_sequential`].
+pub fn parallel_reduce_deterministic<T, M, F>(
+    n_items: usize,
+    items_per_chunk: usize,
+    make: M,
+    fold: F,
+) -> Vec<T>
+where
+    T: Send,
+    M: Fn() -> T + Sync,
+    F: Fn(&mut T, usize) + Sync,
+{
+    let per = items_per_chunk.max(1);
+    let n_chunks = n_items.div_ceil(per);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n_chunks);
+    slots.resize_with(n_chunks, || None);
+    let base = slots.as_mut_ptr() as usize;
+    parallel_for_chunks(n_chunks, |c| {
+        let mut acc = make();
+        for i in c * per..((c + 1) * per).min(n_items) {
+            fold(&mut acc, i);
+        }
+        // SAFETY: each chunk writes exactly its own pre-allocated slot,
+        // and the enclosing call owns `slots` and blocks until all chunks
+        // complete. Overwriting the `None` drops nothing.
+        unsafe { *(base as *mut Option<T>).add(c) = Some(acc) };
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every chunk fills its slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_chunk_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_chunks(97, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_rows_partitions_whole_buffer() {
+        let mut data = vec![0.0f32; 13 * 7];
+        parallel_rows(&mut data, 7, 1, |r0, rows| {
+            for (off, row) in rows.chunks_mut(7).enumerate() {
+                for v in row.iter_mut() {
+                    *v = (r0 + off) as f32;
+                }
+            }
+        });
+        for r in 0..13 {
+            assert!(data[r * 7..(r + 1) * 7].iter().all(|&v| v == r as f32));
+        }
+    }
+
+    #[test]
+    fn parallel_rows2_shares_row_ranges() {
+        let mut a = vec![0.0f32; 9 * 4];
+        let mut b = vec![0.0f32; 9];
+        parallel_rows2(&mut a, &mut b, 4, 1, 1, |r0, sa, sb| {
+            for (off, row) in sa.chunks_mut(4).enumerate() {
+                let r = (r0 + off) as f32;
+                row.fill(r);
+                sb[off] = r * 10.0;
+            }
+        });
+        for r in 0..9 {
+            assert!(a[r * 4..(r + 1) * 4].iter().all(|&v| v == r as f32));
+            assert_eq!(b[r], r as f32 * 10.0);
+        }
+    }
+
+    #[test]
+    fn reduce_is_fixed_split_and_ordered() {
+        // Partial sums must reflect the fixed split, not the thread count.
+        let parts = parallel_reduce_deterministic(10, 4, || 0u64, |acc, i| *acc += i as u64);
+        // Chunks are [0..4), [4..8), [8..10) regardless of pool size.
+        assert_eq!(parts, vec![6, 22, 17]);
+        let seq = run_sequential(|| {
+            parallel_reduce_deterministic(10, 4, || 0u64, |acc, i| *acc += i as u64)
+        });
+        assert_eq!(parts, seq);
+    }
+
+    #[test]
+    fn run_sequential_forces_inline() {
+        run_sequential(|| {
+            assert!(is_inline());
+            let tid = std::thread::current().id();
+            parallel_for_chunks(64, |_| {
+                assert_eq!(std::thread::current().id(), tid);
+            });
+        });
+        assert!(!is_inline());
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_inline_not_deadlock() {
+        let count = AtomicU64::new(0);
+        parallel_for_chunks(8, |_| {
+            parallel_for_chunks(8, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn concurrent_submitters_all_complete() {
+        let total = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let total = total.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    parallel_for_chunks(16, |_| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 50 * 16);
+    }
+
+    #[test]
+    fn chunk_panic_propagates_to_submitter() {
+        let r = catch_unwind(|| {
+            parallel_for_chunks(8, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn zero_and_one_chunks_are_noops_or_inline() {
+        parallel_for_chunks(0, |_| panic!("must not run"));
+        let ran = AtomicUsize::new(0);
+        parallel_for_chunks(1, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+}

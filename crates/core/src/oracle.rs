@@ -11,19 +11,20 @@ use odt_roadnet::{Point, Projection};
 use odt_tensor::{Graph, Tensor};
 use odt_traj::{GridSpec, OdtInput, Pit};
 use rand::Rng;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Record one served query into the per-path latency histograms:
 /// `serve.query.fallback` when the answer came from the degraded-mode
 /// haversine prior, `serve.query.full` when the full DDPM → estimator
-/// pipeline produced it. `serve.queries` counts both.
-fn record_query_latency(start: Instant, fallback: bool) {
+/// pipeline produced it. `serve.queries` counts both. Batched serving
+/// records the amortized per-query share of the batch's wall clock.
+fn record_query_latency(elapsed: Duration, fallback: bool) {
     let hist = if fallback {
         odt_obs::histogram("serve.query.fallback")
     } else {
         odt_obs::histogram("serve.query.full")
     };
-    hist.record(start.elapsed());
+    hist.record(elapsed);
     odt_obs::counter("serve.queries").inc();
 }
 
@@ -118,8 +119,15 @@ impl Dot {
         if odts.is_empty() {
             return Vec::new();
         }
-        let _span = odt_obs::span("oracle.infer_pits");
         let odts = self.sanitize_all(odts);
+        self.infer_pits_presanitized(&odts, rng)
+    }
+
+    /// [`Dot::infer_pits`] for queries already passed through
+    /// [`Dot::sanitize_all`] — the shared body that lets the serving entry
+    /// points sanitize exactly once.
+    fn infer_pits_presanitized(&self, odts: &[OdtInput], rng: &mut impl Rng) -> Vec<Pit> {
+        let _span = odt_obs::span("oracle.infer_pits");
         let b = odts.len();
         let mut cond = Tensor::zeros(vec![b, 5]);
         for (i, odt) in odts.iter().enumerate() {
@@ -128,6 +136,7 @@ impl Dot {
             }
         }
         let lg = self.cfg.lg;
+        let per = 3 * lg * lg;
         let k = self.cfg.infer_candidates.max(1);
         // best (score, pit) per query across candidate rounds.
         let mut best: Vec<Option<(f64, Pit)>> = (0..b).map(|_| None).collect();
@@ -138,7 +147,10 @@ impl Dot {
                 self.ddpm
                     .sample_clamped(&self.denoiser, &cond, 3, lg, Some((-1.0, 1.0)), rng);
             for i in 0..b {
-                let t = out.slice(0, i, i + 1).reshape(vec![3, lg, lg]);
+                // One direct copy of the sample's slab (no intermediate
+                // slice + reshape tensors per query per round).
+                let t =
+                    Tensor::from_vec(out.data()[i * per..(i + 1) * per].to_vec(), vec![3, lg, lg]);
                 let pit = Pit::from_tensor(t).sanitized();
                 let expected = self.expected_cells(&odts[i]);
                 let count = pit.num_visited() as f64;
@@ -190,9 +202,11 @@ impl Dot {
             Some((-1.0, 1.0)),
             rng,
         );
+        let per = 3 * lg * lg;
         (0..b)
             .map(|i| {
-                let t = out.slice(0, i, i + 1).reshape(vec![3, lg, lg]);
+                let t =
+                    Tensor::from_vec(out.data()[i * per..(i + 1) * per].to_vec(), vec![3, lg, lg]);
                 Pit::from_tensor(t).sanitized()
             })
             .collect()
@@ -212,6 +226,21 @@ impl Dot {
         let pred = self.estimator.predict(&g, pit);
         let v = g.value(pred).data()[0] as f64;
         (v * self.tt_std + self.tt_mean).max(0.0)
+    }
+
+    /// Estimate the travel times of a batch of PiTs through one fused
+    /// estimator forward pass ([`PitEstimator::predict_batch`]).
+    pub fn estimate_from_pits(&self, pits: &[Pit]) -> Vec<f64> {
+        if pits.is_empty() {
+            return Vec::new();
+        }
+        let g = Graph::new();
+        let pred = self.estimator.predict_batch(&g, pits);
+        g.value(pred)
+            .data()
+            .iter()
+            .map(|&v| (v as f64 * self.tt_std + self.tt_mean).max(0.0))
+            .collect()
     }
 
     /// Sanitize a batch of queries (clamping policy of
@@ -239,7 +268,7 @@ impl Dot {
     pub fn estimate_from_pit_guarded(&self, odt: &OdtInput, pit: Pit) -> Estimate {
         let t0 = Instant::now();
         let (est, fallback) = self.guarded_inner(odt, pit);
-        record_query_latency(t0, fallback);
+        record_query_latency(t0.elapsed(), fallback);
         est
     }
 
@@ -288,10 +317,81 @@ impl Dot {
         if changed {
             self.stats.record_query_clamped();
         }
-        let pit = self.infer_pit(&clean, rng);
+        let pit = self
+            .infer_pits_presanitized(std::slice::from_ref(&clean), rng)
+            .pop()
+            .expect("one query in, one PiT out");
         let (est, fallback) = self.guarded_inner(&clean, pit);
-        record_query_latency(t0, fallback);
+        record_query_latency(t0.elapsed(), fallback);
         est
+    }
+
+    /// Batched ODT-Oracle serving: sanitize every query once, infer all
+    /// PiTs through **one** shared reverse-diffusion chain (every denoiser
+    /// forward pass covers the whole batch), then estimate the surviving
+    /// queries through **one** fused estimator pass. Per-query guardrails
+    /// match [`Dot::estimate`]: degenerate PiTs and non-finite estimates
+    /// fall back to the haversine prior when degraded mode is enabled.
+    ///
+    /// The batch wall clock is amortized into the per-path latency
+    /// histograms (one `serve.queries` tick per query), so serving metrics
+    /// stay comparable between the sequential and batched paths.
+    pub fn estimate_batch(&self, odts: &[OdtInput], rng: &mut impl Rng) -> Vec<Estimate> {
+        if odts.is_empty() {
+            return Vec::new();
+        }
+        let _span = odt_obs::span("oracle.estimate_batch");
+        let t0 = Instant::now();
+        let n = odts.len();
+        let clean = self.sanitize_all(odts);
+        let pits = self.infer_pits_presanitized(&clean, rng);
+        let fallback_on = self.cfg.robustness.degraded_mode_fallback;
+        let mut seconds = vec![0.0f64; n];
+        let mut is_fallback = vec![false; n];
+        let mut live_idx: Vec<usize> = Vec::with_capacity(n);
+        let mut live_pits: Vec<Pit> = Vec::with_capacity(n);
+        for (i, pit) in pits.iter().enumerate() {
+            let degenerate = guard::pit_is_degenerate(pit);
+            if degenerate {
+                self.stats.record_degenerate_pit();
+                event(Level::Warn, "serve.degenerate_pit")
+                    .field("visited", pit.num_visited())
+                    .emit();
+            }
+            if fallback_on && degenerate {
+                self.stats.record_fallback();
+                event(Level::Warn, "serve.fallback")
+                    .field("reason", "degenerate_pit")
+                    .emit();
+                seconds[i] = guard::fallback_estimate_seconds(&clean[i]);
+                is_fallback[i] = true;
+            } else {
+                live_idx.push(i);
+                live_pits.push(pit.clone());
+            }
+        }
+        if !live_pits.is_empty() {
+            for (&i, s) in live_idx.iter().zip(self.estimate_from_pits(&live_pits)) {
+                if fallback_on && !s.is_finite() {
+                    self.stats.record_fallback();
+                    event(Level::Warn, "serve.fallback")
+                        .field("reason", "non_finite_estimate")
+                        .emit();
+                    seconds[i] = guard::fallback_estimate_seconds(&clean[i]);
+                    is_fallback[i] = true;
+                } else {
+                    seconds[i] = s;
+                }
+            }
+        }
+        let per_query = t0.elapsed() / n as u32;
+        for &fb in &is_fallback {
+            record_query_latency(per_query, fb);
+        }
+        pits.into_iter()
+            .zip(seconds)
+            .map(|(pit, seconds)| Estimate { seconds, pit })
+            .collect()
     }
 
     /// [`Dot::estimate`] over the accelerated DDIM sampler
@@ -313,7 +413,7 @@ impl Dot {
             .pop()
             .expect("one query in, one PiT out");
         let (est, fallback) = self.guarded_inner(&clean, pit);
-        record_query_latency(t0, fallback);
+        record_query_latency(t0.elapsed(), fallback);
         est
     }
 

@@ -913,6 +913,27 @@ mod tests {
     }
 
     #[test]
+    fn estimate_batch_serves_every_query() {
+        let data = tiny_dataset(8);
+        let model = Dot::train(tiny_config(8), &data, |_| {});
+        let odts: Vec<OdtInput> = data
+            .split(Split::Test)
+            .iter()
+            .take(5)
+            .map(OdtInput::from_trajectory)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(6);
+        let ests = model.estimate_batch(&odts, &mut rng);
+        assert_eq!(ests.len(), odts.len());
+        for est in &ests {
+            assert!(est.seconds.is_finite() && est.seconds >= 0.0);
+            assert_eq!(est.pit.lg(), 8);
+        }
+        // The empty batch short-circuits.
+        assert!(model.estimate_batch(&[], &mut rng).is_empty());
+    }
+
+    #[test]
     fn ablation_estimators_build_and_run() {
         let data = tiny_dataset(8);
         for kind in [EstimatorKind::Cnn, EstimatorKind::VanillaVit] {

@@ -145,6 +145,9 @@ impl Ddpm {
     ) -> Tensor {
         let b = cond.shape()[0];
         let mut x = Self::sample_noise(vec![b, channels, lg, lg], rng);
+        // Noise scratch reused across steps; `normal_into` draws the same
+        // RNG sequence as the allocating path, so samples are unchanged.
+        let mut z = Tensor::zeros(x.shape().to_vec());
         let step_hist = odt_obs::histogram("stage1.denoise_step");
         for n in (1..=self.schedule.n_steps()).rev() {
             let step_t0 = std::time::Instant::now();
@@ -170,21 +173,27 @@ impl Ddpm {
             let inv_sqrt_ab = 1.0 / ab.sqrt();
             let noise_scale = (1.0 - ab).sqrt();
 
-            let z = if n > 1 {
-                Self::sample_noise(x.shape().to_vec(), rng)
+            if n > 1 {
+                odt_tensor::init::normal_into(rng, z.data_mut(), 1.0);
             } else {
-                Tensor::zeros(x.shape().to_vec())
-            };
-            let mut next = x.clone();
-            for i in 0..next.numel() {
-                let xn = x.data()[i];
-                let mut x0_hat = inv_sqrt_ab * (xn - noise_scale * eps_pred.data()[i]);
-                if let Some((lo, hi)) = clamp {
-                    x0_hat = x0_hat.clamp(lo, hi);
-                }
-                next.data_mut()[i] = coef_x0 * x0_hat + coef_xn * xn + sigma * z.data()[i];
+                z.data_mut().fill(0.0);
             }
-            x = next;
+            // In-place elementwise update (each lane reads its own x before
+            // writing it): the whole batch advances one denoise step at a
+            // time, parallel over disjoint element ranges.
+            let ep = eps_pred.data();
+            let zd = z.data();
+            odt_compute::parallel_chunks_mut(x.data_mut(), 8192, |i0, xs| {
+                for (off, xe) in xs.iter_mut().enumerate() {
+                    let i = i0 + off;
+                    let xn = *xe;
+                    let mut x0_hat = inv_sqrt_ab * (xn - noise_scale * ep[i]);
+                    if let Some((lo, hi)) = clamp {
+                        x0_hat = x0_hat.clamp(lo, hi);
+                    }
+                    *xe = coef_x0 * x0_hat + coef_xn * xn + sigma * zd[i];
+                }
+            });
             step_hist.record(step_t0.elapsed());
         }
         x
@@ -240,17 +249,18 @@ impl Ddpm {
             let inv_sqrt_ab = 1.0 / ab.sqrt();
             let noise_scale = (1.0 - ab).sqrt();
             let next_noise = (1.0 - ab_next).sqrt();
-            let mut next = x.clone();
-            for j in 0..next.numel() {
-                let xn = x.data()[j];
-                let e = eps.data()[j];
-                let mut x0_hat = inv_sqrt_ab * (xn - noise_scale * e);
-                if let Some((lo, hi)) = clamp {
-                    x0_hat = x0_hat.clamp(lo, hi);
+            let sqrt_ab_next = ab_next.sqrt();
+            let ep = eps.data();
+            odt_compute::parallel_chunks_mut(x.data_mut(), 8192, |j0, xs| {
+                for (off, xe) in xs.iter_mut().enumerate() {
+                    let e = ep[j0 + off];
+                    let mut x0_hat = inv_sqrt_ab * (*xe - noise_scale * e);
+                    if let Some((lo, hi)) = clamp {
+                        x0_hat = x0_hat.clamp(lo, hi);
+                    }
+                    *xe = sqrt_ab_next * x0_hat + next_noise * e;
                 }
-                next.data_mut()[j] = ab_next.sqrt() * x0_hat + next_noise * e;
-            }
-            x = next;
+            });
             step_hist.record(step_t0.elapsed());
         }
         x

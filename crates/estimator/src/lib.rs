@@ -38,6 +38,16 @@ pub trait PitEstimator {
     /// Predict the (normalized) travel time of one PiT as a `[1]` node.
     fn predict(&self, g: &Graph, pit: &Pit) -> Var;
 
+    /// Predict the (normalized) travel times of a batch of PiTs as a `[b]`
+    /// node. The default runs [`PitEstimator::predict`] per PiT and
+    /// concatenates; estimators that can fuse the batch into one forward
+    /// pass (e.g. [`MVit`]) override this.
+    fn predict_batch(&self, g: &Graph, pits: &[Pit]) -> Var {
+        assert!(!pits.is_empty(), "predict_batch needs at least one PiT");
+        let outs: Vec<Var> = pits.iter().map(|p| self.predict(g, p)).collect();
+        g.concat(&outs, 0)
+    }
+
     /// All trainable parameters.
     fn estimator_params(&self) -> Vec<Param>;
 }

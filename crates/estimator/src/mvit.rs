@@ -10,7 +10,7 @@
 use crate::embed::{EmbedderConfig, PitEmbedder};
 use crate::PitEstimator;
 use odt_nn::{EncoderLayer, HasParams, Linear};
-use odt_tensor::{Graph, Param, Var};
+use odt_tensor::{Graph, Param, Tensor, Var};
 use odt_traj::Pit;
 use rand::Rng;
 
@@ -113,6 +113,62 @@ impl PitEstimator for MVit {
         g.reshape(out, vec![1])
     }
 
+    /// One fused forward pass for the whole batch: sequences are padded to
+    /// the longest visited set with zero rows and an additive `-1e9` key
+    /// mask (softmax weight `exp(-1e9 − m)` underflows to exactly 0 in
+    /// `f32`, so padding contributes nothing to attention), then pooled
+    /// with per-row `1/t_i` weights — the batched equivalent of the
+    /// per-PiT mean pool, up to float rounding.
+    fn predict_batch(&self, g: &Graph, pits: &[Pit]) -> Var {
+        let _span = odt_obs::span("stage2.mvit.predict_batch");
+        assert!(!pits.is_empty(), "predict_batch needs at least one PiT");
+        let b = pits.len();
+        let d = self.fc_pre.in_dim();
+        let index_sets: Vec<Vec<usize>> = pits
+            .iter()
+            .map(|p| {
+                let mut idx = p.visited_indices();
+                if idx.is_empty() {
+                    idx = (0..p.lg() * p.lg()).collect();
+                }
+                idx
+            })
+            .collect();
+        let tmax = index_sets.iter().map(|s| s.len()).max().expect("non-empty");
+        let mut rows = Vec::with_capacity(b);
+        let mut any_pad = false;
+        let mut mask = Tensor::zeros(vec![b, tmax]);
+        let mut weights = Tensor::zeros(vec![b, tmax, 1]);
+        for (i, (pit, idx)) in pits.iter().zip(&index_sets).enumerate() {
+            let t = idx.len();
+            let seq = self.embedder.embed(g, pit, idx); // [t, d]
+            let mut sample = g.reshape(seq, vec![1, t, d]);
+            if t < tmax {
+                any_pad = true;
+                let pad = g.input(Tensor::zeros(vec![1, tmax - t, d]));
+                sample = g.concat(&[sample, pad], 1);
+                for j in t..tmax {
+                    mask.data_mut()[i * tmax + j] = -1e9;
+                }
+            }
+            for j in 0..t {
+                weights.data_mut()[i * tmax + j] = 1.0 / t as f32;
+            }
+            rows.push(sample);
+        }
+        let mut x = g.concat(&rows, 0); // [b, tmax, d]
+        let key_mask = if any_pad { Some(mask) } else { None };
+        for layer in &self.layers {
+            x = layer.forward(g, x, key_mask.as_ref());
+        }
+        // Masked mean pool: [b, tmax, 1] weights broadcast over d, then
+        // sum over the sequence axis.
+        let w = g.input(weights);
+        let pooled = g.sum_axis(g.mul(x, w), 1, false); // [b, d]
+        let out = self.fc_pre.forward(g, pooled); // [b, 1]
+        g.reshape(out, vec![b])
+    }
+
     fn estimator_params(&self) -> Vec<Param> {
         let mut p = self.embedder.params();
         for l in &self.layers {
@@ -187,6 +243,51 @@ pub(crate) mod tests {
         let g = Graph::new();
         assert_eq!(g.shape(m.predict(&g, &short)), vec![1]);
         assert_eq!(g.shape(m.predict(&g, &long)), vec![1]);
+    }
+
+    #[test]
+    fn predict_batch_matches_per_pit_predict() {
+        // The fused batched pass (padding + key mask + weighted pool) must
+        // agree with per-PiT prediction up to float rounding.
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = MVit::with_defaults(&mut rng, &MVitConfig::fast(), 8);
+        let pits = vec![
+            pit_with_visits(8, &[(0, 0), (0, 1)], &[0.0, 60.0]),
+            pit_with_visits(
+                8,
+                &[(0, 0), (1, 1), (2, 2), (3, 3), (4, 4), (5, 5)],
+                &[0.0, 60.0, 120.0, 180.0, 240.0, 300.0],
+            ),
+            pit_with_visits(8, &[(7, 7), (6, 7), (5, 7)], &[0.0, 30.0, 90.0]),
+        ];
+        let g = Graph::new();
+        let batched = g.value(m.predict_batch(&g, &pits));
+        assert_eq!(batched.shape(), &[3]);
+        for (i, pit) in pits.iter().enumerate() {
+            let single = g.value(m.predict(&g, pit)).data()[0];
+            let bv = batched.data()[i];
+            assert!(
+                (single - bv).abs() < 1e-4,
+                "pit {i}: single {single} vs batched {bv}"
+            );
+        }
+    }
+
+    #[test]
+    fn predict_batch_uniform_lengths_skips_mask() {
+        // Same-length PiTs take the unmasked path and must still agree.
+        let mut rng = StdRng::seed_from_u64(10);
+        let m = MVit::with_defaults(&mut rng, &MVitConfig::fast(), 6);
+        let pits = vec![
+            pit_with_visits(6, &[(0, 0), (1, 1)], &[0.0, 60.0]),
+            pit_with_visits(6, &[(5, 5), (4, 4)], &[0.0, 90.0]),
+        ];
+        let g = Graph::new();
+        let batched = g.value(m.predict_batch(&g, &pits));
+        for (i, pit) in pits.iter().enumerate() {
+            let single = g.value(m.predict(&g, pit)).data()[0];
+            assert!((single - batched.data()[i]).abs() < 1e-4);
+        }
     }
 
     #[test]

@@ -1,9 +1,30 @@
 //! Table 5: efficiency on Chengdu — model size, training time and
-//! estimation speed of every method.
+//! estimation speed of every method, plus a batched-serving throughput
+//! comparison for DOT (`--batch <N>`, default 64).
+//!
+//! Besides the console table, writes `BENCH_table5.json` at the repo root:
+//!
+//! ```json
+//! {
+//!   "schema": "odt-bench-table5/v1",
+//!   "profile": str,             // eval profile name
+//!   "seed": u64,
+//!   "threads": usize,           // odt-compute pool width for this run
+//!   "batch_size": usize,        // N from --batch
+//!   "sequential": { "queries": usize, "seconds": f64, "sec_per_k_queries": f64 },
+//!   "batched":    { "queries": usize, "seconds": f64, "sec_per_k_queries": f64 },
+//!   "speedup": f64,             // sequential / batched (sec/Kq ratio)
+//!   "methods": [ { "name": str, "model_size_bytes": usize,
+//!                  "train_seconds": f64, "sec_per_k_queries": f64 } ]
+//! }
+//! ```
 
 use odt_eval::harness::{prepare_city, run_baselines, run_dot, City};
 use odt_eval::profile::EvalProfile;
 use odt_eval::report::{print_ordering_check, print_table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
 
 /// Paper Table 5: (method, size, train min/epoch, est s/K-queries).
 const PAPER: &[(&str, &str, &str, f64)] = &[
@@ -31,8 +52,19 @@ fn human_bytes(b: usize) -> String {
     }
 }
 
+/// Parse `--batch <N>` from the raw CLI args (default 64).
+fn batch_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--batch")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--batch must be an integer"))
+        .unwrap_or(64)
+}
+
 fn main() {
     let profile = EvalProfile::from_args();
+    let batch_size = batch_arg().max(1);
     let _telemetry = odt_eval::telemetry::init(&profile);
     println!(
         "Table 5 — efficiency on Chengdu (profile: {}, seed {})",
@@ -108,4 +140,89 @@ fn main() {
             dot.sec_per_k_queries < stdgcn.sec_per_k_queries * 40.0,
         );
     }
+
+    // Batched-vs-sequential DOT serving throughput. The same N queries
+    // (test queries cycled up to the batch size) go through N sequential
+    // `estimate` calls and one `estimate_batch` call; identical seeds so
+    // the denoising work is comparable.
+    let queries: Vec<_> = run
+        .test_odts
+        .iter()
+        .cycle()
+        .take(batch_size)
+        .cloned()
+        .collect();
+    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let t0 = Instant::now();
+    for q in &queries {
+        let _ = model.estimate(q, &mut rng);
+    }
+    let seq_s = t0.elapsed().as_secs_f64();
+    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let t0 = Instant::now();
+    let batched = model.estimate_batch(&queries, &mut rng);
+    let bat_s = t0.elapsed().as_secs_f64();
+    assert_eq!(batched.len(), queries.len());
+    let per_k = |s: f64| s / queries.len() as f64 * 1_000.0;
+    let speedup = if bat_s > 0.0 { seq_s / bat_s } else { 0.0 };
+    print_table(
+        &format!("DOT serving: sequential vs batched (batch {batch_size})"),
+        "Same queries and seed; batched funnels all PiT inference through one \
+         denoising pass and one estimator forward.",
+        &["mode", "queries", "seconds", "s/Kq"],
+        &[
+            vec![
+                "sequential".into(),
+                queries.len().to_string(),
+                format!("{seq_s:.3}"),
+                format!("{:.2}", per_k(seq_s)),
+            ],
+            vec![
+                "batched".into(),
+                queries.len().to_string(),
+                format!("{bat_s:.3}"),
+                format!("{:.2}", per_k(bat_s)),
+            ],
+        ],
+    );
+    println!("batched speedup: {speedup:.2}x over sequential");
+
+    let methods: Vec<serde_json::Value> = results
+        .iter()
+        .chain(std::iter::once(&dot_result))
+        .map(|r| {
+            serde_json::json!({
+                "name": r.name,
+                "model_size_bytes": r.model_size_bytes,
+                "train_seconds": r.train_seconds,
+                "sec_per_k_queries": r.sec_per_k_queries,
+            })
+        })
+        .collect();
+    let report = serde_json::json!({
+        "schema": "odt-bench-table5/v1",
+        "profile": profile.name,
+        "seed": profile.seed,
+        "threads": odt_compute::num_threads(),
+        "batch_size": batch_size,
+        "sequential": {
+            "queries": queries.len(),
+            "seconds": seq_s,
+            "sec_per_k_queries": per_k(seq_s),
+        },
+        "batched": {
+            "queries": queries.len(),
+            "seconds": bat_s,
+            "sec_per_k_queries": per_k(bat_s),
+        },
+        "speedup": speedup,
+        "methods": methods,
+    });
+    let path = "BENCH_table5.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
 }

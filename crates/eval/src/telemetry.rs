@@ -27,11 +27,14 @@ pub struct Telemetry {
 
 /// Start telemetry for a run: pre-register the per-path serving histograms
 /// (so `serve.query.full` and `serve.query.fallback` both appear in every
-/// summary, even at count 0), attach the JSONL sink when the profile asks
-/// for one, and emit `run.start`.
+/// summary, even at count 0), bring up the compute pool so its gauges
+/// (`compute.threads`, `compute.tasks`, `compute.queue_wait_us`) are part
+/// of every end-of-run summary, attach the JSONL sink when the profile
+/// asks for one, and emit `run.start`.
 pub fn init(profile: &EvalProfile) -> Telemetry {
     odt_obs::histogram("serve.query.full");
     odt_obs::histogram("serve.query.fallback");
+    odt_compute::ensure_initialized();
     let sink = profile.telemetry.as_ref().map(|path| {
         let id = odt_obs::add_sink(Arc::new(JsonlSink::new(path.clone())));
         (id, path.clone())
@@ -72,6 +75,27 @@ mod tests {
                 "{name} must be registered"
             );
         }
+    }
+
+    #[test]
+    fn init_registers_compute_pool_metrics() {
+        let profile = EvalProfile::fast();
+        let _t = init(&profile);
+        let snap = odt_obs::snapshot();
+        assert!(
+            snap.gauges.iter().any(|&(k, _)| k == "compute.threads"),
+            "pool-width gauge must be registered"
+        );
+        assert!(
+            snap.counters.iter().any(|&(k, _)| k == "compute.tasks"),
+            "task counter must be registered"
+        );
+        assert!(
+            snap.histograms
+                .iter()
+                .any(|&(k, _)| k == "compute.queue_wait_us"),
+            "queue-wait histogram must be registered"
+        );
     }
 
     #[test]

@@ -22,7 +22,8 @@ impl LayerNorm {
         }
     }
 
-    /// Apply to `[..., dim]`.
+    /// Apply to `[..., dim]` via the fused row-parallel graph op (one tape
+    /// node instead of the eight-op composed form).
     pub fn forward(&self, g: &Graph, x: Var) -> Var {
         let shape = g.shape(x);
         assert_eq!(
@@ -30,15 +31,9 @@ impl LayerNorm {
             self.dim,
             "layernorm dim mismatch"
         );
-        let last = shape.len() - 1;
-        let mean = g.mean_axis(x, last, true);
-        let centered = g.sub(x, mean);
-        let var = g.mean_axis(g.square(centered), last, true);
-        let std = g.sqrt(g.add_scalar(var, self.eps));
-        let normed = g.div(centered, std);
         let gamma = g.param(&self.gamma);
         let beta = g.param(&self.beta);
-        g.add(g.mul(normed, gamma), beta)
+        g.layernorm_lastdim(x, gamma, beta, self.eps)
     }
 }
 
@@ -137,6 +132,45 @@ mod tests {
             .params()
             .iter()
             .all(|p| p.grad().data().iter().any(|&v| v != 0.0) || p.name().contains("beta")));
+    }
+
+    #[test]
+    fn layernorm_fused_matches_composed_formula() {
+        // The fused graph op must agree with the op-by-op composition it
+        // replaced (same mean/var/eps convention), forward and backward.
+        let ln = LayerNorm::new(5, "ln");
+        let xt = Tensor::from_vec(
+            (0..15).map(|v| (v as f32) * 0.3 - 2.0).collect(),
+            vec![3, 5],
+        );
+
+        let g1 = Graph::new();
+        let x1 = g1.input(xt.clone());
+        let fused = ln.forward(&g1, x1);
+        let fused_val = g1.value(fused);
+        g1.backward(g1.sum_all(g1.square(fused)));
+        let fused_dx = g1.grad(x1).expect("grad");
+
+        let g2 = Graph::new();
+        let x2 = g2.input(xt.clone());
+        let mean = g2.mean_axis(x2, 1, true);
+        let centered = g2.sub(x2, mean);
+        let var = g2.mean_axis(g2.square(centered), 1, true);
+        let std = g2.sqrt(g2.add_scalar(var, 1e-5));
+        let normed = g2.div(centered, std);
+        let gamma = g2.param(&ln.gamma);
+        let beta = g2.param(&ln.beta);
+        let composed = g2.add(g2.mul(normed, gamma), beta);
+        let composed_val = g2.value(composed);
+        g2.backward(g2.sum_all(g2.square(composed)));
+        let composed_dx = g2.grad(x2).expect("grad");
+
+        for (a, b) in fused_val.data().iter().zip(composed_val.data()) {
+            assert!((a - b).abs() < 1e-5, "forward {a} vs {b}");
+        }
+        for (a, b) in fused_dx.data().iter().zip(composed_dx.data()) {
+            assert!((a - b).abs() < 1e-4, "backward {a} vs {b}");
+        }
     }
 
     #[test]

@@ -542,6 +542,105 @@ impl Graph {
         )
     }
 
+    /// Fused layer normalization over the last dimension with affine
+    /// parameters: `y = γ ⊙ (x − μ)/√(σ² + ε) + β` per row. One tape node
+    /// instead of the eight-op composed form; forward and backward are
+    /// row-parallel over disjoint ranges and bit-identical for any pool
+    /// size (the dγ/dβ row sums stay serial, in fixed row order).
+    pub fn layernorm_lastdim(&self, x: Var, gamma: Var, beta: Var, eps: f32) -> Var {
+        let vx = self.value(x);
+        let vg = self.value(gamma);
+        let vb = self.value(beta);
+        let d = *vx.shape().last().expect("layernorm needs rank >= 1");
+        assert!(d > 0, "layernorm needs a non-empty last dimension");
+        assert_eq!(vg.shape(), &[d], "layernorm gamma must be [d]");
+        assert_eq!(vb.shape(), &[d], "layernorm beta must be [d]");
+        let rows = vx.numel() / d;
+        let grain = (4096 / d).max(1);
+        // Forward: x̂ = (x − μ)/√(σ² + ε) per row, saved together with 1/σ
+        // for the backward pass; y = γ ⊙ x̂ + β.
+        let mut xhat = vx;
+        let mut inv_std = vec![0.0f32; rows];
+        odt_compute::parallel_rows2(
+            xhat.data_mut(),
+            &mut inv_std,
+            d,
+            1,
+            grain,
+            |_, xs, stats| {
+                for (row, s) in xs.chunks_mut(d).zip(stats.iter_mut()) {
+                    let mean = row.iter().sum::<f32>() / d as f32;
+                    let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+                    let inv = 1.0 / (var + eps).sqrt();
+                    for v in row.iter_mut() {
+                        *v = (*v - mean) * inv;
+                    }
+                    *s = inv;
+                }
+            },
+        );
+        let mut out = xhat.clone();
+        {
+            let gdat = vg.data();
+            let bdat = vb.data();
+            odt_compute::parallel_rows(out.data_mut(), d, grain, |_, ys| {
+                for row in ys.chunks_mut(d) {
+                    for ((y, &gv), &bv) in row.iter_mut().zip(gdat).zip(bdat) {
+                        *y = *y * gv + bv;
+                    }
+                }
+            });
+        }
+        self.push(
+            out,
+            vec![x.0, gamma.0, beta.0],
+            Some(Box::new(move |g| {
+                let gd = g.data();
+                let n_rows = inv_std.len();
+                // dβ = Σ_rows G ; dγ = Σ_rows G ⊙ x̂ (serial, fixed row order).
+                let mut dgamma = Tensor::zeros(vec![d]);
+                let mut dbeta = Tensor::zeros(vec![d]);
+                {
+                    let dg = dgamma.data_mut();
+                    let db = dbeta.data_mut();
+                    let xh = xhat.data();
+                    for r in 0..n_rows {
+                        let grow = &gd[r * d..(r + 1) * d];
+                        let xrow = &xh[r * d..(r + 1) * d];
+                        for j in 0..d {
+                            dg[j] += grow[j] * xrow[j];
+                            db[j] += grow[j];
+                        }
+                    }
+                }
+                // dx = (1/σ)(ĝ − mean(ĝ) − x̂ ⊙ mean(ĝ ⊙ x̂)) with ĝ = γ ⊙ G.
+                let mut dx = g.clone();
+                let gam = vg.data();
+                let xh = xhat.data();
+                let inv = &inv_std;
+                odt_compute::parallel_rows(dx.data_mut(), d, (4096 / d).max(1), |r0, drows| {
+                    for (off, row) in drows.chunks_mut(d).enumerate() {
+                        let r = r0 + off;
+                        let xrow = &xh[r * d..(r + 1) * d];
+                        let mut m1 = 0.0f32; // mean(ĝ)
+                        let mut m2 = 0.0f32; // mean(ĝ ⊙ x̂)
+                        for ((v, &gv), &xv) in row.iter_mut().zip(gam).zip(xrow) {
+                            *v *= gv;
+                            m1 += *v;
+                            m2 += *v * xv;
+                        }
+                        m1 /= d as f32;
+                        m2 /= d as f32;
+                        for (v, &xv) in row.iter_mut().zip(xrow) {
+                            *v = (*v - m1 - xv * m2) * inv[r];
+                        }
+                    }
+                });
+                vec![dx, dgamma, dbeta]
+            })),
+        )
+    }
+
     /// Mean-squared error between two tensors, returned as `[1]`.
     pub fn mse(&self, pred: Var, target: Var) -> Var {
         let d = self.sub(pred, target);
@@ -890,6 +989,49 @@ mod tests {
                 g.sum_all(g.mul(s, w))
             },
             &x,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_layernorm_input() {
+        let x = rand_t(vec![3, 6], 61);
+        check_grad(
+            &|g, v| {
+                let gamma = g.input(rand_t(vec![6], 62).add_scalar(1.5));
+                let beta = g.input(rand_t(vec![6], 63));
+                let y = g.layernorm_lastdim(v, gamma, beta, 1e-5);
+                let w = g.input(rand_t(vec![3, 6], 64));
+                g.sum_all(g.mul(y, w))
+            },
+            &x,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_layernorm_gamma_beta() {
+        // Check dγ/dβ by treating gamma (then beta) as the differentiated input.
+        let gamma0 = rand_t(vec![4], 65).add_scalar(1.0);
+        check_grad(
+            &|g, v| {
+                let x = g.input(rand_t(vec![2, 4], 66));
+                let beta = g.input(rand_t(vec![4], 67));
+                let w = g.input(rand_t(vec![2, 4], 68));
+                g.sum_all(g.mul(g.layernorm_lastdim(x, v, beta, 1e-5), w))
+            },
+            &gamma0,
+            1e-2,
+        );
+        let beta0 = rand_t(vec![4], 69);
+        check_grad(
+            &|g, v| {
+                let x = g.input(rand_t(vec![2, 4], 70));
+                let gamma = g.input(rand_t(vec![4], 71).add_scalar(1.0));
+                let w = g.input(rand_t(vec![2, 4], 72));
+                g.sum_all(g.mul(g.layernorm_lastdim(x, gamma, v, 1e-5), w))
+            },
+            &beta0,
             1e-2,
         );
     }

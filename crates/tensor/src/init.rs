@@ -17,18 +17,30 @@ pub fn uniform(rng: &mut impl Rng, shape: Vec<usize>, lo: f32, hi: f32) -> Tenso
 /// distribution-crate dependency).
 pub fn normal(rng: &mut impl Rng, shape: Vec<usize>, std: f32) -> Tensor {
     let n: usize = shape.iter().product();
-    let mut data = Vec::with_capacity(n);
-    while data.len() < n {
+    let mut data = vec![0.0f32; n];
+    normal_into(rng, &mut data, std);
+    Tensor::from_vec(data, shape)
+}
+
+/// Fill `out` with standard-normal values scaled by `std`, in place. Draws
+/// the same RNG sequence as [`normal`] for the same length, so callers that
+/// reuse a scratch buffer (e.g. the DDPM sampling loop) stay bit-identical
+/// to the allocating path.
+pub fn normal_into(rng: &mut impl Rng, out: &mut [f32], std: f32) {
+    let n = out.len();
+    let mut i = 0;
+    while i < n {
         let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
         let u2: f32 = rng.gen_range(0.0..1.0);
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f32::consts::PI * u2;
-        data.push(r * theta.cos() * std);
-        if data.len() < n {
-            data.push(r * theta.sin() * std);
+        out[i] = r * theta.cos() * std;
+        i += 1;
+        if i < n {
+            out[i] = r * theta.sin() * std;
+            i += 1;
         }
     }
-    Tensor::from_vec(data, shape)
 }
 
 /// Xavier/Glorot uniform initialization for a weight of shape
@@ -93,6 +105,15 @@ mod tests {
         let a = normal(&mut StdRng::seed_from_u64(7), vec![16], 1.0);
         let b = normal(&mut StdRng::seed_from_u64(7), vec![16], 1.0);
         assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn normal_into_matches_allocating_normal() {
+        // Odd length exercises the unpaired final Box–Muller draw.
+        let a = normal(&mut StdRng::seed_from_u64(11), vec![17], 0.7);
+        let mut buf = vec![9.0f32; 17];
+        normal_into(&mut StdRng::seed_from_u64(11), &mut buf, 0.7);
+        assert_eq!(a.data(), &buf[..]);
     }
 
     #[test]

@@ -2,11 +2,62 @@
 //! convolution (forward and the two backward kernels) and nearest-neighbor
 //! upsampling. The autograd [`crate::Graph`] dispatches into these.
 //!
-//! Kernels are plain nested loops in `ikj` order (matmul) / direct form
-//! (conv). At DOT's model sizes (images ≤ 30×30, channels ≤ 128, batch ≤ 64)
-//! these are fast enough on one CPU core and trivially auditable.
+//! The hot kernels run on [`odt_compute`]: matmul uses the cache-blocked,
+//! row-parallel GEMM; bmm fans out over all `batch × m` output rows; conv2d
+//! parallelizes over the batch (falling back to a row-parallel GEMM for the
+//! single-sample serving path) with a per-thread im2col scratch buffer so no
+//! call allocates a fresh `cols` matrix. Every parallel split writes disjoint
+//! output rows and preserves each element's ascending-`p` accumulation order,
+//! so forward and grad-input results are **bit-identical** to the naive
+//! single-threaded kernels (kept below under `#[cfg(test)]` as oracles) for
+//! any `ODT_THREADS`. The one true reduction — conv2d's weight gradient over
+//! the batch — uses the fixed-split deterministic reduce, so it is
+//! bit-identical across pool sizes (though it may differ from the naive
+//! serial sum by float associativity).
+//!
+//! Per-kernel wall-clock latency is recorded into `odt-obs` histograms
+//! (`kernel.matmul`, `kernel.bmm`, `kernel.conv2d`, `kernel.conv2d_dx`,
+//! `kernel.conv2d_dw`).
 
 use crate::tensor::Tensor;
+use odt_compute::gemm as pgemm;
+use std::cell::RefCell;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Fetch (once) a leaked histogram reference so the hot path never touches
+/// the registry mutex.
+fn khist(
+    cell: &'static OnceLock<&'static odt_obs::Histogram>,
+    name: &'static str,
+) -> &'static odt_obs::Histogram {
+    cell.get_or_init(|| odt_obs::histogram(name))
+}
+
+static H_MATMUL: OnceLock<&'static odt_obs::Histogram> = OnceLock::new();
+static H_BMM: OnceLock<&'static odt_obs::Histogram> = OnceLock::new();
+static H_CONV2D: OnceLock<&'static odt_obs::Histogram> = OnceLock::new();
+static H_CONV2D_DX: OnceLock<&'static odt_obs::Histogram> = OnceLock::new();
+static H_CONV2D_DW: OnceLock<&'static odt_obs::Histogram> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread im2col scratch, reused across samples and calls so the
+    /// conv kernels never allocate a fresh `cols` matrix per invocation.
+    static COLS_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a per-thread scratch slice of exactly `len` floats. The
+/// slice's contents are whatever the previous use left behind — callers must
+/// fully overwrite (im2col does) or explicitly zero it.
+fn with_cols_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    COLS_SCRATCH.with(|c| {
+        let mut v = c.borrow_mut();
+        if v.len() < len {
+            v.resize(len, 0.0);
+        }
+        f(&mut v[..len])
+    })
+}
 
 /// `C = A @ B` for 2-D matrices: `[m, k] @ [k, n] -> [m, n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
@@ -21,27 +72,15 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         a.shape(),
         b.shape()
     );
+    let t0 = Instant::now();
     let mut out = Tensor::zeros(vec![m, n]);
-    let ad = a.data();
-    let bd = b.data();
-    let od = out.data_mut();
-    for i in 0..m {
-        for p in 0..k {
-            let av = ad[i * k + p];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            let orow = &mut od[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
+    pgemm::gemm(a.data(), b.data(), out.data_mut(), m, k, n);
+    khist(&H_MATMUL, "kernel.matmul").record(t0.elapsed());
     out
 }
 
-/// Batched matmul: `[b, m, k] @ [b, k, n] -> [b, m, n]`.
+/// Batched matmul: `[b, m, k] @ [b, k, n] -> [b, m, n]`, parallel over all
+/// `b × m` output rows.
 pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.rank(), 3, "bmm lhs must be 3-D");
     assert_eq!(b.rank(), 3, "bmm rhs must be 3-D");
@@ -49,28 +88,32 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
     let (bb, k2, n) = (b.shape()[0], b.shape()[1], b.shape()[2]);
     assert_eq!(ba, bb, "bmm batch dims differ");
     assert_eq!(k, k2, "bmm inner dims differ");
+    let t0 = Instant::now();
     let mut out = Tensor::zeros(vec![ba, m, n]);
+    if out.numel() == 0 {
+        return out;
+    }
     let ad = a.data();
     let bd = b.data();
-    let od = out.data_mut();
-    for t in 0..ba {
-        let abase = t * m * k;
-        let bbase = t * k * n;
-        let obase = t * m * n;
-        for i in 0..m {
-            for p in 0..k {
-                let av = ad[abase + i * k + p];
+    let grain = (4096 / (k * n).max(1)).max(1);
+    odt_compute::parallel_rows(out.data_mut(), n, grain, |r0, rows| {
+        for (off, orow) in rows.chunks_mut(n).enumerate() {
+            let r = r0 + off;
+            let (t, i) = (r / m, r % m);
+            let arow = &ad[(t * m + i) * k..(t * m + i + 1) * k];
+            let bblk = &bd[t * k * n..(t + 1) * k * n];
+            for (p, &av) in arow.iter().enumerate() {
                 if av == 0.0 {
                     continue;
                 }
-                let brow = &bd[bbase + p * n..bbase + (p + 1) * n];
-                let orow = &mut od[obase + i * n..obase + (i + 1) * n];
+                let brow = &bblk[p * n..(p + 1) * n];
                 for (o, &bv) in orow.iter_mut().zip(brow) {
                     *o += av * bv;
                 }
             }
         }
-    }
+    });
+    khist(&H_BMM, "kernel.bmm").record(t0.elapsed());
     out
 }
 
@@ -81,7 +124,8 @@ pub fn conv_out_size(input: usize, kernel: usize, stride: usize, pad: usize) -> 
 }
 
 /// Unfold one NCHW sample into an im2col matrix `[c_in*kh*kw, ho*wo]`
-/// (row-major into `cols`, which must be zeroed and correctly sized).
+/// (row-major into `cols`; every entry is written, so `cols` need not be
+/// zeroed beforehand).
 #[allow(clippy::too_many_arguments)]
 fn im2col(
     sample: &[f32],
@@ -163,62 +207,16 @@ fn col2im(
     }
 }
 
-/// `C[m,n] += A[m,k] @ B[k,n]` on raw slices (ikj loop order).
-fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        for p in 0..k {
-            let av = a[i * k + p];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            let crow = &mut c[i * n..(i + 1) * n];
-            for (o, &bv) in crow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
-}
-
-/// `C[m,n] += A^T[k,m] @ B[k,n]` where `A` is stored `[k, m]`.
-fn gemm_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    for p in 0..k {
-        let arow = &a[p * m..(p + 1) * m];
-        let brow = &b[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let crow = &mut c[i * n..(i + 1) * n];
-            for (o, &bv) in crow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
-}
-
-/// `C[m,n] += A[m,k] @ B^T[n,k]` where `B` is stored `[n, k]`.
-fn gemm_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
-            }
-            c[i * n + j] += acc;
-        }
-    }
-}
-
 /// 2-D convolution, NCHW layout, via im2col + GEMM.
 ///
 /// * `x`: `[batch, c_in, h, w]`
 /// * `weight`: `[c_out, c_in, kh, kw]`
 /// * `bias`: `[c_out]` (optional)
 ///
-/// Returns `[batch, c_out, h_out, w_out]`.
+/// Returns `[batch, c_out, h_out, w_out]`. Parallel over the batch when
+/// there is one (training / batched serving); a single sample instead
+/// parallelizes the GEMM over output-channel rows. Both paths are
+/// bit-identical to the serial reference for any pool size.
 pub fn conv2d(
     x: &Tensor,
     weight: &Tensor,
@@ -247,41 +245,83 @@ pub fn conv2d(
     let wo = conv_out_size(w, kw, stride, pad);
     let k = c_in * kh * kw;
     let n = ho * wo;
+    let t0 = Instant::now();
     let mut out = Tensor::zeros(vec![b, c_out, ho, wo]);
+    if out.numel() == 0 {
+        return out;
+    }
     let xd = x.data();
     let wd = weight.data();
-    let od = out.data_mut();
-    let mut cols = vec![0.0f32; k * n];
-    for bi in 0..b {
-        im2col(
-            &xd[bi * c_in * h * w..(bi + 1) * c_in * h * w],
-            c_in,
-            h,
-            w,
-            kh,
-            kw,
-            stride,
-            pad,
-            ho,
-            wo,
-            &mut cols,
-        );
-        let out_b = &mut od[bi * c_out * n..(bi + 1) * c_out * n];
-        gemm_acc(wd, &cols, out_b, c_out, k, n);
-        if let Some(bt) = bias {
-            for co in 0..c_out {
-                let bv = bt.data()[co];
-                for o in &mut out_b[co * n..(co + 1) * n] {
-                    *o += bv;
+    let bias_d: Option<&[f32]> = bias.map(|bt| bt.data());
+    let sample_x = c_in * h * w;
+    let sample_o = c_out * n;
+    if b == 1 {
+        // Single sample (the per-query serving path): no batch dimension to
+        // split, so parallelize the GEMM over output-channel rows instead.
+        let od = out.data_mut();
+        with_cols_scratch(k * n, |cols| {
+            im2col(
+                &xd[..sample_x],
+                c_in,
+                h,
+                w,
+                kh,
+                kw,
+                stride,
+                pad,
+                ho,
+                wo,
+                cols,
+            );
+            pgemm::gemm(wd, cols, od, c_out, k, n);
+        });
+        if let Some(bv) = bias_d {
+            add_bias_rows(od, bv, c_out, n);
+        }
+    } else {
+        odt_compute::parallel_rows(out.data_mut(), sample_o, 1, |b0, o_rows| {
+            for (off, o_sample) in o_rows.chunks_mut(sample_o).enumerate() {
+                let bi = b0 + off;
+                with_cols_scratch(k * n, |cols| {
+                    im2col(
+                        &xd[bi * sample_x..(bi + 1) * sample_x],
+                        c_in,
+                        h,
+                        w,
+                        kh,
+                        kw,
+                        stride,
+                        pad,
+                        ho,
+                        wo,
+                        cols,
+                    );
+                    pgemm::gemm_rows(wd, cols, o_sample, c_out, k, n);
+                });
+                if let Some(bv) = bias_d {
+                    add_bias_rows(o_sample, bv, c_out, n);
                 }
             }
-        }
+        });
     }
+    khist(&H_CONV2D, "kernel.conv2d").record(t0.elapsed());
     out
 }
 
+/// Add a per-channel bias to one sample's `[c_out, n]` output block.
+fn add_bias_rows(out_sample: &mut [f32], bias: &[f32], c_out: usize, n: usize) {
+    for co in 0..c_out {
+        let bv = bias[co];
+        for o in &mut out_sample[co * n..(co + 1) * n] {
+            *o += bv;
+        }
+    }
+}
+
 /// Gradient of conv2d w.r.t. the input (`dL/dx`), given upstream `dL/dy`:
-/// `dcols = Wᵀ @ dy`, folded back with col2im.
+/// `dcols = Wᵀ @ dy`, folded back with col2im. Parallel over the batch
+/// (single-sample calls parallelize the transposed GEMM instead);
+/// bit-identical to the serial reference for any pool size.
 pub fn conv2d_grad_input(
     grad_out: &Tensor,
     weight: &Tensor,
@@ -304,35 +344,50 @@ pub fn conv2d_grad_input(
     let (ho, wo) = (grad_out.shape()[2], grad_out.shape()[3]);
     let k = c_in * kh * kw;
     let n = ho * wo;
+    let t0 = Instant::now();
     let mut gx = Tensor::zeros(input_shape.to_vec());
+    if gx.numel() == 0 {
+        return gx;
+    }
     let gd = grad_out.data();
     let wd = weight.data();
-    let gxd = gx.data_mut();
-    let mut dcols = vec![0.0f32; k * n];
-    for bi in 0..b {
-        dcols.iter_mut().for_each(|v| *v = 0.0);
-        let gout_b = &gd[bi * c_out * n..(bi + 1) * c_out * n];
-        // dcols [k, n] = W^T [k, c_out] @ gout [c_out, n]; W stored [c_out, k].
-        gemm_at_b_acc(wd, gout_b, &mut dcols, k, c_out, n);
-        col2im(
-            &dcols,
-            c_in,
-            h,
-            w,
-            kh,
-            kw,
-            stride,
-            pad,
-            ho,
-            wo,
-            &mut gxd[bi * c_in * h * w..(bi + 1) * c_in * h * w],
-        );
+    let sample_x = c_in * h * w;
+    if b == 1 {
+        let gxd = gx.data_mut();
+        with_cols_scratch(k * n, |dcols| {
+            dcols.fill(0.0);
+            // dcols [k, n] = W^T [k, c_out] @ gout [c_out, n]; W stored [c_out, k].
+            pgemm::gemm_at_b(wd, &gd[..c_out * n], dcols, k, c_out, n);
+            col2im(dcols, c_in, h, w, kh, kw, stride, pad, ho, wo, gxd);
+        });
+    } else {
+        odt_compute::parallel_rows(gx.data_mut(), sample_x, 1, |b0, gx_rows| {
+            for (off, gx_sample) in gx_rows.chunks_mut(sample_x).enumerate() {
+                let bi = b0 + off;
+                with_cols_scratch(k * n, |dcols| {
+                    dcols.fill(0.0);
+                    let gout_b = &gd[bi * c_out * n..(bi + 1) * c_out * n];
+                    pgemm::gemm_at_b_rows(wd, gout_b, dcols, 0, k, k, c_out, n);
+                    col2im(dcols, c_in, h, w, kh, kw, stride, pad, ho, wo, gx_sample);
+                });
+            }
+        });
     }
+    khist(&H_CONV2D_DX, "kernel.conv2d_dx").record(t0.elapsed());
     gx
 }
 
+/// How many batch samples each chunk of the weight-gradient reduction
+/// folds. Fixed (not derived from the thread count) so the reduction's
+/// chunk split — and therefore its float summation order — is identical
+/// for every `ODT_THREADS`.
+const DW_ITEMS_PER_CHUNK: usize = 4;
+
 /// Gradient of conv2d w.r.t. the weight (`dL/dW`), given upstream `dL/dy`:
-/// `dW = Σ_b dy_b @ cols_bᵀ`.
+/// `dW = Σ_b dy_b @ cols_bᵀ`. The batch sum is a fixed-split deterministic
+/// reduction: partial `dW` blocks are computed per chunk in parallel and
+/// merged in chunk order, so the result is bit-identical across pool sizes
+/// (it may differ from the naive serial sum by float associativity).
 pub fn conv2d_grad_weight(
     grad_out: &Tensor,
     x: &Tensor,
@@ -350,29 +405,47 @@ pub fn conv2d_grad_weight(
     let (ho, wo) = (grad_out.shape()[2], grad_out.shape()[3]);
     let k = c_in * kh * kw;
     let n = ho * wo;
+    let t0 = Instant::now();
     let mut gw = Tensor::zeros(weight_shape.to_vec());
+    let w_len = gw.numel();
+    if w_len == 0 || b == 0 {
+        return gw;
+    }
     let gd = grad_out.data();
     let xd = x.data();
+    let sample_x = c_in * h * w;
+    let partials = odt_compute::parallel_reduce_deterministic(
+        b,
+        DW_ITEMS_PER_CHUNK,
+        || vec![0.0f32; w_len],
+        |acc, bi| {
+            with_cols_scratch(k * n, |cols| {
+                im2col(
+                    &xd[bi * sample_x..(bi + 1) * sample_x],
+                    c_in,
+                    h,
+                    w,
+                    kh,
+                    kw,
+                    stride,
+                    pad,
+                    ho,
+                    wo,
+                    cols,
+                );
+                let gout_b = &gd[bi * c_out * n..(bi + 1) * c_out * n];
+                // dW [c_out, k] += gout [c_out, n] @ cols^T [n, k]; cols stored [k, n].
+                pgemm::gemm_a_bt_rows(gout_b, cols, acc, c_out, n, k);
+            });
+        },
+    );
     let gwd = gw.data_mut();
-    let mut cols = vec![0.0f32; k * n];
-    for bi in 0..b {
-        im2col(
-            &xd[bi * c_in * h * w..(bi + 1) * c_in * h * w],
-            c_in,
-            h,
-            w,
-            kh,
-            kw,
-            stride,
-            pad,
-            ho,
-            wo,
-            &mut cols,
-        );
-        let gout_b = &gd[bi * c_out * n..(bi + 1) * c_out * n];
-        // dW [c_out, k] += gout [c_out, n] @ cols^T [n, k]; cols stored [k, n].
-        gemm_a_bt_acc(gout_b, &cols, gwd, c_out, n, k);
+    for part in &partials {
+        for (g, &p) in gwd.iter_mut().zip(part) {
+            *g += p;
+        }
     }
+    khist(&H_CONV2D_DW, "kernel.conv2d_dw").record(t0.elapsed());
     gw
 }
 
@@ -450,9 +523,223 @@ pub fn upsample_nearest2_grad(grad_out: &Tensor) -> Tensor {
     gx
 }
 
+/// Naive single-threaded reference kernels, kept as test oracles for the
+/// parallel implementations above (also exercised by the property-based
+/// equivalence suite in `tests/parallel_equivalence.rs`, which carries its
+/// own copies since integration tests cannot see `#[cfg(test)]` items).
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+
+    /// `C[m,n] += A[m,k] @ B[k,n]` on raw slices (ikj loop order).
+    pub fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (o, &bv) in crow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    /// `C[m,n] += A^T[k,m] @ B[k,n]` where `A` is stored `[k, m]`.
+    pub fn gemm_at_b_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (o, &bv) in crow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+
+    /// `C[m,n] += A[m,k] @ B^T[n,k]` where `B` is stored `[n, k]`.
+    pub fn gemm_a_bt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                c[i * n + j] += acc;
+            }
+        }
+    }
+
+    /// The pre-refactor serial conv2d forward (per-sample im2col + gemm).
+    pub fn conv2d_naive(
+        x: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        let (b, c_in, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (c_out, _, kh, kw) = (
+            weight.shape()[0],
+            weight.shape()[1],
+            weight.shape()[2],
+            weight.shape()[3],
+        );
+        let ho = conv_out_size(h, kh, stride, pad);
+        let wo = conv_out_size(w, kw, stride, pad);
+        let k = c_in * kh * kw;
+        let n = ho * wo;
+        let mut out = Tensor::zeros(vec![b, c_out, ho, wo]);
+        let xd = x.data();
+        let wd = weight.data();
+        let od = out.data_mut();
+        let mut cols = vec![0.0f32; k * n];
+        for bi in 0..b {
+            im2col(
+                &xd[bi * c_in * h * w..(bi + 1) * c_in * h * w],
+                c_in,
+                h,
+                w,
+                kh,
+                kw,
+                stride,
+                pad,
+                ho,
+                wo,
+                &mut cols,
+            );
+            let out_b = &mut od[bi * c_out * n..(bi + 1) * c_out * n];
+            gemm_acc(wd, &cols, out_b, c_out, k, n);
+            if let Some(bt) = bias {
+                for co in 0..c_out {
+                    let bv = bt.data()[co];
+                    for o in &mut out_b[co * n..(co + 1) * n] {
+                        *o += bv;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The pre-refactor serial grad-input kernel.
+    pub fn conv2d_grad_input_naive(
+        grad_out: &Tensor,
+        weight: &Tensor,
+        input_shape: &[usize],
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        let (b, c_in, h, w) = (
+            input_shape[0],
+            input_shape[1],
+            input_shape[2],
+            input_shape[3],
+        );
+        let (c_out, _, kh, kw) = (
+            weight.shape()[0],
+            weight.shape()[1],
+            weight.shape()[2],
+            weight.shape()[3],
+        );
+        let (ho, wo) = (grad_out.shape()[2], grad_out.shape()[3]);
+        let k = c_in * kh * kw;
+        let n = ho * wo;
+        let mut gx = Tensor::zeros(input_shape.to_vec());
+        let gd = grad_out.data();
+        let wd = weight.data();
+        let gxd = gx.data_mut();
+        let mut dcols = vec![0.0f32; k * n];
+        for bi in 0..b {
+            dcols.iter_mut().for_each(|v| *v = 0.0);
+            let gout_b = &gd[bi * c_out * n..(bi + 1) * c_out * n];
+            gemm_at_b_acc(wd, gout_b, &mut dcols, k, c_out, n);
+            col2im(
+                &dcols,
+                c_in,
+                h,
+                w,
+                kh,
+                kw,
+                stride,
+                pad,
+                ho,
+                wo,
+                &mut gxd[bi * c_in * h * w..(bi + 1) * c_in * h * w],
+            );
+        }
+        gx
+    }
+
+    /// The pre-refactor serial grad-weight kernel.
+    pub fn conv2d_grad_weight_naive(
+        grad_out: &Tensor,
+        x: &Tensor,
+        weight_shape: &[usize],
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        let (b, c_in, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (c_out, _, kh, kw) = (
+            weight_shape[0],
+            weight_shape[1],
+            weight_shape[2],
+            weight_shape[3],
+        );
+        let (ho, wo) = (grad_out.shape()[2], grad_out.shape()[3]);
+        let k = c_in * kh * kw;
+        let n = ho * wo;
+        let mut gw = Tensor::zeros(weight_shape.to_vec());
+        let gd = grad_out.data();
+        let xd = x.data();
+        let gwd = gw.data_mut();
+        let mut cols = vec![0.0f32; k * n];
+        for bi in 0..b {
+            im2col(
+                &xd[bi * c_in * h * w..(bi + 1) * c_in * h * w],
+                c_in,
+                h,
+                w,
+                kh,
+                kw,
+                stride,
+                pad,
+                ho,
+                wo,
+                &mut cols,
+            );
+            let gout_b = &gd[bi * c_out * n..(bi + 1) * c_out * n];
+            gemm_a_bt_acc(gout_b, &cols, gwd, c_out, n, k);
+        }
+        gw
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn pseudo(n: usize, seed: u32) -> Vec<f32> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 17;
+                s ^= s << 5;
+                (s as f32 / u32::MAX as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
 
     #[test]
     fn matmul_identity() {
@@ -490,6 +777,26 @@ mod tests {
             let ct = matmul(&at, &bt);
             assert_eq!(c.slice(0, t, t + 1).reshape(vec![2, 2]).data(), ct.data());
         }
+    }
+
+    #[test]
+    fn bmm_bit_identical_to_reference_gemm_per_batch() {
+        let (ba, m, k, n) = (3, 9, 17, 7);
+        let a = Tensor::from_vec(pseudo(ba * m * k, 21), vec![ba, m, k]);
+        let b = Tensor::from_vec(pseudo(ba * k * n, 23), vec![ba, k, n]);
+        let c = bmm(&a, &b);
+        let mut want = vec![0.0f32; ba * m * n];
+        for t in 0..ba {
+            reference::gemm_acc(
+                &a.data()[t * m * k..(t + 1) * m * k],
+                &b.data()[t * k * n..(t + 1) * k * n],
+                &mut want[t * m * n..(t + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        assert_eq!(c.data(), &want[..]);
     }
 
     #[test]
@@ -545,6 +852,63 @@ mod tests {
         let y = conv2d(&x, &w, None, 2, 0);
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
         assert_eq!(y.data(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn conv2d_batched_bit_identical_to_naive() {
+        let (b, c_in, h, w) = (5, 3, 7, 6);
+        let (c_out, kh, kw, stride, pad) = (4, 3, 3, 1, 1);
+        let x = Tensor::from_vec(pseudo(b * c_in * h * w, 31), vec![b, c_in, h, w]);
+        let wt = Tensor::from_vec(
+            pseudo(c_out * c_in * kh * kw, 33),
+            vec![c_out, c_in, kh, kw],
+        );
+        let bias = Tensor::from_vec(pseudo(c_out, 35), vec![c_out]);
+        let got = conv2d(&x, &wt, Some(&bias), stride, pad);
+        let want = reference::conv2d_naive(&x, &wt, Some(&bias), stride, pad);
+        assert_eq!(got.data(), want.data());
+        assert_eq!(got.shape(), want.shape());
+    }
+
+    #[test]
+    fn conv2d_grad_input_bit_identical_to_naive() {
+        let (b, c_in, h, w) = (3, 2, 5, 5);
+        let (c_out, kh, kw, stride, pad) = (3, 3, 3, 2, 1);
+        let ho = conv_out_size(h, kh, stride, pad);
+        let wo = conv_out_size(w, kw, stride, pad);
+        let g = Tensor::from_vec(pseudo(b * c_out * ho * wo, 41), vec![b, c_out, ho, wo]);
+        let wt = Tensor::from_vec(
+            pseudo(c_out * c_in * kh * kw, 43),
+            vec![c_out, c_in, kh, kw],
+        );
+        let shape = [b, c_in, h, w];
+        let got = conv2d_grad_input(&g, &wt, &shape, stride, pad);
+        let want = reference::conv2d_grad_input_naive(&g, &wt, &shape, stride, pad);
+        assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn conv2d_grad_weight_close_to_naive_and_deterministic() {
+        // The batch reduction is fixed-split: bit-identical across pool
+        // sizes, but allowed to differ from the naive serial sum by float
+        // associativity — hence tolerance vs naive, equality vs sequential.
+        let (b, c_in, h, w) = (6, 2, 5, 4);
+        let (c_out, kh, kw, stride, pad) = (3, 3, 3, 1, 1);
+        let ho = conv_out_size(h, kh, stride, pad);
+        let wo = conv_out_size(w, kw, stride, pad);
+        let x = Tensor::from_vec(pseudo(b * c_in * h * w, 51), vec![b, c_in, h, w]);
+        let g = Tensor::from_vec(pseudo(b * c_out * ho * wo, 53), vec![b, c_out, ho, wo]);
+        let shape = [c_out, c_in, kh, kw];
+        let got = conv2d_grad_weight(&g, &x, &shape, stride, pad);
+        let want = reference::conv2d_grad_weight_naive(&g, &x, &shape, stride, pad);
+        for (a, e) in got.data().iter().zip(want.data()) {
+            assert!((a - e).abs() <= 1e-5, "{a} vs {e}");
+        }
+        let mut seq = Tensor::zeros(vec![1]);
+        odt_compute::run_sequential(|| {
+            seq = conv2d_grad_weight(&g, &x, &shape, stride, pad);
+        });
+        assert_eq!(got.data(), seq.data());
     }
 
     #[test]

@@ -489,23 +489,29 @@ impl Tensor {
         t
     }
 
-    /// Softmax along the last dimension (numerically stabilized).
+    /// Softmax along the last dimension (numerically stabilized). Rows are
+    /// independent, so the loop is parallelized over disjoint row ranges —
+    /// bit-identical for any pool size.
     pub fn softmax_lastdim(&self) -> Self {
         let inner = *self.shape.last().expect("softmax needs rank >= 1");
-        let outer = self.data.len() / inner.max(1);
         let mut out = self.clone();
-        for o in 0..outer {
-            let row = &mut out.data[o * inner..(o + 1) * inner];
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - m).exp();
-                sum += *v;
-            }
-            for v in row.iter_mut() {
-                *v /= sum;
-            }
+        if inner == 0 || self.data.is_empty() {
+            return out;
         }
+        let grain = (4096 / inner).max(1);
+        odt_compute::parallel_rows(&mut out.data, inner, grain, |_, rows| {
+            for row in rows.chunks_mut(inner) {
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for v in row.iter_mut() {
+                    *v = (*v - m).exp();
+                    sum += *v;
+                }
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        });
         out
     }
 

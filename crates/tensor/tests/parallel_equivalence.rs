@@ -1,0 +1,305 @@
+//! Property-based equivalence suite for the parallel compute kernels.
+//!
+//! Every hot kernel rewritten onto `odt-compute` is checked against a naive
+//! single-threaded oracle (reimplemented here, since integration tests
+//! cannot see the library's `#[cfg(test)]` reference module) over randomized
+//! shapes — including sizes that are not multiples of the GEMM tile (`KB =
+//! 64`) — and against [`odt_compute::run_sequential`], the single-lane
+//! execution mode that `ODT_THREADS=1` pins globally:
+//!
+//! * matmul / bmm / conv2d forward / conv2d grad-input preserve per-element
+//!   accumulation order, so they must be **bit-identical** to the oracle and
+//!   to the sequential run.
+//! * conv2d grad-weight uses the fixed-split deterministic batch reduction:
+//!   bit-identical between parallel and sequential runs, within tolerance of
+//!   the oracle's serial sum (float associativity differs).
+//! * conv2d is additionally cross-checked against a from-the-definition
+//!   direct convolution, independent of the im2col factorization.
+
+use odt_tensor::ops;
+use odt_tensor::Tensor;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Naive oracles (the pre-refactor serial kernels).
+// ---------------------------------------------------------------------------
+
+/// `C += A @ B` in ikj order with the skip-zero fast path — the exact loop
+/// the blocked kernel replaced.
+fn naive_gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] += av * b[p * n + j];
+            }
+        }
+    }
+}
+
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = Tensor::zeros(vec![m, n]);
+    naive_gemm(a.data(), b.data(), out.data_mut(), m, k, n);
+    out
+}
+
+fn naive_bmm(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ba, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+    let n = b.shape()[2];
+    let mut out = Tensor::zeros(vec![ba, m, n]);
+    for t in 0..ba {
+        naive_gemm(
+            &a.data()[t * m * k..(t + 1) * m * k],
+            &b.data()[t * k * n..(t + 1) * k * n],
+            &mut out.data_mut()[t * m * n..(t + 1) * m * n],
+            m,
+            k,
+            n,
+        );
+    }
+    out
+}
+
+/// From-the-definition 2-D convolution — independent of im2col entirely.
+fn direct_conv2d(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let (b, c_in, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (c_out, _, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+    let ho = ops::conv_out_size(h, kh, stride, pad);
+    let wo = ops::conv_out_size(wd, kw, stride, pad);
+    let mut out = Tensor::zeros(vec![b, c_out, ho, wo]);
+    for bi in 0..b {
+        for co in 0..c_out {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut acc = 0.0f64;
+                    for ci in 0..c_in {
+                        for ky in 0..kh {
+                            for kx in 0..kw {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if iy < 0 || iy >= h as isize || ix < 0 || ix >= wd as isize {
+                                    continue;
+                                }
+                                let xv = x.data()
+                                    [((bi * c_in + ci) * h + iy as usize) * wd + ix as usize];
+                                let wv = w.data()[((co * c_in + ci) * kh + ky) * kw + kx];
+                                acc += (xv * wv) as f64;
+                            }
+                        }
+                    }
+                    if let Some(bt) = bias {
+                        acc += bt.data()[co] as f64;
+                    }
+                    out.data_mut()[((bi * c_out + co) * ho + oy) * wo + ox] = acc as f32;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn tensor_of(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    proptest::collection::vec(-1.0f32..1.0, n)
+        .prop_map(move |data| Tensor::from_vec(data, shape.clone()))
+}
+
+/// Conv hyper-parameters small enough to be fast but covering strides,
+/// padding, multi-channel and batch > 1.
+#[derive(Clone, Debug)]
+struct ConvCase {
+    x: Tensor,
+    w: Tensor,
+    bias: Tensor,
+    stride: usize,
+    pad: usize,
+}
+
+fn conv_case() -> impl Strategy<Value = ConvCase> {
+    (
+        1usize..=4,                              // b
+        1usize..=3,                              // c_in
+        3usize..=8,                              // h
+        3usize..=8,                              // w
+        1usize..=3,                              // c_out
+        prop_oneof![Just(1usize), Just(3usize)], // kh = kw
+        1usize..=2,                              // stride
+        0usize..=1,                              // pad
+    )
+        .prop_flat_map(|(b, c_in, h, w, c_out, kk, stride, pad)| {
+            (
+                tensor_of(vec![b, c_in, h, w]),
+                tensor_of(vec![c_out, c_in, kk, kk]),
+                tensor_of(vec![c_out]),
+                Just(stride),
+                Just(pad),
+            )
+        })
+        .prop_map(|(x, w, bias, stride, pad)| ConvCase {
+            x,
+            w,
+            bias,
+            stride,
+            pad,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked parallel matmul is bit-identical to the naive ikj kernel and
+    /// to its own sequential (`ODT_THREADS=1`-equivalent) execution,
+    /// including shapes that straddle the KB=64 tile boundary.
+    #[test]
+    fn matmul_equivalent(
+        (m, k, n) in (1usize..=20, 1usize..=130, 1usize..=20),
+        seed in any::<u64>(),
+    ) {
+        let a = pseudo_tensor(vec![m, k], seed);
+        let b = pseudo_tensor(vec![k, n], seed ^ 0x9e37);
+        let par = ops::matmul(&a, &b);
+        let seq = odt_compute::run_sequential(|| ops::matmul(&a, &b));
+        let naive = naive_matmul(&a, &b);
+        prop_assert_eq!(par.data(), seq.data());
+        prop_assert_eq!(par.data(), naive.data());
+    }
+
+    #[test]
+    fn bmm_equivalent(
+        (ba, m, k, n) in (1usize..=4, 1usize..=12, 1usize..=16, 1usize..=12),
+        seed in any::<u64>(),
+    ) {
+        let a = pseudo_tensor(vec![ba, m, k], seed);
+        let b = pseudo_tensor(vec![ba, k, n], seed ^ 0x51f3);
+        let par = ops::bmm(&a, &b);
+        let seq = odt_compute::run_sequential(|| ops::bmm(&a, &b));
+        let naive = naive_bmm(&a, &b);
+        prop_assert_eq!(par.data(), seq.data());
+        prop_assert_eq!(par.data(), naive.data());
+    }
+
+    /// conv2d forward: parallel == sequential bitwise, and within 1e-4 of a
+    /// from-the-definition direct convolution (different summation order).
+    #[test]
+    fn conv2d_forward_equivalent(case in conv_case()) {
+        let ConvCase { x, w, bias, stride, pad } = case;
+        if x.shape()[2] + 2 * pad < w.shape()[2] {
+            return Ok(()); // kernel larger than padded input
+        }
+        let par = ops::conv2d(&x, &w, Some(&bias), stride, pad);
+        let seq = odt_compute::run_sequential(|| ops::conv2d(&x, &w, Some(&bias), stride, pad));
+        prop_assert_eq!(par.data(), seq.data());
+        let direct = direct_conv2d(&x, &w, Some(&bias), stride, pad);
+        for (a, e) in par.data().iter().zip(direct.data()) {
+            prop_assert!((a - e).abs() <= 1e-4 * (1.0 + e.abs()), "{} vs {}", a, e);
+        }
+    }
+
+    /// conv2d grad-input: parallel == sequential bitwise.
+    #[test]
+    fn conv2d_grad_input_equivalent(case in conv_case()) {
+        let ConvCase { x, w, stride, pad, .. } = case;
+        if x.shape()[2] + 2 * pad < w.shape()[2] {
+            return Ok(());
+        }
+        let y = ops::conv2d(&x, &w, None, stride, pad);
+        let g = y.map(|v| v * 0.5 + 0.1); // arbitrary upstream gradient
+        let par = ops::conv2d_grad_input(&g, &w, x.shape(), stride, pad);
+        let seq =
+            odt_compute::run_sequential(|| ops::conv2d_grad_input(&g, &w, x.shape(), stride, pad));
+        prop_assert_eq!(par.data(), seq.data());
+    }
+
+    /// conv2d grad-weight: the fixed-split reduction must be bit-identical
+    /// between parallel and sequential execution (determinism guarantee),
+    /// and match the definition within float-associativity tolerance.
+    #[test]
+    fn conv2d_grad_weight_equivalent(case in conv_case()) {
+        let ConvCase { x, w, stride, pad, .. } = case;
+        if x.shape()[2] + 2 * pad < w.shape()[2] {
+            return Ok(());
+        }
+        let y = ops::conv2d(&x, &w, None, stride, pad);
+        let g = y.map(|v| v * 0.25 - 0.05);
+        let par = ops::conv2d_grad_weight(&g, &x, w.shape(), stride, pad);
+        let seq =
+            odt_compute::run_sequential(|| ops::conv2d_grad_weight(&g, &x, w.shape(), stride, pad));
+        prop_assert_eq!(par.data(), seq.data());
+        // Definition: dW[co,ci,ky,kx] = Σ_{b,oy,ox} g[b,co,oy,ox] · x[...].
+        let (b, c_in, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (c_out, kh, kw) = (w.shape()[0], w.shape()[2], w.shape()[3]);
+        let (ho, wo) = (g.shape()[2], g.shape()[3]);
+        for co in 0..c_out {
+            for ci in 0..c_in {
+                for ky in 0..kh {
+                    for kx in 0..kw {
+                        let mut acc = 0.0f64;
+                        for bi in 0..b {
+                            for oy in 0..ho {
+                                for ox in 0..wo {
+                                    let iy = (oy * stride + ky) as isize - pad as isize;
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    if iy < 0 || iy >= h as isize || ix < 0 || ix >= wd as isize {
+                                        continue;
+                                    }
+                                    let gv = g.data()[((bi * c_out + co) * ho + oy) * wo + ox];
+                                    let xv = x.data()
+                                        [((bi * c_in + ci) * h + iy as usize) * wd + ix as usize];
+                                    acc += (gv * xv) as f64;
+                                }
+                            }
+                        }
+                        let got = par.data()[((co * c_in + ci) * kh + ky) * kw + kx];
+                        prop_assert!(
+                            (got as f64 - acc).abs() <= 1e-4 * (1.0 + acc.abs()),
+                            "dW[{},{},{},{}] = {} vs {}", co, ci, ky, kx, got, acc
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Row-parallel softmax is bit-identical to sequential execution and
+    /// rows sum to 1.
+    #[test]
+    fn softmax_rows_equivalent(
+        (rows, inner) in (1usize..=32, 1usize..=40),
+        seed in any::<u64>(),
+    ) {
+        let t = pseudo_tensor(vec![rows, inner], seed);
+        let par = t.softmax_lastdim();
+        let seq = odt_compute::run_sequential(|| t.softmax_lastdim());
+        prop_assert_eq!(par.data(), seq.data());
+        for r in 0..rows {
+            let s: f32 = par.data()[r * inner..(r + 1) * inner].iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "row {} sums to {}", r, s);
+        }
+    }
+}
+
+/// Deterministic pseudo-random tensor (xorshift) so shrinking stays stable.
+fn pseudo_tensor(shape: Vec<usize>, seed: u64) -> Tensor {
+    let n: usize = shape.iter().product();
+    let mut s = seed | 1;
+    let data = (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 32) as u32 as f32 / u32::MAX as f32) * 2.0 - 1.0
+        })
+        .collect();
+    Tensor::from_vec(data, shape)
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Kernel + serving benchmarks: builds the odt-bench binaries and writes
+# BENCH_kernels.json and BENCH_serving.json at the repo root.
+#
+# Usage: scripts/bench_kernels.sh [--quick] [--batch N]
+#   --quick    CI smoke mode: small shapes, few reps, tiny serving model.
+#   --batch N  queries per serving run (default 64).
+#
+# ODT_THREADS controls the pool width (default: all available cores);
+# ODT_THREADS=1 makes every kernel bit-identical to the sequential path.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p odt-bench --bins
+
+echo "--- bench_kernels ---"
+./target/release/bench_kernels "$@"
+
+echo "--- bench_serving ---"
+./target/release/bench_serving "$@"
+
+echo "benchmark reports: BENCH_kernels.json BENCH_serving.json"

@@ -29,6 +29,7 @@
 //!
 //! | crate | contents |
 //! |---|---|
+//! | [`odt_compute`] | scoped thread pool + blocked GEMM (std-only, `ODT_THREADS`) |
 //! | [`odt_tensor`] | tensors + reverse-mode autograd |
 //! | [`odt_nn`] | layers, Adam, checkpointing |
 //! | [`odt_roadnet`] | road networks, Dijkstra, map matching, Markov routing |
@@ -43,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub use odt_baselines as baselines;
+pub use odt_compute as compute;
 pub use odt_core as dot;
 pub use odt_diffusion as diffusion;
 pub use odt_estimator as estimator;
