@@ -4,13 +4,15 @@
 //! root, e.g. via `scripts/bench_kernels.sh`).
 //!
 //! Flags: `--quick` (smaller model/dataset — CI smoke mode),
-//! `--batch <N>` (queries per run, default 64).
+//! `--batch <N>` (queries per run, default 64),
+//! `--deadline-ms <a,b,c>` (deadline sweep through the `odt-serve`
+//! frontend, default `5,20,100,1000`; `none` skips the sweep).
 //!
-//! Schema (`odt-bench-serving/v1`):
+//! Schema (`odt-bench-serving/v2`):
 //!
 //! ```json
 //! {
-//!   "schema": "odt-bench-serving/v1",
+//!   "schema": "odt-bench-serving/v2",
 //!   "threads": usize,        // odt-compute pool width
 //!   "quick": bool,
 //!   "batch_size": usize,
@@ -18,11 +20,18 @@
 //!   "train_seconds": f64,
 //!   "sequential": { "queries": usize, "seconds": f64, "per_query_ms": f64 },
 //!   "batched":    { "queries": usize, "seconds": f64, "per_query_ms": f64 },
-//!   "speedup": f64           // sequential.seconds / batched.seconds
+//!   "speedup": f64,          // sequential.seconds / batched.seconds
+//!   "deadline_sweep": [      // one entry per --deadline-ms value
+//!     { "deadline_ms": u64, "submitted": u64, "served": u64, "shed": u64,
+//!       "sla_attainment": f64,   // deadline_met / submitted
+//!       "rung_hits": { "full_ddpm": u64, "ddim": u64,
+//!                      "ddim_reduced": u64, "fallback": u64 } }
+//!   ]
 //! }
 //! ```
 
 use odt_core::{Dot, DotConfig};
+use odt_serve::{dot_frontend, ChaosConfig, DotFrontendConfig, FrontendConfig};
 use odt_traj::{OdtInput, Split};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -108,13 +117,54 @@ fn main() {
         per_ms(bat_s)
     );
 
+    // Deadline sweep: the same queries through the odt-serve frontend at
+    // each deadline, recording which degradation-ladder rung answered.
+    let deadlines_ms: Vec<u64> = match arg_value("--deadline-ms") {
+        Some(s) if s == "none" => Vec::new(),
+        Some(s) => s
+            .split(',')
+            .map(|d| d.trim().parse().expect("--deadline-ms must be integers"))
+            .collect(),
+        None => vec![5, 20, 100, 1_000],
+    };
+    let mut sweep_entries = Vec::new();
+    for &ms in &deadlines_ms {
+        // A fresh frontend per deadline point keeps counters clean; a
+        // warmup pass seeds its latency ladder with measured rung costs.
+        let mut fe = dot_frontend(
+            &model,
+            DotFrontendConfig::default(),
+            FrontendConfig::default(),
+            ChaosConfig::quiet(7),
+        );
+        fe.warmup(&queries[..2.min(queries.len())]);
+        let _ = fe.process_wave(queries.iter().map(|q| (*q, Some(ms * 1_000))));
+        let s = fe.snapshot();
+        let shed = s.submitted - s.served;
+        let sla = if s.submitted == 0 {
+            1.0
+        } else {
+            s.deadline_met as f64 / s.submitted as f64
+        };
+        println!(
+            "deadline {ms:>5}ms: {}/{} served, sla {:.2}, rungs {:?}",
+            s.served, s.submitted, sla, s.rung_hits
+        );
+        sweep_entries.push(format!(
+            "    {{ \"deadline_ms\": {ms}, \"submitted\": {}, \"served\": {}, \"shed\": {shed}, \
+             \"sla_attainment\": {sla:.4}, \"rung_hits\": {{ \"full_ddpm\": {}, \"ddim\": {}, \
+             \"ddim_reduced\": {}, \"fallback\": {} }} }}",
+            s.submitted, s.served, s.rung_hits[0], s.rung_hits[1], s.rung_hits[2], s.rung_hits[3]
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"schema\": \"odt-bench-serving/v1\",\n  \"threads\": {},\n  \
+        "{{\n  \"schema\": \"odt-bench-serving/v2\",\n  \"threads\": {},\n  \
          \"quick\": {},\n  \"batch_size\": {},\n  \"lg\": {},\n  \
          \"train_seconds\": {:.3},\n  \
          \"sequential\": {{ \"queries\": {}, \"seconds\": {:.6}, \"per_query_ms\": {:.4} }},\n  \
          \"batched\": {{ \"queries\": {}, \"seconds\": {:.6}, \"per_query_ms\": {:.4} }},\n  \
-         \"speedup\": {:.4}\n}}\n",
+         \"speedup\": {:.4},\n  \"deadline_sweep\": [\n{}\n  ]\n}}\n",
         odt_compute::num_threads(),
         quick,
         batch_size,
@@ -126,7 +176,8 @@ fn main() {
         n,
         bat_s,
         per_ms(bat_s),
-        speedup
+        speedup,
+        sweep_entries.join(",\n")
     );
     let path = "BENCH_serving.json";
     std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));

@@ -9,6 +9,11 @@
 //!   well-formed one (coordinates clamped into the area of interest,
 //!   non-finite values replaced, departures folded into valid time), so the
 //!   oracle always answers.
+//! * [`sanitize_odt_strict`] — the clamp-*or-reject* variant used by the
+//!   serving frontend (`odt-serve`): endpoints further than
+//!   [`FAR_QUERY_SPANS`] grid-spans outside the area of interest yield a
+//!   typed [`QueryRejectReason`] instead of a silently clamped query for
+//!   the wrong city.
 //! * [`pit_is_degenerate`] — detection of reverse-diffusion failures (empty
 //!   or saturated PiTs) that would feed the estimator garbage.
 //! * [`fallback_estimate_seconds`] — the degraded-mode estimate: a cheap
@@ -39,6 +44,9 @@ pub struct RobustnessStats {
     rollbacks: AtomicU64,
     /// Queries whose coordinates or departure time needed clamping.
     queries_clamped: AtomicU64,
+    /// Queries rejected outright by strict sanitization (endpoints far
+    /// outside the area of interest).
+    queries_rejected: AtomicU64,
     /// Inferred PiTs rejected as degenerate (empty or saturated).
     degenerate_pits: AtomicU64,
     /// Estimates served from the haversine-speed prior instead of the model.
@@ -66,6 +74,11 @@ impl RobustnessStats {
         self.queries_clamped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a query rejected by strict sanitization.
+    pub fn record_query_rejected(&self) {
+        self.queries_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record a degenerate inferred PiT.
     pub fn record_degenerate_pit(&self) {
         self.degenerate_pits.fetch_add(1, Ordering::Relaxed);
@@ -83,6 +96,7 @@ impl RobustnessStats {
             batches_skipped: self.batches_skipped.load(Ordering::Relaxed),
             rollbacks: self.rollbacks.load(Ordering::Relaxed),
             queries_clamped: self.queries_clamped.load(Ordering::Relaxed),
+            queries_rejected: self.queries_rejected.load(Ordering::Relaxed),
             degenerate_pits: self.degenerate_pits.load(Ordering::Relaxed),
             fallbacks_taken: self.fallbacks_taken.load(Ordering::Relaxed),
         }
@@ -99,6 +113,7 @@ impl RobustnessStats {
         odt_obs::gauge("robustness.batches_skipped").set(s.batches_skipped as f64);
         odt_obs::gauge("robustness.rollbacks").set(s.rollbacks as f64);
         odt_obs::gauge("robustness.queries_clamped").set(s.queries_clamped as f64);
+        odt_obs::gauge("robustness.queries_rejected").set(s.queries_rejected as f64);
         odt_obs::gauge("robustness.degenerate_pits").set(s.degenerate_pits as f64);
         odt_obs::gauge("robustness.fallbacks_taken").set(s.fallbacks_taken as f64);
     }
@@ -110,6 +125,7 @@ impl RobustnessStats {
             batches_skipped: AtomicU64::new(s.batches_skipped),
             rollbacks: AtomicU64::new(s.rollbacks),
             queries_clamped: AtomicU64::new(s.queries_clamped),
+            queries_rejected: AtomicU64::new(s.queries_rejected),
             degenerate_pits: AtomicU64::new(s.degenerate_pits),
             fallbacks_taken: AtomicU64::new(s.fallbacks_taken),
         }
@@ -128,6 +144,10 @@ pub struct RobustnessSnapshot {
     pub rollbacks: u64,
     /// Queries whose coordinates or departure time needed clamping.
     pub queries_clamped: u64,
+    /// Queries rejected outright by strict sanitization (`#[serde(default)]`
+    /// keeps pre-existing checkpoints loadable).
+    #[serde(default)]
+    pub queries_rejected: u64,
     /// Inferred PiTs rejected as degenerate (empty or saturated).
     pub degenerate_pits: u64,
     /// Estimates served from the haversine-speed prior.
@@ -139,11 +159,13 @@ impl std::fmt::Display for RobustnessSnapshot {
         write!(
             f,
             "watchdog_trips={} batches_skipped={} rollbacks={} \
-             queries_clamped={} degenerate_pits={} fallbacks_taken={}",
+             queries_clamped={} queries_rejected={} degenerate_pits={} \
+             fallbacks_taken={}",
             self.watchdog_trips,
             self.batches_skipped,
             self.rollbacks,
             self.queries_clamped,
+            self.queries_rejected,
             self.degenerate_pits,
             self.fallbacks_taken
         )
@@ -193,6 +215,107 @@ pub fn sanitize_odt(odt: &OdtInput, grid: &GridSpec) -> (OdtInput, bool) {
         || !odt.dest.lat.is_finite()
         || !odt.t_dep.is_finite();
     (clean, changed)
+}
+
+/// How far outside the area of interest a *finite* coordinate may lie, in
+/// units of the grid's own span per axis, before strict sanitization
+/// ([`sanitize_odt_strict`]) rejects the query instead of clamping it. A
+/// point one full grid-width away from the boundary is not a noisy local
+/// query — it is a query for a different city, and clamping it onto the
+/// boundary would silently serve a nonsensical estimate.
+pub const FAR_QUERY_SPANS: f64 = 1.0;
+
+/// Typed reason a query was rejected by [`sanitize_odt_strict`].
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum QueryRejectReason {
+    /// The origin lies this many grid-spans outside the area of interest.
+    FarOrigin {
+        /// Out-of-bounds excess, in units of the grid span (`> FAR_QUERY_SPANS`).
+        spans: f64,
+    },
+    /// The destination lies this many grid-spans outside the area of
+    /// interest.
+    FarDestination {
+        /// Out-of-bounds excess, in units of the grid span (`> FAR_QUERY_SPANS`).
+        spans: f64,
+    },
+}
+
+impl QueryRejectReason {
+    /// Machine-readable reason tag (event field / drill report key).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QueryRejectReason::FarOrigin { .. } => "far_origin",
+            QueryRejectReason::FarDestination { .. } => "far_destination",
+        }
+    }
+
+    /// The out-of-bounds excess in grid spans.
+    pub fn spans(&self) -> f64 {
+        match *self {
+            QueryRejectReason::FarOrigin { spans } => spans,
+            QueryRejectReason::FarDestination { spans } => spans,
+        }
+    }
+}
+
+impl std::fmt::Display for QueryRejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryRejectReason::FarOrigin { spans } => {
+                write!(
+                    f,
+                    "origin {spans:.2} grid-spans outside the area of interest"
+                )
+            }
+            QueryRejectReason::FarDestination { spans } => {
+                write!(
+                    f,
+                    "destination {spans:.2} grid-spans outside the area of interest"
+                )
+            }
+        }
+    }
+}
+
+/// How many grid-spans outside the area of interest a point lies (0 when it
+/// is inside). Non-finite coordinates report 0: they carry no location
+/// information, so the clamping policy (midpoint) remains the least-wrong
+/// repair — only *finite but far* coordinates mark a mis-routed query.
+pub fn point_excess_spans(p: LngLat, grid: &GridSpec) -> f64 {
+    let axis = |v: f64, lo: f64, hi: f64| -> f64 {
+        if !v.is_finite() {
+            return 0.0;
+        }
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let span = (hi - lo).max(f64::EPSILON);
+        ((lo - v).max(v - hi).max(0.0)) / span
+    };
+    axis(p.lng, grid.min.lng, grid.max.lng).max(axis(p.lat, grid.min.lat, grid.max.lat))
+}
+
+/// [`sanitize_odt`] with a rejection policy for far-out-of-region queries:
+/// an endpoint more than [`FAR_QUERY_SPANS`] grid-spans outside the area of
+/// interest yields a typed [`QueryRejectReason`] instead of a silently
+/// clamped (and therefore meaningless) query. Everything else — nearby
+/// out-of-bounds points, non-finite coordinates or departures — is repaired
+/// exactly as by [`sanitize_odt`]. Returns the sanitized query and whether
+/// anything changed.
+pub fn sanitize_odt_strict(
+    odt: &OdtInput,
+    grid: &GridSpec,
+) -> Result<(OdtInput, bool), QueryRejectReason> {
+    let origin_excess = point_excess_spans(odt.origin, grid);
+    if origin_excess > FAR_QUERY_SPANS {
+        return Err(QueryRejectReason::FarOrigin {
+            spans: origin_excess,
+        });
+    }
+    let dest_excess = point_excess_spans(odt.dest, grid);
+    if dest_excess > FAR_QUERY_SPANS {
+        return Err(QueryRejectReason::FarDestination { spans: dest_excess });
+    }
+    Ok(sanitize_odt(odt, grid))
 }
 
 /// Fraction of grid cells above which an inferred PiT counts as saturated —
@@ -363,6 +486,100 @@ mod tests {
         assert!(s.is_finite() && s > FALLBACK_OVERHEAD_S);
         // ~28 km crow at 8 m/s with 1.3 circuity ≈ 75 min — sanity band.
         assert!(s > 600.0 && s < 4.0 * 3_600.0, "{s}");
+    }
+
+    #[test]
+    fn strict_sanitize_rejects_far_but_clamps_near() {
+        let g = grid();
+        let inside = OdtInput {
+            origin: LngLat {
+                lng: 104.05,
+                lat: 30.05,
+            },
+            dest: LngLat {
+                lng: 104.15,
+                lat: 30.15,
+            },
+            t_dep: 600.0,
+        };
+        // Clean query passes through untouched.
+        let (clean, changed) = sanitize_odt_strict(&inside, &g).unwrap();
+        assert!(!changed);
+        assert_eq!(clean, inside);
+        // Slightly outside (< FAR_QUERY_SPANS): clamped, not rejected.
+        let near = OdtInput {
+            origin: LngLat {
+                lng: 104.25, // 0.25 spans past max on a 0.2-degree span
+                lat: 30.1,
+            },
+            ..inside
+        };
+        let (clean, changed) = sanitize_odt_strict(&near, &g).unwrap();
+        assert!(changed);
+        assert_eq!(clean.origin.lng, g.max.lng);
+        // Far outside (> FAR_QUERY_SPANS): typed rejection, per endpoint.
+        let far_origin = OdtInput {
+            origin: LngLat {
+                lng: 116.4, // Beijing-ish vs a Chengdu grid — ~61 spans out
+                lat: 39.9,
+            },
+            ..inside
+        };
+        let err = sanitize_odt_strict(&far_origin, &g).unwrap_err();
+        assert_eq!(err.kind(), "far_origin");
+        assert!(err.spans() > FAR_QUERY_SPANS, "{err}");
+        let far_dest = OdtInput {
+            dest: LngLat {
+                lng: 104.1,
+                lat: 31.0,
+            },
+            ..inside
+        };
+        let err = sanitize_odt_strict(&far_dest, &g).unwrap_err();
+        assert_eq!(err.kind(), "far_destination");
+        // Non-finite coordinates carry no location: clamp (midpoint), never
+        // reject — matching the lenient path's behavior.
+        let nan_q = OdtInput {
+            origin: LngLat {
+                lng: f64::NAN,
+                lat: f64::INFINITY,
+            },
+            ..inside
+        };
+        let (clean, changed) = sanitize_odt_strict(&nan_q, &g).unwrap();
+        assert!(changed);
+        assert!(clean.origin.lng.is_finite() && clean.origin.lat.is_finite());
+    }
+
+    #[test]
+    fn point_excess_is_zero_inside_and_scales_outside() {
+        let g = grid();
+        let inside = LngLat {
+            lng: 104.1,
+            lat: 30.1,
+        };
+        assert_eq!(point_excess_spans(inside, &g), 0.0);
+        let one_span_out = LngLat {
+            lng: 104.4, // exactly one 0.2-degree span past max
+            lat: 30.1,
+        };
+        assert!((point_excess_spans(one_span_out, &g) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejected_counter_round_trips() {
+        let stats = RobustnessStats::default();
+        stats.record_query_rejected();
+        stats.record_query_rejected();
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries_rejected, 2);
+        assert_eq!(
+            RobustnessStats::from_snapshot(snap)
+                .snapshot()
+                .queries_rejected,
+            2
+        );
+        assert!(format!("{snap}").contains("queries_rejected=2"));
     }
 
     #[test]

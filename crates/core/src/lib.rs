@@ -58,10 +58,10 @@ mod train;
 
 pub use config::{AblationOptions, DotConfig, EstimatorKind, RobustnessOptions};
 pub use guard::{
-    fallback_estimate_seconds, haversine_m, pit_is_degenerate, sanitize_odt, RobustnessSnapshot,
-    RobustnessStats, FALLBACK_CIRCUITY, FALLBACK_OVERHEAD_S, FALLBACK_SPEED_MPS,
-    SATURATION_FRACTION,
+    fallback_estimate_seconds, haversine_m, pit_is_degenerate, point_excess_spans, sanitize_odt,
+    sanitize_odt_strict, QueryRejectReason, RobustnessSnapshot, RobustnessStats, FALLBACK_CIRCUITY,
+    FALLBACK_OVERHEAD_S, FALLBACK_SPEED_MPS, FAR_QUERY_SPANS, SATURATION_FRACTION,
 };
-pub use oracle::{pit_to_path_points, Dot, Estimate};
+pub use oracle::{pit_to_path_points, Dot, Estimate, PitSampler};
 pub use persist::{PersistError, CHECKPOINT_VERSION};
 pub use train::{TrainCheckpoint, TrainHooks, TrainingReport};

@@ -28,6 +28,34 @@ fn record_query_latency(elapsed: Duration, fallback: bool) {
     odt_obs::counter("serve.queries").inc();
 }
 
+/// Which reverse-diffusion sampler answers a query — the model-backed rungs
+/// of the serving degradation ladder (`odt-serve`). Each variant trades PiT
+/// fidelity for latency; the terminal (model-free) rung is
+/// [`Dot::estimate_prior`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PitSampler {
+    /// Full stochastic DDPM over every trained step, with candidate
+    /// selection (Algorithm 1 — the highest-fidelity rung).
+    Ddpm,
+    /// Stochastic DDPM over an evenly strided subsequence of this many
+    /// steps ([`Ddpm::sample_clamped_strided`]).
+    DdpmStrided(usize),
+    /// Deterministic DDIM over this many strided steps
+    /// ([`Dot::infer_pits_fast`]).
+    Ddim(usize),
+}
+
+impl PitSampler {
+    /// Short tag for events and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PitSampler::Ddpm => "ddpm",
+            PitSampler::DdpmStrided(_) => "ddpm_strided",
+            PitSampler::Ddim(_) => "ddim",
+        }
+    }
+}
+
 /// The output of the oracle: a travel time and the inferred PiT that
 /// explains it (§6.6's explainability analysis).
 pub struct Estimate {
@@ -129,12 +157,7 @@ impl Dot {
     fn infer_pits_presanitized(&self, odts: &[OdtInput], rng: &mut impl Rng) -> Vec<Pit> {
         let _span = odt_obs::span("oracle.infer_pits");
         let b = odts.len();
-        let mut cond = Tensor::zeros(vec![b, 5]);
-        for (i, odt) in odts.iter().enumerate() {
-            for (j, &v) in self.cond_features(odt).iter().enumerate() {
-                cond.set(&[i, j], v);
-            }
-        }
+        let cond = self.cond_tensor(odts);
         let lg = self.cfg.lg;
         let per = 3 * lg * lg;
         let k = self.cfg.infer_candidates.max(1);
@@ -183,25 +206,25 @@ impl Dot {
         if odts.is_empty() {
             return Vec::new();
         }
-        let _span = odt_obs::span("oracle.infer_pits_ddim");
         let odts = self.sanitize_all(odts);
-        let b = odts.len();
-        let mut cond = Tensor::zeros(vec![b, 5]);
+        self.infer_pits_fast_presanitized(&odts, sample_steps, rng)
+    }
+
+    /// Stack the masked conditioning features of a batch into a `[B, 5]`
+    /// tensor.
+    fn cond_tensor(&self, odts: &[OdtInput]) -> Tensor {
+        let mut cond = Tensor::zeros(vec![odts.len(), 5]);
         for (i, odt) in odts.iter().enumerate() {
             for (j, &v) in self.cond_features(odt).iter().enumerate() {
                 cond.set(&[i, j], v);
             }
         }
+        cond
+    }
+
+    /// Split a sampled `[B, 3, L, L]` batch into per-query sanitized PiTs.
+    fn pits_from_slab(&self, out: &Tensor, b: usize) -> Vec<Pit> {
         let lg = self.cfg.lg;
-        let out = self.ddpm.sample_ddim(
-            &self.denoiser,
-            &cond,
-            3,
-            lg,
-            sample_steps,
-            Some((-1.0, 1.0)),
-            rng,
-        );
         let per = 3 * lg * lg;
         (0..b)
             .map(|i| {
@@ -210,6 +233,85 @@ impl Dot {
                 Pit::from_tensor(t).sanitized()
             })
             .collect()
+    }
+
+    /// [`Dot::infer_pits_fast`] for queries already passed through
+    /// [`Dot::sanitize_all`].
+    fn infer_pits_fast_presanitized(
+        &self,
+        odts: &[OdtInput],
+        sample_steps: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<Pit> {
+        let _span = odt_obs::span("oracle.infer_pits_ddim");
+        let cond = self.cond_tensor(odts);
+        let out = self.ddpm.sample_ddim(
+            &self.denoiser,
+            &cond,
+            3,
+            self.cfg.lg,
+            sample_steps,
+            Some((-1.0, 1.0)),
+            rng,
+        );
+        self.pits_from_slab(&out, odts.len())
+    }
+
+    /// Stochastic DDPM PiT inference with a step-count override
+    /// ([`Ddpm::sample_clamped_strided`]), for queries already passed
+    /// through [`Dot::sanitize_all`].
+    fn infer_pits_strided_presanitized(
+        &self,
+        odts: &[OdtInput],
+        sample_steps: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<Pit> {
+        let _span = odt_obs::span("oracle.infer_pits_strided");
+        let cond = self.cond_tensor(odts);
+        let out = self.ddpm.sample_clamped_strided(
+            &self.denoiser,
+            &cond,
+            3,
+            self.cfg.lg,
+            Some((-1.0, 1.0)),
+            sample_steps,
+            rng,
+        );
+        self.pits_from_slab(&out, odts.len())
+    }
+
+    /// Rung-parameterized PiT inference: run the batch through the given
+    /// [`PitSampler`]. Sanitizes exactly once; step counts are clamped into
+    /// `1..=N`.
+    pub fn infer_pits_sampled(
+        &self,
+        odts: &[OdtInput],
+        sampler: PitSampler,
+        rng: &mut impl Rng,
+    ) -> Vec<Pit> {
+        if odts.is_empty() {
+            return Vec::new();
+        }
+        let odts = self.sanitize_all(odts);
+        self.infer_pits_sampled_presanitized(&odts, sampler, rng)
+    }
+
+    /// [`Dot::infer_pits_sampled`] for pre-sanitized queries — the shared
+    /// dispatch of the serving entry points.
+    fn infer_pits_sampled_presanitized(
+        &self,
+        odts: &[OdtInput],
+        sampler: PitSampler,
+        rng: &mut impl Rng,
+    ) -> Vec<Pit> {
+        let clamp_steps = |s: usize| s.clamp(1, self.cfg.n_steps);
+        match sampler {
+            PitSampler::Ddpm => self.infer_pits_presanitized(odts, rng),
+            PitSampler::DdpmStrided(s) => {
+                self.infer_pits_strided_presanitized(odts, clamp_steps(s), rng)
+            }
+            PitSampler::Ddim(s) => self.infer_pits_fast_presanitized(odts, clamp_steps(s), rng),
+        }
     }
 
     /// Infer the PiT for one query.
@@ -312,18 +414,80 @@ impl Dot {
     /// guardrails of [`Dot::estimate_from_pit_guarded`]. The recorded
     /// query latency covers the whole pipeline, PiT inference included.
     pub fn estimate(&self, odt: &OdtInput, rng: &mut impl Rng) -> Estimate {
+        self.estimate_sampled(odt, PitSampler::Ddpm, rng)
+    }
+
+    /// Rung-parameterized serving entry point: [`Dot::estimate`] with the
+    /// PiT inferred by the given [`PitSampler`]. Sanitization, degraded-mode
+    /// guardrails and latency accounting match [`Dot::estimate`]; the
+    /// serving frontend (`odt-serve`) maps its degradation-ladder rungs
+    /// onto this.
+    pub fn estimate_sampled(
+        &self,
+        odt: &OdtInput,
+        sampler: PitSampler,
+        rng: &mut impl Rng,
+    ) -> Estimate {
         let t0 = Instant::now();
         let (clean, changed) = guard::sanitize_odt(odt, &self.grid);
         if changed {
             self.stats.record_query_clamped();
         }
         let pit = self
-            .infer_pits_presanitized(std::slice::from_ref(&clean), rng)
+            .infer_pits_sampled_presanitized(std::slice::from_ref(&clean), sampler, rng)
             .pop()
             .expect("one query in, one PiT out");
         let (est, fallback) = self.guarded_inner(&clean, pit);
         record_query_latency(t0.elapsed(), fallback);
         est
+    }
+
+    /// The model-free terminal rung of the serving ladder: answer straight
+    /// from the haversine-speed prior ([`guard::fallback_estimate_seconds`])
+    /// without touching the diffusion model. Always finite for any query;
+    /// counted as a fallback in [`RobustnessStats`] and recorded on the
+    /// `serve.query.fallback` latency path. The returned PiT is empty (there
+    /// is no inferred trajectory to explain a prior-based answer).
+    pub fn estimate_prior(&self, odt: &OdtInput) -> Estimate {
+        let t0 = Instant::now();
+        let (clean, changed) = guard::sanitize_odt(odt, &self.grid);
+        if changed {
+            self.stats.record_query_clamped();
+        }
+        self.stats.record_fallback();
+        event(Level::Info, "serve.fallback")
+            .field("reason", "prior_rung")
+            .emit();
+        let seconds = guard::fallback_estimate_seconds(&clean);
+        let lg = self.cfg.lg;
+        let pit = Pit::from_tensor(Tensor::full(vec![3, lg, lg], -1.0));
+        record_query_latency(t0.elapsed(), true);
+        Estimate { seconds, pit }
+    }
+
+    /// Strict admission-time sanitization for the serving frontend:
+    /// [`guard::sanitize_odt_strict`] with robustness accounting. Far
+    /// out-of-region queries return the typed [`QueryRejectReason`] (and
+    /// bump the `queries_rejected` counter) instead of being clamped onto
+    /// the boundary; everything else is repaired and counted exactly like
+    /// [`Dot::estimate`]'s lenient path.
+    pub fn sanitize_strict(&self, odt: &OdtInput) -> Result<OdtInput, guard::QueryRejectReason> {
+        match guard::sanitize_odt_strict(odt, &self.grid) {
+            Ok((clean, changed)) => {
+                if changed {
+                    self.stats.record_query_clamped();
+                }
+                Ok(clean)
+            }
+            Err(reason) => {
+                self.stats.record_query_rejected();
+                event(Level::Warn, "serve.query_rejected")
+                    .field("reason", reason.kind())
+                    .field("spans", reason.spans())
+                    .emit();
+                Err(reason)
+            }
+        }
     }
 
     /// Batched ODT-Oracle serving: sanitize every query once, infer all
@@ -403,18 +567,7 @@ impl Dot {
         sample_steps: usize,
         rng: &mut impl Rng,
     ) -> Estimate {
-        let t0 = Instant::now();
-        let (clean, changed) = guard::sanitize_odt(odt, &self.grid);
-        if changed {
-            self.stats.record_query_clamped();
-        }
-        let pit = self
-            .infer_pits_fast(std::slice::from_ref(&clean), sample_steps, rng)
-            .pop()
-            .expect("one query in, one PiT out");
-        let (est, fallback) = self.guarded_inner(&clean, pit);
-        record_query_latency(t0.elapsed(), fallback);
-        est
+        self.estimate_sampled(odt, PitSampler::Ddim(sample_steps), rng)
     }
 
     /// Total number of trainable scalars per stage, `(stage1, stage2)`.

@@ -201,6 +201,93 @@ impl Ddpm {
 }
 
 impl Ddpm {
+    /// [`Ddpm::sample_clamped`] with a **step-count override**: stochastic
+    /// DDPM sampling over an evenly strided subsequence of `sample_steps ≤ N`
+    /// schedule steps (the serving ladder's knob for trading PiT fidelity
+    /// against latency without switching to deterministic DDIM).
+    ///
+    /// Between consecutive selected steps `n > m` the update collapses the
+    /// skipped forward steps into one: `ᾱ` ratios give the effective
+    /// `α' = ᾱ_n/ᾱ_m` and `β' = 1 − α'`, and the posterior mean/variance are
+    /// computed exactly as in [`Ddpm::sample_clamped`] with those effective
+    /// coefficients — so `sample_steps == N` delegates to the full chain and
+    /// is bit-identical to it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_clamped_strided(
+        &self,
+        predictor: &dyn NoisePredictor,
+        cond: &Tensor,
+        channels: usize,
+        lg: usize,
+        clamp: Option<(f32, f32)>,
+        sample_steps: usize,
+        rng: &mut impl Rng,
+    ) -> Tensor {
+        let n_train = self.schedule.n_steps();
+        assert!(
+            (1..=n_train).contains(&sample_steps),
+            "sample_steps must be in 1..=N"
+        );
+        if sample_steps == n_train {
+            return self.sample_clamped(predictor, cond, channels, lg, clamp, rng);
+        }
+        // Evenly strided descending subsequence, always including N and 1
+        // (the same striding as DDIM).
+        let mut steps: Vec<usize> = (0..sample_steps)
+            .map(|i| 1 + i * (n_train - 1) / (sample_steps - 1).max(1))
+            .collect();
+        steps.dedup();
+        steps.reverse();
+
+        let b = cond.shape()[0];
+        let mut x = Self::sample_noise(vec![b, channels, lg, lg], rng);
+        let mut z = Tensor::zeros(x.shape().to_vec());
+        let step_hist = odt_obs::histogram("stage1.denoise_step");
+        for (i, &n) in steps.iter().enumerate() {
+            let step_t0 = std::time::Instant::now();
+            let g = Graph::new();
+            let xv = g.input(x.clone());
+            let step_vec = vec![n; b];
+            let eps_pred = g.value(predictor.predict(&g, xv, &step_vec, cond));
+            let ab = self.schedule.alpha_bar(n);
+            let ab_prev = steps
+                .get(i + 1)
+                .map(|&m| self.schedule.alpha_bar(m))
+                .unwrap_or(1.0);
+            // Effective one-shot coefficients over the skipped range.
+            let alpha_eff = ab / ab_prev;
+            let beta_eff = 1.0 - alpha_eff;
+            let sigma = ((1.0 - ab_prev) / (1.0 - ab) * beta_eff).sqrt();
+            let coef_x0 = ab_prev.sqrt() * beta_eff / (1.0 - ab);
+            let coef_xn = alpha_eff.sqrt() * (1.0 - ab_prev) / (1.0 - ab);
+            let inv_sqrt_ab = 1.0 / ab.sqrt();
+            let noise_scale = (1.0 - ab).sqrt();
+
+            if i + 1 < steps.len() {
+                odt_tensor::init::normal_into(rng, z.data_mut(), 1.0);
+            } else {
+                z.data_mut().fill(0.0);
+            }
+            let ep = eps_pred.data();
+            let zd = z.data();
+            odt_compute::parallel_chunks_mut(x.data_mut(), 8192, |i0, xs| {
+                for (off, xe) in xs.iter_mut().enumerate() {
+                    let i = i0 + off;
+                    let xn = *xe;
+                    let mut x0_hat = inv_sqrt_ab * (xn - noise_scale * ep[i]);
+                    if let Some((lo, hi)) = clamp {
+                        x0_hat = x0_hat.clamp(lo, hi);
+                    }
+                    *xe = coef_x0 * x0_hat + coef_xn * xn + sigma * zd[i];
+                }
+            });
+            step_hist.record(step_t0.elapsed());
+        }
+        x
+    }
+}
+
+impl Ddpm {
     /// DDIM sampling (Song et al., 2021) — an extension beyond the paper:
     /// deterministic (η = 0) sampling over a strided subsequence of the
     /// trained schedule, so a model trained with `N` steps can sample in
@@ -418,6 +505,82 @@ mod tests {
         assert!(out.is_finite());
         // The last step with clamped x0 and sigma_1 = 0 lands inside [-1,1].
         assert!(out.data().iter().all(|v| v.abs() <= 1.0 + 1e-4), "{out:?}");
+    }
+
+    #[test]
+    fn strided_ddpm_at_full_steps_matches_full_chain() {
+        let ddpm = Ddpm::new(NoiseSchedule::linear_scaled(20));
+        let cond = Tensor::zeros(vec![2, 5]);
+        let full = ddpm.sample_clamped(
+            &ZeroPredictor,
+            &cond,
+            1,
+            4,
+            Some((-1.0, 1.0)),
+            &mut StdRng::seed_from_u64(9),
+        );
+        let strided = ddpm.sample_clamped_strided(
+            &ZeroPredictor,
+            &cond,
+            1,
+            4,
+            Some((-1.0, 1.0)),
+            20,
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert_eq!(full.data(), strided.data());
+    }
+
+    #[test]
+    fn strided_ddpm_recovers_gaussian_data_with_few_steps() {
+        // The collapsed-step posterior coefficients must still reproduce the
+        // data distribution with the analytically optimal predictor.
+        let schedule = NoiseSchedule::linear_scaled(200);
+        let ddpm = Ddpm::new(schedule.clone());
+        let oracle = GaussOracle {
+            schedule,
+            mu: 3.0,
+            s2: 0.25,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let cond = Tensor::zeros(vec![512, 5]);
+        let out = ddpm.sample_clamped_strided(&oracle, &cond, 1, 1, None, 12, &mut rng);
+        let mean = out.data().iter().sum::<f32>() / 512.0;
+        let var = out
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 512.0;
+        assert!((mean - 3.0).abs() < 0.2, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn strided_ddpm_shapes_and_determinism() {
+        let ddpm = Ddpm::new(NoiseSchedule::linear_scaled(50));
+        let cond = Tensor::zeros(vec![3, 5]);
+        let a = ddpm.sample_clamped_strided(
+            &ZeroPredictor,
+            &cond,
+            2,
+            6,
+            Some((-1.0, 1.0)),
+            5,
+            &mut StdRng::seed_from_u64(13),
+        );
+        let b = ddpm.sample_clamped_strided(
+            &ZeroPredictor,
+            &cond,
+            2,
+            6,
+            Some((-1.0, 1.0)),
+            5,
+            &mut StdRng::seed_from_u64(13),
+        );
+        assert_eq!(a.shape(), &[3, 2, 6, 6]);
+        assert!(a.is_finite());
+        assert_eq!(a.data(), b.data());
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Chaos drill: run the standing fault-injection scenarios against the
+//! deadline-aware serving frontend over a real (tiny) trained DOT oracle,
+//! and check each scenario's resilience expectations.
+//!
+//! ```text
+//! chaos_drill [--scenario <name>|all] [--seed <u64>] [--quick]
+//!             [--report <path>]
+//! ```
+//!
+//! * `--scenario` — one scenario by name, or `all` (default).
+//! * `--seed`     — perturbs every scenario's fault stream (default 7);
+//!                  the same seed replays the same faults.
+//! * `--quick`    — smaller waves, CI smoke mode.
+//! * `--report`   — JSONL report path (default `CHAOS_drill.jsonl`).
+//!
+//! The report is one JSON object per line, schema `odt-chaos-drill/v1`:
+//! a `kind: "scenario"` line per drill (counters, rung/breaker activity,
+//! expectation violations, pass flag) and a final `kind: "summary"` line.
+//! Exit status is non-zero if any scenario fails its expectations — the
+//! CI `chaos-smoke` job gates on this.
+
+use odt_core::{Dot, DotConfig};
+use odt_serve::{dot_frontend, ChaosConfig, DotFrontendConfig, FrontendConfig, ScenarioSpec};
+use odt_traj::{Dataset, OdtInput, Split};
+use serde_json::json;
+use std::io::Write;
+use std::time::Instant;
+
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn drill_dataset() -> Dataset {
+    let mut cfg = odt_traj::sim::CitySimConfig::chengdu_like();
+    cfg.nx = 8;
+    cfg.ny = 8;
+    Dataset::simulated(cfg, 180, 8, 41)
+}
+
+fn drill_model(data: &Dataset) -> Dot {
+    let mut cfg = DotConfig::fast();
+    cfg.lg = 8;
+    cfg.n_steps = 8;
+    cfg.base_channels = 4;
+    cfg.cond_dim = 16;
+    cfg.d_e = 16;
+    cfg.stage1_iters = 15;
+    cfg.stage2_iters = 30;
+    cfg.early_stop_samples = 3;
+    cfg.early_stop_every = 15;
+    Dot::train(cfg, data, |_| {})
+}
+
+/// Run one scenario against `model`; returns the scenario's report line.
+fn run_scenario(
+    spec: &ScenarioSpec,
+    model: &Dot,
+    queries: &[OdtInput],
+    quick: bool,
+) -> serde_json::Value {
+    let wave_size = if quick {
+        (spec.wave_size / 2).max(8)
+    } else {
+        spec.wave_size
+    };
+    let mut frontend_cfg = FrontendConfig {
+        queue_capacity: spec.queue_capacity,
+        shed_policy: spec.shed_policy,
+        ..FrontendConfig::default()
+    };
+    if let Some(b) = spec.breaker {
+        frontend_cfg.breaker = b;
+    }
+    let cool_us = frontend_cfg.breaker.max_backoff_us + 5_000;
+    let mut fe = dot_frontend(
+        model,
+        DotFrontendConfig::default(),
+        frontend_cfg,
+        ChaosConfig::quiet(spec.chaos.seed),
+    );
+
+    // Seed the latency ladder from fault-free reality before the storm.
+    fe.warmup(&queries[..2.min(queries.len())]);
+    fe.executor_mut().set_config(spec.chaos);
+
+    let t0 = Instant::now();
+    for wave in 0..spec.waves {
+        let reqs = queries
+            .iter()
+            .cycle()
+            .skip(wave * wave_size)
+            .take(wave_size)
+            .map(|q| (*q, spec.deadline_us));
+        let _ = fe.process_wave(reqs);
+        if spec.clear_chaos_after_wave == Some(wave) {
+            fe.executor_mut()
+                .set_config(ChaosConfig::quiet(spec.chaos.seed));
+            // Let every breaker's cool-down elapse so recovery is possible.
+            std::thread::sleep(std::time::Duration::from_micros(cool_us));
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let s = fe.snapshot();
+    let violations = spec.expect.check(&s);
+    let answer_rate = if s.submitted == 0 {
+        1.0
+    } else {
+        s.served as f64 / s.submitted as f64
+    };
+    println!(
+        "  {:<18} {:>3}/{:<3} served  rungs {:?}  trips {:?}  {}",
+        spec.name,
+        s.served,
+        s.submitted,
+        s.rung_hits,
+        s.breaker_trips,
+        if violations.is_empty() {
+            "PASS".to_string()
+        } else {
+            format!("FAIL: {}", violations.join("; "))
+        }
+    );
+    json!({
+        "schema": "odt-chaos-drill/v1",
+        "kind": "scenario",
+        "name": spec.name,
+        "description": spec.description,
+        "seed": spec.chaos.seed,
+        "quick": quick,
+        "waves": spec.waves,
+        "wave_size": wave_size,
+        "shed_policy": spec.shed_policy.name(),
+        "wall_seconds": wall_s,
+        "submitted": s.submitted,
+        "admitted": s.admitted,
+        "served": s.served,
+        "answer_rate": answer_rate,
+        "shed": {
+            "queue_full": s.shed_queue_full,
+            "deadline_expired": s.shed_deadline,
+            "invalid_query": s.shed_invalid,
+            "internal": s.shed_internal,
+        },
+        "rung_hits": {
+            "full_ddpm": s.rung_hits[0],
+            "ddim": s.rung_hits[1],
+            "ddim_reduced": s.rung_hits[2],
+            "fallback": s.rung_hits[3],
+        },
+        "rung_failures": {
+            "full_ddpm": s.rung_failures[0],
+            "ddim": s.rung_failures[1],
+            "ddim_reduced": s.rung_failures[2],
+            "fallback": s.rung_failures[3],
+        },
+        "breaker": {
+            "trips": s.breaker_trips,
+            "states": s.breaker_states,
+        },
+        "deadline": { "met": s.deadline_met, "missed": s.deadline_missed },
+        "violations": violations,
+        "pass": violations.is_empty(),
+    })
+}
+
+fn main() {
+    let quick = arg_flag("--quick");
+    let seed: u64 = arg_value("--seed")
+        .map(|v| v.parse().expect("--seed must be an integer"))
+        .unwrap_or(7);
+    let which = arg_value("--scenario").unwrap_or_else(|| "all".to_string());
+    let report_path = arg_value("--report").unwrap_or_else(|| "CHAOS_drill.jsonl".to_string());
+    odt_compute::ensure_initialized();
+
+    // Injected panics are expected and caught at the request boundary;
+    // silence the default hook so drill output stays readable.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let catalog = odt_serve::scenarios(seed);
+    let selected: Vec<&ScenarioSpec> = if which == "all" {
+        catalog.iter().collect()
+    } else {
+        let found: Vec<&ScenarioSpec> = catalog.iter().filter(|s| s.name == which).collect();
+        if found.is_empty() {
+            let names: Vec<&str> = catalog.iter().map(|s| s.name).collect();
+            eprintln!("unknown scenario {which:?}; available: {names:?} or \"all\"");
+            std::process::exit(2);
+        }
+        found
+    };
+
+    println!(
+        "chaos drill: {} scenario(s), seed {seed}, quick={quick}",
+        selected.len()
+    );
+    let data = drill_dataset();
+    let t0 = Instant::now();
+    let model = drill_model(&data);
+    println!("trained drill oracle in {:.1}s", t0.elapsed().as_secs_f64());
+    let queries: Vec<OdtInput> = data
+        .split(Split::Test)
+        .iter()
+        .map(OdtInput::from_trajectory)
+        .collect();
+
+    let mut lines = Vec::new();
+    let mut failed = 0usize;
+    for spec in &selected {
+        let line = run_scenario(spec, &model, &queries, quick);
+        if line["pass"] != json!(true) {
+            failed += 1;
+        }
+        lines.push(line);
+    }
+    lines.push(json!({
+        "schema": "odt-chaos-drill/v1",
+        "kind": "summary",
+        "seed": seed,
+        "quick": quick,
+        "scenarios": selected.len(),
+        "passed": selected.len() - failed,
+        "failed": failed,
+        "pass": failed == 0,
+    }));
+
+    let mut out = String::new();
+    for line in &lines {
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    let mut f = std::fs::File::create(&report_path)
+        .unwrap_or_else(|e| panic!("creating {report_path}: {e}"));
+    f.write_all(out.as_bytes())
+        .unwrap_or_else(|e| panic!("writing {report_path}: {e}"));
+    println!("wrote {report_path}");
+
+    if failed > 0 {
+        eprintln!("{failed} scenario(s) failed their resilience expectations");
+        std::process::exit(1);
+    }
+}

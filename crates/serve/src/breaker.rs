@@ -1,0 +1,269 @@
+//! Per-rung circuit breakers: closed → open → half-open → closed.
+//!
+//! A rung that keeps failing (panics, NaN outputs, latency-budget
+//! violations) should stop receiving traffic *before* it burns more
+//! deadline budget — the ladder routes around an open breaker. After an
+//! exponentially backed-off cool-down the breaker half-opens and lets a
+//! few probe requests through; if they all succeed it closes (and the
+//! backoff resets), if any fails it re-opens with a doubled cool-down.
+//!
+//! Time is caller-supplied microseconds on a monotonic clock, so the state
+//! machine is fully deterministic under test.
+
+use odt_obs::{event, Level};
+
+/// Circuit-breaker tuning.
+#[derive(Copy, Clone, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures (while closed) that trip the breaker.
+    pub failure_threshold: u32,
+    /// Cool-down after the first trip, microseconds.
+    pub base_backoff_us: u64,
+    /// Cool-down ceiling, microseconds.
+    pub max_backoff_us: u64,
+    /// Consecutive half-open probe successes required to close.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            base_backoff_us: 50_000,
+            max_backoff_us: 5_000_000,
+            half_open_probes: 2,
+        }
+    }
+}
+
+/// The breaker's position in the closed/open/half-open state machine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: all traffic passes.
+    Closed,
+    /// Tripped: traffic is refused until the cool-down elapses.
+    Open,
+    /// Probing: a limited number of requests pass to test recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Short tag for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// One circuit breaker (the frontend keeps one per model-backed rung).
+pub struct CircuitBreaker {
+    name: &'static str,
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    probe_successes: u32,
+    open_until_us: u64,
+    backoff_exp: u32,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker labeled `name` (used in events: the rung name).
+    pub fn new(name: &'static str, cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            name,
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            probe_successes: 0,
+            open_until_us: 0,
+            backoff_exp: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state (without advancing the open → half-open transition).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Total trips (closed/half-open → open transitions).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Whether a request may pass at time `now_us`. An open breaker whose
+    /// cool-down has elapsed transitions to half-open and admits the probe.
+    pub fn allow(&mut self, now_us: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now_us >= self.open_until_us {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_successes = 0;
+                    event(Level::Info, "serve.breaker.half_open")
+                        .field("rung", self.name)
+                        .emit();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful request through this rung.
+    pub fn record_success(&mut self, _now_us: u64) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.cfg.half_open_probes {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    self.backoff_exp = 0;
+                    event(Level::Info, "serve.breaker.close")
+                        .field("rung", self.name)
+                        .emit();
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Record a failed request (error, panic, NaN, or latency-budget
+    /// violation) through this rung.
+    pub fn record_failure(&mut self, now_us: u64) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.trip(now_us);
+                }
+            }
+            // A failed probe re-opens immediately with increased backoff.
+            BreakerState::HalfOpen => self.trip(now_us),
+            BreakerState::Open => {}
+        }
+    }
+
+    /// The cool-down the next trip would impose, microseconds.
+    fn backoff_us(&self) -> u64 {
+        self.cfg
+            .base_backoff_us
+            .saturating_mul(1u64 << self.backoff_exp.min(20))
+            .min(self.cfg.max_backoff_us)
+    }
+
+    fn trip(&mut self, now_us: u64) {
+        let backoff = self.backoff_us();
+        self.state = BreakerState::Open;
+        self.open_until_us = now_us.saturating_add(backoff);
+        self.backoff_exp = (self.backoff_exp + 1).min(20);
+        self.consecutive_failures = 0;
+        self.probe_successes = 0;
+        self.trips += 1;
+        odt_obs::counter("serve.breaker.trips").inc();
+        event(Level::Warn, "serve.breaker.open")
+            .field("rung", self.name)
+            .field("backoff_us", backoff)
+            .emit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            base_backoff_us: 100,
+            max_backoff_us: 1_000,
+            half_open_probes: 2,
+        }
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let mut b = CircuitBreaker::new("test", cfg());
+        b.record_failure(0);
+        b.record_failure(1);
+        b.record_success(2); // resets the streak
+        b.record_failure(3);
+        b.record_failure(4);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(5);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.allow(6));
+    }
+
+    #[test]
+    fn half_open_probes_close_on_success() {
+        let mut b = CircuitBreaker::new("test", cfg());
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        // Tripped at t=2, 100µs cool-down → closed to traffic until t=102.
+        assert!(!b.allow(50));
+        // Cool-down elapsed: half-open, probes admitted.
+        assert!(b.allow(150));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success(151);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "needs 2 probes");
+        b.record_success(152);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_doubled_backoff() {
+        let mut b = CircuitBreaker::new("test", cfg());
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert!(b.allow(150)); // half-open (tripped at t=2, cool-down 100µs)
+        b.record_failure(151); // probe fails → open, backoff now 200
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        assert!(!b.allow(350), "200µs backoff from t=151");
+        assert!(b.allow(351));
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let mut b = CircuitBreaker::new("test", cfg());
+        // Trip repeatedly; backoff must never exceed max_backoff_us.
+        let mut now = 0;
+        for _ in 0..10 {
+            for _ in 0..3 {
+                b.record_failure(now);
+            }
+            now = now.saturating_add(2_000); // past any capped backoff
+            assert!(b.allow(now), "cool-down capped at 1000µs");
+            b.record_failure(now); // fail the probe → re-open
+            now += 2_000;
+        }
+        assert!(b.trips() >= 10);
+    }
+
+    #[test]
+    fn closing_resets_backoff() {
+        let mut b = CircuitBreaker::new("test", cfg());
+        for t in 0..3 {
+            b.record_failure(t);
+        }
+        assert!(b.allow(150));
+        b.record_success(151);
+        b.record_success(152); // closed, backoff reset
+        for t in 200..203 {
+            b.record_failure(t);
+        }
+        // Tripped at t=202, back to the base 100µs cool-down (not doubled).
+        assert!(!b.allow(250));
+        assert!(b.allow(303));
+    }
+}

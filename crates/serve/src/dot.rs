@@ -1,0 +1,127 @@
+//! The production [`RungExecutor`]: ladder rungs mapped onto [`Dot`].
+//!
+//! | Rung                  | Oracle entry point                            |
+//! |-----------------------|-----------------------------------------------|
+//! | [`Rung::Full`]        | `estimate_sampled(Ddpm)` — full stochastic    |
+//! |                       | sampling (or `DdpmStrided(n)` if overridden)  |
+//! | [`Rung::Ddim`]        | `estimate_sampled(Ddim(ddim_steps))`          |
+//! | [`Rung::DdimReduced`] | `estimate_sampled(Ddim(reduced_steps))`       |
+//! | [`Rung::Fallback`]    | `estimate_prior` — the model-free haversine   |
+//! |                       | prior, no diffusion at all                    |
+//!
+//! Admission uses [`Dot::sanitize_strict`] when `strict_admission` is on:
+//! a query more than one grid-span outside the region is refused with a
+//! typed reason (and counted in the oracle's `RobustnessStats`) instead
+//! of being silently clamped to the boundary.
+
+use odt_core::{Dot, PitSampler};
+use odt_traj::OdtInput;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::chaos::{ChaosConfig, ChaosExecutor};
+use crate::frontend::{FrontendConfig, RungExecutor, ServeFrontend};
+use crate::ladder::Rung;
+
+/// How the ladder rungs map onto the oracle.
+#[derive(Copy, Clone, Debug)]
+pub struct DotFrontendConfig {
+    /// DDIM steps for the [`Rung::Ddim`] fast path.
+    pub ddim_steps: usize,
+    /// DDIM steps for the [`Rung::DdimReduced`] path (< `ddim_steps`).
+    pub reduced_steps: usize,
+    /// Optional strided-DDPM step count for [`Rung::Full`] (`None` = the
+    /// model's full training schedule).
+    pub full_steps_override: Option<usize>,
+    /// Refuse far-out-of-region queries via [`Dot::sanitize_strict`]
+    /// instead of clamping them.
+    pub strict_admission: bool,
+    /// Seed for the executor's sampling RNG.
+    pub rng_seed: u64,
+}
+
+impl Default for DotFrontendConfig {
+    fn default() -> Self {
+        DotFrontendConfig {
+            ddim_steps: 8,
+            reduced_steps: 3,
+            full_steps_override: None,
+            strict_admission: true,
+            rng_seed: 0x0d07,
+        }
+    }
+}
+
+/// [`RungExecutor`] over a trained (or loaded) [`Dot`] oracle.
+pub struct DotExecutor<'a> {
+    model: &'a Dot,
+    cfg: DotFrontendConfig,
+    rng: StdRng,
+}
+
+impl<'a> DotExecutor<'a> {
+    /// An executor serving `model` with the given rung mapping.
+    pub fn new(model: &'a Dot, cfg: DotFrontendConfig) -> Self {
+        DotExecutor {
+            model,
+            rng: StdRng::seed_from_u64(cfg.rng_seed),
+            cfg,
+        }
+    }
+
+    /// The wrapped oracle.
+    pub fn model(&self) -> &Dot {
+        self.model
+    }
+}
+
+impl RungExecutor for DotExecutor<'_> {
+    type Query = OdtInput;
+
+    fn admit(&mut self, query: &OdtInput) -> Result<(), String> {
+        if !self.cfg.strict_admission {
+            return Ok(());
+        }
+        self.model
+            .sanitize_strict(query)
+            .map(|_| ())
+            .map_err(|reason| reason.to_string())
+    }
+
+    fn execute(&mut self, rung: Rung, query: &OdtInput) -> Result<f64, String> {
+        let est = match rung {
+            Rung::Full => {
+                let sampler = match self.cfg.full_steps_override {
+                    Some(n) => PitSampler::DdpmStrided(n),
+                    None => PitSampler::Ddpm,
+                };
+                self.model.estimate_sampled(query, sampler, &mut self.rng)
+            }
+            Rung::Ddim => self.model.estimate_sampled(
+                query,
+                PitSampler::Ddim(self.cfg.ddim_steps),
+                &mut self.rng,
+            ),
+            Rung::DdimReduced => self.model.estimate_sampled(
+                query,
+                PitSampler::Ddim(self.cfg.reduced_steps),
+                &mut self.rng,
+            ),
+            Rung::Fallback => self.model.estimate_prior(query),
+        };
+        Ok(est.seconds)
+    }
+}
+
+/// Convenience constructor: a complete deadline-aware frontend over `model`
+/// with a chaos layer (pass [`ChaosConfig::quiet`] for production use — the
+/// injector then never fires).
+pub fn dot_frontend<'a>(
+    model: &'a Dot,
+    dot_cfg: DotFrontendConfig,
+    frontend_cfg: FrontendConfig,
+    chaos: ChaosConfig,
+) -> ServeFrontend<ChaosExecutor<DotExecutor<'a>>> {
+    let exec = ChaosExecutor::new(DotExecutor::new(model, dot_cfg), chaos);
+    ServeFrontend::new(exec, frontend_cfg)
+}

@@ -1,0 +1,681 @@
+//! The deadline-aware serving frontend.
+//!
+//! [`ServeFrontend`] ties the resilience pieces together around any
+//! [`RungExecutor`] (the production executor wraps [`odt_core::Dot`], see
+//! [`crate::dot`]; tests use mocks):
+//!
+//! 1. **Admission** — requests pass the executor's `admit` check (strict
+//!    query sanitization for the Dot executor) and then a bounded
+//!    [`AdmissionQueue`] with an explicit shed policy.
+//! 2. **Selection** — at dequeue time the remaining deadline budget picks
+//!    a rung from the [`LatencyLadder`], skipping rungs whose
+//!    [`CircuitBreaker`] is open.
+//! 3. **Execution** — the rung runs under `catch_unwind`; a panic, error,
+//!    or non-finite output counts as a rung failure and the request
+//!    *descends* the ladder instead of failing. A served request that
+//!    blew its deadline still answers, but feeds the breaker a failure so
+//!    a persistently slow rung trips.
+//!
+//! All timing is microseconds since the frontend's construction epoch, so
+//! the queue/breaker state machines stay deterministic under test.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use odt_obs::{event, Level};
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::ladder::{LadderConfig, LatencyLadder, Rung, MODEL_RUNGS};
+use crate::queue::{AdmissionQueue, ShedPolicy};
+
+/// One serving path the frontend can route a request to.
+///
+/// Implementations map each [`Rung`] to an actual estimation strategy and
+/// may reject queries up front. `execute` returns the estimated travel
+/// time in seconds; `Err`, a panic, or a non-finite value all count as a
+/// rung failure and push the request down the ladder.
+pub trait RungExecutor {
+    /// The query type served (for the Dot executor: `OdtInput`).
+    type Query: Clone;
+
+    /// Validate a query before it is admitted; `Err(reason)` sheds it.
+    fn admit(&mut self, _query: &Self::Query) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Serve `query` on `rung`, returning the travel time in seconds.
+    fn execute(&mut self, rung: Rung, query: &Self::Query) -> Result<f64, String>;
+}
+
+/// Frontend tuning.
+#[derive(Clone, Debug)]
+pub struct FrontendConfig {
+    /// Admission queue capacity (≥ 1).
+    pub queue_capacity: usize,
+    /// Which request to refuse when the queue is full.
+    pub shed_policy: ShedPolicy,
+    /// Deadline budget for requests that do not carry one, microseconds.
+    pub default_deadline_us: u64,
+    /// Degradation-ladder tuning.
+    pub ladder: LadderConfig,
+    /// Per-rung circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            queue_capacity: 256,
+            shed_policy: ShedPolicy::RejectNewest,
+            default_deadline_us: 1_000_000,
+            ladder: LadderConfig::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// A request admitted to the queue. `deadline_us` is absolute, on the
+/// frontend's epoch clock.
+pub struct Request<Q> {
+    /// Frontend-assigned id, dense from 0 in submission order.
+    pub id: u64,
+    /// The query to serve.
+    pub query: Q,
+    /// Absolute deadline (µs since the frontend epoch).
+    pub deadline_us: u64,
+}
+
+/// Why a request was refused instead of served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The admission queue was full (under either shed policy).
+    QueueFull,
+    /// The deadline expired while the request waited in the queue.
+    DeadlineExpiredInQueue,
+    /// The executor's admission check rejected the query.
+    InvalidQuery,
+    /// Every rung including the terminal fallback failed (should not
+    /// happen; kept so the frontend never panics outward).
+    Internal,
+}
+
+impl ShedReason {
+    /// Short tag for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::DeadlineExpiredInQueue => "deadline_expired_in_queue",
+            ShedReason::InvalidQuery => "invalid_query",
+            ShedReason::Internal => "internal",
+        }
+    }
+}
+
+/// The frontend's answer for one submitted request.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// The request was served (possibly by a degraded rung).
+    Served {
+        /// Request id.
+        id: u64,
+        /// Estimated travel time, seconds. Always finite.
+        seconds: f64,
+        /// The rung that produced the answer.
+        rung: Rung,
+        /// Time spent queued, µs.
+        queue_wait_us: u64,
+        /// Service time on the answering rung (failed attempts on higher
+        /// rungs are not included), µs.
+        service_us: u64,
+        /// Whether the answer landed within the deadline.
+        deadline_met: bool,
+        /// Whether a rung below full fidelity answered.
+        downgraded: bool,
+    },
+    /// The request was refused.
+    Shed {
+        /// Request id (dense ids are assigned even to shed requests).
+        id: u64,
+        /// Why it was refused.
+        reason: ShedReason,
+        /// Human-readable detail (e.g. the admission rejection reason).
+        detail: String,
+    },
+}
+
+impl Response {
+    /// The request id this response answers.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Served { id, .. } | Response::Shed { id, .. } => *id,
+        }
+    }
+
+    /// Whether the request was served.
+    pub fn is_served(&self) -> bool {
+        matches!(self, Response::Served { .. })
+    }
+}
+
+/// Aggregate frontend counters for reports and drills.
+#[derive(Clone, Debug, Default)]
+pub struct FrontendSnapshot {
+    /// Requests submitted (served + shed).
+    pub submitted: u64,
+    /// Requests that passed admission and entered the queue.
+    pub admitted: u64,
+    /// Requests answered by some rung.
+    pub served: u64,
+    /// Sheds because the queue was full.
+    pub shed_queue_full: u64,
+    /// Sheds because the deadline expired while queued.
+    pub shed_deadline: u64,
+    /// Sheds by the executor's admission check.
+    pub shed_invalid: u64,
+    /// Sheds because every rung failed.
+    pub shed_internal: u64,
+    /// Answers per rung, fidelity order.
+    pub rung_hits: [u64; 4],
+    /// Failed attempts per rung, fidelity order.
+    pub rung_failures: [u64; 4],
+    /// Breaker trips per model-backed rung.
+    pub breaker_trips: [u64; MODEL_RUNGS],
+    /// Breaker state names per model-backed rung.
+    pub breaker_states: [&'static str; MODEL_RUNGS],
+    /// Served requests that landed within their deadline.
+    pub deadline_met: u64,
+    /// Served requests that blew their deadline.
+    pub deadline_missed: u64,
+}
+
+/// The deadline-aware serving frontend. See the module docs.
+pub struct ServeFrontend<E: RungExecutor> {
+    cfg: FrontendConfig,
+    exec: E,
+    queue: AdmissionQueue<Request<E::Query>>,
+    ladder: LatencyLadder,
+    breakers: [CircuitBreaker; MODEL_RUNGS],
+    epoch: Instant,
+    next_id: u64,
+    snap: FrontendSnapshot,
+}
+
+fn rung_hist_name(rung: Rung) -> &'static str {
+    match rung {
+        Rung::Full => "serve.rung.full_ddpm",
+        Rung::Ddim => "serve.rung.ddim",
+        Rung::DdimReduced => "serve.rung.ddim_reduced",
+        Rung::Fallback => "serve.rung.fallback",
+    }
+}
+
+impl<E: RungExecutor> ServeFrontend<E> {
+    /// A frontend over `exec` with the given tuning.
+    pub fn new(exec: E, cfg: FrontendConfig) -> Self {
+        let breakers = [
+            CircuitBreaker::new(Rung::Full.name(), cfg.breaker),
+            CircuitBreaker::new(Rung::Ddim.name(), cfg.breaker),
+            CircuitBreaker::new(Rung::DdimReduced.name(), cfg.breaker),
+        ];
+        ServeFrontend {
+            queue: AdmissionQueue::new(cfg.queue_capacity, cfg.shed_policy),
+            ladder: LatencyLadder::new(cfg.ladder),
+            breakers,
+            exec,
+            cfg,
+            epoch: Instant::now(),
+            next_id: 0,
+            snap: FrontendSnapshot::default(),
+        }
+    }
+
+    /// Microseconds since the frontend epoch (the clock every internal
+    /// state machine runs on).
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// The wrapped executor (e.g. to reconfigure chaos between phases).
+    pub fn executor_mut(&mut self) -> &mut E {
+        &mut self.exec
+    }
+
+    /// The live latency ladder.
+    pub fn ladder(&self) -> &LatencyLadder {
+        &self.ladder
+    }
+
+    /// The breaker state guarding a model-backed rung.
+    pub fn breaker_state(&self, rung: Rung) -> Option<BreakerState> {
+        if rung.is_terminal() {
+            None
+        } else {
+            Some(self.breakers[rung.index()].state())
+        }
+    }
+
+    /// Current aggregate counters.
+    pub fn snapshot(&self) -> FrontendSnapshot {
+        let mut s = self.snap.clone();
+        for i in 0..MODEL_RUNGS {
+            s.breaker_trips[i] = self.breakers[i].trips();
+            s.breaker_states[i] = self.breakers[i].state().name();
+        }
+        s
+    }
+
+    /// Seed the latency ladder by running each query once per model-backed
+    /// rung, outside deadline accounting. Failures are ignored (they still
+    /// inform the breakers). Call before a drill or benchmark so selection
+    /// starts from measured costs instead of priors.
+    pub fn warmup(&mut self, queries: &[E::Query]) {
+        for q in queries {
+            for rung in Rung::ALL {
+                let now = self.now_us();
+                let t0 = Instant::now();
+                let exec = &mut self.exec;
+                let outcome = catch_unwind(AssertUnwindSafe(|| exec.execute(rung, q)));
+                let micros = t0.elapsed().as_micros() as u64;
+                self.ladder.observe(rung, micros);
+                odt_obs::histogram(rung_hist_name(rung)).record_micros(micros);
+                let ok = matches!(&outcome, Ok(Ok(v)) if v.is_finite());
+                if !rung.is_terminal() {
+                    if ok {
+                        self.breakers[rung.index()].record_success(now);
+                    } else {
+                        self.breakers[rung.index()].record_failure(now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Submit one request. `deadline_us` is a *budget* from now (the
+    /// configured default when `None`). Returns the assigned id, or the
+    /// shed response if the request never made it into the queue.
+    pub fn submit(&mut self, query: E::Query, deadline_us: Option<u64>) -> Result<u64, Response> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.snap.submitted += 1;
+
+        if let Err(detail) = self.exec.admit(&query) {
+            self.snap.shed_invalid += 1;
+            event(Level::Warn, "serve.request.shed")
+                .field("reason", ShedReason::InvalidQuery.name())
+                .emit();
+            return Err(Response::Shed {
+                id,
+                reason: ShedReason::InvalidQuery,
+                detail,
+            });
+        }
+
+        let now = self.now_us();
+        let budget = deadline_us.unwrap_or(self.cfg.default_deadline_us);
+        let req = Request {
+            id,
+            query,
+            deadline_us: now.saturating_add(budget),
+        };
+        match self.queue.push(req, now) {
+            Ok(()) => {
+                self.snap.admitted += 1;
+                Ok(id)
+            }
+            Err(shed) => {
+                self.snap.shed_queue_full += 1;
+                event(Level::Warn, "serve.request.shed")
+                    .field("reason", ShedReason::QueueFull.name())
+                    .emit();
+                Err(Response::Shed {
+                    id: shed.id,
+                    reason: ShedReason::QueueFull,
+                    detail: format!("queue at capacity {}", self.queue.capacity()),
+                })
+            }
+        }
+    }
+
+    /// Serve queued requests until the queue is empty.
+    pub fn drain(&mut self) -> Vec<Response> {
+        let mut out = Vec::new();
+        loop {
+            let now = self.now_us();
+            let Some((req, wait)) = self.queue.pop(now) else {
+                break;
+            };
+            out.push(self.serve_one(req, wait));
+        }
+        out
+    }
+
+    /// Submit a wave of `(query, deadline budget)` pairs, then drain the
+    /// queue. Shed and served responses are returned together.
+    pub fn process_wave(
+        &mut self,
+        wave: impl IntoIterator<Item = (E::Query, Option<u64>)>,
+    ) -> Vec<Response> {
+        let mut out = Vec::new();
+        for (query, deadline) in wave {
+            if let Err(shed) = self.submit(query, deadline) {
+                out.push(shed);
+            }
+        }
+        out.extend(self.drain());
+        out
+    }
+
+    fn serve_one(&mut self, req: Request<E::Query>, queue_wait_us: u64) -> Response {
+        let mut floor = 0usize;
+        loop {
+            let now = self.now_us();
+            let remaining = req.deadline_us.saturating_sub(now);
+            if remaining == 0 && floor == 0 {
+                // Expired before any attempt: refuse rather than burn work.
+                self.snap.shed_deadline += 1;
+                event(Level::Warn, "serve.request.shed")
+                    .field("reason", ShedReason::DeadlineExpiredInQueue.name())
+                    .emit();
+                return Response::Shed {
+                    id: req.id,
+                    reason: ShedReason::DeadlineExpiredInQueue,
+                    detail: format!("waited {queue_wait_us}us in queue"),
+                };
+            }
+
+            // Breaker gating, computed before selection so the closure
+            // borrow does not conflict with `&mut self.breakers`.
+            let mut usable = [true; 4];
+            for (i, usable_i) in usable.iter_mut().take(MODEL_RUNGS).enumerate() {
+                *usable_i = i >= floor && self.breakers[i].allow(now);
+            }
+            let rung = self.ladder.select(remaining, |r| usable[r.index()]);
+            let rung = if rung.index() < floor {
+                Rung::from_index(floor.min(Rung::Fallback.index()))
+            } else {
+                rung
+            };
+
+            let t0 = Instant::now();
+            let exec = &mut self.exec;
+            let outcome = catch_unwind(AssertUnwindSafe(|| exec.execute(rung, &req.query)));
+            let service_us = t0.elapsed().as_micros() as u64;
+            self.ladder.observe(rung, service_us);
+            odt_obs::histogram(rung_hist_name(rung)).record_micros(service_us);
+            let after = self.now_us();
+
+            match outcome {
+                Ok(Ok(seconds)) if seconds.is_finite() => {
+                    self.snap.served += 1;
+                    self.snap.rung_hits[rung.index()] += 1;
+                    let deadline_met = after <= req.deadline_us;
+                    if deadline_met {
+                        self.snap.deadline_met += 1;
+                    } else {
+                        self.snap.deadline_missed += 1;
+                    }
+                    if !rung.is_terminal() {
+                        // A served-but-late answer is a *latency* failure:
+                        // it must push the breaker toward routing around
+                        // this rung, even though the caller got an answer.
+                        if deadline_met {
+                            self.breakers[rung.index()].record_success(after);
+                        } else {
+                            self.breakers[rung.index()].record_failure(after);
+                        }
+                    }
+                    return Response::Served {
+                        id: req.id,
+                        seconds,
+                        rung,
+                        queue_wait_us,
+                        service_us,
+                        deadline_met,
+                        downgraded: rung.index() > 0,
+                    };
+                }
+                other => {
+                    // Err(_), NaN/±inf output, or a caught panic.
+                    self.snap.rung_failures[rung.index()] += 1;
+                    odt_obs::counter("serve.rung.failures").inc();
+                    let kind = match &other {
+                        Ok(Ok(_)) => "non_finite",
+                        Ok(Err(_)) => "error",
+                        Err(_) => "panic",
+                    };
+                    event(Level::Warn, "serve.rung.failure")
+                        .field("rung", rung.name())
+                        .field("kind", kind)
+                        .emit();
+                    if !rung.is_terminal() {
+                        self.breakers[rung.index()].record_failure(after);
+                        floor = rung.index() + 1;
+                        continue;
+                    }
+                    // Even the fallback failed: give up on this request.
+                    self.snap.shed_internal += 1;
+                    return Response::Shed {
+                        id: req.id,
+                        reason: ShedReason::Internal,
+                        detail: format!("terminal rung failed ({kind})"),
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scriptable executor: per-rung behavior, switchable mid-test.
+    struct MockExec {
+        /// seconds returned per rung; NaN simulates a poisoned output.
+        value: [f64; 4],
+        /// rungs that return Err.
+        fail: [bool; 4],
+        /// rungs that panic.
+        panic: [bool; 4],
+        /// queries containing this marker are refused at admission.
+        reject_marker: Option<&'static str>,
+        calls: Vec<Rung>,
+    }
+
+    impl MockExec {
+        fn healthy() -> Self {
+            MockExec {
+                value: [600.0, 610.0, 620.0, 900.0],
+                fail: [false; 4],
+                panic: [false; 4],
+                reject_marker: None,
+                calls: Vec::new(),
+            }
+        }
+    }
+
+    impl RungExecutor for MockExec {
+        type Query = &'static str;
+
+        fn admit(&mut self, query: &Self::Query) -> Result<(), String> {
+            match self.reject_marker {
+                Some(m) if query.contains(m) => Err(format!("marker {m}")),
+                _ => Ok(()),
+            }
+        }
+
+        fn execute(&mut self, rung: Rung, _query: &Self::Query) -> Result<f64, String> {
+            self.calls.push(rung);
+            if self.panic[rung.index()] {
+                panic!("injected panic on {}", rung.name());
+            }
+            if self.fail[rung.index()] {
+                return Err(format!("injected error on {}", rung.name()));
+            }
+            Ok(self.value[rung.index()])
+        }
+    }
+
+    fn cfg() -> FrontendConfig {
+        FrontendConfig {
+            queue_capacity: 8,
+            // Millisecond-scale priors so mock execution (≈ µs) always
+            // "fits" and queue wait cannot starve the budget on slow CI.
+            ladder: LadderConfig {
+                prior_us: [50_000, 20_000, 10_000, 1],
+                min_samples: u64::MAX, // pin costs to the priors
+            },
+            ..FrontendConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthy_requests_serve_on_full_fidelity() {
+        let mut fe = ServeFrontend::new(MockExec::healthy(), cfg());
+        let out = fe.process_wave((0..4).map(|_| ("od", None)));
+        assert_eq!(out.len(), 4);
+        for r in &out {
+            match r {
+                Response::Served {
+                    rung,
+                    seconds,
+                    deadline_met,
+                    downgraded,
+                    ..
+                } => {
+                    assert_eq!(*rung, Rung::Full);
+                    assert_eq!(*seconds, 600.0);
+                    assert!(*deadline_met);
+                    assert!(!*downgraded);
+                }
+                other => panic!("expected Served, got {other:?}"),
+            }
+        }
+        let s = fe.snapshot();
+        assert_eq!(s.served, 4);
+        assert_eq!(s.rung_hits[0], 4);
+        assert_eq!(s.deadline_met, 4);
+    }
+
+    #[test]
+    fn tight_deadline_selects_a_faster_rung() {
+        let mut fe = ServeFrontend::new(MockExec::healthy(), cfg());
+        // Budget 15ms: priors say only DdimReduced (10ms) and Fallback fit.
+        // Queue wait eats into the budget, so accept either of the two.
+        let out = fe.process_wave([("od", Some(15_000u64))]);
+        match &out[0] {
+            Response::Served {
+                rung, downgraded, ..
+            } => {
+                assert!(rung.index() >= Rung::DdimReduced.index(), "{rung:?}");
+                assert!(*downgraded);
+            }
+            other => panic!("expected Served, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failures_descend_the_ladder_not_the_request() {
+        let mut exec = MockExec::healthy();
+        exec.fail[0] = true; // Full errors
+        exec.panic[1] = true; // Ddim panics
+        exec.value[2] = f64::NAN; // DdimReduced poisons its output
+        let mut fe = ServeFrontend::new(exec, cfg());
+        let out = fe.process_wave([("od", None)]);
+        match &out[0] {
+            Response::Served { rung, seconds, .. } => {
+                assert_eq!(*rung, Rung::Fallback);
+                assert_eq!(*seconds, 900.0);
+            }
+            other => panic!("expected Served, got {other:?}"),
+        }
+        let s = fe.snapshot();
+        assert_eq!(s.rung_failures[..3], [1, 1, 1]);
+        assert_eq!(s.rung_hits[3], 1);
+    }
+
+    #[test]
+    fn repeated_failures_trip_the_breaker_and_route_around() {
+        let mut exec = MockExec::healthy();
+        exec.fail[0] = true;
+        let mut fe = ServeFrontend::new(
+            exec,
+            FrontendConfig {
+                breaker: BreakerConfig {
+                    failure_threshold: 3,
+                    base_backoff_us: 60_000_000, // stays open for the test
+                    ..BreakerConfig::default()
+                },
+                ..cfg()
+            },
+        );
+        let out = fe.process_wave((0..5).map(|_| ("od", None)));
+        assert!(out.iter().all(Response::is_served));
+        assert_eq!(fe.breaker_state(Rung::Full), Some(BreakerState::Open));
+        let s = fe.snapshot();
+        assert_eq!(s.breaker_trips[0], 1);
+        // Once open, Full is not attempted: exactly 3 failures recorded.
+        assert_eq!(s.rung_failures[0], 3);
+        assert_eq!(s.rung_hits[1], 5, "all five served by Ddim");
+    }
+
+    #[test]
+    fn queue_flood_sheds_by_policy() {
+        let mut fe = ServeFrontend::new(
+            MockExec::healthy(),
+            FrontendConfig {
+                queue_capacity: 4,
+                ..cfg()
+            },
+        );
+        let out = fe.process_wave((0..10).map(|_| ("od", None)));
+        let served = out.iter().filter(|r| r.is_served()).count();
+        let shed = out.len() - served;
+        assert_eq!((served, shed), (4, 6));
+        let s = fe.snapshot();
+        assert_eq!(s.shed_queue_full, 6);
+        assert!(out.iter().any(|r| matches!(
+            r,
+            Response::Shed {
+                reason: ShedReason::QueueFull,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn invalid_queries_are_refused_at_admission() {
+        let mut exec = MockExec::healthy();
+        exec.reject_marker = Some("bad");
+        let mut fe = ServeFrontend::new(exec, cfg());
+        let out = fe.process_wave([("ok", None), ("bad od", None), ("ok", None)]);
+        let shed: Vec<_> = out.iter().filter(|r| !r.is_served()).collect();
+        assert_eq!(shed.len(), 1);
+        assert!(matches!(
+            shed[0],
+            Response::Shed {
+                reason: ShedReason::InvalidQuery,
+                ..
+            }
+        ));
+        assert_eq!(fe.snapshot().shed_invalid, 1);
+        // Invalid queries never reach the executor.
+        assert_eq!(fe.executor_mut().calls.len(), 2);
+    }
+
+    #[test]
+    fn terminal_rung_failure_sheds_internal() {
+        let mut exec = MockExec::healthy();
+        exec.fail = [true; 4];
+        let mut fe = ServeFrontend::new(exec, cfg());
+        let out = fe.process_wave([("od", None)]);
+        assert!(matches!(
+            &out[0],
+            Response::Shed {
+                reason: ShedReason::Internal,
+                ..
+            }
+        ));
+        assert_eq!(fe.snapshot().shed_internal, 1);
+    }
+}

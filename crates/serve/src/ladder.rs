@@ -1,0 +1,250 @@
+//! The adaptive degradation ladder: deadline-aware rung selection.
+//!
+//! The ladder orders the serving paths by fidelity — full DDPM sampling,
+//! DDIM fast path, reduced-step DDIM, haversine-prior fallback — and keeps
+//! a live latency histogram per rung. A request with `d` microseconds of
+//! deadline budget left takes the **highest-fidelity rung whose live p95
+//! latency fits in `d`** (skipping rungs whose circuit breaker is open);
+//! if no model-backed rung fits, the terminal fallback answers — it is
+//! always available and effectively instant.
+//!
+//! Selection is *monotone in the deadline* (verified by a proptest): for a
+//! fixed latency snapshot, shrinking the budget can only move the choice
+//! down the ladder, never up. This is what makes per-request deadlines
+//! composable with SLA reporting — a stricter SLA never gets a slower
+//! answer.
+
+use odt_obs::Histogram;
+
+/// One rung of the degradation ladder, in fidelity order.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Rung {
+    /// Full stochastic DDPM sampling with candidate selection.
+    Full,
+    /// Deterministic DDIM over a reduced strided schedule.
+    Ddim,
+    /// DDIM over an even smaller step count.
+    DdimReduced,
+    /// The model-free haversine-prior fallback (terminal; always available).
+    Fallback,
+}
+
+/// Number of rungs guarded by circuit breakers (all but the fallback).
+pub const MODEL_RUNGS: usize = 3;
+
+impl Rung {
+    /// Every rung, highest fidelity first.
+    pub const ALL: [Rung; 4] = [Rung::Full, Rung::Ddim, Rung::DdimReduced, Rung::Fallback];
+
+    /// Position on the ladder (0 = highest fidelity).
+    pub fn index(self) -> usize {
+        match self {
+            Rung::Full => 0,
+            Rung::Ddim => 1,
+            Rung::DdimReduced => 2,
+            Rung::Fallback => 3,
+        }
+    }
+
+    /// The rung at ladder position `i` (`i ≤ 3`).
+    pub fn from_index(i: usize) -> Rung {
+        Rung::ALL[i]
+    }
+
+    /// Short tag for metrics, events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Full => "full_ddpm",
+            Rung::Ddim => "ddim",
+            Rung::DdimReduced => "ddim_reduced",
+            Rung::Fallback => "fallback",
+        }
+    }
+
+    /// Whether this is the terminal (breaker-less) rung.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Rung::Fallback)
+    }
+}
+
+/// Ladder tuning.
+#[derive(Copy, Clone, Debug)]
+pub struct LadderConfig {
+    /// Optimistic per-rung latency priors (µs, fidelity order) used until
+    /// `min_samples` live observations exist for a rung.
+    pub prior_us: [u64; 4],
+    /// Observations per rung before its live p95 replaces the prior.
+    pub min_samples: u64,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            prior_us: [200_000, 50_000, 20_000, 100],
+            min_samples: 5,
+        }
+    }
+}
+
+/// Live per-rung latency tracking + deadline-aware selection.
+pub struct LatencyLadder {
+    cfg: LadderConfig,
+    hists: [Histogram; 4],
+}
+
+impl LatencyLadder {
+    /// An empty ladder (selection starts from the configured priors).
+    pub fn new(cfg: LadderConfig) -> Self {
+        LatencyLadder {
+            cfg,
+            hists: std::array::from_fn(|_| Histogram::default()),
+        }
+    }
+
+    /// Record one observed service latency for a rung (successes *and*
+    /// failures: a slow failure is exactly the signal that should push
+    /// traffic down the ladder).
+    pub fn observe(&self, rung: Rung, micros: u64) {
+        self.hists[rung.index()].record_micros(micros);
+    }
+
+    /// The cost estimate selection uses for a rung: its live p95 once
+    /// `min_samples` observations exist, the configured prior before.
+    pub fn cost_us(&self, rung: Rung) -> u64 {
+        let h = &self.hists[rung.index()];
+        if h.count() >= self.cfg.min_samples {
+            h.quantile_micros(0.95) as u64
+        } else {
+            self.cfg.prior_us[rung.index()]
+        }
+    }
+
+    /// A snapshot of every rung's cost estimate, fidelity order.
+    pub fn costs(&self) -> [u64; 4] {
+        [
+            self.cost_us(Rung::Full),
+            self.cost_us(Rung::Ddim),
+            self.cost_us(Rung::DdimReduced),
+            self.cost_us(Rung::Fallback),
+        ]
+    }
+
+    /// Pick the rung for a request with `remaining_us` of deadline budget:
+    /// the first usable rung (fidelity order) whose cost fits. See
+    /// [`select_from_costs`].
+    pub fn select(&self, remaining_us: u64, usable: impl Fn(Rung) -> bool) -> Rung {
+        select_from_costs(&self.costs(), remaining_us, usable)
+    }
+}
+
+/// The pure selection rule: the first rung in fidelity order that is
+/// `usable` and whose cost fits the remaining budget; the terminal
+/// fallback if none fits (it is always usable — breakers never apply to
+/// it).
+///
+/// Monotonicity (the proptested invariant): for fixed `costs` and
+/// `usable`, if `d' ≤ d` then `select(d').index() ≥ select(d).index()` —
+/// a shorter deadline never picks a slower (higher-fidelity) rung. Proof
+/// sketch: the predicate `cost[i] ≤ d` is monotone in `d` for every `i`,
+/// so the first index satisfying it can only move right as `d` shrinks.
+pub fn select_from_costs(
+    costs: &[u64; 4],
+    remaining_us: u64,
+    usable: impl Fn(Rung) -> bool,
+) -> Rung {
+    for rung in Rung::ALL {
+        if !rung.is_terminal() && !usable(rung) {
+            continue;
+        }
+        if costs[rung.index()] <= remaining_us {
+            return rung;
+        }
+    }
+    Rung::Fallback
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rung_order_and_names() {
+        assert_eq!(Rung::ALL.len(), 4);
+        for (i, r) in Rung::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Rung::from_index(i), *r);
+        }
+        assert!(Rung::Fallback.is_terminal());
+        assert_eq!(Rung::Full.name(), "full_ddpm");
+    }
+
+    #[test]
+    fn selection_prefers_fidelity_within_budget() {
+        let costs = [100_000, 20_000, 5_000, 10];
+        let all = |_: Rung| true;
+        assert_eq!(select_from_costs(&costs, 200_000, all), Rung::Full);
+        assert_eq!(select_from_costs(&costs, 50_000, all), Rung::Ddim);
+        assert_eq!(select_from_costs(&costs, 10_000, all), Rung::DdimReduced);
+        assert_eq!(select_from_costs(&costs, 100, all), Rung::Fallback);
+        // Nothing fits: still answered, by the terminal rung.
+        assert_eq!(select_from_costs(&costs, 0, all), Rung::Fallback);
+    }
+
+    #[test]
+    fn open_breakers_route_down_the_ladder() {
+        let costs = [10, 10, 10, 10];
+        let no_full = |r: Rung| r != Rung::Full;
+        assert_eq!(select_from_costs(&costs, 1_000, no_full), Rung::Ddim);
+        let only_fallback = |_: Rung| false;
+        assert_eq!(
+            select_from_costs(&costs, 1_000, only_fallback),
+            Rung::Fallback
+        );
+    }
+
+    #[test]
+    fn selection_is_monotone_on_a_cost_grid() {
+        // Exhaustive small-grid check of the proptested invariant.
+        let grids: [[u64; 4]; 4] = [
+            [100, 50, 20, 1],
+            [10, 50, 5, 0],
+            [1, 1, 1, 1],
+            [1_000, 1_000, 1_000, 1_000],
+        ];
+        for costs in &grids {
+            for mask in 0..8u8 {
+                let usable = |r: Rung| r.is_terminal() || mask & (1 << r.index()) != 0;
+                let mut prev_idx = None;
+                // Deadlines descending: selected index must not decrease.
+                for d in (0..=1_200u64).rev().step_by(7) {
+                    let idx = select_from_costs(costs, d, usable).index();
+                    if let Some(p) = prev_idx {
+                        assert!(idx >= p, "costs {costs:?} mask {mask} d {d}");
+                    }
+                    prev_idx = Some(idx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_blends_prior_and_live_p95() {
+        let ladder = LatencyLadder::new(LadderConfig {
+            prior_us: [1_000, 100, 10, 1],
+            min_samples: 3,
+        });
+        // Below min_samples: the prior answers.
+        ladder.observe(Rung::Full, 5);
+        assert_eq!(ladder.cost_us(Rung::Full), 1_000);
+        // At min_samples: the live p95 takes over (all samples ≈ 5µs).
+        ladder.observe(Rung::Full, 5);
+        ladder.observe(Rung::Full, 5);
+        assert!(
+            ladder.cost_us(Rung::Full) <= 8,
+            "{}",
+            ladder.cost_us(Rung::Full)
+        );
+        // And selection adapts: Full now fits a 10µs budget.
+        assert_eq!(ladder.select(10, |_| true), Rung::Full);
+    }
+}

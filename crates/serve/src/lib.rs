@@ -1,0 +1,51 @@
+//! # odt-serve
+//!
+//! The resilient serving frontend for the DOT oracle: what stands between
+//! map-service traffic and [`odt_core::Dot`] when the oracle is deployed.
+//!
+//! The paper's serving story ends at `estimate()`; this crate adds the
+//! production envelope around it:
+//!
+//! * **Admission control** — a bounded [`AdmissionQueue`] with an explicit
+//!   [`ShedPolicy`] (reject-newest or reject-oldest), so overload degrades
+//!   into counted sheds instead of unbounded latency. Strict query
+//!   sanitization refuses far-out-of-region queries with a typed reason.
+//! * **Deadline-aware degradation** — each request carries a deadline
+//!   budget; the [`LatencyLadder`] picks the highest-fidelity rung (full
+//!   DDPM → DDIM → reduced-step DDIM → haversine prior) whose live p95
+//!   fits the remaining budget. Selection is monotone in the deadline
+//!   (proptested): a stricter deadline never gets a slower rung.
+//! * **Circuit breakers** — each model-backed rung sits behind a
+//!   [`CircuitBreaker`] (closed → open → half-open, exponential backoff)
+//!   that trips on panics, NaN outputs, and latency-budget violations;
+//!   the ladder routes around open breakers.
+//! * **Chaos harness** — [`ChaosExecutor`] injects seeded, replayable
+//!   faults (latency, NaN, panics) and [`scenarios`] defines standing
+//!   drills with explicit [`Expectations`], run by the `chaos_drill` eval
+//!   binary and the CI `chaos-smoke` job.
+//!
+//! Everything runs on caller-visible microsecond clocks and seeded PRNGs,
+//! so the whole stack — queue, breaker, ladder, chaos — is deterministic
+//! under test. See DESIGN.md §9 for the full serving-resilience design.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod chaos;
+pub mod dot;
+pub mod frontend;
+pub mod ladder;
+pub mod queue;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use chaos::{
+    scenarios, ChaosConfig, ChaosExecutor, Expectations, Fault, FaultInjector, ScenarioSpec,
+    SplitMix64,
+};
+pub use dot::{dot_frontend, DotExecutor, DotFrontendConfig};
+pub use frontend::{
+    FrontendConfig, FrontendSnapshot, Request, Response, RungExecutor, ServeFrontend, ShedReason,
+};
+pub use ladder::{select_from_costs, LadderConfig, LatencyLadder, Rung, MODEL_RUNGS};
+pub use queue::{AdmissionQueue, ShedPolicy};

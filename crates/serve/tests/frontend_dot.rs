@@ -1,0 +1,179 @@
+//! End-to-end resilience tests: the deadline-aware frontend over a real
+//! (tiny) trained DOT oracle, with injected faults.
+
+use odt_core::{Dot, DotConfig};
+use odt_roadnet::LngLat;
+use odt_serve::{
+    dot_frontend, BreakerState, ChaosConfig, DotFrontendConfig, FrontendConfig, Response, Rung,
+    ShedPolicy, ShedReason,
+};
+use odt_traj::{Dataset, OdtInput};
+
+fn dataset() -> Dataset {
+    let mut cfg = odt_traj::sim::CitySimConfig::chengdu_like();
+    cfg.nx = 8;
+    cfg.ny = 8;
+    Dataset::simulated(cfg, 180, 8, 41)
+}
+
+fn tiny_model(data: &Dataset) -> Dot {
+    let mut cfg = DotConfig::fast();
+    cfg.lg = 8;
+    cfg.n_steps = 8;
+    cfg.base_channels = 4;
+    cfg.cond_dim = 16;
+    cfg.d_e = 16;
+    cfg.stage1_iters = 15;
+    cfg.stage2_iters = 30;
+    cfg.early_stop_samples = 3;
+    cfg.early_stop_every = 15;
+    Dot::train(cfg, data, |_| {})
+}
+
+fn queries(data: &Dataset, n: usize) -> Vec<OdtInput> {
+    (0..n)
+        .map(|i| OdtInput::from_trajectory(&data.trips[i % data.trips.len()]))
+        .collect()
+}
+
+#[test]
+fn frontend_serves_degrades_and_recovers() {
+    let data = dataset();
+    let model = tiny_model(&data);
+    let mut fe = dot_frontend(
+        &model,
+        DotFrontendConfig::default(),
+        FrontendConfig::default(),
+        ChaosConfig::quiet(7),
+    );
+
+    // Healthy wave: everything answers, finite and non-negative.
+    let out = fe.process_wave(queries(&data, 6).into_iter().map(|q| (q, None)));
+    assert_eq!(out.len(), 6);
+    for r in &out {
+        match r {
+            Response::Served { seconds, .. } => {
+                assert!(seconds.is_finite() && *seconds >= 0.0, "{seconds}");
+            }
+            other => panic!("healthy wave shed a request: {other:?}"),
+        }
+    }
+    assert_eq!(fe.snapshot().served, 6);
+
+    // NaN storm on every model rung: breakers trip, the exempt fallback
+    // still answers every request.
+    fe.executor_mut().set_config(ChaosConfig {
+        p_nan: 1.0,
+        ..ChaosConfig::quiet(11)
+    });
+    let out = fe.process_wave(queries(&data, 8).into_iter().map(|q| (q, None)));
+    assert!(
+        out.iter().all(Response::is_served),
+        "storm dropped requests"
+    );
+    for r in &out {
+        if let Response::Served { rung, seconds, .. } = r {
+            assert_eq!(*rung, Rung::Fallback);
+            assert!(seconds.is_finite() && *seconds >= 0.0);
+        }
+    }
+    let s = fe.snapshot();
+    // Default threshold 3: each model rung fails thrice, then its open
+    // breaker routes the rest of the storm straight to the fallback.
+    assert_eq!(s.breaker_trips, [1, 1, 1]);
+    assert_eq!(s.rung_failures[..3], [3, 3, 3]);
+    assert_eq!(s.rung_hits[3], 8);
+    assert_eq!(fe.breaker_state(Rung::Full), Some(BreakerState::Open));
+
+    // Chaos cleared + cool-down elapsed: half-open probes succeed and full
+    // fidelity resumes.
+    fe.executor_mut().set_config(ChaosConfig::quiet(13));
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    let out = fe.process_wave(queries(&data, 4).into_iter().map(|q| (q, None)));
+    assert!(out.iter().all(Response::is_served));
+    let s = fe.snapshot();
+    assert_eq!(fe.breaker_state(Rung::Full), Some(BreakerState::Closed));
+    assert!(s.rung_hits[0] >= 4, "full fidelity never resumed: {s:?}");
+}
+
+#[test]
+fn admission_deadlines_and_overload() {
+    let data = dataset();
+    let model = tiny_model(&data);
+    let rejected_before = model.robustness().queries_rejected;
+    let mut fe = dot_frontend(
+        &model,
+        DotFrontendConfig::default(),
+        FrontendConfig {
+            queue_capacity: 4,
+            shed_policy: ShedPolicy::RejectNewest,
+            ..FrontendConfig::default()
+        },
+        ChaosConfig::quiet(7),
+    );
+
+    // Strict admission: a query far outside the region is refused with a
+    // typed reason and counted by the oracle's robustness stats.
+    let base = OdtInput::from_trajectory(&data.trips[0]);
+    let span = data.grid.max.lng - data.grid.min.lng;
+    let far = OdtInput {
+        origin: LngLat {
+            lng: data.grid.min.lng - 3.0 * span,
+            lat: base.origin.lat,
+        },
+        ..base
+    };
+    match fe.submit(far, None) {
+        Err(Response::Shed {
+            reason: ShedReason::InvalidQuery,
+            detail,
+            ..
+        }) => assert!(detail.contains("outside"), "unexpected detail {detail:?}"),
+        other => panic!("far query was admitted: {other:?}"),
+    }
+    assert!(model.robustness().queries_rejected > rejected_before);
+    // A mildly-out-of-range query is still clamped and served, as before.
+    let near = OdtInput {
+        origin: LngLat {
+            lng: data.grid.min.lng - 0.1 * span,
+            lat: base.origin.lat,
+        },
+        ..base
+    };
+    assert!(fe.submit(near, None).is_ok());
+    assert!(fe.drain().iter().all(Response::is_served));
+
+    // Queue flood: capacity 4 against 12 submissions in one wave.
+    let out = fe.process_wave(queries(&data, 12).into_iter().map(|q| (q, None)));
+    let served = out.iter().filter(|r| r.is_served()).count();
+    assert_eq!(served, 4);
+    assert_eq!(
+        out.iter()
+            .filter(|r| matches!(
+                r,
+                Response::Shed {
+                    reason: ShedReason::QueueFull,
+                    ..
+                }
+            ))
+            .count(),
+        8
+    );
+
+    // A microscopic deadline budget: the request is either honestly shed
+    // (expired in queue) or answered by a degraded rung — never served
+    // late at full fidelity (full DDPM cannot fit a 50µs budget).
+    let out = fe.process_wave(queries(&data, 4).into_iter().map(|q| (q, Some(50u64))));
+    assert_eq!(out.len(), 4);
+    for r in &out {
+        match r {
+            Response::Served { rung, seconds, .. } => {
+                assert!(rung.index() >= 1, "tight deadline picked {rung:?}");
+                assert!(seconds.is_finite() && *seconds >= 0.0);
+            }
+            Response::Shed { reason, .. } => {
+                assert_eq!(*reason, ShedReason::DeadlineExpiredInQueue);
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the degradation ladder (the robustness
+//! invariants the frontend's deadline handling rests on):
+//!
+//! 1. **Monotonicity** — for any cost snapshot, breaker mask, and pair of
+//!    deadlines, the shorter deadline never selects a *slower*
+//!    (higher-fidelity, higher-index-cost) rung than the longer one.
+//! 2. **Soundness** — the selected rung is always usable (or terminal),
+//!    and fits the budget unless nothing does.
+//! 3. **Fallback totality** — the haversine-prior fallback produces a
+//!    finite, non-negative estimate for *any* query, including NaN and
+//!    infinite coordinates.
+
+use odt_core::fallback_estimate_seconds;
+use odt_roadnet::LngLat;
+use odt_serve::{select_from_costs, LadderConfig, LatencyLadder, Rung};
+use odt_traj::OdtInput;
+use proptest::prelude::*;
+
+fn usable_fn(mask: u8) -> impl Fn(Rung) -> bool {
+    move |r: Rung| r.is_terminal() || mask & (1 << r.index()) != 0
+}
+
+proptest! {
+    /// A shorter deadline never selects a slower rung (pure selection).
+    #[test]
+    fn selection_is_monotone_in_the_deadline(
+        costs in prop::array::uniform4(0u64..1_000_000),
+        mask in 0u8..16,
+        d_lo in 0u64..2_000_000,
+        extra in 0u64..2_000_000,
+    ) {
+        let d_hi = d_lo.saturating_add(extra);
+        let pick_lo = select_from_costs(&costs, d_lo, usable_fn(mask));
+        let pick_hi = select_from_costs(&costs, d_hi, usable_fn(mask));
+        // Lower index = higher fidelity; shrinking the budget may only
+        // move the selection down the ladder (index up), never up.
+        prop_assert!(
+            pick_lo.index() >= pick_hi.index(),
+            "deadline {d_lo} picked {pick_lo:?} but deadline {d_hi} picked {pick_hi:?} \
+             (costs {costs:?}, mask {mask:#06b})"
+        );
+    }
+
+    /// The selected rung is usable and within budget whenever possible.
+    #[test]
+    fn selection_is_sound(
+        costs in prop::array::uniform4(0u64..1_000_000),
+        mask in 0u8..16,
+        deadline in 0u64..2_000_000,
+    ) {
+        let usable = usable_fn(mask);
+        let pick = select_from_costs(&costs, deadline, &usable);
+        prop_assert!(usable(pick) || pick.is_terminal());
+        if !pick.is_terminal() {
+            // A non-terminal pick always fits its budget...
+            prop_assert!(costs[pick.index()] <= deadline);
+            // ...and no usable higher-fidelity rung also fit.
+            for r in Rung::ALL.iter().take(pick.index()) {
+                prop_assert!(!(usable(*r) && costs[r.index()] <= deadline));
+            }
+        }
+    }
+
+    /// Monotonicity survives the live ladder (histogram p95s + priors),
+    /// not just the pure function: feed arbitrary latency observations,
+    /// then check a deadline pair.
+    #[test]
+    fn live_ladder_selection_is_monotone(
+        obs in prop::collection::vec((0usize..4, 1u64..500_000), 0..64),
+        mask in 0u8..16,
+        d_lo in 0u64..1_000_000,
+        extra in 0u64..1_000_000,
+    ) {
+        let ladder = LatencyLadder::new(LadderConfig::default());
+        for (rung_idx, micros) in obs {
+            ladder.observe(Rung::from_index(rung_idx), micros);
+        }
+        let d_hi = d_lo.saturating_add(extra);
+        let pick_lo = ladder.select(d_lo, usable_fn(mask));
+        let pick_hi = ladder.select(d_hi, usable_fn(mask));
+        prop_assert!(pick_lo.index() >= pick_hi.index());
+    }
+
+    /// The terminal fallback answers every query with a finite,
+    /// non-negative travel time — even for absurd or non-finite inputs.
+    #[test]
+    fn fallback_estimate_is_always_finite(
+        olng in prop::num::f64::ANY,
+        olat in prop::num::f64::ANY,
+        dlng in prop::num::f64::ANY,
+        dlat in prop::num::f64::ANY,
+        t_dep in prop::num::f64::ANY,
+    ) {
+        let odt = OdtInput {
+            origin: LngLat { lng: olng, lat: olat },
+            dest: LngLat { lng: dlng, lat: dlat },
+            t_dep,
+        };
+        let secs = fallback_estimate_seconds(&odt);
+        prop_assert!(secs.is_finite() && secs >= 0.0, "fallback produced {secs}");
+    }
+}

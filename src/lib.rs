@@ -38,6 +38,7 @@
 //! | [`odt_estimator`] | MViT / ViT / CNN travel-time estimators |
 //! | [`odt_baselines`] | the paper's twelve comparison methods + DeepTEA |
 //! | [`odt_core`] | the DOT framework and oracle API |
+//! | [`odt_serve`] | deadline-aware serving frontend: admission queue, degradation ladder, circuit breakers, chaos harness |
 //! | [`odt_eval`] | metrics and the table/figure harness |
 //! | [`odt_obs`] | structured events, metrics, span timers (zero-dep) |
 
@@ -52,6 +53,7 @@ pub use odt_eval as eval;
 pub use odt_nn as nn;
 pub use odt_obs as obs;
 pub use odt_roadnet as roadnet;
+pub use odt_serve as serve;
 pub use odt_tensor as tensor;
 pub use odt_traj as traj;
 

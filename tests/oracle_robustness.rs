@@ -160,3 +160,63 @@ fn pit_rasterization_handles_out_of_grid_points() {
     assert!(pit.tensor().is_finite());
     assert!(pit.num_visited() >= 1);
 }
+
+#[test]
+fn empty_query_batches_return_empty_not_panic() {
+    let data = dataset();
+    let model = tiny_model(&data);
+    let mut rng = StdRng::seed_from_u64(9);
+
+    // Every batch entry point must treat an empty slice as a no-op: no
+    // panics from zero-sized tensor shapes, no phantom estimates.
+    assert!(model.estimate_batch(&[], &mut rng).is_empty());
+    assert!(model.infer_pits(&[], &mut rng).is_empty());
+    assert!(model.infer_pits_fast(&[], 4, &mut rng).is_empty());
+    assert!(model.estimate_from_pits(&[]).is_empty());
+}
+
+#[test]
+fn strict_sanitization_rejects_far_queries_with_typed_reason() {
+    let data = dataset();
+    let model = tiny_model(&data);
+    let base = OdtInput::from_trajectory(&data.trips[0]);
+    let span = data.grid.max.lng - data.grid.min.lng;
+    let rejected_before = model.robustness().queries_rejected;
+
+    // Beyond one grid-span outside the region: a typed rejection.
+    let far = OdtInput {
+        dest: odt::roadnet::LngLat {
+            lng: data.grid.max.lng + 2.0 * span,
+            lat: base.dest.lat,
+        },
+        ..base
+    };
+    match model.sanitize_strict(&far) {
+        Err(reason) => {
+            assert_eq!(reason.kind(), "far_destination");
+            assert!(reason.spans() > odt::dot::FAR_QUERY_SPANS);
+        }
+        Ok(_) => panic!("far query passed strict sanitization"),
+    }
+    assert_eq!(model.robustness().queries_rejected, rejected_before + 1);
+
+    // Within a grid-span (and NaN coords): still clamped, not rejected.
+    let near = OdtInput {
+        origin: odt::roadnet::LngLat {
+            lng: data.grid.min.lng - 0.5 * span,
+            lat: f64::NAN,
+        },
+        ..base
+    };
+    let clean = model
+        .sanitize_strict(&near)
+        .expect("near query must clamp, not reject");
+    assert!(clean.origin.lng >= data.grid.min.lng);
+    assert!(clean.origin.lat.is_finite());
+    assert_eq!(model.robustness().queries_rejected, rejected_before + 1);
+
+    // The lenient default path still clamps even far queries (legacy
+    // behavior relied on by Dot::estimate).
+    let est = model.estimate(&far, &mut StdRng::seed_from_u64(3));
+    assert!(est.seconds.is_finite() && est.seconds >= 0.0);
+}
