@@ -60,6 +60,12 @@ fn bench(name: &'static str, shape: String, reps: usize, mut f: impl FnMut()) ->
 }
 
 fn main() {
+    // Crash observability only: no root spans are minted here, so with
+    // ODT_TRACE_SAMPLE=0 (or unset) the kernel loops see a single relaxed
+    // atomic load per span guard and nothing else.
+    odt_obs::flightrec::install_panic_hook();
+    odt_obs::trace::init_from_env();
+    odt_obs::flightrec::init_from_env();
     let quick = std::env::args().any(|a| a == "--quick");
     odt_compute::ensure_initialized();
     println!(

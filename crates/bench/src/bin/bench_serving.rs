@@ -8,11 +8,16 @@
 //! `--deadline-ms <a,b,c>` (deadline sweep through the `odt-serve`
 //! frontend, default `5,20,100,1000`; `none` skips the sweep).
 //!
-//! Schema (`odt-bench-serving/v2`):
+//! Tracing: set `ODT_TRACE_SAMPLE=1` to trace every frontend request.
+//! The sweep then also writes `BENCH_serving_trace.json` (Chrome/Perfetto
+//! trace of the retained requests) and `BENCH_serving_spans.jsonl` (the
+//! span stream consumed by the `trace_report` eval binary).
+//!
+//! Schema (`odt-bench-serving/v3`):
 //!
 //! ```json
 //! {
-//!   "schema": "odt-bench-serving/v2",
+//!   "schema": "odt-bench-serving/v3",
 //!   "threads": usize,        // odt-compute pool width
 //!   "quick": bool,
 //!   "batch_size": usize,
@@ -25,8 +30,17 @@
 //!     { "deadline_ms": u64, "submitted": u64, "served": u64, "shed": u64,
 //!       "sla_attainment": f64,   // deadline_met / submitted
 //!       "rung_hits": { "full_ddpm": u64, "ddim": u64,
-//!                      "ddim_reduced": u64, "fallback": u64 } }
-//!   ]
+//!                      "ddim_reduced": u64, "fallback": u64 },
+//!       "slo": { "fast_burn": f64, "slow_burn": f64, "alerts": u64 } }
+//!   ],
+//!   "trace": {               // end-to-end request tracing summary
+//!     "enabled": bool, "sample_every": u64,
+//!     "finished": u64,       // root spans closed
+//!     "retained": u64,       // traces kept (sampled or force-retained)
+//!     "p99_exemplar": "hex trace id" | null,  // which request was the p99
+//!     "chrome_trace": "path" | null,
+//!     "spans_jsonl": "path" | null
+//!   }
 //! }
 //! ```
 
@@ -49,6 +63,11 @@ fn arg_value(name: &str) -> Option<String> {
 }
 
 fn main() {
+    // Crash observability first: a panic anywhere below flushes event
+    // sinks and dumps the flight recorder before the process dies.
+    odt_obs::flightrec::install_panic_hook();
+    odt_obs::trace::init_from_env();
+    odt_obs::flightrec::init_from_env();
     let quick = arg_flag("--quick");
     let batch_size: usize = arg_value("--batch")
         .map(|v| v.parse().expect("--batch must be an integer"))
@@ -131,10 +150,14 @@ fn main() {
     for &ms in &deadlines_ms {
         // A fresh frontend per deadline point keeps counters clean; a
         // warmup pass seeds its latency ladder with measured rung costs.
+        let fe_cfg = FrontendConfig {
+            slo: Some(odt_obs::slo::BurnRateConfig::for_drill()),
+            ..FrontendConfig::default()
+        };
         let mut fe = dot_frontend(
             &model,
             DotFrontendConfig::default(),
-            FrontendConfig::default(),
+            fe_cfg,
             ChaosConfig::quiet(7),
         );
         fe.warmup(&queries[..2.min(queries.len())]);
@@ -146,25 +169,69 @@ fn main() {
         } else {
             s.deadline_met as f64 / s.submitted as f64
         };
+        let slo = s.slo.unwrap_or_default();
         println!(
-            "deadline {ms:>5}ms: {}/{} served, sla {:.2}, rungs {:?}",
-            s.served, s.submitted, sla, s.rung_hits
+            "deadline {ms:>5}ms: {}/{} served, sla {:.2}, burn {:.1}/{:.1}, rungs {:?}",
+            s.served, s.submitted, sla, slo.fast_burn, slo.slow_burn, s.rung_hits
         );
         sweep_entries.push(format!(
             "    {{ \"deadline_ms\": {ms}, \"submitted\": {}, \"served\": {}, \"shed\": {shed}, \
              \"sla_attainment\": {sla:.4}, \"rung_hits\": {{ \"full_ddpm\": {}, \"ddim\": {}, \
-             \"ddim_reduced\": {}, \"fallback\": {} }} }}",
-            s.submitted, s.served, s.rung_hits[0], s.rung_hits[1], s.rung_hits[2], s.rung_hits[3]
+             \"ddim_reduced\": {}, \"fallback\": {} }}, \"slo\": {{ \"fast_burn\": {:.4}, \
+             \"slow_burn\": {:.4}, \"alerts\": {} }} }}",
+            s.submitted,
+            s.served,
+            s.rung_hits[0],
+            s.rung_hits[1],
+            s.rung_hits[2],
+            s.rung_hits[3],
+            slo.fast_burn,
+            slo.slow_burn,
+            slo.alerts
         ));
     }
 
+    // Trace export: when tracing is on (ODT_TRACE_SAMPLE > 0) the sweep's
+    // requests produced retained traces; write them in both formats and
+    // surface the p99 exemplar — "which request was the p99".
+    let trace_enabled = odt_obs::trace::enabled();
+    let (finished, _, _) = odt_obs::trace::trace_stats();
+    let retained = odt_obs::trace::retained_count();
+    let p99_exemplar = odt_obs::histogram("serve.request")
+        .summary()
+        .p99_exemplar
+        .map(|raw| format!("{raw:016x}"));
+    let (chrome_path, spans_path) = if trace_enabled && retained > 0 {
+        let cp = "BENCH_serving_trace.json";
+        let sp = "BENCH_serving_spans.jsonl";
+        let n_chrome =
+            odt_obs::trace::write_chrome_trace(cp).unwrap_or_else(|e| panic!("writing {cp}: {e}"));
+        let n_spans =
+            odt_obs::trace::write_spans_jsonl(sp).unwrap_or_else(|e| panic!("writing {sp}: {e}"));
+        println!(
+            "traces: {retained} retained ({finished} roots), {n_chrome} events -> {cp}, \
+             {n_spans} lines -> {sp}, p99 exemplar {}",
+            p99_exemplar.as_deref().unwrap_or("none")
+        );
+        (Some(cp), Some(sp))
+    } else {
+        (None, None)
+    };
+    let json_opt = |v: &Option<&str>| match v {
+        Some(s) => format!("\"{s}\""),
+        None => "null".to_string(),
+    };
+
     let json = format!(
-        "{{\n  \"schema\": \"odt-bench-serving/v2\",\n  \"threads\": {},\n  \
+        "{{\n  \"schema\": \"odt-bench-serving/v3\",\n  \"threads\": {},\n  \
          \"quick\": {},\n  \"batch_size\": {},\n  \"lg\": {},\n  \
          \"train_seconds\": {:.3},\n  \
          \"sequential\": {{ \"queries\": {}, \"seconds\": {:.6}, \"per_query_ms\": {:.4} }},\n  \
          \"batched\": {{ \"queries\": {}, \"seconds\": {:.6}, \"per_query_ms\": {:.4} }},\n  \
-         \"speedup\": {:.4},\n  \"deadline_sweep\": [\n{}\n  ]\n}}\n",
+         \"speedup\": {:.4},\n  \"deadline_sweep\": [\n{}\n  ],\n  \
+         \"trace\": {{ \"enabled\": {}, \"sample_every\": {}, \"finished\": {}, \
+         \"retained\": {}, \"p99_exemplar\": {}, \"chrome_trace\": {}, \
+         \"spans_jsonl\": {} }}\n}}\n",
         odt_compute::num_threads(),
         quick,
         batch_size,
@@ -177,7 +244,14 @@ fn main() {
         bat_s,
         per_ms(bat_s),
         speedup,
-        sweep_entries.join(",\n")
+        sweep_entries.join(",\n"),
+        trace_enabled,
+        odt_obs::trace::sample_every(),
+        finished,
+        retained,
+        json_opt(&p99_exemplar.as_deref()),
+        json_opt(&chrome_path),
+        json_opt(&spans_path)
     );
     let path = "BENCH_serving.json";
     std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));

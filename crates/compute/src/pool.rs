@@ -48,6 +48,11 @@ struct Job {
     remaining: AtomicUsize,
     panicked: AtomicBool,
     published: Instant,
+    /// Trace context of the submitting thread, captured at publish time and
+    /// re-installed inside each worker for the duration of the job — so
+    /// `compute.queue_wait_us` and kernel spans executed on workers are
+    /// attributed to the originating request's trace.
+    ctx: Option<odt_obs::TraceContext>,
 }
 
 struct PoolState {
@@ -134,6 +139,7 @@ impl ThreadPool {
             remaining: AtomicUsize::new(n_chunks),
             panicked: AtomicBool::new(false),
             published: Instant::now(),
+            ctx: odt_obs::trace::current_context(),
         });
         {
             let mut st = self.shared.state.lock().unwrap();
@@ -181,6 +187,10 @@ fn worker_loop(shared: &Shared) {
                 st = shared.work_cv.wait(st).unwrap();
             }
         };
+        // Adopt the submitter's trace context (if any) for this job, so
+        // the queue-wait sample and every span opened by the chunk bodies
+        // land in the originating request's trace.
+        let _ctx = job.ctx.map(odt_obs::trace::install_context);
         queue_wait.record(job.published.elapsed());
         run_chunks(shared, &job);
     }
@@ -280,6 +290,10 @@ where
     if n_chunks == 0 {
         return;
     }
+    // Child span only when the calling thread is inside a traced request
+    // (a single relaxed atomic load otherwise — the tracing-off hot path
+    // stays unchanged).
+    let _sp = odt_obs::span_if_traced("compute.parallel");
     if n_chunks == 1 || is_inline() {
         for i in 0..n_chunks {
             f(i);
@@ -545,6 +559,34 @@ mod tests {
             });
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn worker_spans_attribute_to_submitting_trace() {
+        odt_obs::trace::set_sample_every(1);
+        let tid;
+        {
+            let root = odt_obs::trace::root_span("test.pool.trace_root");
+            tid = root.trace_id().expect("sampled");
+            parallel_for_chunks(8, |_| {
+                let _s = odt_obs::span("test.pool.chunk_span");
+            });
+        }
+        odt_obs::trace::set_sample_every(0);
+        let traces = odt_obs::trace::retained_traces();
+        let t = traces
+            .iter()
+            .find(|t| t.trace_id == tid)
+            .expect("trace retained");
+        // Every chunk span — wherever it physically ran — belongs to the
+        // submitting request's trace, alongside the pool dispatch span.
+        let chunks = t
+            .spans
+            .iter()
+            .filter(|s| s.name == "test.pool.chunk_span")
+            .count();
+        assert_eq!(chunks, 8, "all chunk spans attributed: {:?}", t.spans);
+        assert!(t.spans.iter().any(|s| s.name == "compute.parallel"));
     }
 
     #[test]

@@ -437,6 +437,10 @@ impl Dot {
             .infer_pits_sampled_presanitized(std::slice::from_ref(&clean), sampler, rng)
             .pop()
             .expect("one query in, one PiT out");
+        // Estimator stage as its own child span (only when a request trace
+        // is active): lets `trace_report` split a request's critical path
+        // into PiT inference vs MLM estimation.
+        let _est_span = odt_obs::span_if_traced("oracle.estimator");
         let (est, fallback) = self.guarded_inner(&clean, pit);
         record_query_latency(t0.elapsed(), fallback);
         est

@@ -148,9 +148,11 @@ impl Ddpm {
         // Noise scratch reused across steps; `normal_into` draws the same
         // RNG sequence as the allocating path, so samples are unchanged.
         let mut z = Tensor::zeros(x.shape().to_vec());
-        let step_hist = odt_obs::histogram("stage1.denoise_step");
         for n in (1..=self.schedule.n_steps()).rev() {
-            let step_t0 = std::time::Instant::now();
+            // Span guard: records the step into the `stage1.denoise_step`
+            // histogram and, when a request trace is active, emits a child
+            // span so per-step cost shows up on the request's critical path.
+            let _step = odt_obs::span("stage1.denoise_step");
             let g = Graph::new();
             let xv = g.input(x.clone());
             let steps = vec![n; b];
@@ -194,7 +196,6 @@ impl Ddpm {
                     *xe = coef_x0 * x0_hat + coef_xn * xn + sigma * zd[i];
                 }
             });
-            step_hist.record(step_t0.elapsed());
         }
         x
     }
@@ -242,9 +243,8 @@ impl Ddpm {
         let b = cond.shape()[0];
         let mut x = Self::sample_noise(vec![b, channels, lg, lg], rng);
         let mut z = Tensor::zeros(x.shape().to_vec());
-        let step_hist = odt_obs::histogram("stage1.denoise_step");
         for (i, &n) in steps.iter().enumerate() {
-            let step_t0 = std::time::Instant::now();
+            let _step = odt_obs::span("stage1.denoise_step");
             let g = Graph::new();
             let xv = g.input(x.clone());
             let step_vec = vec![n; b];
@@ -281,7 +281,6 @@ impl Ddpm {
                     *xe = coef_x0 * x0_hat + coef_xn * xn + sigma * zd[i];
                 }
             });
-            step_hist.record(step_t0.elapsed());
         }
         x
     }
@@ -321,9 +320,8 @@ impl Ddpm {
 
         let b = cond.shape()[0];
         let mut x = Self::sample_noise(vec![b, channels, lg, lg], rng);
-        let step_hist = odt_obs::histogram("stage1.ddim_step");
         for (i, &n) in steps.iter().enumerate() {
-            let step_t0 = std::time::Instant::now();
+            let _step = odt_obs::span("stage1.ddim_step");
             let g = Graph::new();
             let xv = g.input(x.clone());
             let step_vec = vec![n; b];
@@ -348,7 +346,6 @@ impl Ddpm {
                     *xe = sqrt_ab_next * x0_hat + next_noise * e;
                 }
             });
-            step_hist.record(step_t0.elapsed());
         }
         x
     }

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! chaos_drill [--scenario <name>|all] [--seed <u64>] [--quick]
-//!             [--report <path>]
+//!             [--report <path>] [--flightrec-dir <dir>]
 //! ```
 //!
 //! * `--scenario` — one scenario by name, or `all` (default).
@@ -12,12 +12,21 @@
 //!                  the same seed replays the same faults.
 //! * `--quick`    — smaller waves, CI smoke mode.
 //! * `--report`   — JSONL report path (default `CHAOS_drill.jsonl`).
+//! * `--flightrec-dir` — flight-recorder dump directory (default
+//!                  `CHAOS_flightrec`; `ODT_FLIGHTREC_DIR` overrides).
 //!
-//! The report is one JSON object per line, schema `odt-chaos-drill/v1`:
+//! Every drill runs fully traced (head sampling forced to 1-in-1 unless
+//! `ODT_TRACE_SAMPLE` overrides it): each scenario carries a root trace
+//! whose id is in its report line, and incident paths — breaker trips,
+//! deadline breaches — force-retain the offending request's trace and
+//! dump the flight recorder, so a failed drill ships its own evidence.
+//!
+//! The report is one JSON object per line, schema `odt-chaos-drill/v2`:
 //! a `kind: "scenario"` line per drill (counters, rung/breaker activity,
-//! expectation violations, pass flag) and a final `kind: "summary"` line.
-//! Exit status is non-zero if any scenario fails its expectations — the
-//! CI `chaos-smoke` job gates on this.
+//! `trace_id`, flight-recorder dump delta, expectation violations, pass
+//! flag) and a final `kind: "summary"` line. Exit status is non-zero if
+//! any scenario fails its expectations — the CI `chaos-smoke` job gates
+//! on this.
 
 use odt_core::{Dot, DotConfig};
 use odt_serve::{dot_frontend, ChaosConfig, DotFrontendConfig, FrontendConfig, ScenarioSpec};
@@ -65,6 +74,13 @@ fn run_scenario(
     queries: &[OdtInput],
     quick: bool,
 ) -> serde_json::Value {
+    // The scenario's own trace: request roots nest above it on the context
+    // stack, and force-retaining it keeps the scenario id resolvable in
+    // the retained set even when every request sails through cleanly.
+    let root = odt_obs::trace::root_span("chaos.scenario");
+    odt_obs::trace::force_retain_current("chaos_scenario");
+    let trace_id = root.trace_id().map(|t| t.to_hex());
+    let dumps_before = odt_obs::flightrec::dump_count();
     let wave_size = if quick {
         (spec.wave_size / 2).max(8)
     } else {
@@ -109,6 +125,11 @@ fn run_scenario(
     let wall_s = t0.elapsed().as_secs_f64();
 
     let s = fe.snapshot();
+    drop(root);
+    let dumps = odt_obs::flightrec::dump_count() - dumps_before;
+    let last_dump = odt_obs::flightrec::last_dump()
+        .filter(|_| dumps > 0)
+        .map(|p| p.display().to_string());
     let violations = spec.expect.check(&s);
     let answer_rate = if s.submitted == 0 {
         1.0
@@ -129,10 +150,12 @@ fn run_scenario(
         }
     );
     json!({
-        "schema": "odt-chaos-drill/v1",
+        "schema": "odt-chaos-drill/v2",
         "kind": "scenario",
         "name": spec.name,
         "description": spec.description,
+        "trace_id": trace_id,
+        "flightrec": { "dumps": dumps, "last_dump": last_dump },
         "seed": spec.chaos.seed,
         "quick": quick,
         "waves": spec.waves,
@@ -180,9 +203,27 @@ fn main() {
     let report_path = arg_value("--report").unwrap_or_else(|| "CHAOS_drill.jsonl".to_string());
     odt_compute::ensure_initialized();
 
+    // Drills trace every request unless the operator asked otherwise: the
+    // whole point of a drill is that anomalies keep their evidence.
+    if std::env::var("ODT_TRACE_SAMPLE").is_ok() {
+        odt_obs::trace::init_from_env();
+    } else {
+        odt_obs::trace::set_sample_every(1);
+    }
+    // Flight recorder: breaker trips and panics freeze the black box here.
+    match std::env::var("ODT_FLIGHTREC_DIR") {
+        Ok(_) => odt_obs::flightrec::init_from_env(),
+        Err(_) => odt_obs::flightrec::enable(
+            arg_value("--flightrec-dir").unwrap_or_else(|| "CHAOS_flightrec".to_string()),
+        ),
+    }
+
     // Injected panics are expected and caught at the request boundary;
-    // silence the default hook so drill output stays readable.
+    // silence the default hook so drill output stays readable. Installed
+    // *before* the flight-recorder hook, which chains to it: suppressed
+    // (injected) panics skip the dump, real ones dump first then silence.
     std::panic::set_hook(Box::new(|_| {}));
+    odt_obs::flightrec::install_panic_hook();
 
     let catalog = odt_serve::scenarios(seed);
     let selected: Vec<&ScenarioSpec> = if which == "all" {
@@ -220,14 +261,18 @@ fn main() {
         }
         lines.push(line);
     }
+    let (finished, _, _) = odt_obs::trace::trace_stats();
     lines.push(json!({
-        "schema": "odt-chaos-drill/v1",
+        "schema": "odt-chaos-drill/v2",
         "kind": "summary",
         "seed": seed,
         "quick": quick,
         "scenarios": selected.len(),
         "passed": selected.len() - failed,
         "failed": failed,
+        "traces_finished": finished,
+        "traces_retained": odt_obs::trace::retained_count(),
+        "flightrec_dumps": odt_obs::flightrec::dump_count(),
         "pass": failed == 0,
     }));
 

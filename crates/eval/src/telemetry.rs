@@ -32,6 +32,13 @@ pub struct Telemetry {
 /// of every end-of-run summary, attach the JSONL sink when the profile
 /// asks for one, and emit `run.start`.
 pub fn init(profile: &EvalProfile) -> Telemetry {
+    // Crash observability for every eval binary: a panic flushes the
+    // event sinks and dumps the flight recorder before the process dies.
+    // Tracing and the flight recorder stay off unless ODT_TRACE_SAMPLE /
+    // ODT_FLIGHTREC_DIR are set in the environment.
+    odt_obs::flightrec::install_panic_hook();
+    odt_obs::trace::init_from_env();
+    odt_obs::flightrec::init_from_env();
     odt_obs::histogram("serve.query.full");
     odt_obs::histogram("serve.query.fallback");
     odt_compute::ensure_initialized();

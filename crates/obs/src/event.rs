@@ -272,12 +272,25 @@ impl EventBuilder {
     }
 
     /// Finalize with a timestamp without emitting (the caller dispatches via
-    /// [`emit`] — used by shims that also need the message text).
+    /// [`emit`] — used by shims that also need the message text). When the
+    /// building thread carries a trace context, `trace_id` (16-hex string)
+    /// and `span_id` fields are attached automatically unless the caller
+    /// already set a `trace_id` field.
     pub fn build(mut self) -> Event {
         self.ev.ts_micros = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_micros().min(u128::from(u64::MAX)) as u64)
             .unwrap_or(0);
+        if let Some(ctx) = crate::trace::current_context() {
+            if self.ev.field("trace_id").is_none() {
+                self.ev
+                    .fields
+                    .push(("trace_id", FieldValue::Str(ctx.trace_id().to_hex())));
+                self.ev
+                    .fields
+                    .push(("span_id", FieldValue::U64(ctx.span_id().raw())));
+            }
+        }
         self.ev
     }
 
@@ -357,6 +370,34 @@ mod tests {
         assert!(Level::Debug < Level::Info);
         assert!(Level::Info < Level::Warn);
         assert!(Level::Warn < Level::Error);
+    }
+
+    #[test]
+    fn events_inherit_the_current_trace_context() {
+        let _g = crate::trace::test_gate();
+        crate::trace::set_sample_every(1);
+        let hex;
+        {
+            let root = crate::trace::root_span("test.event.trace_root");
+            hex = root.trace_id().unwrap().to_hex();
+            let ev = event(Level::Info, "test.event.traced").build();
+            assert_eq!(
+                ev.field("trace_id").and_then(FieldValue::as_str),
+                Some(hex.as_str())
+            );
+            assert_eq!(ev.field("span_id").and_then(FieldValue::as_u64), Some(1));
+            // An explicit trace_id wins over auto-attachment.
+            let ev = event(Level::Info, "test.event.explicit")
+                .field("trace_id", "cafe")
+                .build();
+            assert_eq!(
+                ev.field("trace_id").and_then(FieldValue::as_str),
+                Some("cafe")
+            );
+        }
+        crate::trace::set_sample_every(0);
+        let ev = event(Level::Info, "test.event.untraced").build();
+        assert!(ev.field("trace_id").is_none());
     }
 
     #[test]

@@ -1,0 +1,371 @@
+//! Flight recorder: on-incident black-box dumps.
+//!
+//! When something goes wrong at serving time — a circuit breaker opens, the
+//! SLO burn rate crosses its alert thresholds, or a panic escapes — the
+//! aggregate metrics that survive the run are not enough to reconstruct
+//! *that incident*. The flight recorder freezes the forensic state at the
+//! moment of the trigger: the full event ring buffer, every currently open
+//! trace span (what each thread was doing), and a metrics snapshot, written
+//! as one `odt-flightrec/v1` JSONL file per incident.
+//!
+//! Dumps are **off by default** (a library test tripping a breaker must not
+//! litter the filesystem): nothing is written until [`enable`] points the
+//! recorder at a directory, or [`init_from_env`] reads `ODT_FLIGHTREC_DIR`.
+//! Dump files are named `flightrec_<seq>_<reason>.jsonl`, written
+//! atomically (temp + rename), and capped at [`MAX_DUMPS`] per process so a
+//! flapping breaker cannot fill the disk.
+//!
+//! [`install_panic_hook`] chains a hook that — for panics *not* marked
+//! expected via [`suppress_panic_dump`] (chaos-injected faults are caught
+//! at the request boundary and must not each produce a dump) — emits a
+//! `run.panic` event, flushes all sinks (so JSONL telemetry of a crashed
+//! run is never stranded in the autoflush window), and triggers a dump.
+
+use crate::json;
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+
+/// JSONL schema tag written in every dump header line.
+pub const SCHEMA: &str = "odt-flightrec/v1";
+
+/// Maximum dumps per process; triggers beyond the cap are counted but not
+/// written.
+pub const MAX_DUMPS: u64 = 64;
+
+static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+static SUPPRESSED_TRIGGERS: AtomicU64 = AtomicU64::new(0);
+
+struct RecorderState {
+    dir: Option<PathBuf>,
+    last_dump: Option<PathBuf>,
+}
+
+fn state() -> &'static Mutex<RecorderState> {
+    static STATE: OnceLock<Mutex<RecorderState>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        Mutex::new(RecorderState {
+            dir: None,
+            last_dump: None,
+        })
+    })
+}
+
+/// Point the recorder at `dir` (created if missing on first dump) and arm
+/// it. Until this (or [`init_from_env`] with `ODT_FLIGHTREC_DIR` set) is
+/// called, [`trigger`] is a no-op.
+pub fn enable(dir: impl Into<PathBuf>) {
+    state().lock().expect("flightrec state poisoned").dir = Some(dir.into());
+}
+
+/// Disarm the recorder (no further dumps are written).
+pub fn disable() {
+    state().lock().expect("flightrec state poisoned").dir = None;
+}
+
+/// Whether the recorder is armed.
+pub fn enabled() -> bool {
+    state()
+        .lock()
+        .expect("flightrec state poisoned")
+        .dir
+        .is_some()
+}
+
+/// Arm the recorder from `ODT_FLIGHTREC_DIR` (unset or empty leaves it
+/// disarmed).
+pub fn init_from_env() {
+    if let Ok(dir) = std::env::var("ODT_FLIGHTREC_DIR") {
+        if !dir.trim().is_empty() {
+            enable(dir.trim());
+        }
+    }
+}
+
+/// Number of dumps written so far in this process.
+pub fn dump_count() -> u64 {
+    DUMP_SEQ.load(Ordering::Relaxed).min(MAX_DUMPS)
+}
+
+/// Path of the most recent dump, if any.
+pub fn last_dump() -> Option<PathBuf> {
+    state()
+        .lock()
+        .expect("flightrec state poisoned")
+        .last_dump
+        .clone()
+}
+
+fn render_dump(reason: &str, seq: u64) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+
+    // Header: schema, trigger, and the trace active on the triggering
+    // thread (how a chaos-drill report line links to its dump).
+    out.push_str("{\"schema\":");
+    json::push_str_escaped(&mut out, SCHEMA);
+    out.push_str(",\"kind\":\"header\",\"reason\":");
+    json::push_str_escaped(&mut out, reason);
+    let _ = write!(out, ",\"seq\":{seq},\"ts_us\":{}", crate::trace::now_us());
+    out.push_str(",\"trace_id\":");
+    match crate::trace::current_context() {
+        Some(ctx) => json::push_str_escaped(&mut out, &ctx.trace_id().to_hex()),
+        None => out.push_str("null"),
+    }
+    out.push_str("}\n");
+
+    // The event ring, oldest first.
+    for ev in crate::recent_events() {
+        let line = ev.to_json();
+        out.push_str("{\"kind\":\"event\",");
+        out.push_str(&line[1..]); // splice: line is `{...}`, keep `...}`
+        out.push('\n');
+    }
+
+    // Every span currently open anywhere in the process: what each thread
+    // was in the middle of when the incident fired.
+    for s in crate::trace::open_spans() {
+        out.push_str("{\"kind\":\"open_span\",\"trace_id\":");
+        json::push_str_escaped(&mut out, &s.trace_id.to_hex());
+        let _ = write!(out, ",\"span_id\":{},\"name\":", s.span_id);
+        json::push_str_escaped(&mut out, s.name);
+        let _ = write!(out, ",\"start_us\":{},\"tid\":{}}}", s.start_us, s.tid);
+        out.push('\n');
+    }
+
+    // Metrics snapshot.
+    let snap = crate::snapshot();
+    for (name, v) in &snap.counters {
+        out.push_str("{\"kind\":\"counter\",\"name\":");
+        json::push_str_escaped(&mut out, name);
+        let _ = write!(out, ",\"value\":{v}}}");
+        out.push('\n');
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str("{\"kind\":\"gauge\",\"name\":");
+        json::push_str_escaped(&mut out, name);
+        out.push_str(",\"value\":");
+        json::push_f64(&mut out, *v);
+        out.push_str("}\n");
+    }
+    for (name, s) in &snap.histograms {
+        out.push_str("{\"kind\":\"histogram\",\"name\":");
+        json::push_str_escaped(&mut out, name);
+        let _ = write!(out, ",\"count\":{},\"mean_us\":", s.count);
+        json::push_f64(&mut out, s.mean_us);
+        out.push_str(",\"p50_us\":");
+        json::push_f64(&mut out, s.p50_us);
+        out.push_str(",\"p95_us\":");
+        json::push_f64(&mut out, s.p95_us);
+        out.push_str(",\"p99_us\":");
+        json::push_f64(&mut out, s.p99_us);
+        out.push_str(",\"max_us\":");
+        json::push_f64(&mut out, s.max_us);
+        out.push_str(",\"p99_exemplar\":");
+        match s.p99_exemplar {
+            Some(id) => json::push_str_escaped(&mut out, &format!("{id:016x}")),
+            None => out.push_str("null"),
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn sanitize_reason(reason: &str) -> String {
+    reason
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .take(48)
+        .collect()
+}
+
+/// Dump the black box now, tagged with `reason`. Returns the dump path,
+/// or `None` when disarmed, over the [`MAX_DUMPS`] cap, or on I/O failure
+/// (the recorder must never take the process down).
+pub fn trigger(reason: &str) -> Option<PathBuf> {
+    let dir = state()
+        .lock()
+        .expect("flightrec state poisoned")
+        .dir
+        .clone()?;
+    let seq = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    if seq >= MAX_DUMPS {
+        SUPPRESSED_TRIGGERS.fetch_add(1, Ordering::Relaxed);
+        DUMP_SEQ.store(MAX_DUMPS, Ordering::Relaxed);
+        return None;
+    }
+    let content = render_dump(reason, seq);
+    if fs::create_dir_all(&dir).is_err() {
+        return None;
+    }
+    let path = dir.join(format!(
+        "flightrec_{seq:03}_{}.jsonl",
+        sanitize_reason(reason)
+    ));
+    if atomic_write(&path, &content).is_err() {
+        return None;
+    }
+    crate::counter("flightrec.dumps").inc();
+    state().lock().expect("flightrec state poisoned").last_dump = Some(path.clone());
+    Some(path)
+}
+
+fn atomic_write(path: &Path, content: &str) -> std::io::Result<()> {
+    let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(content.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+thread_local! {
+    static SUPPRESS: Cell<u32> = const { Cell::new(0) };
+}
+
+/// RAII guard of [`suppress_panic_dump`].
+#[must_use = "dropping the guard re-enables panic dumps on this thread"]
+pub struct SuppressGuard {
+    _priv: (),
+}
+
+impl Drop for SuppressGuard {
+    fn drop(&mut self) {
+        SUPPRESS.with(|s| s.set(s.get().saturating_sub(1)));
+    }
+}
+
+/// Mark panics on this thread as *expected* while the guard lives: the
+/// panic hook skips the flush + dump for them. Wrap `catch_unwind` regions
+/// where panics are part of normal fault handling (the panic hook runs
+/// even for caught panics, and a chaos drill injecting hundreds of panics
+/// must not write hundreds of dumps).
+pub fn suppress_panic_dump() -> SuppressGuard {
+    SUPPRESS.with(|s| s.set(s.get() + 1));
+    SuppressGuard { _priv: () }
+}
+
+/// Whether panic dumps are currently suppressed on this thread.
+pub fn panic_dump_suppressed() -> bool {
+    SUPPRESS.with(|s| s.get() > 0)
+}
+
+/// Install (once per process; later calls are no-ops) a panic hook that,
+/// for unsuppressed panics, emits a `run.panic` event, flushes every sink,
+/// and [`trigger`]s a `"panic"` dump — then chains to the previously
+/// installed hook. Install *after* any hook that should run for every
+/// panic (e.g. a drill's output silencer), since chaining runs the
+/// previous hook last.
+pub fn install_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !panic_dump_suppressed() {
+                let msg = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                let location = info
+                    .location()
+                    .map(|l| format!("{}:{}", l.file(), l.line()))
+                    .unwrap_or_default();
+                crate::event(crate::Level::Error, "run.panic")
+                    .field("message", msg)
+                    .field("location", location)
+                    .emit();
+                crate::flush_sinks();
+                let _ = trigger("panic");
+            }
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lock_tests() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disarmed_recorder_writes_nothing() {
+        let _g = lock_tests();
+        disable();
+        assert!(!enabled());
+        assert_eq!(trigger("test_disarmed"), None);
+    }
+
+    #[test]
+    fn armed_trigger_writes_schema_dump() {
+        let _g = lock_tests();
+        let dir = std::env::temp_dir().join(format!("odt_flightrec_{}", std::process::id()));
+        enable(&dir);
+        crate::event(crate::Level::Warn, "test.flightrec.marker")
+            .field("k", 7u64)
+            .emit();
+        crate::counter("test.flightrec.counter").inc();
+        let path = trigger("unit test!").expect("armed recorder dumps");
+        disable();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .contains("unit_test_"));
+        let content = fs::read_to_string(&path).unwrap();
+        let mut lines = content.lines();
+        let header = lines.next().unwrap();
+        assert!(
+            header.contains("\"schema\":\"odt-flightrec/v1\""),
+            "{header}"
+        );
+        assert!(header.contains("\"kind\":\"header\""), "{header}");
+        assert!(header.contains("\"reason\":\"unit test!\""), "{header}");
+        assert!(
+            content
+                .lines()
+                .any(|l| l.contains("\"kind\":\"event\"") && l.contains("test.flightrec.marker")),
+            "ring events present"
+        );
+        assert!(
+            content.lines().any(|l| l.contains("\"kind\":\"counter\"")
+                && l.contains("test.flightrec.counter")),
+            "metrics snapshot present"
+        );
+        for line in content.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert_eq!(last_dump().as_deref(), Some(path.as_path()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn suppression_guard_nests() {
+        assert!(!panic_dump_suppressed());
+        {
+            let _a = suppress_panic_dump();
+            assert!(panic_dump_suppressed());
+            {
+                let _b = suppress_panic_dump();
+                assert!(panic_dump_suppressed());
+            }
+            assert!(panic_dump_suppressed());
+        }
+        assert!(!panic_dump_suppressed());
+    }
+}

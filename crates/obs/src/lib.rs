@@ -21,6 +21,19 @@
 //!   Spans nest (the current depth is visible via [`span_depth`]), so
 //!   wall-clock can be attributed per stage (`stage1.denoise_step` inside
 //!   `oracle.infer_pits` inside a query).
+//! * **Request tracing** — [`trace`] mints deterministic trace/span ids,
+//!   propagates a thread-local context (explicitly across thread pools via
+//!   [`trace::install_context`]), head-samples 1-in-N with force-retention
+//!   of anomalous traces, and exports Perfetto-loadable JSON. While a
+//!   context is installed, [`SpanTimer`]s double as trace child spans,
+//!   events carry `trace_id`/`span_id` fields, and histograms capture
+//!   per-bucket trace-id exemplars ([`HistogramSummary::p99_exemplar`]).
+//! * **Flight recorder** — [`flightrec`] dumps the event ring, open spans
+//!   and a metrics snapshot as an `odt-flightrec/v1` JSONL black box on
+//!   incident triggers (breaker open, SLO breach, panic).
+//! * **SLO burn-rate monitor** — [`slo::BurnRateMonitor`] implements
+//!   multi-window (fast + slow) error-budget burn alerting over a
+//!   deterministic caller-supplied clock.
 //!
 //! ## Event taxonomy and metric names
 //!
@@ -44,11 +57,14 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod flightrec;
 mod json;
 mod metrics;
 mod ring;
 mod sink;
+pub mod slo;
 mod span;
+pub mod trace;
 
 pub use event::{emit, event, min_level, set_min_level, Event, EventBuilder, FieldValue, Level};
 pub use metrics::{
@@ -57,7 +73,8 @@ pub use metrics::{
 };
 pub use ring::{recent_events, ring_capacity, set_ring_capacity};
 pub use sink::{add_sink, flush_sinks, remove_sink, FnSink, JsonlSink, Sink, SinkId, StderrSink};
-pub use span::{span, span_depth, SpanTimer};
+pub use span::{span, span_depth, span_if_traced, SpanTimer};
+pub use trace::{SpanId, TraceContext, TraceId};
 
 /// Start an RAII span timer feeding the histogram of the same name:
 /// `let _guard = span!("stage1.denoise_step");`. The duration is recorded

@@ -77,6 +77,10 @@ fn bucket_index(micros: u64) -> usize {
 #[derive(Debug)]
 pub struct Histogram {
     counts: [AtomicU64; NUM_BUCKETS],
+    /// Last trace id observed per bucket (0 = none): the exemplar that
+    /// answers "which request landed in this latency bucket". Only written
+    /// while tracing is enabled and a context is installed.
+    exemplars: [AtomicU64; NUM_BUCKETS],
     count: AtomicU64,
     sum_micros: AtomicU64,
     max_micros: AtomicU64,
@@ -86,6 +90,7 @@ impl Default for Histogram {
     fn default() -> Self {
         Histogram {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_micros: AtomicU64::new(0),
             max_micros: AtomicU64::new(0),
@@ -108,6 +113,10 @@ pub struct HistogramSummary {
     pub p99_us: f64,
     /// Exact maximum observation.
     pub max_us: f64,
+    /// Exemplar trace id (raw `u64`, render as 16-hex) for the bucket
+    /// containing the p99 — "which request was the p99". `None` when no
+    /// traced observation has landed near that bucket.
+    pub p99_exemplar: Option<u64>,
 }
 
 impl Histogram {
@@ -123,12 +132,19 @@ impl Histogram {
         }
     }
 
-    /// Record one duration in microseconds.
+    /// Record one duration in microseconds. When tracing is enabled and a
+    /// trace context is installed on this thread, the trace id is stored as
+    /// the containing bucket's exemplar (last-writer-wins) — one relaxed
+    /// atomic load of the tracing flag when tracing is off.
     pub fn record_micros(&self, micros: u64) {
-        self.counts[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        let idx = bucket_index(micros);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_micros.fetch_add(micros, Ordering::Relaxed);
         self.max_micros.fetch_max(micros, Ordering::Relaxed);
+        if let Some(ctx) = crate::trace::current_context() {
+            self.exemplars[idx].store(ctx.trace_id().raw(), Ordering::Relaxed);
+        }
     }
 
     /// Number of recorded observations.
@@ -173,7 +189,47 @@ impl Histogram {
         self.max_micros() as f64
     }
 
-    /// p50/p95/p99/max/mean summary.
+    /// The bucket index containing the `q`-quantile's rank, or `None` for
+    /// an empty histogram.
+    fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        let mut last_nonempty = 0usize;
+        for (i, c) in self.counts.iter().enumerate() {
+            let c = c.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                return Some(i);
+            }
+            cum += c;
+            last_nonempty = i;
+        }
+        Some(last_nonempty)
+    }
+
+    /// The exemplar trace id (raw `u64`) nearest the `q`-quantile: the
+    /// containing bucket's exemplar if one was captured, otherwise the
+    /// closest higher-latency bucket's, otherwise the closest lower one's.
+    /// `None` when the histogram is empty or no exemplar exists at all.
+    pub fn exemplar_for_quantile(&self, q: f64) -> Option<u64> {
+        let b = self.quantile_bucket(q)?;
+        let load = |i: usize| {
+            let v = self.exemplars[i].load(Ordering::Relaxed);
+            (v != 0).then_some(v)
+        };
+        load(b)
+            .or_else(|| (b + 1..NUM_BUCKETS).find_map(load))
+            .or_else(|| (0..b).rev().find_map(load))
+    }
+
+    /// p50/p95/p99/max/mean summary (plus the p99 exemplar, if any).
     pub fn summary(&self) -> HistogramSummary {
         let count = self.count();
         HistogramSummary {
@@ -187,6 +243,7 @@ impl Histogram {
             p95_us: self.quantile_micros(0.95),
             p99_us: self.quantile_micros(0.99),
             max_us: self.max_micros() as f64,
+            p99_exemplar: self.exemplar_for_quantile(0.99),
         }
     }
 }
@@ -352,6 +409,65 @@ mod tests {
     fn empty_histogram_summary_is_all_zero() {
         let h = Histogram::default();
         assert_eq!(h.summary(), HistogramSummary::default());
+        assert_eq!(h.quantile_micros(0.5), 0.0);
+        assert_eq!(h.exemplar_for_quantile(0.99), None);
+    }
+
+    #[test]
+    fn single_sample_quantiles_all_equal_it() {
+        let h = Histogram::default();
+        h.record_micros(777);
+        let s = h.summary();
+        // One observation: every quantile is that observation (clamped to
+        // the exact max).
+        assert_eq!(s.count, 1);
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile_micros(q), 777.0, "q={q}");
+        }
+        assert_eq!(s.p50_us, 777.0);
+        assert_eq!(s.p99_us, 777.0);
+        assert_eq!(s.max_us, 777.0);
+        assert_eq!(s.mean_us, 777.0);
+    }
+
+    #[test]
+    fn all_samples_in_one_bucket_stay_in_bounds() {
+        let h = Histogram::default();
+        // All of [520, 1000) lives in bucket [512, 1024).
+        for v in (520..1000).step_by(16) {
+            h.record_micros(v);
+        }
+        let s = h.summary();
+        for q in [s.p50_us, s.p95_us, s.p99_us] {
+            assert!((512.0..1024.0).contains(&q), "{q}");
+            assert!(q <= s.max_us, "{q} > max {}", s.max_us);
+        }
+        assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us);
+    }
+
+    #[test]
+    fn exemplars_link_buckets_to_traces() {
+        let _g = crate::trace::test_gate();
+        let h = Histogram::default();
+        h.record_micros(100);
+        assert_eq!(
+            h.exemplar_for_quantile(0.99),
+            None,
+            "untraced observations leave no exemplar"
+        );
+        crate::trace::set_sample_every(1);
+        let tid = {
+            let root = crate::trace::root_span("test.metrics.exemplar");
+            let id = root.trace_id().unwrap().raw();
+            h.record_micros(100);
+            id
+        };
+        crate::trace::set_sample_every(0);
+        assert_eq!(h.exemplar_for_quantile(0.99), Some(tid));
+        assert_eq!(h.summary().p99_exemplar, Some(tid));
+        // Quantiles pointing at an empty-exemplar bucket fall back to the
+        // nearest captured one.
+        assert_eq!(h.exemplar_for_quantile(0.0), Some(tid));
     }
 
     #[test]

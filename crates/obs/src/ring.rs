@@ -82,4 +82,34 @@ mod tests {
         assert_eq!(ring_capacity(), 8);
         set_ring_capacity(2048);
     }
+
+    #[test]
+    fn shrink_keeps_newest_in_emission_order() {
+        set_ring_capacity(64);
+        for i in 0..20u64 {
+            event(Level::Info, "test.ring.shrink").field("i", i).emit();
+        }
+        // Shrinking evicts from the front (oldest): the survivors must be
+        // a suffix of the emission sequence, still strictly in order.
+        set_ring_capacity(5);
+        let ours: Vec<u64> = recent_events()
+            .iter()
+            .filter(|e| e.name == "test.ring.shrink")
+            .filter_map(|e| e.field("i").and_then(FieldValue::as_u64))
+            .collect();
+        assert!(!ours.is_empty() && ours.len() <= 5, "{ours:?}");
+        assert!(ours.iter().all(|&i| i >= 15), "newest survive: {ours:?}");
+        assert!(
+            ours.windows(2).all(|w| w[1] == w[0] + 1),
+            "contiguous suffix, emission order: {ours:?}"
+        );
+        // Growing back never resurrects evicted events.
+        set_ring_capacity(2048);
+        let after: Vec<u64> = recent_events()
+            .iter()
+            .filter(|e| e.name == "test.ring.shrink")
+            .filter_map(|e| e.field("i").and_then(FieldValue::as_u64))
+            .collect();
+        assert_eq!(after, ours);
+    }
 }

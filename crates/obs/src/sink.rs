@@ -197,6 +197,32 @@ mod tests {
     }
 
     #[test]
+    fn mid_run_sink_sees_only_subsequent_events() {
+        // A sink registered mid-run must not replay history (the ring
+        // holds the past; sinks are forward-only).
+        let seen = Arc::new(Mutex::new(Vec::<u64>::new()));
+        event(Level::Info, "test.midrun").field("i", 0u64).emit();
+        let seen2 = Arc::clone(&seen);
+        let id = add_sink(Arc::new(FnSink::new(move |e: &Event| {
+            if e.name == "test.midrun" {
+                if let Some(i) = e.field("i").and_then(crate::FieldValue::as_u64) {
+                    seen2.lock().unwrap().push(i);
+                }
+            }
+        })));
+        event(Level::Info, "test.midrun").field("i", 1u64).emit();
+        event(Level::Info, "test.midrun").field("i", 2u64).emit();
+        remove_sink(id).expect("sink registered");
+        event(Level::Info, "test.midrun").field("i", 3u64).emit();
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2]);
+        // The pre-registration event is still in the ring, though.
+        assert!(crate::recent_events()
+            .iter()
+            .any(|e| e.name == "test.midrun"
+                && e.field("i").and_then(crate::FieldValue::as_u64) == Some(0)));
+    }
+
+    #[test]
     fn jsonl_sink_flushes_atomically_via_rename() {
         let dir = std::env::temp_dir();
         let path = dir.join(format!("odt_obs_jsonl_{}.jsonl", std::process::id()));

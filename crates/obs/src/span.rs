@@ -1,6 +1,9 @@
-//! RAII span timers feeding the latency histograms.
+//! RAII span timers feeding the latency histograms — and, when a trace
+//! context is installed on the thread (see [`crate::trace`]), doubling as
+//! trace child spans.
 
 use crate::metrics::{histogram, Histogram};
+use crate::trace;
 use std::cell::Cell;
 use std::time::Instant;
 
@@ -12,17 +15,41 @@ thread_local! {
 /// macro), it records its elapsed time into the histogram named after the
 /// span when dropped. Spans nest freely; [`span_depth`] reports the current
 /// nesting depth on this thread.
+///
+/// When tracing is enabled and the current thread carries a
+/// [`trace::TraceContext`], the timer additionally opens a child span of
+/// the innermost open span: it becomes the current context for its
+/// lifetime (further spans nest under it) and is recorded into its trace's
+/// span buffer on drop. Without a context the timer is exactly the plain
+/// histogram recorder it always was.
 pub struct SpanTimer {
     hist: &'static Histogram,
+    name: &'static str,
+    trace: Option<trace::SpanHandle>,
     start: Instant,
 }
 
-/// Start a span timer feeding `histogram(name)`.
+/// Start a span timer feeding `histogram(name)` (and the current trace,
+/// if one is installed on this thread).
 pub fn span(name: &'static str) -> SpanTimer {
     DEPTH.with(|d| d.set(d.get() + 1));
     SpanTimer {
         hist: histogram(name),
+        name,
+        trace: trace::begin_span(name),
         start: Instant::now(),
+    }
+}
+
+/// Like [`span`], but returns `None` unless the current thread carries a
+/// trace context — for hot paths that want per-request attribution when
+/// traced but not even a histogram record otherwise (one relaxed atomic
+/// load when tracing is off).
+pub fn span_if_traced(name: &'static str) -> Option<SpanTimer> {
+    if trace::current_context().is_some() {
+        Some(span(name))
+    } else {
+        None
     }
 }
 
@@ -41,7 +68,14 @@ impl SpanTimer {
 
 impl Drop for SpanTimer {
     fn drop(&mut self) {
-        self.hist.record_micros(self.elapsed_micros());
+        let el = self.elapsed_micros();
+        // Record into the histogram *before* closing the trace span: the
+        // span's own context is still current, so the exemplar of the
+        // containing bucket points at this very trace.
+        self.hist.record_micros(el);
+        if let Some(h) = self.trace.take() {
+            trace::end_span(h, self.name, el);
+        }
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
     }
 }
@@ -91,5 +125,23 @@ mod tests {
             parent.max_micros(),
             child.sum_micros()
         );
+    }
+
+    #[test]
+    fn span_if_traced_is_none_without_context() {
+        let _g = trace::test_gate();
+        trace::set_sample_every(0);
+        assert!(span_if_traced("test.span.untraced").is_none());
+        assert_eq!(histogram("test.span.untraced").count(), 0);
+        trace::set_sample_every(1);
+        // Enabled but no root installed on this thread: still None.
+        assert!(span_if_traced("test.span.untraced").is_none());
+        {
+            let _root = trace::root_span("test.span.traced_root");
+            let sp = span_if_traced("test.span.traced_child");
+            assert!(sp.is_some());
+        }
+        trace::set_sample_every(0);
+        assert_eq!(histogram("test.span.traced_child").count(), 1);
     }
 }

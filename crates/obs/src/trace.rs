@@ -1,0 +1,931 @@
+//! Causal request tracing: trace/span identity, context propagation, head
+//! sampling with force-retention, and trace export.
+//!
+//! A **trace** is one causally-linked unit of work (for the serving stack:
+//! one admitted request; for drills: one scenario). It is minted by
+//! [`root_span`], which installs a [`TraceContext`] on the current thread.
+//! While a context is installed, every [`crate::span`] becomes a **child
+//! span** of the innermost open span, [`crate::Histogram::record_micros`]
+//! attaches the current trace id as a per-bucket *exemplar*, and every
+//! emitted [`crate::Event`] is tagged with `trace_id`/`span_id` fields.
+//! Contexts hop threads explicitly: `odt-compute` captures the submitting
+//! context and re-installs it inside pool workers via [`install_context`],
+//! so kernel work is attributable to the originating request.
+//!
+//! **Identity is deterministic.** Trace ids are SplitMix64 outputs of a
+//! fixed seed plus a process-global `AtomicU64` counter — no wall-clock or
+//! OS randomness — so a replayed run mints the same ids in the same order
+//! (the CI `trace-smoke` job double-runs `bench_serving` and diffs the id
+//! sets). Span ids are small per-trace ordinals.
+//!
+//! **Sampling.** `ODT_TRACE_SAMPLE=N` (see [`init_from_env`]) head-samples
+//! 1-in-N traces (`0` = tracing off, `1` = everything). The keep/drop
+//! decision is *deferred* to root close: an unsampled trace still buffers
+//! its spans, and [`force_retain_current`] (called on deadline breaches,
+//! fallback-rung answers, and breaker trips) promotes it to retained —
+//! tail-latency outliers are never lost to head sampling. Retained traces
+//! land in a bounded in-memory store exported by [`write_chrome_trace`]
+//! (Perfetto/chrome-tracing JSON) and [`write_spans_jsonl`] (the input of
+//! the `trace_report` analysis bin).
+
+use crate::json;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Fixed SplitMix64 seed for trace-id generation. A constant (not a clock)
+/// so that replayed runs mint identical id sequences.
+const TRACE_ID_SEED: u64 = 0x0D07_0DC1_E0F5_11AA;
+
+/// Spans buffered per trace before truncation (keeps a pathological trace
+/// from holding the store lock and memory hostage).
+const MAX_SPANS_PER_TRACE: usize = 1024;
+
+/// Completed retained traces kept in memory (oldest evicted first).
+const MAX_RETAINED_TRACES: usize = 4096;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Identity of one trace. Rendered as 16 lower-case hex digits in every
+/// JSON surface (a raw `u64` can exceed 2^53 and lose precision in
+/// JSON-number consumers like `jq` and Python).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// The raw 64-bit id (0 is never minted).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// 16-digit lower-case hex rendering, the canonical JSON form.
+    pub fn to_hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// Identity of one span within its trace: a small per-trace ordinal
+/// (the root span is always 1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The raw ordinal.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The ambient trace position of the current thread: which trace, and
+/// which span new children should parent under.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    trace: TraceId,
+    span: SpanId,
+}
+
+impl TraceContext {
+    /// The trace this context belongs to.
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
+    }
+
+    /// The innermost open span (parent of new children).
+    pub fn span_id(&self) -> SpanId {
+        self.span
+    }
+}
+
+/// One completed span of a retained trace.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Per-trace ordinal (root = 1).
+    pub span_id: u64,
+    /// Parent ordinal (0 for the root).
+    pub parent_id: u64,
+    /// Span name (the histogram it also recorded into).
+    pub name: &'static str,
+    /// Start, µs on the process trace clock ([`now_us`]).
+    pub start_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+    /// Small per-thread ordinal (Perfetto `tid`).
+    pub tid: u64,
+}
+
+/// One completed, retained trace.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// Trace identity.
+    pub trace_id: TraceId,
+    /// Root span name.
+    pub root_name: &'static str,
+    /// Request id attached via [`RootSpan::set_request_id`], if any.
+    pub request_id: Option<u64>,
+    /// Root start, µs on the process trace clock.
+    pub start_us: u64,
+    /// Root duration, µs.
+    pub dur_us: u64,
+    /// Whether head sampling selected this trace.
+    pub sampled: bool,
+    /// Force-retention reasons (`deadline_breach`, `fallback_rung`,
+    /// `breaker_open`, …); empty for purely head-sampled traces.
+    pub retain_reasons: Vec<&'static str>,
+    /// Completed spans, in completion order. Includes the root.
+    pub spans: Vec<SpanRecord>,
+    /// Spans dropped beyond the per-trace buffer cap.
+    pub truncated: u64,
+}
+
+/// A span that is currently open (for flight-recorder dumps).
+#[derive(Clone, Debug)]
+pub struct OpenSpanRecord {
+    /// Owning trace.
+    pub trace_id: TraceId,
+    /// Span ordinal.
+    pub span_id: u64,
+    /// Span name.
+    pub name: &'static str,
+    /// Start, µs on the process trace clock.
+    pub start_us: u64,
+    /// Thread ordinal it was opened on.
+    pub tid: u64,
+}
+
+struct ActiveTrace {
+    root_name: &'static str,
+    request_id: Option<u64>,
+    start_us: u64,
+    sampled: bool,
+    retained: bool,
+    retain_reasons: Vec<&'static str>,
+    next_span: u64,
+    spans: Vec<SpanRecord>,
+    truncated: u64,
+}
+
+#[derive(Default)]
+struct TraceStore {
+    active: HashMap<u64, ActiveTrace>,
+    open: HashMap<(u64, u64), OpenSpanRecord>,
+    retained: VecDeque<TraceRecord>,
+    finished: u64,
+    dropped_unsampled: u64,
+    evicted_retained: u64,
+}
+
+static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(0);
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn store() -> &'static Mutex<TraceStore> {
+    static STORE: OnceLock<Mutex<TraceStore>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(TraceStore::default()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process trace epoch (first use). All span
+/// timestamps are on this clock.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+thread_local! {
+    static CTX_STACK: RefCell<Vec<TraceContext>> = const { RefCell::new(Vec::new()) };
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Small dense ordinal for the current thread (Perfetto `tid`).
+pub fn thread_ordinal() -> u64 {
+    TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+/// Whether tracing is on (`sample_every() > 0`). One relaxed atomic load —
+/// cheap enough for hot paths to check first.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The head-sampling rate: keep 1-in-N traces (0 = tracing off, 1 = all).
+pub fn sample_every() -> u64 {
+    SAMPLE_EVERY.load(Ordering::Relaxed)
+}
+
+/// Set the head-sampling rate (see [`sample_every`]).
+pub fn set_sample_every(n: u64) {
+    SAMPLE_EVERY.store(n, Ordering::Relaxed);
+    ENABLED.store(n > 0, Ordering::Relaxed);
+}
+
+/// Read `ODT_TRACE_SAMPLE` (unset, empty, unparsable, or `0` all mean
+/// "tracing off") and apply it via [`set_sample_every`].
+pub fn init_from_env() {
+    let n = std::env::var("ODT_TRACE_SAMPLE")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    set_sample_every(n);
+}
+
+/// The innermost installed context on this thread, if any.
+pub fn current_context() -> Option<TraceContext> {
+    if !enabled() {
+        return None;
+    }
+    CTX_STACK.with(|s| s.borrow().last().copied())
+}
+
+fn push_ctx(ctx: TraceContext) {
+    CTX_STACK.with(|s| s.borrow_mut().push(ctx));
+}
+
+fn pop_ctx(ctx: TraceContext) {
+    CTX_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        // Guards drop in stack order on one thread, so the top matches;
+        // fall back to a scan so a misuse cannot corrupt the stack.
+        if s.last() == Some(&ctx) {
+            s.pop();
+        } else if let Some(pos) = s.iter().rposition(|c| *c == ctx) {
+            s.remove(pos);
+        }
+    });
+}
+
+/// RAII guard of [`install_context`].
+#[must_use = "dropping the guard uninstalls the context"]
+pub struct ContextGuard {
+    ctx: TraceContext,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        pop_ctx(self.ctx);
+    }
+}
+
+/// Install a foreign context on this thread (how pool workers pick up the
+/// submitting request's identity). Spans opened while the guard lives
+/// parent under `ctx`'s span.
+pub fn install_context(ctx: TraceContext) -> ContextGuard {
+    push_ctx(ctx);
+    ContextGuard { ctx }
+}
+
+/// Force-retain the current thread's trace (no-op without a context):
+/// it survives root close even if head sampling would drop it. `reason`
+/// is recorded once per trace (deduplicated).
+pub fn force_retain_current(reason: &'static str) {
+    let Some(ctx) = current_context() else {
+        return;
+    };
+    let mut st = store().lock().expect("trace store poisoned");
+    if let Some(t) = st.active.get_mut(&ctx.trace.raw()) {
+        t.retained = true;
+        if !t.retain_reasons.contains(&reason) {
+            t.retain_reasons.push(reason);
+        }
+    }
+}
+
+/// Whether the current thread's trace is marked retained.
+pub fn current_is_retained() -> bool {
+    let Some(ctx) = current_context() else {
+        return false;
+    };
+    let st = store().lock().expect("trace store poisoned");
+    st.active
+        .get(&ctx.trace.raw())
+        .map(|t| t.retained)
+        .unwrap_or(false)
+}
+
+/// Live child-span bookkeeping carried by [`crate::SpanTimer`].
+pub(crate) struct SpanHandle {
+    ctx: TraceContext,
+    parent: u64,
+    start_us: u64,
+    tid: u64,
+}
+
+/// Open a child span under the current context, if one is installed.
+pub(crate) fn begin_span(name: &'static str) -> Option<SpanHandle> {
+    if !enabled() {
+        return None;
+    }
+    let parent = CTX_STACK.with(|s| s.borrow().last().copied())?;
+    let start_us = now_us();
+    let tid = thread_ordinal();
+    let span_id = {
+        let mut st = store().lock().expect("trace store poisoned");
+        let t = st.active.get_mut(&parent.trace.raw())?;
+        let id = t.next_span;
+        t.next_span += 1;
+        st.open.insert(
+            (parent.trace.raw(), id),
+            OpenSpanRecord {
+                trace_id: parent.trace,
+                span_id: id,
+                name,
+                start_us,
+                tid,
+            },
+        );
+        id
+    };
+    let ctx = TraceContext {
+        trace: parent.trace,
+        span: SpanId(span_id),
+    };
+    push_ctx(ctx);
+    Some(SpanHandle {
+        ctx,
+        parent: parent.span.raw(),
+        start_us,
+        tid,
+    })
+}
+
+/// Close a span opened by [`begin_span`], recording it into its trace's
+/// buffer.
+pub(crate) fn end_span(h: SpanHandle, name: &'static str, dur_us: u64) {
+    pop_ctx(h.ctx);
+    let mut st = store().lock().expect("trace store poisoned");
+    st.open.remove(&(h.ctx.trace.raw(), h.ctx.span.raw()));
+    if let Some(t) = st.active.get_mut(&h.ctx.trace.raw()) {
+        if t.spans.len() < MAX_SPANS_PER_TRACE {
+            t.spans.push(SpanRecord {
+                span_id: h.ctx.span.raw(),
+                parent_id: h.parent,
+                name,
+                start_us: h.start_us,
+                dur_us,
+                tid: h.tid,
+            });
+        } else {
+            t.truncated += 1;
+        }
+    }
+}
+
+/// Record a span for an interval that was *measured elsewhere* and has
+/// already elapsed (e.g. queue wait, timed by the admission queue before
+/// the request's root span existed): a child of the current span,
+/// back-dated to start `dur_us` ago. No-op without a context.
+pub fn record_backdated_span(name: &'static str, dur_us: u64) {
+    let Some(parent) = current_context() else {
+        return;
+    };
+    let end = now_us();
+    let tid = thread_ordinal();
+    let mut st = store().lock().expect("trace store poisoned");
+    if let Some(t) = st.active.get_mut(&parent.trace.raw()) {
+        let id = t.next_span;
+        t.next_span += 1;
+        if t.spans.len() < MAX_SPANS_PER_TRACE {
+            t.spans.push(SpanRecord {
+                span_id: id,
+                parent_id: parent.span.raw(),
+                name,
+                start_us: end.saturating_sub(dur_us),
+                dur_us,
+                tid,
+            });
+        } else {
+            t.truncated += 1;
+        }
+    }
+}
+
+/// The root-span guard minted by [`root_span`]. While alive, the current
+/// thread carries the new trace's context; dropping it closes the root,
+/// records its duration into the histogram named after the root, and
+/// finalizes the trace (retain or drop per sampling + force-retention).
+#[must_use = "dropping the guard closes the trace"]
+pub struct RootSpan {
+    inner: Option<RootInner>,
+}
+
+struct RootInner {
+    ctx: TraceContext,
+    start_us: u64,
+    start: Instant,
+    name: &'static str,
+    tid: u64,
+}
+
+/// Mint a new trace with a root span named `name`. Inert (no context, no
+/// buffering, `trace_id() == None`) when tracing is off.
+pub fn root_span(name: &'static str) -> RootSpan {
+    let every = sample_every();
+    if every == 0 {
+        return RootSpan { inner: None };
+    }
+    let k = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+    let sampled = every == 1 || k % every == 0;
+    let trace = TraceId(splitmix64(TRACE_ID_SEED.wrapping_add(k)).max(1));
+    let start_us = now_us();
+    let tid = thread_ordinal();
+    {
+        let mut st = store().lock().expect("trace store poisoned");
+        st.active.insert(
+            trace.raw(),
+            ActiveTrace {
+                root_name: name,
+                request_id: None,
+                start_us,
+                sampled,
+                retained: false,
+                retain_reasons: Vec::new(),
+                next_span: 2, // root is span 1
+                spans: Vec::new(),
+                truncated: 0,
+            },
+        );
+        st.open.insert(
+            (trace.raw(), 1),
+            OpenSpanRecord {
+                trace_id: trace,
+                span_id: 1,
+                name,
+                start_us,
+                tid,
+            },
+        );
+    }
+    let ctx = TraceContext {
+        trace,
+        span: SpanId(1),
+    };
+    push_ctx(ctx);
+    RootSpan {
+        inner: Some(RootInner {
+            ctx,
+            start_us,
+            start: Instant::now(),
+            name,
+            tid,
+        }),
+    }
+}
+
+impl RootSpan {
+    /// This trace's id (`None` when tracing is off).
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.inner.as_ref().map(|i| i.ctx.trace)
+    }
+
+    /// Attach the serving-layer request id to the trace record.
+    pub fn set_request_id(&self, id: u64) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        let mut st = store().lock().expect("trace store poisoned");
+        if let Some(t) = st.active.get_mut(&inner.ctx.trace.raw()) {
+            t.request_id = Some(id);
+        }
+    }
+}
+
+impl Drop for RootSpan {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let dur_us = inner.start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        // Record the root's wall-clock into the histogram of its name
+        // while its context is still current, so the exemplar slot of the
+        // containing latency bucket points at this very trace.
+        crate::metrics::histogram(inner.name).record_micros(dur_us);
+        pop_ctx(inner.ctx);
+        let mut st = store().lock().expect("trace store poisoned");
+        st.open.remove(&(inner.ctx.trace.raw(), 1));
+        let Some(mut t) = st.active.remove(&inner.ctx.trace.raw()) else {
+            return;
+        };
+        st.finished += 1;
+        if !(t.sampled || t.retained) {
+            st.dropped_unsampled += 1;
+            return;
+        }
+        t.spans.push(SpanRecord {
+            span_id: 1,
+            parent_id: 0,
+            name: inner.name,
+            start_us: inner.start_us,
+            dur_us,
+            tid: inner.tid,
+        });
+        if st.retained.len() >= MAX_RETAINED_TRACES {
+            st.retained.pop_front();
+            st.evicted_retained += 1;
+        }
+        st.retained.push_back(TraceRecord {
+            trace_id: inner.ctx.trace,
+            root_name: t.root_name,
+            request_id: t.request_id,
+            start_us: t.start_us,
+            dur_us,
+            sampled: t.sampled,
+            retain_reasons: std::mem::take(&mut t.retain_reasons),
+            spans: std::mem::take(&mut t.spans),
+            truncated: t.truncated,
+        });
+    }
+}
+
+/// A copy of every retained trace, oldest first.
+pub fn retained_traces() -> Vec<TraceRecord> {
+    store()
+        .lock()
+        .expect("trace store poisoned")
+        .retained
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// Number of retained traces currently buffered.
+pub fn retained_count() -> usize {
+    store().lock().expect("trace store poisoned").retained.len()
+}
+
+/// Remove and return every retained trace (e.g. between benchmark phases).
+pub fn take_retained() -> Vec<TraceRecord> {
+    store()
+        .lock()
+        .expect("trace store poisoned")
+        .retained
+        .drain(..)
+        .collect()
+}
+
+/// A copy of every currently open span, across all threads and traces.
+pub fn open_spans() -> Vec<OpenSpanRecord> {
+    let st = store().lock().expect("trace store poisoned");
+    let mut v: Vec<OpenSpanRecord> = st.open.values().cloned().collect();
+    v.sort_by_key(|s| (s.trace_id.raw(), s.span_id));
+    v
+}
+
+/// `(finished, dropped_unsampled, evicted_retained)` lifetime counters.
+pub fn trace_stats() -> (u64, u64, u64) {
+    let st = store().lock().expect("trace store poisoned");
+    (st.finished, st.dropped_unsampled, st.evicted_retained)
+}
+
+fn push_span_json(out: &mut String, trace_hex: &str, s: &SpanRecord) {
+    out.push_str("{\"kind\":\"span\",\"trace_id\":");
+    json::push_str_escaped(out, trace_hex);
+    let _ = write!(
+        out,
+        ",\"span_id\":{},\"parent_id\":{},\"name\":",
+        s.span_id, s.parent_id
+    );
+    json::push_str_escaped(out, s.name);
+    let _ = write!(
+        out,
+        ",\"start_us\":{},\"dur_us\":{},\"tid\":{}}}",
+        s.start_us, s.dur_us, s.tid
+    );
+}
+
+/// Serialize one retained trace as JSONL: a `kind:"trace"` header line
+/// followed by one `kind:"span"` line per span (no trailing newline).
+pub fn trace_to_jsonl(t: &TraceRecord) -> String {
+    let hex = t.trace_id.to_hex();
+    let mut out = String::with_capacity(128 * (t.spans.len() + 1));
+    out.push_str("{\"kind\":\"trace\",\"trace_id\":");
+    json::push_str_escaped(&mut out, &hex);
+    out.push_str(",\"root\":");
+    json::push_str_escaped(&mut out, t.root_name);
+    match t.request_id {
+        Some(id) => {
+            let _ = write!(out, ",\"request_id\":{id}");
+        }
+        None => out.push_str(",\"request_id\":null"),
+    }
+    let _ = write!(
+        out,
+        ",\"start_us\":{},\"dur_us\":{},\"sampled\":{},\"retain_reasons\":[",
+        t.start_us, t.dur_us, t.sampled
+    );
+    for (i, r) in t.retain_reasons.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_str_escaped(&mut out, r);
+    }
+    let _ = write!(
+        out,
+        "],\"spans\":{},\"truncated\":{}}}",
+        t.spans.len(),
+        t.truncated
+    );
+    for s in &t.spans {
+        out.push('\n');
+        push_span_json(&mut out, &hex, s);
+    }
+    out
+}
+
+fn atomic_write(path: &Path, content: &str) -> std::io::Result<()> {
+    let tmp = PathBuf::from(format!("{}.tmp", path.display()));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(content.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Write every retained trace as JSONL (see [`trace_to_jsonl`]) to `path`
+/// atomically. Returns the number of traces written.
+pub fn write_spans_jsonl(path: impl AsRef<Path>) -> std::io::Result<usize> {
+    let traces = retained_traces();
+    let mut out = String::new();
+    for t in &traces {
+        out.push_str(&trace_to_jsonl(t));
+        out.push('\n');
+    }
+    atomic_write(path.as_ref(), &out)?;
+    Ok(traces.len())
+}
+
+/// Write every retained trace as a chrome-tracing / Perfetto-loadable JSON
+/// object (`{"traceEvents":[...]}`, complete `ph:"X"` events) to `path`
+/// atomically. Returns the number of trace events written.
+pub fn write_chrome_trace(path: impl AsRef<Path>) -> std::io::Result<usize> {
+    let traces = retained_traces();
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut n = 0usize;
+    for t in &traces {
+        let hex = t.trace_id.to_hex();
+        for s in &t.spans {
+            if n > 0 {
+                out.push(',');
+            }
+            out.push_str("\n{\"ph\":\"X\",\"pid\":1,\"cat\":\"odt\",\"name\":");
+            json::push_str_escaped(&mut out, s.name);
+            let _ = write!(
+                out,
+                ",\"ts\":{},\"dur\":{},\"tid\":{},\"args\":{{\"trace_id\":",
+                s.start_us, s.dur_us, s.tid
+            );
+            json::push_str_escaped(&mut out, &hex);
+            let _ = write!(
+                out,
+                ",\"span_id\":{},\"parent_id\":{},\"sampled\":{},\"retained\":",
+                s.span_id, s.parent_id, t.sampled
+            );
+            let mut reasons = String::new();
+            for (i, r) in t.retain_reasons.iter().enumerate() {
+                if i > 0 {
+                    reasons.push(',');
+                }
+                reasons.push_str(r);
+            }
+            json::push_str_escaped(&mut out, &reasons);
+            out.push_str("}}");
+            n += 1;
+        }
+    }
+    out.push_str("\n]}\n");
+    atomic_write(path.as_ref(), &out)?;
+    Ok(n)
+}
+
+/// Serialize tests that toggle the process-global sampling state (shared
+/// with other in-crate test modules that enable tracing).
+#[cfg(test)]
+pub(crate) fn test_gate() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize trace-store-global tests (sampling counters and the
+    /// retained deque are process-wide).
+    fn lock_tests() -> std::sync::MutexGuard<'static, ()> {
+        test_gate()
+    }
+
+    #[test]
+    fn disabled_tracing_is_inert() {
+        let _g = lock_tests();
+        set_sample_every(0);
+        assert!(!enabled());
+        let root = root_span("test.trace.off");
+        assert_eq!(root.trace_id(), None);
+        assert_eq!(current_context(), None);
+        force_retain_current("nope"); // must not panic
+        drop(root);
+    }
+
+    #[test]
+    fn root_and_children_form_one_retained_trace() {
+        let _g = lock_tests();
+        set_sample_every(1);
+        let before = retained_count();
+        let tid;
+        {
+            let root = root_span("test.trace.root");
+            tid = root.trace_id().expect("sampled trace");
+            root.set_request_id(42);
+            assert_eq!(current_context().unwrap().trace_id(), tid);
+            {
+                let _child = crate::span("test.trace.child");
+                assert_eq!(current_context().unwrap().span_id().raw(), 2);
+                let _grand = crate::span("test.trace.grandchild");
+                assert_eq!(current_context().unwrap().span_id().raw(), 3);
+            }
+            record_backdated_span("test.trace.backdated", 1_000);
+        }
+        assert_eq!(current_context(), None);
+        set_sample_every(0);
+        let traces = retained_traces();
+        assert_eq!(traces.len(), before + 1);
+        let t = traces.iter().find(|t| t.trace_id == tid).expect("retained");
+        assert_eq!(t.root_name, "test.trace.root");
+        assert_eq!(t.request_id, Some(42));
+        assert!(t.sampled);
+        let names: Vec<&str> = t.spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"test.trace.child"), "{names:?}");
+        assert!(names.contains(&"test.trace.grandchild"), "{names:?}");
+        assert!(names.contains(&"test.trace.backdated"), "{names:?}");
+        assert!(names.contains(&"test.trace.root"), "{names:?}");
+        let child = t
+            .spans
+            .iter()
+            .find(|s| s.name == "test.trace.child")
+            .unwrap();
+        assert_eq!(child.parent_id, 1, "child parents under the root");
+        let grand = t
+            .spans
+            .iter()
+            .find(|s| s.name == "test.trace.grandchild")
+            .unwrap();
+        assert_eq!(grand.parent_id, child.span_id);
+        let back = t
+            .spans
+            .iter()
+            .find(|s| s.name == "test.trace.backdated")
+            .unwrap();
+        assert_eq!(back.dur_us, 1_000);
+    }
+
+    #[test]
+    fn unsampled_traces_drop_unless_force_retained() {
+        let _g = lock_tests();
+        set_sample_every(u64::MAX); // k % N == 0 only for k = 0, long past
+        let before = retained_count();
+        {
+            let _root = root_span("test.trace.dropme");
+        }
+        assert_eq!(retained_count(), before, "unsampled trace dropped");
+        let tid;
+        {
+            let root = root_span("test.trace.keepme");
+            tid = root.trace_id().unwrap();
+            force_retain_current("deadline_breach");
+            assert!(current_is_retained());
+        }
+        set_sample_every(0);
+        let traces = retained_traces();
+        let t = traces.iter().find(|t| t.trace_id == tid).expect("retained");
+        assert!(!t.sampled);
+        assert_eq!(t.retain_reasons, vec!["deadline_breach"]);
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_in_mint_order() {
+        // Two ids minted k apart must reproduce the SplitMix64 stream of
+        // the fixed seed: the property the CI double-run check rests on.
+        let _g = lock_tests();
+        set_sample_every(1);
+        let a = root_span("test.trace.det.a");
+        let ka = a.trace_id().unwrap();
+        drop(a);
+        let b = root_span("test.trace.det.b");
+        let kb = b.trace_id().unwrap();
+        drop(b);
+        set_sample_every(0);
+        let k = (0..u64::MAX)
+            .take(1 << 20)
+            .find(|&k| splitmix64(TRACE_ID_SEED.wrapping_add(k)).max(1) == ka.raw())
+            .expect("id derives from the fixed seed + counter");
+        assert_eq!(
+            splitmix64(TRACE_ID_SEED.wrapping_add(k + 1)).max(1),
+            kb.raw()
+        );
+    }
+
+    #[test]
+    fn installed_context_parents_cross_thread_spans() {
+        let _g = lock_tests();
+        set_sample_every(1);
+        let tid;
+        {
+            let root = root_span("test.trace.xthread");
+            tid = root.trace_id().unwrap();
+            let ctx = current_context().unwrap();
+            std::thread::spawn(move || {
+                let _guard = install_context(ctx);
+                let _s = crate::span("test.trace.worker_span");
+            })
+            .join()
+            .unwrap();
+        }
+        set_sample_every(0);
+        let traces = retained_traces();
+        let t = traces.iter().find(|t| t.trace_id == tid).expect("retained");
+        let w = t
+            .spans
+            .iter()
+            .find(|s| s.name == "test.trace.worker_span")
+            .expect("worker span attributed to the submitting trace");
+        assert_eq!(w.parent_id, 1);
+        let root_tid = t
+            .spans
+            .iter()
+            .find(|s| s.name == "test.trace.xthread")
+            .unwrap()
+            .tid;
+        assert_ne!(w.tid, root_tid, "worker span carries its own thread");
+    }
+
+    #[test]
+    fn exports_are_loadable_shapes() {
+        let _g = lock_tests();
+        set_sample_every(1);
+        {
+            let _root = root_span("test.trace.export");
+            let _c = crate::span("test.trace.export_child");
+        }
+        set_sample_every(0);
+        let dir = std::env::temp_dir();
+        let chrome = dir.join(format!("odt_trace_chrome_{}.json", std::process::id()));
+        let jsonl = dir.join(format!("odt_trace_spans_{}.jsonl", std::process::id()));
+        let n = write_chrome_trace(&chrome).unwrap();
+        assert!(n >= 2);
+        let content = fs::read_to_string(&chrome).unwrap();
+        assert!(content.starts_with("{\"displayTimeUnit\""), "{content}");
+        assert!(content.contains("\"ph\":\"X\""));
+        assert!(content.contains("\"tid\":"));
+        assert!(content.trim_end().ends_with("]}"));
+        let t = write_spans_jsonl(&jsonl).unwrap();
+        assert!(t >= 1);
+        let content = fs::read_to_string(&jsonl).unwrap();
+        assert!(content.lines().any(|l| l.contains("\"kind\":\"trace\"")));
+        assert!(content.lines().any(|l| l.contains("\"kind\":\"span\"")));
+        for line in content.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        let _ = fs::remove_file(&chrome);
+        let _ = fs::remove_file(&jsonl);
+    }
+
+    #[test]
+    fn open_spans_are_visible_until_closed() {
+        let _g = lock_tests();
+        set_sample_every(1);
+        let root = root_span("test.trace.openvis");
+        let tid = root.trace_id().unwrap();
+        let child = crate::span("test.trace.open_child");
+        let open = open_spans();
+        assert!(open
+            .iter()
+            .any(|s| s.trace_id == tid && s.name == "test.trace.openvis"));
+        assert!(open
+            .iter()
+            .any(|s| s.trace_id == tid && s.name == "test.trace.open_child"));
+        drop(child);
+        drop(root);
+        set_sample_every(0);
+        assert!(!open_spans().iter().any(|s| s.trace_id == tid));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the histogram quantile estimator (the lib crate
+//! stays zero-dependency; proptest is a dev-dependency of this integration
+//! test only).
+
+use odt_obs::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    /// For ANY sample set, quantiles must be monotone in q, bounded by the
+    /// exact maximum, and the summary must agree with the raw queries.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        samples in prop::collection::vec(0u64..=10_000_000, 1..300),
+    ) {
+        let h = Histogram::default();
+        for &s in &samples {
+            h.record_micros(s);
+        }
+        let max = *samples.iter().max().unwrap() as f64;
+        let s = h.summary();
+        prop_assert_eq!(s.count, samples.len() as u64);
+        prop_assert!(s.p50_us <= s.p95_us, "p50 {} > p95 {}", s.p50_us, s.p95_us);
+        prop_assert!(s.p95_us <= s.p99_us, "p95 {} > p99 {}", s.p95_us, s.p99_us);
+        prop_assert!(s.p99_us <= s.max_us, "p99 {} > max {}", s.p99_us, s.max_us);
+        prop_assert_eq!(s.max_us, max);
+        // Dense q sweep: monotone non-decreasing everywhere, within range.
+        let mut prev = 0.0f64;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.quantile_micros(q);
+            prop_assert!(v >= prev, "q={q}: {v} < {prev}");
+            prop_assert!(v <= max, "q={q}: {v} > max {max}");
+            prev = v;
+        }
+        // The mean of recorded samples is exact (sum/count, not bucketed).
+        let exact_mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        prop_assert!((s.mean_us - exact_mean).abs() < 1e-6);
+    }
+
+    /// A quantile estimate always lands inside (or at the clamped edge of)
+    /// the base-2 bucket that contains the true order statistic.
+    #[test]
+    fn quantile_estimate_stays_in_true_bucket(
+        mut samples in prop::collection::vec(0u64..=1_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::default();
+        for &s in &samples {
+            h.record_micros(s);
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let true_stat = samples[rank - 1];
+        let est = h.quantile_micros(q);
+        // Same base-2 bucket: [2^(i-1), 2^i) for i ≥ 1, {0} for bucket 0.
+        let (lo, hi) = if true_stat == 0 {
+            (0.0, 1.0)
+        } else {
+            let i = 64 - true_stat.leading_zeros() as usize;
+            ((1u64 << (i - 1)) as f64, (1u64 << i) as f64)
+        };
+        let max = *samples.last().unwrap() as f64;
+        // est interpolates inside [lo, hi] of the rank's bucket, then is
+        // clamped to the exact max (which is ≥ the true order statistic ≥ lo).
+        prop_assert!(
+            est >= lo && est <= hi && est <= max,
+            "q={q} est={est} true={true_stat} bucket=[{lo},{hi}) max={max}"
+        );
+    }
+}

@@ -167,10 +167,15 @@ impl CircuitBreaker {
         self.probe_successes = 0;
         self.trips += 1;
         odt_obs::counter("serve.breaker.trips").inc();
+        // A trip is an incident: keep the triggering request's trace past
+        // head sampling (the event below inherits its trace_id) and freeze
+        // the black box while the evidence is still in the ring buffer.
+        odt_obs::trace::force_retain_current("breaker_open");
         event(Level::Warn, "serve.breaker.open")
             .field("rung", self.name)
             .field("backoff_us", backoff)
             .emit();
+        let _ = odt_obs::flightrec::trigger("breaker_open");
     }
 }
 

@@ -13,6 +13,7 @@ use crate::breaker::BreakerConfig;
 use crate::frontend::{FrontendSnapshot, RungExecutor};
 use crate::ladder::Rung;
 use crate::queue::ShedPolicy;
+use odt_obs::{event, Level};
 
 /// A tiny, fast, seedable PRNG (SplitMix64). Std-only on purpose: the
 /// fault path must not share state with the model's `rand` RNGs, and the
@@ -168,7 +169,26 @@ impl<E: RungExecutor> RungExecutor for ChaosExecutor<E> {
     }
 
     fn execute(&mut self, rung: Rung, query: &Self::Query) -> Result<f64, String> {
-        match self.injector.next_fault(rung) {
+        let fault = self.injector.next_fault(rung);
+        if fault != Fault::None {
+            // Emitted inside the request's rung span, so the fault event
+            // inherits the trace/span ids and the trace shows exactly
+            // which injected fault a breach or breaker trip came from.
+            let kind = match fault {
+                Fault::ExtraLatencyUs(_) => "latency",
+                Fault::NanOutput => "nan",
+                Fault::Panic => "panic",
+                Fault::None => unreachable!(),
+            };
+            let mut ev = event(Level::Warn, "chaos.fault")
+                .field("rung", rung.name())
+                .field("fault", kind);
+            if let Fault::ExtraLatencyUs(us) = fault {
+                ev = ev.field("extra_us", us);
+            }
+            ev.emit();
+        }
+        match fault {
             Fault::Panic => panic!("chaos: injected panic on {}", rung.name()),
             Fault::NanOutput => Ok(f64::NAN),
             Fault::ExtraLatencyUs(us) => {

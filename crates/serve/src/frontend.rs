@@ -18,6 +18,17 @@
 //!
 //! All timing is microseconds since the frontend's construction epoch, so
 //! the queue/breaker state machines stay deterministic under test.
+//!
+//! **Tracing.** When tracing is enabled (`odt_obs::trace`), every request
+//! that reaches [`ServeFrontend::serve_one`] gets a root span
+//! (`serve.request`) carrying its request id, a back-dated
+//! `serve.queue_wait` child, and one child span per rung attempt — which
+//! the compute pool extends down to kernel level via context propagation.
+//! Traces that breach their deadline, expire in the queue, or answer from
+//! the fallback rung are force-retained past head sampling; breaker trips
+//! retain the triggering trace *and* dump the flight recorder (see
+//! [`crate::breaker`]). An optional SLO burn-rate monitor
+//! ([`FrontendConfig::slo`]) scores each outcome against the deadline SLA.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
@@ -60,6 +71,10 @@ pub struct FrontendConfig {
     pub ladder: LadderConfig,
     /// Per-rung circuit-breaker tuning.
     pub breaker: BreakerConfig,
+    /// When set, feed every served/shed outcome into an SLO burn-rate
+    /// monitor (`ok` = served within deadline) on the frontend's epoch
+    /// clock. `None` (the default) disables SLO accounting.
+    pub slo: Option<odt_obs::slo::BurnRateConfig>,
 }
 
 impl Default for FrontendConfig {
@@ -70,6 +85,7 @@ impl Default for FrontendConfig {
             default_deadline_us: 1_000_000,
             ladder: LadderConfig::default(),
             breaker: BreakerConfig::default(),
+            slo: None,
         }
     }
 }
@@ -186,6 +202,8 @@ pub struct FrontendSnapshot {
     pub deadline_met: u64,
     /// Served requests that blew their deadline.
     pub deadline_missed: u64,
+    /// SLO burn-rate state, when [`FrontendConfig::slo`] is configured.
+    pub slo: Option<odt_obs::slo::BurnRateSnapshot>,
 }
 
 /// The deadline-aware serving frontend. See the module docs.
@@ -198,6 +216,7 @@ pub struct ServeFrontend<E: RungExecutor> {
     epoch: Instant,
     next_id: u64,
     snap: FrontendSnapshot,
+    slo: Option<odt_obs::slo::BurnRateMonitor>,
 }
 
 fn rung_hist_name(rung: Rung) -> &'static str {
@@ -222,6 +241,7 @@ impl<E: RungExecutor> ServeFrontend<E> {
             ladder: LatencyLadder::new(cfg.ladder),
             breakers,
             exec,
+            slo: cfg.slo.map(odt_obs::slo::BurnRateMonitor::new),
             cfg,
             epoch: Instant::now(),
             next_id: 0,
@@ -261,6 +281,7 @@ impl<E: RungExecutor> ServeFrontend<E> {
             s.breaker_trips[i] = self.breakers[i].trips();
             s.breaker_states[i] = self.breakers[i].state().name();
         }
+        s.slo = self.slo.as_ref().map(|m| m.snapshot(self.now_us()));
         s
     }
 
@@ -272,12 +293,17 @@ impl<E: RungExecutor> ServeFrontend<E> {
         for q in queries {
             for rung in Rung::ALL {
                 let now = self.now_us();
-                let t0 = Instant::now();
+                let sp = odt_obs::span(rung_hist_name(rung));
                 let exec = &mut self.exec;
+                // Warmup probes rungs that may legitimately panic (chaos
+                // executors): those panics are caught here and must not
+                // each produce a flight-recorder dump.
+                let suppress = odt_obs::flightrec::suppress_panic_dump();
                 let outcome = catch_unwind(AssertUnwindSafe(|| exec.execute(rung, q)));
-                let micros = t0.elapsed().as_micros() as u64;
+                drop(suppress);
+                let micros = sp.elapsed_micros();
+                drop(sp); // records `micros` (±ns) into the rung histogram
                 self.ladder.observe(rung, micros);
-                odt_obs::histogram(rung_hist_name(rung)).record_micros(micros);
                 let ok = matches!(&outcome, Ok(Ok(v)) if v.is_finite());
                 if !rung.is_terminal() {
                     if ok {
@@ -366,6 +392,13 @@ impl<E: RungExecutor> ServeFrontend<E> {
     }
 
     fn serve_one(&mut self, req: Request<E::Query>, queue_wait_us: u64) -> Response {
+        // Root span for the whole request (inert when tracing is off).
+        // While it lives, every span/event/histogram sample on this thread
+        // — and, via pool context propagation, on compute workers — is
+        // attributed to this request's trace.
+        let root = odt_obs::trace::root_span("serve.request");
+        root.set_request_id(req.id);
+        odt_obs::trace::record_backdated_span("serve.queue_wait", queue_wait_us);
         let mut floor = 0usize;
         loop {
             let now = self.now_us();
@@ -373,9 +406,11 @@ impl<E: RungExecutor> ServeFrontend<E> {
             if remaining == 0 && floor == 0 {
                 // Expired before any attempt: refuse rather than burn work.
                 self.snap.shed_deadline += 1;
+                odt_obs::trace::force_retain_current("deadline_expired_in_queue");
                 event(Level::Warn, "serve.request.shed")
                     .field("reason", ShedReason::DeadlineExpiredInQueue.name())
                     .emit();
+                self.record_slo(false);
                 return Response::Shed {
                     id: req.id,
                     reason: ShedReason::DeadlineExpiredInQueue,
@@ -396,12 +431,20 @@ impl<E: RungExecutor> ServeFrontend<E> {
                 rung
             };
 
-            let t0 = Instant::now();
+            // The rung attempt is a trace child span; its drop records the
+            // service time into the per-rung histogram exactly as the
+            // manual record here used to.
+            let sp = odt_obs::span(rung_hist_name(rung));
             let exec = &mut self.exec;
+            // Executor panics (chaos-injected or real) are caught at this
+            // boundary and handled as rung failures — suppress the panic
+            // hook's flight-recorder dump for them.
+            let suppress = odt_obs::flightrec::suppress_panic_dump();
             let outcome = catch_unwind(AssertUnwindSafe(|| exec.execute(rung, &req.query)));
-            let service_us = t0.elapsed().as_micros() as u64;
+            drop(suppress);
+            let service_us = sp.elapsed_micros();
+            drop(sp);
             self.ladder.observe(rung, service_us);
-            odt_obs::histogram(rung_hist_name(rung)).record_micros(service_us);
             let after = self.now_us();
 
             match outcome {
@@ -413,6 +456,10 @@ impl<E: RungExecutor> ServeFrontend<E> {
                         self.snap.deadline_met += 1;
                     } else {
                         self.snap.deadline_missed += 1;
+                        odt_obs::trace::force_retain_current("deadline_breach");
+                    }
+                    if rung == Rung::Fallback {
+                        odt_obs::trace::force_retain_current("fallback_rung");
                     }
                     if !rung.is_terminal() {
                         // A served-but-late answer is a *latency* failure:
@@ -424,6 +471,7 @@ impl<E: RungExecutor> ServeFrontend<E> {
                             self.breakers[rung.index()].record_failure(after);
                         }
                     }
+                    self.record_slo(deadline_met);
                     return Response::Served {
                         id: req.id,
                         seconds,
@@ -454,6 +502,8 @@ impl<E: RungExecutor> ServeFrontend<E> {
                     }
                     // Even the fallback failed: give up on this request.
                     self.snap.shed_internal += 1;
+                    odt_obs::trace::force_retain_current("internal_shed");
+                    self.record_slo(false);
                     return Response::Shed {
                         id: req.id,
                         reason: ShedReason::Internal,
@@ -461,6 +511,15 @@ impl<E: RungExecutor> ServeFrontend<E> {
                     };
                 }
             }
+        }
+    }
+
+    /// Feed one terminal request outcome into the SLO monitor, if one is
+    /// configured (`ok` = the request was served within its deadline).
+    fn record_slo(&mut self, ok: bool) {
+        let now = self.now_us();
+        if let Some(m) = self.slo.as_mut() {
+            m.record(ok, now);
         }
     }
 }
@@ -661,6 +720,61 @@ mod tests {
         assert_eq!(fe.snapshot().shed_invalid, 1);
         // Invalid queries never reach the executor.
         assert_eq!(fe.executor_mut().calls.len(), 2);
+    }
+
+    #[test]
+    fn tracing_attributes_request_spans_and_retains_breaches() {
+        /// Sleeps long enough that a 1 ms budget is always breached.
+        struct SlowExec;
+        impl RungExecutor for SlowExec {
+            type Query = &'static str;
+            fn execute(&mut self, _r: Rung, _q: &Self::Query) -> Result<f64, String> {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+                Ok(1.0)
+            }
+        }
+        odt_obs::trace::set_sample_every(1);
+        let mut fe = ServeFrontend::new(
+            SlowExec,
+            FrontendConfig {
+                slo: Some(odt_obs::slo::BurnRateConfig::for_drill()),
+                ..cfg()
+            },
+        );
+        let out = fe.process_wave([("od", Some(1_000u64))]);
+        odt_obs::trace::set_sample_every(0);
+        let traces = odt_obs::trace::retained_traces();
+        let t = traces
+            .iter()
+            .rev()
+            .find(|t| t.root_name == "serve.request" && t.request_id == Some(0))
+            .expect("breached request force-retained");
+        assert!(!t.retain_reasons.is_empty(), "{:?}", t.retain_reasons);
+        let names: Vec<&str> = t.spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"serve.request"), "{names:?}");
+        assert!(names.contains(&"serve.queue_wait"), "{names:?}");
+        if let Response::Served { deadline_met, .. } = &out[0] {
+            assert!(!deadline_met, "3ms service cannot meet a 1ms budget");
+            assert!(
+                names.iter().any(|n| n.starts_with("serve.rung.")),
+                "rung attempt span present: {names:?}"
+            );
+            assert!(
+                t.retain_reasons.contains(&"deadline_breach")
+                    || t.retain_reasons.contains(&"fallback_rung"),
+                "{:?}",
+                t.retain_reasons
+            );
+        }
+        // Every span except the root parents inside the trace.
+        for s in &t.spans {
+            if s.name != "serve.request" {
+                assert!(s.parent_id >= 1, "{s:?}");
+            }
+        }
+        let slo = fe.snapshot().slo.expect("slo monitor configured");
+        assert_eq!(slo.total, 1);
+        assert_eq!(slo.errors, 1, "breach counts against the SLO");
     }
 
     #[test]
