@@ -1,0 +1,192 @@
+//! `odt_loadgen`: drive an `odt_server` over TCP and report throughput
+//! vs latency (`BENCH_net.json`).
+//!
+//! ```text
+//! odt_loadgen --addr <host:port> [--mode open|closed] [--rate <rps>]
+//!             [--sweep <rps,rps,...>] [--conns <n>] [--secs <s>]
+//!             [--deadline-ms <ms>] [--seed <u64>]
+//!             [--region <lng0,lat0,lng1,lat1>] [--trace-every <n>]
+//!             [--report <path>]
+//! ```
+//!
+//! * `--mode open` (default) — Poisson arrivals at `--rate` rps with the
+//!   full schedule fixed up-front; latency is measured from each
+//!   request's *scheduled* send time, so queue buildup in a saturated
+//!   server is charged to the server, not hidden by a stalled sender
+//!   (no coordinated omission). `--mode closed` sends the next request
+//!   only after the previous response.
+//! * `--sweep`  — run the open loop once per listed rate (overrides
+//!   `--rate`/`--mode`); the report then traces the throughput-latency
+//!   curve.
+//! * `--region` — the box ODs are drawn from; paste the server's
+//!   `odt_server region ...` line so strict admission accepts them.
+//! * Every `--trace-every`-th request carries a trace id the server
+//!   adopts into its spans (end-to-end tracing across the wire).
+//!
+//! The report (`odt-bench-net/v1`) has one row per run: offered vs
+//! achieved rps, p50/p90/p99 latency, typed error counts, per-rung
+//! answer counts, and the worst sender lag vs the schedule (a large lag
+//! means the *generator* saturated and offered less than configured).
+//! Exit status is non-zero if any run got zero OK replies.
+
+use odt_net::loadgen::{self, LoadConfig, LoadMode, LoadReport, Region};
+use std::time::Duration;
+
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn kv_json(pairs: &[(String, u64)]) -> String {
+    if pairs.is_empty() {
+        return "{}".to_string();
+    }
+    let inner: Vec<String> = pairs.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+    format!("{{ {} }}", inner.join(", "))
+}
+
+fn row_json(r: &LoadReport) -> String {
+    let l = &r.latency;
+    format!(
+        "    {{ \"mode\": \"{}\", \"offered_rps\": {:.1}, \"sent\": {}, \"ok\": {}, \
+         \"lost\": {}, \"errors\": {}, \"wall_s\": {:.3}, \"throughput_rps\": {:.1}, \
+         \"latency\": {{ \"p50_ms\": {:.3}, \"p90_ms\": {:.3}, \"p99_ms\": {:.3}, \
+         \"max_ms\": {:.3}, \"mean_ms\": {:.3} }}, \"rungs\": {}, \"deadline_met\": {}, \
+         \"send_lag_max_ms\": {:.3}, \"traces_sent\": {} }}",
+        r.mode,
+        r.offered_rps,
+        r.sent,
+        r.ok,
+        r.lost,
+        kv_json(&r.errors),
+        r.wall_s,
+        r.throughput_rps,
+        l.p50_ms,
+        l.p90_ms,
+        l.p99_ms,
+        l.max_ms,
+        l.mean_ms,
+        kv_json(&r.rungs),
+        r.deadline_met,
+        r.send_lag_max_ms,
+        r.traces_sent,
+    )
+}
+
+fn main() {
+    odt_obs::flightrec::install_panic_hook();
+    odt_obs::trace::init_from_env();
+
+    let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let conns: usize = arg_value("--conns")
+        .map(|v| v.parse().expect("--conns must be an integer"))
+        .unwrap_or(4)
+        .max(1);
+    let secs: f64 = arg_value("--secs")
+        .map(|v| v.parse().expect("--secs must be a number"))
+        .unwrap_or(5.0);
+    let deadline_ms: Option<u64> = match arg_value("--deadline-ms").as_deref() {
+        Some("none") => None,
+        Some(v) => Some(v.parse().expect("--deadline-ms must be an integer")),
+        None => Some(200),
+    };
+    let seed: u64 = arg_value("--seed")
+        .map(|v| v.parse().expect("--seed must be an integer"))
+        .unwrap_or(0xD07_CAFE);
+    let trace_every: u64 = arg_value("--trace-every")
+        .map(|v| v.parse().expect("--trace-every must be an integer"))
+        .unwrap_or(64);
+    let report_path = arg_value("--report").unwrap_or_else(|| "BENCH_net.json".to_string());
+
+    let region = match arg_value("--region") {
+        None => Region::default(),
+        Some(s) => {
+            let parts: Vec<f64> = s
+                .split(',')
+                .map(|p| p.trim().parse().expect("--region must be 4 numbers"))
+                .collect();
+            assert_eq!(parts.len(), 4, "--region must be lng0,lat0,lng1,lat1");
+            Region {
+                lng0: parts[0],
+                lat0: parts[1],
+                lng1: parts[2],
+                lat1: parts[3],
+            }
+        }
+    };
+
+    let modes: Vec<LoadMode> = match arg_value("--sweep") {
+        Some(s) => s
+            .split(',')
+            .map(|r| LoadMode::Open {
+                rate_rps: r.trim().parse().expect("--sweep must be numbers"),
+            })
+            .collect(),
+        None => match arg_value("--mode").as_deref() {
+            Some("closed") => vec![LoadMode::Closed],
+            _ => vec![LoadMode::Open {
+                rate_rps: arg_value("--rate")
+                    .map(|v| v.parse().expect("--rate must be a number"))
+                    .unwrap_or(200.0),
+            }],
+        },
+    };
+
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for mode in modes {
+        let cfg = LoadConfig {
+            addr: addr.clone(),
+            conns,
+            duration: Duration::from_secs_f64(secs),
+            mode,
+            seed,
+            deadline_ms,
+            region,
+            trace_every,
+            ..LoadConfig::default()
+        };
+        let report = loadgen::run(&cfg).expect("load run failed: no connection completed");
+        println!(
+            "{:>6} @ {:>7.1} rps: {} ok / {} sent ({} lost), {:.1} rps through, \
+             p50 {:.2} ms  p99 {:.2} ms  lag {:.1} ms",
+            report.mode,
+            report.offered_rps,
+            report.ok,
+            report.sent,
+            report.lost,
+            report.throughput_rps,
+            report.latency.p50_ms,
+            report.latency.p99_ms,
+            report.send_lag_max_ms,
+        );
+        if report.ok == 0 {
+            all_ok = false;
+        }
+        rows.push(row_json(&report));
+    }
+
+    let quiet = arg_flag("--quiet");
+    let json = format!(
+        "{{\n  \"schema\": \"odt-bench-net/v1\",\n  \"addr\": \"{addr}\",\n  \"conns\": {conns},\n  \"secs\": {secs},\n  \"deadline_ms\": {},\n  \"seed\": {seed},\n  \"runs\": [\n{}\n  ],\n  \"pass\": {all_ok}\n}}\n",
+        deadline_ms
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "null".to_string()),
+        rows.join(",\n"),
+    );
+    std::fs::write(&report_path, json).unwrap_or_else(|e| panic!("writing {report_path}: {e}"));
+    if !quiet {
+        println!("wrote {report_path}");
+    }
+
+    if !all_ok {
+        eprintln!("odt_loadgen: a run finished with zero OK replies");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,265 @@
+//! `odt_server`: serve the OD travel-time oracle over TCP (`odt-wire/v1`).
+//!
+//! Trains a small DOT oracle on simulated Chengdu-like data, then serves
+//! it through the hardened `odt-net` frontend: bounded admission, typed
+//! overload errors, per-connection backpressure, and graceful drain on
+//! SIGTERM/ctrl-c.
+//!
+//! ```text
+//! odt_server [--addr <host:port>] [--quick] [--max-conns <n>]
+//!            [--max-inflight <n>] [--drain-budget-ms <ms>]
+//!            [--max-run-s <s>] [--report <path>] [--seed <u64>]
+//! ```
+//!
+//! * `--addr`        — listen address (default `127.0.0.1:7878`; port `0`
+//!                     picks a free port, printed on the ready line).
+//! * `--quick`       — tiny model, CI smoke mode.
+//! * `--max-run-s`   — self-drain after this many seconds even without a
+//!                     signal (CI watchdog; default: run until signaled).
+//! * `--report`      — final JSON report path (default
+//!                     `BENCH_net_server.json`).
+//!
+//! Startup prints two machine-readable lines:
+//!
+//! ```text
+//! odt_server region <lng0>,<lat0>,<lng1>,<lat1>
+//! odt_server listening on <addr>
+//! ```
+//!
+//! The region line is the box strict admission accepts queries from —
+//! point `odt_loadgen --region` at it. The listening line is the ready
+//! signal. On drain the final report (`odt-net-server/v1`) carries the
+//! connection counters (leak check: `conns.active == 0`), the frontend
+//! snapshot (typed shed reasons, rung hits, SLO burn rates), the count
+//! of adopted wire trace ids, and the drain outcome; the exit status is
+//! non-zero if the drain was forced or leaked connections.
+
+use odt_core::{Dot, DotConfig};
+use odt_net::loadgen::Region;
+use odt_net::server::{FrontendBridge, ServerConfig};
+use odt_net::signal;
+use odt_roadnet::LngLat;
+use odt_serve::{dot_frontend, ChaosConfig, DotFrontendConfig, FrontendConfig};
+use odt_traj::{Dataset, GridSpec, OdtInput, Split};
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn server_dataset(quick: bool) -> Dataset {
+    let mut cfg = odt_traj::sim::CitySimConfig::chengdu_like();
+    if quick {
+        cfg.nx = 8;
+        cfg.ny = 8;
+        Dataset::simulated(cfg, 180, 8, 41)
+    } else {
+        cfg.nx = 12;
+        cfg.ny = 12;
+        Dataset::simulated(cfg, 400, 8, 41)
+    }
+}
+
+fn server_model(data: &Dataset, quick: bool) -> Dot {
+    let mut cfg = DotConfig::fast();
+    cfg.lg = 8;
+    cfg.n_steps = 8;
+    cfg.base_channels = 4;
+    cfg.cond_dim = 16;
+    cfg.d_e = 16;
+    if quick {
+        cfg.stage1_iters = 15;
+        cfg.stage2_iters = 30;
+        cfg.early_stop_samples = 3;
+        cfg.early_stop_every = 15;
+    } else {
+        cfg.stage1_iters = 60;
+        cfg.stage2_iters = 120;
+        cfg.early_stop_samples = 4;
+        cfg.early_stop_every = 60;
+    }
+    Dot::train(cfg, data, |_| {})
+}
+
+/// The box strict admission accepts, shrunk 5% inside the grid so load
+/// endpoints never land on the reject margin.
+fn region_of(grid: &GridSpec) -> Region {
+    let mx = (grid.max.lng - grid.min.lng) * 0.05;
+    let my = (grid.max.lat - grid.min.lat) * 0.05;
+    Region {
+        lng0: grid.min.lng + mx,
+        lat0: grid.min.lat + my,
+        lng1: grid.max.lng - mx,
+        lat1: grid.max.lat - my,
+    }
+}
+
+fn main() {
+    odt_obs::flightrec::install_panic_hook();
+    odt_obs::trace::init_from_env();
+    odt_obs::flightrec::init_from_env();
+    odt_compute::ensure_initialized();
+    signal::install();
+
+    let quick = arg_flag("--quick");
+    let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let report_path = arg_value("--report").unwrap_or_else(|| "BENCH_net_server.json".to_string());
+    let seed: u64 = arg_value("--seed")
+        .map(|v| v.parse().expect("--seed must be an integer"))
+        .unwrap_or(7);
+    let max_run_s: Option<u64> =
+        arg_value("--max-run-s").map(|v| v.parse().expect("--max-run-s must be an integer"));
+
+    let mut cfg = ServerConfig {
+        addr,
+        ..ServerConfig::default()
+    };
+    if let Some(v) = arg_value("--max-conns") {
+        cfg.max_connections = v.parse().expect("--max-conns must be an integer");
+    }
+    if let Some(v) = arg_value("--max-inflight") {
+        cfg.max_inflight_per_conn = v.parse().expect("--max-inflight must be an integer");
+    }
+    if let Some(v) = arg_value("--drain-budget-ms") {
+        cfg.drain_budget_ms = v.parse().expect("--drain-budget-ms must be an integer");
+    }
+
+    // The DOT model's parameters are `Rc`-based (thread-local), so the
+    // whole serving stack — train, warm up, bridge — is built *on* the
+    // dispatcher thread via the factory. The channel hands the stats
+    // handle and the admission region back out, and doubles as the
+    // "model ready" barrier: the listening line prints only after it.
+    println!("odt_server: training oracle (quick={quick})");
+    let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+    let handle = odt_net::server::start_with(cfg, move || {
+        let data = server_dataset(quick);
+        let t0 = Instant::now();
+        let model: &'static Dot = Box::leak(Box::new(server_model(&data, quick)));
+        let train_s = t0.elapsed().as_secs_f64();
+        let fe_cfg = FrontendConfig {
+            slo: Some(odt_obs::slo::BurnRateConfig::for_drill()),
+            ..FrontendConfig::default()
+        };
+        let mut fe = dot_frontend(
+            model,
+            DotFrontendConfig::default(),
+            fe_cfg,
+            ChaosConfig::quiet(seed),
+        );
+        let warmup: Vec<OdtInput> = data
+            .split(Split::Test)
+            .iter()
+            .take(2)
+            .map(OdtInput::from_trajectory)
+            .collect();
+        fe.warmup(&warmup);
+        let mut bridge = FrontendBridge::new(fe, |q: &odt_net::wire::WireQuery| OdtInput {
+            origin: LngLat {
+                lng: q.o_lng,
+                lat: q.o_lat,
+            },
+            dest: LngLat {
+                lng: q.d_lng,
+                lat: q.d_lat,
+            },
+            t_dep: q.t_dep,
+        });
+        let _ = ready_tx.send((bridge.shared_stats(), region_of(model.grid()), train_s));
+        bridge
+    })
+    .expect("binding the listen address");
+    let bound = handle.addr();
+    let (shared, r, train_s) = ready_rx.recv().expect("backend init");
+    println!("odt_server: trained in {train_s:.1}s");
+    println!(
+        "odt_server region {:.6},{:.6},{:.6},{:.6}",
+        r.lng0, r.lat0, r.lng1, r.lat1
+    );
+    println!("odt_server listening on {bound}");
+    let _ = std::io::stdout().flush();
+
+    let started = Instant::now();
+    loop {
+        if signal::shutdown_requested() {
+            println!("odt_server: shutdown signal, draining");
+            break;
+        }
+        if let Some(s) = max_run_s {
+            if started.elapsed().as_secs() >= s {
+                println!("odt_server: --max-run-s reached, draining");
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let uptime_s = started.elapsed().as_secs_f64();
+    let report = handle.drain();
+    let (snap, adopted) = shared.get();
+    let c = &report.stats;
+    let pass = report.clean && c.active == 0;
+    println!(
+        "odt_server: drained (clean={}, forced={}, active={}), {} served / {} submitted",
+        report.clean, report.forced_conns, c.active, snap.served, snap.submitted
+    );
+
+    let slo_json = match &snap.slo {
+        Some(s) => format!(
+            "{{ \"fast_burn\": {:.4}, \"slow_burn\": {:.4}, \"alerts\": {} }}",
+            s.fast_burn, s.slow_burn, s.alerts
+        ),
+        None => "null".to_string(),
+    };
+    let json = format!(
+        "{{\n  \"schema\": \"odt-net-server/v1\",\n  \"addr\": \"{addr}\",\n  \"quick\": {quick},\n  \"uptime_s\": {uptime_s:.3},\n  \"conns\": {{ \"opened\": {}, \"closed\": {}, \"active\": {}, \"rejected_capacity\": {}, \"rejected_draining\": {}, \"frames_in\": {}, \"frames_out\": {}, \"malformed\": {}, \"too_large\": {}, \"timeouts_idle\": {}, \"timeouts_frame\": {}, \"read_errors\": {}, \"write_errors\": {}, \"backpressure_stalls\": {}, \"dispatch_shed\": {}, \"reply_drops\": {}, \"forced_closes\": {} }},\n  \"frontend\": {{ \"submitted\": {}, \"admitted\": {}, \"served\": {}, \"shed\": {{ \"queue_full\": {}, \"queue_expired\": {}, \"invalid_query\": {}, \"internal\": {} }}, \"rung_hits\": {{ \"full_ddpm\": {}, \"ddim\": {}, \"ddim_reduced\": {}, \"fallback\": {} }}, \"deadline\": {{ \"met\": {}, \"missed\": {} }}, \"slo\": {slo_json} }},\n  \"adopted_traces\": {adopted},\n  \"drain\": {{ \"clean\": {}, \"forced_conns\": {}, \"wait_ms\": {} }},\n  \"flightrec_dumps\": {},\n  \"pass\": {pass}\n}}\n",
+        c.opened,
+        c.closed,
+        c.active,
+        c.rejected_capacity,
+        c.rejected_draining,
+        c.frames_in,
+        c.frames_out,
+        c.malformed,
+        c.too_large,
+        c.timeouts_idle,
+        c.timeouts_frame,
+        c.read_errors,
+        c.write_errors,
+        c.backpressure_stalls,
+        c.dispatch_shed,
+        c.reply_drops,
+        c.forced_closes,
+        snap.submitted,
+        snap.admitted,
+        snap.served,
+        snap.shed_queue_full,
+        snap.shed_deadline,
+        snap.shed_invalid,
+        snap.shed_internal,
+        snap.rung_hits[0],
+        snap.rung_hits[1],
+        snap.rung_hits[2],
+        snap.rung_hits[3],
+        snap.deadline_met,
+        snap.deadline_missed,
+        report.clean,
+        report.forced_conns,
+        report.wait_ms,
+        odt_obs::flightrec::dump_count(),
+        addr = bound,
+    );
+    std::fs::write(&report_path, json).unwrap_or_else(|e| panic!("writing {report_path}: {e}"));
+    println!("wrote {report_path}");
+
+    if !pass {
+        eprintln!("odt_server: drain was forced or connections leaked");
+        std::process::exit(1);
+    }
+}

@@ -29,8 +29,10 @@
 //! on this.
 
 use odt_core::{Dot, DotConfig};
+use odt_net::{FrontendBridge, NetScenarioSpec, Region, WireQuery};
+use odt_roadnet::LngLat;
 use odt_serve::{dot_frontend, ChaosConfig, DotFrontendConfig, FrontendConfig, ScenarioSpec};
-use odt_traj::{Dataset, OdtInput, Split};
+use odt_traj::{Dataset, GridSpec, OdtInput, Split};
 use serde_json::json;
 use std::io::Write;
 use std::time::Instant;
@@ -194,6 +196,164 @@ fn run_scenario(
     })
 }
 
+/// The box strict admission accepts, shrunk 5% inside the drill grid so
+/// network-drill queries never land on the reject margin.
+fn net_region(grid: &GridSpec) -> Region {
+    let mx = (grid.max.lng - grid.min.lng) * 0.05;
+    let my = (grid.max.lat - grid.min.lat) * 0.05;
+    Region {
+        lng0: grid.min.lng + mx,
+        lat0: grid.min.lat + my,
+        lng1: grid.max.lng - mx,
+        lat1: grid.max.lat - my,
+    }
+}
+
+/// Run one network drill: a real TCP server over a freshly trained drill
+/// oracle, the scenario's client-side abuse pattern, a graceful drain,
+/// and the zero-leak check; returns the scenario's report line.
+///
+/// The oracle is trained *inside* the server's backend factory — its
+/// parameters are `Rc`-based and cannot cross onto the dispatcher
+/// thread — so each drill trains its own copy (the drill catalog keeps
+/// it tiny). The drill harness's readiness probe absorbs the training
+/// window before any abuse traffic starts.
+fn run_net_drill(
+    spec: &NetScenarioSpec,
+    region: Region,
+    seed: u64,
+    quick: bool,
+) -> serde_json::Value {
+    let root = odt_obs::trace::root_span("chaos.scenario");
+    odt_obs::trace::force_retain_current("chaos_scenario");
+    let trace_id = root.trace_id().map(|t| t.to_hex());
+    let dumps_before = odt_obs::flightrec::dump_count();
+
+    let mut spec = spec.clone();
+    spec.region = region;
+    let (stats_tx, stats_rx) = std::sync::mpsc::channel();
+    let outcome = odt_net::run_net_scenario_with(&spec, move || {
+        // `Dataset::simulated` is deterministic: this grid is the same
+        // one `region` was derived from in `main`.
+        let data = drill_dataset();
+        let model: &'static Dot = Box::leak(Box::new(drill_model(&data)));
+        let mut fe = dot_frontend(
+            model,
+            DotFrontendConfig::default(),
+            FrontendConfig::default(),
+            ChaosConfig::quiet(seed),
+        );
+        let warmup: Vec<OdtInput> = data
+            .split(Split::Test)
+            .iter()
+            .take(2)
+            .map(OdtInput::from_trajectory)
+            .collect();
+        fe.warmup(&warmup);
+        let mut bridge = FrontendBridge::new(fe, |q: &WireQuery| OdtInput {
+            origin: LngLat {
+                lng: q.o_lng,
+                lat: q.o_lat,
+            },
+            dest: LngLat {
+                lng: q.d_lng,
+                lat: q.d_lat,
+            },
+            t_dep: q.t_dep,
+        });
+        let _ = stats_tx.send(bridge.shared_stats());
+        bridge
+    });
+    let (s, adopted) = stats_rx.recv().map(|h| h.get()).unwrap_or_default();
+    drop(root);
+    let dumps = odt_obs::flightrec::dump_count() - dumps_before;
+    let last_dump = odt_obs::flightrec::last_dump()
+        .filter(|_| dumps > 0)
+        .map(|p| p.display().to_string());
+    println!(
+        "  {:<18} {:>3} ok over TCP  rungs {:?}  conns {}/{}  drain {}  {}",
+        outcome.name,
+        outcome.ok_replies,
+        s.rung_hits,
+        outcome.stats.opened,
+        outcome.stats.active,
+        if outcome.drain_clean {
+            "clean"
+        } else {
+            "forced"
+        },
+        if outcome.pass {
+            "PASS".to_string()
+        } else {
+            format!("FAIL: {}", outcome.violations.join("; "))
+        }
+    );
+    let err_replies: serde_json::Map<String, serde_json::Value> = outcome
+        .err_replies
+        .iter()
+        .map(|(k, v)| (k.clone(), json!(v)))
+        .collect();
+    let c = &outcome.stats;
+    json!({
+        "schema": "odt-chaos-drill/v2",
+        "kind": "scenario",
+        "name": outcome.name,
+        "description": spec.description,
+        "trace_id": trace_id,
+        "flightrec": { "dumps": dumps, "last_dump": last_dump },
+        "seed": seed,
+        "quick": quick,
+        "wall_seconds": outcome.wall_s,
+        "submitted": s.submitted,
+        "admitted": s.admitted,
+        "served": s.served,
+        "answer_rate": if s.submitted == 0 { 1.0 } else { s.served as f64 / s.submitted as f64 },
+        "shed": {
+            "queue_full": s.shed_queue_full,
+            "deadline_expired": s.shed_deadline,
+            "invalid_query": s.shed_invalid,
+            "internal": s.shed_internal,
+        },
+        "rung_hits": {
+            "full_ddpm": s.rung_hits[0],
+            "ddim": s.rung_hits[1],
+            "ddim_reduced": s.rung_hits[2],
+            "fallback": s.rung_hits[3],
+        },
+        "rung_failures": {
+            "full_ddpm": s.rung_failures[0],
+            "ddim": s.rung_failures[1],
+            "ddim_reduced": s.rung_failures[2],
+            "fallback": s.rung_failures[3],
+        },
+        "breaker": {
+            "trips": s.breaker_trips,
+            "states": s.breaker_states,
+        },
+        "deadline": { "met": s.deadline_met, "missed": s.deadline_missed },
+        "net": {
+            "ok_replies": outcome.ok_replies,
+            "err_replies": err_replies,
+            "conns": {
+                "opened": c.opened,
+                "closed": c.closed,
+                "active": c.active,
+                "rejected_capacity": c.rejected_capacity,
+                "rejected_draining": c.rejected_draining,
+                "timeouts_frame": c.timeouts_frame,
+                "timeouts_idle": c.timeouts_idle,
+                "backpressure_stalls": c.backpressure_stalls,
+                "forced_closes": c.forced_closes,
+            },
+            "drain_clean": outcome.drain_clean,
+            "forced_conns": outcome.forced_conns,
+            "adopted_traces": adopted,
+        },
+        "violations": outcome.violations,
+        "pass": outcome.pass,
+    })
+}
+
 fn main() {
     let quick = arg_flag("--quick");
     let seed: u64 = arg_value("--seed")
@@ -226,36 +386,50 @@ fn main() {
     odt_obs::flightrec::install_panic_hook();
 
     let catalog = odt_serve::scenarios(seed);
-    let selected: Vec<&ScenarioSpec> = if which == "all" {
-        catalog.iter().collect()
+    let net_catalog = odt_net::net_scenarios();
+    let (selected, net_selected): (Vec<&ScenarioSpec>, Vec<&NetScenarioSpec>) = if which == "all" {
+        (catalog.iter().collect(), net_catalog.iter().collect())
     } else {
-        let found: Vec<&ScenarioSpec> = catalog.iter().filter(|s| s.name == which).collect();
-        if found.is_empty() {
-            let names: Vec<&str> = catalog.iter().map(|s| s.name).collect();
+        let serve: Vec<&ScenarioSpec> = catalog.iter().filter(|s| s.name == which).collect();
+        let net: Vec<&NetScenarioSpec> = net_catalog.iter().filter(|s| s.name == which).collect();
+        if serve.is_empty() && net.is_empty() {
+            let names: Vec<&str> = catalog
+                .iter()
+                .map(|s| s.name)
+                .chain(net_catalog.iter().map(|s| s.name))
+                .collect();
             eprintln!("unknown scenario {which:?}; available: {names:?} or \"all\"");
             std::process::exit(2);
         }
-        found
+        (serve, net)
     };
+    let total = selected.len() + net_selected.len();
 
-    println!(
-        "chaos drill: {} scenario(s), seed {seed}, quick={quick}",
-        selected.len()
-    );
+    println!("chaos drill: {total} scenario(s), seed {seed}, quick={quick}");
     let data = drill_dataset();
-    let t0 = Instant::now();
-    let model = drill_model(&data);
-    println!("trained drill oracle in {:.1}s", t0.elapsed().as_secs_f64());
-    let queries: Vec<OdtInput> = data
-        .split(Split::Test)
-        .iter()
-        .map(OdtInput::from_trajectory)
-        .collect();
+    let region = net_region(&data.grid);
 
     let mut lines = Vec::new();
     let mut failed = 0usize;
-    for spec in &selected {
-        let line = run_scenario(spec, &model, &queries, quick);
+    if !selected.is_empty() {
+        let t0 = Instant::now();
+        let model = drill_model(&data);
+        println!("trained drill oracle in {:.1}s", t0.elapsed().as_secs_f64());
+        let queries: Vec<OdtInput> = data
+            .split(Split::Test)
+            .iter()
+            .map(OdtInput::from_trajectory)
+            .collect();
+        for spec in &selected {
+            let line = run_scenario(spec, &model, &queries, quick);
+            if line["pass"] != json!(true) {
+                failed += 1;
+            }
+            lines.push(line);
+        }
+    }
+    for spec in &net_selected {
+        let line = run_net_drill(spec, region, seed, quick);
         if line["pass"] != json!(true) {
             failed += 1;
         }
@@ -267,8 +441,8 @@ fn main() {
         "kind": "summary",
         "seed": seed,
         "quick": quick,
-        "scenarios": selected.len(),
-        "passed": selected.len() - failed,
+        "scenarios": total,
+        "passed": total - failed,
         "failed": failed,
         "traces_finished": finished,
         "traces_retained": odt_obs::trace::retained_count(),

@@ -1,0 +1,34 @@
+//! `odt-net`: the networked serving layer for the OD travel-time oracle.
+//!
+//! Everything here is `std`-only TCP: a length-prefixed JSON protocol
+//! ([`wire`], `odt-wire/v1`), a hardened multi-threaded server
+//! ([`server`]) that feeds the deadline-aware [`odt_serve`] frontend
+//! through bounded queues with typed overload errors and graceful
+//! drain, a coordinated-omission-free load generator ([`loadgen`]), a
+//! network-fault drill catalog ([`drill`]) extending the serving chaos
+//! harness, and a tiny Unix signal shim ([`signal`]) so server binaries
+//! can drain on SIGTERM/ctrl-c.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drill;
+pub mod json;
+pub mod loadgen;
+pub mod server;
+pub mod signal;
+pub mod wire;
+
+pub use drill::{
+    net_scenarios, run_net_scenario, run_net_scenario_with, NetDrillOutcome, NetExpectations,
+    NetScenarioKind, NetScenarioSpec,
+};
+pub use loadgen::{LatencySummary, LoadConfig, LoadMode, LoadReport, OdMixer, Region};
+pub use server::{
+    start, start_with, ConnStatsSnapshot, DrainReport, EchoBackend, FrontendBridge, NetBackend,
+    NetRequest, ServerConfig, ServerHandle, SharedFrontendStats,
+};
+pub use wire::{
+    read_frame, write_frame, FrameError, FrameRead, WireErrorCode, WireQuery, WireRequest,
+    WireResponse, WIRE_SCHEMA,
+};

@@ -1,0 +1,713 @@
+//! Open/closed-loop load generation against an `odt-wire/v1` server.
+//!
+//! The **open-loop** mode is the honest one for latency measurement: a
+//! Poisson arrival schedule (exponential inter-arrival gaps from the
+//! shared [`SplitMix64`] generator) is fixed *before* the run, and each
+//! request's latency is measured from its **scheduled** send time, not
+//! from when the sender thread actually got around to writing it. A
+//! server that stalls therefore inflates the latencies of every request
+//! scheduled during the stall — the coordinated-omission error that
+//! closed-loop harnesses silently hide.
+//!
+//! The **closed-loop** mode (send → wait → send) is kept for saturation
+//! throughput probing, where arrival-rate fidelity doesn't matter.
+//!
+//! Queries are drawn from a **hotspot-skewed OD mix**: with probability
+//! `p_hot` an endpoint snaps near one of `hotspots` fixed centers
+//! (jittered), otherwise it falls uniformly in the region — the skew the
+//! paper's OD pairs exhibit and the serving stack must absorb.
+
+use crate::wire::{
+    read_frame, write_frame, FrameRead, WireErrorCode, WireQuery, WireRequest, WireResponse,
+};
+use odt_obs::{SplitMix64, TraceId};
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Generation mode.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum LoadMode {
+    /// Poisson arrivals at `rate_rps` requests/second across all
+    /// connections; latency from scheduled send time (CO-free).
+    Open {
+        /// Offered rate, requests per second (whole run, all conns).
+        rate_rps: f64,
+    },
+    /// Each connection sends, waits for the reply, sends again.
+    Closed,
+}
+
+impl LoadMode {
+    /// Short tag for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoadMode::Open { .. } => "open",
+            LoadMode::Closed => "closed",
+        }
+    }
+}
+
+/// The rectangle queries are drawn from, degrees.
+#[derive(Copy, Clone, Debug)]
+pub struct Region {
+    /// West edge.
+    pub lng0: f64,
+    /// South edge.
+    pub lat0: f64,
+    /// East edge.
+    pub lng1: f64,
+    /// North edge.
+    pub lat1: f64,
+}
+
+impl Default for Region {
+    /// Roughly the Chengdu box the paper's taxi data covers.
+    fn default() -> Self {
+        Region {
+            lng0: 104.0,
+            lat0: 30.6,
+            lng1: 104.2,
+            lat1: 30.8,
+        }
+    }
+}
+
+/// Load-generator tuning.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Client connections.
+    pub conns: usize,
+    /// Run length.
+    pub duration: Duration,
+    /// Open or closed loop.
+    pub mode: LoadMode,
+    /// Seed for the arrival schedule and the OD mix.
+    pub seed: u64,
+    /// Deadline budget attached to every request, ms (`None` = server
+    /// default).
+    pub deadline_ms: Option<u64>,
+    /// Hotspot centers in the OD mix (0 disables the skew).
+    pub hotspots: usize,
+    /// Probability an endpoint snaps to a hotspot.
+    pub p_hot: f64,
+    /// Query region.
+    pub region: Region,
+    /// Departure-time range drawn uniformly, seconds since midnight.
+    pub t_dep_range: (f64, f64),
+    /// Attach a trace id to every `trace_every`-th request (0 = never).
+    pub trace_every: u64,
+    /// Frame cap for reads.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            conns: 4,
+            duration: Duration::from_secs(10),
+            mode: LoadMode::Open { rate_rps: 200.0 },
+            seed: 0xD07_CAFE,
+            deadline_ms: Some(200),
+            hotspots: 8,
+            p_hot: 0.6,
+            region: Region::default(),
+            t_dep_range: (6.0 * 3600.0, 22.0 * 3600.0),
+            trace_every: 64,
+            max_frame_bytes: crate::wire::DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// Hotspot-skewed OD query sampler.
+pub struct OdMixer {
+    rng: SplitMix64,
+    centers: Vec<(f64, f64)>,
+    region: Region,
+    p_hot: f64,
+    t_dep_range: (f64, f64),
+}
+
+impl OdMixer {
+    /// A mixer with `hotspots` centers drawn (deterministically from
+    /// `seed`) inside `region`.
+    pub fn new(
+        seed: u64,
+        hotspots: usize,
+        p_hot: f64,
+        region: Region,
+        t_dep_range: (f64, f64),
+    ) -> OdMixer {
+        let mut rng = SplitMix64::new(seed);
+        let centers = (0..hotspots)
+            .map(|_| {
+                (
+                    region.lng0 + rng.next_f64() * (region.lng1 - region.lng0),
+                    region.lat0 + rng.next_f64() * (region.lat1 - region.lat0),
+                )
+            })
+            .collect();
+        OdMixer {
+            rng,
+            centers,
+            region,
+            p_hot: p_hot.clamp(0.0, 1.0),
+            t_dep_range,
+        }
+    }
+
+    fn endpoint(&mut self) -> (f64, f64) {
+        let r = &self.region;
+        if !self.centers.is_empty() && self.rng.next_f64() < self.p_hot {
+            let c = self.centers[self.rng.next_below(self.centers.len() as u64) as usize];
+            // Jitter ~1% of the region around the hotspot center (sum of
+            // two uniforms ≈ triangular, denser near the center).
+            let jl = (r.lng1 - r.lng0) * 0.01;
+            let jt = (r.lat1 - r.lat0) * 0.01;
+            let jitter = |rng: &mut SplitMix64, s: f64| (rng.next_f64() + rng.next_f64() - 1.0) * s;
+            (
+                (c.0 + jitter(&mut self.rng, jl)).clamp(r.lng0, r.lng1),
+                (c.1 + jitter(&mut self.rng, jt)).clamp(r.lat0, r.lat1),
+            )
+        } else {
+            (
+                r.lng0 + self.rng.next_f64() * (r.lng1 - r.lng0),
+                r.lat0 + self.rng.next_f64() * (r.lat1 - r.lat0),
+            )
+        }
+    }
+
+    /// Draw one OD query.
+    pub fn next_query(&mut self) -> WireQuery {
+        let (o_lng, o_lat) = self.endpoint();
+        let (d_lng, d_lat) = self.endpoint();
+        let (t0, t1) = self.t_dep_range;
+        WireQuery {
+            o_lng,
+            o_lat,
+            d_lng,
+            d_lat,
+            t_dep: t0 + self.rng.next_f64() * (t1 - t0).max(0.0),
+        }
+    }
+}
+
+/// Latency percentiles over a run, milliseconds.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_ms: f64,
+    /// 90th percentile.
+    pub p90_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Worst observed.
+    pub max_ms: f64,
+    /// Mean.
+    pub mean_ms: f64,
+}
+
+impl LatencySummary {
+    fn from_micros(mut samples: Vec<u64>) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let q = |p: f64| {
+            let idx = ((samples.len() as f64 - 1.0) * p).round() as usize;
+            samples[idx] as f64 / 1_000.0
+        };
+        let sum: u128 = samples.iter().map(|&v| u128::from(v)).sum();
+        LatencySummary {
+            p50_ms: q(0.50),
+            p90_ms: q(0.90),
+            p99_ms: q(0.99),
+            max_ms: *samples.last().unwrap() as f64 / 1_000.0,
+            mean_ms: sum as f64 / samples.len() as f64 / 1_000.0,
+        }
+    }
+}
+
+/// What one load run observed.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// `open` or `closed`.
+    pub mode: String,
+    /// Offered rate (open loop; 0 for closed).
+    pub offered_rps: f64,
+    /// Requests written to the wire.
+    pub sent: u64,
+    /// OK responses received.
+    pub ok: u64,
+    /// Typed wire errors received, by code name.
+    pub errors: Vec<(String, u64)>,
+    /// Requests with no response by the end-of-run grace window.
+    pub lost: u64,
+    /// Wall time, seconds.
+    pub wall_s: f64,
+    /// Achieved OK throughput, responses/second.
+    pub throughput_rps: f64,
+    /// End-to-end latency (open loop: from *scheduled* send — CO-free).
+    pub latency: LatencySummary,
+    /// OK responses per rung name.
+    pub rungs: Vec<(String, u64)>,
+    /// Served responses whose `deadline_met` was true.
+    pub deadline_met: u64,
+    /// Worst sender lateness vs the schedule, ms (open loop; a large
+    /// value means the generator itself saturated and offered less than
+    /// configured).
+    pub send_lag_max_ms: f64,
+    /// Requests that carried a trace id.
+    pub traces_sent: u64,
+}
+
+struct ConnTally {
+    sent: u64,
+    ok: u64,
+    lost: u64,
+    errors: HashMap<&'static str, u64>,
+    rungs: HashMap<String, u64>,
+    latencies_us: Vec<u64>,
+    deadline_met: u64,
+    send_lag_max_us: u64,
+    traces_sent: u64,
+}
+
+impl ConnTally {
+    fn new() -> ConnTally {
+        ConnTally {
+            sent: 0,
+            ok: 0,
+            lost: 0,
+            errors: HashMap::new(),
+            rungs: HashMap::new(),
+            latencies_us: Vec::new(),
+            deadline_met: 0,
+            send_lag_max_us: 0,
+            traces_sent: 0,
+        }
+    }
+}
+
+/// Run one load generation pass. Returns `Err` only when no connection
+/// could be established at all.
+pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
+    let conns = cfg.conns.max(1);
+    let t0 = Instant::now();
+    let next_trace = Arc::new(AtomicU64::new(1));
+    let mut handles = Vec::new();
+    for c in 0..conns {
+        let cfg = cfg.clone();
+        let next_trace = Arc::clone(&next_trace);
+        handles.push(thread::spawn(move || conn_run(&cfg, c, &next_trace)));
+    }
+    let mut tallies = Vec::new();
+    for h in handles {
+        match h.join() {
+            Ok(Ok(t)) => tallies.push(t),
+            Ok(Err(e)) => {
+                if tallies.is_empty() {
+                    return Err(e);
+                }
+            }
+            Err(_) => {}
+        }
+    }
+    if tallies.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            "no connection completed",
+        ));
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut report = LoadReport {
+        mode: cfg.mode.name().to_string(),
+        offered_rps: match cfg.mode {
+            LoadMode::Open { rate_rps } => rate_rps,
+            LoadMode::Closed => 0.0,
+        },
+        wall_s,
+        ..LoadReport::default()
+    };
+    let mut errors: HashMap<String, u64> = HashMap::new();
+    let mut rungs: HashMap<String, u64> = HashMap::new();
+    let mut all_lat = Vec::new();
+    let mut lag_max = 0u64;
+    for t in tallies {
+        report.sent += t.sent;
+        report.ok += t.ok;
+        report.lost += t.lost;
+        report.deadline_met += t.deadline_met;
+        report.traces_sent += t.traces_sent;
+        lag_max = lag_max.max(t.send_lag_max_us);
+        for (k, v) in t.errors {
+            *errors.entry(k.to_string()).or_insert(0) += v;
+        }
+        for (k, v) in t.rungs {
+            *rungs.entry(k).or_insert(0) += v;
+        }
+        all_lat.extend(t.latencies_us);
+    }
+    report.throughput_rps = if wall_s > 0.0 {
+        report.ok as f64 / wall_s
+    } else {
+        0.0
+    };
+    report.latency = LatencySummary::from_micros(all_lat);
+    report.send_lag_max_ms = lag_max as f64 / 1_000.0;
+    let mut errors: Vec<_> = errors.into_iter().collect();
+    errors.sort();
+    report.errors = errors;
+    let mut rungs: Vec<_> = rungs.into_iter().collect();
+    rungs.sort();
+    report.rungs = rungs;
+    Ok(report)
+}
+
+fn classify(tally: &mut ConnTally, resp: &WireResponse, sched: Option<Instant>) {
+    match resp {
+        WireResponse::Ok {
+            rung, deadline_met, ..
+        } => {
+            tally.ok += 1;
+            if *deadline_met {
+                tally.deadline_met += 1;
+            }
+            *tally.rungs.entry(rung.clone()).or_insert(0) += 1;
+            if let Some(t) = sched {
+                tally
+                    .latencies_us
+                    .push(t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            }
+        }
+        WireResponse::Err { code, .. } => {
+            *tally.errors.entry(code.name()).or_insert(0) += 1;
+        }
+    }
+}
+
+fn conn_run(cfg: &LoadConfig, conn_idx: usize, next_trace: &AtomicU64) -> io::Result<ConnTally> {
+    match cfg.mode {
+        LoadMode::Open { rate_rps } => open_loop(cfg, conn_idx, rate_rps, next_trace),
+        LoadMode::Closed => closed_loop(cfg, conn_idx, next_trace),
+    }
+}
+
+fn make_request(
+    id: u64,
+    mixer: &mut OdMixer,
+    cfg: &LoadConfig,
+    next_trace: &AtomicU64,
+    tally: &mut ConnTally,
+) -> WireRequest {
+    let trace = if cfg.trace_every > 0 && id % cfg.trace_every == 0 {
+        let raw = next_trace.fetch_add(1, Ordering::Relaxed);
+        let t = TraceId::from_raw(0x10AD_0000_0000_0000 | raw);
+        if t.is_some() {
+            tally.traces_sent += 1;
+        }
+        t
+    } else {
+        None
+    };
+    WireRequest {
+        id,
+        query: mixer.next_query(),
+        deadline_ms: cfg.deadline_ms,
+        trace,
+    }
+}
+
+fn closed_loop(cfg: &LoadConfig, conn_idx: usize, next_trace: &AtomicU64) -> io::Result<ConnTally> {
+    let mut stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut mixer = OdMixer::new(
+        cfg.seed ^ (conn_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        cfg.hotspots,
+        cfg.p_hot,
+        cfg.region,
+        cfg.t_dep_range,
+    );
+    let mut tally = ConnTally::new();
+    let t0 = Instant::now();
+    let mut id = 1u64;
+    while t0.elapsed() < cfg.duration {
+        let req = make_request(id, &mut mixer, cfg, next_trace, &mut tally);
+        id += 1;
+        let sent_at = Instant::now();
+        if write_frame(&mut stream, &req.to_json()).is_err() {
+            break;
+        }
+        tally.sent += 1;
+        match read_frame(&mut stream, cfg.max_frame_bytes) {
+            Ok(FrameRead::Payload(p)) => match WireResponse::from_json(&p) {
+                Ok(resp) => {
+                    classify(&mut tally, &resp, Some(sent_at));
+                    // A drain refusal means the run is over for us.
+                    if matches!(
+                        resp,
+                        WireResponse::Err {
+                            code: WireErrorCode::ServerDraining,
+                            ..
+                        }
+                    ) {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            },
+            Ok(FrameRead::Closed) | Err(_) => {
+                tally.lost += 1;
+                break;
+            }
+        }
+    }
+    Ok(tally)
+}
+
+fn open_loop(
+    cfg: &LoadConfig,
+    conn_idx: usize,
+    rate_rps: f64,
+    next_trace: &AtomicU64,
+) -> io::Result<ConnTally> {
+    let stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut wstream = stream.try_clone()?;
+
+    // Each connection carries an independent Poisson stream at 1/Nth of
+    // the configured rate (a superposition of Poisson processes is
+    // Poisson at the summed rate).
+    let per_conn_rate = rate_rps / cfg.conns.max(1) as f64;
+    let mut rng = SplitMix64::new(
+        cfg.seed.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ conn_idx as u64,
+    );
+    let mut mixer = OdMixer::new(
+        cfg.seed ^ (conn_idx as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+        cfg.hotspots,
+        cfg.p_hot,
+        cfg.region,
+        cfg.t_dep_range,
+    );
+
+    // Scheduled send times, fixed up front — the definition of open loop.
+    let mut schedule = Vec::new();
+    let mut t = 0.0f64;
+    let horizon = cfg.duration.as_secs_f64();
+    loop {
+        t += rng.next_exp_secs(per_conn_rate);
+        if !t.is_finite() || t >= horizon {
+            break;
+        }
+        schedule.push(Duration::from_secs_f64(t));
+    }
+
+    let epoch = Instant::now();
+    let inflight: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let done_sending = Arc::new(AtomicBool::new(false));
+    let tally = Arc::new(Mutex::new(ConnTally::new()));
+
+    // Receiver: classifies replies against scheduled send times.
+    let receiver = {
+        let inflight = Arc::clone(&inflight);
+        let done = Arc::clone(&done_sending);
+        let tally = Arc::clone(&tally);
+        let max_frame = cfg.max_frame_bytes;
+        let mut rstream = stream;
+        thread::spawn(move || {
+            let grace = Duration::from_secs(2);
+            let mut idle_since: Option<Instant> = None;
+            loop {
+                let outstanding = { !inflight.lock().unwrap().is_empty() };
+                if done.load(Ordering::Relaxed) && !outstanding {
+                    break;
+                }
+                match read_frame(&mut rstream, max_frame) {
+                    Ok(FrameRead::Payload(p)) => {
+                        idle_since = None;
+                        if let Ok(resp) = WireResponse::from_json(&p) {
+                            let sched = inflight.lock().unwrap().remove(&resp.id());
+                            classify(&mut tally.lock().unwrap(), &resp, sched);
+                        }
+                    }
+                    Ok(FrameRead::Closed) => break,
+                    Err(crate::wire::FrameError::Io(e))
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        // Reads time out every 50ms so the done/grace
+                        // checks run even with a silent server.
+                        if done.load(Ordering::Relaxed) {
+                            let since = *idle_since.get_or_insert_with(Instant::now);
+                            if since.elapsed() > grace {
+                                break;
+                            }
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+    };
+
+    // Sender: walks the schedule, never skipping a slot (late sends are
+    // recorded as lag, not dropped — dropping would be coordinated
+    // omission by another name).
+    for (i, due) in schedule.iter().enumerate() {
+        let now = epoch.elapsed();
+        if *due > now {
+            thread::sleep(*due - now);
+        }
+        let id = i as u64 + 1;
+        let req = make_request(id, &mut mixer, cfg, next_trace, &mut tally.lock().unwrap());
+        let sched_at = epoch + *due;
+        let lag = epoch.elapsed().saturating_sub(*due);
+        inflight.lock().unwrap().insert(id, sched_at);
+        if write_frame(&mut wstream, &req.to_json()).is_err() {
+            inflight.lock().unwrap().remove(&id);
+            break;
+        }
+        let mut t = tally.lock().unwrap();
+        t.sent += 1;
+        t.send_lag_max_us = t.send_lag_max_us.max(lag.as_micros() as u64);
+    }
+    done_sending.store(true, Ordering::Relaxed);
+    let _ = receiver.join();
+
+    let mut tally = Arc::try_unwrap(tally)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_else(|_| ConnTally::new());
+    let unanswered = inflight.lock().unwrap().len() as u64;
+    tally.lost += unanswered;
+    Ok(tally)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{start, EchoBackend, ServerConfig};
+
+    fn server_cfg() -> ServerConfig {
+        ServerConfig {
+            acceptor_threads: 1,
+            read_timeout_ms: 5,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn od_mixer_is_deterministic_and_in_region() {
+        let region = Region::default();
+        let mk = || OdMixer::new(7, 4, 0.7, region, (0.0, 86_400.0));
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..200 {
+            let qa = a.next_query();
+            let qb = b.next_query();
+            assert_eq!(qa, qb, "same seed must give the same mix");
+            for (lng, lat) in [(qa.o_lng, qa.o_lat), (qa.d_lng, qa.d_lat)] {
+                assert!((region.lng0..=region.lng1).contains(&lng));
+                assert!((region.lat0..=region.lat1).contains(&lat));
+            }
+            assert!((0.0..=86_400.0).contains(&qa.t_dep));
+        }
+    }
+
+    #[test]
+    fn hotspot_skew_concentrates_endpoints() {
+        let region = Region::default();
+        let mut hot = OdMixer::new(11, 2, 1.0, region, (0.0, 1.0));
+        let mut uniform = OdMixer::new(11, 0, 0.0, region, (0.0, 1.0));
+        // With p_hot=1 and 2 centers, distinct origin longitudes collapse
+        // to a narrow set; uniform stays spread. Compare coarse-bucket
+        // occupancy.
+        let buckets = |m: &mut OdMixer| {
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..300 {
+                let q = m.next_query();
+                let w = region.lng1 - region.lng0;
+                seen.insert(((q.o_lng - region.lng0) / w * 50.0) as u32);
+            }
+            seen.len()
+        };
+        let hot_buckets = buckets(&mut hot);
+        let uni_buckets = buckets(&mut uniform);
+        assert!(
+            hot_buckets < uni_buckets / 2,
+            "hotspot mix not skewed: {hot_buckets} vs {uni_buckets} buckets"
+        );
+    }
+
+    #[test]
+    fn latency_summary_percentiles_are_ordered() {
+        let s = LatencySummary::from_micros((1..=1000).collect());
+        assert!(s.p50_ms <= s.p90_ms && s.p90_ms <= s.p99_ms && s.p99_ms <= s.max_ms);
+        assert!((s.max_ms - 1.0).abs() < 1e-9);
+        let empty = LatencySummary::from_micros(Vec::new());
+        assert_eq!(empty.p99_ms, 0.0);
+    }
+
+    #[test]
+    fn closed_loop_round_trips_against_an_echo_server() {
+        let h = start(server_cfg(), EchoBackend::instant()).unwrap();
+        let report = run(&LoadConfig {
+            addr: h.addr().to_string(),
+            conns: 2,
+            duration: Duration::from_millis(300),
+            mode: LoadMode::Closed,
+            trace_every: 4,
+            ..LoadConfig::default()
+        })
+        .unwrap();
+        assert!(report.ok > 0, "{report:?}");
+        assert_eq!(report.sent, report.ok, "echo server sheds nothing");
+        assert_eq!(report.lost, 0);
+        assert!(report.traces_sent > 0);
+        assert_eq!(report.mode, "closed");
+        let drained = h.drain();
+        assert_eq!(drained.stats.active, 0);
+    }
+
+    #[test]
+    fn open_loop_measures_from_the_schedule() {
+        // A deliberately slow echo server: 5ms per request, offered at
+        // 100 rps on one connection — the server saturates and open-loop
+        // p99 must blow up past the per-request service time, which is
+        // exactly what coordinated omission would hide.
+        let h = start(
+            server_cfg(),
+            EchoBackend {
+                delay: Duration::from_millis(5),
+            },
+        )
+        .unwrap();
+        let report = run(&LoadConfig {
+            addr: h.addr().to_string(),
+            conns: 1,
+            duration: Duration::from_millis(600),
+            mode: LoadMode::Open { rate_rps: 150.0 },
+            trace_every: 0,
+            ..LoadConfig::default()
+        })
+        .unwrap();
+        assert!(report.ok > 10, "{report:?}");
+        // Saturated open loop: tail latency reflects queue buildup, so it
+        // must exceed the 5ms service floor by a wide margin.
+        assert!(
+            report.latency.p99_ms > 15.0,
+            "open-loop p99 suspiciously low (CO leak?): {:?}",
+            report.latency
+        );
+        assert_eq!(report.mode, "open");
+        assert!(report.offered_rps > 0.0);
+        let drained = h.drain();
+        assert_eq!(drained.stats.active, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Minimal std-only shutdown-signal latch.
+//!
+//! The server binary needs exactly one bit from the OS: "a drain was
+//! requested" (SIGTERM from an orchestrator, SIGINT from a terminal).
+//! Rather than pull in a signal-handling crate, [`install`] registers a
+//! C `signal(2)` handler that flips a process-global atomic; the serving
+//! loop polls [`shutdown_requested`] between accept ticks.
+//!
+//! The handler body is async-signal-safe: a single relaxed store, no
+//! allocation, no locks, no I/O. On non-Unix targets [`install`] is a
+//! no-op and only [`request_shutdown`] (used by tests and in-process
+//! callers) can trip the latch.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Has a shutdown been requested (by signal or [`request_shutdown`])?
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Trip the latch from inside the process (tests, embedded callers).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Reset the latch. Test-only escape hatch: the latch is process-global,
+/// so tests that trip it must clear it to avoid poisoning later tests.
+pub fn reset_for_test() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    // `fn(i32)` handlers and `signal` itself are in every libc we target;
+    // declaring them directly keeps the crate dependency-free.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: one atomic store, nothing else.
+        super::SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Register SIGINT/SIGTERM handlers that trip the latch (no-op off Unix).
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test, not several: the latch is process-global and the test
+    // harness runs tests concurrently.
+    #[test]
+    #[allow(unsafe_code)]
+    fn latch_trips_on_request_and_on_a_real_signal() {
+        reset_for_test();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset_for_test();
+        assert!(!shutdown_requested());
+
+        #[cfg(unix)]
+        {
+            extern "C" {
+                fn raise(signum: i32) -> i32;
+            }
+            install();
+            unsafe {
+                raise(15); // SIGTERM, now latched instead of fatal
+            }
+            assert!(shutdown_requested());
+            reset_for_test();
+        }
+    }
+}

@@ -1,0 +1,666 @@
+//! `odt-wire/v1`: the length-prefixed JSON protocol the TCP frontend
+//! speaks.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON — one document per frame, pipelining allowed,
+//! responses may arrive out of order (correlate by `id`).
+//!
+//! Request payload:
+//!
+//! ```json
+//! {"v":"odt-wire/v1","id":7,"o":[116.35,39.92],"d":[116.41,39.99],
+//!  "t_dep":28800.0,"deadline_ms":50,"trace":"1f00ab34cd56ef78"}
+//! ```
+//!
+//! `deadline_ms` (optional) is a budget from server receipt; `trace`
+//! (optional) is a nonzero hex trace id the server *adopts* for the
+//! request's root span, so client and server logs join on one id.
+//!
+//! Success response:
+//!
+//! ```json
+//! {"v":"odt-wire/v1","id":7,"seconds":512.3,"rung":"ddim",
+//!  "queue_wait_us":120,"service_us":4800,"deadline_met":true,
+//!  "trace":"1f00ab34cd56ef78"}
+//! ```
+//!
+//! Error response (typed; codes below):
+//!
+//! ```json
+//! {"v":"odt-wire/v1","id":7,"error":{"code":"queue_full","detail":"queue at capacity 64"}}
+//! ```
+//!
+//! Wire error codes mirror the frontend's shed reasons one-for-one and
+//! add the transport-level refusals:
+//!
+//! | code              | origin                                              |
+//! |-------------------|-----------------------------------------------------|
+//! | `queue_full`      | admission queue at capacity, request had budget left |
+//! | `queue_expired`   | deadline expired while queued                        |
+//! | `invalid_query`   | admission check rejected the query                   |
+//! | `internal`        | every rung failed (should not happen)                |
+//! | `over_capacity`   | global connection cap reached; connection closed     |
+//! | `backpressure`    | dispatch queue full at the network boundary          |
+//! | `frame_too_large` | length prefix exceeds `max_frame_bytes`; closed      |
+//! | `malformed_frame` | payload not valid `odt-wire/v1` JSON                 |
+//! | `server_draining` | server is draining; retry against another replica    |
+
+use crate::json::{escape_into, JsonValue};
+use odt_obs::TraceId;
+use std::io::{self, Read, Write};
+
+/// Protocol identifier carried in every payload's `v` field.
+pub const WIRE_SCHEMA: &str = "odt-wire/v1";
+
+/// Length-prefix size (4-byte big-endian payload length).
+pub const FRAME_HEADER_BYTES: usize = 4;
+
+/// Default cap on a single frame's payload (requests are ~200 bytes;
+/// anything near this is hostile).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// The OD query as it crosses the wire.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct WireQuery {
+    /// Origin longitude, degrees.
+    pub o_lng: f64,
+    /// Origin latitude, degrees.
+    pub o_lat: f64,
+    /// Destination longitude, degrees.
+    pub d_lng: f64,
+    /// Destination latitude, degrees.
+    pub d_lat: f64,
+    /// Departure time, seconds since local midnight.
+    pub t_dep: f64,
+}
+
+/// One parsed `odt-wire/v1` request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireRequest {
+    /// Client-chosen correlation id (echoed verbatim in the response).
+    pub id: u64,
+    /// The OD query.
+    pub query: WireQuery,
+    /// Optional deadline budget in milliseconds from server receipt.
+    pub deadline_ms: Option<u64>,
+    /// Optional client trace id for the server to adopt.
+    pub trace: Option<TraceId>,
+}
+
+/// Typed wire error codes (see module docs for the full table).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WireErrorCode {
+    /// Admission queue at capacity.
+    QueueFull,
+    /// Deadline expired while queued.
+    QueueExpired,
+    /// Admission check rejected the query.
+    InvalidQuery,
+    /// Every rung failed.
+    Internal,
+    /// Global connection cap reached.
+    OverCapacity,
+    /// Network dispatch queue full (per-boundary backpressure shed).
+    Backpressure,
+    /// Frame length prefix exceeded the configured cap.
+    FrameTooLarge,
+    /// Payload was not valid `odt-wire/v1` JSON.
+    MalformedFrame,
+    /// Server is draining and refusing new work.
+    ServerDraining,
+}
+
+impl WireErrorCode {
+    /// The wire string for this code.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireErrorCode::QueueFull => "queue_full",
+            WireErrorCode::QueueExpired => "queue_expired",
+            WireErrorCode::InvalidQuery => "invalid_query",
+            WireErrorCode::Internal => "internal",
+            WireErrorCode::OverCapacity => "over_capacity",
+            WireErrorCode::Backpressure => "backpressure",
+            WireErrorCode::FrameTooLarge => "frame_too_large",
+            WireErrorCode::MalformedFrame => "malformed_frame",
+            WireErrorCode::ServerDraining => "server_draining",
+        }
+    }
+
+    /// Parse a wire string back to a code (load generators classify
+    /// errors by this).
+    pub fn from_name(s: &str) -> Option<WireErrorCode> {
+        Some(match s {
+            "queue_full" => WireErrorCode::QueueFull,
+            "queue_expired" => WireErrorCode::QueueExpired,
+            "invalid_query" => WireErrorCode::InvalidQuery,
+            "internal" => WireErrorCode::Internal,
+            "over_capacity" => WireErrorCode::OverCapacity,
+            "backpressure" => WireErrorCode::Backpressure,
+            "frame_too_large" => WireErrorCode::FrameTooLarge,
+            "malformed_frame" => WireErrorCode::MalformedFrame,
+            "server_draining" => WireErrorCode::ServerDraining,
+            _ => return None,
+        })
+    }
+
+    /// Map a frontend shed reason name to its wire code (the names were
+    /// aligned deliberately; `Internal` is the safety net).
+    pub fn from_shed_name(s: &str) -> WireErrorCode {
+        WireErrorCode::from_name(s).unwrap_or(WireErrorCode::Internal)
+    }
+
+    /// Whether the client may retry the same request and plausibly
+    /// succeed (capacity/queue conditions pass; protocol errors do not).
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            WireErrorCode::QueueFull
+                | WireErrorCode::QueueExpired
+                | WireErrorCode::OverCapacity
+                | WireErrorCode::Backpressure
+                | WireErrorCode::ServerDraining
+        )
+    }
+}
+
+/// One `odt-wire/v1` response, either direction of the happy/sad split.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireResponse {
+    /// The request was served.
+    Ok {
+        /// Correlation id.
+        id: u64,
+        /// Estimated travel time, seconds.
+        seconds: f64,
+        /// Name of the ladder rung that answered.
+        rung: String,
+        /// Time the request spent queued, µs.
+        queue_wait_us: u64,
+        /// Service time on the answering rung, µs.
+        service_us: u64,
+        /// Whether the answer landed within the deadline.
+        deadline_met: bool,
+        /// The trace id the server used (adopted or minted), hex.
+        trace: Option<TraceId>,
+    },
+    /// The request (or connection) was refused.
+    Err {
+        /// Correlation id (0 when the failure predates parsing an id).
+        id: u64,
+        /// Typed refusal code.
+        code: WireErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl WireResponse {
+    /// The correlation id.
+    pub fn id(&self) -> u64 {
+        match self {
+            WireResponse::Ok { id, .. } | WireResponse::Err { id, .. } => *id,
+        }
+    }
+
+    /// Shorthand for an error response.
+    pub fn error(id: u64, code: WireErrorCode, detail: impl Into<String>) -> WireResponse {
+        WireResponse::Err {
+            id,
+            code,
+            detail: detail.into(),
+        }
+    }
+
+    /// Serialize to an `odt-wire/v1` payload.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(160);
+        match self {
+            WireResponse::Ok {
+                id,
+                seconds,
+                rung,
+                queue_wait_us,
+                service_us,
+                deadline_met,
+                trace,
+            } => {
+                s.push_str("{\"v\":\"");
+                s.push_str(WIRE_SCHEMA);
+                s.push_str("\",\"id\":");
+                s.push_str(&id.to_string());
+                s.push_str(",\"seconds\":");
+                s.push_str(&fmt_f64(*seconds));
+                s.push_str(",\"rung\":");
+                escape_into(&mut s, rung);
+                s.push_str(",\"queue_wait_us\":");
+                s.push_str(&queue_wait_us.to_string());
+                s.push_str(",\"service_us\":");
+                s.push_str(&service_us.to_string());
+                s.push_str(",\"deadline_met\":");
+                s.push_str(if *deadline_met { "true" } else { "false" });
+                if let Some(t) = trace {
+                    s.push_str(",\"trace\":\"");
+                    s.push_str(&t.to_hex());
+                    s.push('"');
+                }
+                s.push('}');
+            }
+            WireResponse::Err { id, code, detail } => {
+                s.push_str("{\"v\":\"");
+                s.push_str(WIRE_SCHEMA);
+                s.push_str("\",\"id\":");
+                s.push_str(&id.to_string());
+                s.push_str(",\"error\":{\"code\":\"");
+                s.push_str(code.name());
+                s.push_str("\",\"detail\":");
+                escape_into(&mut s, detail);
+                s.push_str("}}");
+            }
+        }
+        s
+    }
+
+    /// Parse a response payload (client side).
+    pub fn from_json(text: &str) -> Result<WireResponse, String> {
+        let v = JsonValue::parse(text).map_err(|e| e.to_string())?;
+        let id = v
+            .get("id")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing response id")?;
+        if let Some(err) = v.get("error") {
+            let code = err
+                .get("code")
+                .and_then(JsonValue::as_str)
+                .and_then(WireErrorCode::from_name)
+                .ok_or("missing or unknown error code")?;
+            let detail = err
+                .get("detail")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_string();
+            return Ok(WireResponse::Err { id, code, detail });
+        }
+        let seconds = v
+            .get("seconds")
+            .and_then(JsonValue::as_f64)
+            .ok_or("missing seconds")?;
+        Ok(WireResponse::Ok {
+            id,
+            seconds,
+            rung: v
+                .get("rung")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            queue_wait_us: v
+                .get("queue_wait_us")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            service_us: v.get("service_us").and_then(JsonValue::as_u64).unwrap_or(0),
+            deadline_met: v
+                .get("deadline_met")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
+            trace: v
+                .get("trace")
+                .and_then(JsonValue::as_str)
+                .and_then(TraceId::from_hex),
+        })
+    }
+}
+
+impl WireRequest {
+    /// Serialize to an `odt-wire/v1` payload (client side).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(160);
+        s.push_str("{\"v\":\"");
+        s.push_str(WIRE_SCHEMA);
+        s.push_str("\",\"id\":");
+        s.push_str(&self.id.to_string());
+        s.push_str(",\"o\":[");
+        s.push_str(&fmt_f64(self.query.o_lng));
+        s.push(',');
+        s.push_str(&fmt_f64(self.query.o_lat));
+        s.push_str("],\"d\":[");
+        s.push_str(&fmt_f64(self.query.d_lng));
+        s.push(',');
+        s.push_str(&fmt_f64(self.query.d_lat));
+        s.push_str("],\"t_dep\":");
+        s.push_str(&fmt_f64(self.query.t_dep));
+        if let Some(ms) = self.deadline_ms {
+            s.push_str(",\"deadline_ms\":");
+            s.push_str(&ms.to_string());
+        }
+        if let Some(t) = self.trace {
+            s.push_str(",\"trace\":\"");
+            s.push_str(&t.to_hex());
+            s.push('"');
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse a request payload (server side). Errors are human-readable
+    /// details for a `malformed_frame` / `invalid_query` wire error; the
+    /// id, when recoverable, rides along so the error can correlate.
+    pub fn from_json(text: &str) -> Result<WireRequest, (u64, String)> {
+        let v = JsonValue::parse(text).map_err(|e| (0, e.to_string()))?;
+        let id = v.get("id").and_then(JsonValue::as_u64).unwrap_or(0);
+        if let Some(ver) = v.get("v").and_then(JsonValue::as_str) {
+            if ver != WIRE_SCHEMA {
+                return Err((id, format!("unsupported wire version {ver:?}")));
+            }
+        }
+        if id == 0 && v.get("id").is_none() {
+            return Err((0, "missing request id".to_string()));
+        }
+        let pair = |key: &str| -> Result<(f64, f64), (u64, String)> {
+            let arr = v
+                .get(key)
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| (id, format!("missing {key:?} [lng,lat] pair")))?;
+            if arr.len() != 2 {
+                return Err((id, format!("{key:?} must be [lng,lat]")));
+            }
+            let lng = arr[0]
+                .as_f64()
+                .ok_or_else(|| (id, format!("{key:?} lng not a number")))?;
+            let lat = arr[1]
+                .as_f64()
+                .ok_or_else(|| (id, format!("{key:?} lat not a number")))?;
+            Ok((lng, lat))
+        };
+        let (o_lng, o_lat) = pair("o")?;
+        let (d_lng, d_lat) = pair("d")?;
+        let t_dep = v
+            .get("t_dep")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| (id, "missing t_dep".to_string()))?;
+        let trace = match v.get("trace") {
+            None | Some(JsonValue::Null) => None,
+            Some(t) => {
+                let hex = t
+                    .as_str()
+                    .ok_or_else(|| (id, "trace must be a hex string".to_string()))?;
+                Some(
+                    TraceId::from_hex(hex)
+                        .ok_or_else(|| (id, format!("invalid trace id {hex:?}")))?,
+                )
+            }
+        };
+        Ok(WireRequest {
+            id,
+            query: WireQuery {
+                o_lng,
+                o_lat,
+                d_lng,
+                d_lat,
+                t_dep,
+            },
+            deadline_ms: v.get("deadline_ms").and_then(JsonValue::as_u64),
+            trace,
+        })
+    }
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // `{}` on f64 never prints exponent-free integers with a dot;
+        // that's fine for JSON, but NaN/inf must never leak.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Write one frame (length prefix + payload). The payload must fit in
+/// `u32`; wire payloads are tiny so this is an assertion, not a path.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "payload exceeds u32 length"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Outcome of a blocking frame read.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete payload.
+    Payload(String),
+    /// The peer closed the stream at a frame boundary (clean EOF).
+    Closed,
+}
+
+/// Why a frame read failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The length prefix exceeded the cap; the connection must close
+    /// (the stream can no longer be resynchronized safely).
+    TooLarge {
+        /// Declared payload length.
+        declared: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The payload was not UTF-8.
+    Utf8,
+    /// The peer closed mid-frame.
+    TruncatedEof,
+    /// An I/O error (including timeouts surfaced by the caller's socket
+    /// read timeout).
+    Io(io::Error),
+}
+
+/// Blocking read of one frame from `r`, with payloads capped at `max`.
+/// Used by clients and tests; the server's connection loop does its own
+/// incremental reads so it can interleave timeout/drain checks.
+///
+/// Socket read timeouts (`WouldBlock`/`TimedOut`) surface as
+/// [`FrameError::Io`] **only while no byte of the frame has arrived** —
+/// an idle tick the caller can use for its own bookkeeping. Once a
+/// frame has started, timeouts retry instead: returning mid-frame would
+/// silently discard consumed bytes and desynchronize the stream.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<FrameRead, FrameError> {
+    let timeoutish = |e: &io::Error| {
+        matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    };
+    let mut hdr = [0u8; FRAME_HEADER_BYTES];
+    let mut got = 0;
+    while got < hdr.len() {
+        match r.read(&mut hdr[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(FrameRead::Closed)
+                } else {
+                    Err(FrameError::TruncatedEof)
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if timeoutish(&e) && got > 0 => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let declared = u32::from_be_bytes(hdr) as usize;
+    if declared > max {
+        return Err(FrameError::TooLarge { declared, max });
+    }
+    let mut buf = vec![0u8; declared];
+    let mut got = 0;
+    while got < declared {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => return Err(FrameError::TruncatedEof),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted || timeoutish(&e) => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    String::from_utf8(buf)
+        .map(FrameRead::Payload)
+        .map_err(|_| FrameError::Utf8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt_query() -> WireQuery {
+        WireQuery {
+            o_lng: 116.35,
+            o_lat: 39.92,
+            d_lng: 116.41,
+            d_lat: 39.99,
+            t_dep: 28800.0,
+        }
+    }
+
+    #[test]
+    fn request_round_trips_with_and_without_options() {
+        let full = WireRequest {
+            id: 7,
+            query: rt_query(),
+            deadline_ms: Some(50),
+            trace: TraceId::from_hex("1f00ab34cd56ef78"),
+        };
+        let back = WireRequest::from_json(&full.to_json()).unwrap();
+        assert_eq!(back, full);
+
+        let bare = WireRequest {
+            id: 1,
+            query: rt_query(),
+            deadline_ms: None,
+            trace: None,
+        };
+        assert_eq!(WireRequest::from_json(&bare.to_json()).unwrap(), bare);
+    }
+
+    #[test]
+    fn request_parse_rejects_junk_with_the_id_when_known() {
+        // Unknown version string is refused but correlates.
+        let (id, msg) =
+            WireRequest::from_json(r#"{"v":"odt-wire/v9","id":3,"o":[0,0],"d":[0,0],"t_dep":0}"#)
+                .unwrap_err();
+        assert_eq!(id, 3);
+        assert!(msg.contains("version"));
+        // Missing coordinates.
+        let (id, _) = WireRequest::from_json(r#"{"id":4,"t_dep":0}"#).unwrap_err();
+        assert_eq!(id, 4);
+        // Bad trace ids are typed errors, not adopted garbage.
+        assert!(
+            WireRequest::from_json(r#"{"id":5,"o":[0,0],"d":[0,0],"t_dep":0,"trace":"zzzz"}"#)
+                .is_err()
+        );
+        // Zero ("absent") trace ids are refused by TraceId::from_hex.
+        assert!(
+            WireRequest::from_json(r#"{"id":6,"o":[0,0],"d":[0,0],"t_dep":0,"trace":"0"}"#)
+                .is_err()
+        );
+        // Not JSON at all.
+        assert!(WireRequest::from_json("hello").is_err());
+    }
+
+    #[test]
+    fn responses_round_trip_both_arms() {
+        let ok = WireResponse::Ok {
+            id: 9,
+            seconds: 512.25,
+            rung: "ddim".to_string(),
+            queue_wait_us: 120,
+            service_us: 4800,
+            deadline_met: true,
+            trace: TraceId::from_hex("c0ffee"),
+        };
+        assert_eq!(WireResponse::from_json(&ok.to_json()).unwrap(), ok);
+
+        let err = WireResponse::error(3, WireErrorCode::QueueExpired, "expired 40us in queue");
+        let back = WireResponse::from_json(&err.to_json()).unwrap();
+        assert_eq!(back, err);
+        match back {
+            WireResponse::Err { code, .. } => assert!(code.is_retryable()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn every_error_code_round_trips_and_shed_names_map() {
+        use WireErrorCode::*;
+        for code in [
+            QueueFull,
+            QueueExpired,
+            InvalidQuery,
+            Internal,
+            OverCapacity,
+            Backpressure,
+            FrameTooLarge,
+            MalformedFrame,
+            ServerDraining,
+        ] {
+            assert_eq!(WireErrorCode::from_name(code.name()), Some(code));
+        }
+        // The four frontend shed reasons map onto wire codes by name.
+        assert_eq!(WireErrorCode::from_shed_name("queue_full"), QueueFull);
+        assert_eq!(WireErrorCode::from_shed_name("queue_expired"), QueueExpired);
+        assert_eq!(WireErrorCode::from_shed_name("invalid_query"), InvalidQuery);
+        assert_eq!(WireErrorCode::from_shed_name("internal"), Internal);
+        assert_eq!(WireErrorCode::from_shed_name("???"), Internal);
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"a\":1}").unwrap();
+        write_frame(&mut buf, "second").unwrap();
+        let mut r = &buf[..];
+        match read_frame(&mut r, 1024).unwrap() {
+            FrameRead::Payload(p) => assert_eq!(p, "{\"a\":1}"),
+            other => panic!("{other:?}"),
+        }
+        match read_frame(&mut r, 1024).unwrap() {
+            FrameRead::Payload(p) => assert_eq!(p, "second"),
+            other => panic!("{other:?}"),
+        }
+        matches!(read_frame(&mut r, 1024).unwrap(), FrameRead::Closed)
+            .then_some(())
+            .unwrap();
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_typed_errors() {
+        // Declared length over the cap.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(1_000_000u32).to_be_bytes());
+        match read_frame(&mut &buf[..], 65_536) {
+            Err(FrameError::TooLarge { declared, max }) => {
+                assert_eq!(declared, 1_000_000);
+                assert_eq!(max, 65_536);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Truncated payload.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(10u32).to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        assert!(matches!(
+            read_frame(&mut &buf[..], 1024),
+            Err(FrameError::TruncatedEof)
+        ));
+        // Truncated header.
+        assert!(matches!(
+            read_frame(&mut &[0u8, 0][..], 1024),
+            Err(FrameError::TruncatedEof)
+        ));
+        // Non-UTF-8 payload.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(2u32).to_be_bytes());
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert!(matches!(
+            read_frame(&mut &buf[..], 1024),
+            Err(FrameError::Utf8)
+        ));
+    }
+}

@@ -61,6 +61,7 @@ pub mod flightrec;
 mod json;
 mod metrics;
 mod ring;
+pub mod rng;
 mod sink;
 pub mod slo;
 mod span;
@@ -72,6 +73,7 @@ pub use metrics::{
     MetricsSnapshot,
 };
 pub use ring::{recent_events, ring_capacity, set_ring_capacity};
+pub use rng::SplitMix64;
 pub use sink::{add_sink, flush_sinks, remove_sink, FnSink, JsonlSink, Sink, SinkId, StderrSink};
 pub use span::{span, span_depth, span_if_traced, SpanTimer};
 pub use trace::{SpanId, TraceContext, TraceId};

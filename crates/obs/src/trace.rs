@@ -50,12 +50,7 @@ const MAX_SPANS_PER_TRACE: usize = 1024;
 /// Completed retained traces kept in memory (oldest evicted first).
 const MAX_RETAINED_TRACES: usize = 4096;
 
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+use crate::rng::splitmix64;
 
 /// Identity of one trace. Rendered as 16 lower-case hex digits in every
 /// JSON surface (a raw `u64` can exceed 2^53 and lose precision in
@@ -72,6 +67,30 @@ impl TraceId {
     /// 16-digit lower-case hex rendering, the canonical JSON form.
     pub fn to_hex(&self) -> String {
         format!("{:016x}", self.0)
+    }
+
+    /// Parse the canonical 16-hex-digit rendering (the wire form used by
+    /// `odt-wire/v1` trace propagation). Rejects empty, oversized, non-hex
+    /// and zero ids — `0` is never a valid trace identity.
+    pub fn from_hex(s: &str) -> Option<TraceId> {
+        if s.is_empty() || s.len() > 16 {
+            return None;
+        }
+        let raw = u64::from_str_radix(s, 16).ok()?;
+        if raw == 0 {
+            None
+        } else {
+            Some(TraceId(raw))
+        }
+    }
+
+    /// A trace id from a raw non-zero u64 (`None` for 0).
+    pub fn from_raw(raw: u64) -> Option<TraceId> {
+        if raw == 0 {
+            None
+        } else {
+            Some(TraceId(raw))
+        }
     }
 }
 
@@ -445,6 +464,34 @@ pub fn root_span(name: &'static str) -> RootSpan {
     let k = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
     let sampled = every == 1 || k % every == 0;
     let trace = TraceId(splitmix64(TRACE_ID_SEED.wrapping_add(k)).max(1));
+    open_root(name, trace, sampled)
+}
+
+/// Open a root span *adopting* a caller-supplied trace id — how the
+/// networked serving layer continues a trace begun by a remote client
+/// (the id travels in the `odt-wire/v1` request frame). Adopted traces
+/// are always treated as head-sampled: the client explicitly asked for
+/// this trace, so it is never dropped by local 1-in-N sampling. If the
+/// id is already active in this process (two clients reusing an id), a
+/// locally-minted id is used instead so the traces stay separable.
+pub fn root_span_adopted(name: &'static str, trace: TraceId) -> RootSpan {
+    if sample_every() == 0 {
+        return RootSpan { inner: None };
+    }
+    let collision = {
+        let st = store().lock().expect("trace store poisoned");
+        st.active.contains_key(&trace.raw())
+    };
+    let trace = if collision {
+        let k = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
+        TraceId(splitmix64(TRACE_ID_SEED.wrapping_add(k)).max(1))
+    } else {
+        trace
+    };
+    open_root(name, trace, true)
+}
+
+fn open_root(name: &'static str, trace: TraceId, sampled: bool) -> RootSpan {
     let start_us = now_us();
     let tid = thread_ordinal();
     {
@@ -842,6 +889,46 @@ mod tests {
             splitmix64(TRACE_ID_SEED.wrapping_add(k + 1)).max(1),
             kb.raw()
         );
+    }
+
+    #[test]
+    fn adopted_root_spans_carry_the_wire_trace_id() {
+        let _g = lock_tests();
+        set_sample_every(u64::MAX); // local head sampling would drop all
+        let wire = TraceId::from_hex("00000000deadbeef").expect("valid hex id");
+        {
+            let root = root_span_adopted("test.trace.adopted", wire);
+            assert_eq!(root.trace_id(), Some(wire));
+            let _c = crate::span("test.trace.adopted_child");
+        }
+        // A collision (same id while the first is still open) re-mints.
+        let outer = root_span_adopted("test.trace.adopted", wire);
+        let inner = root_span_adopted("test.trace.adopted", wire);
+        let inner_id = inner.trace_id().unwrap();
+        assert_ne!(inner_id, wire, "colliding adoption must re-mint");
+        drop(inner);
+        drop(outer);
+        set_sample_every(0);
+        let traces = retained_traces();
+        let t = traces
+            .iter()
+            .find(|t| t.trace_id == wire && t.root_name == "test.trace.adopted")
+            .expect("adopted trace retained despite 1-in-N sampling");
+        assert!(t.sampled, "adoption implies sampling");
+        assert!(t.spans.iter().any(|s| s.name == "test.trace.adopted_child"));
+        assert!(traces.iter().any(|t| t.trace_id == inner_id));
+    }
+
+    #[test]
+    fn from_hex_round_trips_and_rejects_junk() {
+        let id = TraceId::from_raw(0xabc0_0000_0000_0001).unwrap();
+        assert_eq!(TraceId::from_hex(&id.to_hex()), Some(id));
+        for bad in ["", "0", "zz", "00000000000000000", "0x12"] {
+            assert_eq!(TraceId::from_hex(bad), None, "{bad:?}");
+        }
+        assert_eq!(TraceId::from_raw(0), None);
+        // Short forms parse (leading zeros optional on the wire).
+        assert_eq!(TraceId::from_hex("ff").map(|t| t.raw()), Some(0xff));
     }
 
     #[test]

@@ -15,33 +15,11 @@ use crate::ladder::Rung;
 use crate::queue::ShedPolicy;
 use odt_obs::{event, Level};
 
-/// A tiny, fast, seedable PRNG (SplitMix64). Std-only on purpose: the
-/// fault path must not share state with the model's `rand` RNGs, and the
-/// stream must be reproducible from the seed alone.
-pub struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    /// A generator seeded with `seed`.
-    pub fn new(seed: u64) -> Self {
-        SplitMix64 { state: seed }
-    }
-
-    /// Next raw 64-bit draw.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform draw in `[0, 1)`.
-    pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
+/// The workspace-shared seedable PRNG driving the fault stream (one
+/// implementation for chaos, tracing and the load generator — see
+/// `odt_obs::rng`). Re-exported here so existing `odt_serve::SplitMix64`
+/// users keep compiling.
+pub use odt_obs::rng::SplitMix64;
 
 /// One injected fault.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -448,22 +426,6 @@ pub fn scenarios(seed: u64) -> Vec<ScenarioSpec> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn splitmix_is_deterministic_and_uniformish() {
-        let mut a = SplitMix64::new(7);
-        let mut b = SplitMix64::new(7);
-        let mut lo = 0usize;
-        for _ in 0..1_000 {
-            let x = a.next_f64();
-            assert_eq!(x, b.next_f64());
-            assert!((0.0..1.0).contains(&x));
-            if x < 0.5 {
-                lo += 1;
-            }
-        }
-        assert!((350..=650).contains(&lo), "{lo} of 1000 below 0.5");
-    }
 
     #[test]
     fn injector_respects_probabilities_and_replays() {

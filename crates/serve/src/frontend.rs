@@ -99,14 +99,24 @@ pub struct Request<Q> {
     pub query: Q,
     /// Absolute deadline (µs since the frontend epoch).
     pub deadline_us: u64,
+    /// A caller-propagated trace id (the `odt-wire/v1` `trace` field):
+    /// when set, the request's root span *adopts* it instead of minting a
+    /// local id, so client and server observe the same trace.
+    pub wire_trace: Option<odt_obs::TraceId>,
 }
 
 /// Why a request was refused instead of served.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ShedReason {
-    /// The admission queue was full (under either shed policy).
+    /// The admission queue was full (under either shed policy) and the
+    /// refused request still had deadline budget left.
     QueueFull,
-    /// The deadline expired while the request waited in the queue.
+    /// The request's deadline expired *while it sat in the queue*: either
+    /// discovered at dequeue, or — under [`ShedPolicy::RejectOldest`] —
+    /// when the already-expired oldest request was evicted to admit a
+    /// fresh one. Distinct from [`ShedReason::QueueFull`] so overload
+    /// accounting separates "refused for capacity" from "waited too long"
+    /// (the wire error code mirrors this split).
     DeadlineExpiredInQueue,
     /// The executor's admission check rejected the query.
     InvalidQuery,
@@ -116,11 +126,11 @@ pub enum ShedReason {
 }
 
 impl ShedReason {
-    /// Short tag for reports.
+    /// Short tag for reports and wire error codes.
     pub fn name(&self) -> &'static str {
         match self {
             ShedReason::QueueFull => "queue_full",
-            ShedReason::DeadlineExpiredInQueue => "deadline_expired_in_queue",
+            ShedReason::DeadlineExpiredInQueue => "queue_expired",
             ShedReason::InvalidQuery => "invalid_query",
             ShedReason::Internal => "internal",
         }
@@ -182,9 +192,12 @@ pub struct FrontendSnapshot {
     pub admitted: u64,
     /// Requests answered by some rung.
     pub served: u64,
-    /// Sheds because the queue was full.
+    /// Sheds because the queue was full (the refused request still had
+    /// budget left).
     pub shed_queue_full: u64,
-    /// Sheds because the deadline expired while queued.
+    /// Sheds because the deadline expired while queued (`queue_expired`):
+    /// discovered at dequeue, or evicted-already-expired under
+    /// [`ShedPolicy::RejectOldest`].
     pub shed_deadline: u64,
     /// Sheds by the executor's admission check.
     pub shed_invalid: u64,
@@ -316,10 +329,31 @@ impl<E: RungExecutor> ServeFrontend<E> {
         }
     }
 
+    /// The id the *next* submit will be assigned. Callers correlating
+    /// frontend ids with their own (the network bridge) read this before
+    /// submitting: under [`ShedPolicy::RejectOldest`] a submit can
+    /// return another request's shed response while the submitted
+    /// request itself was admitted under this id.
+    pub fn next_request_id(&self) -> u64 {
+        self.next_id
+    }
+
     /// Submit one request. `deadline_us` is a *budget* from now (the
     /// configured default when `None`). Returns the assigned id, or the
     /// shed response if the request never made it into the queue.
     pub fn submit(&mut self, query: E::Query, deadline_us: Option<u64>) -> Result<u64, Response> {
+        self.submit_traced(query, deadline_us, None)
+    }
+
+    /// [`Self::submit`] with a caller-propagated trace id (the networked
+    /// frontend passes the client's `odt-wire/v1` trace here, so server
+    /// spans join the client's trace instead of minting a fresh id).
+    pub fn submit_traced(
+        &mut self,
+        query: E::Query,
+        deadline_us: Option<u64>,
+        wire_trace: Option<odt_obs::TraceId>,
+    ) -> Result<u64, Response> {
         let id = self.next_id;
         self.next_id += 1;
         self.snap.submitted += 1;
@@ -342,6 +376,7 @@ impl<E: RungExecutor> ServeFrontend<E> {
             id,
             query,
             deadline_us: now.saturating_add(budget),
+            wire_trace,
         };
         match self.queue.push(req, now) {
             Ok(()) => {
@@ -349,14 +384,36 @@ impl<E: RungExecutor> ServeFrontend<E> {
                 Ok(id)
             }
             Err(shed) => {
-                self.snap.shed_queue_full += 1;
+                // Under reject-oldest the evicted request is the longest
+                // waiter; if its deadline has *already passed* it would
+                // have been a `queue_expired` shed at dequeue anyway —
+                // count it as such (typed, not folded into queue_full).
+                let expired = shed.deadline_us <= now && shed.id != id;
+                let reason = if expired {
+                    ShedReason::DeadlineExpiredInQueue
+                } else {
+                    ShedReason::QueueFull
+                };
+                if expired {
+                    self.snap.shed_deadline += 1;
+                } else {
+                    self.snap.shed_queue_full += 1;
+                }
                 event(Level::Warn, "serve.request.shed")
-                    .field("reason", ShedReason::QueueFull.name())
+                    .field("reason", reason.name())
                     .emit();
+                let detail = if expired {
+                    format!(
+                        "expired {}us before eviction from a full queue",
+                        now - shed.deadline_us
+                    )
+                } else {
+                    format!("queue at capacity {}", self.queue.capacity())
+                };
                 Err(Response::Shed {
                     id: shed.id,
-                    reason: ShedReason::QueueFull,
-                    detail: format!("queue at capacity {}", self.queue.capacity()),
+                    reason,
+                    detail,
                 })
             }
         }
@@ -395,8 +452,12 @@ impl<E: RungExecutor> ServeFrontend<E> {
         // Root span for the whole request (inert when tracing is off).
         // While it lives, every span/event/histogram sample on this thread
         // — and, via pool context propagation, on compute workers — is
-        // attributed to this request's trace.
-        let root = odt_obs::trace::root_span("serve.request");
+        // attributed to this request's trace. A wire-propagated client
+        // trace id is adopted so the client and server share one trace.
+        let root = match req.wire_trace {
+            Some(id) => odt_obs::trace::root_span_adopted("serve.request", id),
+            None => odt_obs::trace::root_span("serve.request"),
+        };
         root.set_request_id(req.id);
         odt_obs::trace::record_backdated_span("serve.queue_wait", queue_wait_us);
         let mut floor = 0usize;
@@ -527,6 +588,12 @@ impl<E: RungExecutor> ServeFrontend<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serialize tests that toggle the process-global trace sampling rate.
+    fn trace_test_gate() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     /// Scriptable executor: per-rung behavior, switchable mid-test.
     struct MockExec {
@@ -733,6 +800,7 @@ mod tests {
                 Ok(1.0)
             }
         }
+        let _gate = trace_test_gate();
         odt_obs::trace::set_sample_every(1);
         let mut fe = ServeFrontend::new(
             SlowExec,
@@ -775,6 +843,101 @@ mod tests {
         let slo = fe.snapshot().slo.expect("slo monitor configured");
         assert_eq!(slo.total, 1);
         assert_eq!(slo.errors, 1, "breach counts against the SLO");
+    }
+
+    #[test]
+    fn zero_budget_at_dequeue_is_a_typed_rejection_not_a_panic() {
+        // A request whose budget is already gone when it is dequeued must
+        // shed with the typed queue_expired reason — straight out, no rung
+        // attempt, no panic (satellite: the zero/negative-budget boundary).
+        let mut fe = ServeFrontend::new(MockExec::healthy(), cfg());
+        let out = fe.process_wave([("od", Some(0u64))]);
+        match &out[0] {
+            Response::Shed { reason, .. } => {
+                assert_eq!(*reason, ShedReason::DeadlineExpiredInQueue);
+                assert_eq!(reason.name(), "queue_expired");
+            }
+            other => panic!("expected queue_expired shed, got {other:?}"),
+        }
+        let s = fe.snapshot();
+        assert_eq!(s.shed_deadline, 1);
+        assert_eq!(s.served, 0);
+        // The executor was never invoked for the expired request.
+        assert!(fe.executor_mut().calls.is_empty());
+    }
+
+    #[test]
+    fn reject_oldest_eviction_of_expired_request_counts_queue_expired() {
+        let mut fe = ServeFrontend::new(
+            MockExec::healthy(),
+            FrontendConfig {
+                queue_capacity: 1,
+                shed_policy: ShedPolicy::RejectOldest,
+                ..cfg()
+            },
+        );
+        // First request: zero budget, so it is expired the moment it sits
+        // in the queue. Second request evicts it (capacity 1).
+        let a = fe.submit("a", Some(0));
+        assert!(a.is_ok(), "first request admits");
+        let b = fe.submit("b", Some(1_000_000));
+        match b {
+            Err(Response::Shed { id, reason, .. }) => {
+                assert_eq!(id, 0, "the evicted oldest request is the shed one");
+                assert_eq!(reason, ShedReason::DeadlineExpiredInQueue);
+            }
+            other => panic!("expected eviction shed, got {other:?}"),
+        }
+        let s = fe.snapshot();
+        assert_eq!(
+            (s.shed_deadline, s.shed_queue_full),
+            (1, 0),
+            "expired eviction is queue_expired, not folded into queue_full"
+        );
+        // The fresh request still serves.
+        let out = fe.drain();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_served());
+    }
+
+    #[test]
+    fn reject_oldest_eviction_of_live_request_still_counts_queue_full() {
+        let mut fe = ServeFrontend::new(
+            MockExec::healthy(),
+            FrontendConfig {
+                queue_capacity: 1,
+                shed_policy: ShedPolicy::RejectOldest,
+                ..cfg()
+            },
+        );
+        fe.submit("a", Some(1_000_000)).unwrap();
+        match fe.submit("b", Some(1_000_000)) {
+            Err(Response::Shed { reason, .. }) => {
+                assert_eq!(reason, ShedReason::QueueFull);
+            }
+            other => panic!("expected queue_full shed, got {other:?}"),
+        }
+        let s = fe.snapshot();
+        assert_eq!((s.shed_deadline, s.shed_queue_full), (0, 1));
+    }
+
+    #[test]
+    fn wire_trace_ids_are_adopted_by_the_request_root_span() {
+        let _gate = trace_test_gate();
+        odt_obs::trace::set_sample_every(u64::MAX); // sampling would drop
+        let wire = odt_obs::TraceId::from_hex("0000000000c0ffee").unwrap();
+        let mut fe = ServeFrontend::new(MockExec::healthy(), cfg());
+        fe.submit_traced("od", None, Some(wire)).unwrap();
+        let out = fe.drain();
+        odt_obs::trace::set_sample_every(0);
+        assert!(out[0].is_served());
+        let traces = odt_obs::trace::retained_traces();
+        let t = traces
+            .iter()
+            .find(|t| t.trace_id == wire)
+            .expect("adopted wire trace retained");
+        assert_eq!(t.root_name, "serve.request");
+        assert_eq!(t.request_id, Some(0));
     }
 
     #[test]

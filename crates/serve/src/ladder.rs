@@ -203,6 +203,38 @@ mod tests {
     }
 
     #[test]
+    fn zero_remaining_budget_never_panics_and_goes_straight_down() {
+        // The dequeue-time boundary: a request whose budget is already
+        // exhausted (remaining saturates to 0) must select without
+        // panicking, and can only land on a zero-cost rung or the prior
+        // (terminal) fallback — never a rung that "costs" anything.
+        let all = |_: Rung| true;
+        for costs in [
+            [100_000u64, 20_000, 5_000, 10],
+            [0, 0, 0, 0],
+            [u64::MAX, u64::MAX, u64::MAX, u64::MAX],
+            [0, u64::MAX, 0, 1],
+        ] {
+            let pick = select_from_costs(&costs, 0, all);
+            assert!(
+                costs[pick.index()] == 0 || pick.is_terminal(),
+                "budget 0 picked {pick:?} with cost {} (costs {costs:?})",
+                costs[pick.index()]
+            );
+        }
+        // With every breaker open and no budget, the terminal prior rung
+        // still answers.
+        assert_eq!(
+            select_from_costs(&[0, 0, 0, 0], 0, |_| false),
+            Rung::Fallback
+        );
+        // The live ladder agrees at the same boundary.
+        let ladder = LatencyLadder::new(LadderConfig::default());
+        let pick = ladder.select(0, all);
+        assert!(ladder.cost_us(pick) == 0 || pick.is_terminal());
+    }
+
+    #[test]
     fn selection_is_monotone_on_a_cost_grid() {
         // Exhaustive small-grid check of the proptested invariant.
         let grids: [[u64; 4]; 4] = [

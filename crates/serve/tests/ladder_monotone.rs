@@ -81,6 +81,45 @@ proptest! {
         prop_assert!(pick_lo.index() >= pick_hi.index());
     }
 
+    /// The zero/negative-budget boundary: when the remaining deadline
+    /// budget is already exhausted at dequeue (a negative budget saturates
+    /// to 0 upstream), selection must never panic and must go straight to
+    /// a free rung or the terminal prior — it cannot pick a rung whose
+    /// cost estimate is nonzero, for any cost snapshot or breaker mask.
+    #[test]
+    fn zero_budget_selection_is_total_and_free(
+        costs in prop::array::uniform4(0u64..u64::MAX),
+        mask in 0u8..16,
+    ) {
+        let usable = usable_fn(mask);
+        let pick = select_from_costs(&costs, 0, &usable);
+        prop_assert!(
+            costs[pick.index()] == 0 || pick.is_terminal(),
+            "budget 0 picked {pick:?} with cost {} (costs {costs:?}, mask {mask:#06b})",
+            costs[pick.index()]
+        );
+        prop_assert!(usable(pick) || pick.is_terminal());
+        // And the boundary is consistent with monotonicity: no positive
+        // budget may pick a *higher*-index rung than budget 0 does.
+        let pick_one = select_from_costs(&costs, 1, &usable);
+        prop_assert!(pick.index() >= pick_one.index());
+    }
+
+    /// The live ladder at the same boundary: arbitrary observations, then
+    /// a zero-budget selection — total, and only free-or-terminal.
+    #[test]
+    fn live_ladder_zero_budget_is_total(
+        obs in prop::collection::vec((0usize..4, 0u64..500_000), 0..64),
+        mask in 0u8..16,
+    ) {
+        let ladder = LatencyLadder::new(LadderConfig::default());
+        for (rung_idx, micros) in obs {
+            ladder.observe(Rung::from_index(rung_idx), micros);
+        }
+        let pick = ladder.select(0, usable_fn(mask));
+        prop_assert!(ladder.cost_us(pick) == 0 || pick.is_terminal());
+    }
+
     /// The terminal fallback answers every query with a finite,
     /// non-negative travel time — even for absurd or non-finite inputs.
     #[test]

@@ -39,6 +39,7 @@
 //! | [`odt_baselines`] | the paper's twelve comparison methods + DeepTEA |
 //! | [`odt_core`] | the DOT framework and oracle API |
 //! | [`odt_serve`] | deadline-aware serving frontend: admission queue, degradation ladder, circuit breakers, chaos harness |
+//! | [`odt_net`] | hardened TCP serving layer: `odt-wire/v1` framing, backpressure, graceful drain, load generator |
 //! | [`odt_eval`] | metrics and the table/figure harness |
 //! | [`odt_obs`] | structured events, metrics, span timers (zero-dep) |
 
@@ -50,6 +51,7 @@ pub use odt_core as dot;
 pub use odt_diffusion as diffusion;
 pub use odt_estimator as estimator;
 pub use odt_eval as eval;
+pub use odt_net as net;
 pub use odt_nn as nn;
 pub use odt_obs as obs;
 pub use odt_roadnet as roadnet;
