@@ -13,11 +13,11 @@
 //! trace of the retained requests) and `BENCH_serving_spans.jsonl` (the
 //! span stream consumed by the `trace_report` eval binary).
 //!
-//! Schema (`odt-bench-serving/v3`):
+//! Schema (`odt-bench-serving/v4`):
 //!
 //! ```json
 //! {
-//!   "schema": "odt-bench-serving/v3",
+//!   "schema": "odt-bench-serving/v4",
 //!   "threads": usize,        // odt-compute pool width
 //!   "quick": bool,
 //!   "batch_size": usize,
@@ -26,6 +26,14 @@
 //!   "sequential": { "queries": usize, "seconds": f64, "per_query_ms": f64 },
 //!   "batched":    { "queries": usize, "seconds": f64, "per_query_ms": f64 },
 //!   "speedup": f64,          // sequential.seconds / batched.seconds
+//!   "quality_overhead": {    // shadow quality observer cost (odt_serve::shadow)
+//!     "queries": usize,
+//!     "observer_off": { "p50_ms": f64, "p99_ms": f64 },
+//!     "observer_on":  { "p50_ms": f64, "p99_ms": f64,
+//!                       "scored": u64, "mae_s": f64 },
+//!     "delta_p50_ms": f64,   // on - off; the observer's per-request cost
+//!     "delta_p99_ms": f64
+//!   },
 //!   "deadline_sweep": [      // one entry per --deadline-ms value
 //!     { "deadline_ms": u64, "submitted": u64, "served": u64, "shed": u64,
 //!       "sla_attainment": f64,   // deadline_met / submitted
@@ -46,6 +54,7 @@
 
 use odt_core::{Dot, DotConfig};
 use odt_serve::{dot_frontend, ChaosConfig, DotFrontendConfig, FrontendConfig};
+use odt_serve::{ShadowConfig, ShadowScorer};
 use odt_traj::{OdtInput, Split};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -136,6 +145,67 @@ fn main() {
         per_ms(bat_s)
     );
 
+    // Quality-observer overhead: per-request service time with and
+    // without the shadow scorer interleaved between requests, the way
+    // the dispatcher's on_tick interleaves it with live traffic. The
+    // dispatcher thread is serial, so a request arriving during a
+    // scoring step waits behind it — the honest per-request cost is
+    // time(step + estimate), throttled exactly as in production
+    // (ShadowConfig::default's min_interval). p50 should not move;
+    // p99 absorbs the occasional batch-of-8 scoring spike.
+    let quantile_ms = |sorted_us: &[u64], q: f64| {
+        let i = ((sorted_us.len() as f64 - 1.0) * q).round() as usize;
+        sorted_us[i] as f64 / 1_000.0
+    };
+    // Enough iterations (cycling the query set) that the production
+    // throttle lets several scoring steps fire during the timed loop.
+    let iters = n.max(96);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut lat_off: Vec<u64> = Vec::with_capacity(iters);
+    for q in queries.iter().cycle().take(iters) {
+        let t = Instant::now();
+        let _ = model.estimate(q, &mut rng);
+        lat_off.push(t.elapsed().as_micros() as u64);
+    }
+    let holdout: Vec<(OdtInput, f64)> = data
+        .split(Split::Test)
+        .iter()
+        .take(64)
+        .map(|t| (OdtInput::from_trajectory(t), t.travel_time()))
+        .collect();
+    let mut scorer = ShadowScorer::new(holdout, ShadowConfig::default());
+    let mut shadow_rng = StdRng::seed_from_u64(13);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut lat_on: Vec<u64> = Vec::with_capacity(iters);
+    for q in queries.iter().cycle().take(iters) {
+        let t = Instant::now();
+        scorer.step(odt_obs::trace::now_us(), |qs: &[OdtInput]| {
+            model
+                .estimate_batch(qs, &mut shadow_rng)
+                .into_iter()
+                .map(|e| e.seconds)
+                .collect()
+        });
+        let _ = model.estimate(q, &mut rng);
+        lat_on.push(t.elapsed().as_micros() as u64);
+    }
+    lat_off.sort_unstable();
+    lat_on.sort_unstable();
+    let (off_p50, off_p99) = (quantile_ms(&lat_off, 0.50), quantile_ms(&lat_off, 0.99));
+    let (on_p50, on_p99) = (quantile_ms(&lat_on, 0.50), quantile_ms(&lat_on, 0.99));
+    let q_snap = scorer.quality(odt_obs::trace::now_us());
+    let shadow_mae = if q_snap.mae_s.is_finite() {
+        q_snap.mae_s
+    } else {
+        0.0
+    };
+    let scored = scorer.scored();
+    let (d50, d99) = (on_p50 - off_p50, on_p99 - off_p99);
+    println!(
+        "quality observer: off p50/p99 {off_p50:.2}/{off_p99:.2} ms, on {on_p50:.2}/{on_p99:.2} ms \
+         (delta {d50:+.2}/{d99:+.2}), {scored} shadow-scored (mae {shadow_mae:.1}s)"
+    );
+
     // Deadline sweep: the same queries through the odt-serve frontend at
     // each deadline, recording which degradation-ladder rung answered.
     let deadlines_ms: Vec<u64> = match arg_value("--deadline-ms") {
@@ -223,12 +293,18 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"schema\": \"odt-bench-serving/v3\",\n  \"threads\": {},\n  \
+        "{{\n  \"schema\": \"odt-bench-serving/v4\",\n  \"threads\": {},\n  \
          \"quick\": {},\n  \"batch_size\": {},\n  \"lg\": {},\n  \
          \"train_seconds\": {:.3},\n  \
          \"sequential\": {{ \"queries\": {}, \"seconds\": {:.6}, \"per_query_ms\": {:.4} }},\n  \
          \"batched\": {{ \"queries\": {}, \"seconds\": {:.6}, \"per_query_ms\": {:.4} }},\n  \
-         \"speedup\": {:.4},\n  \"deadline_sweep\": [\n{}\n  ],\n  \
+         \"speedup\": {:.4},\n  \
+         \"quality_overhead\": {{ \"queries\": {iters}, \
+         \"observer_off\": {{ \"p50_ms\": {off_p50:.4}, \"p99_ms\": {off_p99:.4} }}, \
+         \"observer_on\": {{ \"p50_ms\": {on_p50:.4}, \"p99_ms\": {on_p99:.4}, \
+         \"scored\": {scored}, \"mae_s\": {shadow_mae:.3} }}, \
+         \"delta_p50_ms\": {d50:.4}, \"delta_p99_ms\": {d99:.4} }},\n  \
+         \"deadline_sweep\": [\n{}\n  ],\n  \
          \"trace\": {{ \"enabled\": {}, \"sample_every\": {}, \"finished\": {}, \
          \"retained\": {}, \"p99_exemplar\": {}, \"chrome_trace\": {}, \
          \"spans_jsonl\": {} }}\n}}\n",

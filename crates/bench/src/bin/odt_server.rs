@@ -3,45 +3,65 @@
 //! Trains a small DOT oracle on simulated Chengdu-like data, then serves
 //! it through the hardened `odt-net` frontend: bounded admission, typed
 //! overload errors, per-connection backpressure, and graceful drain on
-//! SIGTERM/ctrl-c.
+//! SIGTERM/ctrl-c. With `--admin`, a live introspection plane rides
+//! along on a second port: Prometheus `/metrics`, `/healthz`/`/readyz`
+//! probes, `/varz`/`/tracez` JSON and `POST /flightrec`.
 //!
 //! ```text
-//! odt_server [--addr <host:port>] [--quick] [--max-conns <n>]
-//!            [--max-inflight <n>] [--drain-budget-ms <ms>]
-//!            [--max-run-s <s>] [--report <path>] [--seed <u64>]
+//! odt_server [--addr <host:port>] [--admin <host:port>] [--quick]
+//!            [--holdout <n>] [--max-conns <n>] [--max-inflight <n>]
+//!            [--drain-budget-ms <ms>] [--max-run-s <s>]
+//!            [--report <path>] [--seed <u64>]
 //! ```
 //!
 //! * `--addr`        — listen address (default `127.0.0.1:7878`; port `0`
-//!                     picks a free port, printed on the ready line).
+//!                     picks a free port, printed on the listening line).
+//! * `--admin`       — admin plane address (e.g. `127.0.0.1:9878`; port
+//!                     `0` works; omitted = no admin plane).
 //! * `--quick`       — tiny model, CI smoke mode.
+//! * `--holdout`     — ground-truth trajectories shadow-scored on idle
+//!                     ticks for model-quality telemetry (default 64;
+//!                     `0` disables the quality observer).
 //! * `--max-run-s`   — self-drain after this many seconds even without a
 //!                     signal (CI watchdog; default: run until signaled).
 //! * `--report`      — final JSON report path (default
 //!                     `BENCH_net_server.json`).
 //!
-//! Startup prints two machine-readable lines:
+//! Startup prints machine-readable lines in this order:
 //!
 //! ```text
+//! odt_server listening on <addr>      # socket bound; NOT ready yet
+//! odt_server admin on <addr>          # only with --admin
 //! odt_server region <lng0>,<lat0>,<lng1>,<lat1>
-//! odt_server listening on <addr>
+//! odt_server ready                    # model trained; /readyz flips 200
 //! ```
 //!
-//! The region line is the box strict admission accepts queries from —
-//! point `odt_loadgen --region` at it. The listening line is the ready
-//! signal. On drain the final report (`odt-net-server/v1`) carries the
-//! connection counters (leak check: `conns.active == 0`), the frontend
-//! snapshot (typed shed reasons, rung hits, SLO burn rates), the count
-//! of adopted wire trace ids, and the drain outcome; the exit status is
-//! non-zero if the drain was forced or leaked connections.
+//! The listening line appears at bind time — the server accepts (and
+//! queues) connections while the model still trains, and `/healthz`
+//! answers from the admin line onward. **`odt_server ready` is the
+//! routable-traffic signal**: scripts must key off it (or poll
+//! `/readyz`, which flips 503 → 200 at the same instant), not off the
+//! listening line. On drain the final report (`odt-net-server/v2`)
+//! carries the connection counters (leak check: `conns.active == 0`),
+//! the frontend snapshot (typed shed reasons, rung hits, SLO burn
+//! rates), adopted wire trace ids, admin-plane and model-quality
+//! summaries, and the drain outcome; the exit status is non-zero if the
+//! drain was forced or leaked connections.
 
 use odt_core::{Dot, DotConfig};
+use odt_net::admin::{render_varz, start_admin, AdminConfig, AdminSources};
 use odt_net::loadgen::Region;
-use odt_net::server::{FrontendBridge, ServerConfig};
+use odt_net::server::{FrontendBridge, ServerConfig, SharedFrontendStats};
 use odt_net::signal;
+use odt_obs::QualitySnapshot;
 use odt_roadnet::LngLat;
 use odt_serve::{dot_frontend, ChaosConfig, DotFrontendConfig, FrontendConfig};
+use odt_serve::{ShadowConfig, ShadowScorer};
 use odt_traj::{Dataset, GridSpec, OdtInput, Split};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::io::Write as _;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 fn arg_flag(name: &str) -> bool {
@@ -111,10 +131,14 @@ fn main() {
 
     let quick = arg_flag("--quick");
     let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let admin_addr = arg_value("--admin");
     let report_path = arg_value("--report").unwrap_or_else(|| "BENCH_net_server.json".to_string());
     let seed: u64 = arg_value("--seed")
         .map(|v| v.parse().expect("--seed must be an integer"))
         .unwrap_or(7);
+    let holdout_n: usize = arg_value("--holdout")
+        .map(|v| v.parse().expect("--holdout must be an integer"))
+        .unwrap_or(64);
     let max_run_s: Option<u64> =
         arg_value("--max-run-s").map(|v| v.parse().expect("--max-run-s must be an integer"));
 
@@ -132,58 +156,138 @@ fn main() {
         cfg.drain_budget_ms = v.parse().expect("--drain-budget-ms must be an integer");
     }
 
+    // Latest shadow-scored quality snapshot, published by the dispatcher
+    // tick for `/varz` and the final report.
+    let quality_slot: Arc<Mutex<Option<QualitySnapshot>>> = Arc::new(Mutex::new(None));
+
     // The DOT model's parameters are `Rc`-based (thread-local), so the
-    // whole serving stack — train, warm up, bridge — is built *on* the
-    // dispatcher thread via the factory. The channel hands the stats
-    // handle and the admission region back out, and doubles as the
-    // "model ready" barrier: the listening line prints only after it.
+    // whole serving stack — train, warm up, bridge, shadow scorer — is
+    // built *on* the dispatcher thread via the factory. The channel hands
+    // the stats handle and the admission region back out, and doubles as
+    // the "model ready" barrier: the ready line prints only after it.
     println!("odt_server: training oracle (quick={quick})");
     let (ready_tx, ready_rx) = std::sync::mpsc::channel();
-    let handle = odt_net::server::start_with(cfg, move || {
-        let data = server_dataset(quick);
-        let t0 = Instant::now();
-        let model: &'static Dot = Box::leak(Box::new(server_model(&data, quick)));
-        let train_s = t0.elapsed().as_secs_f64();
-        let fe_cfg = FrontendConfig {
-            slo: Some(odt_obs::slo::BurnRateConfig::for_drill()),
-            ..FrontendConfig::default()
-        };
-        let mut fe = dot_frontend(
-            model,
-            DotFrontendConfig::default(),
-            fe_cfg,
-            ChaosConfig::quiet(seed),
-        );
-        let warmup: Vec<OdtInput> = data
-            .split(Split::Test)
-            .iter()
-            .take(2)
-            .map(OdtInput::from_trajectory)
-            .collect();
-        fe.warmup(&warmup);
-        let mut bridge = FrontendBridge::new(fe, |q: &odt_net::wire::WireQuery| OdtInput {
-            origin: LngLat {
-                lng: q.o_lng,
-                lat: q.o_lat,
-            },
-            dest: LngLat {
-                lng: q.d_lng,
-                lat: q.d_lat,
-            },
-            t_dep: q.t_dep,
-        });
-        let _ = ready_tx.send((bridge.shared_stats(), region_of(model.grid()), train_s));
-        bridge
-    })
-    .expect("binding the listen address");
+    let handle = {
+        let quality_slot = Arc::clone(&quality_slot);
+        odt_net::server::start_with(cfg, move || {
+            let data = server_dataset(quick);
+            let t0 = Instant::now();
+            let model: &'static Dot = Box::leak(Box::new(server_model(&data, quick)));
+            let train_s = t0.elapsed().as_secs_f64();
+            let fe_cfg = FrontendConfig {
+                slo: Some(odt_obs::slo::BurnRateConfig::for_drill()),
+                ..FrontendConfig::default()
+            };
+            let mut fe = dot_frontend(
+                model,
+                DotFrontendConfig::default(),
+                fe_cfg,
+                ChaosConfig::quiet(seed),
+            );
+            let warmup: Vec<OdtInput> = data
+                .split(Split::Test)
+                .iter()
+                .take(2)
+                .map(OdtInput::from_trajectory)
+                .collect();
+            fe.warmup(&warmup);
+            let mut bridge = FrontendBridge::new(fe, |q: &odt_net::wire::WireQuery| OdtInput {
+                origin: LngLat {
+                    lng: q.o_lng,
+                    lat: q.o_lat,
+                },
+                dest: LngLat {
+                    lng: q.d_lng,
+                    lat: q.d_lat,
+                },
+                t_dep: q.t_dep,
+            });
+            if holdout_n > 0 {
+                // Shadow quality observer: ground-truth test trajectories
+                // replayed through the live oracle on idle ticks. Drift
+                // alerts route through the tracker into the SLO monitor
+                // and the flight recorder (odt_obs::quality).
+                let holdout: Vec<(OdtInput, f64)> = data
+                    .split(Split::Test)
+                    .iter()
+                    .take(holdout_n)
+                    .map(|t| (OdtInput::from_trajectory(t), t.travel_time()))
+                    .collect();
+                let shadow_cfg = ShadowConfig {
+                    quality: odt_obs::QualityConfig {
+                        slo: Some(odt_obs::slo::BurnRateConfig::default()),
+                        ..odt_obs::QualityConfig::default()
+                    },
+                    ..ShadowConfig::default()
+                };
+                let mut scorer = ShadowScorer::new(holdout, shadow_cfg);
+                let mut shadow_rng = StdRng::seed_from_u64(seed ^ 0x5AD0);
+                bridge.set_tick(move || {
+                    let now = odt_obs::trace::now_us();
+                    let scored = scorer.step(now, |qs: &[OdtInput]| {
+                        model
+                            .estimate_batch(qs, &mut shadow_rng)
+                            .into_iter()
+                            .map(|e| e.seconds)
+                            .collect()
+                    });
+                    if scored > 0 {
+                        *quality_slot.lock().unwrap() = Some(scorer.quality(now));
+                    }
+                });
+            }
+            let _ = ready_tx.send((bridge.shared_stats(), region_of(model.grid()), train_s));
+            bridge
+        })
+        .expect("binding the listen address")
+    };
     let bound = handle.addr();
+    println!("odt_server listening on {bound}");
+    let _ = std::io::stdout().flush();
+
+    // The admin plane comes up before the model finishes: /healthz is
+    // green from here, /readyz stays 503 until the factory signals.
+    let admin = admin_addr.map(|a| {
+        let stats_handle = handle.stats_handle();
+        let fe_slot: Arc<Mutex<Option<SharedFrontendStats>>> = Arc::new(Mutex::new(None));
+        let varz_fe = Arc::clone(&fe_slot);
+        let varz_quality = Arc::clone(&quality_slot);
+        let admin = start_admin(
+            AdminConfig {
+                addr: a,
+                ..AdminConfig::default()
+            },
+            AdminSources {
+                varz: Some(Box::new(move || {
+                    let fe_pair = varz_fe.lock().unwrap().as_ref().map(|s| s.get());
+                    let quality = varz_quality.lock().unwrap().clone();
+                    render_varz(
+                        stats_handle.state_name(),
+                        &stats_handle.stats(),
+                        stats_handle.inflight(),
+                        fe_pair.as_ref().map(|(snap, adopted)| (snap, *adopted)),
+                        quality.as_ref(),
+                    )
+                })),
+            },
+        )
+        .expect("binding the admin address");
+        println!("odt_server admin on {}", admin.addr());
+        let _ = std::io::stdout().flush();
+        (admin, fe_slot)
+    });
+
     let (shared, r, train_s) = ready_rx.recv().expect("backend init");
+    if let Some((admin, fe_slot)) = &admin {
+        *fe_slot.lock().unwrap() = Some(shared.clone());
+        admin.set_ready(true);
+    }
     println!("odt_server: trained in {train_s:.1}s");
     println!(
         "odt_server region {:.6},{:.6},{:.6},{:.6}",
         r.lng0, r.lat0, r.lng1, r.lat1
     );
-    println!("odt_server listening on {bound}");
+    println!("odt_server ready");
     let _ = std::io::stdout().flush();
 
     let started = Instant::now();
@@ -200,15 +304,27 @@ fn main() {
         }
         std::thread::sleep(Duration::from_millis(50));
     }
+    // Readiness drops the instant the drain decision is made, so load
+    // balancers stop routing before the wire port starts refusing.
+    if let Some((admin, _)) = &admin {
+        admin.set_ready(false);
+    }
     let uptime_s = started.elapsed().as_secs_f64();
     let report = handle.drain();
     let (snap, adopted) = shared.get();
+    let quality = quality_slot.lock().unwrap().clone();
     let c = &report.stats;
     let pass = report.clean && c.active == 0;
     println!(
         "odt_server: drained (clean={}, forced={}, active={}), {} served / {} submitted",
         report.clean, report.forced_conns, c.active, snap.served, snap.submitted
     );
+    if let Some(q) = &quality {
+        println!(
+            "odt_server: quality over {} shadow samples: mae {:.1}s, mape {:.3}, drift {:.3} ({} alerts)",
+            q.samples, q.mae_s, q.mape, q.drift_score, q.drift_alerts
+        );
+    }
 
     let slo_json = match &snap.slo {
         Some(s) => format!(
@@ -217,8 +333,23 @@ fn main() {
         ),
         None => "null".to_string(),
     };
+    let admin_json = match &admin {
+        Some((a, _)) => format!(
+            "{{ \"addr\": \"{}\", \"requests\": {} }}",
+            a.addr(),
+            a.requests()
+        ),
+        None => "null".to_string(),
+    };
+    let quality_json = match &quality {
+        Some(q) => format!(
+            "{{ \"samples\": {}, \"mae_s\": {:.3}, \"mape\": {:.4}, \"bias_s\": {:.3}, \"drift_score\": {:.4}, \"drift_alerts\": {}, \"reference_frozen\": {} }}",
+            q.samples, q.mae_s, q.mape, q.bias_s, q.drift_score, q.drift_alerts, q.reference_frozen
+        ),
+        None => "null".to_string(),
+    };
     let json = format!(
-        "{{\n  \"schema\": \"odt-net-server/v1\",\n  \"addr\": \"{addr}\",\n  \"quick\": {quick},\n  \"uptime_s\": {uptime_s:.3},\n  \"conns\": {{ \"opened\": {}, \"closed\": {}, \"active\": {}, \"rejected_capacity\": {}, \"rejected_draining\": {}, \"frames_in\": {}, \"frames_out\": {}, \"malformed\": {}, \"too_large\": {}, \"timeouts_idle\": {}, \"timeouts_frame\": {}, \"read_errors\": {}, \"write_errors\": {}, \"backpressure_stalls\": {}, \"dispatch_shed\": {}, \"reply_drops\": {}, \"forced_closes\": {} }},\n  \"frontend\": {{ \"submitted\": {}, \"admitted\": {}, \"served\": {}, \"shed\": {{ \"queue_full\": {}, \"queue_expired\": {}, \"invalid_query\": {}, \"internal\": {} }}, \"rung_hits\": {{ \"full_ddpm\": {}, \"ddim\": {}, \"ddim_reduced\": {}, \"fallback\": {} }}, \"deadline\": {{ \"met\": {}, \"missed\": {} }}, \"slo\": {slo_json} }},\n  \"adopted_traces\": {adopted},\n  \"drain\": {{ \"clean\": {}, \"forced_conns\": {}, \"wait_ms\": {} }},\n  \"flightrec_dumps\": {},\n  \"pass\": {pass}\n}}\n",
+        "{{\n  \"schema\": \"odt-net-server/v2\",\n  \"addr\": \"{addr}\",\n  \"quick\": {quick},\n  \"uptime_s\": {uptime_s:.3},\n  \"conns\": {{ \"opened\": {}, \"closed\": {}, \"active\": {}, \"rejected_capacity\": {}, \"rejected_draining\": {}, \"frames_in\": {}, \"frames_out\": {}, \"malformed\": {}, \"too_large\": {}, \"timeouts_idle\": {}, \"timeouts_frame\": {}, \"read_errors\": {}, \"write_errors\": {}, \"backpressure_stalls\": {}, \"dispatch_shed\": {}, \"reply_drops\": {}, \"forced_closes\": {} }},\n  \"frontend\": {{ \"submitted\": {}, \"admitted\": {}, \"served\": {}, \"shed\": {{ \"queue_full\": {}, \"queue_expired\": {}, \"invalid_query\": {}, \"internal\": {} }}, \"rung_hits\": {{ \"full_ddpm\": {}, \"ddim\": {}, \"ddim_reduced\": {}, \"fallback\": {} }}, \"deadline\": {{ \"met\": {}, \"missed\": {} }}, \"slo\": {slo_json} }},\n  \"adopted_traces\": {adopted},\n  \"admin\": {admin_json},\n  \"quality\": {quality_json},\n  \"drain\": {{ \"clean\": {}, \"forced_conns\": {}, \"wait_ms\": {} }},\n  \"flightrec_dumps\": {},\n  \"pass\": {pass}\n}}\n",
         c.opened,
         c.closed,
         c.active,
@@ -257,6 +388,12 @@ fn main() {
     );
     std::fs::write(&report_path, json).unwrap_or_else(|e| panic!("writing {report_path}: {e}"));
     println!("wrote {report_path}");
+
+    // The admin plane outlives the drain (so a final /metrics scrape or
+    // /varz pull sees the end state), then stops with the process.
+    if let Some((a, _)) = admin {
+        a.shutdown();
+    }
 
     if !pass {
         eprintln!("odt_server: drain was forced or connections leaked");

@@ -15,6 +15,12 @@
 //! * `--flightrec-dir` — flight-recorder dump directory (default
 //!                  `CHAOS_flightrec`; `ODT_FLIGHTREC_DIR` overrides).
 //!
+//! Besides the serving and network catalogs, the standing
+//! `quality_drift` drill shadow-scores the drill oracle against its
+//! holdout, synthetically degrades the predictions once the drift
+//! reference has frozen, and asserts the drift alert, the accuracy-SLO
+//! burn alert and the `quality_drift` flight-recorder dump all fire.
+//!
 //! Every drill runs fully traced (head sampling forced to 1-in-1 unless
 //! `ODT_TRACE_SAMPLE` overrides it): each scenario carries a root trace
 //! whose id is in its report line, and incident paths — breaker trips,
@@ -32,7 +38,10 @@ use odt_core::{Dot, DotConfig};
 use odt_net::{FrontendBridge, NetScenarioSpec, Region, WireQuery};
 use odt_roadnet::LngLat;
 use odt_serve::{dot_frontend, ChaosConfig, DotFrontendConfig, FrontendConfig, ScenarioSpec};
+use odt_serve::{ShadowConfig, ShadowScorer};
 use odt_traj::{Dataset, GridSpec, OdtInput, Split};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde_json::json;
 use std::io::Write;
 use std::time::Instant;
@@ -191,6 +200,136 @@ fn run_scenario(
             "states": s.breaker_states,
         },
         "deadline": { "met": s.deadline_met, "missed": s.deadline_missed },
+        "violations": violations,
+        "pass": violations.is_empty(),
+    })
+}
+
+/// The model-quality drill: shadow-score the drill oracle against its
+/// holdout until the drift reference freezes, then synthetically degrade
+/// the predictions (collapse to 40% of the estimate — a systematic
+/// underprediction no healthy reference window contains) and assert the
+/// full alarm chain fires: the quantile-shift drift alert, the accuracy
+/// SLO burn alert, and a `quality_drift` flight-recorder dump.
+fn run_quality_drill(model: &Dot, data: &Dataset, seed: u64, quick: bool) -> serde_json::Value {
+    let root = odt_obs::trace::root_span("chaos.scenario");
+    odt_obs::trace::force_retain_current("chaos_scenario");
+    let trace_id = root.trace_id().map(|t| t.to_hex());
+    let dumps_before = odt_obs::flightrec::dump_count();
+
+    let holdout: Vec<(OdtInput, f64)> = data
+        .split(Split::Test)
+        .iter()
+        .map(|t| (OdtInput::from_trajectory(t), t.travel_time()))
+        .collect();
+    let mut scorer = ShadowScorer::new(holdout, ShadowConfig::for_drill());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD01F);
+
+    let t0 = Instant::now();
+    // Phase 1: the healthy model is its own reference. Score until the
+    // tracker freezes the reference window.
+    let mut now = odt_obs::trace::now_us();
+    let mut steps = 0usize;
+    while !scorer.quality(now).reference_frozen && steps < 200 {
+        scorer.step(now, |qs: &[OdtInput]| {
+            model
+                .estimate_batch(qs, &mut rng)
+                .into_iter()
+                .map(|e| e.seconds)
+                .collect()
+        });
+        steps += 1;
+        now = odt_obs::trace::now_us();
+    }
+    let frozen = scorer.quality(now).reference_frozen;
+
+    // Phase 2: synthetic model degradation. Keep scoring until the whole
+    // alarm chain has fired (or the step budget rules it never will).
+    let mut q = scorer.quality(now);
+    let chain_done = |q: &odt_obs::QualitySnapshot, dumps: u64| {
+        q.drift_alerts >= 1
+            && q.slo.as_ref().map(|s| s.alerts >= 1).unwrap_or(false)
+            && dumps > dumps_before
+    };
+    while !chain_done(&q, odt_obs::flightrec::dump_count()) && steps < 600 {
+        scorer.step(now, |qs: &[OdtInput]| {
+            model
+                .estimate_batch(qs, &mut rng)
+                .into_iter()
+                .map(|e| e.seconds * 0.4)
+                .collect()
+        });
+        steps += 1;
+        now = odt_obs::trace::now_us();
+        q = scorer.quality(now);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    drop(root);
+    let dumps = odt_obs::flightrec::dump_count() - dumps_before;
+    let last_dump = odt_obs::flightrec::last_dump()
+        .filter(|_| dumps > 0)
+        .map(|p| p.display().to_string());
+
+    let mut violations: Vec<String> = Vec::new();
+    if !frozen {
+        violations.push("drift reference never froze".to_string());
+    }
+    if q.drift_alerts < 1 {
+        violations.push(format!(
+            "no drift alert (score {:.3} after {steps} steps)",
+            q.drift_score
+        ));
+    }
+    let slo_alerts = q.slo.as_ref().map(|s| s.alerts).unwrap_or(0);
+    if slo_alerts < 1 {
+        violations.push("accuracy SLO burn alert never fired".to_string());
+    }
+    if dumps == 0 {
+        violations.push("drift alert produced no flight-recorder dump".to_string());
+    }
+    println!(
+        "  {:<18} {:>3} scored  drift {:.2} ({} alert(s))  slo alerts {}  {}",
+        "quality_drift",
+        scorer.scored(),
+        q.drift_score,
+        q.drift_alerts,
+        slo_alerts,
+        if violations.is_empty() {
+            "PASS".to_string()
+        } else {
+            format!("FAIL: {}", violations.join("; "))
+        }
+    );
+    json!({
+        "schema": "odt-chaos-drill/v2",
+        "kind": "scenario",
+        "name": "quality_drift",
+        "description": "shadow-scored holdout drifts; drift + accuracy-SLO alerts and a flightrec dump must fire",
+        "trace_id": trace_id,
+        "flightrec": { "dumps": dumps, "last_dump": last_dump },
+        "seed": seed,
+        "quick": quick,
+        "wall_seconds": wall_s,
+        "submitted": scorer.scored(),
+        "admitted": scorer.scored(),
+        "served": scorer.scored(),
+        "answer_rate": 1.0,
+        "shed": { "queue_full": 0, "deadline_expired": 0, "invalid_query": 0, "internal": 0 },
+        "rung_hits": { "full_ddpm": scorer.scored(), "ddim": 0, "ddim_reduced": 0, "fallback": 0 },
+        "rung_failures": { "full_ddpm": 0, "ddim": 0, "ddim_reduced": 0, "fallback": 0 },
+        "breaker": { "trips": [0, 0, 0, 0], "states": ["closed", "closed", "closed", "closed"] },
+        "deadline": { "met": scorer.scored(), "missed": 0 },
+        "quality": {
+            "samples": q.samples,
+            "window_len": q.window_len,
+            "mae_s": q.mae_s,
+            "mape": q.mape,
+            "bias_s": q.bias_s,
+            "drift_score": q.drift_score,
+            "drift_alerts": q.drift_alerts,
+            "slo_alerts": slo_alerts,
+            "reference_frozen": frozen,
+        },
         "violations": violations,
         "pass": violations.is_empty(),
     })
@@ -387,23 +526,25 @@ fn main() {
 
     let catalog = odt_serve::scenarios(seed);
     let net_catalog = odt_net::net_scenarios();
+    let run_quality = which == "all" || which == "quality_drift";
     let (selected, net_selected): (Vec<&ScenarioSpec>, Vec<&NetScenarioSpec>) = if which == "all" {
         (catalog.iter().collect(), net_catalog.iter().collect())
     } else {
         let serve: Vec<&ScenarioSpec> = catalog.iter().filter(|s| s.name == which).collect();
         let net: Vec<&NetScenarioSpec> = net_catalog.iter().filter(|s| s.name == which).collect();
-        if serve.is_empty() && net.is_empty() {
+        if serve.is_empty() && net.is_empty() && !run_quality {
             let names: Vec<&str> = catalog
                 .iter()
                 .map(|s| s.name)
                 .chain(net_catalog.iter().map(|s| s.name))
+                .chain(std::iter::once("quality_drift"))
                 .collect();
             eprintln!("unknown scenario {which:?}; available: {names:?} or \"all\"");
             std::process::exit(2);
         }
         (serve, net)
     };
-    let total = selected.len() + net_selected.len();
+    let total = selected.len() + net_selected.len() + usize::from(run_quality);
 
     println!("chaos drill: {total} scenario(s), seed {seed}, quick={quick}");
     let data = drill_dataset();
@@ -411,7 +552,7 @@ fn main() {
 
     let mut lines = Vec::new();
     let mut failed = 0usize;
-    if !selected.is_empty() {
+    if !selected.is_empty() || run_quality {
         let t0 = Instant::now();
         let model = drill_model(&data);
         println!("trained drill oracle in {:.1}s", t0.elapsed().as_secs_f64());
@@ -422,6 +563,13 @@ fn main() {
             .collect();
         for spec in &selected {
             let line = run_scenario(spec, &model, &queries, quick);
+            if line["pass"] != json!(true) {
+                failed += 1;
+            }
+            lines.push(line);
+        }
+        if run_quality {
+            let line = run_quality_drill(&model, &data, seed, quick);
             if line["pass"] != json!(true) {
                 failed += 1;
             }

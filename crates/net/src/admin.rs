@@ -1,0 +1,812 @@
+//! The live introspection plane: a hand-rolled HTTP/1.1 admin endpoint
+//! served off-band from the wire protocol port.
+//!
+//! Production debugging of the oracle server needs answers *while the
+//! incident is happening*: what are the latency histograms doing, which
+//! breakers are open, is the model drifting, is the process even ready?
+//! This module serves those answers over plain HTTP so `curl`,
+//! Prometheus, and load-balancer health checks all work unmodified:
+//!
+//! | route             | answer                                           |
+//! |-------------------|--------------------------------------------------|
+//! | `GET /metrics`    | the whole metrics registry, Prometheus text
+//!                       exposition 0.0.4 ([`odt_obs::expo`])              |
+//! | `GET /healthz`    | liveness — `200 ok` whenever the process serves  |
+//! | `GET /readyz`     | readiness — `503` until the backend factory (model
+//!                       training/loading) finishes, `200 ready` after     |
+//! | `GET /varz`       | JSON snapshot: server state, connection counters,
+//!                       frontend/rung/breaker stats, model quality        |
+//! | `GET /tracez`     | JSON: recently retained traces with per-span
+//!                       self-times                                        |
+//! | `POST /flightrec` | trigger a flight-recorder dump, return its path  |
+//!
+//! ## Hardening
+//!
+//! The admin port is still a listening socket, so it gets the same class
+//! of defenses as the wire port, scaled down: bounded header size (reject
+//! oversized requests before buffering them), read/write timeouts, a cap
+//! on concurrent handler threads (over-cap connections get `503` and an
+//! immediate close), one request per connection (`Connection: close` —
+//! no keep-alive state machine to abuse). The plane is **read-only**
+//! except `POST /flightrec`, which only writes an incident dump to the
+//! operator-configured directory.
+//!
+//! ## Liveness vs readiness
+//!
+//! `/healthz` answers 200 from the moment the admin socket is up — it
+//! means "the process is alive and the introspection plane works", and
+//! it deliberately stays green while the model trains so orchestrators
+//! don't kill a booting server. `/readyz` is the routable signal: it
+//! flips to 200 only when the owner calls [`AdminHandle::set_ready`]
+//! (the server binary does this exactly when the backend factory
+//! finishes) and back to 503 when a drain starts.
+
+use crate::server::ConnStatsSnapshot;
+use odt_obs::json::{push_f64, push_str_escaped};
+use odt_obs::QualitySnapshot;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Admin endpoint tuning. `Default` binds an ephemeral loopback port.
+#[derive(Clone, Debug)]
+pub struct AdminConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    /// Bind this to loopback or an ops network — the plane has no auth.
+    pub addr: String,
+    /// Cap on a request's header bytes; larger requests get `431`.
+    pub max_request_bytes: usize,
+    /// Per-connection read timeout, ms (the whole request must arrive
+    /// within one tick of this).
+    pub read_timeout_ms: u64,
+    /// Per-connection write timeout, ms.
+    pub write_timeout_ms: u64,
+    /// Cap on concurrent handler threads; over-cap connects get `503`.
+    pub max_connections: usize,
+    /// Most recent retained traces `/tracez` returns.
+    pub tracez_limit: usize,
+}
+
+impl Default for AdminConfig {
+    fn default() -> Self {
+        AdminConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_request_bytes: 8 * 1024,
+            read_timeout_ms: 2_000,
+            write_timeout_ms: 2_000,
+            max_connections: 8,
+            tracez_limit: 32,
+        }
+    }
+}
+
+/// Closure rendering the `/varz` JSON body; installed by the server
+/// binary so the admin plane stays decoupled from what it introspects.
+pub type VarzFn = Box<dyn Fn() -> String + Send + Sync>;
+
+/// Pluggable data sources for routes whose content the admin plane does
+/// not own. `/metrics` and `/tracez` read the process-global `odt_obs`
+/// state directly and need no source.
+#[derive(Default)]
+pub struct AdminSources {
+    /// `/varz` body builder (see [`render_varz`]). When absent, `/varz`
+    /// serves a stub that says so.
+    pub varz: Option<VarzFn>,
+}
+
+struct AdminShared {
+    cfg: AdminConfig,
+    sources: AdminSources,
+    ready: AtomicBool,
+    stopping: AtomicBool,
+    active: AtomicI64,
+    requests: AtomicU64,
+}
+
+/// A running admin endpoint. [`AdminHandle::shutdown`] stops it; dropping
+/// without shutdown leaves the acceptor thread running (process-owned,
+/// like the wire server).
+pub struct AdminHandle {
+    addr: SocketAddr,
+    shared: Arc<AdminShared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+/// Start the admin endpoint: binds, spawns one acceptor thread (handler
+/// threads are per-request, capped), returns immediately. Readiness
+/// starts `false`.
+pub fn start_admin(cfg: AdminConfig, sources: AdminSources) -> io::Result<AdminHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(AdminShared {
+        cfg,
+        sources,
+        ready: AtomicBool::new(false),
+        stopping: AtomicBool::new(false),
+        active: AtomicI64::new(0),
+        requests: AtomicU64::new(0),
+    });
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("odt-admin".to_string())
+            .spawn(move || accept_loop(listener, shared))
+            .map_err(|e| io::Error::new(io::ErrorKind::Other, e))?
+    };
+    odt_obs::event(odt_obs::Level::Info, "admin.start")
+        .field("addr", addr.to_string())
+        .emit();
+    Ok(AdminHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+    })
+}
+
+impl AdminHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Flip the `/readyz` signal. The owner calls `set_ready(true)`
+    /// exactly when the backend can answer queries, and `set_ready(false)`
+    /// when a drain starts — load balancers then stop routing before the
+    /// wire port refuses.
+    pub fn set_ready(&self, ready: bool) {
+        let was = self.shared.ready.swap(ready, Ordering::Release);
+        if was != ready {
+            odt_obs::event(odt_obs::Level::Info, "admin.ready")
+                .field("ready", ready)
+                .emit();
+            odt_obs::gauge("admin.ready").set(if ready { 1.0 } else { 0.0 });
+        }
+    }
+
+    /// Current readiness.
+    pub fn is_ready(&self) -> bool {
+        self.shared.ready.load(Ordering::Acquire)
+    }
+
+    /// Requests handled so far (any route, any status).
+    pub fn requests(&self) -> u64 {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and join the acceptor. In-flight handlers finish
+    /// on their own (bounded by the read/write timeouts).
+    pub fn shutdown(mut self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        odt_obs::event(odt_obs::Level::Info, "admin.stop").emit();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<AdminShared>) {
+    loop {
+        if shared.stopping.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let cur = shared.active.fetch_add(1, Ordering::Relaxed) + 1;
+                if cur > shared.cfg.max_connections as i64 {
+                    shared.active.fetch_sub(1, Ordering::Relaxed);
+                    over_capacity(stream, &shared.cfg);
+                    continue;
+                }
+                let shared2 = Arc::clone(&shared);
+                let spawned = thread::Builder::new()
+                    .name("odt-admin-conn".to_string())
+                    .spawn(move || {
+                        handle_conn(stream, &shared2);
+                        shared2.active.fetch_sub(1, Ordering::Relaxed);
+                    });
+                if spawned.is_err() {
+                    shared.active.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn over_capacity(mut stream: TcpStream, cfg: &AdminConfig) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms.max(1))));
+    let _ = stream.write_all(
+        response(
+            503,
+            "text/plain; charset=utf-8",
+            "admin connection cap reached\n",
+        )
+        .as_bytes(),
+    );
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Serialize one HTTP/1.1 response; every admin reply closes the
+/// connection (no keep-alive state to manage or abuse).
+fn response(status: u16, content_type: &str, body: &str) -> String {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn handle_conn(mut stream: TcpStream, shared: &Arc<AdminShared>) {
+    let cfg = &shared.cfg;
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))))
+        .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms.max(1))));
+
+    // Read the request head (everything through the blank line), bounded.
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break Some(pos);
+        }
+        if buf.len() > cfg.max_request_bytes {
+            break None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break None, // timeout or reset: give up on the request
+        }
+    };
+    let reply = match head_end {
+        None if buf.len() > cfg.max_request_bytes => {
+            odt_obs::counter("admin.errors").inc();
+            response(431, "text/plain; charset=utf-8", "request too large\n")
+        }
+        None => {
+            odt_obs::counter("admin.errors").inc();
+            response(400, "text/plain; charset=utf-8", "incomplete request\n")
+        }
+        Some(pos) => {
+            let head = String::from_utf8_lossy(&buf[..pos]).into_owned();
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            odt_obs::counter("admin.requests").inc();
+            route(&head, shared)
+        }
+    };
+    let _ = stream.write_all(reply.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn route(head: &str, shared: &Arc<AdminShared>) -> String {
+    let mut first = head.lines().next().unwrap_or("").split_whitespace();
+    let method = first.next().unwrap_or("");
+    // Strip any query string: the plane takes no parameters.
+    let path = first.next().unwrap_or("").split('?').next().unwrap_or("");
+    match (method, path) {
+        ("GET", "/metrics") => response(200, odt_obs::expo::CONTENT_TYPE, &odt_obs::expo::render()),
+        ("GET", "/healthz") => response(200, "text/plain; charset=utf-8", "ok\n"),
+        ("GET", "/readyz") => {
+            if shared.ready.load(Ordering::Acquire) {
+                response(200, "text/plain; charset=utf-8", "ready\n")
+            } else {
+                response(
+                    503,
+                    "text/plain; charset=utf-8",
+                    "not ready: backend unavailable\n",
+                )
+            }
+        }
+        ("GET", "/varz") => {
+            let body = match &shared.sources.varz {
+                Some(f) => f(),
+                None => "{\"schema\":\"odt-varz/v1\",\"available\":false}".to_string(),
+            };
+            response(200, "application/json; charset=utf-8", &body)
+        }
+        ("GET", "/tracez") => response(
+            200,
+            "application/json; charset=utf-8",
+            &render_tracez(shared.cfg.tracez_limit),
+        ),
+        ("POST", "/flightrec") => match odt_obs::flightrec::trigger("admin_request") {
+            Some(path) => {
+                let mut body = String::from("{\"schema\":\"odt-admin/v1\",\"dump\":");
+                push_str_escaped(&mut body, &path.display().to_string());
+                body.push('}');
+                response(200, "application/json; charset=utf-8", &body)
+            }
+            None => response(
+                503,
+                "application/json; charset=utf-8",
+                "{\"schema\":\"odt-admin/v1\",\"error\":\"flight recorder disabled\"}",
+            ),
+        },
+        ("GET", "/") => response(
+            200,
+            "text/plain; charset=utf-8",
+            "odt admin plane\n\nGET  /metrics    Prometheus exposition\n\
+             GET  /healthz    liveness\nGET  /readyz     readiness\n\
+             GET  /varz       server/frontend/quality JSON\n\
+             GET  /tracez     retained traces JSON\n\
+             POST /flightrec  trigger a flight-recorder dump\n",
+        ),
+        ("GET", _) | ("POST", _) => {
+            response(404, "text/plain; charset=utf-8", "unknown admin route\n")
+        }
+        _ => response(405, "text/plain; charset=utf-8", "method not allowed\n"),
+    }
+}
+
+fn push_u64_array(out: &mut String, vals: &[u64]) {
+    out.push('[');
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+fn push_slo(out: &mut String, slo: &odt_obs::slo::BurnRateSnapshot) {
+    out.push_str("{\"fast_burn\":");
+    push_f64(out, slo.fast_burn);
+    out.push_str(",\"slow_burn\":");
+    push_f64(out, slo.slow_burn);
+    out.push_str(&format!(
+        ",\"alerting\":{},\"alerts\":{},\"total\":{},\"errors\":{}}}",
+        slo.alerting, slo.alerts, slo.total, slo.errors
+    ));
+}
+
+/// Render the `/varz` JSON body (`odt-varz/v1`) from the server's live
+/// state. The server binary wraps this in a closure over its stats
+/// handles; tests call it directly.
+pub fn render_varz(
+    state: &str,
+    conn: &ConnStatsSnapshot,
+    inflight: i64,
+    frontend: Option<(&odt_serve::FrontendSnapshot, u64)>,
+    quality: Option<&QualitySnapshot>,
+) -> String {
+    let mut o = String::with_capacity(1024);
+    o.push_str("{\"schema\":\"odt-varz/v1\",\"state\":");
+    push_str_escaped(&mut o, state);
+    o.push_str(&format!(",\"inflight\":{inflight},\"conns\":{{"));
+    o.push_str(&format!(
+        "\"opened\":{},\"closed\":{},\"active\":{},\"rejected_capacity\":{},\
+         \"rejected_draining\":{},\"frames_in\":{},\"frames_out\":{},\
+         \"malformed\":{},\"too_large\":{},\"timeouts_idle\":{},\
+         \"timeouts_frame\":{},\"read_errors\":{},\"write_errors\":{},\
+         \"backpressure_stalls\":{},\"dispatch_shed\":{},\"reply_drops\":{},\
+         \"forced_closes\":{}}}",
+        conn.opened,
+        conn.closed,
+        conn.active,
+        conn.rejected_capacity,
+        conn.rejected_draining,
+        conn.frames_in,
+        conn.frames_out,
+        conn.malformed,
+        conn.too_large,
+        conn.timeouts_idle,
+        conn.timeouts_frame,
+        conn.read_errors,
+        conn.write_errors,
+        conn.backpressure_stalls,
+        conn.dispatch_shed,
+        conn.reply_drops,
+        conn.forced_closes
+    ));
+    o.push_str(",\"frontend\":");
+    match frontend {
+        None => o.push_str("null"),
+        Some((fe, adopted)) => {
+            o.push_str(&format!(
+                "{{\"submitted\":{},\"admitted\":{},\"served\":{},\
+                 \"shed\":{{\"queue_full\":{},\"deadline\":{},\"invalid\":{},\
+                 \"internal\":{}}},\"rung_hits\":",
+                fe.submitted,
+                fe.admitted,
+                fe.served,
+                fe.shed_queue_full,
+                fe.shed_deadline,
+                fe.shed_invalid,
+                fe.shed_internal
+            ));
+            push_u64_array(&mut o, &fe.rung_hits);
+            o.push_str(",\"rung_failures\":");
+            push_u64_array(&mut o, &fe.rung_failures);
+            o.push_str(",\"ladder_cost_us\":");
+            push_u64_array(&mut o, &fe.ladder_cost_us);
+            o.push_str(",\"breaker\":{\"trips\":");
+            push_u64_array(&mut o, &fe.breaker_trips);
+            o.push_str(",\"states\":[");
+            for (i, s) in fe.breaker_states.iter().enumerate() {
+                if i > 0 {
+                    o.push(',');
+                }
+                push_str_escaped(&mut o, s);
+            }
+            o.push_str(&format!(
+                "]}},\"deadline\":{{\"met\":{},\"missed\":{}}},\"slo\":",
+                fe.deadline_met, fe.deadline_missed
+            ));
+            match &fe.slo {
+                Some(slo) => push_slo(&mut o, slo),
+                None => o.push_str("null"),
+            }
+            o.push_str(&format!(",\"adopted_traces\":{adopted}}}"));
+        }
+    }
+    o.push_str(",\"quality\":");
+    match quality {
+        None => o.push_str("null"),
+        Some(q) => {
+            o.push_str(&format!(
+                "{{\"samples\":{},\"window_len\":{},\"mae_s\":",
+                q.samples, q.window_len
+            ));
+            push_f64(&mut o, q.mae_s);
+            o.push_str(",\"mape\":");
+            push_f64(&mut o, q.mape);
+            o.push_str(",\"bias_s\":");
+            push_f64(&mut o, q.bias_s);
+            o.push_str(",\"drift_score\":");
+            push_f64(&mut o, q.drift_score);
+            o.push_str(&format!(
+                ",\"reference_frozen\":{},\"drift_alerting\":{},\"drift_alerts\":{},\"slo\":",
+                q.reference_frozen, q.drift_alerting, q.drift_alerts
+            ));
+            match &q.slo {
+                Some(slo) => push_slo(&mut o, slo),
+                None => o.push_str("null"),
+            }
+            o.push('}');
+        }
+    }
+    o.push('}');
+    o
+}
+
+/// Render the `/tracez` JSON body (`odt-tracez/v1`): the most recent
+/// `limit` force-retained/sampled traces with per-span *self* times
+/// (duration minus the duration of direct children — where inside the
+/// request the time actually went).
+pub fn render_tracez(limit: usize) -> String {
+    let traces = odt_obs::trace::retained_traces();
+    let skip = traces.len().saturating_sub(limit);
+    let mut o = String::with_capacity(1024);
+    o.push_str(&format!(
+        "{{\"schema\":\"odt-tracez/v1\",\"retained\":{},\"traces\":[",
+        traces.len()
+    ));
+    for (ti, t) in traces[skip..].iter().enumerate() {
+        if ti > 0 {
+            o.push(',');
+        }
+        push_trace(&mut o, t);
+    }
+    o.push_str("]}");
+    o
+}
+
+fn push_trace(o: &mut String, t: &odt_obs::trace::TraceRecord) {
+    // Sum of each span's direct children's durations, keyed by parent.
+    let mut child_us: HashMap<u64, u64> = HashMap::new();
+    for s in &t.spans {
+        *child_us.entry(s.parent_id).or_insert(0) += s.dur_us;
+    }
+    o.push_str("{\"trace_id\":");
+    push_str_escaped(o, &t.trace_id.to_hex());
+    o.push_str(",\"root\":");
+    push_str_escaped(o, t.root_name);
+    o.push_str(",\"request_id\":");
+    match t.request_id {
+        Some(id) => o.push_str(&id.to_string()),
+        None => o.push_str("null"),
+    }
+    o.push_str(&format!(
+        ",\"start_us\":{},\"dur_us\":{},\"sampled\":{},\"truncated\":{},\
+         \"retain_reasons\":[",
+        t.start_us, t.dur_us, t.sampled, t.truncated
+    ));
+    for (i, r) in t.retain_reasons.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        push_str_escaped(o, r);
+    }
+    o.push_str("],\"spans\":[");
+    for (i, s) in t.spans.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let self_us = s
+            .dur_us
+            .saturating_sub(*child_us.get(&s.span_id).unwrap_or(&0));
+        o.push_str(&format!(
+            "{{\"span_id\":{},\"parent_id\":{},\"name\":",
+            s.span_id, s.parent_id
+        ));
+        push_str_escaped(o, s.name);
+        o.push_str(&format!(
+            ",\"start_us\":{},\"dur_us\":{},\"self_us\":{self_us},\"tid\":{}}}",
+            s.start_us, s.dur_us, s.tid
+        ));
+    }
+    o.push_str("]}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, request: &str) -> (u16, String, String) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(request.as_bytes()).unwrap();
+        let mut raw = Vec::new();
+        s.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8(raw).expect("utf8 response");
+        let (head, body) = text.split_once("\r\n\r\n").expect("header terminator");
+        let status: u16 = head
+            .lines()
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        (status, head.to_string(), body.to_string())
+    }
+
+    fn simple_get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+        get(
+            addr,
+            &format!("GET {path} HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n"),
+        )
+    }
+
+    fn boot(sources: AdminSources) -> AdminHandle {
+        start_admin(AdminConfig::default(), sources).expect("admin start")
+    }
+
+    #[test]
+    fn healthz_is_immediately_live_and_readyz_flips_with_set_ready() {
+        let h = boot(AdminSources::default());
+        let (st, _, body) = simple_get(h.addr(), "/healthz");
+        assert_eq!((st, body.as_str()), (200, "ok\n"));
+
+        let (st, _, _) = simple_get(h.addr(), "/readyz");
+        assert_eq!(st, 503, "not ready until the owner says so");
+        h.set_ready(true);
+        let (st, _, body) = simple_get(h.addr(), "/readyz");
+        assert_eq!((st, body.as_str()), (200, "ready\n"));
+        h.set_ready(false);
+        let (st, _, _) = simple_get(h.addr(), "/readyz");
+        assert_eq!(st, 503, "drain flips readiness back off");
+        assert!(h.requests() >= 4);
+        h.shutdown();
+    }
+
+    #[test]
+    fn metrics_route_serves_the_exposition_content_type() {
+        // Touch the registry so the body is non-empty regardless of test
+        // interleaving (the registry is process-global).
+        odt_obs::counter("admin.test.metric").inc();
+        let h = boot(AdminSources::default());
+        let (st, head, body) = simple_get(h.addr(), "/metrics");
+        assert_eq!(st, 200);
+        assert!(
+            head.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+            "{head}"
+        );
+        assert!(body.contains("odt_admin_test_metric_total"), "{body}");
+        assert!(head.contains("Connection: close"));
+        h.shutdown();
+    }
+
+    #[test]
+    fn varz_uses_the_installed_source_and_query_strings_are_ignored() {
+        let h = boot(AdminSources {
+            varz: Some(Box::new(|| {
+                render_varz("running", &ConnStatsSnapshot::default(), 0, None, None)
+            })),
+        });
+        let (st, head, body) = simple_get(h.addr(), "/varz?pretty=1");
+        assert_eq!(st, 200);
+        assert!(head.contains("Content-Type: application/json"));
+        assert!(body.starts_with("{\"schema\":\"odt-varz/v1\""), "{body}");
+        assert!(body.contains("\"state\":\"running\""));
+        h.shutdown();
+    }
+
+    #[test]
+    fn varz_without_a_source_says_unavailable() {
+        let h = boot(AdminSources::default());
+        let (st, _, body) = simple_get(h.addr(), "/varz");
+        assert_eq!(st, 200);
+        assert!(body.contains("\"available\":false"), "{body}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_get_typed_statuses() {
+        let h = boot(AdminSources::default());
+        let (st, _, _) = simple_get(h.addr(), "/nope");
+        assert_eq!(st, 404);
+        let (st, _, _) = get(h.addr(), "DELETE /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(st, 405);
+        let (st, _, _) = get(
+            h.addr(),
+            &format!(
+                "GET /metrics HTTP/1.1\r\nX-Junk: {}\r\n\r\n",
+                "j".repeat(16 * 1024)
+            ),
+        );
+        assert_eq!(st, 431, "oversized request heads are refused");
+        h.shutdown();
+    }
+
+    #[test]
+    fn flightrec_route_posts_a_dump_when_enabled_and_503s_when_not() {
+        let dir = std::env::temp_dir().join(format!("odt_admin_fr_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let h = boot(AdminSources::default());
+        // Disabled recorder: typed refusal.
+        odt_obs::flightrec::disable();
+        let (st, _, body) = get(h.addr(), "POST /flightrec HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(st, 503);
+        assert!(body.contains("disabled"), "{body}");
+        // Enabled: the dump lands and its path comes back.
+        odt_obs::flightrec::enable(&dir);
+        let (st, _, body) = get(h.addr(), "POST /flightrec HTTP/1.1\r\nHost: x\r\n\r\n");
+        odt_obs::flightrec::disable();
+        assert_eq!(st, 200, "{body}");
+        assert!(body.contains("\"dump\":"), "{body}");
+        assert!(body.contains("admin_request"), "{body}");
+        let _ = std::fs::remove_dir_all(&dir);
+        h.shutdown();
+    }
+
+    #[test]
+    fn tracez_renders_retained_traces_with_self_times() {
+        // Build one force-retained trace with a nested span.
+        odt_obs::trace::set_sample_every(1);
+        {
+            let root = odt_obs::trace::root_span("admin.test.request");
+            root.set_request_id(77);
+            {
+                let _child = odt_obs::span!("admin.test.stage");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            odt_obs::trace::force_retain_current("admin_test");
+        }
+        let body = render_tracez(8);
+        assert!(body.starts_with("{\"schema\":\"odt-tracez/v1\""), "{body}");
+        assert!(body.contains("\"root\":\"admin.test.request\""), "{body}");
+        assert!(body.contains("\"request_id\":77"), "{body}");
+        assert!(body.contains("admin.test.stage"), "{body}");
+        assert!(body.contains("\"self_us\":"), "{body}");
+        // The root's self time excludes the child: find the root span and
+        // check self_us < dur_us there.
+        let our_trace = body
+            .split("{\"trace_id\":")
+            .find(|t| t.contains("\"root\":\"admin.test.request\""))
+            .expect("trace rendered");
+        let spans = our_trace.split("\"spans\":[").nth(1).expect("spans array");
+        let root_span = spans
+            .split("{\"span_id\":")
+            .find(|s| s.contains("\"name\":\"admin.test.request\""))
+            .expect("root span rendered");
+        let field = |name: &str| -> u64 {
+            root_span
+                .split(&format!("\"{name}\":"))
+                .nth(1)
+                .unwrap()
+                .split(|c: char| !c.is_ascii_digit())
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            field("self_us") < field("dur_us"),
+            "root self time must exclude the child: {root_span}"
+        );
+    }
+
+    #[test]
+    fn varz_renders_full_frontend_and_quality_blocks() {
+        let fe = odt_serve::FrontendSnapshot {
+            submitted: 10,
+            admitted: 9,
+            served: 8,
+            shed_queue_full: 1,
+            rung_hits: [5, 2, 1, 0],
+            ladder_cost_us: [4_000, 1_500, 700, 10],
+            breaker_states: ["closed", "open", "half_open"],
+            deadline_met: 7,
+            deadline_missed: 1,
+            ..odt_serve::FrontendSnapshot::default()
+        };
+        let q = QualitySnapshot {
+            samples: 100,
+            window_len: 64,
+            mae_s: 12.5,
+            mape: 0.08,
+            bias_s: -3.0,
+            drift_score: 0.2,
+            reference_frozen: true,
+            ..QualitySnapshot::default()
+        };
+        let body = render_varz(
+            "draining",
+            &ConnStatsSnapshot {
+                opened: 3,
+                active: 1,
+                ..ConnStatsSnapshot::default()
+            },
+            2,
+            Some((&fe, 4)),
+            Some(&q),
+        );
+        for needle in [
+            "\"state\":\"draining\"",
+            "\"inflight\":2",
+            "\"opened\":3",
+            "\"rung_hits\":[5,2,1,0]",
+            "\"ladder_cost_us\":[4000,1500,700,10]",
+            "\"states\":[\"closed\",\"open\",\"half_open\"]",
+            "\"adopted_traces\":4",
+            "\"mae_s\":12.5",
+            "\"drift_score\":0.2",
+            "\"reference_frozen\":true",
+        ] {
+            assert!(body.contains(needle), "missing {needle} in {body}");
+        }
+        // Non-finite floats must not leak into the JSON.
+        let nan_q = QualitySnapshot {
+            mape: f64::NAN,
+            ..QualitySnapshot::default()
+        };
+        let body = render_varz(
+            "running",
+            &ConnStatsSnapshot::default(),
+            0,
+            None,
+            Some(&nan_q),
+        );
+        assert!(body.contains("\"mape\":null"), "{body}");
+    }
+}

@@ -288,11 +288,10 @@ fn exchange(s: &mut TcpStream, req: &WireRequest) -> Option<WireResponse> {
 
 /// Block until the server answers one probe request (any reply counts).
 ///
-/// Backends are built *on* the dispatcher thread ([`start_with`]), so an
-/// expensive factory — e.g. training a DOT oracle — leaves the server
-/// accepting but mute until it finishes. The probe absorbs that window,
-/// so the drill's abuse pattern and its request deadlines measure the
-/// network layer, not backend construction.
+/// The factory-built barrier in [`run_net_scenario_with`] already
+/// guarantees the backend exists; this probe additionally proves the
+/// dispatch → backend → reply path flows end to end before the drill's
+/// abuse pattern (and its request deadlines) start measuring.
 fn wait_ready(addr: SocketAddr, region: &Region) -> bool {
     let give_up = Instant::now() + Duration::from_secs(120);
     loop {
@@ -347,11 +346,26 @@ where
         violations,
         pass: false,
     };
+    // Machine-readable readiness: the factory signals the instant the
+    // backend exists, so the drill separates "backend still constructing"
+    // (wait quietly, no deadline pressure) from "server mute" (a bug the
+    // probe below would surface). This mirrors the server binary's
+    // "ready" line / `/readyz` flip.
+    let (built_tx, built_rx) = std::sync::mpsc::channel::<()>();
+    let make_backend = move || {
+        let backend = make_backend();
+        let _ = built_tx.send(());
+        backend
+    };
     let handle = match start_with(spec.server.clone(), make_backend) {
         Ok(h) => h,
         Err(e) => return fail(vec![format!("server failed to start: {e}")]),
     };
     let addr = handle.addr();
+    if built_rx.recv_timeout(Duration::from_secs(600)).is_err() {
+        let _ = handle.drain();
+        return fail(vec!["backend factory never finished".to_string()]);
+    }
     if !wait_ready(addr, &spec.region) {
         let _ = handle.drain();
         return fail(vec!["server never answered the readiness probe".to_string()]);

@@ -344,24 +344,10 @@ impl<'a> Parser<'a> {
 }
 
 /// Escape a string for embedding in a JSON document (used by the wire
-/// writers).
-pub fn escape_into(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
+/// writers). One escaper for the whole workspace: this is
+/// `odt_obs::json::push_str_escaped`, re-exported under the name the
+/// wire writers grew up with.
+pub use odt_obs::json::push_str_escaped as escape_into;
 
 #[cfg(test)]
 mod tests {

@@ -6,12 +6,16 @@
 //! through bounded queues with typed overload errors and graceful
 //! drain, a coordinated-omission-free load generator ([`loadgen`]), a
 //! network-fault drill catalog ([`drill`]) extending the serving chaos
-//! harness, and a tiny Unix signal shim ([`signal`]) so server binaries
-//! can drain on SIGTERM/ctrl-c.
+//! harness, a tiny Unix signal shim ([`signal`]) so server binaries
+//! can drain on SIGTERM/ctrl-c, and a live introspection plane
+//! ([`admin`]): an off-band HTTP endpoint serving Prometheus
+//! `/metrics`, `/healthz`/`/readyz` probes, `/varz`/`/tracez` JSON and
+//! operator-triggered flight-recorder dumps.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod drill;
 pub mod json;
 pub mod loadgen;
@@ -19,6 +23,7 @@ pub mod server;
 pub mod signal;
 pub mod wire;
 
+pub use admin::{render_tracez, render_varz, start_admin, AdminConfig, AdminHandle, AdminSources};
 pub use drill::{
     net_scenarios, run_net_scenario, run_net_scenario_with, NetDrillOutcome, NetExpectations,
     NetScenarioKind, NetScenarioSpec,
@@ -26,7 +31,7 @@ pub use drill::{
 pub use loadgen::{LatencySummary, LoadConfig, LoadMode, LoadReport, OdMixer, Region};
 pub use server::{
     start, start_with, ConnStatsSnapshot, DrainReport, EchoBackend, FrontendBridge, NetBackend,
-    NetRequest, ServerConfig, ServerHandle, SharedFrontendStats,
+    NetRequest, ServerConfig, ServerHandle, ServerStatsHandle, SharedFrontendStats,
 };
 pub use wire::{
     read_frame, write_frame, FrameError, FrameRead, WireErrorCode, WireQuery, WireRequest,

@@ -137,6 +137,14 @@ pub trait NetBackend {
     /// (the dispatcher fills `internal` errors for indices a buggy
     /// backend misses).
     fn process(&mut self, batch: Vec<NetRequest>) -> Vec<(usize, WireResponse)>;
+
+    /// Housekeeping hook, called on the dispatcher thread after every
+    /// processed batch and on every idle poll tick (~20 ms apart when no
+    /// traffic flows). Backends use it for work that must share the
+    /// backend's thread but not the request path: shadow-scoring a
+    /// holdout for model-quality telemetry, refreshing published stats.
+    /// Must stay cheap — requests queue behind it.
+    fn on_tick(&mut self) {}
 }
 
 /// Connection/frame counters, all monotonic except `active`.
@@ -383,6 +391,38 @@ where
     })
 }
 
+/// A cloneable, read-only view of a running server's counters and state,
+/// detached from the [`ServerHandle`]'s lifetime. The admin plane's
+/// `/varz` closure holds one of these: [`ServerHandle::drain`] consumes
+/// the handle, but the introspection plane must keep answering through
+/// the drain.
+#[derive(Clone)]
+pub struct ServerStatsHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerStatsHandle {
+    /// Live connection/frame counters.
+    pub fn stats(&self) -> ConnStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Requests admitted to the dispatcher and not yet answered.
+    pub fn inflight(&self) -> i64 {
+        self.shared.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Lifecycle state as a stable string: `running`, `draining` or
+    /// `stopped`.
+    pub fn state_name(&self) -> &'static str {
+        match self.shared.state() {
+            RUNNING => "running",
+            DRAINING => "draining",
+            _ => "stopped",
+        }
+    }
+}
+
 impl ServerHandle {
     /// The bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
@@ -392,6 +432,14 @@ impl ServerHandle {
     /// Live counters.
     pub fn stats(&self) -> ConnStatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// A counters/state view that outlives this handle (survives
+    /// [`ServerHandle::drain`] — see [`ServerStatsHandle`]).
+    pub fn stats_handle(&self) -> ServerStatsHandle {
+        ServerStatsHandle {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Requests admitted to the dispatcher and not yet answered.
@@ -850,6 +898,7 @@ fn dispatcher_main<B: NetBackend>(mut backend: B, rx: Receiver<WorkItem>, shared
                 if shared.state() == STOPPED {
                     break;
                 }
+                backend.on_tick();
                 continue;
             }
             Err(RecvTimeoutError::Disconnected) => break,
@@ -899,6 +948,7 @@ fn dispatcher_main<B: NetBackend>(mut backend: B, rx: Receiver<WorkItem>, shared
             item.conn_inflight.fetch_sub(1, Ordering::Relaxed);
             shared.inflight.fetch_sub(1, Ordering::Relaxed);
         }
+        backend.on_tick();
     }
     // Force-stop path: the queue may still hold items whose counters
     // must balance (graceful drain never reaches here with a non-empty
@@ -980,6 +1030,11 @@ pub struct FrontendBridge<E: odt_serve::RungExecutor, F> {
     make_query: F,
     adopted_traces: u64,
     shared: Option<SharedFrontendStats>,
+    /// Idle-tick work (shadow quality scoring); runs on the dispatcher
+    /// thread via [`NetBackend::on_tick`], so it may capture `!Send`
+    /// state as long as the bridge is built on that thread
+    /// ([`start_with`]).
+    tick: Option<Box<dyn FnMut()>>,
 }
 
 /// Live frontend counters published out of the dispatcher thread.
@@ -1012,7 +1067,17 @@ where
             make_query,
             adopted_traces: 0,
             shared: None,
+            tick: None,
         }
+    }
+
+    /// Install idle-tick work (see [`NetBackend::on_tick`]): the server
+    /// binary hangs its shadow quality scorer here. The closure runs on
+    /// whatever thread owns the bridge — construct the bridge (and the
+    /// closure's captures) inside the [`start_with`] factory and nothing
+    /// needs `Send`.
+    pub fn set_tick(&mut self, tick: impl FnMut() + 'static) {
+        self.tick = Some(Box::new(tick));
     }
 
     /// A handle this bridge will refresh after every processed batch;
@@ -1142,6 +1207,18 @@ where
             *shared.0.lock().unwrap() = (self.fe.snapshot(), self.adopted_traces);
         }
         out
+    }
+
+    fn on_tick(&mut self) {
+        if let Some(tick) = &mut self.tick {
+            tick();
+        }
+        // Refresh published stats on idle ticks too, so `/varz` reflects
+        // breaker half-open transitions and SLO window decay even when no
+        // traffic flows.
+        if let Some(shared) = &self.shared {
+            *shared.0.lock().unwrap() = (self.fe.snapshot(), self.adopted_traces);
+        }
     }
 }
 
@@ -1494,11 +1571,16 @@ mod tests {
 
     #[test]
     fn frontend_bridge_serves_adopts_traces_and_types_sheds() {
-        let fe = odt_serve::ServeFrontend::new(GridExec, odt_serve::FrontendConfig::default());
-        let bridge = FrontendBridge::new(fe, |wq: &WireQuery| {
-            ((wq.d_lng - wq.o_lng).abs(), (wq.d_lat - wq.o_lat).abs())
-        });
-        let h = start(test_cfg(), bridge).unwrap();
+        // The bridge can hold a `!Send` tick closure, so it is built on
+        // the dispatcher thread via the factory (exactly how the real
+        // model-backed server constructs it).
+        let h = start_with(test_cfg(), || {
+            let fe = odt_serve::ServeFrontend::new(GridExec, odt_serve::FrontendConfig::default());
+            FrontendBridge::new(fe, |wq: &WireQuery| {
+                ((wq.d_lng - wq.o_lng).abs(), (wq.d_lat - wq.o_lat).abs())
+            })
+        })
+        .unwrap();
         let mut s = connect(h.addr());
         // A served request with a propagated trace id.
         let trace = odt_obs::TraceId::from_hex("0000000000c0ffee");
@@ -1553,6 +1635,102 @@ mod tests {
         let report = h.drain();
         assert!(report.clean);
         assert_eq!(report.stats.active, 0);
+    }
+
+    #[test]
+    fn dispatcher_ticks_the_backend_when_idle_and_after_batches() {
+        struct TickBackend {
+            echo: EchoBackend,
+            ticks: Arc<AtomicU64>,
+        }
+        impl NetBackend for TickBackend {
+            fn process(&mut self, batch: Vec<NetRequest>) -> Vec<(usize, WireResponse)> {
+                self.echo.process(batch)
+            }
+            fn on_tick(&mut self) {
+                self.ticks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let ticks = Arc::new(AtomicU64::new(0));
+        let h = start(
+            test_cfg(),
+            TickBackend {
+                echo: EchoBackend::instant(),
+                ticks: Arc::clone(&ticks),
+            },
+        )
+        .unwrap();
+        // Idle ticks accumulate with no traffic at all (20 ms poll).
+        thread::sleep(Duration::from_millis(150));
+        let idle_ticks = ticks.load(Ordering::Relaxed);
+        assert!(idle_ticks >= 2, "only {idle_ticks} idle ticks");
+        // A served batch ticks once more on top.
+        let mut s = connect(h.addr());
+        send_req(
+            &mut s,
+            &WireRequest {
+                id: 1,
+                query: q(116.0),
+                deadline_ms: None,
+                trace: None,
+            },
+        );
+        let _ = recv_resp(&mut s);
+        assert!(ticks.load(Ordering::Relaxed) > idle_ticks);
+        drop(s);
+        let report = h.drain();
+        assert!(report.clean);
+    }
+
+    #[test]
+    fn stats_handle_tracks_state_across_drain() {
+        let h = start(test_cfg(), EchoBackend::instant()).unwrap();
+        let sh = h.stats_handle();
+        assert_eq!(sh.state_name(), "running");
+        let mut s = connect(h.addr());
+        send_req(
+            &mut s,
+            &WireRequest {
+                id: 1,
+                query: q(116.0),
+                deadline_ms: None,
+                trace: None,
+            },
+        );
+        let _ = recv_resp(&mut s);
+        drop(s);
+        let report = h.drain();
+        // The detached handle keeps answering after the ServerHandle is
+        // consumed — this is what /varz holds through shutdown.
+        assert_eq!(sh.state_name(), "stopped");
+        assert_eq!(sh.stats().frames_in, report.stats.frames_in);
+        assert_eq!(sh.inflight(), 0);
+    }
+
+    #[test]
+    fn bridge_tick_closure_runs_on_idle() {
+        let ticked = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&ticked);
+        let (stats_tx, stats_rx) = mpsc::channel();
+        let h = start_with(test_cfg(), move || {
+            let fe = odt_serve::ServeFrontend::new(GridExec, odt_serve::FrontendConfig::default());
+            let mut bridge = FrontendBridge::new(fe, |wq: &WireQuery| {
+                ((wq.d_lng - wq.o_lng).abs(), (wq.d_lat - wq.o_lat).abs())
+            });
+            bridge.set_tick(move || {
+                t2.fetch_add(1, Ordering::Relaxed);
+            });
+            let _ = stats_tx.send(bridge.shared_stats());
+            bridge
+        })
+        .unwrap();
+        let stats = stats_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        thread::sleep(Duration::from_millis(120));
+        assert!(ticked.load(Ordering::Relaxed) >= 2);
+        // Idle ticks also refresh the published frontend snapshot.
+        let (snap, _) = stats.get();
+        assert_eq!(snap.submitted, 0);
+        let _ = h.drain();
     }
 
     #[test]

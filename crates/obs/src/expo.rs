@@ -1,0 +1,329 @@
+//! Prometheus text exposition (format version 0.0.4) for the metrics
+//! registry — what the admin plane's `GET /metrics` serves.
+//!
+//! Mapping from the registry's dotted names to the Prometheus data model:
+//!
+//! * Names are sanitized (`[^a-zA-Z0-9_:]` → `_`) and prefixed `odt_`
+//!   unless already so, e.g. `serve.request` → `odt_serve_request`.
+//! * **Counters** gain the conventional `_total` suffix.
+//! * **Gauges** render as-is.
+//! * **Histograms** record integer microseconds, so the rendered name
+//!   gains a `_us` unit suffix and the classic triplet is emitted:
+//!   cumulative `_bucket{le="..."}` series, `_sum` (µs) and `_count`.
+//!   Because observations are integers, the `le` bounds are the *exact*
+//!   inclusive bucket tops (`0, 1, 3, 7, …, 2^i - 1`; see
+//!   [`crate::metrics::bucket_le_us`]) — cumulative counts are exact, not
+//!   off-by-half-a-bucket. The final catch-all bucket only ever surfaces
+//!   through `+Inf`. Alongside each histogram, the interpolated
+//!   p50/p95/p99 land as a `_quantile{quantile="..."}` gauge and the
+//!   exact maximum as a `_max` gauge, so dashboards get quantiles without
+//!   running `histogram_quantile` over 48 buckets.
+//!
+//! Rendering never panics and tolerates odd names (label values escaped
+//! per the exposition spec; post-sanitization name collisions keep the
+//! first metric and drop later ones rather than emitting a duplicate
+//! family). An empty registry renders to an empty (still valid) body.
+
+use crate::metrics::Histogram;
+use std::collections::BTreeSet;
+
+/// Content-Type an HTTP endpoint should declare for [`render`] output.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Sanitize a registry name into a Prometheus metric name: every char
+/// outside `[a-zA-Z0-9_:]` becomes `_`, and the result is prefixed with
+/// `odt_` unless it already starts with it (this also guarantees a legal
+/// leading character).
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    if !name.starts_with("odt_") {
+        out.push_str("odt_");
+    }
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Append `v` escaped as a Prometheus label *value* (the part between the
+/// quotes): backslash, double-quote and newline get backslash-escaped per
+/// the exposition format spec.
+pub fn push_label_value(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Append a sample value. Prometheus accepts Go-style floats including
+/// `NaN`, `+Inf` and `-Inf` (unlike JSON — compare `json::push_f64`).
+fn push_sample(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "+Inf" } else { "-Inf" });
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+fn push_help_type(out: &mut String, name: &str, source: &str, kind: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push_str(" odt registry metric ");
+    // HELP text escaping per spec: backslash and newline only.
+    for c in source.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('\n');
+    out.push_str("# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Render the whole process-global registry as one exposition body.
+pub fn render() -> String {
+    let snap = crate::metrics::snapshot();
+    let hists = crate::metrics::registry_histograms();
+    render_parts(&snap.counters, &snap.gauges, &hists)
+}
+
+/// Render an exposition body from explicit parts — the testable core of
+/// [`render`] (the registry is process-global, so tests feed local
+/// histograms and literal counter/gauge slices instead).
+pub fn render_parts(
+    counters: &[(&str, u64)],
+    gauges: &[(&str, f64)],
+    histograms: &[(&str, &Histogram)],
+) -> String {
+    let mut out = String::new();
+    // Families already emitted, by sanitized name: a post-sanitization
+    // collision ("a.b" vs "a_b") must not emit the same family twice.
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let claim = |seen: &mut BTreeSet<String>, base: &str| -> bool {
+        if seen.contains(base) {
+            return false;
+        }
+        seen.insert(base.to_string());
+        true
+    };
+
+    for &(name, v) in counters {
+        let mut base = sanitize_name(name);
+        if !base.ends_with("_total") {
+            base.push_str("_total");
+        }
+        if !claim(&mut seen, &base) {
+            continue;
+        }
+        push_help_type(&mut out, &base, name, "counter");
+        out.push_str(&base);
+        out.push(' ');
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+
+    for &(name, v) in gauges {
+        let base = sanitize_name(name);
+        if !claim(&mut seen, &base) {
+            continue;
+        }
+        push_help_type(&mut out, &base, name, "gauge");
+        out.push_str(&base);
+        out.push(' ');
+        push_sample(&mut out, v);
+        out.push('\n');
+    }
+
+    for &(name, h) in histograms {
+        let mut base = sanitize_name(name);
+        if !base.ends_with("_us") {
+            base.push_str("_us");
+        }
+        if !claim(&mut seen, &base) {
+            continue;
+        }
+        let count = h.count();
+        push_help_type(&mut out, &base, name, "histogram");
+        for (le, cum) in h.cumulative_buckets() {
+            out.push_str(&base);
+            out.push_str("_bucket{le=\"");
+            push_label_value(&mut out, &le.to_string());
+            out.push_str("\"} ");
+            out.push_str(&cum.to_string());
+            out.push('\n');
+        }
+        out.push_str(&base);
+        out.push_str("_bucket{le=\"+Inf\"} ");
+        out.push_str(&count.to_string());
+        out.push('\n');
+        out.push_str(&base);
+        out.push_str("_sum ");
+        out.push_str(&h.sum_micros().to_string());
+        out.push('\n');
+        out.push_str(&base);
+        out.push_str("_count ");
+        out.push_str(&count.to_string());
+        out.push('\n');
+
+        let qname = format!("{base}_quantile");
+        if claim(&mut seen, &qname) {
+            push_help_type(&mut out, &qname, name, "gauge");
+            for (label, q) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)] {
+                out.push_str(&qname);
+                out.push_str("{quantile=\"");
+                push_label_value(&mut out, label);
+                out.push_str("\"} ");
+                push_sample(&mut out, h.quantile_micros(q));
+                out.push('\n');
+            }
+        }
+        let mname = format!("{base}_max");
+        if claim(&mut seen, &mname) {
+            push_help_type(&mut out, &mname, name, "gauge");
+            out.push_str(&mname);
+            out.push(' ');
+            out.push_str(&h.max_micros().to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names_and_prefixes() {
+        assert_eq!(sanitize_name("serve.request"), "odt_serve_request");
+        assert_eq!(sanitize_name("odt_already"), "odt_already");
+        assert_eq!(sanitize_name("weird name-µs"), "odt_weird_name__s");
+        assert_eq!(sanitize_name("9lead"), "odt_9lead");
+    }
+
+    #[test]
+    fn label_values_escape_per_spec() {
+        let mut out = String::new();
+        push_label_value(&mut out, "a\\b\"c\nd");
+        assert_eq!(out, "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_body() {
+        assert_eq!(render_parts(&[], &[], &[]), "");
+    }
+
+    #[test]
+    fn counter_gets_total_suffix_and_help() {
+        let body = render_parts(&[("net.conns.opened", 7)], &[], &[]);
+        assert!(body.contains("# TYPE odt_net_conns_opened_total counter\n"));
+        assert!(body.contains("\nodt_net_conns_opened_total 7\n"));
+        assert!(body
+            .contains("# HELP odt_net_conns_opened_total odt registry metric net.conns.opened\n"));
+    }
+
+    #[test]
+    fn gauge_renders_nonfinite_go_style() {
+        let body = render_parts(
+            &[],
+            &[("a", f64::NAN), ("b", f64::INFINITY), ("c", -2.5)],
+            &[],
+        );
+        assert!(body.contains("odt_a NaN\n"));
+        assert!(body.contains("odt_b +Inf\n"));
+        assert!(body.contains("odt_c -2.5\n"));
+    }
+
+    #[test]
+    fn zero_observation_histogram_is_minimal_but_valid() {
+        let h = Histogram::default();
+        let body = render_parts(&[], &[], &[("serve.request", &h)]);
+        assert!(body.contains("# TYPE odt_serve_request_us histogram\n"));
+        assert!(body.contains("odt_serve_request_us_bucket{le=\"+Inf\"} 0\n"));
+        assert!(body.contains("odt_serve_request_us_sum 0\n"));
+        assert!(body.contains("odt_serve_request_us_count 0\n"));
+        assert!(
+            !body.contains("_bucket{le=\"0\"}"),
+            "no finite buckets for an empty histogram"
+        );
+        assert!(body.contains("odt_serve_request_us_quantile{quantile=\"0.5\"} 0\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_close_with_inf() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 700, 700, 5_000] {
+            h.record_micros(v);
+        }
+        let body = render_parts(&[], &[], &[("q", &h)]);
+        let mut cums = Vec::new();
+        for line in body.lines() {
+            if let Some(rest) = line.strip_prefix("odt_q_us_bucket{le=\"") {
+                let (le, cnt) = rest.split_once("\"} ").unwrap();
+                cums.push((le.to_string(), cnt.parse::<u64>().unwrap()));
+            }
+        }
+        assert_eq!(cums.last().unwrap(), &("+Inf".to_string(), 6));
+        for w in cums.windows(2) {
+            assert!(w[0].1 <= w[1].1, "cumulative counts must be monotone");
+        }
+        // Exact inclusive bounds: le="0" counts the one zero, le="1023"
+        // counts everything but the 5 ms outlier.
+        assert!(cums.contains(&("0".to_string(), 1)));
+        assert!(cums.contains(&("1023".to_string(), 5)));
+        assert!(body.contains("odt_q_us_sum 6403\n"));
+        assert!(body.contains("odt_q_us_count 6\n"));
+        assert!(body.contains("odt_q_us_max 5000\n"));
+    }
+
+    #[test]
+    fn sanitization_collisions_keep_first_family() {
+        let body = render_parts(&[("a.b", 1), ("a_b", 2)], &[("a.b", 9.0)], &[]);
+        assert_eq!(body.matches("# TYPE odt_a_b_total counter").count(), 1);
+        assert!(body.contains("odt_a_b_total 1\n"));
+        assert!(!body.contains("odt_a_b_total 2"));
+        // The gauge's sanitized name does not collide with the counter's
+        // (different suffix), so it still renders.
+        assert!(body.contains("odt_a_b 9\n"));
+    }
+
+    #[test]
+    fn every_line_is_comment_or_sample_shaped() {
+        let h = Histogram::default();
+        h.record_micros(42);
+        let body = render_parts(&[("c.x", 1)], &[("g.y", 0.5)], &[("h.z", &h)]);
+        for line in body.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "{line}"
+                );
+            } else {
+                let (name_labels, value) = line.rsplit_once(' ').expect(line);
+                assert!(!value.is_empty(), "{line}");
+                let name = name_labels.split('{').next().unwrap();
+                assert!(
+                    name.chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                    "{line}"
+                );
+                assert!(name.starts_with("odt_"), "{line}");
+            }
+        }
+    }
+}

@@ -1,7 +1,12 @@
 //! Minimal JSON rendering helpers (no serde in a zero-dependency crate).
+//!
+//! Shared across the workspace: the event sinks and flight recorder in
+//! this crate, the `odt-wire/v1` writers in `odt-net`, and the admin
+//! plane's `/varz`/`/tracez` renderers all build JSON through these two
+//! functions, so string escaping exists exactly once.
 
 /// Append `s` to `out` as a JSON string literal, with escaping.
-pub(crate) fn push_str_escaped(out: &mut String, s: &str) {
+pub fn push_str_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -21,7 +26,7 @@ pub(crate) fn push_str_escaped(out: &mut String, s: &str) {
 
 /// Append a finite JSON number; non-finite floats become `null` (JSON has
 /// no NaN/Infinity).
-pub(crate) fn push_f64(out: &mut String, v: f64) {
+pub fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         out.push_str(&format!("{v}"));
     } else {

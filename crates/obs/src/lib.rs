@@ -34,6 +34,15 @@
 //! * **SLO burn-rate monitor** — [`slo::BurnRateMonitor`] implements
 //!   multi-window (fast + slow) error-budget burn alerting over a
 //!   deterministic caller-supplied clock.
+//! * **Prometheus exposition** — [`expo::render`] serializes the whole
+//!   registry as text exposition format 0.0.4 (cumulative `le` buckets
+//!   with exact integer-µs bounds, quantile/max gauges per histogram)
+//!   for the admin plane's `GET /metrics`.
+//! * **Model-quality windows** — [`quality::QualityTracker`] turns a
+//!   shadow-scored `(predicted, actual)` travel-time stream into windowed
+//!   MAE/MAPE/bias gauges plus a quantile-shift drift score against a
+//!   frozen reference window, with edge-triggered alerts wired into the
+//!   same SLO and flight-recorder machinery.
 //!
 //! ## Event taxonomy and metric names
 //!
@@ -57,9 +66,11 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod expo;
 pub mod flightrec;
-mod json;
+pub mod json;
 mod metrics;
+pub mod quality;
 mod ring;
 pub mod rng;
 mod sink;
@@ -69,9 +80,10 @@ pub mod trace;
 
 pub use event::{emit, event, min_level, set_min_level, Event, EventBuilder, FieldValue, Level};
 pub use metrics::{
-    counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramSummary,
-    MetricsSnapshot,
+    bucket_le_us, counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramSummary,
+    MetricsSnapshot, NUM_BUCKETS,
 };
+pub use quality::{QualityConfig, QualitySnapshot, QualityTracker};
 pub use ring::{recent_events, ring_capacity, set_ring_capacity};
 pub use rng::SplitMix64;
 pub use sink::{add_sink, flush_sinks, remove_sink, FnSink, JsonlSink, Sink, SinkId, StderrSink};

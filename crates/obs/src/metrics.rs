@@ -50,7 +50,7 @@ impl Gauge {
 /// Number of histogram buckets. Bucket 0 holds exact zeros; bucket `i ≥ 1`
 /// holds values (in µs) in `[2^(i-1), 2^i)` — geometric base-2 buckets up
 /// to ~2^46 µs (≈ 2 years), far beyond any latency this stack records.
-const NUM_BUCKETS: usize = 48;
+pub const NUM_BUCKETS: usize = 48;
 
 /// Inclusive-lower / exclusive-upper bounds of bucket `i`, in µs.
 fn bucket_bounds(i: usize) -> (f64, f64) {
@@ -58,6 +58,19 @@ fn bucket_bounds(i: usize) -> (f64, f64) {
         (0.0, 1.0)
     } else {
         ((1u64 << (i - 1)) as f64, (1u64 << i) as f64)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` in integer µs: the largest value
+/// that lands in the bucket (`0` for the zeros bucket, else `2^i - 1`).
+/// Because observations are integer microseconds, a cumulative count "of
+/// everything at or below this bound" is exact — this is what the
+/// Prometheus `le` label renders as (see [`crate::expo`]).
+pub fn bucket_le_us(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i.min(63)) - 1
     }
 }
 
@@ -189,6 +202,37 @@ impl Histogram {
         self.max_micros() as f64
     }
 
+    /// Raw per-bucket observation counts (index `i` as in
+    /// [`bucket_le_us`]). A relaxed-atomic snapshot: concurrent recording
+    /// may make the copy momentarily inconsistent with [`Histogram::count`]
+    /// by the in-flight observations.
+    pub fn bucket_counts(&self) -> [u64; NUM_BUCKETS] {
+        std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed))
+    }
+
+    /// Cumulative `(le_us, count ≤ le_us)` pairs for Prometheus-style
+    /// exposition, covering buckets 0 through the highest non-empty one
+    /// (empty histogram → empty vec). The final catch-all bucket
+    /// (`i = NUM_BUCKETS - 1`) is *excluded* — it has no exact finite
+    /// upper bound — so renderers must close the series with a `+Inf`
+    /// bucket carrying the total count.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let counts = self.bucket_counts();
+        let highest = match counts.iter().rposition(|&c| c > 0) {
+            Some(h) => h,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(highest + 1);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate().take(highest + 1) {
+            cum += c;
+            if i < NUM_BUCKETS - 1 {
+                out.push((bucket_le_us(i), cum));
+            }
+        }
+        out
+    }
+
     /// The bucket index containing the `q`-quantile's rank, or `None` for
     /// an empty histogram.
     fn quantile_bucket(&self, q: f64) -> Option<usize> {
@@ -292,6 +336,19 @@ pub fn histogram(name: &'static str) -> &'static Histogram {
         .expect("metrics registry poisoned")
         .entry(name)
         .or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// Every registered histogram by reference (sorted by name), for
+/// exporters that need raw buckets rather than the summary in
+/// [`MetricsSnapshot`].
+pub(crate) fn registry_histograms() -> Vec<(&'static str, &'static Histogram)> {
+    registry()
+        .histograms
+        .lock()
+        .expect("metrics registry poisoned")
+        .iter()
+        .map(|(k, v)| (*k, *v))
+        .collect()
 }
 
 /// A point-in-time copy of every registered metric, sorted by name.
@@ -479,6 +536,44 @@ mod tests {
         h.record_secs(0.001);
         assert_eq!(h.count(), 1);
         assert_eq!(h.max_micros(), 1000);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_exact_at_integer_bounds() {
+        let h = Histogram::default();
+        assert!(h.cumulative_buckets().is_empty());
+        h.record_micros(0);
+        h.record_micros(1);
+        h.record_micros(3);
+        h.record_micros(1000);
+        let cum = h.cumulative_buckets();
+        // Highest non-empty bucket for 1000 µs is 10 ([512, 1024)).
+        assert_eq!(cum.len(), 11);
+        assert_eq!(cum[0], (0, 1), "zeros bucket: le=0 counts exact zeros");
+        assert_eq!(cum[1], (1, 2), "le=1 covers {{0, 1}}");
+        assert_eq!(cum[2], (3, 3), "le=3 covers [0, 3]");
+        assert_eq!(cum[10], (1023, 4), "le=1023 covers everything recorded");
+        // Monotone in both coordinates.
+        for w in cum.windows(2) {
+            assert!(w[0].0 < w[1].0 && w[0].1 <= w[1].1);
+        }
+        assert_eq!(cum.last().unwrap().1, h.count());
+    }
+
+    #[test]
+    fn catch_all_bucket_has_no_finite_le() {
+        let h = Histogram::default();
+        h.record_micros(u64::MAX);
+        // Everything lives in the final catch-all bucket, which has no
+        // exact finite bound — the cumulative series must leave it to the
+        // renderer's +Inf bucket.
+        assert!(h.cumulative_buckets().len() < NUM_BUCKETS);
+        assert_eq!(
+            h.cumulative_buckets().last().map(|&(_, c)| c).unwrap_or(0),
+            0,
+            "no finite bucket contains the overflow observation"
+        );
+        assert_eq!(h.bucket_counts()[NUM_BUCKETS - 1], 1);
     }
 
     #[test]

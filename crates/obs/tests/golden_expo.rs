@@ -1,0 +1,44 @@
+//! Golden-file test for the Prometheus exposition renderer: a fixed set
+//! of counters, gauges and histogram observations must render
+//! byte-identically to `tests/golden/exposition.txt`. Any intentional
+//! format change must update the golden file in the same commit —
+//! dashboards and scrape configs parse this format.
+
+use odt_obs::Histogram;
+
+/// The fixture must be deterministic and registry-independent: local
+/// histograms, literal counter/gauge slices, no process-global state.
+fn golden_body() -> String {
+    let lat = Histogram::default();
+    for v in [0u64, 1, 2, 3, 120, 480, 512, 700, 1023, 90_000] {
+        lat.record_micros(v);
+    }
+    let empty = Histogram::default();
+    odt_obs::expo::render_parts(
+        &[("net.conns.opened", 42), ("serve.shed.queue_full", 3)],
+        &[
+            ("quality.drift.score", 0.125),
+            ("quality.mae", 37.5),
+            ("slo.burn.fast", 0.0),
+        ],
+        &[("serve.request", &lat), ("serve.rung.fallback", &empty)],
+    )
+}
+
+#[test]
+fn exposition_matches_golden_file() {
+    let expected = include_str!("golden/exposition.txt");
+    let got = golden_body();
+    if got != expected {
+        // Line-level diff for a readable failure.
+        for (i, (g, e)) in got.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(g, e, "first divergence at line {}", i + 1);
+        }
+        assert_eq!(
+            got.lines().count(),
+            expected.lines().count(),
+            "line-count mismatch"
+        );
+        panic!("bodies differ only in trailing whitespace");
+    }
+}

@@ -69,3 +69,58 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    /// Prometheus exposition invariants for ANY observation set: bucket
+    /// lines are cumulative-monotone in both `le` and count, the series
+    /// closes with `+Inf` equal to `_count`, and `_sum` is exact.
+    #[test]
+    fn exposition_buckets_are_cumulative_and_consistent(
+        samples in prop::collection::vec(0u64..=50_000_000, 0..300),
+    ) {
+        let h = Histogram::default();
+        for &s in &samples {
+            h.record_micros(s);
+        }
+        let body = odt_obs::expo::render_parts(&[], &[], &[("prop.hist", &h)]);
+        let mut les: Vec<u64> = Vec::new();
+        let mut cums: Vec<u64> = Vec::new();
+        let mut inf = None;
+        let mut sum = None;
+        let mut count = None;
+        for line in body.lines() {
+            if let Some(rest) = line.strip_prefix("odt_prop_hist_us_bucket{le=\"") {
+                let (le, c) = rest.split_once("\"} ").unwrap();
+                let c: u64 = c.parse().unwrap();
+                if le == "+Inf" {
+                    inf = Some(c);
+                } else {
+                    les.push(le.parse().unwrap());
+                    cums.push(c);
+                }
+            } else if let Some(v) = line.strip_prefix("odt_prop_hist_us_sum ") {
+                sum = Some(v.parse::<u64>().unwrap());
+            } else if let Some(v) = line.strip_prefix("odt_prop_hist_us_count ") {
+                count = Some(v.parse::<u64>().unwrap());
+            }
+        }
+        prop_assert_eq!(inf, Some(samples.len() as u64), "+Inf bucket == count");
+        prop_assert_eq!(count, Some(samples.len() as u64));
+        prop_assert_eq!(sum, Some(samples.iter().sum::<u64>()));
+        for w in les.windows(2) {
+            prop_assert!(w[0] < w[1], "le bounds strictly increase");
+        }
+        for w in cums.windows(2) {
+            prop_assert!(w[0] <= w[1], "cumulative counts are monotone");
+        }
+        if let Some(&last) = cums.last() {
+            prop_assert!(last <= samples.len() as u64);
+        }
+        // Exactness: each rendered cumulative count equals the number of
+        // observations at or below its integer `le` bound.
+        for (&le, &c) in les.iter().zip(&cums) {
+            let expect = samples.iter().filter(|&&s| s <= le).count() as u64;
+            prop_assert_eq!(c, expect, "le={}", le);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! End-to-end drift incident: a synthetically shifted holdout stream must
+//! cross the drift threshold, raise the edge-triggered alert, and freeze
+//! the flight recorder — the acceptance path for the quality observer.
+//!
+//! Lives in its own integration-test process because the flight recorder
+//! is process-global (the lib's unit tests arm/disarm it under their own
+//! lock; sharing a process would race).
+
+use odt_obs::quality::{QualityConfig, QualityTracker};
+use odt_obs::slo::BurnRateConfig;
+
+#[test]
+fn synthetic_shift_triggers_alert_and_flightrec_dump() {
+    let dir = std::env::temp_dir().join(format!("odt_quality_drift_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    odt_obs::flightrec::enable(&dir);
+
+    let mut t = QualityTracker::new(QualityConfig {
+        window: 64,
+        min_samples: 16,
+        slo: Some(BurnRateConfig {
+            fast_window_us: 1_000_000,
+            slow_window_us: 10_000_000,
+            min_samples: 5,
+            ..BurnRateConfig::default()
+        }),
+        ..QualityConfig::default()
+    });
+
+    // Healthy phase: ±5% wobble freezes an honest reference window.
+    let mut now = 0u64;
+    for i in 0..64u64 {
+        now += 10_000;
+        let wobble = 0.05 * ((i % 10) as f64 / 5.0 - 1.0);
+        t.record(600.0 * (1.0 + wobble), 600.0, now);
+    }
+    let healthy = t.snapshot(now);
+    assert!(healthy.reference_frozen);
+    assert_eq!(healthy.drift_alerts, 0);
+    let dumps_before = odt_obs::flightrec::dump_count();
+
+    // Shifted phase: the same workload with ground truth 60% above the
+    // model's predictions (demand shift — the model is now stale).
+    for i in 0..64u64 {
+        now += 10_000;
+        let wobble = 0.05 * ((i % 10) as f64 / 5.0 - 1.0);
+        t.record(600.0 * (1.0 + wobble), 960.0, now);
+    }
+    let shifted = t.snapshot(now);
+    assert!(
+        shifted.drift_score > t.config().drift_threshold,
+        "drift {} must cross {}",
+        shifted.drift_score,
+        t.config().drift_threshold
+    );
+    assert_eq!(shifted.drift_alerts, 1, "edge-triggered alert");
+    assert!(shifted.drift_alerting);
+    let slo = shifted.slo.expect("slo monitor configured");
+    assert!(
+        slo.alerting,
+        "sustained APE over tolerance must burn the accuracy SLO"
+    );
+
+    // The incident left a black box.
+    assert!(odt_obs::flightrec::dump_count() > dumps_before);
+    let dump = odt_obs::flightrec::last_dump().expect("dump written");
+    let name = dump.file_name().unwrap().to_string_lossy().to_string();
+    // The drift alert fires first, then the SLO breach may dump again —
+    // both reasons are acceptable as "last", but a quality_drift dump
+    // must exist in the directory.
+    let has_drift_dump = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .any(|e| e.file_name().to_string_lossy().contains("quality_drift"));
+    assert!(has_drift_dump, "no quality_drift dump (last: {name})");
+    let content = std::fs::read_to_string(&dump).unwrap();
+    assert!(content
+        .lines()
+        .next()
+        .unwrap()
+        .contains("\"schema\":\"odt-flightrec/v1\""));
+    assert!(
+        content
+            .lines()
+            .any(|l| l.contains("quality.drift.alert") || l.contains("slo.burn.alert")),
+        "dump carries the alerting event ring"
+    );
+
+    odt_obs::flightrec::disable();
+    let _ = std::fs::remove_dir_all(&dir);
+}

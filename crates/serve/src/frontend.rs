@@ -217,6 +217,9 @@ pub struct FrontendSnapshot {
     pub deadline_missed: u64,
     /// SLO burn-rate state, when [`FrontendConfig::slo`] is configured.
     pub slo: Option<odt_obs::slo::BurnRateSnapshot>,
+    /// The latency ladder's live per-rung cost estimates (µs, fidelity
+    /// order) at snapshot time — what selection is currently using.
+    pub ladder_cost_us: [u64; 4],
 }
 
 /// The deadline-aware serving frontend. See the module docs.
@@ -295,6 +298,7 @@ impl<E: RungExecutor> ServeFrontend<E> {
             s.breaker_states[i] = self.breakers[i].state().name();
         }
         s.slo = self.slo.as_ref().map(|m| m.snapshot(self.now_us()));
+        s.ladder_cost_us = self.ladder.costs();
         s
     }
 

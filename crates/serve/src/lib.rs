@@ -23,6 +23,10 @@
 //!   faults (latency, NaN, panics) and [`scenarios`] defines standing
 //!   drills with explicit [`Expectations`], run by the `chaos_drill` eval
 //!   binary and the CI `chaos-smoke` job.
+//! * **Shadow quality scoring** — [`ShadowScorer`] replays a ground-truth
+//!   holdout through the live model on idle ticks, feeding
+//!   `odt_obs::QualityTracker`'s accuracy/drift windows so the admin
+//!   plane exports live model-quality metrics.
 //!
 //! Everything runs on caller-visible microsecond clocks and seeded PRNGs,
 //! so the whole stack — queue, breaker, ladder, chaos — is deterministic
@@ -37,6 +41,7 @@ pub mod dot;
 pub mod frontend;
 pub mod ladder;
 pub mod queue;
+pub mod shadow;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use chaos::{
@@ -49,3 +54,4 @@ pub use frontend::{
 };
 pub use ladder::{select_from_costs, LadderConfig, LatencyLadder, Rung, MODEL_RUNGS};
 pub use queue::{AdmissionQueue, ShedPolicy};
+pub use shadow::{ShadowConfig, ShadowScorer};

@@ -1,0 +1,267 @@
+//! Shadow holdout scoring: replaying ground-truth queries through the
+//! live oracle to measure model quality *in production*.
+//!
+//! The training pipeline holds out a slice of trajectories whose true
+//! travel times are known. [`ShadowScorer`] owns those `(query, actual)`
+//! pairs and, on every idle tick of the serving loop, replays a small
+//! batch through the caller-supplied predictor, feeding the resulting
+//! `(predicted, actual)` pairs into an [`odt_obs::QualityTracker`]. The
+//! tracker maintains windowed MAE/MAPE/bias gauges and a quantile-shift
+//! drift score against a frozen reference window; when live accuracy
+//! drifts, the tracker raises the edge-triggered alert, burns the
+//! accuracy SLO and triggers a flight-recorder dump (see
+//! `odt_obs::quality`).
+//!
+//! Design constraints:
+//!
+//! * **Off the request path.** The scorer is driven by an explicit
+//!   [`ShadowScorer::step`] call with a caller-supplied clock — the
+//!   network dispatcher calls it from its idle tick, never while a
+//!   client request is in flight. Throttling lives here
+//!   ([`ShadowConfig::min_interval_us`]) so the tick can be called as
+//!   often as convenient.
+//! * **Backend-agnostic.** Prediction is a closure over a batch of
+//!   queries, so the scorer neither knows about `Dot` (which is
+//!   `!Send`, `Rc`-based) nor forces a threading model. The dispatcher
+//!   thread that owns the backend is the one that steps the scorer.
+//! * **Deterministic.** The holdout is replayed in order, wrapping
+//!   around; no sampling randomness. Two runs over the same holdout and
+//!   clock produce identical tracker states.
+
+use odt_obs::{QualityConfig, QualitySnapshot, QualityTracker};
+
+/// Pacing for shadow scoring — how much holdout work one idle tick does.
+#[derive(Clone, Copy, Debug)]
+pub struct ShadowConfig {
+    /// Queries scored per [`ShadowScorer::step`] call.
+    pub batch: usize,
+    /// Minimum microseconds between scoring batches; earlier steps are
+    /// no-ops. Keeps shadow load bounded regardless of tick frequency.
+    pub min_interval_us: u64,
+    /// Quality-window configuration handed to the embedded tracker.
+    pub quality: QualityConfig,
+}
+
+impl Default for ShadowConfig {
+    fn default() -> Self {
+        Self {
+            batch: 8,
+            min_interval_us: 200_000,
+            quality: QualityConfig::default(),
+        }
+    }
+}
+
+impl ShadowConfig {
+    /// Aggressive pacing for drills and tests: score every step, small
+    /// quality windows so drift fires within one drill.
+    pub fn for_drill() -> Self {
+        Self {
+            batch: 8,
+            min_interval_us: 0,
+            quality: QualityConfig::for_drill(),
+        }
+    }
+}
+
+/// Replays a ground-truth holdout through the live model and feeds the
+/// quality tracker. Generic over the query type so tests don't need a
+/// trained oracle.
+pub struct ShadowScorer<Q> {
+    holdout: Vec<(Q, f64)>,
+    cursor: usize,
+    cfg: ShadowConfig,
+    tracker: QualityTracker,
+    last_step_us: Option<u64>,
+    scored: u64,
+}
+
+impl<Q> ShadowScorer<Q> {
+    /// Build a scorer over `holdout` pairs of `(query, actual_seconds)`.
+    /// Pairs with non-finite or non-positive ground truth are dropped up
+    /// front (the tracker would reject them per sample anyway).
+    pub fn new(holdout: Vec<(Q, f64)>, cfg: ShadowConfig) -> Self {
+        let holdout: Vec<_> = holdout
+            .into_iter()
+            .filter(|(_, actual)| actual.is_finite() && *actual > 0.0)
+            .collect();
+        Self {
+            holdout,
+            cursor: 0,
+            tracker: QualityTracker::new(cfg.quality),
+            cfg: ShadowConfig {
+                batch: cfg.batch.max(1),
+                ..cfg
+            },
+            last_step_us: None,
+            scored: 0,
+        }
+    }
+
+    /// Number of usable holdout pairs.
+    pub fn holdout_len(&self) -> usize {
+        self.holdout.len()
+    }
+
+    /// Total samples scored so far.
+    pub fn scored(&self) -> u64 {
+        self.scored
+    }
+
+    /// The embedded tracker's current state.
+    pub fn quality(&self, now_us: u64) -> QualitySnapshot {
+        self.tracker.snapshot(now_us)
+    }
+}
+
+impl<Q: Clone> ShadowScorer<Q> {
+    /// Run one shadow batch if the throttle allows: takes the next
+    /// `cfg.batch` holdout queries (wrapping), asks `predict` for their
+    /// travel-time estimates (seconds, same order) and records each
+    /// `(predicted, actual)` pair. Returns the number of samples scored
+    /// (0 when throttled or the holdout is empty).
+    ///
+    /// `predict` returning fewer estimates than queries scores only the
+    /// prefix; extra estimates are ignored. The batch queries are cloned
+    /// (bounded by `cfg.batch`, 8 by default) so `predict` gets the
+    /// contiguous `&[Q]` slice batch estimators want.
+    pub fn step<F>(&mut self, now_us: u64, mut predict: F) -> usize
+    where
+        F: FnMut(&[Q]) -> Vec<f64>,
+    {
+        if self.holdout.is_empty() {
+            return 0;
+        }
+        if let Some(last) = self.last_step_us {
+            if now_us.saturating_sub(last) < self.cfg.min_interval_us {
+                return 0;
+            }
+        }
+        self.last_step_us = Some(now_us);
+
+        let n = self.cfg.batch.min(self.holdout.len());
+        let start = self.cursor;
+        let mut queries = Vec::with_capacity(n);
+        let mut actuals = Vec::with_capacity(n);
+        for i in 0..n {
+            let (q, actual) = &self.holdout[(start + i) % self.holdout.len()];
+            queries.push(q.clone());
+            actuals.push(*actual);
+        }
+        self.cursor = (start + n) % self.holdout.len();
+
+        let preds = predict(&queries);
+        let scored = preds.len().min(actuals.len());
+        for (i, pred) in preds.into_iter().take(scored).enumerate() {
+            self.tracker.record(pred, actuals[i], now_us);
+        }
+        self.scored += scored as u64;
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odt_obs::slo::BurnRateConfig;
+
+    fn scorer(n: usize, cfg: ShadowConfig) -> ShadowScorer<u32> {
+        // Query i has ground truth 100 + i seconds.
+        ShadowScorer::new((0..n).map(|i| (i as u32, 100.0 + i as f64)).collect(), cfg)
+    }
+
+    #[test]
+    fn drops_unusable_holdout_pairs() {
+        let s = ShadowScorer::new(
+            vec![(1u32, 100.0), (2, f64::NAN), (3, 0.0), (4, -5.0), (5, 7.0)],
+            ShadowConfig::default(),
+        );
+        assert_eq!(s.holdout_len(), 2);
+    }
+
+    #[test]
+    fn throttle_gates_batches_and_cursor_wraps() {
+        let mut s = scorer(
+            5,
+            ShadowConfig {
+                batch: 2,
+                min_interval_us: 1_000,
+                ..ShadowConfig::for_drill()
+            },
+        );
+        let mut seen: Vec<u32> = Vec::new();
+        let mut run = |s: &mut ShadowScorer<u32>, now| {
+            s.step(now, |qs: &[u32]| {
+                seen.extend_from_slice(qs);
+                qs.iter().map(|&q| 100.0 + q as f64).collect()
+            })
+        };
+        assert_eq!(run(&mut s, 0), 2);
+        assert_eq!(run(&mut s, 500), 0, "throttled: only 500 µs elapsed");
+        assert_eq!(run(&mut s, 1_000), 2);
+        assert_eq!(run(&mut s, 2_000), 2, "wraps past the end");
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 0]);
+        assert_eq!(s.scored(), 6);
+    }
+
+    #[test]
+    fn empty_holdout_scores_nothing() {
+        let mut s = scorer(0, ShadowConfig::for_drill());
+        assert_eq!(s.step(0, |qs: &[u32]| vec![1.0; qs.len()]), 0);
+        assert_eq!(s.quality(0).samples, 0);
+    }
+
+    #[test]
+    fn short_prediction_scores_prefix_only() {
+        let mut s = scorer(8, ShadowConfig::for_drill());
+        assert_eq!(s.step(0, |_qs: &[u32]| vec![100.0, 101.0]), 2);
+        assert_eq!(s.scored(), 2);
+    }
+
+    #[test]
+    fn accurate_predictions_keep_quality_calm() {
+        let mut s = scorer(64, ShadowConfig::for_drill());
+        let mut now = 0u64;
+        for _ in 0..32 {
+            now += 10_000;
+            s.step(now, |qs: &[u32]| {
+                qs.iter().map(|&q| 100.0 + q as f64).collect()
+            });
+        }
+        let q = s.quality(now);
+        assert!(q.samples >= 64);
+        assert!(q.mae_s < 1e-9, "perfect predictions: mae {}", q.mae_s);
+        assert_eq!(q.drift_alerts, 0);
+    }
+
+    #[test]
+    fn degraded_predictions_trip_drift_through_the_scorer() {
+        let cfg = ShadowConfig {
+            quality: QualityConfig {
+                slo: Some(BurnRateConfig::for_drill()),
+                ..QualityConfig::for_drill()
+            },
+            ..ShadowConfig::for_drill()
+        };
+        let mut s = scorer(64, cfg);
+        let mut now = 0u64;
+        // Healthy phase freezes the reference...
+        for _ in 0..16 {
+            now += 10_000;
+            s.step(now, |qs: &[u32]| {
+                qs.iter().map(|&q| 100.0 + q as f64).collect()
+            });
+        }
+        assert!(s.quality(now).reference_frozen);
+        // ...then the model goes stale: 60% underprediction.
+        for _ in 0..16 {
+            now += 10_000;
+            s.step(now, |qs: &[u32]| {
+                qs.iter().map(|&q| (100.0 + q as f64) * 0.4).collect()
+            });
+        }
+        let q = s.quality(now);
+        assert!(q.drift_alerting, "drift score {}", q.drift_score);
+        assert!(q.drift_alerts >= 1);
+    }
+}

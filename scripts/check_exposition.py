@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format (0.0.4) exposition body.
+
+Structural checks, independent of the Rust renderer's own tests:
+
+* every line is empty, a `# HELP`/`# TYPE` comment, or a sample;
+* every sample belongs to a family declared with `# TYPE` (histogram
+  samples via their `_bucket`/`_sum`/`_count` suffixes);
+* no family is declared twice;
+* counter families end in `_total`;
+* label strings are well-formed `name="escaped value"` pairs;
+* sample values parse as Go-style floats (`NaN`, `+Inf`, `-Inf` legal);
+* histogram buckets: `le` bounds parse, are strictly increasing, counts
+  are cumulative (monotone non-decreasing), the series closes with a
+  `+Inf` bucket equal to `_count`, and `_sum`/`_count` are present.
+
+Usage: check_exposition.py FILE [--require METRIC]...
+
+`--require NAME` additionally asserts a sample of that family exists
+(histogram families match their triplet samples).
+"""
+
+import argparse
+import math
+import re
+import sys
+from collections import defaultdict
+
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\["\\n])*)"')
+TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def parse_value(s):
+    if s == "NaN":
+        return math.nan
+    if s == "+Inf":
+        return math.inf
+    if s == "-Inf":
+        return -math.inf
+    return float(s)
+
+
+def parse(path, errors):
+    types = {}
+    samples = []  # (lineno, name, labels, value)
+    for ln, raw in enumerate(open(path, encoding="utf-8"), 1):
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            if len(line.split(" ", 3)) < 4:
+                errors.append(f"line {ln}: malformed HELP: {line!r}")
+        elif line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in TYPES:
+                errors.append(f"line {ln}: malformed TYPE: {line!r}")
+                continue
+            name = parts[2]
+            if name in types:
+                errors.append(f"line {ln}: duplicate TYPE for {name}")
+            types[name] = parts[3]
+        elif line.startswith("#"):
+            # Arbitrary comments are legal; HELP/TYPE are checked above.
+            continue
+        else:
+            m = SAMPLE_RE.match(line)
+            if not m:
+                errors.append(f"line {ln}: unparseable sample: {line!r}")
+                continue
+            name, labelstr, value = m.groups()
+            labels = {}
+            if labelstr:
+                for lm in LABEL_RE.finditer(labelstr):
+                    labels[lm.group(1)] = lm.group(2)
+                leftover = LABEL_RE.sub("", labelstr).replace(",", "").strip()
+                if leftover:
+                    errors.append(f"line {ln}: bad label syntax: {{{labelstr}}}")
+            try:
+                v = parse_value(value)
+            except ValueError:
+                errors.append(f"line {ln}: bad sample value {value!r}")
+                continue
+            samples.append((ln, name, labels, v))
+    return types, samples
+
+
+def family_of(name, types):
+    """Histogram samples resolve to their declared family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = name[: -len(suffix)] if name.endswith(suffix) else None
+        if base and types.get(base) == "histogram":
+            return base
+    return name
+
+
+def check(types, samples, errors):
+    for fam, t in types.items():
+        if t == "counter" and not fam.endswith("_total"):
+            errors.append(f"counter {fam} does not end in _total")
+
+    buckets = defaultdict(list)
+    counts, sums = {}, {}
+    for ln, name, labels, v in samples:
+        fam = family_of(name, types)
+        if fam not in types:
+            errors.append(f"line {ln}: sample {name} has no TYPE declaration")
+            continue
+        if types[fam] != "histogram":
+            continue
+        key = (fam, tuple(sorted((k, lv) for k, lv in labels.items() if k != "le")))
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                errors.append(f"line {ln}: {name} bucket without le label")
+                continue
+            try:
+                buckets[key].append((parse_value(labels["le"]), v))
+            except ValueError:
+                errors.append(f"line {ln}: bad le bound {labels['le']!r}")
+        elif name.endswith("_count"):
+            counts[key] = v
+        elif name.endswith("_sum"):
+            sums[key] = v
+        else:
+            errors.append(f"line {ln}: bare sample {name} for histogram family")
+
+    for key, series in buckets.items():
+        fam = key[0]
+        les = [le for le, _ in series]
+        if les != sorted(les):
+            errors.append(f"{fam}: le bounds out of order")
+        if len(set(les)) != len(les):
+            errors.append(f"{fam}: duplicate le bounds")
+        if not les or not math.isinf(les[-1]):
+            errors.append(f"{fam}: bucket series does not close with +Inf")
+        vals = [v for _, v in series]
+        if any(b < a for a, b in zip(vals, vals[1:])):
+            errors.append(f"{fam}: cumulative bucket counts decrease")
+        if key not in counts:
+            errors.append(f"{fam}: missing _count")
+        elif vals and math.isinf(les[-1]) and vals[-1] != counts[key]:
+            errors.append(f"{fam}: +Inf bucket {vals[-1]} != _count {counts[key]}")
+        if key not in sums:
+            errors.append(f"{fam}: missing _sum")
+    for key in list(counts) + list(sums):
+        if key not in buckets:
+            errors.append(f"{key[0]}: _sum/_count without any _bucket series")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("path")
+    ap.add_argument("--require", action="append", default=[], metavar="METRIC")
+    args = ap.parse_args()
+
+    errors = []
+    types, samples = parse(args.path, errors)
+    check(types, samples, errors)
+    present = {family_of(name, types) for _, name, _, _ in samples}
+    for req in args.require:
+        if req not in present:
+            errors.append(f"required metric {req} has no samples")
+
+    if errors:
+        for e in errors:
+            print(f"check_exposition: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"check_exposition: OK — {len(types)} families, {len(samples)} samples"
+    )
+
+
+if __name__ == "__main__":
+    main()
