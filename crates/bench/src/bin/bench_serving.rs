@@ -6,18 +6,20 @@
 //! Flags: `--quick` (smaller model/dataset — CI smoke mode),
 //! `--batch <N>` (queries per run, default 64),
 //! `--deadline-ms <a,b,c>` (deadline sweep through the `odt-serve`
-//! frontend, default `5,20,100,1000`; `none` skips the sweep).
+//! frontend, default `5,20,100,1000`; `none` skips the sweep),
+//! `--cache-sizes <a,b,c>` (estimate-cache capacity sweep, default
+//! `16,64,256`; `none` skips it).
 //!
 //! Tracing: set `ODT_TRACE_SAMPLE=1` to trace every frontend request.
 //! The sweep then also writes `BENCH_serving_trace.json` (Chrome/Perfetto
 //! trace of the retained requests) and `BENCH_serving_spans.jsonl` (the
 //! span stream consumed by the `trace_report` eval binary).
 //!
-//! Schema (`odt-bench-serving/v4`):
+//! Schema (`odt-bench-serving/v5`):
 //!
 //! ```json
 //! {
-//!   "schema": "odt-bench-serving/v4",
+//!   "schema": "odt-bench-serving/v5",
 //!   "threads": usize,        // odt-compute pool width
 //!   "quick": bool,
 //!   "batch_size": usize,
@@ -37,10 +39,25 @@
 //!   "deadline_sweep": [      // one entry per --deadline-ms value
 //!     { "deadline_ms": u64, "submitted": u64, "served": u64, "shed": u64,
 //!       "sla_attainment": f64,   // deadline_met / submitted
-//!       "rung_hits": { "full_ddpm": u64, "ddim": u64,
-//!                      "ddim_reduced": u64, "fallback": u64 },
+//!       "rung_hits": { "cached": u64, "full_ddpm": u64, "ddim": u64,
+//!                      "ddim_reduced": u64, "cached_stale": u64,
+//!                      "fallback": u64 },
 //!       "slo": { "fast_burn": f64, "slow_burn": f64, "alerts": u64 } }
 //!   ],
+//!   "cache_sweep": {         // hot-path estimate cache (odt_serve::cache)
+//!     "workload": { "distinct_keys": usize, "requests": usize,
+//!                   "zipf_s": f64 },  // Zipf-skewed hotspot replay
+//!     "uncached": { "p50_ms": f64, "p99_ms": f64 },  // plain frontend,
+//!                                                    // same workload
+//!     "capacities": [        // one entry per --cache-sizes value;
+//!                            // identical workload, fresh cache each
+//!       { "capacity": usize, "hits": u64, "stale_hits": u64,
+//!         "misses": u64, "hit_rate": f64, "evictions": u64,
+//!         "admission_rejects": u64, "cached_serves": u64,
+//!         "p50_ms": f64, "p99_ms": f64,
+//!         "speedup_p50": f64 }   // uncached.p50_ms / p50_ms
+//!     ]
+//!   } | null,
 //!   "trace": {               // end-to-end request tracing summary
 //!     "enabled": bool, "sample_every": u64,
 //!     "finished": u64,       // root spans closed
@@ -53,11 +70,15 @@
 //! ```
 
 use odt_core::{Dot, DotConfig};
-use odt_serve::{dot_frontend, ChaosConfig, DotFrontendConfig, FrontendConfig};
+use odt_serve::{
+    dot_frontend, dot_frontend_cached, CacheConfig, ChaosConfig, DotFrontendConfig, EstimateCache,
+    FrontendConfig, HotTracker, Rung,
+};
 use odt_serve::{ShadowConfig, ShadowScorer};
 use odt_traj::{OdtInput, Split};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 fn arg_flag(name: &str) -> bool {
@@ -246,19 +267,141 @@ fn main() {
         );
         sweep_entries.push(format!(
             "    {{ \"deadline_ms\": {ms}, \"submitted\": {}, \"served\": {}, \"shed\": {shed}, \
-             \"sla_attainment\": {sla:.4}, \"rung_hits\": {{ \"full_ddpm\": {}, \"ddim\": {}, \
-             \"ddim_reduced\": {}, \"fallback\": {} }}, \"slo\": {{ \"fast_burn\": {:.4}, \
-             \"slow_burn\": {:.4}, \"alerts\": {} }} }}",
+             \"sla_attainment\": {sla:.4}, \"rung_hits\": {{ \"cached\": {}, \"full_ddpm\": {}, \
+             \"ddim\": {}, \"ddim_reduced\": {}, \"cached_stale\": {}, \"fallback\": {} }}, \
+             \"slo\": {{ \"fast_burn\": {:.4}, \"slow_burn\": {:.4}, \"alerts\": {} }} }}",
             s.submitted,
             s.served,
             s.rung_hits[0],
             s.rung_hits[1],
             s.rung_hits[2],
             s.rung_hits[3],
+            s.rung_hits[4],
+            s.rung_hits[5],
             slo.fast_burn,
             slo.slow_burn,
             slo.alerts
         ));
+    }
+
+    // Cache sweep: a Zipf-skewed hotspot workload over a fixed pool of
+    // distinct OD queries, replayed identically against the plain
+    // frontend (the uncached reference) and against cached frontends of
+    // increasing capacity. Per-request latency is measured around a
+    // one-request wave so the cache's probe/serve path is on the clock.
+    let cache_sizes: Vec<usize> = match arg_value("--cache-sizes") {
+        Some(s) if s == "none" => Vec::new(),
+        Some(s) => s
+            .split(',')
+            .map(|c| c.trim().parse().expect("--cache-sizes must be integers"))
+            .collect(),
+        None => vec![16, 64, 256],
+    };
+    let mut cache_sweep_json = "null".to_string();
+    if !cache_sizes.is_empty() {
+        let zipf_s = 1.1f64;
+        let pool: Vec<OdtInput> = data
+            .split(Split::Test)
+            .iter()
+            .take(64)
+            .map(OdtInput::from_trajectory)
+            .collect();
+        let pool_n = pool.len();
+        let weights: Vec<f64> = (0..pool_n)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(zipf_s))
+            .collect();
+        let total_w: f64 = weights.iter().sum();
+        let reqs = if quick { 256 } else { 512 };
+        let mut wl_rng = StdRng::seed_from_u64(23);
+        let workload: Vec<usize> = (0..reqs)
+            .map(|_| {
+                let mut x = wl_rng.gen::<f64>() * total_w;
+                for (i, w) in weights.iter().enumerate() {
+                    if x < *w {
+                        return i;
+                    }
+                    x -= w;
+                }
+                pool_n - 1
+            })
+            .collect();
+        // 100ms lands every uncached request on a model rung, never the
+        // fallback — the reference is real DDIM cost, not a heuristic.
+        let deadline = Some(100_000u64);
+
+        let mut fe = dot_frontend(
+            &model,
+            DotFrontendConfig::default(),
+            FrontendConfig::default(),
+            ChaosConfig::quiet(7),
+        );
+        fe.warmup(&pool[..2.min(pool_n)]);
+        let mut lat: Vec<u64> = Vec::with_capacity(reqs);
+        for &i in &workload {
+            let t = Instant::now();
+            let _ = fe.process_wave(std::iter::once((pool[i], deadline)));
+            lat.push(t.elapsed().as_micros() as u64);
+        }
+        lat.sort_unstable();
+        let (un_p50, un_p99) = (quantile_ms(&lat, 0.50), quantile_ms(&lat, 0.99));
+        println!(
+            "cache sweep: {reqs} reqs over {pool_n} keys (zipf {zipf_s}), \
+             uncached p50/p99 {un_p50:.2}/{un_p99:.2} ms"
+        );
+
+        let mut cap_entries = Vec::new();
+        for &capacity in &cache_sizes {
+            let cache = Arc::new(EstimateCache::new(CacheConfig {
+                capacity,
+                ..CacheConfig::default()
+            }));
+            let hot = Arc::new(Mutex::new(HotTracker::new(64)));
+            let mut fe = dot_frontend_cached(
+                &model,
+                DotFrontendConfig::default(),
+                FrontendConfig::default(),
+                ChaosConfig::quiet(7),
+                Arc::clone(&cache),
+                Arc::clone(&hot),
+            );
+            fe.warmup(&pool[..2.min(pool_n)]);
+            let mut lat: Vec<u64> = Vec::with_capacity(reqs);
+            for &i in &workload {
+                let t = Instant::now();
+                let _ = fe.process_wave(std::iter::once((pool[i], deadline)));
+                lat.push(t.elapsed().as_micros() as u64);
+            }
+            lat.sort_unstable();
+            let (p50, p99) = (quantile_ms(&lat, 0.50), quantile_ms(&lat, 0.99));
+            let cs = cache.stats();
+            let s = fe.snapshot();
+            let cached_serves =
+                s.rung_hits[Rung::Cached.index()] + s.rung_hits[Rung::CachedStale.index()];
+            let hit_rate = if cs.hit_rate().is_finite() {
+                cs.hit_rate()
+            } else {
+                0.0
+            };
+            let speedup_p50 = un_p50 / p50.max(1e-9);
+            println!(
+                "  cache {capacity:>5}: hit rate {hit_rate:.3} ({} hits / {} misses), \
+                 p50 {p50:.3} ms  p99 {p99:.3} ms  ({speedup_p50:.0}x p50)",
+                cs.hits, cs.misses
+            );
+            cap_entries.push(format!(
+                "      {{ \"capacity\": {capacity}, \"hits\": {}, \"stale_hits\": {}, \
+                 \"misses\": {}, \"hit_rate\": {hit_rate:.4}, \"evictions\": {}, \
+                 \"admission_rejects\": {}, \"cached_serves\": {cached_serves}, \
+                 \"p50_ms\": {p50:.4}, \"p99_ms\": {p99:.4}, \"speedup_p50\": {speedup_p50:.2} }}",
+                cs.hits, cs.stale_hits, cs.misses, cs.evictions, cs.admission_rejects
+            ));
+        }
+        cache_sweep_json = format!(
+            "{{ \"workload\": {{ \"distinct_keys\": {pool_n}, \"requests\": {reqs}, \
+             \"zipf_s\": {zipf_s} }}, \"uncached\": {{ \"p50_ms\": {un_p50:.4}, \
+             \"p99_ms\": {un_p99:.4} }}, \"capacities\": [\n{}\n    ] }}",
+            cap_entries.join(",\n")
+        );
     }
 
     // Trace export: when tracing is on (ODT_TRACE_SAMPLE > 0) the sweep's
@@ -293,7 +436,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"schema\": \"odt-bench-serving/v4\",\n  \"threads\": {},\n  \
+        "{{\n  \"schema\": \"odt-bench-serving/v5\",\n  \"threads\": {},\n  \
          \"quick\": {},\n  \"batch_size\": {},\n  \"lg\": {},\n  \
          \"train_seconds\": {:.3},\n  \
          \"sequential\": {{ \"queries\": {}, \"seconds\": {:.6}, \"per_query_ms\": {:.4} }},\n  \
@@ -305,6 +448,7 @@ fn main() {
          \"scored\": {scored}, \"mae_s\": {shadow_mae:.3} }}, \
          \"delta_p50_ms\": {d50:.4}, \"delta_p99_ms\": {d99:.4} }},\n  \
          \"deadline_sweep\": [\n{}\n  ],\n  \
+         \"cache_sweep\": {cache_sweep_json},\n  \
          \"trace\": {{ \"enabled\": {}, \"sample_every\": {}, \"finished\": {}, \
          \"retained\": {}, \"p99_exemplar\": {}, \"chrome_trace\": {}, \
          \"spans_jsonl\": {} }}\n}}\n",

@@ -6,6 +6,7 @@
 //!             [--sweep <rps,rps,...>] [--conns <n>] [--secs <s>]
 //!             [--deadline-ms <ms>] [--seed <u64>]
 //!             [--region <lng0,lat0,lng1,lat1>] [--trace-every <n>]
+//!             [--zipf-s <s>] [--drift <frac>] [--p-hot <p>]
 //!             [--report <path>]
 //! ```
 //!
@@ -20,6 +21,13 @@
 //!   curve.
 //! * `--region` — the box ODs are drawn from; paste the server's
 //!   `odt_server region ...` line so strict admission accepts them.
+//! * `--zipf-s` — Zipf exponent for hotspot rank selection: `0` (the
+//!   default) picks hotspot centers uniformly, larger values concentrate
+//!   traffic on a few OD cells (the cache-friendly regime). `--drift`
+//!   moves hotspot centers sinusoidally with the query's time of day
+//!   (fraction of the region span), so the hot set slowly reshapes.
+//!   The report records the *achieved* key skew (distinct coarse OD
+//!   keys, top-1/top-10 traffic share) per run.
 //! * Every `--trace-every`-th request carries a trace id the server
 //!   adopts into its spans (end-to-end tracing across the wire).
 //!
@@ -58,7 +66,8 @@ fn row_json(r: &LoadReport) -> String {
          \"lost\": {}, \"errors\": {}, \"wall_s\": {:.3}, \"throughput_rps\": {:.1}, \
          \"latency\": {{ \"p50_ms\": {:.3}, \"p90_ms\": {:.3}, \"p99_ms\": {:.3}, \
          \"max_ms\": {:.3}, \"mean_ms\": {:.3} }}, \"rungs\": {}, \"deadline_met\": {}, \
-         \"send_lag_max_ms\": {:.3}, \"traces_sent\": {} }}",
+         \"send_lag_max_ms\": {:.3}, \"traces_sent\": {}, \"key_skew\": {{ \
+         \"distinct\": {}, \"total\": {}, \"top1_share\": {:.4}, \"top10_share\": {:.4} }} }}",
         r.mode,
         r.offered_rps,
         r.sent,
@@ -76,6 +85,10 @@ fn row_json(r: &LoadReport) -> String {
         r.deadline_met,
         r.send_lag_max_ms,
         r.traces_sent,
+        r.key_skew.distinct,
+        r.key_skew.total,
+        r.key_skew.top1_share,
+        r.key_skew.top10_share,
     )
 }
 
@@ -102,6 +115,14 @@ fn main() {
     let trace_every: u64 = arg_value("--trace-every")
         .map(|v| v.parse().expect("--trace-every must be an integer"))
         .unwrap_or(64);
+    let zipf_s: f64 = arg_value("--zipf-s")
+        .map(|v| v.parse().expect("--zipf-s must be a number"))
+        .unwrap_or(0.0);
+    let center_drift: f64 = arg_value("--drift")
+        .map(|v| v.parse().expect("--drift must be a number"))
+        .unwrap_or(0.0);
+    let p_hot: Option<f64> =
+        arg_value("--p-hot").map(|v| v.parse().expect("--p-hot must be a number"));
     let report_path = arg_value("--report").unwrap_or_else(|| "BENCH_net.json".to_string());
 
     let region = match arg_value("--region") {
@@ -141,7 +162,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut all_ok = true;
     for mode in modes {
-        let cfg = LoadConfig {
+        let mut cfg = LoadConfig {
             addr: addr.clone(),
             conns,
             duration: Duration::from_secs_f64(secs),
@@ -150,12 +171,17 @@ fn main() {
             deadline_ms,
             region,
             trace_every,
+            zipf_s,
+            center_drift,
             ..LoadConfig::default()
         };
+        if let Some(p) = p_hot {
+            cfg.p_hot = p;
+        }
         let report = loadgen::run(&cfg).expect("load run failed: no connection completed");
         println!(
             "{:>6} @ {:>7.1} rps: {} ok / {} sent ({} lost), {:.1} rps through, \
-             p50 {:.2} ms  p99 {:.2} ms  lag {:.1} ms",
+             p50 {:.2} ms  p99 {:.2} ms  lag {:.1} ms  top1 {:.0}% of {} keys",
             report.mode,
             report.offered_rps,
             report.ok,
@@ -165,6 +191,8 @@ fn main() {
             report.latency.p50_ms,
             report.latency.p99_ms,
             report.send_lag_max_ms,
+            report.key_skew.top1_share * 100.0,
+            report.key_skew.distinct,
         );
         if report.ok == 0 {
             all_ok = false;
@@ -174,7 +202,7 @@ fn main() {
 
     let quiet = arg_flag("--quiet");
     let json = format!(
-        "{{\n  \"schema\": \"odt-bench-net/v1\",\n  \"addr\": \"{addr}\",\n  \"conns\": {conns},\n  \"secs\": {secs},\n  \"deadline_ms\": {},\n  \"seed\": {seed},\n  \"runs\": [\n{}\n  ],\n  \"pass\": {all_ok}\n}}\n",
+        "{{\n  \"schema\": \"odt-bench-net/v1\",\n  \"addr\": \"{addr}\",\n  \"conns\": {conns},\n  \"secs\": {secs},\n  \"deadline_ms\": {},\n  \"seed\": {seed},\n  \"zipf_s\": {zipf_s},\n  \"center_drift\": {center_drift},\n  \"runs\": [\n{}\n  ],\n  \"pass\": {all_ok}\n}}\n",
         deadline_ms
             .map(|d| d.to_string())
             .unwrap_or_else(|| "null".to_string()),

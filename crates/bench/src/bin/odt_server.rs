@@ -9,9 +9,9 @@
 //!
 //! ```text
 //! odt_server [--addr <host:port>] [--admin <host:port>] [--quick]
-//!            [--holdout <n>] [--max-conns <n>] [--max-inflight <n>]
-//!            [--drain-budget-ms <ms>] [--max-run-s <s>]
-//!            [--report <path>] [--seed <u64>]
+//!            [--cache <capacity>] [--holdout <n>] [--max-conns <n>]
+//!            [--max-inflight <n>] [--drain-budget-ms <ms>]
+//!            [--max-run-s <s>] [--report <path>] [--seed <u64>]
 //! ```
 //!
 //! * `--addr`        — listen address (default `127.0.0.1:7878`; port `0`
@@ -19,6 +19,12 @@
 //! * `--admin`       — admin plane address (e.g. `127.0.0.1:9878`; port
 //!                     `0` works; omitted = no admin plane).
 //! * `--quick`       — tiny model, CI smoke mode.
+//! * `--cache`       — attach the hot-path OD estimate cache with this
+//!                     many entries (default: off). Turns on the cached
+//!                     ladder rungs, a background prewarmer on dispatcher
+//!                     idle ticks, and drift-alert invalidation (the
+//!                     shadow scorer's drift alert flushes every cached
+//!                     estimate).
 //! * `--holdout`     — ground-truth trajectories shadow-scored on idle
 //!                     ticks for model-quality telemetry (default 64;
 //!                     `0` disables the quality observer).
@@ -41,12 +47,13 @@
 //! answers from the admin line onward. **`odt_server ready` is the
 //! routable-traffic signal**: scripts must key off it (or poll
 //! `/readyz`, which flips 503 → 200 at the same instant), not off the
-//! listening line. On drain the final report (`odt-net-server/v2`)
+//! listening line. On drain the final report (`odt-net-server/v3`)
 //! carries the connection counters (leak check: `conns.active == 0`),
 //! the frontend snapshot (typed shed reasons, rung hits, SLO burn
-//! rates), adopted wire trace ids, admin-plane and model-quality
-//! summaries, and the drain outcome; the exit status is non-zero if the
-//! drain was forced or leaked connections.
+//! rates), cache counters (when `--cache` is on), adopted wire trace
+//! ids, admin-plane and model-quality summaries, and the drain outcome;
+//! the exit status is non-zero if the drain was forced or leaked
+//! connections.
 
 use odt_core::{Dot, DotConfig};
 use odt_net::admin::{render_varz, start_admin, AdminConfig, AdminSources};
@@ -55,7 +62,10 @@ use odt_net::server::{FrontendBridge, ServerConfig, SharedFrontendStats};
 use odt_net::signal;
 use odt_obs::QualitySnapshot;
 use odt_roadnet::LngLat;
-use odt_serve::{dot_frontend, ChaosConfig, DotFrontendConfig, FrontendConfig};
+use odt_serve::{
+    dot_frontend, dot_frontend_cached, CacheConfig, ChaosConfig, DotFrontendConfig,
+    DriftInvalidator, EstimateCache, FrontendConfig, HotTracker, PrewarmConfig, Prewarmer,
+};
 use odt_serve::{ShadowConfig, ShadowScorer};
 use odt_traj::{Dataset, GridSpec, OdtInput, Split};
 use rand::rngs::StdRng;
@@ -139,6 +149,9 @@ fn main() {
     let holdout_n: usize = arg_value("--holdout")
         .map(|v| v.parse().expect("--holdout must be an integer"))
         .unwrap_or(64);
+    let cache_capacity: Option<usize> = arg_value("--cache")
+        .map(|v| v.parse().expect("--cache must be an integer"))
+        .filter(|&c| c > 0);
     let max_run_s: Option<u64> =
         arg_value("--max-run-s").map(|v| v.parse().expect("--max-run-s must be an integer"));
 
@@ -160,6 +173,16 @@ fn main() {
     // tick for `/varz` and the final report.
     let quality_slot: Arc<Mutex<Option<QualitySnapshot>>> = Arc::new(Mutex::new(None));
 
+    // The estimate cache (if enabled) lives out here so `/varz` and the
+    // final report can read its stats; the dispatcher-side frontend,
+    // prewarmer and drift invalidator share it through the Arc.
+    let cache: Option<Arc<EstimateCache>> = cache_capacity.map(|capacity| {
+        Arc::new(EstimateCache::new(CacheConfig {
+            capacity,
+            ..CacheConfig::default()
+        }))
+    });
+
     // The DOT model's parameters are `Rc`-based (thread-local), so the
     // whole serving stack — train, warm up, bridge, shadow scorer — is
     // built *on* the dispatcher thread via the factory. The channel hands
@@ -169,6 +192,7 @@ fn main() {
     let (ready_tx, ready_rx) = std::sync::mpsc::channel();
     let handle = {
         let quality_slot = Arc::clone(&quality_slot);
+        let cache_fe = cache.clone();
         odt_net::server::start_with(cfg, move || {
             let data = server_dataset(quick);
             let t0 = Instant::now();
@@ -178,12 +202,24 @@ fn main() {
                 slo: Some(odt_obs::slo::BurnRateConfig::for_drill()),
                 ..FrontendConfig::default()
             };
-            let mut fe = dot_frontend(
-                model,
-                DotFrontendConfig::default(),
-                fe_cfg,
-                ChaosConfig::quiet(seed),
-            );
+            let hot: Arc<Mutex<HotTracker<OdtInput>>> = Arc::new(Mutex::new(HotTracker::new(128)));
+            let mut fe = if let Some(cache) = &cache_fe {
+                dot_frontend_cached(
+                    model,
+                    DotFrontendConfig::default(),
+                    fe_cfg,
+                    ChaosConfig::quiet(seed),
+                    Arc::clone(cache),
+                    Arc::clone(&hot),
+                )
+            } else {
+                dot_frontend(
+                    model,
+                    DotFrontendConfig::default(),
+                    fe_cfg,
+                    ChaosConfig::quiet(seed),
+                )
+            };
             let warmup: Vec<OdtInput> = data
                 .split(Split::Test)
                 .iter()
@@ -222,7 +258,8 @@ fn main() {
                 };
                 let mut scorer = ShadowScorer::new(holdout, shadow_cfg);
                 let mut shadow_rng = StdRng::seed_from_u64(seed ^ 0x5AD0);
-                bridge.set_tick(move || {
+                let quality_shadow = Arc::clone(&quality_slot);
+                bridge.add_tick("shadow_score", 0, move || {
                     let now = odt_obs::trace::now_us();
                     let scored = scorer.step(now, |qs: &[OdtInput]| {
                         model
@@ -232,7 +269,40 @@ fn main() {
                             .collect()
                     });
                     if scored > 0 {
-                        *quality_slot.lock().unwrap() = Some(scorer.quality(now));
+                        *quality_shadow.lock().unwrap() = Some(scorer.quality(now));
+                    }
+                });
+            }
+            if let Some(cache) = &cache_fe {
+                // Prewarmer: re-infer the hottest OD keys on idle ticks
+                // (forced insert, bypassing admission) so the next rush
+                // lands on a warm cache. The tracker is fed by the
+                // frontend's own cache probes.
+                let pw_cfg = PrewarmConfig::default();
+                let pw_interval = pw_cfg.min_interval_us;
+                let mut prewarmer = Prewarmer::new(pw_cfg, Arc::clone(cache), Arc::clone(&hot));
+                let mut prewarm_rng = StdRng::seed_from_u64(seed ^ 0x93E7);
+                bridge.add_tick("cache_prewarm", pw_interval, move || {
+                    let now = odt_obs::trace::now_us();
+                    let _ = prewarmer.step(now, |qs: &[OdtInput]| {
+                        model
+                            .estimate_batch(qs, &mut prewarm_rng)
+                            .into_iter()
+                            .map(|e| e.seconds)
+                            .collect()
+                    });
+                });
+                // Drift invalidation: a shadow-scorer drift alert means
+                // the world the cached estimates were computed in is
+                // gone — flush them all (generation bump) rather than
+                // serve confidently stale answers.
+                let drift_cache = Arc::clone(cache);
+                let quality_drift = Arc::clone(&quality_slot);
+                let mut invalidator = DriftInvalidator::new();
+                bridge.add_tick("cache_drift_invalidate", 250_000, move || {
+                    let q = quality_drift.lock().unwrap().clone();
+                    if let Some(q) = q {
+                        let _ = invalidator.observe(&q, &drift_cache);
                     }
                 });
             }
@@ -252,6 +322,7 @@ fn main() {
         let fe_slot: Arc<Mutex<Option<SharedFrontendStats>>> = Arc::new(Mutex::new(None));
         let varz_fe = Arc::clone(&fe_slot);
         let varz_quality = Arc::clone(&quality_slot);
+        let varz_cache = cache.clone();
         let admin = start_admin(
             AdminConfig {
                 addr: a,
@@ -261,12 +332,14 @@ fn main() {
                 varz: Some(Box::new(move || {
                     let fe_pair = varz_fe.lock().unwrap().as_ref().map(|s| s.get());
                     let quality = varz_quality.lock().unwrap().clone();
+                    let cache_stats = varz_cache.as_ref().map(|c| c.stats());
                     render_varz(
                         stats_handle.state_name(),
                         &stats_handle.stats(),
                         stats_handle.inflight(),
                         fe_pair.as_ref().map(|(snap, adopted)| (snap, *adopted)),
                         quality.as_ref(),
+                        cache_stats.as_ref(),
                     )
                 })),
             },
@@ -325,6 +398,20 @@ fn main() {
             q.samples, q.mae_s, q.mape, q.drift_score, q.drift_alerts
         );
     }
+    let cache_stats = cache.as_ref().map(|c| c.stats());
+    if let Some(cs) = &cache_stats {
+        println!(
+            "odt_server: cache {}/{} entries, {} hits / {} stale / {} misses (hit rate {:.3}), {} prewarm batch(es), {} invalidation(s)",
+            cs.len,
+            cs.capacity,
+            cs.hits,
+            cs.stale_hits,
+            cs.misses,
+            if cs.hit_rate().is_finite() { cs.hit_rate() } else { 0.0 },
+            cs.prewarm_batches,
+            cs.invalidations
+        );
+    }
 
     let slo_json = match &snap.slo {
         Some(s) => format!(
@@ -348,8 +435,30 @@ fn main() {
         ),
         None => "null".to_string(),
     };
+    let cache_json = match &cache_stats {
+        Some(cs) => format!(
+            "{{ \"len\": {}, \"capacity\": {}, \"generation\": {}, \"hits\": {}, \"stale_hits\": {}, \"misses\": {}, \"hit_rate\": {}, \"evictions\": {}, \"admission_rejects\": {}, \"prewarm_batches\": {}, \"invalidations\": {}, \"invalidated_entries\": {} }}",
+            cs.len,
+            cs.capacity,
+            cs.generation,
+            cs.hits,
+            cs.stale_hits,
+            cs.misses,
+            if cs.hit_rate().is_finite() {
+                format!("{:.4}", cs.hit_rate())
+            } else {
+                "null".to_string()
+            },
+            cs.evictions,
+            cs.admission_rejects,
+            cs.prewarm_batches,
+            cs.invalidations,
+            cs.invalidated_entries
+        ),
+        None => "null".to_string(),
+    };
     let json = format!(
-        "{{\n  \"schema\": \"odt-net-server/v2\",\n  \"addr\": \"{addr}\",\n  \"quick\": {quick},\n  \"uptime_s\": {uptime_s:.3},\n  \"conns\": {{ \"opened\": {}, \"closed\": {}, \"active\": {}, \"rejected_capacity\": {}, \"rejected_draining\": {}, \"frames_in\": {}, \"frames_out\": {}, \"malformed\": {}, \"too_large\": {}, \"timeouts_idle\": {}, \"timeouts_frame\": {}, \"read_errors\": {}, \"write_errors\": {}, \"backpressure_stalls\": {}, \"dispatch_shed\": {}, \"reply_drops\": {}, \"forced_closes\": {} }},\n  \"frontend\": {{ \"submitted\": {}, \"admitted\": {}, \"served\": {}, \"shed\": {{ \"queue_full\": {}, \"queue_expired\": {}, \"invalid_query\": {}, \"internal\": {} }}, \"rung_hits\": {{ \"full_ddpm\": {}, \"ddim\": {}, \"ddim_reduced\": {}, \"fallback\": {} }}, \"deadline\": {{ \"met\": {}, \"missed\": {} }}, \"slo\": {slo_json} }},\n  \"adopted_traces\": {adopted},\n  \"admin\": {admin_json},\n  \"quality\": {quality_json},\n  \"drain\": {{ \"clean\": {}, \"forced_conns\": {}, \"wait_ms\": {} }},\n  \"flightrec_dumps\": {},\n  \"pass\": {pass}\n}}\n",
+        "{{\n  \"schema\": \"odt-net-server/v3\",\n  \"addr\": \"{addr}\",\n  \"quick\": {quick},\n  \"uptime_s\": {uptime_s:.3},\n  \"conns\": {{ \"opened\": {}, \"closed\": {}, \"active\": {}, \"rejected_capacity\": {}, \"rejected_draining\": {}, \"frames_in\": {}, \"frames_out\": {}, \"malformed\": {}, \"too_large\": {}, \"timeouts_idle\": {}, \"timeouts_frame\": {}, \"read_errors\": {}, \"write_errors\": {}, \"backpressure_stalls\": {}, \"dispatch_shed\": {}, \"reply_drops\": {}, \"forced_closes\": {} }},\n  \"frontend\": {{ \"submitted\": {}, \"admitted\": {}, \"served\": {}, \"shed\": {{ \"queue_full\": {}, \"queue_expired\": {}, \"invalid_query\": {}, \"internal\": {} }}, \"rung_hits\": {{ \"cached\": {}, \"full_ddpm\": {}, \"ddim\": {}, \"ddim_reduced\": {}, \"cached_stale\": {}, \"fallback\": {} }}, \"deadline\": {{ \"met\": {}, \"missed\": {} }}, \"slo\": {slo_json} }},\n  \"cache\": {cache_json},\n  \"adopted_traces\": {adopted},\n  \"admin\": {admin_json},\n  \"quality\": {quality_json},\n  \"drain\": {{ \"clean\": {}, \"forced_conns\": {}, \"wait_ms\": {} }},\n  \"flightrec_dumps\": {},\n  \"pass\": {pass}\n}}\n",
         c.opened,
         c.closed,
         c.active,
@@ -378,6 +487,8 @@ fn main() {
         snap.rung_hits[1],
         snap.rung_hits[2],
         snap.rung_hits[3],
+        snap.rung_hits[4],
+        snap.rung_hits[5],
         snap.deadline_met,
         snap.deadline_missed,
         report.clean,

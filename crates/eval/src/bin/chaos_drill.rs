@@ -20,6 +20,11 @@
 //! holdout, synthetically degrades the predictions once the drift
 //! reference has frozen, and asserts the drift alert, the accuracy-SLO
 //! burn alert and the `quality_drift` flight-recorder dump all fire.
+//! The `cache_drift_invalidation` drill extends the chain into the
+//! estimate cache: a cached frontend is warmed until repeats serve
+//! from the cache, the same synthetic drift fires, and the drill
+//! asserts the [`DriftInvalidator`] flushes the cache so zero
+//! pre-drift-generation estimates are ever served again.
 //!
 //! Every drill runs fully traced (head sampling forced to 1-in-1 unless
 //! `ODT_TRACE_SAMPLE` overrides it): each scenario carries a root trace
@@ -37,14 +42,28 @@
 use odt_core::{Dot, DotConfig};
 use odt_net::{FrontendBridge, NetScenarioSpec, Region, WireQuery};
 use odt_roadnet::LngLat;
-use odt_serve::{dot_frontend, ChaosConfig, DotFrontendConfig, FrontendConfig, ScenarioSpec};
+use odt_serve::{
+    dot_frontend, dot_frontend_cached, CacheConfig, ChaosConfig, DotFrontendConfig,
+    DriftInvalidator, EstimateCache, FrontendConfig, HotTracker, Rung, ScenarioSpec, NUM_RUNGS,
+};
 use odt_serve::{ShadowConfig, ShadowScorer};
 use odt_traj::{Dataset, GridSpec, OdtInput, Split};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::json;
 use std::io::Write;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Render a per-rung counter array as a name-keyed JSON object (the
+/// report's stable interface: names, not ladder indices).
+fn rung_json(counts: &[u64; NUM_RUNGS]) -> serde_json::Value {
+    let mut m = serde_json::Map::new();
+    for (i, &v) in counts.iter().enumerate() {
+        m.insert(Rung::from_index(i).name().to_string(), json!(v));
+    }
+    serde_json::Value::Object(m)
+}
 
 fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
@@ -183,18 +202,8 @@ fn run_scenario(
             "invalid_query": s.shed_invalid,
             "internal": s.shed_internal,
         },
-        "rung_hits": {
-            "full_ddpm": s.rung_hits[0],
-            "ddim": s.rung_hits[1],
-            "ddim_reduced": s.rung_hits[2],
-            "fallback": s.rung_hits[3],
-        },
-        "rung_failures": {
-            "full_ddpm": s.rung_failures[0],
-            "ddim": s.rung_failures[1],
-            "ddim_reduced": s.rung_failures[2],
-            "fallback": s.rung_failures[3],
-        },
+        "rung_hits": rung_json(&s.rung_hits),
+        "rung_failures": rung_json(&s.rung_failures),
         "breaker": {
             "trips": s.breaker_trips,
             "states": s.breaker_states,
@@ -315,9 +324,18 @@ fn run_quality_drill(model: &Dot, data: &Dataset, seed: u64, quick: bool) -> ser
         "served": scorer.scored(),
         "answer_rate": 1.0,
         "shed": { "queue_full": 0, "deadline_expired": 0, "invalid_query": 0, "internal": 0 },
-        "rung_hits": { "full_ddpm": scorer.scored(), "ddim": 0, "ddim_reduced": 0, "fallback": 0 },
-        "rung_failures": { "full_ddpm": 0, "ddim": 0, "ddim_reduced": 0, "fallback": 0 },
-        "breaker": { "trips": [0, 0, 0, 0], "states": ["closed", "closed", "closed", "closed"] },
+        "rung_hits": {
+            "cached": 0, "full_ddpm": scorer.scored(), "ddim": 0,
+            "ddim_reduced": 0, "cached_stale": 0, "fallback": 0,
+        },
+        "rung_failures": {
+            "cached": 0, "full_ddpm": 0, "ddim": 0,
+            "ddim_reduced": 0, "cached_stale": 0, "fallback": 0,
+        },
+        "breaker": {
+            "trips": [0, 0, 0, 0, 0],
+            "states": ["closed", "closed", "closed", "closed", "closed"],
+        },
         "deadline": { "met": scorer.scored(), "missed": 0 },
         "quality": {
             "samples": q.samples,
@@ -328,6 +346,200 @@ fn run_quality_drill(model: &Dot, data: &Dataset, seed: u64, quick: bool) -> ser
             "drift_score": q.drift_score,
             "drift_alerts": q.drift_alerts,
             "slo_alerts": slo_alerts,
+            "reference_frozen": frozen,
+        },
+        "violations": violations,
+        "pass": violations.is_empty(),
+    })
+}
+
+/// The cache-drift drill: serve repeat traffic through a *cached*
+/// frontend until the estimate cache answers at generation 0, then
+/// degrade the shadow-scored predictions until the drift alert fires,
+/// feed the alert to the [`DriftInvalidator`], and assert the flush is
+/// total — the cache generation advances and the first post-flush wave
+/// contains zero cache-rung serves (no pre-drift estimate survives the
+/// alert).
+fn run_cache_drift_drill(model: &Dot, data: &Dataset, seed: u64, quick: bool) -> serde_json::Value {
+    let root = odt_obs::trace::root_span("chaos.scenario");
+    odt_obs::trace::force_retain_current("chaos_scenario");
+    let trace_id = root.trace_id().map(|t| t.to_hex());
+    let dumps_before = odt_obs::flightrec::dump_count();
+
+    let cache = Arc::new(EstimateCache::new(CacheConfig {
+        capacity: 512,
+        ..CacheConfig::default()
+    }));
+    let hot = Arc::new(Mutex::new(HotTracker::new(64)));
+    let mut fe = dot_frontend_cached(
+        model,
+        DotFrontendConfig::default(),
+        FrontendConfig::default(),
+        ChaosConfig::quiet(seed),
+        Arc::clone(&cache),
+        Arc::clone(&hot),
+    );
+    let queries: Vec<OdtInput> = data
+        .split(Split::Test)
+        .iter()
+        .take(if quick { 4 } else { 8 })
+        .map(OdtInput::from_trajectory)
+        .collect();
+    fe.warmup(&queries[..2.min(queries.len())]);
+    let deadline_us = Some(250_000u64);
+
+    let t0 = Instant::now();
+    // Phase 1: fill on the first wave (write-through), hit on the second.
+    let _ = fe.process_wave(queries.iter().map(|q| (*q, deadline_us)));
+    let _ = fe.process_wave(queries.iter().map(|q| (*q, deadline_us)));
+    let gen0 = cache.generation();
+    let warm = fe.snapshot();
+    let warm_cache_serves =
+        warm.rung_hits[Rung::Cached.index()] + warm.rung_hits[Rung::CachedStale.index()];
+
+    // Phase 2: shadow-score until the drift reference freezes, then
+    // degrade (same synthetic collapse as the quality drill) until the
+    // invalidator sees the alert and flushes the cache.
+    let holdout: Vec<(OdtInput, f64)> = data
+        .split(Split::Test)
+        .iter()
+        .map(|t| (OdtInput::from_trajectory(t), t.travel_time()))
+        .collect();
+    let mut scorer = ShadowScorer::new(holdout, ShadowConfig::for_drill());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xCACE);
+    let mut invalidator = DriftInvalidator::new();
+    let mut now = odt_obs::trace::now_us();
+    let mut steps = 0usize;
+    while !scorer.quality(now).reference_frozen && steps < 200 {
+        scorer.step(now, |qs: &[OdtInput]| {
+            model
+                .estimate_batch(qs, &mut rng)
+                .into_iter()
+                .map(|e| e.seconds)
+                .collect()
+        });
+        steps += 1;
+        now = odt_obs::trace::now_us();
+    }
+    let frozen = scorer.quality(now).reference_frozen;
+    let mut flushed = false;
+    let mut q = scorer.quality(now);
+    while !flushed && steps < 600 {
+        scorer.step(now, |qs: &[OdtInput]| {
+            model
+                .estimate_batch(qs, &mut rng)
+                .into_iter()
+                .map(|e| e.seconds * 0.4)
+                .collect()
+        });
+        steps += 1;
+        now = odt_obs::trace::now_us();
+        q = scorer.quality(now);
+        flushed = invalidator.observe(&q, &cache);
+    }
+
+    // Phase 3: the same queries again. Every pre-drift entry is now a
+    // dead generation, so not one may be served from the cache.
+    let before = fe.snapshot();
+    let _ = fe.process_wave(queries.iter().map(|q| (*q, deadline_us)));
+    let s = fe.snapshot();
+    let post_flush_cache_serves = (s.rung_hits[Rung::Cached.index()]
+        - before.rung_hits[Rung::Cached.index()])
+        + (s.rung_hits[Rung::CachedStale.index()] - before.rung_hits[Rung::CachedStale.index()]);
+    let wall_s = t0.elapsed().as_secs_f64();
+    drop(root);
+    let dumps = odt_obs::flightrec::dump_count() - dumps_before;
+    let last_dump = odt_obs::flightrec::last_dump()
+        .filter(|_| dumps > 0)
+        .map(|p| p.display().to_string());
+
+    let cs = cache.stats();
+    let mut violations: Vec<String> = Vec::new();
+    if warm_cache_serves == 0 {
+        violations.push("repeat queries never hit the cache pre-drift".to_string());
+    }
+    if !frozen {
+        violations.push("drift reference never froze".to_string());
+    }
+    if q.drift_alerts < 1 {
+        violations.push(format!(
+            "no drift alert (score {:.3} after {steps} steps)",
+            q.drift_score
+        ));
+    }
+    if !flushed {
+        violations.push("drift alert never reached the invalidator".to_string());
+    }
+    if cache.generation() == gen0 {
+        violations.push("cache generation did not advance on drift".to_string());
+    }
+    if cs.invalidations < 1 {
+        violations.push("cache recorded no invalidation".to_string());
+    }
+    if post_flush_cache_serves > 0 {
+        violations.push(format!(
+            "{post_flush_cache_serves} pre-drift cache serve(s) after invalidation"
+        ));
+    }
+    println!(
+        "  {:<18} {:>3} warm cache serve(s)  gen {}->{}  post-flush cache serves {}  {}",
+        "cache_drift_inval",
+        warm_cache_serves,
+        gen0,
+        cache.generation(),
+        post_flush_cache_serves,
+        if violations.is_empty() {
+            "PASS".to_string()
+        } else {
+            format!("FAIL: {}", violations.join("; "))
+        }
+    );
+    json!({
+        "schema": "odt-chaos-drill/v2",
+        "kind": "scenario",
+        "name": "cache_drift_invalidation",
+        "description": "drift alert flushes the estimate cache; zero pre-drift-generation serves afterwards",
+        "trace_id": trace_id,
+        "flightrec": { "dumps": dumps, "last_dump": last_dump },
+        "seed": seed,
+        "quick": quick,
+        "wall_seconds": wall_s,
+        "submitted": s.submitted,
+        "admitted": s.admitted,
+        "served": s.served,
+        "answer_rate": if s.submitted == 0 { 1.0 } else { s.served as f64 / s.submitted as f64 },
+        "shed": {
+            "queue_full": s.shed_queue_full,
+            "deadline_expired": s.shed_deadline,
+            "invalid_query": s.shed_invalid,
+            "internal": s.shed_internal,
+        },
+        "rung_hits": rung_json(&s.rung_hits),
+        "rung_failures": rung_json(&s.rung_failures),
+        "breaker": {
+            "trips": s.breaker_trips,
+            "states": s.breaker_states,
+        },
+        "deadline": { "met": s.deadline_met, "missed": s.deadline_missed },
+        "cache": {
+            "generation_before": gen0,
+            "generation_after": cache.generation(),
+            "warm_cache_serves": warm_cache_serves,
+            "post_flush_cache_serves": post_flush_cache_serves,
+            "hits": cs.hits,
+            "stale_hits": cs.stale_hits,
+            "misses": cs.misses,
+            "hit_rate": cs.hit_rate(),
+            "evictions": cs.evictions,
+            "admission_rejects": cs.admission_rejects,
+            "invalidations": cs.invalidations,
+            "invalidated_entries": cs.invalidated_entries,
+            "len": cs.len,
+            "capacity": cs.capacity,
+        },
+        "quality": {
+            "drift_score": q.drift_score,
+            "drift_alerts": q.drift_alerts,
             "reference_frozen": frozen,
         },
         "violations": violations,
@@ -453,18 +665,8 @@ fn run_net_drill(
             "invalid_query": s.shed_invalid,
             "internal": s.shed_internal,
         },
-        "rung_hits": {
-            "full_ddpm": s.rung_hits[0],
-            "ddim": s.rung_hits[1],
-            "ddim_reduced": s.rung_hits[2],
-            "fallback": s.rung_hits[3],
-        },
-        "rung_failures": {
-            "full_ddpm": s.rung_failures[0],
-            "ddim": s.rung_failures[1],
-            "ddim_reduced": s.rung_failures[2],
-            "fallback": s.rung_failures[3],
-        },
+        "rung_hits": rung_json(&s.rung_hits),
+        "rung_failures": rung_json(&s.rung_failures),
         "breaker": {
             "trips": s.breaker_trips,
             "states": s.breaker_states,
@@ -527,24 +729,26 @@ fn main() {
     let catalog = odt_serve::scenarios(seed);
     let net_catalog = odt_net::net_scenarios();
     let run_quality = which == "all" || which == "quality_drift";
+    let run_cache = which == "all" || which == "cache_drift_invalidation";
     let (selected, net_selected): (Vec<&ScenarioSpec>, Vec<&NetScenarioSpec>) = if which == "all" {
         (catalog.iter().collect(), net_catalog.iter().collect())
     } else {
         let serve: Vec<&ScenarioSpec> = catalog.iter().filter(|s| s.name == which).collect();
         let net: Vec<&NetScenarioSpec> = net_catalog.iter().filter(|s| s.name == which).collect();
-        if serve.is_empty() && net.is_empty() && !run_quality {
+        if serve.is_empty() && net.is_empty() && !run_quality && !run_cache {
             let names: Vec<&str> = catalog
                 .iter()
                 .map(|s| s.name)
                 .chain(net_catalog.iter().map(|s| s.name))
-                .chain(std::iter::once("quality_drift"))
+                .chain(["quality_drift", "cache_drift_invalidation"])
                 .collect();
             eprintln!("unknown scenario {which:?}; available: {names:?} or \"all\"");
             std::process::exit(2);
         }
         (serve, net)
     };
-    let total = selected.len() + net_selected.len() + usize::from(run_quality);
+    let total =
+        selected.len() + net_selected.len() + usize::from(run_quality) + usize::from(run_cache);
 
     println!("chaos drill: {total} scenario(s), seed {seed}, quick={quick}");
     let data = drill_dataset();
@@ -552,7 +756,7 @@ fn main() {
 
     let mut lines = Vec::new();
     let mut failed = 0usize;
-    if !selected.is_empty() || run_quality {
+    if !selected.is_empty() || run_quality || run_cache {
         let t0 = Instant::now();
         let model = drill_model(&data);
         println!("trained drill oracle in {:.1}s", t0.elapsed().as_secs_f64());
@@ -570,6 +774,13 @@ fn main() {
         }
         if run_quality {
             let line = run_quality_drill(&model, &data, seed, quick);
+            if line["pass"] != json!(true) {
+                failed += 1;
+            }
+            lines.push(line);
+        }
+        if run_cache {
+            let line = run_cache_drift_drill(&model, &data, seed, quick);
             if line["pass"] != json!(true) {
                 failed += 1;
             }

@@ -389,13 +389,16 @@ fn push_slo(out: &mut String, slo: &odt_obs::slo::BurnRateSnapshot) {
 
 /// Render the `/varz` JSON body (`odt-varz/v1`) from the server's live
 /// state. The server binary wraps this in a closure over its stats
-/// handles; tests call it directly.
+/// handles; tests call it directly. `cache` is the estimate cache's
+/// counters when the server runs with `--cache`; without one the block
+/// renders as `null` so consumers can tell "disabled" from "cold".
 pub fn render_varz(
     state: &str,
     conn: &ConnStatsSnapshot,
     inflight: i64,
     frontend: Option<(&odt_serve::FrontendSnapshot, u64)>,
     quality: Option<&QualitySnapshot>,
+    cache: Option<&odt_serve::CacheStats>,
 ) -> String {
     let mut o = String::with_capacity(1024);
     o.push_str("{\"schema\":\"odt-varz/v1\",\"state\":");
@@ -491,6 +494,27 @@ pub fn render_varz(
                 None => o.push_str("null"),
             }
             o.push('}');
+        }
+    }
+    o.push_str(",\"cache\":");
+    match cache {
+        None => o.push_str("null"),
+        Some(c) => {
+            o.push_str(&format!(
+                "{{\"len\":{},\"capacity\":{},\"generation\":{},\"hits\":{},\
+                 \"stale_hits\":{},\"misses\":{},\"hit_rate\":",
+                c.len, c.capacity, c.generation, c.hits, c.stale_hits, c.misses
+            ));
+            push_f64(&mut o, c.hit_rate());
+            o.push_str(&format!(
+                ",\"evictions\":{},\"admission_rejects\":{},\"prewarm_batches\":{},\
+                 \"invalidations\":{},\"invalidated_entries\":{}}}",
+                c.evictions,
+                c.admission_rejects,
+                c.prewarm_batches,
+                c.invalidations,
+                c.invalidated_entries
+            ));
         }
     }
     o.push('}');
@@ -640,7 +664,14 @@ mod tests {
     fn varz_uses_the_installed_source_and_query_strings_are_ignored() {
         let h = boot(AdminSources {
             varz: Some(Box::new(|| {
-                render_varz("running", &ConnStatsSnapshot::default(), 0, None, None)
+                render_varz(
+                    "running",
+                    &ConnStatsSnapshot::default(),
+                    0,
+                    None,
+                    None,
+                    None,
+                )
             })),
         });
         let (st, head, body) = simple_get(h.addr(), "/varz?pretty=1");
@@ -753,9 +784,9 @@ mod tests {
             admitted: 9,
             served: 8,
             shed_queue_full: 1,
-            rung_hits: [5, 2, 1, 0],
-            ladder_cost_us: [4_000, 1_500, 700, 10],
-            breaker_states: ["closed", "open", "half_open"],
+            rung_hits: [3, 5, 2, 1, 0, 0],
+            ladder_cost_us: [5, 4_000, 1_500, 700, 5, 10],
+            breaker_states: ["closed", "closed", "open", "half_open", "closed"],
             deadline_met: 7,
             deadline_missed: 1,
             ..odt_serve::FrontendSnapshot::default()
@@ -770,6 +801,19 @@ mod tests {
             reference_frozen: true,
             ..QualitySnapshot::default()
         };
+        let cache = odt_serve::CacheStats {
+            hits: 60,
+            stale_hits: 10,
+            misses: 30,
+            evictions: 7,
+            admission_rejects: 3,
+            prewarm_batches: 2,
+            invalidations: 1,
+            invalidated_entries: 5,
+            len: 40,
+            capacity: 64,
+            generation: 1,
+        };
         let body = render_varz(
             "draining",
             &ConnStatsSnapshot {
@@ -780,18 +824,23 @@ mod tests {
             2,
             Some((&fe, 4)),
             Some(&q),
+            Some(&cache),
         );
         for needle in [
             "\"state\":\"draining\"",
             "\"inflight\":2",
             "\"opened\":3",
-            "\"rung_hits\":[5,2,1,0]",
-            "\"ladder_cost_us\":[4000,1500,700,10]",
-            "\"states\":[\"closed\",\"open\",\"half_open\"]",
+            "\"rung_hits\":[3,5,2,1,0,0]",
+            "\"ladder_cost_us\":[5,4000,1500,700,5,10]",
+            "\"states\":[\"closed\",\"closed\",\"open\",\"half_open\",\"closed\"]",
             "\"adopted_traces\":4",
             "\"mae_s\":12.5",
             "\"drift_score\":0.2",
             "\"reference_frozen\":true",
+            "\"cache\":{\"len\":40,\"capacity\":64,\"generation\":1,\"hits\":60",
+            "\"hit_rate\":0.6",
+            "\"prewarm_batches\":2",
+            "\"invalidated_entries\":5",
         ] {
             assert!(body.contains(needle), "missing {needle} in {body}");
         }
@@ -806,7 +855,10 @@ mod tests {
             0,
             None,
             Some(&nan_q),
+            None,
         );
         assert!(body.contains("\"mape\":null"), "{body}");
+        // No cache attached: the block is null, not absent and not zeroed.
+        assert!(body.contains("\"cache\":null"), "{body}");
     }
 }

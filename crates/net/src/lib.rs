@@ -28,7 +28,9 @@ pub use drill::{
     net_scenarios, run_net_scenario, run_net_scenario_with, NetDrillOutcome, NetExpectations,
     NetScenarioKind, NetScenarioSpec,
 };
-pub use loadgen::{LatencySummary, LoadConfig, LoadMode, LoadReport, OdMixer, Region};
+pub use loadgen::{
+    coarse_od_key, KeySkew, LatencySummary, LoadConfig, LoadMode, LoadReport, OdMixer, Region,
+};
 pub use server::{
     start, start_with, ConnStatsSnapshot, DrainReport, EchoBackend, FrontendBridge, NetBackend,
     NetRequest, ServerConfig, ServerHandle, ServerStatsHandle, SharedFrontendStats,

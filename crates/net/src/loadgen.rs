@@ -15,7 +15,21 @@
 //! Queries are drawn from a **hotspot-skewed OD mix**: with probability
 //! `p_hot` an endpoint snaps near one of `hotspots` fixed centers
 //! (jittered), otherwise it falls uniformly in the region — the skew the
-//! paper's OD pairs exhibit and the serving stack must absorb.
+//! paper's OD pairs exhibit and the serving stack must absorb. Two knobs
+//! shape the skew further for cache benchmarking:
+//!
+//! * `zipf_s` — hotspot *rank* skew: centers are picked with Zipf
+//!   weights `1/(rank+1)^s` instead of uniformly, so a handful of OD
+//!   cells dominate the key stream (the regime where an estimate cache
+//!   earns its keep). `0` keeps the uniform pick.
+//! * `center_drift` — slow time-of-day drift: each center's position
+//!   shifts sinusoidally with the query's departure time (morning
+//!   hotspots are not evening hotspots), defeating caches that assume a
+//!   static hot set.
+//!
+//! Every run also records the **achieved key skew** over coarse OD
+//! cells — distinct keys, top-1/top-10 share — so reports show the
+//! workload the server actually saw, not just the knobs requested.
 
 use crate::wire::{
     read_frame, write_frame, FrameRead, WireErrorCode, WireQuery, WireRequest, WireResponse,
@@ -97,6 +111,13 @@ pub struct LoadConfig {
     pub hotspots: usize,
     /// Probability an endpoint snaps to a hotspot.
     pub p_hot: f64,
+    /// Zipf exponent for hotspot *rank* selection (`0` = uniform pick
+    /// over the centers; larger = heavier concentration on the top-ranked
+    /// centers).
+    pub zipf_s: f64,
+    /// Amplitude of the sinusoidal time-of-day drift of hotspot centers,
+    /// as a fraction of the region span (`0` = static centers).
+    pub center_drift: f64,
     /// Query region.
     pub region: Region,
     /// Departure-time range drawn uniformly, seconds since midnight.
@@ -118,6 +139,8 @@ impl Default for LoadConfig {
             deadline_ms: Some(200),
             hotspots: 8,
             p_hot: 0.6,
+            zipf_s: 0.0,
+            center_drift: 0.0,
             region: Region::default(),
             t_dep_range: (6.0 * 3600.0, 22.0 * 3600.0),
             trace_every: 64,
@@ -133,11 +156,15 @@ pub struct OdMixer {
     region: Region,
     p_hot: f64,
     t_dep_range: (f64, f64),
+    /// Cumulative Zipf weights over the centers; empty = uniform pick.
+    zipf_cum: Vec<f64>,
+    /// Center drift amplitude, fraction of the region span.
+    center_drift: f64,
 }
 
 impl OdMixer {
     /// A mixer with `hotspots` centers drawn (deterministically from
-    /// `seed`) inside `region`.
+    /// `seed`) inside `region`; uniform center pick, static centers.
     pub fn new(
         seed: u64,
         hotspots: usize,
@@ -160,13 +187,69 @@ impl OdMixer {
             region,
             p_hot: p_hot.clamp(0.0, 1.0),
             t_dep_range,
+            zipf_cum: Vec::new(),
+            center_drift: 0.0,
         }
     }
 
-    fn endpoint(&mut self) -> (f64, f64) {
+    /// Pick hotspot centers with Zipf weights `1/(rank+1)^s` instead of
+    /// uniformly (`s <= 0` restores the uniform pick). Rank order is the
+    /// deterministic center draw order, so the same seed always crowns
+    /// the same top hotspot.
+    pub fn with_zipf(mut self, s: f64) -> OdMixer {
+        self.zipf_cum.clear();
+        if s > 0.0 {
+            let mut cum = 0.0;
+            for i in 0..self.centers.len() {
+                cum += 1.0 / ((i + 1) as f64).powf(s);
+                self.zipf_cum.push(cum);
+            }
+        }
+        self
+    }
+
+    /// Drift each center sinusoidally with the query's departure time,
+    /// `frac` of the region span peak-to-center (`0` = static).
+    pub fn with_drift(mut self, frac: f64) -> OdMixer {
+        self.center_drift = frac.max(0.0);
+        self
+    }
+
+    /// Where center `i` sits at departure time `t_dep` (seconds since
+    /// midnight): the base position plus a slow circular drift, one full
+    /// cycle per day, phase-offset per center so the hot set reshapes
+    /// rather than translating rigidly.
+    fn center_at(&self, i: usize, t_dep: f64) -> (f64, f64) {
+        let (cx, cy) = self.centers[i];
+        if self.center_drift <= 0.0 {
+            return (cx, cy);
+        }
+        let day = (t_dep / 86_400.0) * std::f64::consts::TAU;
+        let phase = i as f64 / self.centers.len().max(1) as f64 * std::f64::consts::TAU;
         let r = &self.region;
+        (
+            cx + (day + phase).sin() * self.center_drift * (r.lng1 - r.lng0),
+            cy + (day + phase).cos() * self.center_drift * (r.lat1 - r.lat0),
+        )
+    }
+
+    fn pick_center(&mut self) -> usize {
+        if self.zipf_cum.is_empty() {
+            return self.rng.next_below(self.centers.len() as u64) as usize;
+        }
+        let total = *self.zipf_cum.last().unwrap();
+        let u = self.rng.next_f64() * total;
+        self.zipf_cum
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.centers.len() - 1)
+    }
+
+    fn endpoint(&mut self, t_dep: f64) -> (f64, f64) {
+        let r = self.region;
         if !self.centers.is_empty() && self.rng.next_f64() < self.p_hot {
-            let c = self.centers[self.rng.next_below(self.centers.len() as u64) as usize];
+            let rank = self.pick_center();
+            let c = self.center_at(rank, t_dep);
             // Jitter ~1% of the region around the hotspot center (sum of
             // two uniforms ≈ triangular, denser near the center).
             let jl = (r.lng1 - r.lng0) * 0.01;
@@ -184,18 +267,64 @@ impl OdMixer {
         }
     }
 
-    /// Draw one OD query.
+    /// Draw one OD query. Departure time is drawn first so the drifted
+    /// hotspot positions are a function of *this query's* time of day.
     pub fn next_query(&mut self) -> WireQuery {
-        let (o_lng, o_lat) = self.endpoint();
-        let (d_lng, d_lat) = self.endpoint();
         let (t0, t1) = self.t_dep_range;
+        let t_dep = t0 + self.rng.next_f64() * (t1 - t0).max(0.0);
+        let (o_lng, o_lat) = self.endpoint(t_dep);
+        let (d_lng, d_lat) = self.endpoint(t_dep);
         WireQuery {
             o_lng,
             o_lat,
             d_lng,
             d_lat,
-            t_dep: t0 + self.rng.next_f64() * (t1 - t0).max(0.0),
+            t_dep,
         }
+    }
+}
+
+/// The achieved key skew of a run, measured over coarse OD cells (a
+/// 16×16 grid per endpoint — the granularity an estimate cache keys on,
+/// give or take the time bucket).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct KeySkew {
+    /// Distinct coarse OD keys observed.
+    pub distinct: u64,
+    /// Total keyed requests.
+    pub total: u64,
+    /// Share of traffic on the single hottest key.
+    pub top1_share: f64,
+    /// Share of traffic on the ten hottest keys.
+    pub top10_share: f64,
+}
+
+/// The coarse OD key used for skew accounting: origin and destination
+/// snapped to a 16×16 grid over `region`.
+pub fn coarse_od_key(q: &WireQuery, region: &Region) -> u32 {
+    let cell = |lng: f64, lat: f64| {
+        let fx = ((lng - region.lng0) / (region.lng1 - region.lng0)).clamp(0.0, 1.0);
+        let fy = ((lat - region.lat0) / (region.lat1 - region.lat0)).clamp(0.0, 1.0);
+        let col = ((fx * 16.0) as u32).min(15);
+        let row = ((fy * 16.0) as u32).min(15);
+        row * 16 + col
+    };
+    cell(q.o_lng, q.o_lat) << 8 | cell(q.d_lng, q.d_lat)
+}
+
+fn key_skew_from_counts(counts: &HashMap<u32, u64>) -> KeySkew {
+    let total: u64 = counts.values().sum();
+    if total == 0 {
+        return KeySkew::default();
+    }
+    let mut sorted: Vec<u64> = counts.values().copied().collect();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let top_n = |n: usize| sorted.iter().take(n).sum::<u64>() as f64 / total as f64;
+    KeySkew {
+        distinct: counts.len() as u64,
+        total,
+        top1_share: top_n(1),
+        top10_share: top_n(10),
     }
 }
 
@@ -266,6 +395,9 @@ pub struct LoadReport {
     pub send_lag_max_ms: f64,
     /// Requests that carried a trace id.
     pub traces_sent: u64,
+    /// Achieved key skew over coarse OD cells (what the cache actually
+    /// saw, regardless of the knobs requested).
+    pub key_skew: KeySkew,
 }
 
 struct ConnTally {
@@ -278,6 +410,7 @@ struct ConnTally {
     deadline_met: u64,
     send_lag_max_us: u64,
     traces_sent: u64,
+    keys: HashMap<u32, u64>,
 }
 
 impl ConnTally {
@@ -292,6 +425,7 @@ impl ConnTally {
             deadline_met: 0,
             send_lag_max_us: 0,
             traces_sent: 0,
+            keys: HashMap::new(),
         }
     }
 }
@@ -339,6 +473,7 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
     };
     let mut errors: HashMap<String, u64> = HashMap::new();
     let mut rungs: HashMap<String, u64> = HashMap::new();
+    let mut keys: HashMap<u32, u64> = HashMap::new();
     let mut all_lat = Vec::new();
     let mut lag_max = 0u64;
     for t in tallies {
@@ -354,8 +489,12 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         for (k, v) in t.rungs {
             *rungs.entry(k).or_insert(0) += v;
         }
+        for (k, v) in t.keys {
+            *keys.entry(k).or_insert(0) += v;
+        }
         all_lat.extend(t.latencies_us);
     }
+    report.key_skew = key_skew_from_counts(&keys);
     report.throughput_rps = if wall_s > 0.0 {
         report.ok as f64 / wall_s
     } else {
@@ -418,9 +557,14 @@ fn make_request(
     } else {
         None
     };
+    let query = mixer.next_query();
+    *tally
+        .keys
+        .entry(coarse_od_key(&query, &cfg.region))
+        .or_insert(0) += 1;
     WireRequest {
         id,
-        query: mixer.next_query(),
+        query,
         deadline_ms: cfg.deadline_ms,
         trace,
     }
@@ -435,7 +579,9 @@ fn closed_loop(cfg: &LoadConfig, conn_idx: usize, next_trace: &AtomicU64) -> io:
         cfg.p_hot,
         cfg.region,
         cfg.t_dep_range,
-    );
+    )
+    .with_zipf(cfg.zipf_s)
+    .with_drift(cfg.center_drift);
     let mut tally = ConnTally::new();
     let t0 = Instant::now();
     let mut id = 1u64;
@@ -496,7 +642,9 @@ fn open_loop(
         cfg.p_hot,
         cfg.region,
         cfg.t_dep_range,
-    );
+    )
+    .with_zipf(cfg.zipf_s)
+    .with_drift(cfg.center_drift);
 
     // Scheduled send times, fixed up front — the definition of open loop.
     let mut schedule = Vec::new();
@@ -643,6 +791,90 @@ mod tests {
             hot_buckets < uni_buckets / 2,
             "hotspot mix not skewed: {hot_buckets} vs {uni_buckets} buckets"
         );
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_the_top_ranked_center() {
+        let region = Region::default();
+        // Same seed, same centers; only the rank distribution differs.
+        let counts = |zipf_s: f64| {
+            let mut m = OdMixer::new(13, 8, 1.0, region, (0.0, 1.0)).with_zipf(zipf_s);
+            let mut per_key: HashMap<u32, u64> = HashMap::new();
+            for _ in 0..2_000 {
+                let q = m.next_query();
+                *per_key.entry(coarse_od_key(&q, &region)).or_insert(0) += 1;
+            }
+            key_skew_from_counts(&per_key)
+        };
+        let uniform = counts(0.0);
+        let skewed = counts(2.0);
+        assert!(
+            skewed.top1_share > uniform.top1_share * 2.0,
+            "zipf s=2 not skewed: top1 {} vs uniform {}",
+            skewed.top1_share,
+            uniform.top1_share
+        );
+        assert!(skewed.distinct < uniform.distinct);
+        assert_eq!(uniform.total, 2_000);
+    }
+
+    #[test]
+    fn center_drift_moves_hotspots_with_time_of_day() {
+        let region = Region::default();
+        // p_hot=1, one center, zero jitter influence dominated by drift:
+        // morning and evening queries must land in different places.
+        let centroid = |t_range: (f64, f64)| {
+            let mut m = OdMixer::new(17, 1, 1.0, region, t_range).with_drift(0.2);
+            let (mut sx, mut n) = (0.0, 0);
+            for _ in 0..300 {
+                let q = m.next_query();
+                sx += q.o_lng;
+                n += 1;
+            }
+            sx / n as f64
+        };
+        let morning = centroid((6.0 * 3600.0, 6.5 * 3600.0));
+        let evening = centroid((18.0 * 3600.0, 18.5 * 3600.0));
+        let span = region.lng1 - region.lng0;
+        assert!(
+            (morning - evening).abs() > span * 0.05,
+            "drifted centers did not move: morning {morning} vs evening {evening}"
+        );
+        // No drift: the same two windows agree.
+        let centroid0 = |t_range: (f64, f64)| {
+            let mut m = OdMixer::new(17, 1, 1.0, region, t_range);
+            let (mut sx, mut n) = (0.0, 0);
+            for _ in 0..300 {
+                sx += m.next_query().o_lng;
+                n += 1;
+            }
+            sx / n as f64
+        };
+        let m0 = centroid0((6.0 * 3600.0, 6.5 * 3600.0));
+        let e0 = centroid0((18.0 * 3600.0, 18.5 * 3600.0));
+        assert!((m0 - e0).abs() < span * 0.02, "static centers moved");
+    }
+
+    #[test]
+    fn load_runs_record_the_achieved_key_skew() {
+        let h = start(server_cfg(), EchoBackend::instant()).unwrap();
+        let report = run(&LoadConfig {
+            addr: h.addr().to_string(),
+            conns: 2,
+            duration: Duration::from_millis(300),
+            mode: LoadMode::Closed,
+            zipf_s: 1.5,
+            p_hot: 0.95,
+            ..LoadConfig::default()
+        })
+        .unwrap();
+        assert!(report.ok > 0);
+        let ks = report.key_skew;
+        assert_eq!(ks.total, report.sent, "every sent request is keyed");
+        assert!(ks.distinct >= 1);
+        assert!(ks.top1_share > 0.0 && ks.top1_share <= 1.0);
+        assert!(ks.top10_share >= ks.top1_share && ks.top10_share <= 1.0);
+        let _ = h.drain();
     }
 
     #[test]

@@ -1021,6 +1021,17 @@ impl NetBackend for EchoBackend {
     }
 }
 
+/// One registered idle-tick consumer: a named closure with its own
+/// minimum re-run interval, so independent background jobs (shadow
+/// scorer, cache prewarmer, drift watcher) share the dispatcher's tick
+/// without stepping on each other's cadence.
+struct TickConsumer {
+    name: &'static str,
+    min_interval: Duration,
+    last_run: Option<Instant>,
+    run: Box<dyn FnMut()>,
+}
+
 /// Bridge a [`odt_serve::ServeFrontend`] into the network boundary:
 /// submits each batch through admission (propagating wire deadlines,
 /// minus boundary age, and trace ids), drains, and maps frontend
@@ -1030,11 +1041,11 @@ pub struct FrontendBridge<E: odt_serve::RungExecutor, F> {
     make_query: F,
     adopted_traces: u64,
     shared: Option<SharedFrontendStats>,
-    /// Idle-tick work (shadow quality scoring); runs on the dispatcher
-    /// thread via [`NetBackend::on_tick`], so it may capture `!Send`
-    /// state as long as the bridge is built on that thread
-    /// ([`start_with`]).
-    tick: Option<Box<dyn FnMut()>>,
+    /// Idle-tick work (shadow quality scoring, cache prewarming, drift
+    /// watching); runs on the dispatcher thread via
+    /// [`NetBackend::on_tick`], so consumers may capture `!Send` state as
+    /// long as the bridge is built on that thread ([`start_with`]).
+    ticks: Vec<TickConsumer>,
 }
 
 /// Live frontend counters published out of the dispatcher thread.
@@ -1067,17 +1078,41 @@ where
             make_query,
             adopted_traces: 0,
             shared: None,
-            tick: None,
+            ticks: Vec::new(),
         }
     }
 
-    /// Install idle-tick work (see [`NetBackend::on_tick`]): the server
-    /// binary hangs its shadow quality scorer here. The closure runs on
-    /// whatever thread owns the bridge — construct the bridge (and the
-    /// closure's captures) inside the [`start_with`] factory and nothing
+    /// Register a named idle-tick consumer (see [`NetBackend::on_tick`]):
+    /// the server binary hangs its shadow quality scorer, cache prewarmer
+    /// and drift watcher here. Each consumer re-runs at most once per
+    /// `min_interval_us` (0 = every tick); multiple consumers multiplex
+    /// over the single dispatcher tick in registration order. Closures run
+    /// on whatever thread owns the bridge — construct the bridge (and the
+    /// closures' captures) inside the [`start_with`] factory and nothing
     /// needs `Send`.
+    pub fn add_tick(
+        &mut self,
+        name: &'static str,
+        min_interval_us: u64,
+        run: impl FnMut() + 'static,
+    ) {
+        self.ticks.push(TickConsumer {
+            name,
+            min_interval: Duration::from_micros(min_interval_us),
+            last_run: None,
+            run: Box::new(run),
+        });
+    }
+
+    /// [`FrontendBridge::add_tick`] with no throttle, kept for callers
+    /// that register a single consumer.
     pub fn set_tick(&mut self, tick: impl FnMut() + 'static) {
-        self.tick = Some(Box::new(tick));
+        self.add_tick("tick", 0, tick);
+    }
+
+    /// Names of the registered idle-tick consumers, in run order.
+    pub fn tick_consumers(&self) -> Vec<&'static str> {
+        self.ticks.iter().map(|t| t.name).collect()
     }
 
     /// A handle this bridge will refresh after every processed batch;
@@ -1210,8 +1245,16 @@ where
     }
 
     fn on_tick(&mut self) {
-        if let Some(tick) = &mut self.tick {
-            tick();
+        let now = Instant::now();
+        for c in &mut self.ticks {
+            let due = match c.last_run {
+                None => true,
+                Some(t) => now.duration_since(t) >= c.min_interval,
+            };
+            if due {
+                c.last_run = Some(now);
+                (c.run)();
+            }
         }
         // Refresh published stats on idle ticks too, so `/varz` reflects
         // breaker half-open transitions and SLO window decay even when no
@@ -1604,6 +1647,8 @@ mod tests {
                 assert_eq!(id, 11);
                 assert_eq!(t, trace, "wire trace not propagated");
                 assert!(
+                    // GridExec has no cache attached, so the cache rungs
+                    // never serve; every model rung name is fair game.
                     ["full_ddpm", "ddim", "ddim_reduced", "fallback"].contains(&rung.as_str()),
                     "unexpected rung {rung}"
                 );
@@ -1731,6 +1776,36 @@ mod tests {
         let (snap, _) = stats.get();
         assert_eq!(snap.submitted, 0);
         let _ = h.drain();
+    }
+
+    #[test]
+    fn bridge_multiplexes_tick_consumers_with_per_consumer_throttles() {
+        let fast = Arc::new(AtomicU64::new(0));
+        let slow = Arc::new(AtomicU64::new(0));
+        let (f2, s2) = (Arc::clone(&fast), Arc::clone(&slow));
+        let h = start_with(test_cfg(), move || {
+            let fe = odt_serve::ServeFrontend::new(GridExec, odt_serve::FrontendConfig::default());
+            let mut bridge = FrontendBridge::new(fe, |wq: &WireQuery| {
+                ((wq.d_lng - wq.o_lng).abs(), (wq.d_lat - wq.o_lat).abs())
+            });
+            // An unthrottled consumer and a heavily throttled one share
+            // the dispatcher's tick.
+            bridge.add_tick("fast", 0, move || {
+                f2.fetch_add(1, Ordering::Relaxed);
+            });
+            bridge.add_tick("slow", 10_000_000, move || {
+                s2.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(bridge.tick_consumers(), vec!["fast", "slow"]);
+            bridge
+        })
+        .unwrap();
+        // ~20 ms idle polls: the fast consumer runs many times, the slow
+        // one exactly once (its 10 s interval cannot elapse in the test).
+        thread::sleep(Duration::from_millis(200));
+        let _ = h.drain();
+        assert!(fast.load(Ordering::Relaxed) >= 3, "fast consumer starved");
+        assert_eq!(slow.load(Ordering::Relaxed), 1, "throttle not honored");
     }
 
     #[test]

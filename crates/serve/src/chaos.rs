@@ -10,7 +10,7 @@
 //! that every request still gets an answer or an honest shed.
 
 use crate::breaker::BreakerConfig;
-use crate::frontend::{FrontendSnapshot, RungExecutor};
+use crate::frontend::{CacheProbe, FrontendSnapshot, RungExecutor};
 use crate::ladder::Rung;
 use crate::queue::ShedPolicy;
 use odt_obs::{event, Level};
@@ -146,6 +146,14 @@ impl<E: RungExecutor> RungExecutor for ChaosExecutor<E> {
         self.inner.admit(query)
     }
 
+    fn supports(&self, rung: Rung) -> bool {
+        self.inner.supports(rung)
+    }
+
+    fn probe(&mut self, query: &Self::Query) -> CacheProbe {
+        self.inner.probe(query)
+    }
+
     fn execute(&mut self, rung: Rung, query: &Self::Query) -> Result<f64, String> {
         let fault = self.injector.next_fault(rung);
         if fault != Fault::None {
@@ -233,18 +241,19 @@ impl Expectations {
         if self.expect_breaker_trips && trips == 0 {
             v.push("expected breaker trips, none occurred".to_string());
         }
-        let downgraded: u64 = s.rung_hits[1..].iter().sum();
+        let downgraded: u64 = s.rung_hits[Rung::Full.index() + 1..].iter().sum();
         if self.expect_downgrades && downgraded == 0 {
             v.push("expected degraded-rung answers, none occurred".to_string());
         }
         if self.expect_full_rung_recovers {
-            if s.breaker_states[0] != "closed" {
+            let full = Rung::Full.index();
+            if s.breaker_states[full] != "closed" {
                 v.push(format!(
                     "full-fidelity breaker did not recover (state {})",
-                    s.breaker_states[0]
+                    s.breaker_states[full]
                 ));
             }
-            if s.rung_hits[0] == 0 {
+            if s.rung_hits[full] == 0 {
                 v.push("full-fidelity rung never served after recovery".to_string());
             }
         }
@@ -483,8 +492,8 @@ mod tests {
         let mut snap = FrontendSnapshot {
             submitted: 10,
             served: 10,
-            rung_hits: [10, 0, 0, 0],
-            breaker_states: ["closed"; 3],
+            rung_hits: [0, 10, 0, 0, 0, 0],
+            breaker_states: ["closed"; crate::ladder::MODEL_RUNGS],
             ..FrontendSnapshot::default()
         };
         assert!(Expectations::default().check(&snap).is_empty());

@@ -2,10 +2,13 @@
 //!
 //! | Rung                  | Oracle entry point                            |
 //! |-----------------------|-----------------------------------------------|
+//! | [`Rung::Cached`]      | The estimate cache (fresh entry) — no         |
+//! |                       | diffusion, just a lookup stashed at probe     |
 //! | [`Rung::Full`]        | `estimate_sampled(Ddpm)` — full stochastic    |
 //! |                       | sampling (or `DdpmStrided(n)` if overridden)  |
 //! | [`Rung::Ddim`]        | `estimate_sampled(Ddim(ddim_steps))`          |
 //! | [`Rung::DdimReduced`] | `estimate_sampled(Ddim(reduced_steps))`       |
+//! | [`Rung::CachedStale`] | The estimate cache (stale-grace entry)        |
 //! | [`Rung::Fallback`]    | `estimate_prior` — the model-free haversine   |
 //! |                       | prior, no diffusion at all                    |
 //!
@@ -13,14 +16,26 @@
 //! a query more than one grid-span outside the region is refused with a
 //! typed reason (and counted in the oracle's `RobustnessStats`) instead
 //! of being silently clamped to the boundary.
+//!
+//! **Caching.** With a cache attached ([`DotExecutor::with_cache`]), the
+//! frontend's per-request probe performs the lookup and *stashes* the
+//! found value; a later `execute` on a cache rung returns the stashed
+//! value bit-identically (proptested) — the entry filled from
+//! `estimate_batch` is exactly what the cached rung serves. Model-rung
+//! answers are written through into the cache under TinyLFU admission, so
+//! real traffic keeps the hot set warm; every probe also feeds the shared
+//! [`HotTracker`] the background [`crate::cache::Prewarmer`] drains.
+
+use std::sync::{Arc, Mutex};
 
 use odt_core::{Dot, PitSampler};
 use odt_traj::OdtInput;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::cache::{CacheLookup, EstimateCache, HotTracker, OdKey};
 use crate::chaos::{ChaosConfig, ChaosExecutor};
-use crate::frontend::{FrontendConfig, RungExecutor, ServeFrontend};
+use crate::frontend::{CacheProbe, FrontendConfig, RungExecutor, ServeFrontend};
 use crate::ladder::Rung;
 
 /// How the ladder rungs map onto the oracle.
@@ -52,26 +67,89 @@ impl Default for DotFrontendConfig {
     }
 }
 
+/// The value a successful cache probe stashed for the rest of the request.
+#[derive(Copy, Clone, Debug)]
+struct StashedHit {
+    seconds: f64,
+    age_us: u64,
+    fresh: bool,
+}
+
+/// The cache attachment: the cache itself plus the shared hot-key tracker
+/// the prewarmer reads.
+struct CacheWiring {
+    cache: Arc<EstimateCache>,
+    hot: Arc<Mutex<HotTracker<OdtInput>>>,
+    stash: Option<StashedHit>,
+    /// Epoch for the cache's µs clock (the owning frontend's `now_us` is
+    /// not visible from inside the executor, so the executor keeps its
+    /// own — both are arbitrary-origin monotonic clocks).
+    epoch: std::time::Instant,
+}
+
+impl CacheWiring {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
 /// [`RungExecutor`] over a trained (or loaded) [`Dot`] oracle.
 pub struct DotExecutor<'a> {
     model: &'a Dot,
     cfg: DotFrontendConfig,
     rng: StdRng,
+    cache: Option<CacheWiring>,
 }
 
 impl<'a> DotExecutor<'a> {
-    /// An executor serving `model` with the given rung mapping.
+    /// An executor serving `model` with the given rung mapping (no cache:
+    /// the cache rungs stay unusable, exactly the pre-cache ladder).
     pub fn new(model: &'a Dot, cfg: DotFrontendConfig) -> Self {
         DotExecutor {
             model,
             rng: StdRng::seed_from_u64(cfg.rng_seed),
             cfg,
+            cache: None,
         }
+    }
+
+    /// Attach an estimate cache and the shared hot-key tracker, enabling
+    /// the [`Rung::Cached`] / [`Rung::CachedStale`] rungs.
+    pub fn with_cache(
+        mut self,
+        cache: Arc<EstimateCache>,
+        hot: Arc<Mutex<HotTracker<OdtInput>>>,
+    ) -> Self {
+        self.cache = Some(CacheWiring {
+            cache,
+            hot,
+            stash: None,
+            epoch: std::time::Instant::now(),
+        });
+        self
     }
 
     /// The wrapped oracle.
     pub fn model(&self) -> &Dot {
         self.model
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&Arc<EstimateCache>> {
+        self.cache.as_ref().map(|w| &w.cache)
+    }
+
+    /// The cache key for a query on this model's serving grid.
+    pub fn cache_key(&self, query: &OdtInput) -> Option<OdKey> {
+        let wiring = self.cache.as_ref()?;
+        let grid = self.model.grid();
+        let (orow, ocol) = grid.cell_of(query.origin);
+        let (drow, dcol) = grid.cell_of(query.dest);
+        Some(wiring.cache.key_for(
+            grid.flat_index(orow, ocol) as u32,
+            grid.flat_index(drow, dcol) as u32,
+            query.second_of_day(),
+        ))
     }
 }
 
@@ -88,7 +166,56 @@ impl RungExecutor for DotExecutor<'_> {
             .map_err(|reason| reason.to_string())
     }
 
+    fn supports(&self, rung: Rung) -> bool {
+        !rung.is_cache() || self.cache.is_some()
+    }
+
+    fn probe(&mut self, query: &OdtInput) -> CacheProbe {
+        let Some(key) = self.cache_key(query) else {
+            return CacheProbe::Miss;
+        };
+        let wiring = self.cache.as_mut().expect("cache_key implies wiring");
+        let now = wiring.now_us();
+        wiring.hot.lock().unwrap().touch(key, query);
+        match wiring.cache.lookup(key, now) {
+            CacheLookup::Fresh { seconds, age_us } => {
+                wiring.stash = Some(StashedHit {
+                    seconds,
+                    age_us,
+                    fresh: true,
+                });
+                CacheProbe::Fresh
+            }
+            CacheLookup::Stale { seconds, age_us } => {
+                wiring.stash = Some(StashedHit {
+                    seconds,
+                    age_us,
+                    fresh: false,
+                });
+                CacheProbe::Stale
+            }
+            CacheLookup::Miss => {
+                wiring.stash = None;
+                CacheProbe::Miss
+            }
+        }
+    }
+
     fn execute(&mut self, rung: Rung, query: &OdtInput) -> Result<f64, String> {
+        if rung.is_cache() {
+            let wiring = self
+                .cache
+                .as_mut()
+                .ok_or_else(|| "cache rung without a cache".to_string())?;
+            let hit = wiring
+                .stash
+                .ok_or_else(|| "cache rung without a stashed probe hit".to_string())?;
+            if rung == Rung::Cached && !hit.fresh {
+                return Err("stale entry offered to the fresh rung".to_string());
+            }
+            wiring.cache.note_served(hit.age_us, hit.fresh);
+            return Ok(hit.seconds);
+        }
         let est = match rung {
             Rung::Full => {
                 let sampler = match self.cfg.full_steps_override {
@@ -108,7 +235,17 @@ impl RungExecutor for DotExecutor<'_> {
                 &mut self.rng,
             ),
             Rung::Fallback => self.model.estimate_prior(query),
+            Rung::Cached | Rung::CachedStale => unreachable!("handled above"),
         };
+        // Write model-backed answers through into the cache (TinyLFU
+        // admission applies); the model-free prior is never cached — the
+        // stale tier must stay strictly better than the fallback.
+        if rung != Rung::Fallback && est.seconds.is_finite() {
+            if let Some(key) = self.cache_key(query) {
+                let wiring = self.cache.as_ref().expect("cache_key implies wiring");
+                wiring.cache.insert(key, est.seconds, wiring.now_us());
+            }
+        }
         Ok(est.seconds)
     }
 }
@@ -123,5 +260,22 @@ pub fn dot_frontend<'a>(
     chaos: ChaosConfig,
 ) -> ServeFrontend<ChaosExecutor<DotExecutor<'a>>> {
     let exec = ChaosExecutor::new(DotExecutor::new(model, dot_cfg), chaos);
+    ServeFrontend::new(exec, frontend_cfg)
+}
+
+/// [`dot_frontend`] with an estimate cache attached: the cache rungs come
+/// alive, probes feed `hot`, and model answers write through into `cache`.
+pub fn dot_frontend_cached<'a>(
+    model: &'a Dot,
+    dot_cfg: DotFrontendConfig,
+    frontend_cfg: FrontendConfig,
+    chaos: ChaosConfig,
+    cache: Arc<EstimateCache>,
+    hot: Arc<Mutex<HotTracker<OdtInput>>>,
+) -> ServeFrontend<ChaosExecutor<DotExecutor<'a>>> {
+    let exec = ChaosExecutor::new(
+        DotExecutor::new(model, dot_cfg).with_cache(cache, hot),
+        chaos,
+    );
     ServeFrontend::new(exec, frontend_cfg)
 }

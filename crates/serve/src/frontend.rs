@@ -36,8 +36,22 @@ use std::time::Instant;
 use odt_obs::{event, Level};
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
-use crate::ladder::{LadderConfig, LatencyLadder, Rung, MODEL_RUNGS};
+use crate::ladder::{LadderConfig, LatencyLadder, Rung, MODEL_RUNGS, NUM_RUNGS};
 use crate::queue::{AdmissionQueue, ShedPolicy};
+
+/// What an executor's cache probe found for a query (the frontend probes
+/// once per request, before rung selection, and gates the two cache rungs
+/// on the result).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CacheProbe {
+    /// A fresh cached estimate exists: [`Rung::Cached`] is usable.
+    Fresh,
+    /// Only a slightly-stale estimate exists: [`Rung::CachedStale`] is
+    /// usable, [`Rung::Cached`] is not.
+    Stale,
+    /// Nothing cached (or no cache at all): neither cache rung is usable.
+    Miss,
+}
 
 /// One serving path the frontend can route a request to.
 ///
@@ -52,6 +66,20 @@ pub trait RungExecutor {
     /// Validate a query before it is admitted; `Err(reason)` sheds it.
     fn admit(&mut self, _query: &Self::Query) -> Result<(), String> {
         Ok(())
+    }
+
+    /// Whether this executor can serve `rung` at all. The default opts
+    /// out of the cache rungs (executors without a cache keep their exact
+    /// pre-cache behavior) and into everything else.
+    fn supports(&self, rung: Rung) -> bool {
+        !rung.is_cache()
+    }
+
+    /// Probe the executor's estimate cache for `query`. Called once per
+    /// request before rung selection; the result gates the cache rungs.
+    /// Executors without a cache keep the default ([`CacheProbe::Miss`]).
+    fn probe(&mut self, _query: &Self::Query) -> CacheProbe {
+        CacheProbe::Miss
     }
 
     /// Serve `query` on `rung`, returning the travel time in seconds.
@@ -203,10 +231,10 @@ pub struct FrontendSnapshot {
     pub shed_invalid: u64,
     /// Sheds because every rung failed.
     pub shed_internal: u64,
-    /// Answers per rung, fidelity order.
-    pub rung_hits: [u64; 4],
-    /// Failed attempts per rung, fidelity order.
-    pub rung_failures: [u64; 4],
+    /// Answers per rung, ladder order.
+    pub rung_hits: [u64; NUM_RUNGS],
+    /// Failed attempts per rung, ladder order.
+    pub rung_failures: [u64; NUM_RUNGS],
     /// Breaker trips per model-backed rung.
     pub breaker_trips: [u64; MODEL_RUNGS],
     /// Breaker state names per model-backed rung.
@@ -217,9 +245,9 @@ pub struct FrontendSnapshot {
     pub deadline_missed: u64,
     /// SLO burn-rate state, when [`FrontendConfig::slo`] is configured.
     pub slo: Option<odt_obs::slo::BurnRateSnapshot>,
-    /// The latency ladder's live per-rung cost estimates (µs, fidelity
+    /// The latency ladder's live per-rung cost estimates (µs, ladder
     /// order) at snapshot time — what selection is currently using.
-    pub ladder_cost_us: [u64; 4],
+    pub ladder_cost_us: [u64; NUM_RUNGS],
 }
 
 /// The deadline-aware serving frontend. See the module docs.
@@ -237,9 +265,11 @@ pub struct ServeFrontend<E: RungExecutor> {
 
 fn rung_hist_name(rung: Rung) -> &'static str {
     match rung {
+        Rung::Cached => "serve.rung.cached",
         Rung::Full => "serve.rung.full_ddpm",
         Rung::Ddim => "serve.rung.ddim",
         Rung::DdimReduced => "serve.rung.ddim_reduced",
+        Rung::CachedStale => "serve.rung.cached_stale",
         Rung::Fallback => "serve.rung.fallback",
     }
 }
@@ -247,11 +277,8 @@ fn rung_hist_name(rung: Rung) -> &'static str {
 impl<E: RungExecutor> ServeFrontend<E> {
     /// A frontend over `exec` with the given tuning.
     pub fn new(exec: E, cfg: FrontendConfig) -> Self {
-        let breakers = [
-            CircuitBreaker::new(Rung::Full.name(), cfg.breaker),
-            CircuitBreaker::new(Rung::Ddim.name(), cfg.breaker),
-            CircuitBreaker::new(Rung::DdimReduced.name(), cfg.breaker),
-        ];
+        let breakers =
+            std::array::from_fn(|i| CircuitBreaker::new(Rung::from_index(i).name(), cfg.breaker));
         ServeFrontend {
             queue: AdmissionQueue::new(cfg.queue_capacity, cfg.shed_policy),
             ladder: LatencyLadder::new(cfg.ladder),
@@ -309,6 +336,12 @@ impl<E: RungExecutor> ServeFrontend<E> {
     pub fn warmup(&mut self, queries: &[E::Query]) {
         for q in queries {
             for rung in Rung::ALL {
+                // Cache rungs are probe-gated and near-free; executing
+                // them cold would only feed their breakers spurious
+                // failures, so warmup leaves their priors in place.
+                if rung.is_cache() {
+                    continue;
+                }
                 let now = self.now_us();
                 let sp = odt_obs::span(rung_hist_name(rung));
                 let exec = &mut self.exec;
@@ -464,6 +497,10 @@ impl<E: RungExecutor> ServeFrontend<E> {
         };
         root.set_request_id(req.id);
         odt_obs::trace::record_backdated_span("serve.queue_wait", queue_wait_us);
+        // One cache probe per request, before selection: the result gates
+        // the two cache rungs for every iteration of the descent loop (a
+        // cache-rung failure mid-descent must not re-probe).
+        let probe = self.exec.probe(&req.query);
         let mut floor = 0usize;
         loop {
             let now = self.now_us();
@@ -483,11 +520,23 @@ impl<E: RungExecutor> ServeFrontend<E> {
                 };
             }
 
-            // Breaker gating, computed before selection so the closure
-            // borrow does not conflict with `&mut self.breakers`.
-            let mut usable = [true; 4];
+            // Breaker + probe + support gating, computed before selection
+            // so the closure borrow does not conflict with
+            // `&mut self.breakers`. A cache rung is usable only when the
+            // executor has a cache (`supports`), its breaker allows, and
+            // the probe found an entry of the right freshness.
+            let mut usable = [true; NUM_RUNGS];
             for (i, usable_i) in usable.iter_mut().take(MODEL_RUNGS).enumerate() {
-                *usable_i = i >= floor && self.breakers[i].allow(now);
+                let rung = Rung::from_index(i);
+                let mut ok = i >= floor && self.exec.supports(rung) && self.breakers[i].allow(now);
+                if rung.is_cache() {
+                    ok = ok
+                        && match rung {
+                            Rung::Cached => probe == CacheProbe::Fresh,
+                            _ => probe != CacheProbe::Miss,
+                        };
+                }
+                *usable_i = ok;
             }
             let rung = self.ladder.select(remaining, |r| usable[r.index()]);
             let rung = if rung.index() < floor {
@@ -544,7 +593,7 @@ impl<E: RungExecutor> ServeFrontend<E> {
                         queue_wait_us,
                         service_us,
                         deadline_met,
-                        downgraded: rung.index() > 0,
+                        downgraded: rung.index() > Rung::Full.index(),
                     };
                 }
                 other => {
@@ -599,26 +648,32 @@ mod tests {
         GATE.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Scriptable executor: per-rung behavior, switchable mid-test.
+    /// Scriptable executor: per-rung behavior, switchable mid-test. The
+    /// default `supports`/`probe` opt out of the cache rungs; set
+    /// `probe_result` to gate them in.
     struct MockExec {
         /// seconds returned per rung; NaN simulates a poisoned output.
-        value: [f64; 4],
+        value: [f64; NUM_RUNGS],
         /// rungs that return Err.
-        fail: [bool; 4],
+        fail: [bool; NUM_RUNGS],
         /// rungs that panic.
-        panic: [bool; 4],
+        panic: [bool; NUM_RUNGS],
         /// queries containing this marker are refused at admission.
         reject_marker: Option<&'static str>,
+        /// `Some(probe)` makes the mock cache-capable with that probe
+        /// result for every query; `None` keeps the trait defaults.
+        probe_result: Option<CacheProbe>,
         calls: Vec<Rung>,
     }
 
     impl MockExec {
         fn healthy() -> Self {
             MockExec {
-                value: [600.0, 610.0, 620.0, 900.0],
-                fail: [false; 4],
-                panic: [false; 4],
+                value: [550.0, 600.0, 610.0, 620.0, 650.0, 900.0],
+                fail: [false; NUM_RUNGS],
+                panic: [false; NUM_RUNGS],
                 reject_marker: None,
+                probe_result: None,
                 calls: Vec::new(),
             }
         }
@@ -632,6 +687,14 @@ mod tests {
                 Some(m) if query.contains(m) => Err(format!("marker {m}")),
                 _ => Ok(()),
             }
+        }
+
+        fn supports(&self, rung: Rung) -> bool {
+            !rung.is_cache() || self.probe_result.is_some()
+        }
+
+        fn probe(&mut self, _query: &Self::Query) -> CacheProbe {
+            self.probe_result.unwrap_or(CacheProbe::Miss)
         }
 
         fn execute(&mut self, rung: Rung, _query: &Self::Query) -> Result<f64, String> {
@@ -652,7 +715,7 @@ mod tests {
             // Millisecond-scale priors so mock execution (≈ µs) always
             // "fits" and queue wait cannot starve the budget on slow CI.
             ladder: LadderConfig {
-                prior_us: [50_000, 20_000, 10_000, 1],
+                prior_us: [1, 50_000, 20_000, 10_000, 1, 1],
                 min_samples: u64::MAX, // pin costs to the priors
             },
             ..FrontendConfig::default()
@@ -683,8 +746,101 @@ mod tests {
         }
         let s = fe.snapshot();
         assert_eq!(s.served, 4);
-        assert_eq!(s.rung_hits[0], 4);
+        assert_eq!(s.rung_hits[Rung::Full.index()], 4);
         assert_eq!(s.deadline_met, 4);
+    }
+
+    #[test]
+    fn fresh_probe_serves_from_the_cached_rung() {
+        let mut exec = MockExec::healthy();
+        exec.probe_result = Some(CacheProbe::Fresh);
+        let mut fe = ServeFrontend::new(exec, cfg());
+        let out = fe.process_wave([("od", None)]);
+        match &out[0] {
+            Response::Served {
+                rung,
+                seconds,
+                downgraded,
+                ..
+            } => {
+                assert_eq!(*rung, Rung::Cached);
+                assert_eq!(*seconds, 550.0);
+                assert!(!*downgraded, "a fresh cache hit is not a downgrade");
+            }
+            other => panic!("expected Served, got {other:?}"),
+        }
+        assert_eq!(fe.snapshot().rung_hits[Rung::Cached.index()], 1);
+    }
+
+    #[test]
+    fn stale_probe_only_answers_when_model_rungs_do_not_fit() {
+        let mut exec = MockExec::healthy();
+        exec.probe_result = Some(CacheProbe::Stale);
+        let mut fe = ServeFrontend::new(exec, cfg());
+        // Plenty of budget: live inference outranks the stale tier.
+        let out = fe.process_wave([("od", None)]);
+        assert!(matches!(
+            &out[0],
+            Response::Served {
+                rung: Rung::Full,
+                ..
+            }
+        ));
+        // 5ms budget: no model rung fits the priors, the stale tier does.
+        let out = fe.process_wave([("od", Some(5_000u64))]);
+        match &out[0] {
+            Response::Served {
+                rung,
+                seconds,
+                downgraded,
+                ..
+            } => {
+                assert_eq!(*rung, Rung::CachedStale);
+                assert_eq!(*seconds, 650.0);
+                assert!(*downgraded);
+            }
+            other => panic!("expected Served, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_miss_leaves_cache_rungs_untouched() {
+        let mut exec = MockExec::healthy();
+        exec.probe_result = Some(CacheProbe::Miss);
+        let mut fe = ServeFrontend::new(exec, cfg());
+        let out = fe.process_wave([("od", None), ("od", Some(5_000u64))]);
+        assert!(out.iter().all(Response::is_served));
+        let s = fe.snapshot();
+        assert_eq!(s.rung_hits[Rung::Cached.index()], 0);
+        assert_eq!(s.rung_hits[Rung::CachedStale.index()], 0);
+        assert!(!fe.executor_mut().calls.iter().any(|r| r.is_cache()));
+    }
+
+    #[test]
+    fn cached_rung_failures_trip_its_breaker_and_fall_through() {
+        let mut exec = MockExec::healthy();
+        exec.probe_result = Some(CacheProbe::Fresh);
+        exec.panic[Rung::Cached.index()] = true;
+        let mut fe = ServeFrontend::new(
+            exec,
+            FrontendConfig {
+                breaker: BreakerConfig {
+                    failure_threshold: 2,
+                    base_backoff_us: 60_000_000,
+                    ..BreakerConfig::default()
+                },
+                ..cfg()
+            },
+        );
+        let out = fe.process_wave((0..4).map(|_| ("od", None)));
+        assert!(out.iter().all(Response::is_served));
+        let s = fe.snapshot();
+        // Every request still answered — by Full once the cache rung's
+        // own breaker opened.
+        assert_eq!(s.rung_hits[Rung::Full.index()], 4);
+        assert_eq!(s.breaker_trips[Rung::Cached.index()], 1);
+        assert_eq!(s.rung_failures[Rung::Cached.index()], 2);
+        assert_eq!(fe.breaker_state(Rung::Cached), Some(BreakerState::Open));
     }
 
     #[test]
@@ -707,9 +863,9 @@ mod tests {
     #[test]
     fn failures_descend_the_ladder_not_the_request() {
         let mut exec = MockExec::healthy();
-        exec.fail[0] = true; // Full errors
-        exec.panic[1] = true; // Ddim panics
-        exec.value[2] = f64::NAN; // DdimReduced poisons its output
+        exec.fail[Rung::Full.index()] = true; // Full errors
+        exec.panic[Rung::Ddim.index()] = true; // Ddim panics
+        exec.value[Rung::DdimReduced.index()] = f64::NAN; // poisoned output
         let mut fe = ServeFrontend::new(exec, cfg());
         let out = fe.process_wave([("od", None)]);
         match &out[0] {
@@ -720,14 +876,17 @@ mod tests {
             other => panic!("expected Served, got {other:?}"),
         }
         let s = fe.snapshot();
-        assert_eq!(s.rung_failures[..3], [1, 1, 1]);
-        assert_eq!(s.rung_hits[3], 1);
+        assert_eq!(
+            s.rung_failures[Rung::Full.index()..=Rung::DdimReduced.index()],
+            [1, 1, 1]
+        );
+        assert_eq!(s.rung_hits[Rung::Fallback.index()], 1);
     }
 
     #[test]
     fn repeated_failures_trip_the_breaker_and_route_around() {
         let mut exec = MockExec::healthy();
-        exec.fail[0] = true;
+        exec.fail[Rung::Full.index()] = true;
         let mut fe = ServeFrontend::new(
             exec,
             FrontendConfig {
@@ -743,10 +902,14 @@ mod tests {
         assert!(out.iter().all(Response::is_served));
         assert_eq!(fe.breaker_state(Rung::Full), Some(BreakerState::Open));
         let s = fe.snapshot();
-        assert_eq!(s.breaker_trips[0], 1);
+        assert_eq!(s.breaker_trips[Rung::Full.index()], 1);
         // Once open, Full is not attempted: exactly 3 failures recorded.
-        assert_eq!(s.rung_failures[0], 3);
-        assert_eq!(s.rung_hits[1], 5, "all five served by Ddim");
+        assert_eq!(s.rung_failures[Rung::Full.index()], 3);
+        assert_eq!(
+            s.rung_hits[Rung::Ddim.index()],
+            5,
+            "all five served by Ddim"
+        );
     }
 
     #[test]
@@ -947,7 +1110,7 @@ mod tests {
     #[test]
     fn terminal_rung_failure_sheds_internal() {
         let mut exec = MockExec::healthy();
-        exec.fail = [true; 4];
+        exec.fail = [true; NUM_RUNGS];
         let mut fe = ServeFrontend::new(exec, cfg());
         let out = fe.process_wave([("od", None)]);
         assert!(matches!(

@@ -1,12 +1,20 @@
 //! The adaptive degradation ladder: deadline-aware rung selection.
 //!
-//! The ladder orders the serving paths by fidelity — full DDPM sampling,
-//! DDIM fast path, reduced-step DDIM, haversine-prior fallback — and keeps
-//! a live latency histogram per rung. A request with `d` microseconds of
-//! deadline budget left takes the **highest-fidelity rung whose live p95
-//! latency fits in `d`** (skipping rungs whose circuit breaker is open);
-//! if no model-backed rung fits, the terminal fallback answers — it is
-//! always available and effectively instant.
+//! The ladder orders the serving paths by preference — cached estimate,
+//! full DDPM sampling, DDIM fast path, reduced-step DDIM, slightly-stale
+//! cached estimate, haversine-prior fallback — and keeps a live latency
+//! histogram per rung. A request with `d` microseconds of deadline budget
+//! left takes the **first usable rung whose live p95 latency fits in `d`**
+//! (skipping rungs whose circuit breaker is open, and cache rungs with no
+//! usable entry); if nothing else fits, the terminal fallback answers —
+//! it is always available and effectively instant.
+//!
+//! The two cache rungs bracket the model rungs deliberately: a *fresh*
+//! cached estimate is the best answer at the lowest cost, so it sits
+//! first; a *stale* one (past TTL but inside the grace window) is still
+//! better than the model-free haversine prior but worse than live
+//! inference, so it sits just above the fallback — it only answers when
+//! no model rung fits the budget or every model breaker is open.
 //!
 //! Selection is *monotone in the deadline* (verified by a proptest): for a
 //! fixed latency snapshot, shrinking the budget can only move the choice
@@ -16,37 +24,55 @@
 
 use odt_obs::Histogram;
 
-/// One rung of the degradation ladder, in fidelity order.
+/// One rung of the degradation ladder, in selection-preference order.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Rung {
+    /// A fresh cached estimate (within its TTL) — full-fidelity answer at
+    /// microsecond cost. Only usable when the executor's cache probe hit.
+    Cached,
     /// Full stochastic DDPM sampling with candidate selection.
     Full,
     /// Deterministic DDIM over a reduced strided schedule.
     Ddim,
     /// DDIM over an even smaller step count.
     DdimReduced,
+    /// A slightly-stale cached estimate (past TTL, inside the grace
+    /// window) — better than the prior when no model rung fits.
+    CachedStale,
     /// The model-free haversine-prior fallback (terminal; always available).
     Fallback,
 }
 
+/// Number of rungs on the ladder.
+pub const NUM_RUNGS: usize = 6;
+
 /// Number of rungs guarded by circuit breakers (all but the fallback).
-pub const MODEL_RUNGS: usize = 3;
+pub const MODEL_RUNGS: usize = 5;
 
 impl Rung {
-    /// Every rung, highest fidelity first.
-    pub const ALL: [Rung; 4] = [Rung::Full, Rung::Ddim, Rung::DdimReduced, Rung::Fallback];
+    /// Every rung, selection-preference order.
+    pub const ALL: [Rung; NUM_RUNGS] = [
+        Rung::Cached,
+        Rung::Full,
+        Rung::Ddim,
+        Rung::DdimReduced,
+        Rung::CachedStale,
+        Rung::Fallback,
+    ];
 
-    /// Position on the ladder (0 = highest fidelity).
+    /// Position on the ladder (0 = tried first).
     pub fn index(self) -> usize {
         match self {
-            Rung::Full => 0,
-            Rung::Ddim => 1,
-            Rung::DdimReduced => 2,
-            Rung::Fallback => 3,
+            Rung::Cached => 0,
+            Rung::Full => 1,
+            Rung::Ddim => 2,
+            Rung::DdimReduced => 3,
+            Rung::CachedStale => 4,
+            Rung::Fallback => 5,
         }
     }
 
-    /// The rung at ladder position `i` (`i ≤ 3`).
+    /// The rung at ladder position `i` (`i < NUM_RUNGS`).
     pub fn from_index(i: usize) -> Rung {
         Rung::ALL[i]
     }
@@ -54,9 +80,11 @@ impl Rung {
     /// Short tag for metrics, events and reports.
     pub fn name(self) -> &'static str {
         match self {
+            Rung::Cached => "cached",
             Rung::Full => "full_ddpm",
             Rung::Ddim => "ddim",
             Rung::DdimReduced => "ddim_reduced",
+            Rung::CachedStale => "cached_stale",
             Rung::Fallback => "fallback",
         }
     }
@@ -65,14 +93,20 @@ impl Rung {
     pub fn is_terminal(self) -> bool {
         matches!(self, Rung::Fallback)
     }
+
+    /// Whether this rung serves from the estimate cache (and therefore
+    /// needs a successful cache probe to be usable).
+    pub fn is_cache(self) -> bool {
+        matches!(self, Rung::Cached | Rung::CachedStale)
+    }
 }
 
 /// Ladder tuning.
 #[derive(Copy, Clone, Debug)]
 pub struct LadderConfig {
-    /// Optimistic per-rung latency priors (µs, fidelity order) used until
+    /// Optimistic per-rung latency priors (µs, ladder order) used until
     /// `min_samples` live observations exist for a rung.
-    pub prior_us: [u64; 4],
+    pub prior_us: [u64; NUM_RUNGS],
     /// Observations per rung before its live p95 replaces the prior.
     pub min_samples: u64,
 }
@@ -80,7 +114,7 @@ pub struct LadderConfig {
 impl Default for LadderConfig {
     fn default() -> Self {
         LadderConfig {
-            prior_us: [200_000, 50_000, 20_000, 100],
+            prior_us: [5, 200_000, 50_000, 20_000, 5, 100],
             min_samples: 5,
         }
     }
@@ -89,7 +123,7 @@ impl Default for LadderConfig {
 /// Live per-rung latency tracking + deadline-aware selection.
 pub struct LatencyLadder {
     cfg: LadderConfig,
-    hists: [Histogram; 4],
+    hists: [Histogram; NUM_RUNGS],
 }
 
 impl LatencyLadder {
@@ -119,36 +153,31 @@ impl LatencyLadder {
         }
     }
 
-    /// A snapshot of every rung's cost estimate, fidelity order.
-    pub fn costs(&self) -> [u64; 4] {
-        [
-            self.cost_us(Rung::Full),
-            self.cost_us(Rung::Ddim),
-            self.cost_us(Rung::DdimReduced),
-            self.cost_us(Rung::Fallback),
-        ]
+    /// A snapshot of every rung's cost estimate, ladder order.
+    pub fn costs(&self) -> [u64; NUM_RUNGS] {
+        std::array::from_fn(|i| self.cost_us(Rung::from_index(i)))
     }
 
     /// Pick the rung for a request with `remaining_us` of deadline budget:
-    /// the first usable rung (fidelity order) whose cost fits. See
+    /// the first usable rung (ladder order) whose cost fits. See
     /// [`select_from_costs`].
     pub fn select(&self, remaining_us: u64, usable: impl Fn(Rung) -> bool) -> Rung {
         select_from_costs(&self.costs(), remaining_us, usable)
     }
 }
 
-/// The pure selection rule: the first rung in fidelity order that is
+/// The pure selection rule: the first rung in ladder order that is
 /// `usable` and whose cost fits the remaining budget; the terminal
 /// fallback if none fits (it is always usable — breakers never apply to
 /// it).
 ///
 /// Monotonicity (the proptested invariant): for fixed `costs` and
 /// `usable`, if `d' ≤ d` then `select(d').index() ≥ select(d).index()` —
-/// a shorter deadline never picks a slower (higher-fidelity) rung. Proof
+/// a shorter deadline never picks a slower (higher-preference) rung. Proof
 /// sketch: the predicate `cost[i] ≤ d` is monotone in `d` for every `i`,
 /// so the first index satisfying it can only move right as `d` shrinks.
 pub fn select_from_costs(
-    costs: &[u64; 4],
+    costs: &[u64; NUM_RUNGS],
     remaining_us: u64,
     usable: impl Fn(Rung) -> bool,
 ) -> Rung {
@@ -167,33 +196,64 @@ pub fn select_from_costs(
 mod tests {
     use super::*;
 
+    /// The usable mask every pre-cache test used: model rungs only (no
+    /// cache probe available).
+    fn no_cache(r: Rung) -> bool {
+        !r.is_cache()
+    }
+
     #[test]
     fn rung_order_and_names() {
-        assert_eq!(Rung::ALL.len(), 4);
+        assert_eq!(Rung::ALL.len(), NUM_RUNGS);
         for (i, r) in Rung::ALL.iter().enumerate() {
             assert_eq!(r.index(), i);
             assert_eq!(Rung::from_index(i), *r);
         }
         assert!(Rung::Fallback.is_terminal());
         assert_eq!(Rung::Full.name(), "full_ddpm");
+        assert_eq!(Rung::Cached.name(), "cached");
+        assert_eq!(Rung::CachedStale.name(), "cached_stale");
+        assert!(Rung::Cached.is_cache() && Rung::CachedStale.is_cache());
+        assert!(!Rung::Full.is_cache() && !Rung::Fallback.is_cache());
+        assert_eq!(MODEL_RUNGS, NUM_RUNGS - 1);
     }
 
     #[test]
     fn selection_prefers_fidelity_within_budget() {
-        let costs = [100_000, 20_000, 5_000, 10];
-        let all = |_: Rung| true;
-        assert_eq!(select_from_costs(&costs, 200_000, all), Rung::Full);
-        assert_eq!(select_from_costs(&costs, 50_000, all), Rung::Ddim);
-        assert_eq!(select_from_costs(&costs, 10_000, all), Rung::DdimReduced);
-        assert_eq!(select_from_costs(&costs, 100, all), Rung::Fallback);
+        let costs = [2, 100_000, 20_000, 5_000, 2, 10];
+        assert_eq!(select_from_costs(&costs, 200_000, no_cache), Rung::Full);
+        assert_eq!(select_from_costs(&costs, 50_000, no_cache), Rung::Ddim);
+        assert_eq!(
+            select_from_costs(&costs, 10_000, no_cache),
+            Rung::DdimReduced
+        );
+        assert_eq!(select_from_costs(&costs, 100, no_cache), Rung::Fallback);
         // Nothing fits: still answered, by the terminal rung.
-        assert_eq!(select_from_costs(&costs, 0, all), Rung::Fallback);
+        assert_eq!(select_from_costs(&costs, 0, no_cache), Rung::Fallback);
+    }
+
+    #[test]
+    fn fresh_cache_hit_short_circuits_the_model_rungs() {
+        let costs = [2, 100_000, 20_000, 5_000, 2, 10];
+        // Probe hit fresh: Cached outranks everything.
+        assert_eq!(select_from_costs(&costs, 200_000, |_| true), Rung::Cached);
+        // Probe hit stale only: model rungs still preferred while they
+        // fit; the stale tier answers when they don't.
+        let stale_only = |r: Rung| r != Rung::Cached;
+        assert_eq!(select_from_costs(&costs, 200_000, stale_only), Rung::Full);
+        assert_eq!(
+            select_from_costs(&costs, 1_000, stale_only),
+            Rung::CachedStale
+        );
+        // Stale beats the prior, but an exhausted budget still falls
+        // through to the terminal rung.
+        assert_eq!(select_from_costs(&costs, 0, stale_only), Rung::Fallback);
     }
 
     #[test]
     fn open_breakers_route_down_the_ladder() {
-        let costs = [10, 10, 10, 10];
-        let no_full = |r: Rung| r != Rung::Full;
+        let costs = [10; NUM_RUNGS];
+        let no_full = |r: Rung| !r.is_cache() && r != Rung::Full;
         assert_eq!(select_from_costs(&costs, 1_000, no_full), Rung::Ddim);
         let only_fallback = |_: Rung| false;
         assert_eq!(
@@ -208,14 +268,13 @@ mod tests {
         // exhausted (remaining saturates to 0) must select without
         // panicking, and can only land on a zero-cost rung or the prior
         // (terminal) fallback — never a rung that "costs" anything.
-        let all = |_: Rung| true;
         for costs in [
-            [100_000u64, 20_000, 5_000, 10],
-            [0, 0, 0, 0],
-            [u64::MAX, u64::MAX, u64::MAX, u64::MAX],
-            [0, u64::MAX, 0, 1],
+            [2u64, 100_000, 20_000, 5_000, 2, 10],
+            [0; NUM_RUNGS],
+            [u64::MAX; NUM_RUNGS],
+            [0, u64::MAX, 0, 1, 0, 1],
         ] {
-            let pick = select_from_costs(&costs, 0, all);
+            let pick = select_from_costs(&costs, 0, no_cache);
             assert!(
                 costs[pick.index()] == 0 || pick.is_terminal(),
                 "budget 0 picked {pick:?} with cost {} (costs {costs:?})",
@@ -225,26 +284,27 @@ mod tests {
         // With every breaker open and no budget, the terminal prior rung
         // still answers.
         assert_eq!(
-            select_from_costs(&[0, 0, 0, 0], 0, |_| false),
+            select_from_costs(&[0; NUM_RUNGS], 0, |_| false),
             Rung::Fallback
         );
         // The live ladder agrees at the same boundary.
         let ladder = LatencyLadder::new(LadderConfig::default());
-        let pick = ladder.select(0, all);
+        let pick = ladder.select(0, no_cache);
         assert!(ladder.cost_us(pick) == 0 || pick.is_terminal());
     }
 
     #[test]
     fn selection_is_monotone_on_a_cost_grid() {
-        // Exhaustive small-grid check of the proptested invariant.
-        let grids: [[u64; 4]; 4] = [
-            [100, 50, 20, 1],
-            [10, 50, 5, 0],
-            [1, 1, 1, 1],
-            [1_000, 1_000, 1_000, 1_000],
+        // Exhaustive small-grid check of the proptested invariant, now
+        // over all 2^5 usable masks including the cache rungs.
+        let grids: [[u64; NUM_RUNGS]; 4] = [
+            [1, 100, 50, 20, 1, 1],
+            [0, 10, 50, 5, 3, 0],
+            [1; NUM_RUNGS],
+            [1_000; NUM_RUNGS],
         ];
         for costs in &grids {
-            for mask in 0..8u8 {
+            for mask in 0..32u8 {
                 let usable = |r: Rung| r.is_terminal() || mask & (1 << r.index()) != 0;
                 let mut prev_idx = None;
                 // Deadlines descending: selected index must not decrease.
@@ -262,7 +322,7 @@ mod tests {
     #[test]
     fn ladder_blends_prior_and_live_p95() {
         let ladder = LatencyLadder::new(LadderConfig {
-            prior_us: [1_000, 100, 10, 1],
+            prior_us: [1, 1_000, 100, 10, 1, 1],
             min_samples: 3,
         });
         // Below min_samples: the prior answers.
@@ -277,6 +337,6 @@ mod tests {
             ladder.cost_us(Rung::Full)
         );
         // And selection adapts: Full now fits a 10µs budget.
-        assert_eq!(ladder.select(10, |_| true), Rung::Full);
+        assert_eq!(ladder.select(10, no_cache), Rung::Full);
     }
 }

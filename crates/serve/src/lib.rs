@@ -27,6 +27,14 @@
 //!   holdout through the live model on idle ticks, feeding
 //!   `odt_obs::QualityTracker`'s accuracy/drift windows so the admin
 //!   plane exports live model-quality metrics.
+//! * **Hot-path estimate cache** — [`EstimateCache`] is a sharded,
+//!   bounded, TinyLFU-admitted cache keyed on `(o_cell, d_cell,
+//!   time-of-day bucket)` with per-bucket TTLs, a slightly-stale grace
+//!   tier, and generation-stamped invalidation wired to the drift alert
+//!   via [`DriftInvalidator`]. It surfaces as two probe-gated ladder
+//!   rungs (fresh hits before the model, stale hits above the prior) and
+//!   is prewarmed by [`Prewarmer`] on dispatcher idle ticks. See
+//!   DESIGN.md §13.
 //!
 //! Everything runs on caller-visible microsecond clocks and seeded PRNGs,
 //! so the whole stack — queue, breaker, ladder, chaos — is deterministic
@@ -36,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod breaker;
+pub mod cache;
 pub mod chaos;
 pub mod dot;
 pub mod frontend;
@@ -44,14 +53,19 @@ pub mod queue;
 pub mod shadow;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use cache::{
+    CacheConfig, CacheLookup, CacheStats, DriftInvalidator, EstimateCache, HotTracker, OdKey,
+    PrewarmConfig, Prewarmer,
+};
 pub use chaos::{
     scenarios, ChaosConfig, ChaosExecutor, Expectations, Fault, FaultInjector, ScenarioSpec,
     SplitMix64,
 };
-pub use dot::{dot_frontend, DotExecutor, DotFrontendConfig};
+pub use dot::{dot_frontend, dot_frontend_cached, DotExecutor, DotFrontendConfig};
 pub use frontend::{
-    FrontendConfig, FrontendSnapshot, Request, Response, RungExecutor, ServeFrontend, ShedReason,
+    CacheProbe, FrontendConfig, FrontendSnapshot, Request, Response, RungExecutor, ServeFrontend,
+    ShedReason,
 };
-pub use ladder::{select_from_costs, LadderConfig, LatencyLadder, Rung, MODEL_RUNGS};
+pub use ladder::{select_from_costs, LadderConfig, LatencyLadder, Rung, MODEL_RUNGS, NUM_RUNGS};
 pub use queue::{AdmissionQueue, ShedPolicy};
 pub use shadow::{ShadowConfig, ShadowScorer};

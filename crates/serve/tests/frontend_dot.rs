@@ -1,11 +1,13 @@
 //! End-to-end resilience tests: the deadline-aware frontend over a real
 //! (tiny) trained DOT oracle, with injected faults.
 
+use std::sync::{Arc, Mutex};
+
 use odt_core::{Dot, DotConfig};
 use odt_roadnet::LngLat;
 use odt_serve::{
-    dot_frontend, BreakerState, ChaosConfig, DotFrontendConfig, FrontendConfig, Response, Rung,
-    ShedPolicy, ShedReason,
+    dot_frontend, dot_frontend_cached, BreakerState, CacheConfig, ChaosConfig, DotFrontendConfig,
+    EstimateCache, FrontendConfig, HotTracker, Response, Rung, ShedPolicy, ShedReason,
 };
 use odt_traj::{Dataset, OdtInput};
 
@@ -79,10 +81,14 @@ fn frontend_serves_degrades_and_recovers() {
     }
     let s = fe.snapshot();
     // Default threshold 3: each model rung fails thrice, then its open
-    // breaker routes the rest of the storm straight to the fallback.
-    assert_eq!(s.breaker_trips, [1, 1, 1]);
-    assert_eq!(s.rung_failures[..3], [3, 3, 3]);
-    assert_eq!(s.rung_hits[3], 8);
+    // breaker routes the rest of the storm straight to the fallback (the
+    // cache rungs have no cache attached, so their breakers never engage).
+    assert_eq!(s.breaker_trips, [0, 1, 1, 1, 0]);
+    assert_eq!(
+        s.rung_failures[Rung::Full.index()..=Rung::DdimReduced.index()],
+        [3, 3, 3]
+    );
+    assert_eq!(s.rung_hits[Rung::Fallback.index()], 8);
     assert_eq!(fe.breaker_state(Rung::Full), Some(BreakerState::Open));
 
     // Chaos cleared + cool-down elapsed: half-open probes succeed and full
@@ -93,7 +99,10 @@ fn frontend_serves_degrades_and_recovers() {
     assert!(out.iter().all(Response::is_served));
     let s = fe.snapshot();
     assert_eq!(fe.breaker_state(Rung::Full), Some(BreakerState::Closed));
-    assert!(s.rung_hits[0] >= 4, "full fidelity never resumed: {s:?}");
+    assert!(
+        s.rung_hits[Rung::Full.index()] >= 4,
+        "full fidelity never resumed: {s:?}"
+    );
 }
 
 #[test]
@@ -168,12 +177,92 @@ fn admission_deadlines_and_overload() {
     for r in &out {
         match r {
             Response::Served { rung, seconds, .. } => {
-                assert!(rung.index() >= 1, "tight deadline picked {rung:?}");
+                assert!(
+                    rung.index() > Rung::Full.index(),
+                    "tight deadline picked {rung:?}"
+                );
                 assert!(seconds.is_finite() && *seconds >= 0.0);
             }
             Response::Shed { reason, .. } => {
                 assert_eq!(*reason, ShedReason::DeadlineExpiredInQueue);
             }
+        }
+    }
+}
+
+#[test]
+fn cached_frontend_serves_repeat_queries_from_the_cache() {
+    let data = dataset();
+    let model = tiny_model(&data);
+    let cache = Arc::new(EstimateCache::new(CacheConfig {
+        capacity: 256,
+        ..CacheConfig::default()
+    }));
+    let hot = Arc::new(Mutex::new(HotTracker::new(64)));
+    let mut fe = dot_frontend_cached(
+        &model,
+        DotFrontendConfig::default(),
+        FrontendConfig::default(),
+        ChaosConfig::quiet(7),
+        Arc::clone(&cache),
+        Arc::clone(&hot),
+    );
+
+    // First pass: cold cache — every answer comes from a model rung and
+    // is written through into the cache.
+    let qs = queries(&data, 5);
+    let first = fe.process_wave(qs.clone().into_iter().map(|q| (q, None)));
+    let mut model_answers = Vec::new();
+    for r in &first {
+        match r {
+            Response::Served { rung, seconds, .. } => {
+                assert!(!rung.is_cache(), "cold cache cannot serve {rung:?}");
+                model_answers.push(*seconds);
+            }
+            other => panic!("cold pass shed: {other:?}"),
+        }
+    }
+    assert_eq!(cache.len(), 5, "write-through filled the cache");
+
+    // Second pass, same queries: every answer serves from the cached rung
+    // and is bit-identical to the model answer that filled it.
+    let second = fe.process_wave(qs.into_iter().map(|q| (q, None)));
+    for (r, expected) in second.iter().zip(&model_answers) {
+        match r {
+            Response::Served {
+                rung,
+                seconds,
+                downgraded,
+                ..
+            } => {
+                assert_eq!(*rung, Rung::Cached);
+                assert_eq!(
+                    seconds.to_bits(),
+                    expected.to_bits(),
+                    "cached serve must be bit-identical to the filling value"
+                );
+                assert!(!downgraded);
+            }
+            other => panic!("warm pass shed: {other:?}"),
+        }
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 5);
+    assert!(stats.hit_rate() > 0.0);
+    // The hot tracker saw every probe (both passes).
+    assert!(hot.lock().unwrap().len() >= 1);
+
+    // Drift-style invalidation: after a generation bump, no pre-bump
+    // entry may serve again.
+    cache.invalidate_all("test_drift");
+    let qs = queries(&data, 5);
+    let third = fe.process_wave(qs.into_iter().map(|q| (q, None)));
+    for r in &third {
+        if let Response::Served { rung, .. } = r {
+            assert!(
+                !rung.is_cache(),
+                "post-invalidation serve came from the cache: {rung:?}"
+            );
         }
     }
 }

@@ -24,8 +24,8 @@ proptest! {
     /// A shorter deadline never selects a slower rung (pure selection).
     #[test]
     fn selection_is_monotone_in_the_deadline(
-        costs in prop::array::uniform4(0u64..1_000_000),
-        mask in 0u8..16,
+        costs in prop::array::uniform6(0u64..1_000_000),
+        mask in 0u8..32,
         d_lo in 0u64..2_000_000,
         extra in 0u64..2_000_000,
     ) {
@@ -44,8 +44,8 @@ proptest! {
     /// The selected rung is usable and within budget whenever possible.
     #[test]
     fn selection_is_sound(
-        costs in prop::array::uniform4(0u64..1_000_000),
-        mask in 0u8..16,
+        costs in prop::array::uniform6(0u64..1_000_000),
+        mask in 0u8..32,
         deadline in 0u64..2_000_000,
     ) {
         let usable = usable_fn(mask);
@@ -66,8 +66,8 @@ proptest! {
     /// then check a deadline pair.
     #[test]
     fn live_ladder_selection_is_monotone(
-        obs in prop::collection::vec((0usize..4, 1u64..500_000), 0..64),
-        mask in 0u8..16,
+        obs in prop::collection::vec((0usize..6, 1u64..500_000), 0..64),
+        mask in 0u8..32,
         d_lo in 0u64..1_000_000,
         extra in 0u64..1_000_000,
     ) {
@@ -88,8 +88,8 @@ proptest! {
     /// cost estimate is nonzero, for any cost snapshot or breaker mask.
     #[test]
     fn zero_budget_selection_is_total_and_free(
-        costs in prop::array::uniform4(0u64..u64::MAX),
-        mask in 0u8..16,
+        costs in prop::array::uniform6(0u64..u64::MAX),
+        mask in 0u8..32,
     ) {
         let usable = usable_fn(mask);
         let pick = select_from_costs(&costs, 0, &usable);
@@ -109,8 +109,8 @@ proptest! {
     /// a zero-budget selection — total, and only free-or-terminal.
     #[test]
     fn live_ladder_zero_budget_is_total(
-        obs in prop::collection::vec((0usize..4, 0u64..500_000), 0..64),
-        mask in 0u8..16,
+        obs in prop::collection::vec((0usize..6, 0u64..500_000), 0..64),
+        mask in 0u8..32,
     ) {
         let ladder = LatencyLadder::new(LadderConfig::default());
         for (rung_idx, micros) in obs {
