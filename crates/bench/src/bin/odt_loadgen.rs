@@ -7,8 +7,14 @@
 //!             [--deadline-ms <ms>] [--seed <u64>]
 //!             [--region <lng0,lat0,lng1,lat1>] [--trace-every <n>]
 //!             [--zipf-s <s>] [--drift <frac>] [--p-hot <p>]
-//!             [--report <path>]
+//!             [--connect-retry-ms <ms>] [--report <path>]
 //! ```
+//!
+//! `--connect-retry-ms` bounds the per-connection retry budget for
+//! connect refusals during server warmup (doubling backoff; `0` = fail
+//! fast on the first refusal; default 10000). The report records the
+//! retries actually taken and a `failed_requests` roll-up (lost + typed
+//! error replies) per run — cluster smoke tests gate it to zero.
 //!
 //! * `--mode open` (default) — Poisson arrivals at `--rate` rps with the
 //!   full schedule fixed up-front; latency is measured from each
@@ -61,9 +67,13 @@ fn kv_json(pairs: &[(String, u64)]) -> String {
 
 fn row_json(r: &LoadReport) -> String {
     let l = &r.latency;
+    // Every request that got no OK answer, whatever the failure mode —
+    // the one number cluster smoke tests gate to zero.
+    let failed_requests = r.lost + r.errors.iter().map(|(_, n)| n).sum::<u64>();
     format!(
         "    {{ \"mode\": \"{}\", \"offered_rps\": {:.1}, \"sent\": {}, \"ok\": {}, \
-         \"lost\": {}, \"errors\": {}, \"wall_s\": {:.3}, \"throughput_rps\": {:.1}, \
+         \"lost\": {}, \"failed_requests\": {}, \"connect_retries\": {}, \"errors\": {}, \
+         \"wall_s\": {:.3}, \"throughput_rps\": {:.1}, \
          \"latency\": {{ \"p50_ms\": {:.3}, \"p90_ms\": {:.3}, \"p99_ms\": {:.3}, \
          \"max_ms\": {:.3}, \"mean_ms\": {:.3} }}, \"rungs\": {}, \"deadline_met\": {}, \
          \"send_lag_max_ms\": {:.3}, \"traces_sent\": {}, \"key_skew\": {{ \
@@ -73,6 +83,8 @@ fn row_json(r: &LoadReport) -> String {
         r.sent,
         r.ok,
         r.lost,
+        failed_requests,
+        r.connect_retries,
         kv_json(&r.errors),
         r.wall_s,
         r.throughput_rps,
@@ -123,6 +135,8 @@ fn main() {
         .unwrap_or(0.0);
     let p_hot: Option<f64> =
         arg_value("--p-hot").map(|v| v.parse().expect("--p-hot must be a number"));
+    let connect_retry_ms: Option<u64> = arg_value("--connect-retry-ms")
+        .map(|v| v.parse().expect("--connect-retry-ms must be an integer"));
     let report_path = arg_value("--report").unwrap_or_else(|| "BENCH_net.json".to_string());
 
     let region = match arg_value("--region") {
@@ -177,6 +191,9 @@ fn main() {
         };
         if let Some(p) = p_hot {
             cfg.p_hot = p;
+        }
+        if let Some(ms) = connect_retry_ms {
+            cfg.connect_retry_ms = ms;
         }
         let report = loadgen::run(&cfg).expect("load run failed: no connection completed");
         println!(

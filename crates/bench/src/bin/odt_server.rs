@@ -9,9 +9,10 @@
 //!
 //! ```text
 //! odt_server [--addr <host:port>] [--admin <host:port>] [--quick]
-//!            [--cache <capacity>] [--holdout <n>] [--max-conns <n>]
-//!            [--max-inflight <n>] [--drain-budget-ms <ms>]
-//!            [--max-run-s <s>] [--report <path>] [--seed <u64>]
+//!            [--registry <dir>] [--cache <capacity>] [--holdout <n>]
+//!            [--max-conns <n>] [--max-inflight <n>]
+//!            [--drain-budget-ms <ms>] [--max-run-s <s>]
+//!            [--report <path>] [--seed <u64>]
 //! ```
 //!
 //! * `--addr`        — listen address (default `127.0.0.1:7878`; port `0`
@@ -19,6 +20,18 @@
 //! * `--admin`       — admin plane address (e.g. `127.0.0.1:9878`; port
 //!                     `0` works; omitted = no admin plane).
 //! * `--quick`       — tiny model, CI smoke mode.
+//! * `--registry`    — model registry directory (created if missing). An
+//!                     existing `CURRENT` model is reloaded instead of
+//!                     retrained; a fresh registry gets the trained model
+//!                     published as v1. Enables zero-downtime hot swap:
+//!                     `POST /swap` on the admin plane (body = candidate
+//!                     checkpoint path) validates framing + grid shape,
+//!                     shadow-scores the candidate against the serving
+//!                     model on dispatcher ticks, then promotes it into
+//!                     the live [`ModelSlot`] — or refuses it with a
+//!                     typed code (`corrupt`, `shape_mismatch`,
+//!                     `drift_failed`, `busy`) — without ever pausing
+//!                     serving.
 //! * `--cache`       — attach the hot-path OD estimate cache with this
 //!                     many entries (default: off). Turns on the cached
 //!                     ladder rungs, a background prewarmer on dispatcher
@@ -47,24 +60,26 @@
 //! answers from the admin line onward. **`odt_server ready` is the
 //! routable-traffic signal**: scripts must key off it (or poll
 //! `/readyz`, which flips 503 → 200 at the same instant), not off the
-//! listening line. On drain the final report (`odt-net-server/v3`)
+//! listening line. On drain the final report (`odt-net-server/v4`)
 //! carries the connection counters (leak check: `conns.active == 0`),
 //! the frontend snapshot (typed shed reasons, rung hits, SLO burn
 //! rates), cache counters (when `--cache` is on), adopted wire trace
-//! ids, admin-plane and model-quality summaries, and the drain outcome;
+//! ids, admin-plane, model-quality and hot-swap summaries (current
+//! model version, promoted/rejected counts), and the drain outcome;
 //! the exit status is non-zero if the drain was forced or leaked
 //! connections.
 
-use odt_core::{Dot, DotConfig};
-use odt_net::admin::{render_varz, start_admin, AdminConfig, AdminSources};
+use odt_core::{Dot, DotConfig, ModelRegistry, RegistryError};
+use odt_net::admin::{render_varz, start_admin, AdminConfig, AdminSources, SwapFn};
 use odt_net::loadgen::Region;
 use odt_net::server::{FrontendBridge, ServerConfig, SharedFrontendStats};
 use odt_net::signal;
 use odt_obs::QualitySnapshot;
 use odt_roadnet::LngLat;
 use odt_serve::{
-    dot_frontend, dot_frontend_cached, CacheConfig, ChaosConfig, DotFrontendConfig,
-    DriftInvalidator, EstimateCache, FrontendConfig, HotTracker, PrewarmConfig, Prewarmer,
+    dot_frontend, dot_frontend_cached, CacheConfig, ChaosConfig, DotFrontendConfig, DotSwapHost,
+    DotSwapHostConfig, DriftInvalidator, EstimateCache, FrontendConfig, HotTracker, ModelSlot,
+    PrewarmConfig, Prewarmer, SwapConfig, SwapController, SwapError, SwapOutcome, SwapStats,
 };
 use odt_serve::{ShadowConfig, ShadowScorer};
 use odt_traj::{Dataset, GridSpec, OdtInput, Split};
@@ -132,6 +147,21 @@ fn region_of(grid: &GridSpec) -> Region {
     }
 }
 
+/// One `POST /swap` request in flight from an admin handler thread to
+/// the dispatcher's swap tick: candidate path + where to send the
+/// outcome.
+type SwapRequest = (String, std::sync::mpsc::Sender<SwapOutcome>);
+
+/// An `odt-swap/v1` refusal body.
+fn swap_json_err(code: &str, detail: &str) -> String {
+    let mut out = String::from("{\"schema\":\"odt-swap/v1\",\"accepted\":false,\"code\":\"");
+    out.push_str(code);
+    out.push_str("\",\"detail\":\"");
+    odt_obs::json::push_str_escaped(&mut out, detail);
+    out.push_str("\"}");
+    out
+}
+
 fn main() {
     odt_obs::flightrec::install_panic_hook();
     odt_obs::trace::init_from_env();
@@ -154,6 +184,9 @@ fn main() {
         .filter(|&c| c > 0);
     let max_run_s: Option<u64> =
         arg_value("--max-run-s").map(|v| v.parse().expect("--max-run-s must be an integer"));
+    let registry: Option<ModelRegistry> = arg_value("--registry")
+        .map(|d| ModelRegistry::open(&d).unwrap_or_else(|e| panic!("opening registry {d}: {e}")));
+    let registry_enabled = registry.is_some();
 
     let mut cfg = ServerConfig {
         addr,
@@ -172,6 +205,14 @@ fn main() {
     // Latest shadow-scored quality snapshot, published by the dispatcher
     // tick for `/varz` and the final report.
     let quality_slot: Arc<Mutex<Option<QualitySnapshot>>> = Arc::new(Mutex::new(None));
+
+    // Hot-swap plane: admin handler threads enqueue `(candidate path,
+    // reply sender)` pairs; the dispatcher's swap tick drains them so
+    // the `!Send` model only ever moves on its own thread. The stats
+    // slot mirrors `(serving model version, swap counters)` out to
+    // `/varz` and the final report.
+    let (swap_tx, swap_rx) = std::sync::mpsc::channel::<SwapRequest>();
+    let swap_slot: Arc<Mutex<(u64, Option<SwapStats>)>> = Arc::new(Mutex::new((0, None)));
 
     // The estimate cache (if enabled) lives out here so `/varz` and the
     // final report can read its stats; the dispatcher-side frontend,
@@ -193,10 +234,30 @@ fn main() {
     let handle = {
         let quality_slot = Arc::clone(&quality_slot);
         let cache_fe = cache.clone();
+        let swap_pub = Arc::clone(&swap_slot);
         odt_net::server::start_with(cfg, move || {
             let data = server_dataset(quick);
             let t0 = Instant::now();
-            let model: &'static Dot = Box::leak(Box::new(server_model(&data, quick)));
+            // With --registry, a previously promoted model is reloaded
+            // instead of retrained; a fresh registry gets the trained
+            // model published as v1. Without a registry the model is
+            // version 0 and unswappable.
+            let (version, served_model) = match &registry {
+                Some(reg) => match reg.load_current() {
+                    Ok((v, m)) => {
+                        println!("odt_server: loaded model v{v} from the registry");
+                        (v, m)
+                    }
+                    Err(RegistryError::NoCurrent) => {
+                        let m = server_model(&data, quick);
+                        let v = reg.publish(&m).expect("publishing the trained model");
+                        (v, m)
+                    }
+                    Err(e) => panic!("loading registry CURRENT: {e}"),
+                },
+                None => (0, server_model(&data, quick)),
+            };
+            let slot = ModelSlot::from_model(served_model, version);
             let train_s = t0.elapsed().as_secs_f64();
             let fe_cfg = FrontendConfig {
                 slo: Some(odt_obs::slo::BurnRateConfig::for_drill()),
@@ -205,7 +266,7 @@ fn main() {
             let hot: Arc<Mutex<HotTracker<OdtInput>>> = Arc::new(Mutex::new(HotTracker::new(128)));
             let mut fe = if let Some(cache) = &cache_fe {
                 dot_frontend_cached(
-                    model,
+                    slot.clone(),
                     DotFrontendConfig::default(),
                     fe_cfg,
                     ChaosConfig::quiet(seed),
@@ -214,7 +275,7 @@ fn main() {
                 )
             } else {
                 dot_frontend(
-                    model,
+                    slot.clone(),
                     DotFrontendConfig::default(),
                     fe_cfg,
                     ChaosConfig::quiet(seed),
@@ -259,10 +320,12 @@ fn main() {
                 let mut scorer = ShadowScorer::new(holdout, shadow_cfg);
                 let mut shadow_rng = StdRng::seed_from_u64(seed ^ 0x5AD0);
                 let quality_shadow = Arc::clone(&quality_slot);
+                let shadow_slot = slot.clone();
                 bridge.add_tick("shadow_score", 0, move || {
                     let now = odt_obs::trace::now_us();
                     let scored = scorer.step(now, |qs: &[OdtInput]| {
-                        model
+                        shadow_slot
+                            .model()
                             .estimate_batch(qs, &mut shadow_rng)
                             .into_iter()
                             .map(|e| e.seconds)
@@ -282,10 +345,12 @@ fn main() {
                 let pw_interval = pw_cfg.min_interval_us;
                 let mut prewarmer = Prewarmer::new(pw_cfg, Arc::clone(cache), Arc::clone(&hot));
                 let mut prewarm_rng = StdRng::seed_from_u64(seed ^ 0x93E7);
+                let prewarm_slot = slot.clone();
                 bridge.add_tick("cache_prewarm", pw_interval, move || {
                     let now = odt_obs::trace::now_us();
                     let _ = prewarmer.step(now, |qs: &[OdtInput]| {
-                        model
+                        prewarm_slot
+                            .model()
                             .estimate_batch(qs, &mut prewarm_rng)
                             .into_iter()
                             .map(|e| e.seconds)
@@ -306,7 +371,47 @@ fn main() {
                     }
                 });
             }
-            let _ = ready_tx.send((bridge.shared_stats(), region_of(model.grid()), train_s));
+            if let Some(reg) = registry {
+                // Swap controller: owns the registry and the slot, does
+                // one bounded step per dispatcher tick (load, then one
+                // shadow batch at a time), so a swap in flight steals
+                // microseconds from serving, never a pause.
+                let holdout: Vec<(OdtInput, f64)> = data
+                    .split(Split::Test)
+                    .iter()
+                    .map(|t| (OdtInput::from_trajectory(t), t.travel_time()))
+                    .collect();
+                let host = DotSwapHost::new(
+                    reg,
+                    slot.clone(),
+                    holdout,
+                    cache_fe.clone(),
+                    DotSwapHostConfig {
+                        rng_seed: seed ^ 0xC4AD,
+                        ..DotSwapHostConfig::default()
+                    },
+                );
+                let mut ctrl = SwapController::new(host, SwapConfig::default());
+                *swap_pub.lock().unwrap() = (slot.version(), Some(ctrl.stats()));
+                let swap_ver = slot.clone();
+                bridge.add_tick("model_swap", 0, move || {
+                    while let Ok((path, reply)) = swap_rx.try_recv() {
+                        if let Err(e) = ctrl.request(&path, Some(reply.clone())) {
+                            let _ = reply.send(SwapOutcome::Rejected(e));
+                        }
+                    }
+                    let _ = ctrl.tick();
+                    *swap_pub.lock().unwrap() = (swap_ver.version(), Some(ctrl.stats()));
+                });
+            } else {
+                drop(swap_rx);
+                *swap_pub.lock().unwrap() = (slot.version(), None);
+            }
+            let _ = ready_tx.send((
+                bridge.shared_stats(),
+                region_of(slot.model().grid()),
+                train_s,
+            ));
             bridge
         })
         .expect("binding the listen address")
@@ -323,6 +428,50 @@ fn main() {
         let varz_fe = Arc::clone(&fe_slot);
         let varz_quality = Arc::clone(&quality_slot);
         let varz_cache = cache.clone();
+        // POST /swap bridges an admin handler thread to the dispatcher:
+        // enqueue the candidate path, block on the reply channel until
+        // the swap concludes (or times out), never touching the `!Send`
+        // model from this thread.
+        let swap: Option<SwapFn> = registry_enabled.then(|| {
+            let tx = Mutex::new(swap_tx.clone());
+            Box::new(move |path: &str| {
+                let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+                if tx
+                    .lock()
+                    .unwrap()
+                    .send((path.to_string(), reply_tx))
+                    .is_err()
+                {
+                    return (503u16, swap_json_err("unavailable", "dispatcher is gone"));
+                }
+                match reply_rx.recv_timeout(Duration::from_secs(120)) {
+                    Ok(SwapOutcome::Promoted {
+                        version,
+                        cand_mae_s,
+                        serving_mae_s,
+                    }) => (
+                        200,
+                        format!(
+                            "{{\"schema\":\"odt-swap/v1\",\"accepted\":true,\
+                             \"version\":{version},\"cand_mae_s\":{cand_mae_s:.3},\
+                             \"serving_mae_s\":{serving_mae_s:.3}}}"
+                        ),
+                    ),
+                    Ok(SwapOutcome::Rejected(e)) => {
+                        let status = if matches!(e, SwapError::Busy) {
+                            409
+                        } else {
+                            422
+                        };
+                        (status, swap_json_err(e.code(), &e.to_string()))
+                    }
+                    Err(_) => (
+                        504,
+                        swap_json_err("timeout", "swap did not conclude in time"),
+                    ),
+                }
+            }) as SwapFn
+        });
         let admin = start_admin(
             AdminConfig {
                 addr: a,
@@ -342,6 +491,7 @@ fn main() {
                         cache_stats.as_ref(),
                     )
                 })),
+                swap,
             },
         )
         .expect("binding the admin address");
@@ -413,6 +563,14 @@ fn main() {
         );
     }
 
+    let (model_version, swap_stats) = swap_slot.lock().unwrap().clone();
+    if let Some(s) = &swap_stats {
+        println!(
+            "odt_server: model v{model_version}, swaps: {} requested / {} promoted / {} rejected",
+            s.requested, s.promoted, s.rejected
+        );
+    }
+
     let slo_json = match &snap.slo {
         Some(s) => format!(
             "{{ \"fast_burn\": {:.4}, \"slow_burn\": {:.4}, \"alerts\": {} }}",
@@ -457,8 +615,24 @@ fn main() {
         ),
         None => "null".to_string(),
     };
+    let swap_json = match &swap_stats {
+        Some(s) => format!(
+            "{{ \"model_version\": {model_version}, \"state\": \"{}\", \"requested\": {}, \"promoted\": {}, \"rejected\": {}, \"last_reject_code\": {}, \"last_promoted_version\": {} }}",
+            s.state,
+            s.requested,
+            s.promoted,
+            s.rejected,
+            s.last_reject_code
+                .map(|c| format!("\"{c}\""))
+                .unwrap_or_else(|| "null".to_string()),
+            s.last_promoted_version
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+        ),
+        None => "null".to_string(),
+    };
     let json = format!(
-        "{{\n  \"schema\": \"odt-net-server/v3\",\n  \"addr\": \"{addr}\",\n  \"quick\": {quick},\n  \"uptime_s\": {uptime_s:.3},\n  \"conns\": {{ \"opened\": {}, \"closed\": {}, \"active\": {}, \"rejected_capacity\": {}, \"rejected_draining\": {}, \"frames_in\": {}, \"frames_out\": {}, \"malformed\": {}, \"too_large\": {}, \"timeouts_idle\": {}, \"timeouts_frame\": {}, \"read_errors\": {}, \"write_errors\": {}, \"backpressure_stalls\": {}, \"dispatch_shed\": {}, \"reply_drops\": {}, \"forced_closes\": {} }},\n  \"frontend\": {{ \"submitted\": {}, \"admitted\": {}, \"served\": {}, \"shed\": {{ \"queue_full\": {}, \"queue_expired\": {}, \"invalid_query\": {}, \"internal\": {} }}, \"rung_hits\": {{ \"cached\": {}, \"full_ddpm\": {}, \"ddim\": {}, \"ddim_reduced\": {}, \"cached_stale\": {}, \"fallback\": {} }}, \"deadline\": {{ \"met\": {}, \"missed\": {} }}, \"slo\": {slo_json} }},\n  \"cache\": {cache_json},\n  \"adopted_traces\": {adopted},\n  \"admin\": {admin_json},\n  \"quality\": {quality_json},\n  \"drain\": {{ \"clean\": {}, \"forced_conns\": {}, \"wait_ms\": {} }},\n  \"flightrec_dumps\": {},\n  \"pass\": {pass}\n}}\n",
+        "{{\n  \"schema\": \"odt-net-server/v4\",\n  \"addr\": \"{addr}\",\n  \"quick\": {quick},\n  \"uptime_s\": {uptime_s:.3},\n  \"conns\": {{ \"opened\": {}, \"closed\": {}, \"active\": {}, \"rejected_capacity\": {}, \"rejected_draining\": {}, \"frames_in\": {}, \"frames_out\": {}, \"malformed\": {}, \"too_large\": {}, \"timeouts_idle\": {}, \"timeouts_frame\": {}, \"read_errors\": {}, \"write_errors\": {}, \"backpressure_stalls\": {}, \"dispatch_shed\": {}, \"reply_drops\": {}, \"forced_closes\": {} }},\n  \"frontend\": {{ \"submitted\": {}, \"admitted\": {}, \"served\": {}, \"shed\": {{ \"queue_full\": {}, \"queue_expired\": {}, \"invalid_query\": {}, \"internal\": {} }}, \"rung_hits\": {{ \"cached\": {}, \"full_ddpm\": {}, \"ddim\": {}, \"ddim_reduced\": {}, \"cached_stale\": {}, \"fallback\": {} }}, \"deadline\": {{ \"met\": {}, \"missed\": {} }}, \"slo\": {slo_json} }},\n  \"cache\": {cache_json},\n  \"swap\": {swap_json},\n  \"adopted_traces\": {adopted},\n  \"admin\": {admin_json},\n  \"quality\": {quality_json},\n  \"drain\": {{ \"clean\": {}, \"forced_conns\": {}, \"wait_ms\": {} }},\n  \"flightrec_dumps\": {},\n  \"pass\": {pass}\n}}\n",
         c.opened,
         c.closed,
         c.active,

@@ -54,6 +54,7 @@ mod config;
 mod guard;
 mod oracle;
 mod persist;
+mod registry;
 mod train;
 
 pub use config::{AblationOptions, DotConfig, EstimatorKind, RobustnessOptions};
@@ -64,4 +65,5 @@ pub use guard::{
 };
 pub use oracle::{pit_to_path_points, Dot, Estimate, PitSampler};
 pub use persist::{PersistError, CHECKPOINT_VERSION};
+pub use registry::{ModelRegistry, RegistryError, CURRENT_FILE, REGISTRY_EXT};
 pub use train::{TrainCheckpoint, TrainHooks, TrainingReport};

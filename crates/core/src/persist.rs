@@ -36,7 +36,7 @@ use serde::{Deserialize, Serialize};
 use std::path::Path;
 
 /// Magic tag of model checkpoints.
-const CKPT_MAGIC: &str = "DOTCKPT";
+pub(crate) const CKPT_MAGIC: &str = "DOTCKPT";
 /// Current checkpoint format version.
 pub const CHECKPOINT_VERSION: u32 = 1;
 
@@ -196,6 +196,18 @@ pub(crate) fn read_versioned<T: DeserializeOwned>(
     path: &Path,
     magic: &str,
 ) -> Result<T, PersistError> {
+    let body = read_validated_bytes(path, magic)?;
+    serde_json::from_slice(&body).map_err(|e| PersistError::Corrupt {
+        detail: format!("payload json: {e}"),
+    })
+}
+
+/// Verify a versioned file's framing — magic, version, declared length,
+/// CRC32 — and return the raw payload bytes *without* deserializing
+/// them. The model registry uses this to refuse damaged checkpoint
+/// files before anything schema-aware (or allocation-heavy) touches
+/// them.
+pub(crate) fn read_validated_bytes(path: &Path, magic: &str) -> Result<Vec<u8>, PersistError> {
     let bytes = std::fs::read(path)?;
     // Legacy (pre-v1) checkpoints were bare JSON objects.
     if bytes.first() == Some(&b'{') {
@@ -265,9 +277,7 @@ pub(crate) fn read_versioned<T: DeserializeOwned>(
             detail: format!("crc32 {crc_found:08x} disagrees with header crc32={crc_expect:08x}"),
         });
     }
-    serde_json::from_slice(body).map_err(|e| PersistError::Corrupt {
-        detail: format!("payload json: {e}"),
-    })
+    Ok(body.to_vec())
 }
 
 #[derive(Serialize, Deserialize)]

@@ -26,6 +26,16 @@
 //! asserts the [`DriftInvalidator`] flushes the cache so zero
 //! pre-drift-generation estimates are ever served again.
 //!
+//! Three cluster drills cover the sharded deployment:
+//! `cluster_replica_kill` and `cluster_router_partition` boot a real
+//! loopback cluster (router + probed replicas) and assert failover and
+//! degrade-to-prior behave exactly (see `odt_net::cluster_drill`), and
+//! `cluster_corrupt_swap` drives the hot-swap state machine over a real
+//! trained oracle: a corrupt-CRC candidate, a wrong-grid-shape
+//! candidate and a drift-failing candidate must each be refused with
+//! their typed code, a good candidate must promote, and serving waves
+//! interleaved with every controller tick must never lose a request.
+//!
 //! Every drill runs fully traced (head sampling forced to 1-in-1 unless
 //! `ODT_TRACE_SAMPLE` overrides it): each scenario carries a root trace
 //! whose id is in its report line, and incident paths — breaker trips,
@@ -39,12 +49,17 @@
 //! any scenario fails its expectations — the CI `chaos-smoke` job gates
 //! on this.
 
-use odt_core::{Dot, DotConfig};
-use odt_net::{FrontendBridge, NetScenarioSpec, Region, WireQuery};
+use odt_core::{Dot, DotConfig, ModelRegistry};
+use odt_net::{
+    cluster_drill_names, run_cluster_replica_kill, run_cluster_router_partition,
+    ClusterDrillOutcome, FrontendBridge, NetScenarioSpec, Region, WireQuery,
+};
 use odt_roadnet::LngLat;
 use odt_serve::{
-    dot_frontend, dot_frontend_cached, CacheConfig, ChaosConfig, DotFrontendConfig,
-    DriftInvalidator, EstimateCache, FrontendConfig, HotTracker, Rung, ScenarioSpec, NUM_RUNGS,
+    dot_frontend, dot_frontend_cached, CacheConfig, ChaosConfig, ChaosExecutor, DotExecutor,
+    DotFrontendConfig, DotSwapHost, DotSwapHostConfig, DriftInvalidator, EstimateCache,
+    FrontendConfig, HotTracker, ModelSlot, Response, Rung, ScenarioSpec, ServeFrontend, SwapConfig,
+    SwapController, SwapError, SwapOutcome, NUM_RUNGS,
 };
 use odt_serve::{ShadowConfig, ShadowScorer};
 use odt_traj::{Dataset, GridSpec, OdtInput, Split};
@@ -695,6 +710,341 @@ fn run_net_drill(
     })
 }
 
+/// Render one echo-backed cluster drill (`odt_net::cluster_drill`) as a
+/// report line. The drill itself boots, faults, and tears down a real
+/// loopback cluster; this wrapper only adds the trace root and shapes
+/// the outcome into the drill schema.
+fn run_cluster_drill(name: &str, seed: u64, quick: bool) -> serde_json::Value {
+    let root = odt_obs::trace::root_span("chaos.scenario");
+    odt_obs::trace::force_retain_current("chaos_scenario");
+    let trace_id = root.trace_id().map(|t| t.to_hex());
+    let dumps_before = odt_obs::flightrec::dump_count();
+
+    let o: ClusterDrillOutcome = match name {
+        "cluster_replica_kill" => run_cluster_replica_kill(),
+        _ => run_cluster_router_partition(),
+    };
+    drop(root);
+    let dumps = odt_obs::flightrec::dump_count() - dumps_before;
+    let last_dump = odt_obs::flightrec::last_dump()
+        .filter(|_| dumps > 0)
+        .map(|p| p.display().to_string());
+
+    let answered = o.replica_replies + o.prior_replies;
+    let errs: u64 = o.err_replies.iter().map(|(_, n)| n).sum();
+    let submitted = answered + errs + o.lost;
+    let err_replies: serde_json::Map<String, serde_json::Value> = o
+        .err_replies
+        .iter()
+        .map(|(k, v)| (k.clone(), json!(v)))
+        .collect();
+    println!(
+        "  {:<18} {:>3} replica + {} prior replies ({} lost)  failovers {}  quorum_end {}  {}",
+        o.name,
+        o.replica_replies,
+        o.prior_replies,
+        o.lost,
+        o.failovers,
+        o.quorum_ready_end,
+        if o.pass {
+            "PASS".to_string()
+        } else {
+            format!("FAIL: {}", o.violations.join("; "))
+        }
+    );
+    json!({
+        "schema": "odt-chaos-drill/v2",
+        "kind": "scenario",
+        "name": o.name,
+        "description": o.description,
+        "trace_id": trace_id,
+        "flightrec": { "dumps": dumps, "last_dump": last_dump },
+        "seed": seed,
+        "quick": quick,
+        "wall_seconds": o.wall_s,
+        "submitted": submitted,
+        "admitted": submitted,
+        "served": answered,
+        "answer_rate": if submitted == 0 { 1.0 } else { answered as f64 / submitted as f64 },
+        "cluster": {
+            "replica_replies": o.replica_replies,
+            "prior_replies": o.prior_replies,
+            "err_replies": err_replies,
+            "lost": o.lost,
+            "failovers": o.failovers,
+            "prior_serves": o.prior_serves,
+            "quorum_ready_end": o.quorum_ready_end,
+            "router_conns": {
+                "opened": o.router_stats.opened,
+                "closed": o.router_stats.closed,
+                "active": o.router_stats.active,
+                "forced_closes": o.router_stats.forced_closes,
+            },
+            "drain_clean": o.drain_clean,
+        },
+        "violations": o.violations,
+        "pass": o.pass,
+    })
+}
+
+/// A misshapen candidate: same simulator, coarser grid — parses fine,
+/// must be refused by the swap shape gate.
+fn misshapen_model(data: &Dataset) -> Dot {
+    let mut cfg = DotConfig::fast();
+    cfg.lg = 6;
+    cfg.n_steps = 8;
+    cfg.base_channels = 4;
+    cfg.cond_dim = 16;
+    cfg.d_e = 16;
+    cfg.stage1_iters = 2;
+    cfg.stage2_iters = 4;
+    cfg.early_stop_samples = 2;
+    cfg.early_stop_every = 2;
+    Dot::train(cfg, data, |_| {})
+}
+
+type SlotFrontend = ServeFrontend<ChaosExecutor<DotExecutor<'static>>>;
+
+/// Tick the controller to a conclusion, serving a wave between every
+/// tick; any request not answered `Served` counts as an interruption.
+fn drive_swap(
+    ctrl: &mut SwapController<DotSwapHost>,
+    fe: &mut SlotFrontend,
+    wave: &[OdtInput],
+    interruptions: &mut u64,
+) -> Option<SwapOutcome> {
+    for _ in 0..300 {
+        if let Some(outcome) = ctrl.tick() {
+            return Some(outcome);
+        }
+        let out = fe.process_wave(wave.iter().map(|q| (*q, None)));
+        *interruptions += out
+            .iter()
+            .filter(|r| !matches!(r, Response::Served { .. }))
+            .count() as u64;
+    }
+    None
+}
+
+/// The corrupt-swap drill: a registry-backed hot-swap plane over the
+/// real drill oracle. A corrupt-CRC candidate, a wrong-grid candidate
+/// and a drift-failing candidate must each be refused with their typed
+/// code while waves keep serving; a good candidate must then promote —
+/// all with zero interrupted requests.
+fn run_corrupt_swap_drill(
+    model: &Dot,
+    data: &Dataset,
+    seed: u64,
+    quick: bool,
+) -> serde_json::Value {
+    let root = odt_obs::trace::root_span("chaos.scenario");
+    odt_obs::trace::force_retain_current("chaos_scenario");
+    let trace_id = root.trace_id().map(|t| t.to_hex());
+    let dumps_before = odt_obs::flightrec::dump_count();
+
+    let dir = std::env::temp_dir().join(format!("odt_swap_drill_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("swap drill temp dir");
+    let registry = ModelRegistry::open(dir.join("registry")).expect("swap drill registry");
+    let v1 = registry
+        .publish(model)
+        .expect("publishing the drill oracle");
+    let good = dir.join("cand_good.dotckpt");
+    std::fs::copy(registry.version_path(v1), &good).expect("staging the good candidate");
+    // Serve a *loaded* copy so the drill also exercises the load path.
+    let (v, serving) = registry.load_current().expect("reloading the drill oracle");
+    let slot = ModelSlot::from_model(serving, v);
+
+    let mut fe: SlotFrontend = dot_frontend(
+        slot.clone(),
+        DotFrontendConfig::default(),
+        FrontendConfig::default(),
+        ChaosConfig::quiet(seed),
+    );
+    let wave: Vec<OdtInput> = data
+        .split(Split::Test)
+        .iter()
+        .take(if quick { 3 } else { 6 })
+        .map(OdtInput::from_trajectory)
+        .collect();
+    fe.warmup(&wave[..2.min(wave.len())]);
+
+    let holdout: Vec<(OdtInput, f64)> = data
+        .split(Split::Test)
+        .iter()
+        .map(|t| (OdtInput::from_trajectory(t), t.travel_time()))
+        .collect();
+    let host_cfg = DotSwapHostConfig {
+        batch: 4,
+        ddim_steps: 3,
+        rng_seed: seed ^ 0x51A9,
+    };
+    let make_ctrl = |gate: SwapConfig| {
+        SwapController::new(
+            DotSwapHost::new(
+                registry.clone(),
+                slot.clone(),
+                holdout.clone(),
+                None,
+                host_cfg,
+            ),
+            gate,
+        )
+    };
+    let gate = SwapConfig {
+        shadow_samples: 12,
+        ..SwapConfig::default()
+    };
+
+    let t0 = Instant::now();
+    let mut interruptions = 0u64;
+    let mut violations: Vec<String> = Vec::new();
+    let outcome_code = |out: Option<SwapOutcome>| -> String {
+        match out {
+            Some(SwapOutcome::Rejected(e)) => e.code().to_string(),
+            Some(SwapOutcome::Promoted { version, .. }) => format!("promoted v{version}"),
+            None => "no_conclusion".to_string(),
+        }
+    };
+
+    // 1. Corrupt candidate: one flipped payload bit, the CRC gate refuses.
+    let corrupt = dir.join("cand_corrupt.dotckpt");
+    let mut bytes = std::fs::read(&good).expect("reading the good candidate");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x08;
+    std::fs::write(&corrupt, &bytes).expect("writing the corrupt candidate");
+    let mut ctrl = make_ctrl(gate);
+    ctrl.request(corrupt.to_str().expect("utf8 path"), None)
+        .expect("corrupt request accepted");
+    let corrupt_code = outcome_code(drive_swap(&mut ctrl, &mut fe, &wave, &mut interruptions));
+    if corrupt_code != "corrupt" {
+        violations.push(format!(
+            "corrupt candidate concluded {corrupt_code:?}, want \"corrupt\""
+        ));
+    }
+
+    // 2. Wrong grid shape: trains fine on a coarser grid, shape gate refuses.
+    let shape_path = dir.join("cand_shape.dotckpt");
+    misshapen_model(data)
+        .save(&shape_path)
+        .expect("saving the misshapen candidate");
+    ctrl.request(shape_path.to_str().expect("utf8 path"), None)
+        .expect("shape request accepted");
+    let shape_code = outcome_code(drive_swap(&mut ctrl, &mut fe, &wave, &mut interruptions));
+    if shape_code != "shape_mismatch" {
+        violations.push(format!(
+            "misshapen candidate concluded {shape_code:?}, want \"shape_mismatch\""
+        ));
+    }
+
+    // 3. Drift gate: an impossible gate (candidate must halve the serving
+    // MAE) rejects even an identical model.
+    let mut strict = make_ctrl(SwapConfig {
+        shadow_samples: 12,
+        max_mae_ratio: 0.5,
+        mae_slack_s: 0.0,
+    });
+    strict
+        .request(good.to_str().expect("utf8 path"), None)
+        .expect("drift request accepted");
+    let drift_code = outcome_code(drive_swap(&mut strict, &mut fe, &wave, &mut interruptions));
+    if drift_code != "drift_failed" {
+        violations.push(format!(
+            "drift-gated candidate concluded {drift_code:?}, want \"drift_failed\""
+        ));
+    }
+    if slot.version() != v1 || slot.swaps() != 0 {
+        violations.push(format!(
+            "rejections touched serving: slot at v{} after {} swap(s)",
+            slot.version(),
+            slot.swaps()
+        ));
+    }
+
+    // 4. The good candidate, normal gate: a concurrent request must be
+    // refused busy, then the swap promotes.
+    ctrl.request(good.to_str().expect("utf8 path"), None)
+        .expect("good request accepted");
+    let busy_refused = matches!(
+        ctrl.request(good.to_str().expect("utf8 path"), None),
+        Err(SwapError::Busy)
+    );
+    if !busy_refused {
+        violations.push("concurrent swap request was not refused busy".to_string());
+    }
+    let promote_code = outcome_code(drive_swap(&mut ctrl, &mut fe, &wave, &mut interruptions));
+    let promoted_version = v1 + 1;
+    if promote_code != format!("promoted v{promoted_version}") {
+        violations.push(format!(
+            "good candidate concluded {promote_code:?}, want promotion to v{promoted_version}"
+        ));
+    }
+    if slot.version() != promoted_version || slot.swaps() != 1 {
+        violations.push(format!(
+            "promotion not installed: slot at v{} after {} swap(s)",
+            slot.version(),
+            slot.swaps()
+        ));
+    }
+    if registry.current_version().ok().flatten() != Some(promoted_version) {
+        violations.push("registry CURRENT does not point at the promoted version".to_string());
+    }
+    if interruptions > 0 {
+        violations.push(format!(
+            "{interruptions} request(s) interrupted while swaps were in flight"
+        ));
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = ctrl.stats();
+    let s = fe.snapshot();
+    drop(root);
+    let dumps = odt_obs::flightrec::dump_count() - dumps_before;
+    let last_dump = odt_obs::flightrec::last_dump()
+        .filter(|_| dumps > 0)
+        .map(|p| p.display().to_string());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "  {:<18} corrupt={corrupt_code} shape={shape_code} drift={drift_code} then {promote_code}  interruptions {interruptions}  {}",
+        "cluster_corrupt_swap",
+        if violations.is_empty() {
+            "PASS".to_string()
+        } else {
+            format!("FAIL: {}", violations.join("; "))
+        }
+    );
+    json!({
+        "schema": "odt-chaos-drill/v2",
+        "kind": "scenario",
+        "name": "cluster_corrupt_swap",
+        "description": "corrupt, misshapen and drift-failing swap candidates are refused with typed codes; a good one promotes; serving never interrupted",
+        "trace_id": trace_id,
+        "flightrec": { "dumps": dumps, "last_dump": last_dump },
+        "seed": seed,
+        "quick": quick,
+        "wall_seconds": wall_s,
+        "submitted": s.submitted,
+        "admitted": s.admitted,
+        "served": s.served,
+        "answer_rate": if s.submitted == 0 { 1.0 } else { s.served as f64 / s.submitted as f64 },
+        "swap": {
+            "corrupt_code": corrupt_code,
+            "shape_code": shape_code,
+            "drift_code": drift_code,
+            "promote_code": promote_code,
+            "busy_refused": busy_refused,
+            "requested": stats.requested,
+            "promoted": stats.promoted,
+            "rejected": stats.rejected,
+            "serving_version": slot.version(),
+            "serving_swaps": slot.swaps(),
+            "interruptions": interruptions,
+        },
+        "violations": violations,
+        "pass": violations.is_empty(),
+    })
+}
+
 fn main() {
     let quick = arg_flag("--quick");
     let seed: u64 = arg_value("--seed")
@@ -730,25 +1080,45 @@ fn main() {
     let net_catalog = odt_net::net_scenarios();
     let run_quality = which == "all" || which == "quality_drift";
     let run_cache = which == "all" || which == "cache_drift_invalidation";
+    let run_swap = which == "all" || which == "cluster_corrupt_swap";
+    let cluster_selected: Vec<&'static str> = cluster_drill_names()
+        .into_iter()
+        .filter(|n| which == "all" || which == *n)
+        .collect();
     let (selected, net_selected): (Vec<&ScenarioSpec>, Vec<&NetScenarioSpec>) = if which == "all" {
         (catalog.iter().collect(), net_catalog.iter().collect())
     } else {
         let serve: Vec<&ScenarioSpec> = catalog.iter().filter(|s| s.name == which).collect();
         let net: Vec<&NetScenarioSpec> = net_catalog.iter().filter(|s| s.name == which).collect();
-        if serve.is_empty() && net.is_empty() && !run_quality && !run_cache {
+        if serve.is_empty()
+            && net.is_empty()
+            && !run_quality
+            && !run_cache
+            && !run_swap
+            && cluster_selected.is_empty()
+        {
             let names: Vec<&str> = catalog
                 .iter()
                 .map(|s| s.name)
                 .chain(net_catalog.iter().map(|s| s.name))
-                .chain(["quality_drift", "cache_drift_invalidation"])
+                .chain(cluster_drill_names())
+                .chain([
+                    "quality_drift",
+                    "cache_drift_invalidation",
+                    "cluster_corrupt_swap",
+                ])
                 .collect();
             eprintln!("unknown scenario {which:?}; available: {names:?} or \"all\"");
             std::process::exit(2);
         }
         (serve, net)
     };
-    let total =
-        selected.len() + net_selected.len() + usize::from(run_quality) + usize::from(run_cache);
+    let total = selected.len()
+        + net_selected.len()
+        + cluster_selected.len()
+        + usize::from(run_quality)
+        + usize::from(run_cache)
+        + usize::from(run_swap);
 
     println!("chaos drill: {total} scenario(s), seed {seed}, quick={quick}");
     let data = drill_dataset();
@@ -756,7 +1126,7 @@ fn main() {
 
     let mut lines = Vec::new();
     let mut failed = 0usize;
-    if !selected.is_empty() || run_quality || run_cache {
+    if !selected.is_empty() || run_quality || run_cache || run_swap {
         let t0 = Instant::now();
         let model = drill_model(&data);
         println!("trained drill oracle in {:.1}s", t0.elapsed().as_secs_f64());
@@ -786,9 +1156,23 @@ fn main() {
             }
             lines.push(line);
         }
+        if run_swap {
+            let line = run_corrupt_swap_drill(&model, &data, seed, quick);
+            if line["pass"] != json!(true) {
+                failed += 1;
+            }
+            lines.push(line);
+        }
     }
     for spec in &net_selected {
         let line = run_net_drill(spec, region, seed, quick);
+        if line["pass"] != json!(true) {
+            failed += 1;
+        }
+        lines.push(line);
+    }
+    for name in &cluster_selected {
+        let line = run_cluster_drill(name, seed, quick);
         if line["pass"] != json!(true) {
             failed += 1;
         }

@@ -19,6 +19,8 @@
 //! | `GET /tracez`     | JSON: recently retained traces with per-span
 //!                       self-times                                        |
 //! | `POST /flightrec` | trigger a flight-recorder dump, return its path  |
+//! | `POST /swap`      | request a zero-downtime hot model swap; the body
+//!                       is the candidate checkpoint path                  |
 //!
 //! ## Hardening
 //!
@@ -27,9 +29,12 @@
 //! oversized requests before buffering them), read/write timeouts, a cap
 //! on concurrent handler threads (over-cap connections get `503` and an
 //! immediate close), one request per connection (`Connection: close` —
-//! no keep-alive state machine to abuse). The plane is **read-only**
-//! except `POST /flightrec`, which only writes an incident dump to the
-//! operator-configured directory.
+//! no keep-alive state machine to abuse). Request bodies are read only
+//! for `POST /swap`, bounded by the same byte cap as headers. The plane
+//! is **read-only** except `POST /flightrec` (writes an incident dump to
+//! the operator-configured directory) and `POST /swap` (hands the
+//! candidate path to the server's swap controller, which validates and
+//! shadow-scores it before anything changes).
 //!
 //! ## Liveness vs readiness
 //!
@@ -88,6 +93,13 @@ impl Default for AdminConfig {
 /// binary so the admin plane stays decoupled from what it introspects.
 pub type VarzFn = Box<dyn Fn() -> String + Send + Sync>;
 
+/// Handler for `POST /swap`: takes the candidate checkpoint path (the
+/// request body, trimmed) and returns `(http_status, json_body)`. The
+/// server binary bridges this to its swap controller; the closure runs
+/// on an admin handler thread, so it must only enqueue + wait, never
+/// touch the (`!Send`) model directly.
+pub type SwapFn = Box<dyn Fn(&str) -> (u16, String) + Send + Sync>;
+
 /// Pluggable data sources for routes whose content the admin plane does
 /// not own. `/metrics` and `/tracez` read the process-global `odt_obs`
 /// state directly and need no source.
@@ -96,6 +108,9 @@ pub struct AdminSources {
     /// `/varz` body builder (see [`render_varz`]). When absent, `/varz`
     /// serves a stub that says so.
     pub varz: Option<VarzFn>,
+    /// `POST /swap` handler. When absent, `/swap` answers `503` — the
+    /// process has no swappable model (echo backends, routers).
+    pub swap: Option<SwapFn>,
 }
 
 struct AdminShared {
@@ -242,8 +257,11 @@ fn response(status: u16, content_type: &str, body: &str) -> String {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
+        422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     };
     format!(
@@ -293,7 +311,10 @@ fn handle_conn(mut stream: TcpStream, shared: &Arc<AdminShared>) {
             let head = String::from_utf8_lossy(&buf[..pos]).into_owned();
             shared.requests.fetch_add(1, Ordering::Relaxed);
             odt_obs::counter("admin.requests").inc();
-            route(&head, shared)
+            match read_body(&mut stream, &mut buf, pos + 4, &head, cfg) {
+                Ok(body) => route(&head, &body, shared),
+                Err(reply) => reply,
+            }
         }
     };
     let _ = stream.write_all(reply.as_bytes());
@@ -305,7 +326,58 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-fn route(head: &str, shared: &Arc<AdminShared>) -> String {
+/// Read the request body declared by `Content-Length` (anything already
+/// buffered past the head counts), bounded by the same byte cap as the
+/// head. Returns the body as lossy UTF-8, or a ready-to-send error
+/// response.
+fn read_body(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    body_start: usize,
+    head: &str,
+    cfg: &AdminConfig,
+) -> Result<String, String> {
+    let declared = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse::<usize>().ok())?
+        })
+        .unwrap_or(0);
+    if declared == 0 {
+        return Ok(String::new());
+    }
+    if declared > cfg.max_request_bytes {
+        odt_obs::counter("admin.errors").inc();
+        return Err(response(
+            431,
+            "text/plain; charset=utf-8",
+            "request body too large\n",
+        ));
+    }
+    let mut chunk = [0u8; 1024];
+    while buf.len() < body_start + declared {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break, // timeout or reset
+        }
+    }
+    if buf.len() < body_start + declared {
+        odt_obs::counter("admin.errors").inc();
+        return Err(response(
+            400,
+            "text/plain; charset=utf-8",
+            "incomplete request body\n",
+        ));
+    }
+    Ok(String::from_utf8_lossy(&buf[body_start..body_start + declared]).into_owned())
+}
+
+fn route(head: &str, body: &str, shared: &Arc<AdminShared>) -> String {
     let mut first = head.lines().next().unwrap_or("").split_whitespace();
     let method = first.next().unwrap_or("");
     // Strip any query string: the plane takes no parameters.
@@ -349,6 +421,30 @@ fn route(head: &str, shared: &Arc<AdminShared>) -> String {
                 "{\"schema\":\"odt-admin/v1\",\"error\":\"flight recorder disabled\"}",
             ),
         },
+        ("POST", "/swap") => match &shared.sources.swap {
+            Some(f) => {
+                let candidate = body.trim();
+                if candidate.is_empty() {
+                    response(
+                        400,
+                        "application/json; charset=utf-8",
+                        "{\"schema\":\"odt-swap/v1\",\"accepted\":false,\
+                         \"code\":\"bad_request\",\
+                         \"detail\":\"body must be the candidate checkpoint path\"}",
+                    )
+                } else {
+                    let (status, reply) = f(candidate);
+                    response(status, "application/json; charset=utf-8", &reply)
+                }
+            }
+            None => response(
+                503,
+                "application/json; charset=utf-8",
+                "{\"schema\":\"odt-swap/v1\",\"accepted\":false,\
+                 \"code\":\"unavailable\",\
+                 \"detail\":\"this process has no swappable model\"}",
+            ),
+        },
         ("GET", "/") => response(
             200,
             "text/plain; charset=utf-8",
@@ -356,7 +452,8 @@ fn route(head: &str, shared: &Arc<AdminShared>) -> String {
              GET  /healthz    liveness\nGET  /readyz     readiness\n\
              GET  /varz       server/frontend/quality JSON\n\
              GET  /tracez     retained traces JSON\n\
-             POST /flightrec  trigger a flight-recorder dump\n",
+             POST /flightrec  trigger a flight-recorder dump\n\
+             POST /swap       hot-swap the model (body: checkpoint path)\n",
         ),
         ("GET", _) | ("POST", _) => {
             response(404, "text/plain; charset=utf-8", "unknown admin route\n")
@@ -673,6 +770,7 @@ mod tests {
                     None,
                 )
             })),
+            ..AdminSources::default()
         });
         let (st, head, body) = simple_get(h.addr(), "/varz?pretty=1");
         assert_eq!(st, 200);
@@ -727,6 +825,64 @@ mod tests {
         assert!(body.contains("\"dump\":"), "{body}");
         assert!(body.contains("admin_request"), "{body}");
         let _ = std::fs::remove_dir_all(&dir);
+        h.shutdown();
+    }
+
+    #[test]
+    fn swap_route_reads_the_body_and_bridges_to_the_installed_handler() {
+        let h = boot(AdminSources {
+            swap: Some(Box::new(|candidate| {
+                assert_eq!(candidate, "/models/v9.dotckpt");
+                (200, "{\"accepted\":true,\"version\":9}".to_string())
+            })),
+            ..AdminSources::default()
+        });
+        let body = "/models/v9.dotckpt\n";
+        let (st, head, reply) = get(
+            h.addr(),
+            &format!(
+                "POST /swap HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert_eq!(st, 200, "{reply}");
+        assert!(head.contains("Content-Type: application/json"));
+        assert!(reply.contains("\"version\":9"), "{reply}");
+
+        // An empty body is a typed 400, the handler never runs.
+        let (st, _, reply) = get(h.addr(), "POST /swap HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(st, 400);
+        assert!(reply.contains("\"code\":\"bad_request\""), "{reply}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn swap_route_without_a_handler_is_a_typed_503() {
+        let h = boot(AdminSources::default());
+        let (st, _, reply) = get(
+            h.addr(),
+            "POST /swap HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\n/x/y\n",
+        );
+        assert_eq!(st, 503);
+        assert!(reply.contains("\"code\":\"unavailable\""), "{reply}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn oversized_swap_bodies_are_refused() {
+        let h = boot(AdminSources {
+            swap: Some(Box::new(|_| (200, "{}".to_string()))),
+            ..AdminSources::default()
+        });
+        let big = "p".repeat(16 * 1024);
+        let (st, _, _) = get(
+            h.addr(),
+            &format!(
+                "POST /swap HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{big}",
+                big.len()
+            ),
+        );
+        assert_eq!(st, 431);
         h.shutdown();
     }
 

@@ -1,0 +1,1226 @@
+//! The sharded oracle cluster: a router that spreads OD queries over
+//! replicated shard workers, speaking `odt-wire/v1` downstream.
+//!
+//! One process and one model cannot serve a metro area. The cluster
+//! splits the OD space by grid region ([`crate::shard::ShardMap`],
+//! rendezvous-hashed `(origin_cell, dest_cell)` keys) across `N`
+//! shards with `R` replicas each. The router is itself a wire server
+//! (its backend, [`RouterBackend`], plugs into [`crate::server`]), so
+//! clients need no cluster awareness at all — same protocol, same
+//! port discipline, same drain semantics.
+//!
+//! ## Failover ladder
+//!
+//! Per request, replicas of the owning shard are tried in round-robin
+//! order; a replica is skipped or abandoned when
+//!
+//! 1. the health prober last saw its `/readyz` as not-ready,
+//! 2. its circuit breaker ([`odt_serve::CircuitBreaker`], the same
+//!    state machine the single-process ladder uses per rung) is open,
+//! 3. the call fails in transport (connect refused/timeout, reset,
+//!    truncated reply, request deadline), or
+//! 4. the replica answers with a *retryable* typed refusal
+//!    (`queue_full`, `server_draining`, ... — exactly
+//!    [`crate::wire::WireErrorCode::is_retryable`]).
+//!
+//! A success after any skip/failure counts one **failover**. Only when
+//! every replica of the shard is exhausted — the shard is dark — does
+//! the router degrade to its local haversine prior (rung
+//! [`PRIOR_RUNG`]), mirroring the single-process ladder's last rung:
+//! an answer, always, never a hang.
+//!
+//! Non-retryable refusals (`invalid_query`, `malformed_frame`, ...)
+//! are the client's problem, not the replica's: they propagate
+//! verbatim and count as successful forwards.
+//!
+//! ## Health plane
+//!
+//! [`start_health_prober`] polls each replica's admin `/readyz`
+//! (PR 7's plane) on an interval and publishes per-replica health into
+//! [`ClusterShared`]; the router skips not-ready replicas *before*
+//! burning a connect timeout on them, which is what makes drains
+//! invisible to clients. [`ClusterShared::quorum_ready`] — every shard
+//! has at least one ready replica — drives the router's own `/readyz`
+//! aggregation.
+//!
+//! Everything is observable: per-replica health/breaker state and
+//! forward/refusal/transport counters in [`ClusterSnapshot`] (rendered
+//! by [`render_router_varz`] as `odt-router-varz/v1`), and cluster
+//! totals as `cluster.*` metrics in the process registry.
+
+use crate::loadgen::Region;
+use crate::server::{ConnStatsSnapshot, NetBackend, NetRequest};
+use crate::shard::ShardMap;
+use crate::wire::{
+    write_frame, FrameRead, WireErrorCode, WireQuery, WireRequest, WireResponse,
+    DEFAULT_MAX_FRAME_BYTES, FRAME_HEADER_BYTES,
+};
+use odt_obs::json::push_str_escaped;
+use odt_obs::{counter, event, gauge, Level};
+use odt_serve::{BreakerConfig, BreakerState, CircuitBreaker};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Rung name the router reports when a whole shard is dark and the
+/// request is answered by the router-local haversine prior.
+pub const PRIOR_RUNG: &str = "router_prior";
+
+/// One shard replica's addresses.
+#[derive(Clone, Debug)]
+pub struct ReplicaAddr {
+    /// The `odt-wire/v1` address queries are forwarded to.
+    pub wire: String,
+    /// The replica's admin-plane address (for `/readyz` probing); when
+    /// absent the replica is never probed and health stays optimistic.
+    pub admin: Option<String>,
+}
+
+impl ReplicaAddr {
+    /// A replica with no admin plane (health learned only from calls).
+    pub fn wire_only(wire: impl Into<String>) -> ReplicaAddr {
+        ReplicaAddr {
+            wire: wire.into(),
+            admin: None,
+        }
+    }
+
+    /// A replica with a probeable admin plane.
+    pub fn with_admin(wire: impl Into<String>, admin: impl Into<String>) -> ReplicaAddr {
+        ReplicaAddr {
+            wire: wire.into(),
+            admin: Some(admin.into()),
+        }
+    }
+}
+
+/// Cluster topology and router tuning.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Replicas per shard: `shards[s][r]` is replica `r` of shard `s`.
+    /// Every shard needs at least one replica.
+    pub shards: Vec<Vec<ReplicaAddr>>,
+    /// Geographic region the placement grid covers.
+    pub region: Region,
+    /// Per-axis cell count of the placement grid.
+    pub cells: u32,
+    /// Placement seed; all routers of one cluster must share it.
+    pub seed: u64,
+    /// Downstream TCP connect timeout, ms.
+    pub connect_timeout_ms: u64,
+    /// Per-forwarded-request deadline (write + read), ms.
+    pub request_timeout_ms: u64,
+    /// Per-replica circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Speed assumed by the degraded haversine prior, m/s.
+    pub prior_speed_mps: f64,
+    /// Cap on downstream reply frames, bytes.
+    pub max_frame_bytes: usize,
+}
+
+impl ClusterConfig {
+    /// A config over `shards` with the default tuning.
+    pub fn new(shards: Vec<Vec<ReplicaAddr>>) -> ClusterConfig {
+        ClusterConfig {
+            shards,
+            region: Region::default(),
+            cells: 64,
+            seed: 0x0D75,
+            connect_timeout_ms: 500,
+            request_timeout_ms: 2_000,
+            breaker: BreakerConfig::default(),
+            prior_speed_mps: 10.0,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// Last-probed health of one replica.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReplicaHealth {
+    /// Never probed (or unprobeable: no admin address). The router
+    /// tries these — refusing traffic on ignorance would turn a probe
+    /// gap into an outage.
+    Unknown,
+    /// `/readyz` answered 200.
+    Ready,
+    /// `/readyz` answered non-200 or was unreachable.
+    Unready,
+}
+
+impl ReplicaHealth {
+    fn from_u8(v: u8) -> ReplicaHealth {
+        match v {
+            1 => ReplicaHealth::Ready,
+            2 => ReplicaHealth::Unready,
+            _ => ReplicaHealth::Unknown,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            ReplicaHealth::Unknown => 0,
+            ReplicaHealth::Ready => 1,
+            ReplicaHealth::Unready => 2,
+        }
+    }
+
+    /// Short tag for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicaHealth::Unknown => "unknown",
+            ReplicaHealth::Ready => "ready",
+            ReplicaHealth::Unready => "unready",
+        }
+    }
+}
+
+#[derive(Default)]
+struct ReplicaShared {
+    health: AtomicU8,
+    breaker_state: AtomicU8,
+    breaker_trips: AtomicU64,
+    forwarded: AtomicU64,
+    refusals: AtomicU64,
+    transport_errors: AtomicU64,
+}
+
+/// State shared between the router backend, the health prober, and the
+/// admin plane (varz/readyz): per-replica health and counters, plus
+/// cluster totals.
+pub struct ClusterShared {
+    topology: Vec<Vec<ReplicaAddr>>,
+    replicas: Vec<Vec<ReplicaShared>>,
+    forwarded: AtomicU64,
+    failovers: AtomicU64,
+    prior_serves: AtomicU64,
+    refusals: AtomicU64,
+    transport_errors: AtomicU64,
+}
+
+impl ClusterShared {
+    /// Shared state shaped like `cfg`'s topology, all-unknown health.
+    pub fn new(cfg: &ClusterConfig) -> Arc<ClusterShared> {
+        assert!(!cfg.shards.is_empty(), "a cluster needs at least one shard");
+        for (s, replicas) in cfg.shards.iter().enumerate() {
+            assert!(!replicas.is_empty(), "shard {s} has no replicas");
+        }
+        Arc::new(ClusterShared {
+            topology: cfg.shards.clone(),
+            replicas: cfg
+                .shards
+                .iter()
+                .map(|rs| rs.iter().map(|_| ReplicaShared::default()).collect())
+                .collect(),
+            forwarded: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            prior_serves: AtomicU64::new(0),
+            refusals: AtomicU64::new(0),
+            transport_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The configured topology (shards × replicas).
+    pub fn topology(&self) -> &[Vec<ReplicaAddr>] {
+        &self.topology
+    }
+
+    /// Last-probed health of replica `r` of shard `s`.
+    pub fn health(&self, s: usize, r: usize) -> ReplicaHealth {
+        ReplicaHealth::from_u8(self.replicas[s][r].health.load(Ordering::Acquire))
+    }
+
+    /// Publish a health observation (the prober calls this; tests and
+    /// drain hooks may too). Emits an event on every transition.
+    pub fn set_health(&self, s: usize, r: usize, health: ReplicaHealth) {
+        let was = self.replicas[s][r]
+            .health
+            .swap(health.as_u8(), Ordering::Release);
+        if was != health.as_u8() {
+            let level = if health == ReplicaHealth::Unready {
+                Level::Warn
+            } else {
+                Level::Info
+            };
+            event(level, "cluster.replica_health")
+                .field("shard", s as u64)
+                .field("replica", r as u64)
+                .field("addr", self.topology[s][r].wire.as_str())
+                .field("health", health.name())
+                .emit();
+        }
+    }
+
+    /// Whether every shard has at least one routable replica: probed
+    /// ready, or unprobeable (no admin address) and not known-bad. This
+    /// drives the router's own `/readyz` aggregation — 503 until true.
+    pub fn quorum_ready(&self) -> bool {
+        self.topology.iter().enumerate().all(|(s, replicas)| {
+            replicas.iter().enumerate().any(|(r, addr)| {
+                match self.health(s, r) {
+                    ReplicaHealth::Ready => true,
+                    // No probe target: optimistic, same reasoning as
+                    // routing to Unknown replicas.
+                    ReplicaHealth::Unknown => addr.admin.is_none(),
+                    ReplicaHealth::Unready => false,
+                }
+            })
+        })
+    }
+
+    /// Total failovers (requests served by a non-first-choice replica).
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Total requests degraded to the router-local prior.
+    pub fn prior_serves(&self) -> u64 {
+        self.prior_serves.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy of every counter for rendering.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            shards: self
+                .topology
+                .iter()
+                .enumerate()
+                .map(|(s, replicas)| {
+                    replicas
+                        .iter()
+                        .enumerate()
+                        .map(|(r, addr)| {
+                            let rs = &self.replicas[s][r];
+                            ReplicaSnapshot {
+                                addr: addr.wire.clone(),
+                                health: self.health(s, r).name(),
+                                breaker: match rs.breaker_state.load(Ordering::Relaxed) {
+                                    1 => "open",
+                                    2 => "half_open",
+                                    _ => "closed",
+                                },
+                                breaker_trips: rs.breaker_trips.load(Ordering::Relaxed),
+                                forwarded: rs.forwarded.load(Ordering::Relaxed),
+                                refusals: rs.refusals.load(Ordering::Relaxed),
+                                transport_errors: rs.transport_errors.load(Ordering::Relaxed),
+                            }
+                        })
+                        .collect()
+                })
+                .collect(),
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            failovers: self.failovers(),
+            prior_serves: self.prior_serves(),
+            refusals: self.refusals.load(Ordering::Relaxed),
+            transport_errors: self.transport_errors.load(Ordering::Relaxed),
+            quorum_ready: self.quorum_ready(),
+        }
+    }
+
+    fn publish_breaker(&self, s: usize, r: usize, state: BreakerState, trips: u64) {
+        let code = match state {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        };
+        self.replicas[s][r]
+            .breaker_state
+            .store(code, Ordering::Relaxed);
+        self.replicas[s][r]
+            .breaker_trips
+            .store(trips, Ordering::Relaxed);
+    }
+}
+
+/// One replica's row in [`ClusterSnapshot`].
+#[derive(Clone, Debug)]
+pub struct ReplicaSnapshot {
+    /// Wire address.
+    pub addr: String,
+    /// Last-probed health tag.
+    pub health: &'static str,
+    /// Circuit-breaker state tag.
+    pub breaker: &'static str,
+    /// Breaker trips so far.
+    pub breaker_trips: u64,
+    /// Requests this replica answered (Ok or non-retryable Err).
+    pub forwarded: u64,
+    /// Retryable typed refusals from this replica.
+    pub refusals: u64,
+    /// Transport-level failures talking to this replica.
+    pub transport_errors: u64,
+}
+
+/// Cluster counters at one instant (the `/varz` source).
+#[derive(Clone, Debug)]
+pub struct ClusterSnapshot {
+    /// Per-shard, per-replica rows.
+    pub shards: Vec<Vec<ReplicaSnapshot>>,
+    /// Requests answered by some replica.
+    pub forwarded: u64,
+    /// Requests served by a non-first-choice replica.
+    pub failovers: u64,
+    /// Requests degraded to the router-local prior.
+    pub prior_serves: u64,
+    /// Retryable refusals seen (pre-failover, so ≥ failovers' causes).
+    pub refusals: u64,
+    /// Transport failures seen.
+    pub transport_errors: u64,
+    /// Whether every shard had a routable replica.
+    pub quorum_ready: bool,
+}
+
+fn resolve(addr: &str) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::AddrNotAvailable,
+            "address resolved to nothing",
+        )
+    })
+}
+
+/// Probe one admin endpoint's `/readyz`. `Some(true)` on 200, `Some(false)`
+/// on any other HTTP status, `None` when the endpoint was unreachable or
+/// didn't answer HTTP within `timeout` (callers treat that as unready).
+pub fn probe_readyz(admin_addr: &str, timeout: Duration) -> Option<bool> {
+    let addr = resolve(admin_addr).ok()?;
+    let mut s = TcpStream::connect_timeout(&addr, timeout).ok()?;
+    s.set_read_timeout(Some(timeout)).ok()?;
+    s.set_write_timeout(Some(timeout)).ok()?;
+    s.write_all(b"GET /readyz HTTP/1.1\r\nHost: odt\r\nConnection: close\r\n\r\n")
+        .ok()?;
+    let mut raw = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    loop {
+        match s.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                raw.extend_from_slice(&chunk[..n]);
+                // The status line is all we need; admin replies close.
+                if raw.len() >= 12 || raw.windows(2).any(|w| w == b"\r\n") {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&raw);
+    let status: u16 = head
+        .lines()
+        .next()?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    Some(status == 200)
+}
+
+/// A running health prober. [`ProberHandle::shutdown`] (or drop) stops
+/// the thread.
+pub struct ProberHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ProberHandle {
+    /// Stop probing and join the thread.
+    pub fn shutdown(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ProberHandle {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Start the health prober: a thread that polls every probeable
+/// replica's `/readyz` each `interval_ms` and publishes the result into
+/// `shared`. Unreachable probes mark the replica unready.
+pub fn start_health_prober(
+    shared: Arc<ClusterShared>,
+    interval_ms: u64,
+    timeout_ms: u64,
+) -> ProberHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let thread = thread::Builder::new()
+        .name("odt-cluster-prober".to_string())
+        .spawn(move || {
+            let timeout = Duration::from_millis(timeout_ms.max(1));
+            while !stop2.load(Ordering::Acquire) {
+                for (s, replicas) in shared.topology().iter().enumerate() {
+                    for (r, addr) in replicas.iter().enumerate() {
+                        let Some(admin) = &addr.admin else { continue };
+                        let health = match probe_readyz(admin, timeout) {
+                            Some(true) => ReplicaHealth::Ready,
+                            Some(false) | None => ReplicaHealth::Unready,
+                        };
+                        shared.set_health(s, r, health);
+                    }
+                }
+                gauge("cluster.quorum_ready").set(if shared.quorum_ready() { 1.0 } else { 0.0 });
+                // Sleep in short steps so shutdown stays prompt.
+                let mut slept = 0;
+                while slept < interval_ms.max(1) && !stop2.load(Ordering::Acquire) {
+                    let step = (interval_ms.max(1) - slept).min(10);
+                    thread::sleep(Duration::from_millis(step));
+                    slept += step;
+                }
+            }
+        })
+        .expect("spawn cluster prober");
+    ProberHandle {
+        stop,
+        thread: Some(thread),
+    }
+}
+
+/// A lazily-(re)connecting synchronous client for one replica's wire
+/// port. Strictly one request in flight; any transport anomaly tears
+/// the connection down so the next call starts clean.
+struct ReplicaClient {
+    addr: String,
+    connect_timeout: Duration,
+    request_timeout: Duration,
+    max_frame_bytes: usize,
+    stream: Option<TcpStream>,
+}
+
+impl ReplicaClient {
+    fn new(addr: String, cfg: &ClusterConfig) -> ReplicaClient {
+        ReplicaClient {
+            addr,
+            connect_timeout: Duration::from_millis(cfg.connect_timeout_ms.max(1)),
+            request_timeout: Duration::from_millis(cfg.request_timeout_ms.max(1)),
+            max_frame_bytes: cfg.max_frame_bytes,
+            stream: None,
+        }
+    }
+
+    fn ensure_connected(&mut self) -> io::Result<()> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let addr = resolve(&self.addr)?;
+        let s = TcpStream::connect_timeout(&addr, self.connect_timeout)?;
+        let _ = s.set_nodelay(true);
+        s.set_read_timeout(Some(self.request_timeout.min(Duration::from_millis(50))))?;
+        s.set_write_timeout(Some(self.request_timeout))?;
+        self.stream = Some(s);
+        Ok(())
+    }
+
+    /// Forward one request and read its reply, bounded end to end by
+    /// the request timeout. Any error leaves the client disconnected.
+    fn call(&mut self, req: &WireRequest) -> io::Result<WireResponse> {
+        self.ensure_connected()?;
+        let deadline = Instant::now() + self.request_timeout;
+        let outcome = (|| {
+            let stream = self.stream.as_mut().expect("connected above");
+            write_frame(stream, &req.to_json())?;
+            match read_frame_deadline(stream, self.max_frame_bytes, deadline)? {
+                FrameRead::Payload(p) => WireResponse::from_json(&p)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+                FrameRead::Closed => Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "replica closed before replying",
+                )),
+            }
+        })();
+        match outcome {
+            Ok(resp) if resp.id() == req.id => Ok(resp),
+            Ok(_) => {
+                // A reply for some other id means the stream is
+                // desynchronized (e.g. a late reply to a timed-out
+                // predecessor); drop the connection rather than serve
+                // someone else's estimate.
+                self.stream = None;
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "reply id mismatch; resetting replica connection",
+                ))
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Read one frame with a hard deadline: socket read timeouts recur
+/// until the deadline, then surface as `TimedOut`. Unlike
+/// [`crate::wire::read_frame`] this can never stall the router's
+/// dispatcher on a wedged replica mid-frame.
+fn read_frame_deadline(
+    stream: &mut TcpStream,
+    max: usize,
+    deadline: Instant,
+) -> io::Result<FrameRead> {
+    let timeoutish = |e: &io::Error| {
+        matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    };
+    let mut hdr = [0u8; FRAME_HEADER_BYTES];
+    let mut got = 0;
+    while got < hdr.len() {
+        match stream.read(&mut hdr[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(FrameRead::Closed)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "replica closed mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if timeoutish(&e) => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "reply deadline"));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let declared = u32::from_be_bytes(hdr) as usize;
+    if declared > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("reply frame of {declared} bytes exceeds cap {max}"),
+        ));
+    }
+    let mut buf = vec![0u8; declared];
+    let mut got = 0;
+    while got < declared {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "replica closed mid-frame",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if timeoutish(&e) => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "reply deadline"));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let payload = String::from_utf8(buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "reply not UTF-8"))?;
+    Ok(FrameRead::Payload(payload))
+}
+
+struct ReplicaSlot {
+    client: ReplicaClient,
+    breaker: CircuitBreaker,
+}
+
+/// The router's network backend: shard placement + replica failover.
+/// Plug it into [`crate::server::start`] to get a wire-speaking router
+/// process with the full frontend hardening for free.
+pub struct RouterBackend {
+    map: ShardMap,
+    slots: Vec<Vec<ReplicaSlot>>,
+    rr: Vec<usize>,
+    dark_warned: Vec<bool>,
+    shared: Arc<ClusterShared>,
+    prior_speed_mps: f64,
+    epoch: Instant,
+}
+
+impl RouterBackend {
+    /// A router over `cfg`'s topology publishing into `shared` (build
+    /// `shared` with [`ClusterShared::new`] from the same config).
+    pub fn new(cfg: ClusterConfig, shared: Arc<ClusterShared>) -> RouterBackend {
+        assert_eq!(
+            cfg.shards.len(),
+            shared.topology().len(),
+            "shared state must come from the same topology"
+        );
+        let map = ShardMap::new(cfg.shards.len(), cfg.cells, cfg.region, cfg.seed);
+        let slots: Vec<Vec<ReplicaSlot>> = cfg
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, replicas)| {
+                replicas
+                    .iter()
+                    .enumerate()
+                    .map(|(r, addr)| ReplicaSlot {
+                        client: ReplicaClient::new(addr.wire.clone(), &cfg),
+                        // Breaker names are 'static for the event plane;
+                        // one small leak per replica at startup.
+                        breaker: CircuitBreaker::new(
+                            Box::leak(format!("shard{s}_replica{r}").into_boxed_str()),
+                            cfg.breaker,
+                        ),
+                    })
+                    .collect()
+            })
+            .collect();
+        let n_shards = slots.len();
+        RouterBackend {
+            map,
+            slots,
+            rr: vec![0; n_shards],
+            dark_warned: vec![false; n_shards],
+            shared,
+            prior_speed_mps: cfg.prior_speed_mps,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The router's placement map (tests and bins derive expected
+    /// shards from it).
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn note_failover(&self, shard: usize, attempts: u32) {
+        self.shared.failovers.fetch_add(1, Ordering::Relaxed);
+        counter("cluster.failovers").inc();
+        event(Level::Warn, "cluster.failover")
+            .field("shard", shard as u64)
+            .field("attempts_before_success", attempts as u64)
+            .emit();
+    }
+
+    fn note_forward_ok(&mut self, shard: usize, ri: usize, skipped_or_failed: u32) {
+        self.shared.forwarded.fetch_add(1, Ordering::Relaxed);
+        self.shared.replicas[shard][ri]
+            .forwarded
+            .fetch_add(1, Ordering::Relaxed);
+        counter("cluster.forwarded").inc();
+        self.dark_warned[shard] = false;
+        if skipped_or_failed > 0 {
+            self.note_failover(shard, skipped_or_failed);
+        }
+    }
+
+    fn route_one(&mut self, nr: NetRequest) -> WireResponse {
+        let req = nr.req;
+        let q = req.query;
+        if !(q.o_lng.is_finite()
+            && q.o_lat.is_finite()
+            && q.d_lng.is_finite()
+            && q.d_lat.is_finite()
+            && q.t_dep.is_finite())
+        {
+            // The oracle's admission check would reject this anyway;
+            // answering locally saves a replica round trip.
+            return WireResponse::error(req.id, WireErrorCode::InvalidQuery, "non-finite field");
+        }
+        let shard = self.map.shard_of(&q);
+        let n = self.slots[shard].len();
+        let start = self.rr[shard] % n;
+        self.rr[shard] = self.rr[shard].wrapping_add(1);
+        let mut skipped_or_failed = 0u32;
+        for k in 0..n {
+            let ri = (start + k) % n;
+            if self.shared.health(shard, ri) == ReplicaHealth::Unready {
+                skipped_or_failed += 1;
+                continue;
+            }
+            let now = self.now_us();
+            if !self.slots[shard][ri].breaker.allow(now) {
+                skipped_or_failed += 1;
+                continue;
+            }
+            let outcome = self.slots[shard][ri].client.call(&req);
+            let now = self.now_us();
+            match outcome {
+                Ok(resp @ WireResponse::Ok { .. }) => {
+                    self.slots[shard][ri].breaker.record_success(now);
+                    self.note_forward_ok(shard, ri, skipped_or_failed);
+                    return resp;
+                }
+                Ok(resp @ WireResponse::Err { code, .. }) => {
+                    if code.is_retryable() {
+                        // The replica refused for capacity/drain
+                        // reasons — a sibling may well accept.
+                        self.slots[shard][ri].breaker.record_failure(now);
+                        self.shared.refusals.fetch_add(1, Ordering::Relaxed);
+                        self.shared.replicas[shard][ri]
+                            .refusals
+                            .fetch_add(1, Ordering::Relaxed);
+                        counter("cluster.replica_refusals").inc();
+                        skipped_or_failed += 1;
+                    } else {
+                        // The request is at fault, not the replica:
+                        // propagate the typed error verbatim.
+                        self.slots[shard][ri].breaker.record_success(now);
+                        self.note_forward_ok(shard, ri, skipped_or_failed);
+                        return resp;
+                    }
+                }
+                Err(_) => {
+                    self.slots[shard][ri].breaker.record_failure(now);
+                    self.shared.transport_errors.fetch_add(1, Ordering::Relaxed);
+                    self.shared.replicas[shard][ri]
+                        .transport_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    counter("cluster.replica_transport_errors").inc();
+                    skipped_or_failed += 1;
+                }
+            }
+        }
+        // Every replica skipped, refused, or failed: the shard is dark.
+        // Degrade to the router-local prior — an answer, never a hang.
+        self.shared.prior_serves.fetch_add(1, Ordering::Relaxed);
+        counter("cluster.prior_serves").inc();
+        if !self.dark_warned[shard] {
+            self.dark_warned[shard] = true;
+            event(Level::Warn, "cluster.shard_dark")
+                .field("shard", shard as u64)
+                .field("replicas", n as u64)
+                .emit();
+        }
+        WireResponse::Ok {
+            id: req.id,
+            seconds: haversine_seconds(&q, self.prior_speed_mps),
+            rung: PRIOR_RUNG.to_string(),
+            queue_wait_us: nr.age_us,
+            service_us: 0,
+            deadline_met: true,
+            trace: req.trace,
+        }
+    }
+
+    fn publish(&self) {
+        for (s, replicas) in self.slots.iter().enumerate() {
+            for (r, slot) in replicas.iter().enumerate() {
+                self.shared
+                    .publish_breaker(s, r, slot.breaker.state(), slot.breaker.trips());
+            }
+        }
+        gauge("cluster.quorum_ready").set(if self.shared.quorum_ready() { 1.0 } else { 0.0 });
+    }
+}
+
+impl NetBackend for RouterBackend {
+    fn process(&mut self, batch: Vec<NetRequest>) -> Vec<(usize, WireResponse)> {
+        let out = batch
+            .into_iter()
+            .enumerate()
+            .map(|(i, nr)| {
+                let resp = self.route_one(nr);
+                (i, resp)
+            })
+            .collect();
+        self.publish();
+        out
+    }
+
+    fn on_tick(&mut self) {
+        self.publish();
+    }
+}
+
+/// Great-circle travel time at a constant speed — the router's shard-dark
+/// prior (the same physics as the oracle's own last-rung fallback).
+pub fn haversine_seconds(q: &WireQuery, speed_mps: f64) -> f64 {
+    const R_EARTH_M: f64 = 6_371_000.0;
+    let (lat1, lat2) = (q.o_lat.to_radians(), q.d_lat.to_radians());
+    let dlat = (q.d_lat - q.o_lat).to_radians();
+    let dlng = (q.d_lng - q.o_lng).to_radians();
+    let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlng / 2.0).sin().powi(2);
+    let meters = 2.0 * R_EARTH_M * a.sqrt().min(1.0).asin();
+    let v = if speed_mps.is_finite() && speed_mps > 0.1 {
+        speed_mps
+    } else {
+        10.0
+    };
+    (meters / v).clamp(0.0, 86_400.0)
+}
+
+/// Render the router's `/varz` JSON body (`odt-router-varz/v1`): server
+/// state, wire-port connection counters, and the cluster block.
+pub fn render_router_varz(
+    state: &str,
+    conn: &ConnStatsSnapshot,
+    cluster: &ClusterSnapshot,
+) -> String {
+    let mut o = String::with_capacity(1024);
+    o.push_str("{\"schema\":\"odt-router-varz/v1\",\"state\":");
+    push_str_escaped(&mut o, state);
+    o.push_str(",\"conns\":{");
+    o.push_str(&format!(
+        "\"opened\":{},\"closed\":{},\"active\":{},\"frames_in\":{},\"frames_out\":{},\
+         \"malformed\":{},\"rejected_capacity\":{},\"rejected_draining\":{}}}",
+        conn.opened,
+        conn.closed,
+        conn.active,
+        conn.frames_in,
+        conn.frames_out,
+        conn.malformed,
+        conn.rejected_capacity,
+        conn.rejected_draining
+    ));
+    o.push_str(&format!(
+        ",\"cluster\":{{\"quorum_ready\":{},\"forwarded_total\":{},\"failovers_total\":{},\
+         \"prior_serves_total\":{},\"refusals_total\":{},\"transport_errors_total\":{},\"shards\":[",
+        cluster.quorum_ready,
+        cluster.forwarded,
+        cluster.failovers,
+        cluster.prior_serves,
+        cluster.refusals,
+        cluster.transport_errors
+    ));
+    for (s, replicas) in cluster.shards.iter().enumerate() {
+        if s > 0 {
+            o.push(',');
+        }
+        o.push_str("{\"replicas\":[");
+        for (r, rep) in replicas.iter().enumerate() {
+            if r > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"addr\":");
+            push_str_escaped(&mut o, &rep.addr);
+            o.push_str(",\"health\":");
+            push_str_escaped(&mut o, rep.health);
+            o.push_str(",\"breaker\":");
+            push_str_escaped(&mut o, rep.breaker);
+            o.push_str(&format!(
+                ",\"breaker_trips\":{},\"forwarded\":{},\"refusals\":{},\"transport_errors\":{}}}",
+                rep.breaker_trips, rep.forwarded, rep.refusals, rep.transport_errors
+            ));
+        }
+        o.push_str("]}");
+    }
+    o.push_str("]}}");
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admin::{start_admin, AdminConfig, AdminSources};
+    use crate::server::{start, EchoBackend, ServerConfig, ServerHandle};
+    use odt_obs::SplitMix64;
+
+    fn echo_server() -> ServerHandle {
+        let cfg = ServerConfig {
+            drain_budget_ms: 500,
+            ..ServerConfig::default()
+        };
+        start(cfg, EchoBackend::instant()).expect("echo server")
+    }
+
+    fn test_cluster_cfg(handles: &[Vec<&ServerHandle>]) -> ClusterConfig {
+        let shards = handles
+            .iter()
+            .map(|replicas| {
+                replicas
+                    .iter()
+                    .map(|h| ReplicaAddr::wire_only(h.addr().to_string()))
+                    .collect()
+            })
+            .collect();
+        let mut cfg = ClusterConfig::new(shards);
+        // Fail fast in tests: a dead loopback port refuses instantly,
+        // but keep timeouts tight anyway.
+        cfg.connect_timeout_ms = 200;
+        cfg.request_timeout_ms = 1_000;
+        cfg
+    }
+
+    fn request(id: u64, q: WireQuery) -> NetRequest {
+        NetRequest {
+            req: WireRequest {
+                id,
+                query: q,
+                deadline_ms: None,
+                trace: None,
+            },
+            age_us: 0,
+        }
+    }
+
+    fn random_query(rng: &mut SplitMix64) -> WireQuery {
+        let r = Region::default();
+        WireQuery {
+            o_lng: r.lng0 + rng.next_f64() * (r.lng1 - r.lng0),
+            o_lat: r.lat0 + rng.next_f64() * (r.lat1 - r.lat0),
+            d_lng: r.lng0 + rng.next_f64() * (r.lng1 - r.lng0),
+            d_lat: r.lat0 + rng.next_f64() * (r.lat1 - r.lat0),
+            t_dep: 28_800.0,
+        }
+    }
+
+    #[test]
+    fn haversine_prior_is_sane() {
+        let zero = WireQuery {
+            o_lng: 104.0,
+            o_lat: 30.7,
+            d_lng: 104.0,
+            d_lat: 30.7,
+            t_dep: 0.0,
+        };
+        assert_eq!(haversine_seconds(&zero, 10.0), 0.0);
+        // One degree of latitude ≈ 111.2 km; at 10 m/s that's ~11120 s.
+        let one_deg = WireQuery {
+            o_lng: 104.0,
+            o_lat: 30.0,
+            d_lng: 104.0,
+            d_lat: 31.0,
+            t_dep: 0.0,
+        };
+        let s = haversine_seconds(&one_deg, 10.0);
+        assert!((10_500.0..11_700.0).contains(&s), "{s}");
+        // Bad speed falls back instead of dividing by zero.
+        assert!(haversine_seconds(&one_deg, 0.0).is_finite());
+        assert!(haversine_seconds(&one_deg, f64::NAN).is_finite());
+    }
+
+    #[test]
+    fn routes_requests_and_fails_over_when_replicas_die() {
+        let mut handles: Vec<Vec<Option<ServerHandle>>> = vec![
+            vec![Some(echo_server()), Some(echo_server())],
+            vec![Some(echo_server()), Some(echo_server())],
+        ];
+        let cfg = test_cluster_cfg(&[
+            vec![
+                handles[0][0].as_ref().unwrap(),
+                handles[0][1].as_ref().unwrap(),
+            ],
+            vec![
+                handles[1][0].as_ref().unwrap(),
+                handles[1][1].as_ref().unwrap(),
+            ],
+        ]);
+        let shared = ClusterShared::new(&cfg);
+        let mut router = RouterBackend::new(cfg, Arc::clone(&shared));
+        let mut rng = SplitMix64::new(11);
+
+        // Healthy cluster: every request is answered by a replica.
+        let batch: Vec<NetRequest> = (0..40)
+            .map(|i| request(i, random_query(&mut rng)))
+            .collect();
+        for (_, resp) in router.process(batch) {
+            match resp {
+                WireResponse::Ok { ref rung, .. } => assert_eq!(rung, "echo"),
+                other => panic!("healthy cluster refused: {other:?}"),
+            }
+        }
+        assert_eq!(shared.snapshot().forwarded, 40);
+        assert_eq!(shared.failovers(), 0);
+
+        // Kill one replica of shard 0: every request still succeeds,
+        // and the ones that first tried the dead replica fail over.
+        handles[0][0].take().unwrap().drain();
+        let batch: Vec<NetRequest> = (100..180)
+            .map(|i| request(i, random_query(&mut rng)))
+            .collect();
+        for (_, resp) in router.process(batch) {
+            match resp {
+                WireResponse::Ok { ref rung, .. } => assert_eq!(rung, "echo"),
+                other => panic!("replica death became client-visible: {other:?}"),
+            }
+        }
+        assert!(
+            shared.failovers() > 0,
+            "dead first-choice replicas must show up as failovers"
+        );
+        assert_eq!(shared.prior_serves(), 0, "sibling held the shard up");
+
+        // Kill the sibling too: shard 0 is dark. Its requests degrade
+        // to the router prior; shard 1 keeps being replica-served.
+        handles[0][1].take().unwrap().drain();
+        let map = router.map();
+        let mut dark = Vec::new();
+        let mut lit = Vec::new();
+        let mut id = 1_000u64;
+        while dark.len() < 5 || lit.len() < 5 {
+            let q = random_query(&mut rng);
+            id += 1;
+            if map.shard_of(&q) == 0 {
+                dark.push(request(id, q));
+            } else {
+                lit.push(request(id, q));
+            }
+        }
+        for (_, resp) in router.process(dark) {
+            match resp {
+                WireResponse::Ok { ref rung, .. } => assert_eq!(rung, PRIOR_RUNG),
+                other => panic!("dark shard must degrade, not error: {other:?}"),
+            }
+        }
+        for (_, resp) in router.process(lit) {
+            match resp {
+                WireResponse::Ok { ref rung, .. } => assert_eq!(rung, "echo"),
+                other => panic!("healthy shard affected by the other: {other:?}"),
+            }
+        }
+        assert!(shared.prior_serves() >= 5);
+
+        let snap = shared.snapshot();
+        assert!(snap.transport_errors > 0);
+        let body = render_router_varz("running", &ConnStatsSnapshot::default(), &snap);
+        assert!(
+            body.starts_with("{\"schema\":\"odt-router-varz/v1\""),
+            "{body}"
+        );
+        assert!(body.contains("\"failovers_total\":"), "{body}");
+        assert!(body.contains("\"breaker\":"), "{body}");
+
+        for h in handles.into_iter().flatten().flatten() {
+            h.drain();
+        }
+    }
+
+    #[test]
+    fn unready_replicas_are_skipped_without_a_connection_attempt() {
+        let live = echo_server();
+        // The "dead" replica address points at a bound-then-dropped
+        // listener: connecting would refuse, but health says skip.
+        let dead_addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let mut cfg = test_cluster_cfg(&[vec![&live]]);
+        cfg.shards[0].insert(0, ReplicaAddr::wire_only(dead_addr));
+        let shared = ClusterShared::new(&cfg);
+        shared.set_health(0, 0, ReplicaHealth::Unready);
+        let mut router = RouterBackend::new(cfg, Arc::clone(&shared));
+        let mut rng = SplitMix64::new(3);
+        let batch: Vec<NetRequest> = (0..8).map(|i| request(i, random_query(&mut rng))).collect();
+        for (_, resp) in router.process(batch) {
+            assert!(matches!(resp, WireResponse::Ok { .. }), "{resp:?}");
+        }
+        let snap = shared.snapshot();
+        assert_eq!(
+            snap.transport_errors, 0,
+            "skipping by health must not attempt connects"
+        );
+        assert!(snap.failovers > 0, "health skips still count as failovers");
+        live.drain();
+    }
+
+    #[test]
+    fn invalid_queries_are_answered_locally_with_a_typed_error() {
+        let live = echo_server();
+        let cfg = test_cluster_cfg(&[vec![&live]]);
+        let shared = ClusterShared::new(&cfg);
+        let mut router = RouterBackend::new(cfg, Arc::clone(&shared));
+        let bad = request(
+            7,
+            WireQuery {
+                o_lng: f64::NAN,
+                o_lat: 30.7,
+                d_lng: 104.1,
+                d_lat: 30.7,
+                t_dep: 0.0,
+            },
+        );
+        match &router.process(vec![bad])[0].1 {
+            WireResponse::Err { id, code, .. } => {
+                assert_eq!(*id, 7);
+                assert_eq!(*code, WireErrorCode::InvalidQuery);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(shared.snapshot().forwarded, 0, "never left the router");
+        live.drain();
+    }
+
+    #[test]
+    fn quorum_needs_one_routable_replica_per_shard() {
+        let cfg = ClusterConfig::new(vec![
+            vec![
+                ReplicaAddr::with_admin("127.0.0.1:1", "127.0.0.1:2"),
+                ReplicaAddr::with_admin("127.0.0.1:3", "127.0.0.1:4"),
+            ],
+            vec![ReplicaAddr::wire_only("127.0.0.1:5")],
+        ]);
+        let shared = ClusterShared::new(&cfg);
+        // Shard 1's replica is unprobeable → optimistic. Shard 0 is all
+        // unknown-but-probeable → not yet ready.
+        assert!(!shared.quorum_ready(), "probeable replicas start unproven");
+        shared.set_health(0, 1, ReplicaHealth::Ready);
+        assert!(shared.quorum_ready());
+        shared.set_health(0, 1, ReplicaHealth::Unready);
+        assert!(!shared.quorum_ready(), "last ready replica of a shard gone");
+        shared.set_health(0, 0, ReplicaHealth::Ready);
+        assert!(shared.quorum_ready());
+        // An unready *unprobeable* replica also counts against quorum.
+        shared.set_health(1, 0, ReplicaHealth::Unready);
+        assert!(!shared.quorum_ready());
+    }
+
+    #[test]
+    fn probe_readyz_reads_the_admin_plane() {
+        let admin = start_admin(AdminConfig::default(), AdminSources::default()).unwrap();
+        let addr = admin.addr().to_string();
+        let t = Duration::from_millis(500);
+        assert_eq!(probe_readyz(&addr, t), Some(false), "starts unready");
+        admin.set_ready(true);
+        assert_eq!(probe_readyz(&addr, t), Some(true));
+        admin.set_ready(false);
+        assert_eq!(probe_readyz(&addr, t), Some(false));
+        admin.shutdown();
+        // A dead endpoint is indistinguishable from unready: None.
+        let free = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        assert_eq!(probe_readyz(&free, t), None);
+    }
+
+    #[test]
+    fn prober_publishes_health_transitions() {
+        let admin = start_admin(AdminConfig::default(), AdminSources::default()).unwrap();
+        let cfg = ClusterConfig::new(vec![vec![ReplicaAddr::with_admin(
+            "127.0.0.1:9",
+            admin.addr().to_string(),
+        )]]);
+        let shared = ClusterShared::new(&cfg);
+        let prober = start_health_prober(Arc::clone(&shared), 10, 200);
+        let wait_for = |want: ReplicaHealth| {
+            let t0 = Instant::now();
+            while shared.health(0, 0) != want {
+                assert!(
+                    t0.elapsed() < Duration::from_secs(5),
+                    "health never became {:?}",
+                    want
+                );
+                thread::sleep(Duration::from_millis(5));
+            }
+        };
+        wait_for(ReplicaHealth::Unready);
+        assert!(!shared.quorum_ready());
+        admin.set_ready(true);
+        wait_for(ReplicaHealth::Ready);
+        assert!(shared.quorum_ready());
+        admin.set_ready(false);
+        wait_for(ReplicaHealth::Unready);
+        prober.shutdown();
+        admin.shutdown();
+    }
+}

@@ -11,19 +11,39 @@
 //! ([`admin`]): an off-band HTTP endpoint serving Prometheus
 //! `/metrics`, `/healthz`/`/readyz` probes, `/varz`/`/tracez` JSON and
 //! operator-triggered flight-recorder dumps.
+//!
+//! On top of the single-process stack sits the sharded cluster: grid-
+//! region placement by rendezvous hashing ([`shard`]), a router with
+//! per-replica health probing, circuit-breaker failover, and a
+//! shard-dark haversine prior ([`cluster`]), plus deterministic
+//! replica-kill and shard-partition drills ([`cluster_drill`]).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admin;
+pub mod cluster;
+pub mod cluster_drill;
 pub mod drill;
 pub mod json;
 pub mod loadgen;
 pub mod server;
+pub mod shard;
 pub mod signal;
 pub mod wire;
 
-pub use admin::{render_tracez, render_varz, start_admin, AdminConfig, AdminHandle, AdminSources};
+pub use admin::{
+    render_tracez, render_varz, start_admin, AdminConfig, AdminHandle, AdminSources, SwapFn, VarzFn,
+};
+pub use cluster::{
+    haversine_seconds, probe_readyz, render_router_varz, start_health_prober, ClusterConfig,
+    ClusterShared, ClusterSnapshot, ProberHandle, ReplicaAddr, ReplicaHealth, ReplicaSnapshot,
+    RouterBackend, PRIOR_RUNG,
+};
+pub use cluster_drill::{
+    cluster_drill_names, run_cluster_drills, run_cluster_replica_kill,
+    run_cluster_router_partition, ClusterDrillOutcome,
+};
 pub use drill::{
     net_scenarios, run_net_scenario, run_net_scenario_with, NetDrillOutcome, NetExpectations,
     NetScenarioKind, NetScenarioSpec,
@@ -35,6 +55,7 @@ pub use server::{
     start, start_with, ConnStatsSnapshot, DrainReport, EchoBackend, FrontendBridge, NetBackend,
     NetRequest, ServerConfig, ServerHandle, ServerStatsHandle, SharedFrontendStats,
 };
+pub use shard::ShardMap;
 pub use wire::{
     read_frame, write_frame, FrameError, FrameRead, WireErrorCode, WireQuery, WireRequest,
     WireResponse, WIRE_SCHEMA,

@@ -126,6 +126,12 @@ pub struct LoadConfig {
     pub trace_every: u64,
     /// Frame cap for reads.
     pub max_frame_bytes: usize,
+    /// Total budget for establishing each connection, ms. Refused
+    /// connects (server still booting, listener racing the generator)
+    /// are retried with doubling backoff until the budget runs out —
+    /// a warmup race becomes a counted retry instead of a dead worker.
+    /// `0` restores the old fail-fast behaviour.
+    pub connect_retry_ms: u64,
 }
 
 impl Default for LoadConfig {
@@ -145,6 +151,39 @@ impl Default for LoadConfig {
             t_dep_range: (6.0 * 3600.0, 22.0 * 3600.0),
             trace_every: 64,
             max_frame_bytes: crate::wire::DEFAULT_MAX_FRAME_BYTES,
+            connect_retry_ms: 10_000,
+        }
+    }
+}
+
+/// Connect with bounded retry-and-backoff: transient refusals during
+/// server warmup (`ECONNREFUSED`, resets while the listener comes up)
+/// back off 50 ms doubling to 1 s until [`LoadConfig::connect_retry_ms`]
+/// is exhausted; then the last error surfaces. Returns the stream and
+/// how many retries it took.
+fn connect_with_retry(cfg: &LoadConfig) -> io::Result<(TcpStream, u64)> {
+    let budget = Duration::from_millis(cfg.connect_retry_ms);
+    let t0 = Instant::now();
+    let mut backoff = Duration::from_millis(50);
+    let mut retries = 0u64;
+    loop {
+        match TcpStream::connect(&cfg.addr) {
+            Ok(s) => return Ok((s, retries)),
+            Err(e) => {
+                let retryable = matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionRefused
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::ConnectionAborted
+                        | io::ErrorKind::AddrNotAvailable
+                );
+                if !retryable || t0.elapsed() + backoff > budget {
+                    return Err(e);
+                }
+                thread::sleep(backoff);
+                retries += 1;
+                backoff = (backoff * 2).min(Duration::from_millis(1_000));
+            }
         }
     }
 }
@@ -395,6 +434,9 @@ pub struct LoadReport {
     pub send_lag_max_ms: f64,
     /// Requests that carried a trace id.
     pub traces_sent: u64,
+    /// Connection attempts retried during warmup (transient refusals
+    /// absorbed by the connect backoff instead of killing a worker).
+    pub connect_retries: u64,
     /// Achieved key skew over coarse OD cells (what the cache actually
     /// saw, regardless of the knobs requested).
     pub key_skew: KeySkew,
@@ -411,6 +453,7 @@ struct ConnTally {
     send_lag_max_us: u64,
     traces_sent: u64,
     keys: HashMap<u32, u64>,
+    connect_retries: u64,
 }
 
 impl ConnTally {
@@ -426,6 +469,7 @@ impl ConnTally {
             send_lag_max_us: 0,
             traces_sent: 0,
             keys: HashMap::new(),
+            connect_retries: 0,
         }
     }
 }
@@ -482,6 +526,7 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         report.lost += t.lost;
         report.deadline_met += t.deadline_met;
         report.traces_sent += t.traces_sent;
+        report.connect_retries += t.connect_retries;
         lag_max = lag_max.max(t.send_lag_max_us);
         for (k, v) in t.errors {
             *errors.entry(k.to_string()).or_insert(0) += v;
@@ -571,7 +616,7 @@ fn make_request(
 }
 
 fn closed_loop(cfg: &LoadConfig, conn_idx: usize, next_trace: &AtomicU64) -> io::Result<ConnTally> {
-    let mut stream = TcpStream::connect(&cfg.addr)?;
+    let (mut stream, connect_retries) = connect_with_retry(cfg)?;
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     let mut mixer = OdMixer::new(
         cfg.seed ^ (conn_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
@@ -583,6 +628,7 @@ fn closed_loop(cfg: &LoadConfig, conn_idx: usize, next_trace: &AtomicU64) -> io:
     .with_zipf(cfg.zipf_s)
     .with_drift(cfg.center_drift);
     let mut tally = ConnTally::new();
+    tally.connect_retries = connect_retries;
     let t0 = Instant::now();
     let mut id = 1u64;
     while t0.elapsed() < cfg.duration {
@@ -625,7 +671,7 @@ fn open_loop(
     rate_rps: f64,
     next_trace: &AtomicU64,
 ) -> io::Result<ConnTally> {
-    let stream = TcpStream::connect(&cfg.addr)?;
+    let (stream, connect_retries) = connect_with_retry(cfg)?;
     stream.set_read_timeout(Some(Duration::from_millis(50)))?;
     let mut wstream = stream.try_clone()?;
 
@@ -662,6 +708,7 @@ fn open_loop(
     let inflight: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
     let done_sending = Arc::new(AtomicBool::new(false));
     let tally = Arc::new(Mutex::new(ConnTally::new()));
+    tally.lock().unwrap().connect_retries = connect_retries;
 
     // Receiver: classifies replies against scheduled send times.
     let receiver = {
@@ -905,6 +952,58 @@ mod tests {
         assert_eq!(report.mode, "closed");
         let drained = h.drain();
         assert_eq!(drained.stats.active, 0);
+    }
+
+    #[test]
+    fn warmup_connect_refusals_are_retried_not_fatal() {
+        // Reserve a port, then leave it closed while the generator
+        // starts: the first connects get ECONNREFUSED and must be
+        // absorbed by the retry backoff, not kill the workers.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let generator = {
+            let addr = addr.to_string();
+            thread::spawn(move || {
+                run(&LoadConfig {
+                    addr,
+                    conns: 2,
+                    duration: Duration::from_millis(300),
+                    mode: LoadMode::Closed,
+                    connect_retry_ms: 10_000,
+                    ..LoadConfig::default()
+                })
+            })
+        };
+        thread::sleep(Duration::from_millis(300));
+        let h = start(
+            ServerConfig {
+                addr: addr.to_string(),
+                ..server_cfg()
+            },
+            EchoBackend::instant(),
+        )
+        .unwrap();
+        let report = generator
+            .join()
+            .unwrap()
+            .expect("retried connects must eventually succeed");
+        assert!(report.connect_retries > 0, "{report:?}");
+        assert!(report.ok > 0, "{report:?}");
+        assert_eq!(report.lost, 0, "{report:?}");
+        let _ = h.drain();
+
+        // connect_retry_ms = 0 restores fail-fast: the refusal surfaces.
+        let err = run(&LoadConfig {
+            addr: addr.to_string(),
+            conns: 1,
+            duration: Duration::from_millis(100),
+            mode: LoadMode::Closed,
+            connect_retry_ms: 0,
+            ..LoadConfig::default()
+        });
+        assert!(err.is_err(), "fail-fast mode must surface the refusal");
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Property tests for the cluster's rendezvous shard placement: the
+//! three contracts the router leans on (`odt_net::shard` module docs) —
+//! placement is a pure function of `(key, shard count, seed)`, keys
+//! balance across shards within statistical tolerance, and growing the
+//! cluster by one shard only moves keys *onto* the new shard, an
+//! expected `1/(N+1)` fraction.
+
+use odt_net::{Region, ShardMap};
+use odt_obs::SplitMix64;
+use proptest::prelude::*;
+
+fn map(shards: usize, cells: u32, seed: u64) -> ShardMap {
+    ShardMap::new(shards, cells, Region::default(), seed)
+}
+
+/// A stream of well-spread placement keys (packed OD cell pairs live in
+/// the same u64 space; the scores only see the mixed key).
+fn keys(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two routers built from the same `(shards, cells, seed)` config
+    /// agree on every key, and every placement is in range — the
+    /// precondition for retrying a request against sibling replicas.
+    #[test]
+    fn placement_is_deterministic_and_in_range(
+        shards in 1usize..=9,
+        cells in 1u32..=128,
+        seed in any::<u64>(),
+        key in any::<u64>(),
+    ) {
+        let a = map(shards, cells, seed);
+        let b = map(shards, cells, seed);
+        let s = a.shard_of_key(key);
+        prop_assert_eq!(s, b.shard_of_key(key));
+        prop_assert!(s < shards);
+    }
+
+    /// Arbitrary coordinate bit patterns — NaN, infinities, way out of
+    /// region — route without panicking and stay in range; rejection is
+    /// the downstream oracle's job, never the router's.
+    #[test]
+    fn any_coordinates_route_in_range(
+        shards in 1usize..=6,
+        bits in prop::array::uniform4(any::<u64>()),
+        t_dep in any::<f64>(),
+    ) {
+        let m = map(shards, 64, 0xC1A5);
+        let q = odt_net::WireQuery {
+            o_lng: f64::from_bits(bits[0]),
+            o_lat: f64::from_bits(bits[1]),
+            d_lng: f64::from_bits(bits[2]),
+            d_lat: f64::from_bits(bits[3]),
+            t_dep,
+        };
+        prop_assert!(m.shard_of(&q) < shards);
+    }
+}
+
+proptest! {
+    // The statistical properties sweep thousands of keys per case; a
+    // smaller case count keeps the suite fast while still varying the
+    // score space (every case is a fresh seed).
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Rendezvous scores are i.i.d. uniform per shard, so keys split
+    /// evenly: every shard's share stays within ±30% of the mean (many
+    /// standard deviations of slack at this key count).
+    #[test]
+    fn keys_balance_within_tolerance(
+        shards in 2usize..=8,
+        seed in any::<u64>(),
+        key_seed in any::<u64>(),
+    ) {
+        let m = map(shards, 64, seed);
+        let mut counts = vec![0usize; shards];
+        let n_keys = 4_000;
+        for k in keys(key_seed, n_keys) {
+            counts[m.shard_of_key(k)] += 1;
+        }
+        let mean = n_keys as f64 / shards as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (c as f64) > mean * 0.7 && (c as f64) < mean * 1.3,
+                "shard {}/{} holds {} of {} keys (mean {:.0})",
+                i, shards, c, n_keys, mean
+            );
+        }
+    }
+
+    /// Growing the cluster from `N` to `N+1` shards never shuffles keys
+    /// between the old shards: a key's scores on them are unchanged, so
+    /// every remapped key lands on the new shard, and the moved
+    /// fraction is the expected `1/(N+1)` within generous slack.
+    #[test]
+    fn adding_a_shard_only_moves_the_expected_fraction(
+        shards in 1usize..=8,
+        seed in any::<u64>(),
+        key_seed in any::<u64>(),
+    ) {
+        let old = map(shards, 64, seed);
+        let new = map(shards + 1, 64, seed);
+        let n_keys = 4_000;
+        let mut moved = 0usize;
+        for k in keys(key_seed, n_keys) {
+            let before = old.shard_of_key(k);
+            let after = new.shard_of_key(k);
+            if before != after {
+                prop_assert_eq!(
+                    after, shards,
+                    "a remapped key must land on the new shard"
+                );
+                moved += 1;
+            }
+        }
+        let expect = n_keys as f64 / (shards + 1) as f64;
+        prop_assert!(
+            (moved as f64) > expect * 0.5 && (moved as f64) < expect * 1.6,
+            "moved {} keys, expected ≈{:.0}",
+            moved, expect
+        );
+    }
+}

@@ -26,9 +26,12 @@
 //! real traffic keeps the hot set warm; every probe also feeds the shared
 //! [`HotTracker`] the background [`crate::cache::Prewarmer`] drains.
 
+use std::cell::Cell;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 
-use odt_core::{Dot, PitSampler};
+use odt_core::{Dot, ModelRegistry, PersistError, PitSampler, RegistryError};
 use odt_traj::OdtInput;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,6 +40,96 @@ use crate::cache::{CacheLookup, EstimateCache, HotTracker, OdKey};
 use crate::chaos::{ChaosConfig, ChaosExecutor};
 use crate::frontend::{CacheProbe, FrontendConfig, RungExecutor, ServeFrontend};
 use crate::ladder::Rung;
+use crate::swap::{SwapError, SwapHost};
+
+/// The hot-swappable model slot: which [`Dot`] the executor serves *right
+/// now*, plus its registry version. Swapping is a single `Cell` store on
+/// the dispatcher thread — an in-flight request keeps the reference it
+/// already read; the next request sees the new model. Models are
+/// intentionally leaked on install (`&'static Dot`): a process sees a
+/// handful of swaps over its lifetime, and leaking sidesteps any
+/// tear-down race with requests still holding the old reference.
+pub struct ModelSlot {
+    current: Cell<&'static Dot>,
+    version: Cell<u64>,
+    swaps: Cell<u64>,
+}
+
+impl ModelSlot {
+    /// A slot serving `model` as registry version `version`.
+    pub fn new(model: &'static Dot, version: u64) -> Rc<ModelSlot> {
+        Rc::new(ModelSlot {
+            current: Cell::new(model),
+            version: Cell::new(version),
+            swaps: Cell::new(0),
+        })
+    }
+
+    /// [`ModelSlot::new`] over an owned model: leaks it to get the
+    /// `'static` lifetime the slot needs.
+    pub fn from_model(model: Dot, version: u64) -> Rc<ModelSlot> {
+        ModelSlot::new(Box::leak(Box::new(model)), version)
+    }
+
+    /// The model currently being served.
+    pub fn model(&self) -> &'static Dot {
+        self.current.get()
+    }
+
+    /// Registry version of the serving model.
+    pub fn version(&self) -> u64 {
+        self.version.get()
+    }
+
+    /// How many times [`ModelSlot::install`] has replaced the model.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.get()
+    }
+
+    /// Replace the serving model. Serving never pauses: requests racing
+    /// the install get either the old or the new model, both valid.
+    pub fn install(&self, model: &'static Dot, version: u64) {
+        self.current.set(model);
+        self.version.set(version);
+        self.swaps.set(self.swaps.get() + 1);
+        odt_obs::gauge("serve.model.version").set(version as f64);
+    }
+}
+
+/// Where an executor's model comes from: a plain borrow (the pre-swap
+/// API, still what tests and benches use) or a shared hot-swappable
+/// [`ModelSlot`]. `From` impls keep every existing `&Dot` call site
+/// compiling unchanged.
+pub enum ModelSource<'a> {
+    /// A fixed model borrowed for the executor's lifetime.
+    Fixed(&'a Dot),
+    /// The process-wide swappable slot.
+    Slot(Rc<ModelSlot>),
+}
+
+impl<'a> ModelSource<'a> {
+    /// The model to serve *this* call with. Deliberately borrows only
+    /// the source (not the executor), so callers can hold it alongside
+    /// `&mut` executor state.
+    pub fn model(&self) -> &'a Dot {
+        match self {
+            ModelSource::Fixed(m) => m,
+            ModelSource::Slot(slot) => slot.model(),
+        }
+    }
+}
+
+impl<'a> From<&'a Dot> for ModelSource<'a> {
+    fn from(model: &'a Dot) -> Self {
+        ModelSource::Fixed(model)
+    }
+}
+
+impl<'a> From<Rc<ModelSlot>> for ModelSource<'a> {
+    fn from(slot: Rc<ModelSlot>) -> Self {
+        ModelSource::Slot(slot)
+    }
+}
 
 /// How the ladder rungs map onto the oracle.
 #[derive(Copy, Clone, Debug)]
@@ -93,9 +186,10 @@ impl CacheWiring {
     }
 }
 
-/// [`RungExecutor`] over a trained (or loaded) [`Dot`] oracle.
+/// [`RungExecutor`] over a trained (or loaded) [`Dot`] oracle — either a
+/// fixed borrow or a hot-swappable [`ModelSlot`].
 pub struct DotExecutor<'a> {
-    model: &'a Dot,
+    source: ModelSource<'a>,
     cfg: DotFrontendConfig,
     rng: StdRng,
     cache: Option<CacheWiring>,
@@ -104,9 +198,10 @@ pub struct DotExecutor<'a> {
 impl<'a> DotExecutor<'a> {
     /// An executor serving `model` with the given rung mapping (no cache:
     /// the cache rungs stay unusable, exactly the pre-cache ladder).
-    pub fn new(model: &'a Dot, cfg: DotFrontendConfig) -> Self {
+    /// Accepts `&Dot` (fixed model) or `Rc<ModelSlot>` (hot-swappable).
+    pub fn new(model: impl Into<ModelSource<'a>>, cfg: DotFrontendConfig) -> Self {
         DotExecutor {
-            model,
+            source: model.into(),
             rng: StdRng::seed_from_u64(cfg.rng_seed),
             cfg,
             cache: None,
@@ -129,9 +224,10 @@ impl<'a> DotExecutor<'a> {
         self
     }
 
-    /// The wrapped oracle.
-    pub fn model(&self) -> &Dot {
-        self.model
+    /// The oracle currently being served (re-read from the slot each
+    /// call when the source is hot-swappable).
+    pub fn model(&self) -> &'a Dot {
+        self.source.model()
     }
 
     /// The attached cache, if any.
@@ -142,7 +238,7 @@ impl<'a> DotExecutor<'a> {
     /// The cache key for a query on this model's serving grid.
     pub fn cache_key(&self, query: &OdtInput) -> Option<OdKey> {
         let wiring = self.cache.as_ref()?;
-        let grid = self.model.grid();
+        let grid = self.source.model().grid();
         let (orow, ocol) = grid.cell_of(query.origin);
         let (drow, dcol) = grid.cell_of(query.dest);
         Some(wiring.cache.key_for(
@@ -160,7 +256,8 @@ impl RungExecutor for DotExecutor<'_> {
         if !self.cfg.strict_admission {
             return Ok(());
         }
-        self.model
+        self.source
+            .model()
             .sanitize_strict(query)
             .map(|_| ())
             .map_err(|reason| reason.to_string())
@@ -216,25 +313,26 @@ impl RungExecutor for DotExecutor<'_> {
             wiring.cache.note_served(hit.age_us, hit.fresh);
             return Ok(hit.seconds);
         }
+        // `ModelSource::model` hands back `&'a Dot`, untied to `self`,
+        // so it can be held across the `&mut self.rng` borrows below.
+        let model = self.source.model();
         let est = match rung {
             Rung::Full => {
                 let sampler = match self.cfg.full_steps_override {
                     Some(n) => PitSampler::DdpmStrided(n),
                     None => PitSampler::Ddpm,
                 };
-                self.model.estimate_sampled(query, sampler, &mut self.rng)
+                model.estimate_sampled(query, sampler, &mut self.rng)
             }
-            Rung::Ddim => self.model.estimate_sampled(
-                query,
-                PitSampler::Ddim(self.cfg.ddim_steps),
-                &mut self.rng,
-            ),
-            Rung::DdimReduced => self.model.estimate_sampled(
+            Rung::Ddim => {
+                model.estimate_sampled(query, PitSampler::Ddim(self.cfg.ddim_steps), &mut self.rng)
+            }
+            Rung::DdimReduced => model.estimate_sampled(
                 query,
                 PitSampler::Ddim(self.cfg.reduced_steps),
                 &mut self.rng,
             ),
-            Rung::Fallback => self.model.estimate_prior(query),
+            Rung::Fallback => model.estimate_prior(query),
             Rung::Cached | Rung::CachedStale => unreachable!("handled above"),
         };
         // Write model-backed answers through into the cache (TinyLFU
@@ -254,7 +352,7 @@ impl RungExecutor for DotExecutor<'_> {
 /// with a chaos layer (pass [`ChaosConfig::quiet`] for production use — the
 /// injector then never fires).
 pub fn dot_frontend<'a>(
-    model: &'a Dot,
+    model: impl Into<ModelSource<'a>>,
     dot_cfg: DotFrontendConfig,
     frontend_cfg: FrontendConfig,
     chaos: ChaosConfig,
@@ -266,7 +364,7 @@ pub fn dot_frontend<'a>(
 /// [`dot_frontend`] with an estimate cache attached: the cache rungs come
 /// alive, probes feed `hot`, and model answers write through into `cache`.
 pub fn dot_frontend_cached<'a>(
-    model: &'a Dot,
+    model: impl Into<ModelSource<'a>>,
     dot_cfg: DotFrontendConfig,
     frontend_cfg: FrontendConfig,
     chaos: ChaosConfig,
@@ -278,4 +376,183 @@ pub fn dot_frontend_cached<'a>(
         chaos,
     );
     ServeFrontend::new(exec, frontend_cfg)
+}
+
+/// Pacing and sampling for the DOT swap host's shadow phase.
+#[derive(Clone, Copy, Debug)]
+pub struct DotSwapHostConfig {
+    /// Holdout pairs scored per shadow tick (candidate + serving each).
+    pub batch: usize,
+    /// DDIM steps used for shadow predictions — matches the serving
+    /// ladder's fast path so the gate compares like with like.
+    pub ddim_steps: usize,
+    /// Seed for the shadow-sampling RNG.
+    pub rng_seed: u64,
+}
+
+impl Default for DotSwapHostConfig {
+    fn default() -> Self {
+        DotSwapHostConfig {
+            batch: 8,
+            ddim_steps: 8,
+            rng_seed: 0x5A4B,
+        }
+    }
+}
+
+/// A candidate checkpoint that has passed load + shape validation and
+/// is being shadow-scored.
+pub struct LoadedCandidate {
+    model: Dot,
+    path: PathBuf,
+}
+
+/// The production [`SwapHost`]: validates candidates against the
+/// serving grid, shadow-scores them on a frozen ground-truth holdout,
+/// and promotes through the [`ModelRegistry`] + [`ModelSlot`] +
+/// estimate-cache invalidation.
+pub struct DotSwapHost {
+    registry: ModelRegistry,
+    slot: Rc<ModelSlot>,
+    holdout: Vec<(OdtInput, f64)>,
+    cursor: usize,
+    cache: Option<Arc<EstimateCache>>,
+    cfg: DotSwapHostConfig,
+    rng: StdRng,
+}
+
+impl DotSwapHost {
+    /// A host promoting into `registry` and `slot`, shadow-scoring on
+    /// `holdout` pairs of `(query, actual_seconds)`. Pass the serving
+    /// estimate cache so promotion invalidates stale entries.
+    pub fn new(
+        registry: ModelRegistry,
+        slot: Rc<ModelSlot>,
+        holdout: Vec<(OdtInput, f64)>,
+        cache: Option<Arc<EstimateCache>>,
+        cfg: DotSwapHostConfig,
+    ) -> Self {
+        let holdout: Vec<_> = holdout
+            .into_iter()
+            .filter(|(_, actual)| actual.is_finite() && *actual > 0.0)
+            .collect();
+        DotSwapHost {
+            registry,
+            slot,
+            holdout,
+            cursor: 0,
+            cache,
+            rng: StdRng::seed_from_u64(cfg.rng_seed),
+            cfg: DotSwapHostConfig {
+                batch: cfg.batch.max(1),
+                ..cfg
+            },
+        }
+    }
+
+    /// The slot this host promotes into.
+    pub fn slot(&self) -> &Rc<ModelSlot> {
+        &self.slot
+    }
+
+    /// The registry this host promotes through.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    fn map_registry_err(e: RegistryError) -> SwapError {
+        match e {
+            RegistryError::Persist(p) => Self::map_persist_err(p),
+            other => SwapError::Load(other.to_string()),
+        }
+    }
+
+    fn map_persist_err(e: PersistError) -> SwapError {
+        match e {
+            PersistError::Corrupt { .. }
+            | PersistError::NonFiniteParams { .. }
+            | PersistError::VersionMismatch { .. } => SwapError::Corrupt(e.to_string()),
+            PersistError::ShapeMismatch { .. } => SwapError::ShapeMismatch(e.to_string()),
+            other => SwapError::Load(other.to_string()),
+        }
+    }
+}
+
+impl SwapHost for DotSwapHost {
+    type Model = LoadedCandidate;
+
+    fn load(&mut self, path: &str) -> Result<LoadedCandidate, SwapError> {
+        let path = Path::new(path);
+        // Cheap framing gate first: a corrupt file never reaches model
+        // construction.
+        self.registry
+            .validate_file(path)
+            .map_err(Self::map_registry_err)?;
+        let model = Dot::load(path).map_err(Self::map_persist_err)?;
+        // The serving grid is the process's contract with its shard:
+        // a candidate on a different grid would silently re-bucket
+        // every query, so refuse it here.
+        let serving = self.slot.model().grid();
+        let cand = model.grid();
+        let bbox_matches = (cand.min.lng - serving.min.lng).abs() < 1e-9
+            && (cand.min.lat - serving.min.lat).abs() < 1e-9
+            && (cand.max.lng - serving.max.lng).abs() < 1e-9
+            && (cand.max.lat - serving.max.lat).abs() < 1e-9;
+        if cand.lg != serving.lg || !bbox_matches {
+            return Err(SwapError::ShapeMismatch(format!(
+                "candidate grid lg={} bbox=({:.4},{:.4})-({:.4},{:.4}) \
+                 vs serving lg={} bbox=({:.4},{:.4})-({:.4},{:.4})",
+                cand.lg,
+                cand.min.lng,
+                cand.min.lat,
+                cand.max.lng,
+                cand.max.lat,
+                serving.lg,
+                serving.min.lng,
+                serving.min.lat,
+                serving.max.lng,
+                serving.max.lat,
+            )));
+        }
+        Ok(LoadedCandidate {
+            model,
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn shadow_batch(&mut self, candidate: &mut LoadedCandidate) -> (f64, f64, usize) {
+        if self.holdout.is_empty() {
+            return (0.0, 0.0, 0);
+        }
+        let n = self.cfg.batch.min(self.holdout.len());
+        let sampler = PitSampler::Ddim(self.cfg.ddim_steps);
+        let serving = self.slot.model();
+        let (mut cand_sum, mut serving_sum) = (0.0, 0.0);
+        for i in 0..n {
+            let (q, actual) = &self.holdout[(self.cursor + i) % self.holdout.len()];
+            let cand_pred = candidate.model.estimate_sampled(q, sampler, &mut self.rng);
+            let serving_pred = serving.estimate_sampled(q, sampler, &mut self.rng);
+            cand_sum += (cand_pred.seconds - actual).abs();
+            serving_sum += (serving_pred.seconds - actual).abs();
+        }
+        self.cursor = (self.cursor + n) % self.holdout.len();
+        (cand_sum, serving_sum, n)
+    }
+
+    fn promote(&mut self, candidate: LoadedCandidate) -> Result<u64, SwapError> {
+        // Registry first: if the copy/rename fails, serving is untouched.
+        let version = self
+            .registry
+            .promote_file(&candidate.path)
+            .map_err(Self::map_registry_err)?;
+        // Leak the candidate for the slot's `'static` contract — bounded
+        // by the handful of successful swaps a process ever performs.
+        self.slot
+            .install(Box::leak(Box::new(candidate.model)), version);
+        if let Some(cache) = &self.cache {
+            // Cached estimates came from the old model; start clean.
+            cache.invalidate_all("model_swap");
+        }
+        Ok(version)
+    }
 }

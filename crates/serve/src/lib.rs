@@ -35,6 +35,13 @@
 //!   rungs (fresh hits before the model, stale hits above the prior) and
 //!   is prewarmed by [`Prewarmer`] on dispatcher idle ticks. See
 //!   DESIGN.md §13.
+//! * **Zero-downtime hot model swap** — [`SwapController`] is a
+//!   bounded-work state machine (validate → shadow-score → promote)
+//!   over a [`SwapHost`]; the production host [`DotSwapHost`] gates
+//!   candidates on CRC framing, grid shape and a shadow MAE drift gate,
+//!   then installs them into the hot-swappable [`ModelSlot`] the
+//!   executor reads per request — serving never pauses. See
+//!   DESIGN.md §14.
 //!
 //! Everything runs on caller-visible microsecond clocks and seeded PRNGs,
 //! so the whole stack — queue, breaker, ladder, chaos — is deterministic
@@ -51,6 +58,7 @@ pub mod frontend;
 pub mod ladder;
 pub mod queue;
 pub mod shadow;
+pub mod swap;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cache::{
@@ -61,7 +69,10 @@ pub use chaos::{
     scenarios, ChaosConfig, ChaosExecutor, Expectations, Fault, FaultInjector, ScenarioSpec,
     SplitMix64,
 };
-pub use dot::{dot_frontend, dot_frontend_cached, DotExecutor, DotFrontendConfig};
+pub use dot::{
+    dot_frontend, dot_frontend_cached, DotExecutor, DotFrontendConfig, DotSwapHost,
+    DotSwapHostConfig, LoadedCandidate, ModelSlot, ModelSource,
+};
 pub use frontend::{
     CacheProbe, FrontendConfig, FrontendSnapshot, Request, Response, RungExecutor, ServeFrontend,
     ShedReason,
@@ -69,3 +80,4 @@ pub use frontend::{
 pub use ladder::{select_from_costs, LadderConfig, LatencyLadder, Rung, MODEL_RUNGS, NUM_RUNGS};
 pub use queue::{AdmissionQueue, ShedPolicy};
 pub use shadow::{ShadowConfig, ShadowScorer};
+pub use swap::{SwapConfig, SwapController, SwapError, SwapHost, SwapOutcome, SwapStats};

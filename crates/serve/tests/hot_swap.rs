@@ -1,0 +1,214 @@
+//! End-to-end hot-swap coverage: a real (tiny) trained oracle behind a
+//! [`ModelSlot`], a registry on disk, and the swap controller driven
+//! tick-by-tick while serving waves run between every tick — proving
+//! corrupt, misshapen and drift-failing candidates are refused with
+//! typed errors and that a swap (accepted or rejected) never interrupts
+//! in-flight serving.
+
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use odt_core::{Dot, DotConfig, ModelRegistry};
+use odt_serve::{
+    dot_frontend, ChaosConfig, ChaosExecutor, DotExecutor, DotFrontendConfig, DotSwapHost,
+    DotSwapHostConfig, FrontendConfig, ModelSlot, Response, ServeFrontend, SwapConfig,
+    SwapController, SwapError, SwapOutcome,
+};
+use odt_traj::{Dataset, OdtInput, Split};
+
+type SlotFrontend = ServeFrontend<ChaosExecutor<DotExecutor<'static>>>;
+
+fn dataset() -> Dataset {
+    let mut cfg = odt_traj::sim::CitySimConfig::chengdu_like();
+    cfg.nx = 8;
+    cfg.ny = 8;
+    Dataset::simulated(cfg, 180, 8, 41)
+}
+
+fn tiny_model(data: &Dataset, lg: usize, stage_iters: usize) -> Dot {
+    let mut cfg = DotConfig::fast();
+    cfg.lg = lg;
+    cfg.n_steps = 8;
+    cfg.base_channels = 4;
+    cfg.cond_dim = 16;
+    cfg.d_e = 16;
+    cfg.stage1_iters = stage_iters;
+    cfg.stage2_iters = stage_iters * 2;
+    cfg.early_stop_samples = 3;
+    cfg.early_stop_every = stage_iters;
+    Dot::train(cfg, data, |_| {})
+}
+
+fn queries(data: &Dataset, n: usize) -> Vec<OdtInput> {
+    (0..n)
+        .map(|i| OdtInput::from_trajectory(&data.trips[i % data.trips.len()]))
+        .collect()
+}
+
+fn holdout(data: &Dataset) -> Vec<(OdtInput, f64)> {
+    data.split(Split::Test)
+        .iter()
+        .map(|t| (OdtInput::from_trajectory(t), t.travel_time()))
+        .collect()
+}
+
+/// Corrupt a checkpoint copy by flipping one payload bit (the CRC gate
+/// must catch it).
+fn corrupt_copy(src: &Path, dst: &Path) {
+    let mut bytes = std::fs::read(src).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x08;
+    std::fs::write(dst, &bytes).unwrap();
+}
+
+/// Drive the controller to its conclusion, serving a wave between every
+/// tick and asserting that every request in every wave is answered —
+/// the zero-interruption contract.
+fn drive_while_serving(
+    ctrl: &mut SwapController<DotSwapHost>,
+    fe: &mut SlotFrontend,
+    wave: &[OdtInput],
+) -> SwapOutcome {
+    for _ in 0..200 {
+        if let Some(outcome) = ctrl.tick() {
+            return outcome;
+        }
+        let out = fe.process_wave(wave.iter().cloned().map(|q| (q, None)));
+        assert_eq!(out.len(), wave.len());
+        for r in &out {
+            match r {
+                Response::Served { seconds, .. } => {
+                    assert!(seconds.is_finite() && *seconds >= 0.0, "{seconds}");
+                }
+                other => panic!("request shed while a swap was in flight: {other:?}"),
+            }
+        }
+    }
+    panic!("swap did not conclude within 200 ticks");
+}
+
+fn controller(
+    registry: &ModelRegistry,
+    slot: &Rc<ModelSlot>,
+    data: &Dataset,
+    cfg: SwapConfig,
+) -> SwapController<DotSwapHost> {
+    let host = DotSwapHost::new(
+        registry.clone(),
+        slot.clone(),
+        holdout(data),
+        None,
+        DotSwapHostConfig {
+            batch: 4,
+            ddim_steps: 3,
+            rng_seed: 0x51A9,
+        },
+    );
+    SwapController::new(host, cfg)
+}
+
+#[test]
+fn hot_swap_gates_and_promotes_without_interrupting_serving() {
+    let dir = std::env::temp_dir().join(format!("odt_hot_swap_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let data = dataset();
+    let serving = tiny_model(&data, 8, 15);
+    let registry = ModelRegistry::open(dir.join("registry")).unwrap();
+    let v1 = registry.publish(&serving).unwrap();
+    assert_eq!(v1, 1);
+
+    // A structurally-valid candidate on the serving grid: the serving
+    // checkpoint itself, under a candidate name.
+    let good: PathBuf = dir.join("cand_good.dotckpt");
+    std::fs::copy(registry.version_path(1), &good).unwrap();
+
+    let slot = ModelSlot::from_model(serving, v1);
+    let mut fe: SlotFrontend = dot_frontend(
+        slot.clone(),
+        DotFrontendConfig::default(),
+        FrontendConfig::default(),
+        ChaosConfig::quiet(7),
+    );
+    let wave = queries(&data, 4);
+    let gate = SwapConfig {
+        shadow_samples: 12,
+        ..SwapConfig::default()
+    };
+
+    // --- Corrupt candidate: refused by the CRC gate, serving untouched.
+    let corrupt = dir.join("cand_corrupt.dotckpt");
+    corrupt_copy(&good, &corrupt);
+    let mut ctrl = controller(&registry, &slot, &data, gate);
+    ctrl.request(corrupt.to_str().unwrap(), None).unwrap();
+    match drive_while_serving(&mut ctrl, &mut fe, &wave) {
+        SwapOutcome::Rejected(e) => assert_eq!(e.code(), "corrupt", "{e}"),
+        other => panic!("corrupt candidate must be refused, got {other:?}"),
+    }
+    assert_eq!(slot.version(), 1);
+    assert_eq!(slot.swaps(), 0);
+    assert_eq!(registry.current_version().unwrap(), Some(1));
+
+    // --- Wrong grid shape: parses fine, refused by the shape gate.
+    let misshapen = dir.join("cand_shape.dotckpt");
+    tiny_model(&data, 6, 2).save(&misshapen).unwrap();
+    ctrl.request(misshapen.to_str().unwrap(), None).unwrap();
+    match drive_while_serving(&mut ctrl, &mut fe, &wave) {
+        SwapOutcome::Rejected(SwapError::ShapeMismatch(detail)) => {
+            assert!(detail.contains("lg=6"), "{detail}");
+        }
+        other => panic!("misshapen candidate must be refused, got {other:?}"),
+    }
+    assert_eq!(slot.version(), 1);
+
+    // --- Drift gate: an impossible gate (candidate must beat serving
+    // by 2x) rejects even an identical model, with both MAEs reported.
+    let mut strict = controller(
+        &registry,
+        &slot,
+        &data,
+        SwapConfig {
+            shadow_samples: 12,
+            max_mae_ratio: 0.5,
+            mae_slack_s: 0.0,
+        },
+    );
+    strict.request(good.to_str().unwrap(), None).unwrap();
+    match drive_while_serving(&mut strict, &mut fe, &wave) {
+        SwapOutcome::Rejected(SwapError::DriftFailed {
+            cand_mae_s,
+            serving_mae_s,
+        }) => {
+            assert!(cand_mae_s.is_finite() && serving_mae_s.is_finite());
+            assert!(cand_mae_s > 0.5 * serving_mae_s);
+        }
+        other => panic!("drift gate must reject, got {other:?}"),
+    }
+    assert_eq!(slot.version(), 1, "rejections never touch serving");
+
+    // --- Good candidate under the normal gate: a second request is
+    // refused busy mid-flight, then the swap promotes v2 into the slot
+    // and the registry, still without a single shed request.
+    ctrl.request(good.to_str().unwrap(), None).unwrap();
+    assert!(matches!(
+        ctrl.request(good.to_str().unwrap(), None),
+        Err(SwapError::Busy)
+    ));
+    match drive_while_serving(&mut ctrl, &mut fe, &wave) {
+        SwapOutcome::Promoted { version, .. } => assert_eq!(version, 2),
+        other => panic!("good candidate must promote, got {other:?}"),
+    }
+    assert_eq!(slot.version(), 2);
+    assert_eq!(slot.swaps(), 1);
+    assert_eq!(registry.current_version().unwrap(), Some(2));
+    assert_eq!(registry.versions().unwrap(), vec![1, 2]);
+    let stats = ctrl.stats();
+    assert_eq!((stats.promoted, stats.rejected), (1, 2));
+
+    // Post-swap serving comes from the new model and still answers.
+    let out = fe.process_wave(queries(&data, 6).into_iter().map(|q| (q, None)));
+    assert!(out.iter().all(|r| matches!(r, Response::Served { .. })));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
