@@ -39,8 +39,10 @@
 //!
 //! The report (`odt-bench-net/v1`) has one row per run: offered vs
 //! achieved rps, p50/p90/p99 latency, typed error counts, per-rung
-//! answer counts, and the worst sender lag vs the schedule (a large lag
-//! means the *generator* saturated and offered less than configured).
+//! answer counts, OK replies per serving replica (the wire `served_by`
+//! field — through a router this is the per-shard attribution), and the
+//! worst sender lag vs the schedule (a large lag means the *generator*
+//! saturated and offered less than configured).
 //! Exit status is non-zero if any run got zero OK replies.
 
 use odt_net::loadgen::{self, LoadConfig, LoadMode, LoadReport, Region};
@@ -61,7 +63,14 @@ fn kv_json(pairs: &[(String, u64)]) -> String {
     if pairs.is_empty() {
         return "{}".to_string();
     }
-    let inner: Vec<String> = pairs.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+    let inner: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| {
+            let mut key = String::new();
+            odt_obs::json::push_str_escaped(&mut key, k);
+            format!("{key}: {v}")
+        })
+        .collect();
     format!("{{ {} }}", inner.join(", "))
 }
 
@@ -76,7 +85,7 @@ fn row_json(r: &LoadReport) -> String {
          \"wall_s\": {:.3}, \"throughput_rps\": {:.1}, \
          \"latency\": {{ \"p50_ms\": {:.3}, \"p90_ms\": {:.3}, \"p99_ms\": {:.3}, \
          \"max_ms\": {:.3}, \"mean_ms\": {:.3} }}, \"rungs\": {}, \"deadline_met\": {}, \
-         \"send_lag_max_ms\": {:.3}, \"traces_sent\": {}, \"key_skew\": {{ \
+         \"send_lag_max_ms\": {:.3}, \"traces_sent\": {}, \"served_by\": {}, \"key_skew\": {{ \
          \"distinct\": {}, \"total\": {}, \"top1_share\": {:.4}, \"top10_share\": {:.4} }} }}",
         r.mode,
         r.offered_rps,
@@ -97,6 +106,7 @@ fn row_json(r: &LoadReport) -> String {
         r.deadline_met,
         r.send_lag_max_ms,
         r.traces_sent,
+        kv_json(&r.served_by),
         r.key_skew.distinct,
         r.key_skew.total,
         r.key_skew.top1_share,

@@ -14,7 +14,9 @@
 //!            [--addr <host:port>] [--admin <host:port>]
 //!            [--region <lng0,lat0,lng1,lat1>] [--cells <n>] [--seed <u64>]
 //!            [--probe-interval-ms <ms>] [--probe-timeout-ms <ms>]
+//!            [--scrape-interval-ms <ms>] [--scrape-timeout-ms <ms>]
 //!            [--connect-timeout-ms <ms>] [--request-timeout-ms <ms>]
+//!            [--instance <name>]
 //!            [--quorum-wait-s <s>] [--max-run-s <s>] [--report <path>]
 //! ```
 //!
@@ -24,12 +26,20 @@
 //!                   and the router routes around unready replicas.
 //! * `--region`    — the placement grid's bbox (must match the shards'
 //!                   served region; default: the loadgen default region).
+//! * `--instance`  — this process's name in traces (`/tracez` tags every
+//!                   span fragment with it so `cluster_report` can give
+//!                   the router its own Perfetto track).
 //! * `--admin`     — the router's own admin plane. Its `/readyz` is the
 //!                   quorum aggregation: 200 only while every shard has
 //!                   at least one routable replica, 503 otherwise and
 //!                   during drain. `/varz` serves `odt-router-varz/v1`
 //!                   (per-replica health/breaker rows, failover and
-//!                   prior-serve totals).
+//!                   prior-serve totals). `/metrics/cluster` federates
+//!                   every replica's `/metrics` (shard/replica labels +
+//!                   exact merged `odt_cluster_*` histograms) and
+//!                   `/varz/cluster` rolls up per-shard health, model
+//!                   quality and cache state — both fed by a background
+//!                   scraper (`--scrape-interval-ms`).
 //!
 //! Startup prints machine-readable lines in this order:
 //!
@@ -50,8 +60,9 @@ use odt_net::cluster::{
     render_router_varz, start_health_prober, ClusterConfig, ClusterShared, ClusterSnapshot,
     ReplicaAddr, RouterBackend,
 };
+use odt_net::fed::{start_scraper, ClusterScraper};
 use odt_net::loadgen::Region;
-use odt_net::server::ServerConfig;
+use odt_net::server::{set_instance_name, ServerConfig};
 use odt_net::signal;
 use odt_obs::json::push_str_escaped;
 use std::io::Write as _;
@@ -154,6 +165,9 @@ fn main() {
         !shards.is_empty() && shards.iter().all(|s| !s.is_empty()),
         "odt_router needs at least one --shard with at least one replica"
     );
+    if let Some(name) = arg_value("--instance") {
+        set_instance_name(&name);
+    }
     let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7979".to_string());
     let admin_addr = arg_value("--admin");
     let report_path = arg_value("--report").unwrap_or_else(|| "BENCH_net_router.json".to_string());
@@ -168,6 +182,16 @@ fn main() {
     let probe_timeout_ms: u64 = arg_value("--probe-timeout-ms")
         .map(|v| v.parse().expect("--probe-timeout-ms must be an integer"))
         .unwrap_or(300);
+    let scrape_interval_ms: u64 = arg_value("--scrape-interval-ms")
+        .map(|v| v.parse().expect("--scrape-interval-ms must be an integer"))
+        .unwrap_or(1_000);
+    let scrape_timeout_ms: u64 = arg_value("--scrape-timeout-ms")
+        .map(|v| v.parse().expect("--scrape-timeout-ms must be an integer"))
+        .unwrap_or(500);
+
+    // The federation scraper wants the topology before ClusterConfig
+    // consumes it; it only ever talks to replica admin planes.
+    let scraper = Arc::new(ClusterScraper::new(&shards, scrape_timeout_ms));
 
     let mut ccfg = ClusterConfig::new(shards);
     if let Some(v) = arg_value("--region") {
@@ -205,9 +229,15 @@ fn main() {
     println!("odt_router listening on {bound}");
     let _ = std::io::stdout().flush();
 
+    // The scraper pulls every replica's /metrics and /varz so the
+    // router's admin plane can serve the single-pane cluster views.
+    let fed = start_scraper(Arc::clone(&scraper), scrape_interval_ms);
+
     let admin = admin_addr.map(|a| {
         let stats_handle = handle.stats_handle();
         let varz_shared = Arc::clone(&shared);
+        let fed_metrics = Arc::clone(&scraper);
+        let fed_varz = Arc::clone(&scraper);
         let admin = start_admin(
             AdminConfig {
                 addr: a,
@@ -221,6 +251,8 @@ fn main() {
                         &varz_shared.snapshot(),
                     )
                 })),
+                metrics_cluster: Some(Box::new(move || fed_metrics.federated())),
+                varz_cluster: Some(Box::new(move || fed_varz.varz_cluster())),
                 ..AdminSources::default()
             },
         )
@@ -269,6 +301,7 @@ fn main() {
     let uptime_s = started.elapsed().as_secs_f64();
     let report = handle.drain();
     prober.shutdown();
+    fed.shutdown();
     let snap = shared.snapshot();
     let c = &report.stats;
     let pass = report.clean && c.active == 0;

@@ -12,7 +12,7 @@
 //!            [--registry <dir>] [--cache <capacity>] [--holdout <n>]
 //!            [--max-conns <n>] [--max-inflight <n>]
 //!            [--drain-budget-ms <ms>] [--max-run-s <s>]
-//!            [--report <path>] [--seed <u64>]
+//!            [--instance <name>] [--report <path>] [--seed <u64>]
 //! ```
 //!
 //! * `--addr`        — listen address (default `127.0.0.1:7878`; port `0`
@@ -41,6 +41,11 @@
 //! * `--holdout`     — ground-truth trajectories shadow-scored on idle
 //!                     ticks for model-quality telemetry (default 64;
 //!                     `0` disables the quality observer).
+//! * `--instance`    — this process's name in wire `served_by` replies
+//!                     and `/tracez` fragments (default `pid-<pid>`);
+//!                     give each replica a distinct name so
+//!                     `cluster_report` and the federated metrics can
+//!                     tell them apart.
 //! * `--max-run-s`   — self-drain after this many seconds even without a
 //!                     signal (CI watchdog; default: run until signaled).
 //! * `--report`      — final JSON report path (default
@@ -72,7 +77,7 @@
 use odt_core::{Dot, DotConfig, ModelRegistry, RegistryError};
 use odt_net::admin::{render_varz, start_admin, AdminConfig, AdminSources, SwapFn};
 use odt_net::loadgen::Region;
-use odt_net::server::{FrontendBridge, ServerConfig, SharedFrontendStats};
+use odt_net::server::{set_instance_name, FrontendBridge, ServerConfig, SharedFrontendStats};
 use odt_net::signal;
 use odt_obs::QualitySnapshot;
 use odt_roadnet::LngLat;
@@ -170,6 +175,9 @@ fn main() {
     signal::install();
 
     let quick = arg_flag("--quick");
+    if let Some(name) = arg_value("--instance") {
+        set_instance_name(&name);
+    }
     let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
     let admin_addr = arg_value("--admin");
     let report_path = arg_value("--report").unwrap_or_else(|| "BENCH_net_server.json".to_string());

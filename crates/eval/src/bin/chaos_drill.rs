@@ -26,11 +26,15 @@
 //! asserts the [`DriftInvalidator`] flushes the cache so zero
 //! pre-drift-generation estimates are ever served again.
 //!
-//! Three cluster drills cover the sharded deployment:
+//! Four cluster drills cover the sharded deployment:
 //! `cluster_replica_kill` and `cluster_router_partition` boot a real
 //! loopback cluster (router + probed replicas) and assert failover and
-//! degrade-to-prior behave exactly (see `odt_net::cluster_drill`), and
-//! `cluster_corrupt_swap` drives the hot-swap state machine over a real
+//! degrade-to-prior behave exactly (see `odt_net::cluster_drill`),
+//! `cluster_trace_loss` kills a replica mid-wave and asserts the
+//! stitched traces keep the failover's retry hop and the metrics
+//! federation marks the dead replica stale without dropping its
+//! history, and `cluster_corrupt_swap` drives the hot-swap state
+//! machine over a real
 //! trained oracle: a corrupt-CRC candidate, a wrong-grid-shape
 //! candidate and a drift-failing candidate must each be refused with
 //! their typed code, a good candidate must promote, and serving waves
@@ -52,7 +56,8 @@
 use odt_core::{Dot, DotConfig, ModelRegistry};
 use odt_net::{
     cluster_drill_names, run_cluster_replica_kill, run_cluster_router_partition,
-    ClusterDrillOutcome, FrontendBridge, NetScenarioSpec, Region, WireQuery,
+    run_cluster_trace_loss, ClusterDrillOutcome, FrontendBridge, NetScenarioSpec, Region,
+    WireQuery,
 };
 use odt_roadnet::LngLat;
 use odt_serve::{
@@ -722,6 +727,7 @@ fn run_cluster_drill(name: &str, seed: u64, quick: bool) -> serde_json::Value {
 
     let o: ClusterDrillOutcome = match name {
         "cluster_replica_kill" => run_cluster_replica_kill(),
+        "cluster_trace_loss" => run_cluster_trace_loss(),
         _ => run_cluster_router_partition(),
     };
     drop(root);

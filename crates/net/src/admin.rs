@@ -18,6 +18,10 @@
 //!                       frontend/rung/breaker stats, model quality        |
 //! | `GET /tracez`     | JSON: recently retained traces with per-span
 //!                       self-times                                        |
+//! | `GET /metrics/cluster` | routers only: federated exposition of every
+//!                       replica's `/metrics` plus merged cluster
+//!                       histograms ([`crate::fed`])                       |
+//! | `GET /varz/cluster` | routers only: cluster topology/quality roll-up |
 //! | `POST /flightrec` | trigger a flight-recorder dump, return its path  |
 //! | `POST /swap`      | request a zero-downtime hot model swap; the body
 //!                       is the candidate checkpoint path                  |
@@ -111,6 +115,13 @@ pub struct AdminSources {
     /// `POST /swap` handler. When absent, `/swap` answers `503` — the
     /// process has no swappable model (echo backends, routers).
     pub swap: Option<SwapFn>,
+    /// `GET /metrics/cluster` body builder: the federated Prometheus
+    /// exposition (router processes install [`crate::fed`]'s renderer).
+    /// When absent — every non-router process — the route answers `503`.
+    pub metrics_cluster: Option<VarzFn>,
+    /// `GET /varz/cluster` body builder: the cluster topology/quality
+    /// roll-up JSON. When absent, the route answers `503`.
+    pub varz_cluster: Option<VarzFn>,
 }
 
 struct AdminShared {
@@ -408,6 +419,22 @@ fn route(head: &str, body: &str, shared: &Arc<AdminShared>) -> String {
             "application/json; charset=utf-8",
             &render_tracez(shared.cfg.tracez_limit),
         ),
+        ("GET", "/metrics/cluster") => match &shared.sources.metrics_cluster {
+            Some(f) => response(200, odt_obs::expo::CONTENT_TYPE, &f()),
+            None => response(
+                503,
+                "text/plain; charset=utf-8",
+                "no cluster federation: this process is not a router\n",
+            ),
+        },
+        ("GET", "/varz/cluster") => match &shared.sources.varz_cluster {
+            Some(f) => response(200, "application/json; charset=utf-8", &f()),
+            None => response(
+                503,
+                "application/json; charset=utf-8",
+                "{\"schema\":\"odt-cluster-varz/v1\",\"available\":false}",
+            ),
+        },
         ("POST", "/flightrec") => match odt_obs::flightrec::trigger("admin_request") {
             Some(path) => {
                 let mut body = String::from("{\"schema\":\"odt-admin/v1\",\"dump\":");
@@ -452,6 +479,8 @@ fn route(head: &str, body: &str, shared: &Arc<AdminShared>) -> String {
              GET  /healthz    liveness\nGET  /readyz     readiness\n\
              GET  /varz       server/frontend/quality JSON\n\
              GET  /tracez     retained traces JSON\n\
+             GET  /metrics/cluster  federated cluster exposition (routers)\n\
+             GET  /varz/cluster     cluster topology/quality roll-up (routers)\n\
              POST /flightrec  trigger a flight-recorder dump\n\
              POST /swap       hot-swap the model (body: checkpoint path)\n",
         ),
@@ -626,10 +655,9 @@ pub fn render_tracez(limit: usize) -> String {
     let traces = odt_obs::trace::retained_traces();
     let skip = traces.len().saturating_sub(limit);
     let mut o = String::with_capacity(1024);
-    o.push_str(&format!(
-        "{{\"schema\":\"odt-tracez/v1\",\"retained\":{},\"traces\":[",
-        traces.len()
-    ));
+    o.push_str("{\"schema\":\"odt-tracez/v1\",\"instance\":");
+    push_str_escaped(&mut o, crate::server::instance_name());
+    o.push_str(&format!(",\"retained\":{},\"traces\":[", traces.len()));
     for (ti, t) in traces[skip..].iter().enumerate() {
         if ti > 0 {
             o.push(',');
@@ -650,6 +678,10 @@ fn push_trace(o: &mut String, t: &odt_obs::trace::TraceRecord) {
     push_str_escaped(o, &t.trace_id.to_hex());
     o.push_str(",\"root\":");
     push_str_escaped(o, t.root_name);
+    // Remote parent span ordinal (0 = rooted in this process) — the
+    // cross-process stitcher attaches this fragment under that span of
+    // the same trace id in the caller's `/tracez`.
+    o.push_str(&format!(",\"parent_span\":{}", t.parent_span));
     o.push_str(",\"request_id\":");
     match t.request_id {
         Some(id) => o.push_str(&id.to_string()),
@@ -931,6 +963,45 @@ mod tests {
             field("self_us") < field("dur_us"),
             "root self time must exclude the child: {root_span}"
         );
+        // Every trace carries its remote-parent ordinal and the header
+        // names the process, so cross-process stitchers can work from
+        // `/tracez` bodies alone.
+        assert!(body.contains("\"instance\":"), "{body}");
+        assert!(body.contains("\"parent_span\":"), "{body}");
+    }
+
+    #[test]
+    fn cluster_routes_503_without_a_router_and_serve_installed_sources() {
+        // A plain shard process: no federation sources.
+        let h = boot(AdminSources::default());
+        let (st, _, body) = simple_get(h.addr(), "/metrics/cluster");
+        assert_eq!(st, 503, "{body}");
+        let (st, _, body) = simple_get(h.addr(), "/varz/cluster");
+        assert_eq!(st, 503);
+        assert!(body.contains("\"available\":false"), "{body}");
+        h.shutdown();
+
+        // A router process: both sources installed.
+        let h = boot(AdminSources {
+            metrics_cluster: Some(Box::new(|| {
+                "# TYPE odt_cluster_up gauge\nodt_cluster_up 1\n".to_string()
+            })),
+            varz_cluster: Some(Box::new(|| {
+                "{\"schema\":\"odt-cluster-varz/v1\",\"shards\":[]}".to_string()
+            })),
+            ..AdminSources::default()
+        });
+        let (st, head, body) = simple_get(h.addr(), "/metrics/cluster");
+        assert_eq!(st, 200);
+        assert!(head.contains("version=0.0.4"), "{head}");
+        assert!(body.contains("odt_cluster_up 1"), "{body}");
+        let (st, _, body) = simple_get(h.addr(), "/varz/cluster");
+        assert_eq!(st, 200);
+        assert!(
+            body.starts_with("{\"schema\":\"odt-cluster-varz/v1\""),
+            "{body}"
+        );
+        h.shutdown();
     }
 
     #[test]

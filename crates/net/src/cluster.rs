@@ -49,7 +49,7 @@
 //! totals as `cluster.*` metrics in the process registry.
 
 use crate::loadgen::Region;
-use crate::server::{ConnStatsSnapshot, NetBackend, NetRequest};
+use crate::server::{instance_name, ConnStatsSnapshot, NetBackend, NetRequest};
 use crate::shard::ShardMap;
 use crate::wire::{
     write_frame, FrameRead, WireErrorCode, WireQuery, WireRequest, WireResponse,
@@ -648,6 +648,9 @@ pub struct RouterBackend {
     shared: Arc<ClusterShared>,
     prior_speed_mps: f64,
     epoch: Instant,
+    /// Breaker trips already seen per replica; a trip beyond this fans a
+    /// flight-recorder dump out to the implicated shard's replicas.
+    seen_trips: Vec<Vec<u64>>,
 }
 
 impl RouterBackend {
@@ -681,6 +684,7 @@ impl RouterBackend {
             })
             .collect();
         let n_shards = slots.len();
+        let seen_trips = slots.iter().map(|rs| vec![0u64; rs.len()]).collect();
         RouterBackend {
             map,
             slots,
@@ -689,6 +693,7 @@ impl RouterBackend {
             shared,
             prior_speed_mps: cfg.prior_speed_mps,
             epoch: Instant::now(),
+            seen_trips,
         }
     }
 
@@ -725,6 +730,18 @@ impl RouterBackend {
 
     fn route_one(&mut self, nr: NetRequest) -> WireResponse {
         let req = nr.req;
+        // Root span for the routed request. A client-propagated trace is
+        // adopted (with the client's span as parent) so router and shard
+        // fragments stitch into the caller's trace; otherwise the router
+        // mints its own, subject to head sampling.
+        let root = match req.trace {
+            Some(t) => {
+                odt_obs::trace::root_span_adopted("router.request", t, req.parent_span.unwrap_or(0))
+            }
+            None => odt_obs::trace::root_span("router.request"),
+        };
+        root.set_request_id(req.id);
+        odt_obs::trace::record_backdated_span("router.queue_wait", nr.age_us);
         let q = req.query;
         if !(q.o_lng.is_finite()
             && q.o_lat.is_finite()
@@ -752,7 +769,26 @@ impl RouterBackend {
                 skipped_or_failed += 1;
                 continue;
             }
-            let outcome = self.slots[shard][ri].client.call(&req);
+            // Each downstream attempt is its own child span, so a stitched
+            // trace shows failover retries as sibling `router.downstream`
+            // hops. The forwarded frame carries the router's live context
+            // — trace id plus the hop span as `parent_span` — so the
+            // shard's `serve.request` fragment attributes to this attempt;
+            // when tracing is off the client's own fields pass through.
+            let hop = odt_obs::span("router.downstream");
+            let (d_trace, d_parent) = match odt_obs::trace::current_context() {
+                Some(ctx) => (Some(ctx.trace_id()), Some(ctx.span_id().raw())),
+                None => (req.trace, req.parent_span),
+            };
+            let d_req = WireRequest {
+                id: req.id,
+                query: req.query,
+                deadline_ms: req.deadline_ms,
+                trace: d_trace,
+                parent_span: d_parent,
+            };
+            let outcome = self.slots[shard][ri].client.call(&d_req);
+            drop(hop);
             let now = self.now_us();
             match outcome {
                 Ok(resp @ WireResponse::Ok { .. }) => {
@@ -809,18 +845,102 @@ impl RouterBackend {
             service_us: 0,
             deadline_met: true,
             trace: req.trace,
+            // The router itself answered — attribute the prior serve to
+            // this process, not to any replica.
+            served_by: Some(instance_name().to_string()),
         }
     }
 
-    fn publish(&self) {
+    fn publish(&mut self) {
+        let mut tripped_shards = Vec::new();
         for (s, replicas) in self.slots.iter().enumerate() {
             for (r, slot) in replicas.iter().enumerate() {
+                let trips = slot.breaker.trips();
+                if trips > self.seen_trips[s][r] {
+                    self.seen_trips[s][r] = trips;
+                    if !tripped_shards.contains(&s) {
+                        tripped_shards.push(s);
+                    }
+                }
                 self.shared
-                    .publish_breaker(s, r, slot.breaker.state(), slot.breaker.trips());
+                    .publish_breaker(s, r, slot.breaker.state(), trips);
             }
+        }
+        for s in tripped_shards {
+            self.fanout_flightrec(s, "breaker_open");
         }
         gauge("cluster.quorum_ready").set(if self.shared.quorum_ready() { 1.0 } else { 0.0 });
     }
+
+    /// Fan a flight-recorder dump out to every replica of `shard` (fire
+    /// and forget, off the dispatcher thread): on a router-side incident
+    /// alert — a replica breaker opening, or the binary's SLO monitor via
+    /// this public hook — each replica of the implicated shard POSTs its
+    /// own `/flightrec`, so the black boxes on both sides of the wire
+    /// cover the same window and correlate by trace id.
+    pub fn fanout_flightrec(&self, shard: usize, reason: &'static str) {
+        let admins: Vec<String> = self.shared.topology()[shard]
+            .iter()
+            .filter_map(|a| a.admin.clone())
+            .collect();
+        counter("cluster.flightrec_fanout").inc();
+        event(Level::Warn, "cluster.flightrec_fanout")
+            .field("shard", shard as u64)
+            .field("reason", reason)
+            .field("replicas", admins.len() as u64)
+            .emit();
+        // Dump the router's own side too, so the correlation has both ends.
+        let _ = odt_obs::flightrec::trigger(reason);
+        if admins.is_empty() {
+            return;
+        }
+        let _ = thread::Builder::new()
+            .name("odt-flightrec-fanout".to_string())
+            .spawn(move || {
+                for a in admins {
+                    let _ = post_flightrec(&a, Duration::from_millis(1_000));
+                }
+            });
+    }
+}
+
+/// POST one admin endpoint's `/flightrec` (the fan-out primitive).
+/// `Some(true)` when the replica dumped (HTTP 200), `Some(false)` on any
+/// other status (e.g. its recorder is disabled), `None` when the endpoint
+/// was unreachable within `timeout`.
+pub fn post_flightrec(admin_addr: &str, timeout: Duration) -> Option<bool> {
+    let addr = resolve(admin_addr).ok()?;
+    let mut s = TcpStream::connect_timeout(&addr, timeout).ok()?;
+    s.set_read_timeout(Some(timeout)).ok()?;
+    s.set_write_timeout(Some(timeout)).ok()?;
+    s.write_all(
+        b"POST /flightrec HTTP/1.1\r\nHost: odt\r\nConnection: close\r\nContent-Length: 0\r\n\r\n",
+    )
+    .ok()?;
+    let mut raw = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    loop {
+        match s.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                raw.extend_from_slice(&chunk[..n]);
+                if raw.windows(2).any(|w| w == b"\r\n") {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&raw);
+    let status: u16 = head
+        .lines()
+        .next()?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    Some(status == 200)
 }
 
 impl NetBackend for RouterBackend {
@@ -958,6 +1078,7 @@ mod tests {
                 query: q,
                 deadline_ms: None,
                 trace: None,
+                parent_span: None,
             },
             age_us: 0,
         }
@@ -1222,5 +1343,99 @@ mod tests {
         wait_for(ReplicaHealth::Unready);
         prober.shutdown();
         admin.shutdown();
+    }
+
+    #[test]
+    fn router_roots_spans_and_adopts_the_clients_trace_context() {
+        odt_obs::trace::set_sample_every(1);
+        let live = echo_server();
+        let cfg = test_cluster_cfg(&[vec![&live]]);
+        let shared = ClusterShared::new(&cfg);
+        let mut router = RouterBackend::new(cfg, Arc::clone(&shared));
+        let wire = odt_obs::TraceId::from_raw(0x00C1_0C1A_5E55_0001).unwrap();
+        let mut nr = request(42, random_query(&mut SplitMix64::new(9)));
+        nr.req.trace = Some(wire);
+        nr.req.parent_span = Some(5);
+        nr.age_us = 137;
+        match &router.process(vec![nr])[0].1 {
+            WireResponse::Ok {
+                trace, served_by, ..
+            } => {
+                assert_eq!(*trace, Some(wire), "trace id must survive the hop");
+                assert!(served_by.is_some(), "replica attribution missing");
+            }
+            other => panic!("traced request failed: {other:?}"),
+        }
+        let traces = odt_obs::trace::retained_traces();
+        let t = traces
+            .iter()
+            .rev()
+            .find(|t| t.trace_id == wire && t.root_name == "router.request")
+            .expect("adopted router trace must be retained");
+        assert_eq!(t.parent_span, 5, "client parent ordinal lost");
+        assert_eq!(t.request_id, Some(42));
+        let names: Vec<&str> = t.spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"router.queue_wait"), "{names:?}");
+        assert!(names.contains(&"router.downstream"), "{names:?}");
+        live.drain();
+    }
+
+    #[test]
+    fn breaker_trips_fan_flightrec_out_to_the_shards_admins() {
+        // One shard whose only replica has a dead wire port but a live
+        // admin plane: hammering it trips the breaker, and publish()
+        // must react by POSTing /flightrec to that admin endpoint.
+        let admin = start_admin(AdminConfig::default(), AdminSources::default()).unwrap();
+        let dead_wire = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let mut cfg = ClusterConfig::new(vec![vec![ReplicaAddr::with_admin(
+            dead_wire,
+            admin.addr().to_string(),
+        )]]);
+        cfg.connect_timeout_ms = 200;
+        cfg.request_timeout_ms = 500;
+        let shared = ClusterShared::new(&cfg);
+        let mut router = RouterBackend::new(cfg, Arc::clone(&shared));
+        let mut rng = SplitMix64::new(21);
+        let before = admin.requests();
+        let batch: Vec<NetRequest> = (0..40)
+            .map(|i| request(i, random_query(&mut rng)))
+            .collect();
+        for (_, resp) in router.process(batch) {
+            match resp {
+                WireResponse::Ok { ref rung, .. } => assert_eq!(rung, PRIOR_RUNG),
+                other => panic!("dark shard must degrade: {other:?}"),
+            }
+        }
+        // No health prober is running, so any admin-plane request can
+        // only have come from the flight-recorder fan-out thread.
+        let t0 = Instant::now();
+        while admin.requests() == before {
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "flightrec fan-out never reached the shard's admin plane"
+            );
+            thread::sleep(Duration::from_millis(10));
+        }
+        admin.shutdown();
+    }
+
+    #[test]
+    fn post_flightrec_reports_reachability() {
+        let t = Duration::from_millis(500);
+        let admin = start_admin(AdminConfig::default(), AdminSources::default()).unwrap();
+        let addr = admin.addr().to_string();
+        // Live admin: a definite answer (200 when the recorder is armed,
+        // 503 otherwise — concurrent tests may toggle it, so accept both).
+        assert!(post_flightrec(&addr, t).is_some());
+        admin.shutdown();
+        // Bound-then-dropped port: unreachable.
+        let free = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        assert_eq!(post_flightrec(&free, t), None);
     }
 }

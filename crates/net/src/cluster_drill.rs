@@ -14,6 +14,11 @@
 //! | `cluster_router_partition` | a whole shard goes dark      | every request still answered       |
 //! |                            |                              | (prior rung, never a hang), quorum |
 //! |                            |                              | reads false                        |
+//! |----------------------------|------------------------------|------------------------------------|
+//! | `cluster_trace_loss`       | a replica (wire + admin) dies| retained traces show the retry as  |
+//! |                            | mid-wave of traced requests  | two downstream hops under one      |
+//! |                            |                              | router span; federation marks the  |
+//! |                            |                              | replica stale, keeps its history   |
 //!
 //! The replicas are echo-backed on purpose: these drills exercise the
 //! routing/failover machinery, which is model-agnostic; the
@@ -73,12 +78,20 @@ pub struct ClusterDrillOutcome {
 
 /// The standing cluster drill names, in run order.
 pub fn cluster_drill_names() -> Vec<&'static str> {
-    vec!["cluster_replica_kill", "cluster_router_partition"]
+    vec![
+        "cluster_replica_kill",
+        "cluster_router_partition",
+        "cluster_trace_loss",
+    ]
 }
 
-/// Run both standing cluster drills.
+/// Run the standing cluster drills.
 pub fn run_cluster_drills() -> Vec<ClusterDrillOutcome> {
-    vec![run_cluster_replica_kill(), run_cluster_router_partition()]
+    vec![
+        run_cluster_replica_kill(),
+        run_cluster_router_partition(),
+        run_cluster_trace_loss(),
+    ]
 }
 
 struct Replica {
@@ -268,6 +281,7 @@ fn exchange(s: &mut TcpStream, id: u64, q: WireQuery) -> Option<WireResponse> {
         query: q,
         deadline_ms: Some(5_000),
         trace: None,
+        parent_span: None,
     };
     write_frame(s, &req.to_json()).ok()?;
     match read_frame(s, DEFAULT_MAX_FRAME_BYTES) {
@@ -466,6 +480,190 @@ pub fn run_cluster_router_partition() -> ClusterDrillOutcome {
     }
 }
 
+/// Drill: 1 shard × 2 replicas, every request traced, NO health prober
+/// (health stays Unknown, so the router keeps attempting the dead
+/// replica until its breaker opens — exactly the window where the
+/// observability plane must not lose the story). One replica's wire AND
+/// admin ports die mid-wave. Must hold: every request still answered by
+/// the sibling; at least one retained trace shows the failover as two
+/// `router.downstream` child hops under a single router root; and the
+/// metrics federation marks the dead replica stale while keeping its
+/// last-good history in the federated body.
+pub fn run_cluster_trace_loss() -> ClusterDrillOutcome {
+    let name = "cluster_trace_loss";
+    let description = "a replica dies mid-wave of traced requests: the retry \
+                       is visible as sibling downstream hops in one trace, \
+                       and federation marks the replica stale without \
+                       dropping its history";
+    let t0 = Instant::now();
+    odt_obs::trace::set_sample_every(1);
+    let mut violations = Vec::new();
+
+    // Boot by hand (not boot_cluster): no prober, and the dead replica's
+    // admin plane must die with it so the scraper sees a real outage.
+    let mut servers: Vec<Option<ServerHandle>> = (0..2)
+        .map(|_| Some(start(replica_server_config(), EchoBackend::instant()).expect("replica")))
+        .collect();
+    let mut admins: Vec<Option<AdminHandle>> = (0..2)
+        .map(|_| {
+            let a = start_admin(AdminConfig::default(), AdminSources::default()).expect("admin");
+            a.set_ready(true);
+            Some(a)
+        })
+        .collect();
+    let topology: Vec<Vec<ReplicaAddr>> = vec![servers
+        .iter()
+        .zip(&admins)
+        .map(|(s, a)| {
+            ReplicaAddr::with_admin(
+                s.as_ref().expect("alive").addr().to_string(),
+                a.as_ref().expect("alive").addr().to_string(),
+            )
+        })
+        .collect()];
+    let scraper = crate::fed::ClusterScraper::new(&topology, 500);
+    let mut cfg = ClusterConfig::new(topology);
+    cfg.connect_timeout_ms = 200;
+    cfg.request_timeout_ms = 1_000;
+    let shared = ClusterShared::new(&cfg);
+    let backend = RouterBackend::new(cfg, Arc::clone(&shared));
+    let router_cfg = ServerConfig {
+        acceptor_threads: 1,
+        drain_budget_ms: 2_000,
+        ..ServerConfig::default()
+    };
+    let router = start(router_cfg, backend).expect("router server");
+
+    let mut tally = Tally::default();
+    let mut rng = SplitMix64::new(0x7AC3);
+    let mut conn = connect(router.addr());
+    let mut trace_k = 0u64;
+    let send_traced = |tally: &mut Tally,
+                       rng: &mut SplitMix64,
+                       conn: &mut Option<TcpStream>,
+                       n: u64,
+                       base: u64,
+                       trace_k: &mut u64| {
+        for i in 0..n {
+            *trace_k += 1;
+            let trace = odt_obs::TraceId::from_raw(0xD811_0000 + *trace_k).expect("nonzero");
+            match conn.as_mut() {
+                Some(s) => {
+                    let req = WireRequest {
+                        id: base + i,
+                        query: drill_query(rng),
+                        deadline_ms: Some(5_000),
+                        trace: Some(trace),
+                        parent_span: None,
+                    };
+                    let resp = write_frame(s, &req.to_json()).ok().and_then(|_| {
+                        match read_frame(s, DEFAULT_MAX_FRAME_BYTES) {
+                            Ok(FrameRead::Payload(p)) => WireResponse::from_json(&p).ok(),
+                            _ => None,
+                        }
+                    });
+                    tally.absorb(resp);
+                }
+                None => tally.lost += 1,
+            }
+        }
+    };
+
+    // Phase 1: healthy wave; both replicas scrape fresh.
+    send_traced(&mut tally, &mut rng, &mut conn, 20, 1, &mut trace_k);
+    if scraper.scrape_once() != 2 {
+        violations.push("healthy phase: not every replica scraped fresh".to_string());
+    }
+
+    // The loss: replica 0's wire and admin ports both die, abruptly.
+    if let Some(s) = servers[0].take() {
+        let _ = s.drain();
+    }
+    if let Some(a) = admins[0].take() {
+        a.shutdown();
+    }
+
+    // Phase 2: the router discovers the death request-by-request (no
+    // prober): failed hops retry on the sibling inside the same trace.
+    send_traced(&mut tally, &mut rng, &mut conn, 30, 1_000, &mut trace_k);
+    drop(conn);
+
+    // The stitched story, side 1 — traces: at least one router root must
+    // carry the failover as two sibling downstream hops.
+    let retry_traces = odt_obs::trace::retained_traces()
+        .iter()
+        .filter(|t| {
+            t.root_name == "router.request"
+                && t.spans
+                    .iter()
+                    .filter(|s| s.name == "router.downstream")
+                    .count()
+                    >= 2
+        })
+        .count();
+    if retry_traces == 0 {
+        violations.push(
+            "no retained trace shows the retry (two router.downstream hops \
+             under one router span)"
+                .to_string(),
+        );
+    }
+
+    // Side 2 — federation: the dead replica goes stale, the sibling stays
+    // fresh, and the dead replica's history survives in the body.
+    scraper.scrape_once();
+    let fed = scraper.federated();
+    if !fed.contains("odt_cluster_replica_stale{shard=\"0\",replica=\"0\"} 1") {
+        violations.push("federation did not mark the dead replica stale".to_string());
+    }
+    if !fed.contains("odt_cluster_replica_stale{shard=\"0\",replica=\"1\"} 0") {
+        violations.push("federation wrongly staled the live sibling".to_string());
+    }
+    if fed.matches("replica=\"0\"").count() < 2 {
+        violations.push("the dead replica's metric history was dropped".to_string());
+    }
+
+    let failovers = shared.failovers();
+    let prior_serves = shared.prior_serves();
+    let quorum_end = shared.quorum_ready();
+    let report = router.drain();
+    for s in servers.into_iter().flatten() {
+        let _ = s.drain();
+    }
+    for a in admins.into_iter().flatten() {
+        a.shutdown();
+    }
+
+    if tally.replica_ok != 50 {
+        violations.push(format!(
+            "only {} of 50 requests replica-served (prior {}, lost {}, errs {:?})",
+            tally.replica_ok,
+            tally.prior_ok,
+            tally.lost,
+            tally.sorted_errs()
+        ));
+    }
+    if failovers == 0 {
+        violations.push("no failovers recorded despite the dead replica".to_string());
+    }
+    ClusterDrillOutcome {
+        name,
+        description,
+        replica_replies: tally.replica_ok,
+        prior_replies: tally.prior_ok,
+        err_replies: tally.sorted_errs(),
+        lost: tally.lost,
+        failovers,
+        prior_serves,
+        quorum_ready_end: quorum_end,
+        router_stats: report.stats.clone(),
+        drain_clean: report.clean,
+        wall_s: t0.elapsed().as_secs_f64(),
+        pass: violations.is_empty(),
+        violations,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,5 +682,13 @@ mod tests {
         assert!(o.pass, "{:?}\nstats: {:?}", o.violations, o.router_stats);
         assert!(o.prior_replies > 0);
         assert!(!o.quorum_ready_end);
+    }
+
+    #[test]
+    fn trace_loss_drill_passes() {
+        let o = run_cluster_trace_loss();
+        assert!(o.pass, "{:?}\nstats: {:?}", o.violations, o.router_stats);
+        assert_eq!(o.lost, 0);
+        assert!(o.failovers > 0, "retry hops require failovers");
     }
 }

@@ -268,6 +268,7 @@ fn drill_request(region: &Region, id: u64, trace_seq: &AtomicU64) -> WireRequest
         query: drill_query(region, id),
         deadline_ms: Some(2_000),
         trace: odt_obs::TraceId::from_raw(raw),
+        parent_span: None,
     }
 }
 
@@ -302,6 +303,7 @@ fn wait_ready(addr: SocketAddr, region: &Region) -> bool {
                 query: drill_query(region, 0),
                 deadline_ms: Some(120_000),
                 trace: None,
+                parent_span: None,
             };
             if write_frame(&mut s, &req.to_json()).is_ok() {
                 if let Ok(FrameRead::Payload(_)) = read_frame(&mut s, DEFAULT_MAX_FRAME_BYTES) {
@@ -470,6 +472,7 @@ where
                             query: drill_query(&region, id),
                             deadline_ms: Some(2_000),
                             trace: None,
+                            parent_span: None,
                         };
                         let Some(r) = exchange(&mut s, &req) else {
                             return;

@@ -8,7 +8,9 @@
 //! `malformed_frame` wire error.
 //!
 //! Writing is the easy direction and lives with the frame types in
-//! [`crate::wire`]; this module only reads.
+//! [`crate::wire`]; this module only reads — plus [`JsonValue::render`],
+//! the lossless re-serializer the federation roll-up uses to embed
+//! scraped sub-documents.
 
 use std::fmt;
 
@@ -115,6 +117,50 @@ impl JsonValue {
         match self {
             JsonValue::Arr(v) => Some(v),
             _ => None,
+        }
+    }
+
+    /// Re-serialize this value onto `out`. Integers that fit `i64`
+    /// render without a fraction; non-finite numbers render as `null`
+    /// (JSON has no NaN/Inf literal). Used by the federation layer to
+    /// embed scraped `/varz` sub-objects verbatim in the cluster
+    /// roll-up.
+    pub fn render(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+                    out.push_str(&(*n as i64).to_string());
+                } else {
+                    odt_obs::json::push_f64(out, *n);
+                }
+            }
+            JsonValue::Str(s) => odt_obs::json::push_str_escaped(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    odt_obs::json::push_str_escaped(out, k);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
         }
     }
 }
@@ -425,5 +471,16 @@ mod tests {
         escape_into(&mut out, "he said \"hi\"\n\tπ\u{1}");
         let back = JsonValue::parse(&out).unwrap();
         assert_eq!(back.as_str(), Some("he said \"hi\"\n\tπ\u{1}"));
+    }
+
+    #[test]
+    fn render_round_trips_parsed_documents() {
+        let doc = r#"{"s":"a\"b","n":-2.5,"i":42,"b":true,"z":null,"a":[1,{"k":"v"}]}"#;
+        let v = JsonValue::parse(doc).unwrap();
+        let mut out = String::new();
+        v.render(&mut out);
+        assert_eq!(JsonValue::parse(&out).unwrap(), v, "{out}");
+        // Integers stay integers (no trailing .0 noise in the roll-up).
+        assert!(out.contains("\"i\":42"), "{out}");
     }
 }

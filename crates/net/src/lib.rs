@@ -17,6 +17,13 @@
 //! per-replica health probing, circuit-breaker failover, and a
 //! shard-dark haversine prior ([`cluster`]), plus deterministic
 //! replica-kill and shard-partition drills ([`cluster_drill`]).
+//!
+//! The cluster observes itself through one pane: requests carry
+//! trace/parent-span context across every hop (router spans and shard
+//! spans stitch into one tree by trace id), and the router federates
+//! every replica's `/metrics` and `/varz` into `GET /metrics/cluster` /
+//! `GET /varz/cluster` with exact bucket-wise histogram merges
+//! ([`fed`]).
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +32,7 @@ pub mod admin;
 pub mod cluster;
 pub mod cluster_drill;
 pub mod drill;
+pub mod fed;
 pub mod json;
 pub mod loadgen;
 pub mod server;
@@ -36,24 +44,26 @@ pub use admin::{
     render_tracez, render_varz, start_admin, AdminConfig, AdminHandle, AdminSources, SwapFn, VarzFn,
 };
 pub use cluster::{
-    haversine_seconds, probe_readyz, render_router_varz, start_health_prober, ClusterConfig,
-    ClusterShared, ClusterSnapshot, ProberHandle, ReplicaAddr, ReplicaHealth, ReplicaSnapshot,
-    RouterBackend, PRIOR_RUNG,
+    haversine_seconds, post_flightrec, probe_readyz, render_router_varz, start_health_prober,
+    ClusterConfig, ClusterShared, ClusterSnapshot, ProberHandle, ReplicaAddr, ReplicaHealth,
+    ReplicaSnapshot, RouterBackend, PRIOR_RUNG,
 };
 pub use cluster_drill::{
     cluster_drill_names, run_cluster_drills, run_cluster_replica_kill,
-    run_cluster_router_partition, ClusterDrillOutcome,
+    run_cluster_router_partition, run_cluster_trace_loss, ClusterDrillOutcome,
 };
 pub use drill::{
     net_scenarios, run_net_scenario, run_net_scenario_with, NetDrillOutcome, NetExpectations,
     NetScenarioKind, NetScenarioSpec,
 };
+pub use fed::{http_get, start_scraper, ClusterScraper, ScrapeTarget, ScraperHandle};
 pub use loadgen::{
     coarse_od_key, KeySkew, LatencySummary, LoadConfig, LoadMode, LoadReport, OdMixer, Region,
 };
 pub use server::{
-    start, start_with, ConnStatsSnapshot, DrainReport, EchoBackend, FrontendBridge, NetBackend,
-    NetRequest, ServerConfig, ServerHandle, ServerStatsHandle, SharedFrontendStats,
+    instance_name, set_instance_name, start, start_with, ConnStatsSnapshot, DrainReport,
+    EchoBackend, FrontendBridge, NetBackend, NetRequest, ServerConfig, ServerHandle,
+    ServerStatsHandle, SharedFrontendStats,
 };
 pub use shard::ShardMap;
 pub use wire::{

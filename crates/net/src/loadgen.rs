@@ -440,6 +440,11 @@ pub struct LoadReport {
     /// Achieved key skew over coarse OD cells (what the cache actually
     /// saw, regardless of the knobs requested).
     pub key_skew: KeySkew,
+    /// OK responses per serving replica (the wire `served_by` field), so
+    /// a run against a router shows how traffic actually spread across
+    /// shards/replicas. Responses from servers that predate the field
+    /// land under `"unknown"`.
+    pub served_by: Vec<(String, u64)>,
 }
 
 struct ConnTally {
@@ -454,6 +459,7 @@ struct ConnTally {
     traces_sent: u64,
     keys: HashMap<u32, u64>,
     connect_retries: u64,
+    served_by: HashMap<String, u64>,
 }
 
 impl ConnTally {
@@ -470,6 +476,7 @@ impl ConnTally {
             traces_sent: 0,
             keys: HashMap::new(),
             connect_retries: 0,
+            served_by: HashMap::new(),
         }
     }
 }
@@ -518,6 +525,7 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
     let mut errors: HashMap<String, u64> = HashMap::new();
     let mut rungs: HashMap<String, u64> = HashMap::new();
     let mut keys: HashMap<u32, u64> = HashMap::new();
+    let mut served_by: HashMap<String, u64> = HashMap::new();
     let mut all_lat = Vec::new();
     let mut lag_max = 0u64;
     for t in tallies {
@@ -537,6 +545,9 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
         for (k, v) in t.keys {
             *keys.entry(k).or_insert(0) += v;
         }
+        for (k, v) in t.served_by {
+            *served_by.entry(k).or_insert(0) += v;
+        }
         all_lat.extend(t.latencies_us);
     }
     report.key_skew = key_skew_from_counts(&keys);
@@ -553,19 +564,27 @@ pub fn run(cfg: &LoadConfig) -> io::Result<LoadReport> {
     let mut rungs: Vec<_> = rungs.into_iter().collect();
     rungs.sort();
     report.rungs = rungs;
+    let mut served_by: Vec<_> = served_by.into_iter().collect();
+    served_by.sort();
+    report.served_by = served_by;
     Ok(report)
 }
 
 fn classify(tally: &mut ConnTally, resp: &WireResponse, sched: Option<Instant>) {
     match resp {
         WireResponse::Ok {
-            rung, deadline_met, ..
+            rung,
+            deadline_met,
+            served_by,
+            ..
         } => {
             tally.ok += 1;
             if *deadline_met {
                 tally.deadline_met += 1;
             }
             *tally.rungs.entry(rung.clone()).or_insert(0) += 1;
+            let replica = served_by.as_deref().unwrap_or("unknown");
+            *tally.served_by.entry(replica.to_string()).or_insert(0) += 1;
             if let Some(t) = sched {
                 tally
                     .latencies_us
@@ -612,6 +631,7 @@ fn make_request(
         query,
         deadline_ms: cfg.deadline_ms,
         trace,
+        parent_span: None,
     }
 }
 

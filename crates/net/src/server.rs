@@ -58,9 +58,29 @@ use std::io::{self, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Process-wide serving-instance name, stamped into every
+/// [`WireResponse::Ok`]'s `served_by` field so clients (and the router's
+/// per-shard attribution) can tell *which* replica answered. Server
+/// binaries set it once from `--instance` before accepting traffic.
+static INSTANCE_NAME: OnceLock<String> = OnceLock::new();
+
+/// Set this process's serving-instance name. First call wins (the name
+/// must be stable for the process lifetime — it keys per-replica tallies
+/// downstream); later calls are ignored.
+pub fn set_instance_name(name: &str) {
+    let _ = INSTANCE_NAME.set(name.to_string());
+}
+
+/// This process's serving-instance name. Defaults to `pid-<pid>` when the
+/// binary never called [`set_instance_name`] — unique enough on one host
+/// that two unconfigured replicas still tally separately.
+pub fn instance_name() -> &'static str {
+    INSTANCE_NAME.get_or_init(|| format!("pid-{}", std::process::id()))
+}
 
 /// Server tuning. `Default` is sized for tests and single-host serving.
 #[derive(Clone, Debug)]
@@ -1014,6 +1034,7 @@ impl NetBackend for EchoBackend {
                         service_us: self.delay.as_micros() as u64,
                         deadline_met: true,
                         trace: nr.req.trace,
+                        served_by: Some(instance_name().to_string()),
                     },
                 )
             })
@@ -1164,10 +1185,11 @@ where
                 .deadline_ms
                 .map(|ms| ms.saturating_mul(1_000).saturating_sub(nr.age_us));
             let trace = nr.req.trace;
+            let parent = nr.req.parent_span.unwrap_or(0);
             let fid = self.fe.next_request_id();
             match self
                 .fe
-                .submit_traced((self.make_query)(&nr.req.query), budget_us, trace)
+                .submit_traced((self.make_query)(&nr.req.query), budget_us, trace, parent)
             {
                 Ok(got) => {
                     debug_assert_eq!(got, fid);
@@ -1223,6 +1245,7 @@ where
                     service_us,
                     deadline_met,
                     trace,
+                    served_by: Some(instance_name().to_string()),
                 },
                 odt_serve::Response::Shed { reason, detail, .. } => {
                     shed_to_wire(wire_id, &reason, &detail)
@@ -1322,6 +1345,7 @@ mod tests {
                     query: q(116.0 + i as f64),
                     deadline_ms: Some(1_000),
                     trace: odt_obs::TraceId::from_raw(0xabc0 + i),
+                    parent_span: None,
                 },
             );
         }
@@ -1388,6 +1412,7 @@ mod tests {
                 query: q(116.0),
                 deadline_ms: None,
                 trace: None,
+                parent_span: None,
             },
         );
         match recv_resp(&mut s) {
@@ -1414,6 +1439,7 @@ mod tests {
                 query: q(116.0),
                 deadline_ms: None,
                 trace: None,
+                parent_span: None,
             },
         );
         let _ = recv_resp(&mut s1);
@@ -1468,6 +1494,7 @@ mod tests {
                 query: q(116.0),
                 deadline_ms: None,
                 trace: None,
+                parent_span: None,
             },
         );
         // Hang up before the (delayed) reply can be written.
@@ -1498,6 +1525,7 @@ mod tests {
                     query: q(116.0),
                     deadline_ms: None,
                     trace: None,
+                    parent_span: None,
                 },
             );
         }
@@ -1547,6 +1575,7 @@ mod tests {
                         query: q(116.0),
                         deadline_ms: None,
                         trace: None,
+                        parent_span: None,
                     },
                 );
                 match read_frame(&mut s, DEFAULT_MAX_FRAME_BYTES) {
@@ -1634,6 +1663,7 @@ mod tests {
                 query: q(116.0),
                 deadline_ms: Some(5_000),
                 trace,
+                parent_span: Some(0x77),
             },
         );
         match recv_resp(&mut s) {
@@ -1642,10 +1672,16 @@ mod tests {
                 rung,
                 trace: t,
                 seconds,
+                served_by,
                 ..
             } => {
                 assert_eq!(id, 11);
                 assert_eq!(t, trace, "wire trace not propagated");
+                assert_eq!(
+                    served_by.as_deref(),
+                    Some(instance_name()),
+                    "replica attribution missing"
+                );
                 assert!(
                     // GridExec has no cache attached, so the cache rungs
                     // never serve; every model rung name is fair game.
@@ -1667,6 +1703,7 @@ mod tests {
                 },
                 deadline_ms: None,
                 trace: None,
+                parent_span: None,
             },
         );
         match recv_resp(&mut s) {
@@ -1718,6 +1755,7 @@ mod tests {
                 query: q(116.0),
                 deadline_ms: None,
                 trace: None,
+                parent_span: None,
             },
         );
         let _ = recv_resp(&mut s);
@@ -1740,6 +1778,7 @@ mod tests {
                 query: q(116.0),
                 deadline_ms: None,
                 trace: None,
+                parent_span: None,
             },
         );
         let _ = recv_resp(&mut s);

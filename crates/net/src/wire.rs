@@ -9,20 +9,28 @@
 //!
 //! ```json
 //! {"v":"odt-wire/v1","id":7,"o":[116.35,39.92],"d":[116.41,39.99],
-//!  "t_dep":28800.0,"deadline_ms":50,"trace":"1f00ab34cd56ef78"}
+//!  "t_dep":28800.0,"deadline_ms":50,"trace":"1f00ab34cd56ef78",
+//!  "parent_span":3}
 //! ```
 //!
 //! `deadline_ms` (optional) is a budget from server receipt; `trace`
 //! (optional) is a nonzero hex trace id the server *adopts* for the
-//! request's root span, so client and server logs join on one id.
+//! request's root span, so client and server logs join on one id;
+//! `parent_span` (optional, only meaningful alongside `trace`) is the
+//! caller's span ordinal within that trace — a router forwarding a
+//! request sends its own downstream-hop span here, so the shard's span
+//! tree can be stitched under the router's (DESIGN.md §15).
 //!
 //! Success response:
 //!
 //! ```json
 //! {"v":"odt-wire/v1","id":7,"seconds":512.3,"rung":"ddim",
 //!  "queue_wait_us":120,"service_us":4800,"deadline_met":true,
-//!  "trace":"1f00ab34cd56ef78"}
+//!  "trace":"1f00ab34cd56ef78","served_by":"s1a"}
 //! ```
+//!
+//! `served_by` (optional) names the process instance that computed the
+//! answer, so clients behind a router can see per-replica attribution.
 //!
 //! Error response (typed; codes below):
 //!
@@ -85,6 +93,10 @@ pub struct WireRequest {
     pub deadline_ms: Option<u64>,
     /// Optional client trace id for the server to adopt.
     pub trace: Option<TraceId>,
+    /// Optional caller span ordinal within `trace` (the parent the
+    /// server's root span attaches under in cross-process stitching).
+    /// Ignored without `trace`.
+    pub parent_span: Option<u64>,
 }
 
 /// Typed wire error codes (see module docs for the full table).
@@ -182,6 +194,10 @@ pub enum WireResponse {
         deadline_met: bool,
         /// The trace id the server used (adopted or minted), hex.
         trace: Option<TraceId>,
+        /// Instance name of the process that computed the answer (a
+        /// router forwards the shard's name; prior-rung answers carry
+        /// the router's own).
+        served_by: Option<String>,
     },
     /// The request (or connection) was refused.
     Err {
@@ -223,6 +239,7 @@ impl WireResponse {
                 service_us,
                 deadline_met,
                 trace,
+                served_by,
             } => {
                 s.push_str("{\"v\":\"");
                 s.push_str(WIRE_SCHEMA);
@@ -242,6 +259,10 @@ impl WireResponse {
                     s.push_str(",\"trace\":\"");
                     s.push_str(&t.to_hex());
                     s.push('"');
+                }
+                if let Some(by) = served_by {
+                    s.push_str(",\"served_by\":");
+                    escape_into(&mut s, by);
                 }
                 s.push('}');
             }
@@ -305,6 +326,10 @@ impl WireResponse {
                 .get("trace")
                 .and_then(JsonValue::as_str)
                 .and_then(TraceId::from_hex),
+            served_by: v
+                .get("served_by")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
         })
     }
 }
@@ -335,6 +360,10 @@ impl WireRequest {
             s.push_str(",\"trace\":\"");
             s.push_str(&t.to_hex());
             s.push('"');
+            if let Some(p) = self.parent_span {
+                s.push_str(",\"parent_span\":");
+                s.push_str(&p.to_string());
+            }
         }
         s.push('}');
         s
@@ -398,6 +427,13 @@ impl WireRequest {
                 t_dep,
             },
             deadline_ms: v.get("deadline_ms").and_then(JsonValue::as_u64),
+            // parent_span is a position inside `trace`; meaningless (and
+            // dropped) without one.
+            parent_span: trace
+                .is_some()
+                .then(|| v.get("parent_span").and_then(JsonValue::as_u64))
+                .flatten()
+                .filter(|&p| p != 0),
             trace,
         })
     }
@@ -526,6 +562,7 @@ mod tests {
             query: rt_query(),
             deadline_ms: Some(50),
             trace: TraceId::from_hex("1f00ab34cd56ef78"),
+            parent_span: Some(3),
         };
         let back = WireRequest::from_json(&full.to_json()).unwrap();
         assert_eq!(back, full);
@@ -535,8 +572,34 @@ mod tests {
             query: rt_query(),
             deadline_ms: None,
             trace: None,
+            parent_span: None,
         };
         assert_eq!(WireRequest::from_json(&bare.to_json()).unwrap(), bare);
+    }
+
+    #[test]
+    fn parent_span_requires_a_trace_and_drops_zero() {
+        // parent_span without trace is dropped on parse (a position in
+        // no trace), and the serializer never emits it alone.
+        let req =
+            WireRequest::from_json(r#"{"id":2,"o":[0,0],"d":[0,0],"t_dep":0,"parent_span":5}"#)
+                .unwrap();
+        assert_eq!(req.parent_span, None);
+        let orphan = WireRequest {
+            id: 2,
+            query: rt_query(),
+            deadline_ms: None,
+            trace: None,
+            parent_span: Some(5),
+        };
+        assert!(!orphan.to_json().contains("parent_span"));
+        // parent_span 0 means "root" and is normalized to absent.
+        let req = WireRequest::from_json(
+            r#"{"id":2,"o":[0,0],"d":[0,0],"t_dep":0,"trace":"c0ffee","parent_span":0}"#,
+        )
+        .unwrap();
+        assert_eq!(req.parent_span, None);
+        assert!(req.trace.is_some());
     }
 
     #[test]
@@ -574,8 +637,23 @@ mod tests {
             service_us: 4800,
             deadline_met: true,
             trace: TraceId::from_hex("c0ffee"),
+            served_by: Some("s1a".to_string()),
         };
         assert_eq!(WireResponse::from_json(&ok.to_json()).unwrap(), ok);
+        // Absent served_by stays absent (older peers interop).
+        let plain = WireResponse::Ok {
+            id: 10,
+            seconds: 1.0,
+            rung: "echo".to_string(),
+            queue_wait_us: 0,
+            service_us: 0,
+            deadline_met: true,
+            trace: None,
+            served_by: None,
+        };
+        let json = plain.to_json();
+        assert!(!json.contains("served_by"));
+        assert_eq!(WireResponse::from_json(&json).unwrap(), plain);
 
         let err = WireResponse::error(3, WireErrorCode::QueueExpired, "expired 40us in queue");
         let back = WireResponse::from_json(&err.to_json()).unwrap();

@@ -24,7 +24,7 @@
 //! first metric and drop later ones rather than emitting a duplicate
 //! family). An empty registry renders to an empty (still valid) body.
 
-use crate::metrics::Histogram;
+use crate::metrics::{Histogram, HistogramData, NUM_BUCKETS};
 use std::collections::BTreeSet;
 
 /// Content-Type an HTTP endpoint should declare for [`render`] output.
@@ -65,7 +65,8 @@ pub fn push_label_value(out: &mut String, v: &str) {
 
 /// Append a sample value. Prometheus accepts Go-style floats including
 /// `NaN`, `+Inf` and `-Inf` (unlike JSON — compare `json::push_f64`).
-fn push_sample(out: &mut String, v: f64) {
+/// Public so federation re-renderers emit values the same way.
+pub fn push_sample(out: &mut String, v: f64) {
     if v.is_nan() {
         out.push_str("NaN");
     } else if v.is_infinite() {
@@ -204,6 +205,248 @@ pub fn render_parts(
     out
 }
 
+/// One parsed sample line of an exposition body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExpoSample {
+    /// Series name, e.g. `odt_serve_request_us_bucket`.
+    pub name: String,
+    /// Label pairs, in appearance order, unescaped.
+    pub labels: Vec<(String, String)>,
+    /// Sample value (Go-style floats: `NaN`/`+Inf`/`-Inf` accepted).
+    pub value: f64,
+}
+
+impl ExpoSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition body: `# TYPE` declarations plus every sample.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedExposition {
+    /// Family name → declared type (`counter`/`gauge`/`histogram`), in
+    /// declaration order.
+    pub types: Vec<(String, String)>,
+    /// Every sample line, in order.
+    pub samples: Vec<ExpoSample>,
+}
+
+impl ParsedExposition {
+    /// The declared type of family `name`, if any.
+    pub fn type_of(&self, name: &str) -> Option<&str> {
+        self.types
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.as_str())
+    }
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "NaN" => Ok(f64::NAN),
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {other:?}")),
+    }
+}
+
+/// Parse a Prometheus 0.0.4 text body back into its samples — the inverse
+/// of [`render`], and the reading half of cluster metrics federation (the
+/// router scrapes each replica's `/metrics` and re-assembles histograms
+/// via [`histograms_from_parts`]). Strict on sample shape (a malformed
+/// line is an error, not a skip: replicas only ever serve bodies produced
+/// by [`render`], so lenience would just mask bugs); tolerant of comment
+/// lines and of an optional trailing timestamp token.
+pub fn parse(body: &str) -> Result<ParsedExposition, String> {
+    let mut out = ParsedExposition::default();
+    for (ln, line) in body.lines().enumerate() {
+        let ln = ln + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (name, kind) = (it.next(), it.next());
+            match (name, kind) {
+                (Some(n), Some(k)) => out.types.push((n.to_string(), k.to_string())),
+                _ => return Err(format!("line {ln}: malformed TYPE declaration")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let name_end = bytes
+            .iter()
+            .position(|&b| b == b'{' || b == b' ')
+            .ok_or_else(|| format!("line {ln}: sample without value"))?;
+        let name = &line[..name_end];
+        if name.is_empty() {
+            return Err(format!("line {ln}: empty sample name"));
+        }
+        let mut labels = Vec::new();
+        let mut pos = name_end;
+        if bytes[pos] == b'{' {
+            pos += 1;
+            loop {
+                if pos >= bytes.len() {
+                    return Err(format!("line {ln}: unterminated label set"));
+                }
+                if bytes[pos] == b'}' {
+                    pos += 1;
+                    break;
+                }
+                let eq = line[pos..]
+                    .find('=')
+                    .map(|i| pos + i)
+                    .ok_or_else(|| format!("line {ln}: label without '='"))?;
+                let key = line[pos..eq].trim().to_string();
+                if bytes.get(eq + 1) != Some(&b'"') {
+                    return Err(format!("line {ln}: unquoted label value"));
+                }
+                let mut val = String::new();
+                let mut i = eq + 2;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(format!("line {ln}: unterminated label value")),
+                        Some(b'\\') => {
+                            match bytes.get(i + 1) {
+                                Some(b'\\') => val.push('\\'),
+                                Some(b'"') => val.push('"'),
+                                Some(b'n') => val.push('\n'),
+                                _ => return Err(format!("line {ln}: bad escape")),
+                            }
+                            i += 2;
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Label values are escaped byte-safe ASCII or
+                            // passed-through UTF-8: copy the whole char.
+                            let c = line[i..].chars().next().unwrap();
+                            val.push(c);
+                            i += c.len_utf8();
+                        }
+                    }
+                }
+                labels.push((key, val));
+                match bytes.get(i) {
+                    Some(b',') => pos = i + 1,
+                    Some(b'}') => pos = i,
+                    _ => return Err(format!("line {ln}: expected ',' or '}}' after label")),
+                }
+            }
+        }
+        let rest = line[pos..].trim_start();
+        let value_tok = rest
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| format!("line {ln}: sample without value"))?;
+        out.samples.push(ExpoSample {
+            name: name.to_string(),
+            labels,
+            value: parse_value(value_tok).map_err(|e| format!("line {ln}: {e}"))?,
+        });
+    }
+    Ok(out)
+}
+
+fn le_to_bucket_index(le: &str) -> Result<usize, String> {
+    let v: u64 = le
+        .parse()
+        .map_err(|_| format!("non-integer le bound {le:?}"))?;
+    if v == 0 {
+        return Ok(0);
+    }
+    let up = v
+        .checked_add(1)
+        .ok_or_else(|| format!("le bound {le} overflows"))?;
+    if !up.is_power_of_two() {
+        return Err(format!("le bound {le} is not 2^i - 1"));
+    }
+    let i = up.trailing_zeros() as usize;
+    if i >= NUM_BUCKETS {
+        return Err(format!("le bound {le} beyond bucket range"));
+    }
+    Ok(i)
+}
+
+/// Re-assemble every histogram-typed family of a parsed body into a
+/// [`HistogramData`], keyed by family base name. The inverse of the
+/// histogram triplet rendering: cumulative `_bucket` series are
+/// differenced back to per-bucket counts (exact, because the `le` bounds
+/// are the fixed `2^i - 1` bucket tops), the `+Inf` remainder lands in
+/// the final catch-all bucket, and the `_max` companion gauge restores
+/// the exact maximum. Only unlabeled series (the per-process `/metrics`
+/// shape) participate; samples carrying labels other than `le` are
+/// ignored. Malformed families (unknown bounds, non-monotone cumulative
+/// counts, missing `_count`) are errors.
+pub fn histograms_from_parts(p: &ParsedExposition) -> Result<Vec<(String, HistogramData)>, String> {
+    let mut out = Vec::new();
+    for (fam, kind) in &p.types {
+        if kind != "histogram" {
+            continue;
+        }
+        let bucket_name = format!("{fam}_bucket");
+        let mut finite: Vec<(usize, u64)> = Vec::new();
+        let mut count: Option<u64> = None;
+        let mut sum: Option<u64> = None;
+        let mut max: Option<u64> = None;
+        for s in &p.samples {
+            if s.name == bucket_name && s.labels.len() == 1 {
+                let le = s.label("le").ok_or_else(|| format!("{fam}: no le"))?;
+                if le == "+Inf" {
+                    continue; // total restored from _count below
+                }
+                let idx = le_to_bucket_index(le).map_err(|e| format!("{fam}: {e}"))?;
+                finite.push((idx, s.value as u64));
+            } else if s.name == format!("{fam}_count") && s.labels.is_empty() {
+                count = Some(s.value as u64);
+            } else if s.name == format!("{fam}_sum") && s.labels.is_empty() {
+                sum = Some(s.value as u64);
+            } else if s.name == format!("{fam}_max") && s.labels.is_empty() {
+                max = Some(s.value as u64);
+            }
+        }
+        let count = count.ok_or_else(|| format!("{fam}: missing _count"))?;
+        let sum = sum.ok_or_else(|| format!("{fam}: missing _sum"))?;
+        finite.sort_unstable();
+        let mut d = HistogramData {
+            count,
+            sum_us: sum,
+            max_us: max.unwrap_or(0),
+            ..HistogramData::default()
+        };
+        let mut prev_cum = 0u64;
+        for &(idx, cum) in &finite {
+            let c = cum
+                .checked_sub(prev_cum)
+                .ok_or_else(|| format!("{fam}: non-monotone cumulative buckets"))?;
+            d.buckets[idx] = c;
+            prev_cum = cum;
+        }
+        // Observations above the highest rendered finite bound live in
+        // the catch-all bucket (the renderer stops at the highest
+        // non-empty finite bucket, so intermediate buckets are covered).
+        d.buckets[NUM_BUCKETS - 1] += count
+            .checked_sub(prev_cum)
+            .ok_or_else(|| format!("{fam}: _count below cumulative buckets"))?;
+        out.push((fam.clone(), d));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +543,75 @@ mod tests {
         // The gauge's sanitized name does not collide with the counter's
         // (different suffix), so it still renders.
         assert!(body.contains("odt_a_b 9\n"));
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_samples() {
+        let h = Histogram::default();
+        for v in [0u64, 3, 700, 5_000] {
+            h.record_micros(v);
+        }
+        let body = render_parts(
+            &[("net.conns.opened", 7)],
+            &[("quality.mae", 37.5)],
+            &[("serve.request", &h)],
+        );
+        let p = parse(&body).expect("own render output parses");
+        assert_eq!(p.type_of("odt_net_conns_opened_total"), Some("counter"));
+        assert_eq!(p.type_of("odt_quality_mae"), Some("gauge"));
+        assert_eq!(p.type_of("odt_serve_request_us"), Some("histogram"));
+        let c = p
+            .samples
+            .iter()
+            .find(|s| s.name == "odt_net_conns_opened_total")
+            .unwrap();
+        assert_eq!(c.value, 7.0);
+        assert!(c.labels.is_empty());
+        let b = p
+            .samples
+            .iter()
+            .find(|s| s.name == "odt_serve_request_us_bucket" && s.label("le") == Some("+Inf"))
+            .unwrap();
+        assert_eq!(b.value, 4.0);
+        // Label-value escapes survive a round trip.
+        let mut line = String::from("odt_x{k=\"");
+        push_label_value(&mut line, "a\\b\"c\nd");
+        line.push_str("\"} 1\n");
+        let p = parse(&line).unwrap();
+        assert_eq!(p.samples[0].label("k"), Some("a\\b\"c\nd"));
+        // Go-style non-finite values parse.
+        let p = parse("odt_g NaN\nodt_h +Inf\nodt_i -Inf\n").unwrap();
+        assert!(p.samples[0].value.is_nan());
+        assert_eq!(p.samples[1].value, f64::INFINITY);
+        assert_eq!(p.samples[2].value, f64::NEG_INFINITY);
+        // Malformed lines are errors, not skips.
+        for bad in ["odt_x", "odt_x{le=\"1\" 3", "odt_x{le=1} 3", "{} 1"] {
+            assert!(parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn histograms_reassemble_exactly_from_exposition() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 700, 700, 5_000, u64::MAX] {
+            h.record_micros(v);
+        }
+        let body = render_parts(&[], &[], &[("serve.request", &h)]);
+        let p = parse(&body).unwrap();
+        let hists = histograms_from_parts(&p).unwrap();
+        assert_eq!(hists.len(), 1);
+        let (fam, d) = &hists[0];
+        assert_eq!(fam, "odt_serve_request_us");
+        assert_eq!(
+            d,
+            &h.data(),
+            "parse(render(h)) restores the exact bucket state"
+        );
+        // An empty histogram reassembles to the empty data.
+        let e = Histogram::default();
+        let body = render_parts(&[], &[], &[("empty", &e)]);
+        let hists = histograms_from_parts(&parse(&body).unwrap()).unwrap();
+        assert_eq!(hists[0].1, HistogramData::default());
     }
 
     #[test]

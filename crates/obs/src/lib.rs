@@ -21,7 +21,9 @@
 //!   Spans nest (the current depth is visible via [`span_depth`]), so
 //!   wall-clock can be attributed per stage (`stage1.denoise_step` inside
 //!   `oracle.infer_pits` inside a query).
-//! * **Request tracing** — [`trace`] mints deterministic trace/span ids,
+//! * **Request tracing** — [`trace`] mints per-process trace/span ids
+//!   (entropy-seeded so cluster peers never collide; pin the seed via
+//!   `ODT_TRACE_SEED` for replayable runs),
 //!   propagates a thread-local context (explicitly across thread pools via
 //!   [`trace::install_context`]), head-samples 1-in-N with force-retention
 //!   of anomalous traces, and exports Perfetto-loadable JSON. While a
@@ -80,8 +82,8 @@ pub mod trace;
 
 pub use event::{emit, event, min_level, set_min_level, Event, EventBuilder, FieldValue, Level};
 pub use metrics::{
-    bucket_le_us, counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramSummary,
-    MetricsSnapshot, NUM_BUCKETS,
+    bucket_le_us, counter, gauge, histogram, snapshot, Counter, Gauge, Histogram, HistogramData,
+    HistogramSummary, MetricsSnapshot, NUM_BUCKETS,
 };
 pub use quality::{QualityConfig, QualitySnapshot, QualityTracker};
 pub use ring::{recent_events, ring_capacity, set_ring_capacity};

@@ -179,27 +179,19 @@ impl Histogram {
     /// containing the target rank and interpolate linearly inside it. The
     /// result is clamped to the exact recorded maximum.
     pub fn quantile_micros(&self, q: f64) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            return 0.0;
+        self.data().quantile_micros(q)
+    }
+
+    /// An owned plain-value copy of the full histogram state (buckets,
+    /// count, sum, max) — the unit of cross-process metrics federation.
+    /// A relaxed-atomic snapshot, same caveat as [`Histogram::bucket_counts`].
+    pub fn data(&self) -> HistogramData {
+        HistogramData {
+            buckets: self.bucket_counts(),
+            count: self.count(),
+            sum_us: self.sum_micros(),
+            max_us: self.max_micros(),
         }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
-        let mut cum = 0u64;
-        for (i, c) in self.counts.iter().enumerate() {
-            let c = c.load(Ordering::Relaxed);
-            if c == 0 {
-                continue;
-            }
-            if cum + c >= rank {
-                let (lo, hi) = bucket_bounds(i);
-                let frac = (rank - cum) as f64 / c as f64;
-                let est = lo + frac * (hi - lo);
-                return est.min(self.max_micros() as f64);
-            }
-            cum += c;
-        }
-        self.max_micros() as f64
     }
 
     /// Raw per-bucket observation counts (index `i` as in
@@ -211,26 +203,9 @@ impl Histogram {
     }
 
     /// Cumulative `(le_us, count ≤ le_us)` pairs for Prometheus-style
-    /// exposition, covering buckets 0 through the highest non-empty one
-    /// (empty histogram → empty vec). The final catch-all bucket
-    /// (`i = NUM_BUCKETS - 1`) is *excluded* — it has no exact finite
-    /// upper bound — so renderers must close the series with a `+Inf`
-    /// bucket carrying the total count.
+    /// exposition — see [`HistogramData::cumulative_buckets`].
     pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
-        let counts = self.bucket_counts();
-        let highest = match counts.iter().rposition(|&c| c > 0) {
-            Some(h) => h,
-            None => return Vec::new(),
-        };
-        let mut out = Vec::with_capacity(highest + 1);
-        let mut cum = 0u64;
-        for (i, &c) in counts.iter().enumerate().take(highest + 1) {
-            cum += c;
-            if i < NUM_BUCKETS - 1 {
-                out.push((bucket_le_us(i), cum));
-            }
-        }
-        out
+        self.data().cumulative_buckets()
     }
 
     /// The bucket index containing the `q`-quantile's rank, or `None` for
@@ -289,6 +264,119 @@ impl Histogram {
             max_us: self.max_micros() as f64,
             p99_exemplar: self.exemplar_for_quantile(0.99),
         }
+    }
+}
+
+/// An owned, plain-value histogram: per-bucket counts plus the
+/// count/sum/max aggregates, detached from the registry's atomics.
+///
+/// This is the unit of **metrics federation**. Every histogram in every
+/// process uses the same [`NUM_BUCKETS`] base-2 bucket layout (bounds are
+/// fixed by construction, never configured), so two `HistogramData` —
+/// scraped from two different replicas — merge *exactly* by bucket-wise
+/// addition: the merge's bucket counts, `count` and `sum` are precisely
+/// what one process observing both streams would have recorded, and its
+/// `max` is the true maximum. No re-bucketing, no interpolation error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramData {
+    /// Per-bucket observation counts (index `i` as in [`bucket_le_us`]).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observations, µs.
+    pub sum_us: u64,
+    /// Exact maximum observation, µs.
+    pub max_us: u64,
+}
+
+impl Default for HistogramData {
+    fn default() -> Self {
+        HistogramData {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl HistogramData {
+    /// Record one observation (µs) — for building fixtures and goldens;
+    /// live recording happens on [`Histogram`].
+    pub fn record_micros(&mut self, micros: u64) {
+        self.buckets[bucket_index(micros)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(micros);
+        self.max_us = self.max_us.max(micros);
+    }
+
+    /// Merge `other` into `self` bucket-wise. Exact (see the type docs):
+    /// associative, commutative, and conserves `count` and `sum`.
+    /// Saturating adds guard against adversarial scraped inputs.
+    pub fn merge_from(&mut self, other: &HistogramData) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// The exact merge of `parts` (identity element: [`HistogramData::default`]).
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a HistogramData>) -> HistogramData {
+        let mut out = HistogramData::default();
+        for p in parts {
+            out.merge_from(p);
+        }
+        out
+    }
+
+    /// Estimate the `q`-quantile (`q ∈ [0, 1]`) in µs: find the bucket
+    /// containing the target rank and interpolate linearly inside it,
+    /// clamped to the exact recorded maximum. Same estimator as
+    /// [`Histogram::quantile_micros`].
+    pub fn quantile_micros(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let frac = (rank - cum) as f64 / c as f64;
+                let est = lo + frac * (hi - lo);
+                return est.min(self.max_us as f64);
+            }
+            cum += c;
+        }
+        self.max_us as f64
+    }
+
+    /// Cumulative `(le_us, count ≤ le_us)` pairs for Prometheus-style
+    /// exposition, covering buckets 0 through the highest non-empty one
+    /// (empty histogram → empty vec). The final catch-all bucket
+    /// (`i = NUM_BUCKETS - 1`) is *excluded* — it has no exact finite
+    /// upper bound — so renderers must close the series with a `+Inf`
+    /// bucket carrying the total count.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let highest = match self.buckets.iter().rposition(|&c| c > 0) {
+            Some(h) => h,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(highest + 1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate().take(highest + 1) {
+            cum += c;
+            if i < NUM_BUCKETS - 1 {
+                out.push((bucket_le_us(i), cum));
+            }
+        }
+        out
     }
 }
 
@@ -558,6 +646,44 @@ mod tests {
             assert!(w[0].0 < w[1].0 && w[0].1 <= w[1].1);
         }
         assert_eq!(cum.last().unwrap().1, h.count());
+    }
+
+    #[test]
+    fn golden_merge_of_two_known_histograms_is_exact() {
+        // Two fixed replicas' worth of observations with every structural
+        // case: shared buckets, disjoint buckets, the zeros bucket, and a
+        // catch-all overflow. The merge must equal the histogram a single
+        // process would have recorded from the union — byte-for-byte on
+        // every field.
+        let mut a = HistogramData::default();
+        for v in [0u64, 1, 3, 3, 120, 90_000] {
+            a.record_micros(v);
+        }
+        let mut b = HistogramData::default();
+        for v in [2u64, 512, 90_001, u64::MAX] {
+            b.record_micros(v);
+        }
+        let mut union = HistogramData::default();
+        for v in [0u64, 1, 3, 3, 120, 90_000, 2, 512, 90_001, u64::MAX] {
+            union.record_micros(v);
+        }
+        let m = HistogramData::merged([&a, &b]);
+        assert_eq!(m, union, "merge must equal single-process recording");
+        assert_eq!(m.count, 10);
+        // The overflow observation saturates the sum — in the merge
+        // exactly as it does in single-process recording.
+        assert_eq!(m.sum_us, u64::MAX);
+        assert_eq!(m.max_us, u64::MAX);
+        // Identity and self-merge doubling.
+        assert_eq!(HistogramData::merged([&a]), a);
+        assert_eq!(
+            HistogramData::merged([] as [&HistogramData; 0]),
+            HistogramData::default()
+        );
+        let twice = HistogramData::merged([&a, &a]);
+        assert_eq!(twice.count, 2 * a.count);
+        assert_eq!(twice.sum_us, 2 * a.sum_us);
+        assert_eq!(twice.max_us, a.max_us);
     }
 
     #[test]

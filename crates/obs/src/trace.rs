@@ -12,11 +12,16 @@
 //! context and re-installs it inside pool workers via [`install_context`],
 //! so kernel work is attributable to the originating request.
 //!
-//! **Identity is deterministic.** Trace ids are SplitMix64 outputs of a
-//! fixed seed plus a process-global `AtomicU64` counter — no wall-clock or
-//! OS randomness — so a replayed run mints the same ids in the same order
-//! (the CI `trace-smoke` job double-runs `bench_serving` and diffs the id
-//! sets). Span ids are small per-trace ordinals.
+//! **Identity is per-process but replayable.** Trace ids are SplitMix64
+//! outputs of a process seed plus a process-global `AtomicU64` counter.
+//! The seed defaults to per-process entropy (pid + wall clock, mixed
+//! through SplitMix64) so two shards of one cluster cannot mint colliding
+//! ids, and can be pinned with [`set_trace_seed`] or `ODT_TRACE_SEED`
+//! (see [`init_from_env`]) for replayable runs — the CI `trace-smoke`
+//! job double-runs `bench_serving` under one explicit seed and diffs the
+//! id sets. Span ids are small per-trace ordinals; a span's position in a
+//! *cross-process* trace additionally records the remote parent span
+//! ordinal carried by `odt-wire/v1` (see [`root_span_adopted`]).
 //!
 //! **Sampling.** `ODT_TRACE_SAMPLE=N` (see [`init_from_env`]) head-samples
 //! 1-in-N traces (`0` = tracing off, `1` = everything). The keep/drop
@@ -39,9 +44,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-/// Fixed SplitMix64 seed for trace-id generation. A constant (not a clock)
-/// so that replayed runs mint identical id sequences.
-const TRACE_ID_SEED: u64 = 0x0D07_0DC1_E0F5_11AA;
+/// Base constant mixed into the per-process trace-id seed (and the seed
+/// CI pins via `ODT_TRACE_SEED` for replayable id sequences).
+pub const TRACE_ID_SEED: u64 = 0x0D07_0DC1_E0F5_11AA;
 
 /// Spans buffered per trace before truncation (keeps a pathological trace
 /// from holding the store lock and memory hostage).
@@ -150,6 +155,10 @@ pub struct TraceRecord {
     pub trace_id: TraceId,
     /// Root span name.
     pub root_name: &'static str,
+    /// Remote parent span ordinal this trace's root attaches under (the
+    /// `parent_span` carried by the `odt-wire/v1` request that adopted
+    /// this trace id); 0 for a locally-rooted trace.
+    pub parent_span: u64,
     /// Request id attached via [`RootSpan::set_request_id`], if any.
     pub request_id: Option<u64>,
     /// Root start, µs on the process trace clock.
@@ -184,6 +193,7 @@ pub struct OpenSpanRecord {
 
 struct ActiveTrace {
     root_name: &'static str,
+    parent_span: u64,
     request_id: Option<u64>,
     start_us: u64,
     sampled: bool,
@@ -208,6 +218,50 @@ static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(0);
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_TRACE: AtomicU64 = AtomicU64::new(0);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+/// Process trace-id seed; 0 means "not yet initialized" (lazily filled
+/// from per-process entropy on first mint).
+static TRACE_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Mint the `k`-th trace id of the generator seeded with `seed`: a pure
+/// SplitMix64 draw, never 0. This is the whole id scheme — exposed so
+/// tests (and offline tools) can reproduce a process's id sequence from
+/// its seed.
+pub fn mint_trace_id(seed: u64, k: u64) -> u64 {
+    splitmix64(seed.wrapping_add(k)).max(1)
+}
+
+/// A per-process entropy seed: pid and wall-clock nanos mixed through
+/// SplitMix64 with [`TRACE_ID_SEED`]. Never 0.
+fn entropy_seed() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let pid = u64::from(std::process::id());
+    splitmix64(TRACE_ID_SEED ^ splitmix64(nanos) ^ splitmix64(pid.rotate_left(32))).max(1)
+}
+
+/// The process trace-id seed. Initialized on first use from per-process
+/// entropy (so concurrently-booted shards mint disjoint id sets) unless
+/// previously pinned by [`set_trace_seed`] / `ODT_TRACE_SEED`.
+pub fn trace_seed() -> u64 {
+    let s = TRACE_SEED.load(Ordering::Relaxed);
+    if s != 0 {
+        return s;
+    }
+    let fresh = entropy_seed();
+    match TRACE_SEED.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => fresh,
+        Err(racing) => racing,
+    }
+}
+
+/// Pin the trace-id seed (0 is reserved and mapped to 1). Replayable
+/// drills and the CI double-run determinism check set an explicit seed;
+/// production processes leave it to entropy initialization.
+pub fn set_trace_seed(seed: u64) {
+    TRACE_SEED.store(seed.max(1), Ordering::Relaxed);
+}
 
 fn store() -> &'static Mutex<TraceStore> {
     static STORE: OnceLock<Mutex<TraceStore>> = OnceLock::new();
@@ -258,13 +312,26 @@ pub fn set_sample_every(n: u64) {
 }
 
 /// Read `ODT_TRACE_SAMPLE` (unset, empty, unparsable, or `0` all mean
-/// "tracing off") and apply it via [`set_sample_every`].
+/// "tracing off") and apply it via [`set_sample_every`]; read
+/// `ODT_TRACE_SEED` (decimal, or hex with an `0x` prefix) and pin the
+/// trace-id seed via [`set_trace_seed`] — unset or unparsable leaves the
+/// default per-process entropy seeding in place.
 pub fn init_from_env() {
     let n = std::env::var("ODT_TRACE_SAMPLE")
         .ok()
         .and_then(|v| v.trim().parse::<u64>().ok())
         .unwrap_or(0);
     set_sample_every(n);
+    let seed = std::env::var("ODT_TRACE_SEED").ok().and_then(|v| {
+        let v = v.trim();
+        match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => v.parse::<u64>().ok(),
+        }
+    });
+    if let Some(seed) = seed {
+        set_trace_seed(seed);
+    }
 }
 
 /// The innermost installed context on this thread, if any.
@@ -463,18 +530,22 @@ pub fn root_span(name: &'static str) -> RootSpan {
     }
     let k = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
     let sampled = every == 1 || k % every == 0;
-    let trace = TraceId(splitmix64(TRACE_ID_SEED.wrapping_add(k)).max(1));
-    open_root(name, trace, sampled)
+    let trace = TraceId(mint_trace_id(trace_seed(), k));
+    open_root(name, trace, sampled, 0)
 }
 
 /// Open a root span *adopting* a caller-supplied trace id — how the
 /// networked serving layer continues a trace begun by a remote client
-/// (the id travels in the `odt-wire/v1` request frame). Adopted traces
-/// are always treated as head-sampled: the client explicitly asked for
-/// this trace, so it is never dropped by local 1-in-N sampling. If the
-/// id is already active in this process (two clients reusing an id), a
-/// locally-minted id is used instead so the traces stay separable.
-pub fn root_span_adopted(name: &'static str, trace: TraceId) -> RootSpan {
+/// (the id travels in the `odt-wire/v1` request frame). `parent_span` is
+/// the remote caller's span ordinal within that trace (0 when the caller
+/// did not say, i.e. the trace roots here): cross-process stitchers use
+/// it to attach this process's span tree under the caller's span.
+/// Adopted traces are always treated as head-sampled: the client
+/// explicitly asked for this trace, so it is never dropped by local
+/// 1-in-N sampling. If the id is already active in this process (two
+/// clients reusing an id), a locally-minted id is used instead so the
+/// traces stay separable.
+pub fn root_span_adopted(name: &'static str, trace: TraceId, parent_span: u64) -> RootSpan {
     if sample_every() == 0 {
         return RootSpan { inner: None };
     }
@@ -482,16 +553,18 @@ pub fn root_span_adopted(name: &'static str, trace: TraceId) -> RootSpan {
         let st = store().lock().expect("trace store poisoned");
         st.active.contains_key(&trace.raw())
     };
-    let trace = if collision {
+    let (trace, parent_span) = if collision {
         let k = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
-        TraceId(splitmix64(TRACE_ID_SEED.wrapping_add(k)).max(1))
+        // A re-minted id no longer belongs to the remote trace, so the
+        // remote parent ordinal would mislead stitchers: drop it.
+        (TraceId(mint_trace_id(trace_seed(), k)), 0)
     } else {
-        trace
+        (trace, parent_span)
     };
-    open_root(name, trace, true)
+    open_root(name, trace, true, parent_span)
 }
 
-fn open_root(name: &'static str, trace: TraceId, sampled: bool) -> RootSpan {
+fn open_root(name: &'static str, trace: TraceId, sampled: bool, parent_span: u64) -> RootSpan {
     let start_us = now_us();
     let tid = thread_ordinal();
     {
@@ -500,6 +573,7 @@ fn open_root(name: &'static str, trace: TraceId, sampled: bool) -> RootSpan {
             trace.raw(),
             ActiveTrace {
                 root_name: name,
+                parent_span,
                 request_id: None,
                 start_us,
                 sampled,
@@ -591,6 +665,7 @@ impl Drop for RootSpan {
         st.retained.push_back(TraceRecord {
             trace_id: inner.ctx.trace,
             root_name: t.root_name,
+            parent_span: t.parent_span,
             request_id: t.request_id,
             start_us: t.start_us,
             dur_us,
@@ -667,6 +742,7 @@ pub fn trace_to_jsonl(t: &TraceRecord) -> String {
     json::push_str_escaped(&mut out, &hex);
     out.push_str(",\"root\":");
     json::push_str_escaped(&mut out, t.root_name);
+    let _ = write!(out, ",\"parent_span\":{}", t.parent_span);
     match t.request_id {
         Some(id) => {
             let _ = write!(out, ",\"request_id\":{id}");
@@ -870,9 +946,11 @@ mod tests {
 
     #[test]
     fn trace_ids_are_deterministic_in_mint_order() {
-        // Two ids minted k apart must reproduce the SplitMix64 stream of
-        // the fixed seed: the property the CI double-run check rests on.
+        // Under a pinned seed, two ids minted k apart must reproduce the
+        // SplitMix64 stream of that seed: the property the CI double-run
+        // check (ODT_TRACE_SEED exported for both runs) rests on.
         let _g = lock_tests();
+        set_trace_seed(TRACE_ID_SEED);
         set_sample_every(1);
         let a = root_span("test.trace.det.a");
         let ka = a.trace_id().unwrap();
@@ -883,12 +961,46 @@ mod tests {
         set_sample_every(0);
         let k = (0..u64::MAX)
             .take(1 << 20)
-            .find(|&k| splitmix64(TRACE_ID_SEED.wrapping_add(k)).max(1) == ka.raw())
-            .expect("id derives from the fixed seed + counter");
-        assert_eq!(
-            splitmix64(TRACE_ID_SEED.wrapping_add(k + 1)).max(1),
-            kb.raw()
-        );
+            .find(|&k| mint_trace_id(TRACE_ID_SEED, k) == ka.raw())
+            .expect("id derives from the pinned seed + counter");
+        assert_eq!(mint_trace_id(TRACE_ID_SEED, k + 1), kb.raw());
+    }
+
+    #[test]
+    fn differently_seeded_generators_mint_disjoint_ids() {
+        // Two processes with different seeds (the entropy-seeding default)
+        // must not mint colliding ids over any realistic window — the
+        // cluster relies on this to stitch cross-process traces by id.
+        let a: std::collections::BTreeSet<u64> =
+            (0..4096).map(|k| mint_trace_id(0xDEAD_BEEF, k)).collect();
+        let b: std::collections::BTreeSet<u64> =
+            (0..4096).map(|k| mint_trace_id(0x5EED_0002, k)).collect();
+        assert_eq!(a.len(), 4096, "no self-collisions");
+        assert_eq!(b.len(), 4096, "no self-collisions");
+        assert!(a.is_disjoint(&b), "different seeds share an id");
+        assert!(!a.contains(&0) && !b.contains(&0), "0 is never minted");
+    }
+
+    #[test]
+    fn env_seed_pins_the_generator_deterministically() {
+        let _g = lock_tests();
+        std::env::set_var("ODT_TRACE_SEED", "0x1234abcd");
+        std::env::set_var("ODT_TRACE_SAMPLE", "0");
+        init_from_env();
+        std::env::remove_var("ODT_TRACE_SEED");
+        std::env::remove_var("ODT_TRACE_SAMPLE");
+        assert_eq!(trace_seed(), 0x1234_abcd);
+        // Unset env leaves the pin in place (no unparsable override).
+        init_from_env();
+        assert_eq!(trace_seed(), 0x1234_abcd);
+        set_trace_seed(TRACE_ID_SEED); // restore the suite's pinned seed
+    }
+
+    #[test]
+    fn default_seed_is_lazily_initialized_entropy() {
+        // trace_seed() never returns the 0 sentinel, whatever init order
+        // the test suite ran in.
+        assert_ne!(trace_seed(), 0);
     }
 
     #[test]
@@ -897,13 +1009,14 @@ mod tests {
         set_sample_every(u64::MAX); // local head sampling would drop all
         let wire = TraceId::from_hex("00000000deadbeef").expect("valid hex id");
         {
-            let root = root_span_adopted("test.trace.adopted", wire);
+            let root = root_span_adopted("test.trace.adopted", wire, 7);
             assert_eq!(root.trace_id(), Some(wire));
             let _c = crate::span("test.trace.adopted_child");
         }
-        // A collision (same id while the first is still open) re-mints.
-        let outer = root_span_adopted("test.trace.adopted", wire);
-        let inner = root_span_adopted("test.trace.adopted", wire);
+        // A collision (same id while the first is still open) re-mints
+        // and drops the now-meaningless remote parent ordinal.
+        let outer = root_span_adopted("test.trace.adopted", wire, 7);
+        let inner = root_span_adopted("test.trace.adopted", wire, 7);
         let inner_id = inner.trace_id().unwrap();
         assert_ne!(inner_id, wire, "colliding adoption must re-mint");
         drop(inner);
@@ -915,8 +1028,18 @@ mod tests {
             .find(|t| t.trace_id == wire && t.root_name == "test.trace.adopted")
             .expect("adopted trace retained despite 1-in-N sampling");
         assert!(t.sampled, "adoption implies sampling");
+        assert_eq!(t.parent_span, 7, "remote parent ordinal retained");
         assert!(t.spans.iter().any(|s| s.name == "test.trace.adopted_child"));
-        assert!(traces.iter().any(|t| t.trace_id == inner_id));
+        let jsonl = trace_to_jsonl(t);
+        assert!(
+            jsonl.lines().next().unwrap().contains("\"parent_span\":7"),
+            "{jsonl}"
+        );
+        let reminted = traces
+            .iter()
+            .find(|t| t.trace_id == inner_id)
+            .expect("re-minted trace retained");
+        assert_eq!(reminted.parent_span, 0, "re-mint drops the remote parent");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! stays zero-dependency; proptest is a dev-dependency of this integration
 //! test only).
 
-use odt_obs::Histogram;
+use odt_obs::{bucket_le_us, Histogram, HistogramData, NUM_BUCKETS};
 use proptest::prelude::*;
 
 proptest! {
@@ -122,5 +122,106 @@ proptest! {
             let expect = samples.iter().filter(|&&s| s <= le).count() as u64;
             prop_assert_eq!(c, expect, "le={}", le);
         }
+    }
+}
+
+/// Build a [`HistogramData`] from raw observations.
+fn data_of(samples: &[u64]) -> HistogramData {
+    let mut d = HistogramData::default();
+    for &s in samples {
+        d.record_micros(s);
+    }
+    d
+}
+
+/// The index of the base-2 bucket containing value `v` (µs, as a float
+/// estimate): the smallest `i` with `v ≤ bucket_le_us(i)`, or the
+/// catch-all bucket when none is.
+fn bucket_of(v: f64) -> usize {
+    for i in 0..NUM_BUCKETS - 1 {
+        if v <= bucket_le_us(i) as f64 {
+            return i;
+        }
+    }
+    NUM_BUCKETS - 1
+}
+
+proptest! {
+    /// Federation-merge invariants for ANY pair/triple of observation
+    /// sets: merging is commutative and associative, conserves `_count`,
+    /// `_sum` and every bucket exactly, and equals the histogram a
+    /// single process would have recorded from the union.
+    #[test]
+    fn histogram_merge_is_exact_commutative_and_associative(
+        xs in prop::collection::vec(0u64..=50_000_000, 0..200),
+        ys in prop::collection::vec(0u64..=50_000_000, 0..200),
+        zs in prop::collection::vec(0u64..=50_000_000, 0..200),
+    ) {
+        let (a, b, c) = (data_of(&xs), data_of(&ys), data_of(&zs));
+        let ab = HistogramData::merged([&a, &b]);
+        // Conservation, bucket by bucket.
+        prop_assert_eq!(ab.count, a.count + b.count);
+        prop_assert_eq!(ab.sum_us, a.sum_us + b.sum_us);
+        prop_assert_eq!(ab.max_us, a.max_us.max(b.max_us));
+        for i in 0..NUM_BUCKETS {
+            prop_assert_eq!(ab.buckets[i], a.buckets[i] + b.buckets[i], "bucket {}", i);
+        }
+        // Merge == single-process recording of the union.
+        let mut union: Vec<u64> = xs.clone();
+        union.extend_from_slice(&ys);
+        prop_assert_eq!(&ab, &data_of(&union));
+        // Commutative.
+        prop_assert_eq!(&ab, &HistogramData::merged([&b, &a]));
+        // Associative.
+        let bc = HistogramData::merged([&b, &c]);
+        prop_assert_eq!(
+            HistogramData::merged([&ab, &c]),
+            HistogramData::merged([&a, &bc])
+        );
+    }
+
+    /// A merged quantile is bounded by the inputs' quantiles at bucket
+    /// resolution. The exact q-order-statistic of a union lies between
+    /// the parts' exact q-order-statistics, and the estimator answers
+    /// within the order statistic's base-2 bucket (touching its open
+    /// upper edge at worst) — so the merged estimate's bucket lies
+    /// within one bucket of the interval spanned by the parts' estimate
+    /// buckets, and its value within a factor-of-two band of the parts'
+    /// estimates. Tighter value-level betweenness is NOT guaranteed:
+    /// two inputs concentrated at a shared bucket's top interpolate
+    /// higher alone than their union does.
+    #[test]
+    fn merged_quantiles_are_bounded_by_input_quantiles(
+        xs in prop::collection::vec(0u64..=50_000_000, 1..200),
+        ys in prop::collection::vec(0u64..=50_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let (a, b) = (data_of(&xs), data_of(&ys));
+        let m = HistogramData::merged([&a, &b]);
+        let (qa, qb, qm) = (
+            a.quantile_micros(q),
+            b.quantile_micros(q),
+            m.quantile_micros(q),
+        );
+        let (lo, hi) = (bucket_of(qa.min(qb)), bucket_of(qa.max(qb)));
+        let bm = bucket_of(qm);
+        prop_assert!(
+            (lo.saturating_sub(1)..=hi + 1).contains(&bm),
+            "q={q}: merged {qm} (bucket {bm}) outside inputs' [{qa}, {qb}] \
+             bucket band [{lo}, {hi}] ± 1"
+        );
+        // One base-2 bucket of slack is a factor of two in value.
+        prop_assert!(
+            qm >= qa.min(qb) / 2.0 - 1.0,
+            "q={q}: merged {qm} below half the smaller input quantile {}",
+            qa.min(qb)
+        );
+        prop_assert!(
+            qm <= qa.max(qb) * 2.0 + 1.0,
+            "q={q}: merged {qm} above twice the larger input quantile {}",
+            qa.max(qb)
+        );
+        // And the merged estimate never exceeds the merged exact max.
+        prop_assert!(qm <= m.max_us as f64);
     }
 }

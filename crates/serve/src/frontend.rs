@@ -131,6 +131,11 @@ pub struct Request<Q> {
     /// when set, the request's root span *adopts* it instead of minting a
     /// local id, so client and server observe the same trace.
     pub wire_trace: Option<odt_obs::TraceId>,
+    /// The caller's span id (the `odt-wire/v1` `parent_span` field): when
+    /// nonzero (and `wire_trace` is set), the adopted root span records it
+    /// as its parent, so cross-process stitchers can hang this process's
+    /// fragment under the originating span. `0` means locally rooted.
+    pub wire_parent: u64,
 }
 
 /// Why a request was refused instead of served.
@@ -379,17 +384,20 @@ impl<E: RungExecutor> ServeFrontend<E> {
     /// configured default when `None`). Returns the assigned id, or the
     /// shed response if the request never made it into the queue.
     pub fn submit(&mut self, query: E::Query, deadline_us: Option<u64>) -> Result<u64, Response> {
-        self.submit_traced(query, deadline_us, None)
+        self.submit_traced(query, deadline_us, None, 0)
     }
 
-    /// [`Self::submit`] with a caller-propagated trace id (the networked
-    /// frontend passes the client's `odt-wire/v1` trace here, so server
-    /// spans join the client's trace instead of minting a fresh id).
+    /// [`Self::submit`] with a caller-propagated trace context (the
+    /// networked frontend passes the client's `odt-wire/v1` trace here, so
+    /// server spans join the client's trace instead of minting a fresh
+    /// id). `wire_parent` is the caller's span id (`0` = locally rooted);
+    /// it is meaningful only when `wire_trace` is set.
     pub fn submit_traced(
         &mut self,
         query: E::Query,
         deadline_us: Option<u64>,
         wire_trace: Option<odt_obs::TraceId>,
+        wire_parent: u64,
     ) -> Result<u64, Response> {
         let id = self.next_id;
         self.next_id += 1;
@@ -414,6 +422,7 @@ impl<E: RungExecutor> ServeFrontend<E> {
             query,
             deadline_us: now.saturating_add(budget),
             wire_trace,
+            wire_parent,
         };
         match self.queue.push(req, now) {
             Ok(()) => {
@@ -492,7 +501,7 @@ impl<E: RungExecutor> ServeFrontend<E> {
         // attributed to this request's trace. A wire-propagated client
         // trace id is adopted so the client and server share one trace.
         let root = match req.wire_trace {
-            Some(id) => odt_obs::trace::root_span_adopted("serve.request", id),
+            Some(id) => odt_obs::trace::root_span_adopted("serve.request", id, req.wire_parent),
             None => odt_obs::trace::root_span("serve.request"),
         };
         root.set_request_id(req.id);
@@ -1094,7 +1103,7 @@ mod tests {
         odt_obs::trace::set_sample_every(u64::MAX); // sampling would drop
         let wire = odt_obs::TraceId::from_hex("0000000000c0ffee").unwrap();
         let mut fe = ServeFrontend::new(MockExec::healthy(), cfg());
-        fe.submit_traced("od", None, Some(wire)).unwrap();
+        fe.submit_traced("od", None, Some(wire), 7).unwrap();
         let out = fe.drain();
         odt_obs::trace::set_sample_every(0);
         assert!(out[0].is_served());
@@ -1105,6 +1114,7 @@ mod tests {
             .expect("adopted wire trace retained");
         assert_eq!(t.root_name, "serve.request");
         assert_eq!(t.request_id, Some(0));
+        assert_eq!(t.parent_span, 7);
     }
 
     #[test]

@@ -14,10 +14,24 @@ Structural checks, independent of the Rust renderer's own tests:
   are cumulative (monotone non-decreasing), the series closes with a
   `+Inf` bucket equal to `_count`, and `_sum`/`_count` are present.
 
-Usage: check_exposition.py FILE [--require METRIC]...
+Usage: check_exposition.py FILE [--require METRIC]... [--cluster]
 
 `--require NAME` additionally asserts a sample of that family exists
 (histogram families match their triplet samples).
+
+`--cluster` validates a federated `/metrics/cluster` body on top of the
+structural checks:
+
+* per-replica series carry `shard` and `replica` labels (at least one
+  such sample exists);
+* the `odt_cluster_replica_stale` marker family is present, every value
+  is 0 or 1, and each series has both labels;
+* every merged `odt_cluster_*` histogram reconciles exactly against its
+  per-replica series: cluster `_count` == Σ over replicas of the
+  corresponding `<family>_count{shard,replica}` samples (only the
+  plainly-labeled ones — replica-side histograms that already carried
+  their own labels are federated but not merged);
+* at least one merged cluster histogram exists.
 """
 
 import argparse
@@ -147,15 +161,69 @@ def check(types, samples, errors):
             errors.append(f"{key[0]}: _sum/_count without any _bucket series")
 
 
+def check_cluster(types, samples, errors):
+    """Federation-specific checks for a `/metrics/cluster` body."""
+    labeled = [s for s in samples if "shard" in s[2] and "replica" in s[2]]
+    if not labeled:
+        errors.append("cluster: no sample carries shard+replica labels")
+
+    stale = [s for s in samples if s[1] == "odt_cluster_replica_stale"]
+    if not stale:
+        errors.append("cluster: odt_cluster_replica_stale markers missing")
+    for ln, name, labels, v in stale:
+        if "shard" not in labels or "replica" not in labels:
+            errors.append(f"line {ln}: {name} without shard/replica labels")
+        if v not in (0.0, 1.0):
+            errors.append(f"line {ln}: {name} value {v} is not 0 or 1")
+
+    merged = [
+        fam
+        for fam, t in types.items()
+        if t == "histogram" and fam.startswith("odt_cluster_")
+    ]
+    if not merged:
+        errors.append("cluster: no merged odt_cluster_* histogram family")
+    for fam in merged:
+        # The merge strips the replica families' `odt_` prefix, so the
+        # source family is `odt_<rest>` (or bare `<rest>` if a replica
+        # exported an unprefixed name).
+        rest = fam[len("odt_cluster_") :]
+        sources = ("odt_" + rest, rest)
+        cluster_count = next(
+            (v for _, n, lb, v in samples if n == fam + "_count" and not lb),
+            None,
+        )
+        if cluster_count is None:
+            errors.append(f"cluster: {fam}_count missing")
+            continue
+        # Only the plainly-labeled per-replica series take part in the
+        # merge; histograms that already carried their own labels are
+        # federated verbatim but never merged.
+        replica_sum = sum(
+            v
+            for _, n, lb, v in samples
+            if n in tuple(s + "_count" for s in sources)
+            and set(lb) == {"shard", "replica"}
+        )
+        if replica_sum != cluster_count:
+            errors.append(
+                f"cluster: {fam}_count {cluster_count} != "
+                f"sum of per-replica counts {replica_sum}"
+            )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("path")
     ap.add_argument("--require", action="append", default=[], metavar="METRIC")
+    ap.add_argument("--cluster", action="store_true")
     args = ap.parse_args()
 
     errors = []
     types, samples = parse(args.path, errors)
     check(types, samples, errors)
+    if args.cluster:
+        check_cluster(types, samples, errors)
     present = {family_of(name, types) for _, name, _, _ in samples}
     for req in args.require:
         if req not in present:
